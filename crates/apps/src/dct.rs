@@ -1,0 +1,215 @@
+//! 8×8 block transforms: forward/inverse DCT-II, zig-zag scan and
+//! quantisation — the kernel of the MJPEG-lite codec.
+
+/// Zig-zag scan order of an 8×8 block (row-major indices).
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// The JPEG Annex K luminance quantisation table.
+pub const QTABLE_LUMA: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
+    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Scales the base quantisation table by a JPEG-style quality factor
+/// (1 = worst, 100 = best).
+///
+/// # Panics
+///
+/// Panics if `quality` is 0 or > 100.
+pub fn scaled_qtable(quality: u8) -> [u16; 64] {
+    assert!((1..=100).contains(&quality), "quality must be 1..=100");
+    let scale: u32 =
+        if quality < 50 { 5000 / quality as u32 } else { 200 - 2 * quality as u32 };
+    let mut out = [0u16; 64];
+    for (o, q) in out.iter_mut().zip(QTABLE_LUMA.iter()) {
+        *o = (((*q as u32) * scale + 50) / 100).clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Basis table: `BASIS[u][x] = c(u) · cos((2x+1)·u·π/16) / 2`, so a 1-D
+/// DCT is a plain matrix product and the 2-D transform is two separable
+/// passes (row then column) — 4× fewer multiplies than the direct form.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0f32; 8]; 8];
+        for (u, row) in t.iter_mut().enumerate() {
+            let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = 0.5
+                    * cu
+                    * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        t
+    })
+}
+
+/// Forward 8×8 DCT-II on a block of samples (level-shifted by −128), row
+/// major in, row major out. Separable row/column implementation.
+pub fn fdct8x8(pixels: &[u8; 64]) -> [f32; 64] {
+    let b = basis();
+    let mut rows = [0f32; 64];
+    // 1-D DCT along each row.
+    for r in 0..8 {
+        for u in 0..8 {
+            let mut s = 0f32;
+            for x in 0..8 {
+                s += (pixels[r * 8 + x] as f32 - 128.0) * b[u][x];
+            }
+            rows[r * 8 + u] = s;
+        }
+    }
+    // 1-D DCT along each column.
+    let mut out = [0f32; 64];
+    for c in 0..8 {
+        for u in 0..8 {
+            let mut s = 0f32;
+            for y in 0..8 {
+                s += rows[y * 8 + c] * b[u][y];
+            }
+            out[u * 8 + c] = s;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (IDCT), producing level-shifted-back pixel samples.
+/// Separable row/column implementation.
+pub fn idct8x8(coeffs: &[f32; 64]) -> [u8; 64] {
+    let b = basis();
+    // Inverse along columns first.
+    let mut cols = [0f32; 64];
+    for c in 0..8 {
+        for y in 0..8 {
+            let mut s = 0f32;
+            for u in 0..8 {
+                s += coeffs[u * 8 + c] * b[u][y];
+            }
+            cols[y * 8 + c] = s;
+        }
+    }
+    // Inverse along rows.
+    let mut out = [0u8; 64];
+    for r in 0..8 {
+        for x in 0..8 {
+            let mut s = 0f32;
+            for u in 0..8 {
+                s += cols[r * 8 + u] * b[u][x];
+            }
+            out[r * 8 + x] = (s + 128.0).round().clamp(0.0, 255.0) as u8;
+        }
+    }
+    out
+}
+
+/// Quantises DCT coefficients and emits them in zig-zag order.
+pub fn quantize_zigzag(coeffs: &[f32; 64], qtable: &[u16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for (zz, slot) in ZIGZAG.iter().zip(out.iter_mut()) {
+        *slot = (coeffs[*zz] / qtable[*zz] as f32).round() as i16;
+    }
+    out
+}
+
+/// Dequantises zig-zag coefficients back into a row-major block.
+pub fn dequantize_zigzag(q: &[i16; 64], qtable: &[u16; 64]) -> [f32; 64] {
+    let mut out = [0f32; 64];
+    for (i, zz) in ZIGZAG.iter().enumerate() {
+        out[*zz] = q[i] as f32 * qtable[*zz] as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for z in ZIGZAG {
+            assert!(!seen[z], "duplicate index {z}");
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+        // First few entries follow the classic pattern.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+    }
+
+    #[test]
+    fn flat_block_has_only_dc() {
+        let block = [100u8; 64];
+        let coeffs = fdct8x8(&block);
+        assert!((coeffs[0] - (100.0 - 128.0) * 8.0).abs() < 0.01, "DC = 8·mean shift");
+        for (i, c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC coefficient {i} should vanish: {c}");
+        }
+    }
+
+    #[test]
+    fn dct_idct_roundtrip_is_near_lossless() {
+        let mut block = [0u8; 64];
+        for (i, p) in block.iter_mut().enumerate() {
+            *p = ((i * 7 + 13) % 256) as u8;
+        }
+        let rec = idct8x8(&fdct8x8(&block));
+        for (a, b) in block.iter().zip(rec.iter()) {
+            assert!((*a as i16 - *b as i16).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_roundtrip_bounded_error() {
+        let mut block = [0u8; 64];
+        for (i, p) in block.iter_mut().enumerate() {
+            *p = (128.0 + 80.0 * ((i as f32) * 0.37).sin()) as u8;
+        }
+        let qtable = scaled_qtable(75);
+        let q = quantize_zigzag(&fdct8x8(&block), &qtable);
+        let rec = idct8x8(&dequantize_zigzag(&q, &qtable));
+        // Mean absolute error stays small at quality 75.
+        let mae: f32 = block
+            .iter()
+            .zip(rec.iter())
+            .map(|(a, b)| (*a as f32 - *b as f32).abs())
+            .sum::<f32>()
+            / 64.0;
+        assert!(mae < 6.0, "MAE {mae}");
+    }
+
+    #[test]
+    fn higher_quality_means_finer_tables() {
+        let q30 = scaled_qtable(30);
+        let q90 = scaled_qtable(90);
+        assert!(q90.iter().zip(q30.iter()).all(|(h, l)| h <= l));
+        // Quality 50 is the identity scaling.
+        assert_eq!(scaled_qtable(50), QTABLE_LUMA);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be")]
+    fn quality_zero_rejected() {
+        let _ = scaled_qtable(0);
+    }
+
+    #[test]
+    fn quantized_blocks_are_sparse() {
+        // Quantisation zeroes most high-frequency coefficients — that's
+        // what makes the RLE entropy stage effective.
+        let mut block = [0u8; 64];
+        for (i, p) in block.iter_mut().enumerate() {
+            *p = (128 + (i as i32 % 5) - 2) as u8; // gentle texture
+        }
+        let q = quantize_zigzag(&fdct8x8(&block), &scaled_qtable(75));
+        let zeros = q.iter().filter(|c| **c == 0).count();
+        assert!(zeros > 48, "only {zeros}/64 zeros");
+    }
+}

@@ -1,0 +1,53 @@
+//! # rtft-apps — the paper's streaming applications, rebuilt from scratch
+//!
+//! The three real-time applications the paper validates its framework on
+//! (§4.2 of Rai et al., DAC 2014), implemented as determinate Kahn process
+//! networks over `rtft-kpn` with real DSP kernels:
+//!
+//! * [`mjpeg`] — an MJPEG-lite codec (8×8 DCT, JPEG quantisation tables,
+//!   zig-zag, RLE + Exp-Golomb entropy coding) with the paper's
+//!   `splitstream` / `mergeframe` pipeline shape;
+//! * [`adpcm`] — the IMA ADPCM encoder + decoder (exact 4:1 compression of
+//!   16-bit PCM);
+//! * [`h264`] — an H.264-lite intra encoder (16×16 intra prediction, the
+//!   H.264 4×4 integer core transform, QP-law quantisation, Exp-Golomb
+//!   entropy coding) with a verifying decoder;
+//! * [`video`] / [`adpcm::AudioSource`] — deterministic synthetic
+//!   workloads matching the paper's token sizes and rates (76.8 KB frames
+//!   @ ~30 fps, 3 KB audio blocks @ ~6.3 ms);
+//! * [`profiles`] — the reconstructed Table 1 timing models;
+//! * [`networks`] — [`networks::App`] wires each application into the
+//!   `rtft-core` reference / duplicated network builders.
+//!
+//! # Example: a fault-tolerant ADPCM run
+//!
+//! ```
+//! use rtft_apps::networks::App;
+//! use rtft_core::{build_duplicated, FaultPlan};
+//! use rtft_kpn::Engine;
+//! use rtft_rtc::TimeNs;
+//!
+//! let cfg = App::Adpcm
+//!     .duplication_config(1, 40)?
+//!     .with_fault(0, FaultPlan::fail_stop_at(TimeNs::from_ms(100)));
+//! let (net, ids) = build_duplicated(&cfg, &App::Adpcm.replica_factory([7, 8]));
+//! let mut engine = Engine::new(net);
+//! engine.run_until(TimeNs::from_secs(10));
+//! assert_eq!(ids.consumer_arrivals(engine.network()).len(), 40);
+//! # Ok::<(), rtft_rtc::CurveAnalysisError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adpcm;
+pub mod bitio;
+pub mod dct;
+pub mod h264;
+pub mod mjpeg;
+pub mod networks;
+pub mod profiles;
+pub mod stages;
+pub mod video;
+
+pub use networks::App;
+pub use profiles::AppProfile;

@@ -1,0 +1,320 @@
+//! Fan-out / fan-in pipeline stages.
+//!
+//! The paper's MJPEG pipeline (Fig. 2) contains a `splitstream` process
+//! with several outputs and a `mergeframe` process with several inputs;
+//! `rtft-kpn`'s [`Transform`](rtft_kpn::Transform) only covers 1-in/1-out
+//! stages, so this module provides the general shapes as resumable state
+//! machines.
+
+use rtft_kpn::{JitterSampler, Payload, PortId, Process, Syscall, Token, Wakeup};
+use rtft_rtc::TimeNs;
+use std::fmt;
+
+/// 1-in/N-out: reads a token, computes, writes one token to each output.
+pub struct FanOutStage {
+    name: String,
+    input: PortId,
+    outputs: Vec<PortId>,
+    base: TimeNs,
+    jitter: JitterSampler,
+    func: Box<dyn FnMut(Payload) -> Vec<Payload> + Send>,
+    out_seq: u64,
+    state: FanOutState,
+    staged: Vec<Payload>,
+    next_out: usize,
+}
+
+enum FanOutState {
+    Reading,
+    Computing,
+    Writing,
+}
+
+impl fmt::Debug for FanOutStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FanOutStage").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl FanOutStage {
+    /// Creates a fan-out stage; `func` must return exactly one payload per
+    /// output port.
+    pub fn new(
+        name: impl Into<String>,
+        input: PortId,
+        outputs: Vec<PortId>,
+        base: TimeNs,
+        jitter: TimeNs,
+        seed: u64,
+        func: impl FnMut(Payload) -> Vec<Payload> + Send + 'static,
+    ) -> Self {
+        assert!(!outputs.is_empty(), "fan-out needs at least one output");
+        FanOutStage {
+            name: name.into(),
+            input,
+            outputs,
+            base,
+            jitter: JitterSampler::new(jitter, seed),
+            func: Box::new(func),
+            out_seq: 0,
+            state: FanOutState::Reading,
+            staged: Vec::new(),
+            next_out: 0,
+        }
+    }
+}
+
+impl Process for FanOutStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn resume(&mut self, wake: Wakeup, now: TimeNs) -> Syscall {
+        loop {
+            match self.state {
+                FanOutState::Reading => {
+                    if let Wakeup::ReadDone(ref token) = wake {
+                        let outs = (self.func)(token.payload.clone());
+                        assert_eq!(
+                            outs.len(),
+                            self.outputs.len(),
+                            "fan-out closure must produce one payload per output"
+                        );
+                        self.staged = outs;
+                        self.next_out = 0;
+                        self.state = FanOutState::Computing;
+                        let d = self.base + self.jitter.sample();
+                        if d > TimeNs::ZERO {
+                            return Syscall::Compute(d);
+                        }
+                        continue;
+                    }
+                    return Syscall::Read(self.input);
+                }
+                FanOutState::Computing => {
+                    self.state = FanOutState::Writing;
+                    continue;
+                }
+                FanOutState::Writing => {
+                    if self.next_out < self.outputs.len() {
+                        let payload = self.staged[self.next_out].clone();
+                        let port = self.outputs[self.next_out];
+                        self.next_out += 1;
+                        return Syscall::Write(port, Token::new(self.out_seq, now, payload));
+                    }
+                    self.out_seq += 1;
+                    self.staged.clear();
+                    self.state = FanOutState::Reading;
+                    return Syscall::Read(self.input);
+                }
+            }
+        }
+    }
+}
+
+/// N-in/1-out: reads one token from each input (in order), computes,
+/// writes the combined token.
+pub struct FanInStage {
+    name: String,
+    inputs: Vec<PortId>,
+    output: PortId,
+    base: TimeNs,
+    jitter: JitterSampler,
+    func: Box<dyn FnMut(Vec<Payload>) -> Payload + Send>,
+    out_seq: u64,
+    state: FanInState,
+    staged: Vec<Payload>,
+}
+
+enum FanInState {
+    Reading,
+    Computing,
+    Writing,
+}
+
+impl fmt::Debug for FanInStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FanInStage").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl FanInStage {
+    /// Creates a fan-in stage combining one token per input with `func`.
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<PortId>,
+        output: PortId,
+        base: TimeNs,
+        jitter: TimeNs,
+        seed: u64,
+        func: impl FnMut(Vec<Payload>) -> Payload + Send + 'static,
+    ) -> Self {
+        assert!(!inputs.is_empty(), "fan-in needs at least one input");
+        FanInStage {
+            name: name.into(),
+            inputs,
+            output,
+            base,
+            jitter: JitterSampler::new(jitter, seed),
+            func: Box::new(func),
+            out_seq: 0,
+            state: FanInState::Reading,
+            staged: Vec::new(),
+        }
+    }
+}
+
+impl Process for FanInStage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn resume(&mut self, wake: Wakeup, now: TimeNs) -> Syscall {
+        loop {
+            match self.state {
+                FanInState::Reading => {
+                    if let Wakeup::ReadDone(token) = &wake {
+                        self.staged.push(token.payload.clone());
+                    }
+                    if self.staged.len() < self.inputs.len() {
+                        return Syscall::Read(self.inputs[self.staged.len()]);
+                    }
+                    self.state = FanInState::Computing;
+                    let d = self.base + self.jitter.sample();
+                    if d > TimeNs::ZERO {
+                        return Syscall::Compute(d);
+                    }
+                    continue;
+                }
+                FanInState::Computing => {
+                    let inputs = std::mem::take(&mut self.staged);
+                    let out = (self.func)(inputs);
+                    let token = Token::new(self.out_seq, now, out);
+                    self.out_seq += 1;
+                    self.state = FanInState::Writing;
+                    return Syscall::Write(self.output, token);
+                }
+                FanInState::Writing => {
+                    self.state = FanInState::Reading;
+                    return Syscall::Read(self.inputs[0]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_kpn::{ChannelId, Collector, Engine, Fifo, Network, PjdSource, RunOutcome};
+    use rtft_rtc::PjdModel;
+
+    #[test]
+    fn fan_out_duplicates_across_outputs() {
+        let mut net = Network::new();
+        let input = net.add_channel(Fifo::new("in", 4));
+        let out_a = net.add_channel(Fifo::new("a", 8));
+        let out_b = net.add_channel(Fifo::new("b", 8));
+        let model = PjdModel::periodic(TimeNs::from_ms(10));
+        net.add_process(PjdSource::new("src", PortId::of(input), model, 0, Some(5), Payload::U64));
+        net.add_process(FanOutStage::new(
+            "split",
+            PortId::of(input),
+            vec![PortId::of(out_a), PortId::of(out_b)],
+            TimeNs::from_us(100),
+            TimeNs::ZERO,
+            0,
+            |p| {
+                let v = p.as_u64().unwrap();
+                vec![Payload::U64(v * 2), Payload::U64(v * 2 + 1)]
+            },
+        ));
+        let col_a = net.add_process(Collector::new("ca", PortId::of(out_a), Some(5)));
+        let col_b = net.add_process(Collector::new("cb", PortId::of(out_b), Some(5)));
+        let mut engine = Engine::new(net);
+        let out = engine.run_until(TimeNs::from_secs(5));
+        assert!(matches!(out, RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }));
+        let a: Vec<u64> = engine
+            .network()
+            .process_as::<Collector>(col_a)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.payload.as_u64().unwrap())
+            .collect();
+        let b: Vec<u64> = engine
+            .network()
+            .process_as::<Collector>(col_b)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.payload.as_u64().unwrap())
+            .collect();
+        assert_eq!(a, vec![0, 2, 4, 6, 8]);
+        assert_eq!(b, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn fan_in_combines_in_input_order() {
+        let mut net = Network::new();
+        let in_a = net.add_channel(Fifo::new("a", 8));
+        let in_b = net.add_channel(Fifo::new("b", 8));
+        let out = net.add_channel(Fifo::new("out", 8));
+        let model = PjdModel::periodic(TimeNs::from_ms(10));
+        net.add_process(PjdSource::new("sa", PortId::of(in_a), model, 0, Some(4), |s| {
+            Payload::U64(s * 10)
+        }));
+        net.add_process(PjdSource::new("sb", PortId::of(in_b), model, 0, Some(4), |s| {
+            Payload::U64(s)
+        }));
+        net.add_process(FanInStage::new(
+            "merge",
+            vec![PortId::of(in_a), PortId::of(in_b)],
+            PortId::of(out),
+            TimeNs::ZERO,
+            TimeNs::ZERO,
+            0,
+            |ps| Payload::U64(ps.iter().map(|p| p.as_u64().unwrap()).sum()),
+        ));
+        let col = net.add_process(Collector::new("c", PortId::of(out), Some(4)));
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(5));
+        let got: Vec<u64> = engine
+            .network()
+            .process_as::<Collector>(col)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.payload.as_u64().unwrap())
+            .collect();
+        assert_eq!(got, vec![0, 11, 22, 33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn empty_fan_out_rejected() {
+        let _ = FanOutStage::new(
+            "x",
+            PortId::of(ChannelId(0)),
+            vec![],
+            TimeNs::ZERO,
+            TimeNs::ZERO,
+            0,
+            |_| vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_fan_in_rejected() {
+        let _ = FanInStage::new(
+            "x",
+            vec![],
+            PortId::of(ChannelId(0)),
+            TimeNs::ZERO,
+            TimeNs::ZERO,
+            0,
+            |_| Payload::Empty,
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! E8: criterion microbenches of the framework's per-operation cost —
+//! the rigorous version of Table 2's "Runtime" overhead row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtft_core::{Replicator, ReplicatorConfig, Selector, SelectorConfig};
+use rtft_kpn::{ChannelBehavior, Payload, Token};
+use rtft_rtc::sizing::{DuplicationModel, SizingReport};
+use rtft_rtc::{PjdModel, TimeNs};
+use std::hint::black_box;
+
+fn tok(seq: u64) -> Token {
+    Token::new(seq, TimeNs::ZERO, Payload::U64(seq))
+}
+
+fn bench_replicator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicator");
+    group.bench_function("write+2reads", |b| {
+        let mut r = Replicator::new("bench", ReplicatorConfig::new([8, 8]));
+        let mut i = 0u64;
+        b.iter(|| {
+            let _ = black_box(r.try_write(0, tok(i), TimeNs::from_ns(i)));
+            let _ = black_box(r.try_read(0, TimeNs::from_ns(i)));
+            let _ = black_box(r.try_read(1, TimeNs::from_ns(i)));
+            i += 1;
+        });
+    });
+    group.bench_function("write_with_divergence_check", |b| {
+        let cfg = ReplicatorConfig::new([8, 8]).with_divergence_threshold(4);
+        let mut r = Replicator::new("bench", cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            let _ = black_box(r.try_write(0, tok(i), TimeNs::from_ns(i)));
+            let _ = black_box(r.try_read(0, TimeNs::from_ns(i)));
+            let _ = black_box(r.try_read(1, TimeNs::from_ns(i)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector");
+    group.bench_function("pair_write+read", |b| {
+        let mut s = Selector::new("bench", SelectorConfig::new([8, 8], 4));
+        let mut i = 0u64;
+        b.iter(|| {
+            let _ = black_box(s.try_write(0, tok(i), TimeNs::from_ns(i)));
+            let _ = black_box(s.try_write(1, tok(i), TimeNs::from_ns(i)));
+            let _ = black_box(s.try_read(0, TimeNs::from_ns(i)));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+fn bench_sizing_analysis(c: &mut Criterion) {
+    // The offline analysis cost (not on the critical path, but the paper's
+    // "derived quickly from calibrations" claim deserves a number).
+    let model = DuplicationModel::symmetric(
+        PjdModel::from_ms(30.0, 2.0, 0.0),
+        PjdModel::from_ms(30.0, 2.0, 90.0),
+        [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+    );
+    c.bench_function("sizing_report_analyze", |b| {
+        b.iter(|| black_box(SizingReport::analyze(black_box(&model)).expect("bounded")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_replicator, bench_selector, bench_sizing_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (experiment parameters). Run with
+//! `cargo bench -p rtft-bench --bench table1`.
+
+fn main() {
+    rtft_bench::tables::print_table1();
+}

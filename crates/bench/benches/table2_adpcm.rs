@@ -1,0 +1,7 @@
+//! Regenerates the ADPCM block of Table 2.
+
+use rtft_apps::networks::App;
+
+fn main() {
+    rtft_bench::tables::print_table2(App::Adpcm, rtft_bench::tables::paper_table2(App::Adpcm));
+}

@@ -1,0 +1,9 @@
+//! Regenerates the H.264 block of Table 2 — the paper ran this experiment
+//! but omitted the numbers for space (§4.2); we publish them as an
+//! extension.
+
+use rtft_apps::networks::App;
+
+fn main() {
+    rtft_bench::tables::print_table2(App::H264, None);
+}

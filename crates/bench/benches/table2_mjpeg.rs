@@ -1,0 +1,7 @@
+//! Regenerates the MJPEG block of Table 2.
+
+use rtft_apps::networks::App;
+
+fn main() {
+    rtft_bench::tables::print_table2(App::Mjpeg, rtft_bench::tables::paper_table2(App::Mjpeg));
+}

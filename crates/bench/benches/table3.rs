@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (comparison with the distance-function approach).
+
+fn main() {
+    rtft_bench::tables::print_table3();
+}

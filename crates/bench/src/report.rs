@@ -1,0 +1,95 @@
+//! Table formatting helpers shared by the regeneration benches.
+
+use rtft_core::equivalence::TimingStats;
+use rtft_rtc::TimeNs;
+use std::fmt::Write as _;
+
+/// Formats a duration as fractional milliseconds with two decimals.
+pub fn ms(t: TimeNs) -> String {
+    format!("{:.2}", t.as_ms_f64())
+}
+
+/// Formats `(min, max, mean)` timing stats as milliseconds.
+pub fn stats_ms(s: &TimingStats) -> String {
+    format!("min {} / max {} / mean {}", ms(s.min), ms(s.max), ms(s.mean))
+}
+
+/// Formats an optional paper value for side-by-side comparison.
+pub fn paper_val(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.1}"),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// A minimal fixed-width ASCII table writer.
+#[derive(Debug, Default)]
+pub struct AsciiTable {
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders with per-column padding.
+    pub fn render(&self) -> String {
+        let cols = self.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "{}{}  ", cell, " ".repeat(pad));
+            }
+            out.pop();
+            out.pop();
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints a banner for a regenerated artefact.
+pub fn banner(title: &str) {
+    println!("\n===== {title} =====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = AsciiTable::new();
+        t.row(["a", "bbbb"]).row(["cccc", "d"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].find("bbbb"), lines[1].find('d'));
+    }
+
+    #[test]
+    fn ms_formats_fractions() {
+        assert_eq!(ms(TimeNs::from_us(6_300)), "6.30");
+        assert_eq!(paper_val(None), "n/a");
+        assert_eq!(paper_val(Some(48.15)), "48.1");
+    }
+}

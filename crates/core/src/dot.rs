@@ -1,0 +1,160 @@
+//! Graphviz DOT emission for network topologies (paper Figures 1 and 2).
+//!
+//! The figures in the paper are structural, not data plots; the experiment
+//! harness regenerates them as DOT text that `dot -Tpng` renders into the
+//! same diagrams.
+
+use std::fmt::Write as _;
+
+/// A lightweight sketch of a process network for rendering.
+#[derive(Debug, Default, Clone)]
+pub struct NetworkSketch {
+    name: String,
+    nodes: Vec<(String, NodeShape)>,
+    edges: Vec<(String, String, Option<String>)>,
+    clusters: Vec<(String, Vec<String>)>,
+}
+
+/// Visual classes of sketch nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeShape {
+    /// A computation process (ellipse).
+    Process,
+    /// A FIFO channel (box).
+    Channel,
+    /// A replicator/selector arbitration channel (diamond).
+    Arbiter,
+}
+
+impl NetworkSketch {
+    /// Creates an empty sketch titled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkSketch { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a node.
+    pub fn node(&mut self, id: impl Into<String>, shape: NodeShape) -> &mut Self {
+        self.nodes.push((id.into(), shape));
+        self
+    }
+
+    /// Adds a directed edge, optionally labelled.
+    pub fn edge(
+        &mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        label: Option<&str>,
+    ) -> &mut Self {
+        self.edges.push((from.into(), to.into(), label.map(str::to_owned)));
+        self
+    }
+
+    /// Groups nodes into a labelled cluster (e.g. one replica).
+    pub fn cluster(&mut self, label: impl Into<String>, members: Vec<String>) -> &mut Self {
+        self.clusters.push((label.into(), members));
+        self
+    }
+
+    /// Renders the sketch as Graphviz DOT text.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+        for (i, (label, members)) in self.clusters.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{i} {{");
+            let _ = writeln!(out, "    label=\"{label}\";");
+            for m in members {
+                let _ = writeln!(out, "    \"{m}\";");
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (id, shape) in &self.nodes {
+            let attrs = match shape {
+                NodeShape::Process => "shape=ellipse",
+                NodeShape::Channel => "shape=box, style=rounded",
+                NodeShape::Arbiter => "shape=diamond, style=filled, fillcolor=lightgrey",
+            };
+            let _ = writeln!(out, "  \"{id}\" [{attrs}];");
+        }
+        for (from, to, label) in &self.edges {
+            match label {
+                Some(l) => {
+                    let _ = writeln!(out, "  \"{from}\" -> \"{to}\" [label=\"{l}\"];");
+                }
+                None => {
+                    let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The reference process network of Figure 1 (top).
+pub fn figure1_reference() -> NetworkSketch {
+    let mut s = NetworkSketch::new("reference");
+    s.node("P", NodeShape::Process)
+        .node("F_P", NodeShape::Channel)
+        .node("critical subnetwork", NodeShape::Process)
+        .node("F_C", NodeShape::Channel)
+        .node("C", NodeShape::Process)
+        .edge("P", "F_P", None)
+        .edge("F_P", "critical subnetwork", Some("I"))
+        .edge("critical subnetwork", "F_C", Some("O"))
+        .edge("F_C", "C", None);
+    s
+}
+
+/// The duplicated process network of Figure 1 (bottom).
+pub fn figure1_duplicated() -> NetworkSketch {
+    let mut s = NetworkSketch::new("duplicated");
+    s.node("P", NodeShape::Process)
+        .node("replicator", NodeShape::Arbiter)
+        .node("replica R1", NodeShape::Process)
+        .node("replica R2", NodeShape::Process)
+        .node("selector", NodeShape::Arbiter)
+        .node("C", NodeShape::Process)
+        .edge("P", "replicator", None)
+        .edge("replicator", "replica R1", Some("I1 (|R1|)"))
+        .edge("replicator", "replica R2", Some("I2 (|R2|)"))
+        .edge("replica R1", "selector", Some("O1 (|S1|)"))
+        .edge("replica R2", "selector", Some("O2 (|S2|)"))
+        .edge("selector", "C", None);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let dot = figure1_duplicated().to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("replicator"));
+        assert!(dot.contains("selector"));
+        assert!(dot.contains("\"P\" -> \"replicator\""));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn reference_sketch_has_fifos() {
+        let dot = figure1_reference().to_dot();
+        assert!(dot.contains("F_P"));
+        assert!(dot.contains("F_C"));
+    }
+
+    #[test]
+    fn clusters_render_as_subgraphs() {
+        let mut s = NetworkSketch::new("g");
+        s.node("a", NodeShape::Process).node("b", NodeShape::Process).edge("a", "b", None);
+        s.cluster("replica", vec!["a".into(), "b".into()]);
+        let dot = s.to_dot();
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"replica\""));
+    }
+}

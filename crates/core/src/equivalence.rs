@@ -1,0 +1,226 @@
+//! Stream-equivalence checking (paper Theorem 2).
+//!
+//! Theorem 2 states that the duplicated network produces the *same value
+//! sequence* as the reference network, and timestamps no worse than a
+//! stream that satisfies the consumer's requirements, even under a single
+//! timing fault. The harness verifies this empirically by comparing the
+//! consumer-side arrival logs of paired runs.
+
+use rtft_rtc::{PjdModel, TimeNs};
+
+/// Result of comparing two consumer arrival logs.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StreamComparison {
+    /// Number of tokens compared (min of the two lengths).
+    pub compared: usize,
+    /// Lengths of the two logs.
+    pub lengths: (usize, usize),
+    /// Index of the first value (digest) mismatch, if any.
+    pub first_value_mismatch: Option<usize>,
+    /// Largest amount by which a duplicated-network arrival *lags* the
+    /// reference arrival of the same index (zero if never later).
+    pub max_lag: TimeNs,
+    /// Largest amount by which a duplicated-network arrival *leads* the
+    /// reference arrival of the same index.
+    pub max_lead: TimeNs,
+}
+
+impl StreamComparison {
+    /// `true` when both logs have equal length and identical value
+    /// sequences (the functional half of Theorem 2).
+    pub fn values_equal(&self) -> bool {
+        self.lengths.0 == self.lengths.1 && self.first_value_mismatch.is_none()
+    }
+}
+
+/// Compares a reference arrival log against a duplicated-network arrival
+/// log; entries are `(completion time, payload digest)` as recorded by
+/// [`rtft_kpn::PjdSink`].
+///
+/// # Examples
+///
+/// ```
+/// use rtft_core::equivalence::compare_streams;
+/// use rtft_rtc::TimeNs;
+///
+/// let reference = vec![(TimeNs::from_ms(30), 0xaa), (TimeNs::from_ms(60), 0xbb)];
+/// let duplicated = vec![(TimeNs::from_ms(30), 0xaa), (TimeNs::from_ms(61), 0xbb)];
+/// let cmp = compare_streams(&reference, &duplicated);
+/// assert!(cmp.values_equal());
+/// assert_eq!(cmp.max_lag, TimeNs::from_ms(1));
+/// ```
+pub fn compare_streams(
+    reference: &[(TimeNs, u64)],
+    duplicated: &[(TimeNs, u64)],
+) -> StreamComparison {
+    let compared = reference.len().min(duplicated.len());
+    let mut first_value_mismatch = None;
+    let mut max_lag = TimeNs::ZERO;
+    let mut max_lead = TimeNs::ZERO;
+    for i in 0..compared {
+        let (rt, rd) = reference[i];
+        let (dt, dd) = duplicated[i];
+        if rd != dd && first_value_mismatch.is_none() {
+            first_value_mismatch = Some(i);
+        }
+        if dt > rt {
+            max_lag = max_lag.max(dt - rt);
+        } else {
+            max_lead = max_lead.max(rt - dt);
+        }
+    }
+    StreamComparison {
+        compared,
+        lengths: (reference.len(), duplicated.len()),
+        first_value_mismatch,
+        max_lag,
+        max_lead,
+    }
+}
+
+/// Summary statistics over inter-arrival times — the paper's "Decoded
+/// Inter-Frame Timings" block of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TimingStats {
+    /// Smallest inter-arrival gap.
+    pub min: TimeNs,
+    /// Largest inter-arrival gap.
+    pub max: TimeNs,
+    /// Mean inter-arrival gap (integer nanoseconds).
+    pub mean: TimeNs,
+    /// Number of gaps summarised.
+    pub samples: usize,
+}
+
+impl TimingStats {
+    /// Computes stats over a set of durations. Returns `None` for an empty
+    /// input.
+    pub fn from_durations(durations: &[TimeNs]) -> Option<Self> {
+        if durations.is_empty() {
+            return None;
+        }
+        let mut min = TimeNs::MAX;
+        let mut max = TimeNs::ZERO;
+        let mut sum: u128 = 0;
+        for d in durations {
+            min = min.min(*d);
+            max = max.max(*d);
+            sum += d.as_ns() as u128;
+        }
+        Some(TimingStats {
+            min,
+            max,
+            mean: TimeNs::from_ns((sum / durations.len() as u128) as u64),
+            samples: durations.len(),
+        })
+    }
+
+    /// Stats over the gaps of an arrival log.
+    pub fn from_arrivals(arrivals: &[(TimeNs, u64)]) -> Option<Self> {
+        let gaps: Vec<TimeNs> = arrivals.windows(2).map(|w| w[1].0 - w[0].0).collect();
+        Self::from_durations(&gaps)
+    }
+}
+
+impl std::fmt::Display for TimingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "min {} / max {} / mean {} (n={})", self.min, self.max, self.mean, self.samples)
+    }
+}
+
+/// Checks an arrival log against a consumer's PJD requirement: every
+/// token's completion must not precede its nominal schedule by more than
+/// the model allows, and the log must keep pace (no token later than
+/// `nominal + jitter + slack`).
+///
+/// Returns the index of the first violating arrival, or `None` if the log
+/// satisfies the requirement.
+pub fn first_timing_violation(
+    arrivals: &[(TimeNs, u64)],
+    consumer: &PjdModel,
+    slack: TimeNs,
+) -> Option<usize> {
+    for (i, (t, _)) in arrivals.iter().enumerate() {
+        let nominal = consumer.delay + consumer.period * (i as u64);
+        let latest = nominal + consumer.jitter + slack;
+        if *t > latest {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_ms(v)
+    }
+
+    #[test]
+    fn identical_streams_compare_equal() {
+        let log = vec![(ms(1), 1u64), (ms(2), 2), (ms(3), 3)];
+        let cmp = compare_streams(&log, &log);
+        assert!(cmp.values_equal());
+        assert_eq!(cmp.max_lag, TimeNs::ZERO);
+        assert_eq!(cmp.max_lead, TimeNs::ZERO);
+        assert_eq!(cmp.compared, 3);
+    }
+
+    #[test]
+    fn value_mismatch_is_located() {
+        let a = vec![(ms(1), 1u64), (ms(2), 2), (ms(3), 3)];
+        let b = vec![(ms(1), 1u64), (ms(2), 9), (ms(3), 3)];
+        let cmp = compare_streams(&a, &b);
+        assert_eq!(cmp.first_value_mismatch, Some(1));
+        assert!(!cmp.values_equal());
+    }
+
+    #[test]
+    fn length_mismatch_fails_equality() {
+        let a = vec![(ms(1), 1u64), (ms(2), 2)];
+        let b = vec![(ms(1), 1u64)];
+        let cmp = compare_streams(&a, &b);
+        assert!(!cmp.values_equal());
+        assert_eq!(cmp.compared, 1);
+        assert_eq!(cmp.lengths, (2, 1));
+    }
+
+    #[test]
+    fn lag_and_lead_are_tracked_separately() {
+        let a = vec![(ms(10), 1u64), (ms(20), 2)];
+        let b = vec![(ms(7), 1u64), (ms(25), 2)];
+        let cmp = compare_streams(&a, &b);
+        assert_eq!(cmp.max_lead, ms(3));
+        assert_eq!(cmp.max_lag, ms(5));
+    }
+
+    #[test]
+    fn timing_stats_basics() {
+        let stats = TimingStats::from_durations(&[ms(29), ms(30), ms(43)]).unwrap();
+        assert_eq!(stats.min, ms(29));
+        assert_eq!(stats.max, ms(43));
+        assert_eq!(stats.mean, ms(34));
+        assert_eq!(stats.samples, 3);
+        assert!(TimingStats::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn timing_stats_from_arrivals() {
+        let arrivals = vec![(ms(0), 0u64), (ms(30), 0), (ms(61), 0)];
+        let stats = TimingStats::from_arrivals(&arrivals).unwrap();
+        assert_eq!(stats.min, ms(30));
+        assert_eq!(stats.max, ms(31));
+    }
+
+    #[test]
+    fn timing_violation_detected() {
+        use rtft_rtc::PjdModel;
+        let consumer = PjdModel::from_ms(30.0, 2.0, 0.0);
+        let good = vec![(ms(0), 0u64), (ms(31), 0), (ms(60), 0)];
+        assert_eq!(first_timing_violation(&good, &consumer, ms(1)), None);
+        let bad = vec![(ms(0), 0u64), (ms(31), 0), (ms(99), 0)];
+        assert_eq!(first_timing_violation(&bad, &consumer, ms(1)), Some(2));
+    }
+}

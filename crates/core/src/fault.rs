@@ -1,0 +1,249 @@
+//! Timing-fault injection.
+//!
+//! The paper's fault model (§2): a replica "either stops producing (or
+//! consuming) tokens, or does so at a rate lower than expected", and the
+//! experiments (§4.2) use the fail-stop variant ("the faulty replica stops
+//! producing (or consuming) tokens altogether"). Injection is realised as a
+//! transparent [`Process`] wrapper, so any process — a single transform or
+//! a whole pipeline stage of an application replica — can be made faulty
+//! without touching its implementation.
+
+use rtft_kpn::{Process, Syscall, Wakeup};
+use rtft_rtc::TimeNs;
+use std::fmt;
+
+/// When the fault manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// At a virtual time instant.
+    AtTime(TimeNs),
+    /// After the wrapped process has completed this many read operations
+    /// (the paper injects "after 18,000 frames" / "after 20,000 samples").
+    AfterReads(u64),
+    /// Never — a healthy replica.
+    Never,
+}
+
+/// What the fault does once triggered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop: the process ceases all activity (stops consuming and
+    /// producing).
+    FailStop,
+    /// Degradation: every compute duration is stretched by this factor
+    /// (must be > 1), so the replica keeps limping at a lower rate.
+    SlowBy(f64),
+}
+
+/// A fault plan: trigger plus manifestation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// When the fault manifests.
+    pub trigger: FaultTrigger,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// A plan that never fires.
+    pub fn healthy() -> Self {
+        FaultPlan { trigger: FaultTrigger::Never, kind: FaultKind::FailStop }
+    }
+
+    /// Fail-stop at time `at`.
+    pub fn fail_stop_at(at: TimeNs) -> Self {
+        FaultPlan { trigger: FaultTrigger::AtTime(at), kind: FaultKind::FailStop }
+    }
+
+    /// Fail-stop after `n` completed reads.
+    pub fn fail_stop_after_reads(n: u64) -> Self {
+        FaultPlan { trigger: FaultTrigger::AfterReads(n), kind: FaultKind::FailStop }
+    }
+
+    /// Rate degradation by `factor` (> 1) starting at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0`.
+    pub fn slow_by_at(factor: f64, at: TimeNs) -> Self {
+        assert!(factor > 1.0, "slow-down factor must exceed 1");
+        FaultPlan { trigger: FaultTrigger::AtTime(at), kind: FaultKind::SlowBy(factor) }
+    }
+}
+
+/// A process wrapper that injects a timing fault per a [`FaultPlan`].
+///
+/// Value-domain behaviour is untouched — this models a pure *timing* fault
+/// as the paper requires (a fail-silent system never emits wrong values).
+///
+/// # Examples
+///
+/// ```
+/// use rtft_core::{FaultPlan, FaultyProcess};
+/// use rtft_kpn::{ChannelId, Collector, PortId, Process, Syscall, Wakeup};
+/// use rtft_rtc::TimeNs;
+///
+/// let inner = Collector::new("victim", PortId::of(ChannelId(0)), None);
+/// let mut faulty = FaultyProcess::new(inner, FaultPlan::fail_stop_at(TimeNs::from_ms(5)));
+/// // Before the trigger the process behaves normally…
+/// assert!(matches!(faulty.resume(Wakeup::Start, TimeNs::ZERO), Syscall::Read(_)));
+/// // …after it, it halts.
+/// let tok = rtft_kpn::Token::new(0, TimeNs::ZERO, rtft_kpn::Payload::Empty);
+/// assert_eq!(faulty.resume(Wakeup::ReadDone(tok), TimeNs::from_ms(6)), Syscall::Halt);
+/// ```
+pub struct FaultyProcess<P> {
+    inner: P,
+    plan: FaultPlan,
+    reads_done: u64,
+    triggered_at: Option<TimeNs>,
+}
+
+impl<P: fmt::Debug> fmt::Debug for FaultyProcess<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyProcess")
+            .field("inner", &self.inner)
+            .field("plan", &self.plan)
+            .field("triggered_at", &self.triggered_at)
+            .finish()
+    }
+}
+
+impl<P: Process> FaultyProcess<P> {
+    /// Wraps `inner` with `plan`.
+    pub fn new(inner: P, plan: FaultPlan) -> Self {
+        FaultyProcess { inner, plan, reads_done: 0, triggered_at: None }
+    }
+
+    /// The time the fault manifested, if it has.
+    pub fn triggered_at(&self) -> Option<TimeNs> {
+        self.triggered_at
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn due(&self, now: TimeNs) -> bool {
+        match self.plan.trigger {
+            FaultTrigger::AtTime(t) => now >= t,
+            FaultTrigger::AfterReads(n) => self.reads_done >= n,
+            FaultTrigger::Never => false,
+        }
+    }
+}
+
+impl<P: Process> Process for FaultyProcess<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn resume(&mut self, wake: Wakeup, now: TimeNs) -> Syscall {
+        if matches!(wake, Wakeup::ReadDone(_)) {
+            self.reads_done += 1;
+        }
+        let active = self.triggered_at.is_some() || {
+            if self.due(now) {
+                self.triggered_at = Some(now);
+                true
+            } else {
+                false
+            }
+        };
+        if active {
+            match self.plan.kind {
+                FaultKind::FailStop => return Syscall::Halt,
+                FaultKind::SlowBy(factor) => {
+                    let syscall = self.inner.resume(wake, now);
+                    return match syscall {
+                        Syscall::Compute(d) => Syscall::Compute(TimeNs::from_ns(
+                            (d.as_ns() as f64 * factor).round() as u64,
+                        )),
+                        other => other,
+                    };
+                }
+            }
+        }
+        self.inner.resume(wake, now)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        self.inner.as_any()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_kpn::{ChannelId, Payload, PortId, Token, Transform};
+
+    fn transform() -> Transform {
+        Transform::new(
+            "t",
+            PortId::of(ChannelId(0)),
+            PortId::of(ChannelId(1)),
+            TimeNs::from_ms(1),
+            TimeNs::ZERO,
+            0,
+            |p| p,
+        )
+    }
+
+    #[test]
+    fn healthy_plan_never_triggers() {
+        let mut f = FaultyProcess::new(transform(), FaultPlan::healthy());
+        for i in 0..100u64 {
+            let s = f.resume(Wakeup::Start, TimeNs::from_secs(i));
+            assert_ne!(s, Syscall::Halt);
+        }
+        assert_eq!(f.triggered_at(), None);
+    }
+
+    #[test]
+    fn fail_stop_at_time() {
+        let mut f = FaultyProcess::new(transform(), FaultPlan::fail_stop_at(TimeNs::from_ms(10)));
+        assert!(matches!(f.resume(Wakeup::Start, TimeNs::from_ms(9)), Syscall::Read(_)));
+        assert_eq!(
+            f.resume(
+                Wakeup::ReadDone(Token::new(0, TimeNs::ZERO, Payload::Empty)),
+                TimeNs::from_ms(10)
+            ),
+            Syscall::Halt
+        );
+        assert_eq!(f.triggered_at(), Some(TimeNs::from_ms(10)));
+    }
+
+    #[test]
+    fn fail_stop_after_reads_counts_reads() {
+        let mut f = FaultyProcess::new(transform(), FaultPlan::fail_stop_after_reads(2));
+        let tok = || Token::new(0, TimeNs::ZERO, Payload::Empty);
+        assert!(matches!(f.resume(Wakeup::Start, TimeNs::ZERO), Syscall::Read(_)));
+        // First read completes → compute.
+        assert!(matches!(f.resume(Wakeup::ReadDone(tok()), TimeNs::ZERO), Syscall::Compute(_)));
+        assert!(matches!(f.resume(Wakeup::ComputeDone, TimeNs::ZERO), Syscall::Write(..)));
+        assert!(matches!(f.resume(Wakeup::WriteDone, TimeNs::ZERO), Syscall::Read(_)));
+        // Second read completes → trigger.
+        assert_eq!(f.resume(Wakeup::ReadDone(tok()), TimeNs::from_ms(3)), Syscall::Halt);
+        assert_eq!(f.triggered_at(), Some(TimeNs::from_ms(3)));
+    }
+
+    #[test]
+    fn slow_by_stretches_compute_only() {
+        let mut f =
+            FaultyProcess::new(transform(), FaultPlan::slow_by_at(3.0, TimeNs::from_ms(0)));
+        let tok = || Token::new(0, TimeNs::ZERO, Payload::Empty);
+        assert!(matches!(f.resume(Wakeup::Start, TimeNs::ZERO), Syscall::Read(_)));
+        match f.resume(Wakeup::ReadDone(tok()), TimeNs::ZERO) {
+            Syscall::Compute(d) => assert_eq!(d, TimeNs::from_ms(3)),
+            other => panic!("expected stretched compute, got {other:?}"),
+        }
+        // Writes still happen (the replica limps, it doesn't die).
+        assert!(matches!(f.resume(Wakeup::ComputeDone, TimeNs::from_ms(3)), Syscall::Write(..)));
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must exceed 1")]
+    fn slow_by_rejects_speedups() {
+        let _ = FaultPlan::slow_by_at(0.5, TimeNs::ZERO);
+    }
+}

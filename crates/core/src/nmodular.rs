@@ -1,0 +1,695 @@
+//! N-replica generalisation: tolerating up to `n − 1` timing faults.
+//!
+//! The paper restricts its presentation to two replicas but states that
+//! "a more general setup for tolerating up to n timing faults can be
+//! easily constructed using the principles outlined in this paper" (§1).
+//! This module is that construction:
+//!
+//! * [`NReplicator`] — one write interface, `n` read interfaces, one
+//!   bounded queue per replica, the §3.3 overflow latch per queue and a
+//!   divergence detector over consumption counts;
+//! * [`NSelector`] — `n` write interfaces, one physical queue. Interface
+//!   `i` supplies the *first token of duplicate group `k`* iff no peer has
+//!   delivered `k` yet, decided on received-token counters (the
+//!   capacity-normalised form of the paper's space comparison, see
+//!   `DESIGN.md` §5); late group members are discarded. A replica whose
+//!   count falls `D` behind the front-runner — or whose `space` exceeds
+//!   its capacity plus slack — is latched faulty, and latched interfaces'
+//!   writes are swallowed so limping replicas cannot block.
+//!
+//! All detection remains counter-based: no clocks at runtime. Up to
+//! `n − 1` replicas may be latched; the front-runner is never latched, so
+//! one healthy replica always survives and the consumer stream is
+//! uninterrupted (the tests inject two staggered fail-stops into a
+//! triplicated network).
+
+use crate::fault::FaultPlan;
+use crate::replicator::{FaultRecord, ReplicatorFaultCause};
+use crate::selector::{SelectorFaultCause, SelectorFaultRecord};
+use rtft_kpn::{
+    ChannelBehavior, ChannelId, Network, NodeId, PjdSink, PjdSource, PortId, ReadOutcome, Token,
+    WriteOutcome,
+};
+use rtft_rtc::sizing;
+use rtft_rtc::{detection, CurveAnalysisError, PjdModel, TimeNs};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Interface timing models of an `n`-replica duplication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NModularModel {
+    /// Producer output model.
+    pub producer: PjdModel,
+    /// Consumer input model.
+    pub consumer: PjdModel,
+    /// One interface model per replica (used for both consumption and
+    /// production, as in the paper's experiments).
+    pub replicas: Vec<PjdModel>,
+}
+
+/// The §3.4 analysis generalised to `n` replicas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NSizingReport {
+    /// Per-replica replicator queue capacity (eq. (3)).
+    pub replicator_capacity: Vec<u64>,
+    /// Per-replica selector virtual-queue capacity.
+    pub selector_capacity: Vec<u64>,
+    /// Divergence threshold `D`: eq. (5) maximised over all ordered pairs.
+    pub threshold: u64,
+    /// Worst-case fail-stop detection bound (pairwise worst case).
+    pub detection_bound: TimeNs,
+}
+
+impl NSizingReport {
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveAnalysisError`] if any rate pairing diverges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two replicas are given.
+    pub fn analyze(model: &NModularModel) -> Result<Self, CurveAnalysisError> {
+        assert!(model.replicas.len() >= 2, "n-modular redundancy needs at least two replicas");
+        let mut replicator_capacity = Vec::new();
+        let mut selector_capacity = Vec::new();
+        for r in &model.replicas {
+            replicator_capacity.push(sizing::fifo_capacity(&model.producer, r)?);
+            selector_capacity.push(sizing::selector_capacity(&model.consumer, r)?);
+        }
+        let mut threshold = 0;
+        for (i, a) in model.replicas.iter().enumerate() {
+            for (j, b) in model.replicas.iter().enumerate() {
+                if i != j {
+                    threshold = threshold.max(sizing::divergence_threshold(a, b)?);
+                }
+            }
+        }
+        let mut detection_bound = TimeNs::ZERO;
+        for r in &model.replicas {
+            detection_bound =
+                detection_bound.max(detection::fail_stop_detection_bound(&[*r, *r], threshold));
+        }
+        Ok(NSizingReport { replicator_capacity, selector_capacity, threshold, detection_bound })
+    }
+
+    /// Number of replicas covered.
+    pub fn replica_count(&self) -> usize {
+        self.replicator_capacity.len()
+    }
+}
+
+/// N-way replicator channel.
+#[derive(Debug)]
+pub struct NReplicator {
+    name: String,
+    queues: Vec<VecDeque<Token>>,
+    capacity: Vec<usize>,
+    max_fill: Vec<usize>,
+    consumed: Vec<u64>,
+    writes: u64,
+    fault: Vec<Option<FaultRecord>>,
+    divergence_threshold: Option<u64>,
+}
+
+impl NReplicator {
+    /// Creates an n-way replicator with the given per-replica capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two queues or any zero capacity.
+    pub fn new(
+        name: impl Into<String>,
+        capacity: Vec<usize>,
+        divergence_threshold: Option<u64>,
+    ) -> Self {
+        assert!(capacity.len() >= 2, "need at least two replicas");
+        assert!(capacity.iter().all(|c| *c > 0), "capacities must be positive");
+        let n = capacity.len();
+        NReplicator {
+            name: name.into(),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            capacity,
+            max_fill: vec![0; n],
+            consumed: vec![0; n],
+            writes: 0,
+            fault: vec![None; n],
+            divergence_threshold,
+        }
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fault record of replica `i`, if latched.
+    pub fn fault(&self, i: usize) -> Option<FaultRecord> {
+        self.fault[i]
+    }
+
+    /// Number of replicas still healthy.
+    pub fn healthy_count(&self) -> usize {
+        self.fault.iter().filter(|f| f.is_none()).count()
+    }
+
+    fn check_divergence(&mut self, now: TimeNs) {
+        let Some(d) = self.divergence_threshold else { return };
+        let max = self
+            .consumed
+            .iter()
+            .zip(&self.fault)
+            .filter(|(_, f)| f.is_none())
+            .map(|(c, _)| *c)
+            .max()
+            .unwrap_or(0);
+        for i in 0..self.queues.len() {
+            if self.fault[i].is_none()
+                && self.healthy_count() > 1
+                && max - self.consumed[i] >= d
+            {
+                self.fault[i] =
+                    Some(FaultRecord { at: now, cause: ReplicatorFaultCause::Divergence });
+            }
+        }
+    }
+}
+
+impl ChannelBehavior for NReplicator {
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        assert_eq!(iface, 0, "n-replicator has a single write interface");
+        // Overflow latch per full healthy queue (keep the front-runner:
+        // never latch the last healthy replica via overflow either — a
+        // totally blocked system is reported by the queue staying full).
+        for i in 0..self.queues.len() {
+            if self.fault[i].is_none()
+                && self.queues[i].len() >= self.capacity[i]
+                && self.healthy_count() > 1
+            {
+                self.fault[i] = Some(FaultRecord { at: now, cause: ReplicatorFaultCause::Overflow });
+            }
+        }
+        let mut delivered = false;
+        for i in 0..self.queues.len() {
+            if self.fault[i].is_none() && self.queues[i].len() < self.capacity[i] {
+                self.queues[i].push_back(token.clone());
+                self.max_fill[i] = self.max_fill[i].max(self.queues[i].len());
+                delivered = true;
+            }
+        }
+        self.writes += 1;
+        if delivered {
+            WriteOutcome::Accepted
+        } else {
+            WriteOutcome::Blocked
+        }
+    }
+
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        match self.queues[iface].pop_front() {
+            Some(t) => {
+                self.consumed[iface] += 1;
+                self.check_divergence(now);
+                ReadOutcome::Token(t)
+            }
+            None => ReadOutcome::Blocked,
+        }
+    }
+
+    fn write_ifaces(&self) -> usize {
+        1
+    }
+
+    fn read_ifaces(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn fill(&self, iface: usize) -> usize {
+        self.queues[iface].len()
+    }
+
+    fn capacity(&self, iface: usize) -> usize {
+        self.capacity[iface]
+    }
+
+    fn max_fill(&self, iface: usize) -> usize {
+        self.max_fill[iface]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// N-way selector channel.
+#[derive(Debug)]
+pub struct NSelector {
+    name: String,
+    queue: VecDeque<Token>,
+    capacity: Vec<usize>,
+    received: Vec<u64>,
+    reads: u64,
+    enqueued: u64,
+    discarded: u64,
+    max_fill: usize,
+    fault: Vec<Option<SelectorFaultRecord>>,
+    threshold: u64,
+    stall_slack: u64,
+}
+
+impl NSelector {
+    /// Creates an n-way selector with per-replica virtual capacities and
+    /// divergence threshold `d` (stall slack `d − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than two interfaces, a zero capacity, or `d == 0`.
+    pub fn new(name: impl Into<String>, capacity: Vec<usize>, d: u64) -> Self {
+        assert!(capacity.len() >= 2, "need at least two replicas");
+        assert!(capacity.iter().all(|c| *c > 0), "capacities must be positive");
+        assert!(d > 0, "threshold must be positive");
+        let n = capacity.len();
+        NSelector {
+            name: name.into(),
+            queue: VecDeque::new(),
+            capacity,
+            received: vec![0; n],
+            reads: 0,
+            enqueued: 0,
+            discarded: 0,
+            max_fill: 0,
+            fault: vec![None; n],
+            threshold: d,
+            stall_slack: d - 1,
+        }
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fault record of replica `i`, if latched.
+    pub fn fault(&self, i: usize) -> Option<SelectorFaultRecord> {
+        self.fault[i]
+    }
+
+    /// Number of replicas still healthy.
+    pub fn healthy_count(&self) -> usize {
+        self.fault.iter().filter(|f| f.is_none()).count()
+    }
+
+    /// Tokens delivered to the consumer so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Late group members discarded so far.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// The `space_i` counter (capacity − received + reads).
+    fn space(&self, i: usize) -> i64 {
+        self.capacity[i] as i64 - self.received[i] as i64 + self.reads as i64
+    }
+
+    fn healthy_max_received(&self) -> u64 {
+        self.received
+            .iter()
+            .zip(&self.fault)
+            .filter(|(_, f)| f.is_none())
+            .map(|(r, _)| *r)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn check_divergence(&mut self, now: TimeNs) {
+        let max = self.healthy_max_received();
+        for i in 0..self.received.len() {
+            if self.fault[i].is_none()
+                && self.healthy_count() > 1
+                && max - self.received[i] >= self.threshold
+            {
+                self.fault[i] =
+                    Some(SelectorFaultRecord { at: now, cause: SelectorFaultCause::Divergence });
+            }
+        }
+    }
+
+    fn check_stall(&mut self, now: TimeNs) {
+        for i in 0..self.received.len() {
+            if self.fault[i].is_none()
+                && self.healthy_count() > 1
+                && self.space(i) > (self.capacity[i] as u64 + self.stall_slack) as i64
+            {
+                self.fault[i] =
+                    Some(SelectorFaultRecord { at: now, cause: SelectorFaultCause::Stall });
+            }
+        }
+    }
+}
+
+impl ChannelBehavior for NSelector {
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        if self.fault[iface].is_some() {
+            self.discarded += 1;
+            return WriteOutcome::AcceptedDropped;
+        }
+        if self.space(iface) <= 0 {
+            return WriteOutcome::Blocked;
+        }
+        // First of its duplicate group iff no healthy peer has delivered
+        // this group index yet.
+        let first = self.received[iface] >= self.healthy_max_received();
+        self.received[iface] += 1;
+        let outcome = if first {
+            self.queue.push_back(token);
+            self.max_fill = self.max_fill.max(self.queue.len());
+            self.enqueued += 1;
+            WriteOutcome::Accepted
+        } else {
+            self.discarded += 1;
+            WriteOutcome::AcceptedDropped
+        };
+        self.check_divergence(now);
+        outcome
+    }
+
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        assert_eq!(iface, 0, "n-selector has a single read interface");
+        match self.queue.pop_front() {
+            Some(t) => {
+                self.reads += 1;
+                self.check_stall(now);
+                ReadOutcome::Token(t)
+            }
+            None => ReadOutcome::Blocked,
+        }
+    }
+
+    fn write_ifaces(&self) -> usize {
+        self.received.len()
+    }
+
+    fn read_ifaces(&self) -> usize {
+        1
+    }
+
+    fn fill(&self, _iface: usize) -> usize {
+        self.queue.len()
+    }
+
+    fn capacity(&self, iface: usize) -> usize {
+        self.capacity[iface.min(self.capacity.len() - 1)]
+    }
+
+    fn max_fill(&self, _iface: usize) -> usize {
+        self.max_fill
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Ids of a built n-modular network.
+#[derive(Debug, Clone)]
+pub struct NModularIds {
+    /// The n-way replicator.
+    pub replicator: ChannelId,
+    /// The n-way selector.
+    pub selector: ChannelId,
+    /// The producer process.
+    pub producer: NodeId,
+    /// The consumer process.
+    pub consumer: NodeId,
+    /// Per-replica process ids.
+    pub replicas: Vec<Vec<NodeId>>,
+}
+
+impl NModularIds {
+    /// Consumer arrivals after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not contain the expected sink.
+    pub fn consumer_arrivals<'a>(&self, net: &'a Network) -> &'a [(TimeNs, u64)] {
+        net.process_as::<PjdSink>(self.consumer).expect("consumer sink").arrivals()
+    }
+}
+
+/// Builds an n-modular network: producer → n-replicator → `n` replicas →
+/// n-selector → consumer, with a fault plan per replica.
+///
+/// # Panics
+///
+/// Panics if `faults.len() != model.replicas.len()` or fewer than two
+/// replicas are configured.
+pub fn build_n_modular(
+    model: &NModularModel,
+    sizing: &NSizingReport,
+    token_count: u64,
+    seeds: (u64, u64),
+    payload: crate::PayloadGenerator,
+    factory: &dyn crate::ReplicaFactory,
+    faults: &[FaultPlan],
+) -> (Network, NModularIds) {
+    let n = model.replicas.len();
+    assert!(n >= 2, "n-modular redundancy needs at least two replicas");
+    assert_eq!(faults.len(), n, "one fault plan per replica");
+
+    let mut net = Network::new();
+    let replicator = net.add_channel(NReplicator::new(
+        "n-replicator",
+        sizing.replicator_capacity.iter().map(|c| *c as usize).collect(),
+        Some(sizing.threshold),
+    ));
+    let selector = net.add_channel(NSelector::new(
+        "n-selector",
+        sizing.selector_capacity.iter().map(|c| *c as usize).collect(),
+        sizing.threshold,
+    ));
+
+    let gen = payload;
+    let producer = net.add_process(PjdSource::new(
+        "producer",
+        PortId::of(replicator),
+        model.producer,
+        seeds.0,
+        Some(token_count),
+        move |seq| gen(seq),
+    ));
+
+    let replicas: Vec<Vec<NodeId>> = (0..n)
+        .map(|i| {
+            factory.build(
+                &mut net,
+                PortId::iface(replicator, i),
+                PortId::iface(selector, i),
+                i,
+                faults[i],
+            )
+        })
+        .collect();
+
+    let consumer = net.add_process(PjdSink::new(
+        "consumer",
+        PortId::of(selector),
+        model.consumer,
+        seeds.1,
+        Some(token_count),
+    ));
+
+    (net, NModularIds { replicator, selector, producer, consumer, replicas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ReplicaFactory;
+    use crate::fault::FaultPlan;
+    use rtft_kpn::{Engine, Fifo, Payload, PjdShaper, Transform};
+    use std::sync::Arc;
+
+    /// A shaper-based replica factory for arbitrary replica counts.
+    struct TriReplica {
+        models: Vec<PjdModel>,
+    }
+
+    impl ReplicaFactory for TriReplica {
+        fn build(
+            &self,
+            net: &mut Network,
+            input: PortId,
+            output: PortId,
+            replica: usize,
+            fault: FaultPlan,
+        ) -> Vec<NodeId> {
+            let internal = net.add_channel(Fifo::new(format!("r{replica}.mid"), 4));
+            let stage = Transform::new(
+                format!("r{replica}.stage"),
+                input,
+                PortId::of(internal),
+                TimeNs::from_ms(2),
+                TimeNs::ZERO,
+                replica as u64,
+                |p| p,
+            );
+            let stage_id = net.add_process(crate::FaultyProcess::new(stage, fault));
+            let model = self.models[replica]
+                .with_delay(TimeNs::from_ms(5));
+            let shaper = net.add_process(PjdShaper::new(
+                format!("r{replica}.shaper"),
+                PortId::of(internal),
+                output,
+                model,
+                0x5eed + replica as u64,
+            ));
+            vec![stage_id, shaper]
+        }
+    }
+
+    fn tri_model() -> NModularModel {
+        NModularModel {
+            producer: PjdModel::from_ms(30.0, 2.0, 0.0),
+            consumer: PjdModel::from_ms(30.0, 2.0, 120.0),
+            replicas: vec![
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 15.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
+        }
+    }
+
+    fn run_tri(faults: Vec<FaultPlan>) -> (usize, Vec<bool>) {
+        let model = tri_model();
+        let sizing = NSizingReport::analyze(&model).expect("bounded");
+        let factory = TriReplica { models: model.replicas.clone() };
+        let tokens = 150u64;
+        let (net, ids) = build_n_modular(
+            &model,
+            &sizing,
+            tokens,
+            (1, 2),
+            Arc::new(|seq| Payload::U64(seq.wrapping_mul(0x9e37_79b9))),
+            &factory,
+            &faults,
+        );
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(30));
+        let net = engine.network();
+        let arrivals = ids.consumer_arrivals(net).len();
+        let rep = net.channel_as::<NReplicator>(ids.replicator).expect("replicator");
+        let sel = net.channel_as::<NSelector>(ids.selector).expect("selector");
+        let flagged = (0..3).map(|i| rep.fault(i).is_some() || sel.fault(i).is_some()).collect();
+        (arrivals, flagged)
+    }
+
+    #[test]
+    fn sizing_generalizes_pairwise() {
+        use rtft_rtc::sizing::SizingReport;
+        let model = tri_model();
+        let s = NSizingReport::analyze(&model).expect("bounded");
+        assert_eq!(s.replica_count(), 3);
+        // The 2-replica analysis on the extreme pair lower-bounds the
+        // 3-replica threshold.
+        let pair = SizingReport::analyze(&rtft_rtc::sizing::DuplicationModel::symmetric(
+            model.producer,
+            model.consumer,
+            [model.replicas[0], model.replicas[2]],
+        ))
+        .expect("bounded");
+        assert!(s.threshold >= pair.selector_threshold);
+        assert!(s.detection_bound >= pair.selector_detection_bound);
+    }
+
+    #[test]
+    fn fault_free_triplication_delivers_everything_once() {
+        let (arrivals, flagged) = run_tri(vec![FaultPlan::healthy(); 3]);
+        assert_eq!(arrivals, 150);
+        assert_eq!(flagged, vec![false, false, false], "no false positives");
+    }
+
+    #[test]
+    fn single_fault_in_triplicated_network() {
+        let (arrivals, flagged) =
+            run_tri(vec![
+                FaultPlan::fail_stop_at(TimeNs::from_secs(2)),
+                FaultPlan::healthy(),
+                FaultPlan::healthy(),
+            ]);
+        assert_eq!(arrivals, 150);
+        assert_eq!(flagged, vec![true, false, false]);
+    }
+
+    #[test]
+    fn two_staggered_faults_are_tolerated() {
+        // The headline of the generalisation: n = 3 tolerates two faults.
+        let (arrivals, flagged) = run_tri(vec![
+            FaultPlan::fail_stop_at(TimeNs::from_ms(1_500)),
+            FaultPlan::fail_stop_at(TimeNs::from_ms(3_000)),
+            FaultPlan::healthy(),
+        ]);
+        assert_eq!(arrivals, 150, "two faults masked by the surviving replica");
+        assert_eq!(flagged, vec![true, true, false]);
+    }
+
+    #[test]
+    fn last_healthy_replica_is_never_latched() {
+        // Even when every replica dies, the detectors keep at least one
+        // unlatched (the front-runner) — the single-fault assumption's
+        // graceful edge.
+        let (_arrivals, flagged) = run_tri(vec![
+            FaultPlan::fail_stop_at(TimeNs::from_ms(1_000)),
+            FaultPlan::fail_stop_at(TimeNs::from_ms(1_600)),
+            FaultPlan::fail_stop_at(TimeNs::from_ms(2_200)),
+        ]);
+        assert!(!flagged[2], "front-runner must survive latching");
+    }
+
+    #[test]
+    fn n_selector_delivers_groups_once_any_order() {
+        let mut s = NSelector::new("s", vec![4, 4, 4], 3);
+        let tok = |seq| Token::new(seq, TimeNs::ZERO, Payload::U64(seq));
+        // Group 0 arrives in order 1, 0, 2; group 1 in order 2, 0, 1.
+        assert_eq!(s.try_write(1, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        assert_eq!(s.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(s.try_write(2, tok(0), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(s.try_write(2, tok(1), TimeNs::ZERO), WriteOutcome::Accepted);
+        assert_eq!(s.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(s.try_write(1, tok(1), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        let mut out = Vec::new();
+        while let ReadOutcome::Token(t) = s.try_read(0, TimeNs::ZERO) {
+            out.push(t.seq);
+        }
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(s.enqueued(), 2);
+        assert_eq!(s.discarded(), 4);
+    }
+
+    #[test]
+    fn n_replicator_duplicates_to_all() {
+        let mut r = NReplicator::new("r", vec![2, 2, 2], None);
+        let tok = |seq| Token::new(seq, TimeNs::ZERO, Payload::U64(seq));
+        assert_eq!(r.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        for i in 0..3 {
+            assert!(matches!(r.try_read(i, TimeNs::ZERO), ReadOutcome::Token(t) if t.seq == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two replicas")]
+    fn single_replica_rejected() {
+        let _ = NReplicator::new("r", vec![2], None);
+    }
+}

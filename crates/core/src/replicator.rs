@@ -1,0 +1,428 @@
+//! The replicator channel (paper §3.1 and §3.3).
+//!
+//! A replicator duplicates a producer's output stream to two replica input
+//! ports. It has **one write interface** (the producer) and **two read
+//! interfaces** (the replicas), backed by two bounded FIFO queues sized by
+//! eq. (3) so that — fault-free — the producer never blocks.
+//!
+//! Fault detection (§3.3) exploits exactly that sizing guarantee: if a
+//! write attempt finds `space_i == 0`, replica `i` must have stopped (or
+//! slowed) consuming, so `fault_i` latches `TRUE`, the queue stops
+//! receiving tokens, and — crucially — the producer keeps running and the
+//! healthy replica keeps being fed, avoiding the §1.1 deadlock scenario.
+//! An optional divergence detector on the replicas' *consumption counts*
+//! (threshold from eq. (5) applied to the consumption curves) catches
+//! slow-consumer faults earlier than the overflow latch.
+//!
+//! No operation consults a clock: the `now` parameter is recorded in the
+//! detection log for the experiment harness, never branched on.
+
+use rtft_kpn::{ChannelBehavior, ReadOutcome, Token, WriteOutcome};
+use rtft_rtc::TimeNs;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Which detection rule latched a replica faulty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ReplicatorFaultCause {
+    /// A producer write found the replica's queue full (§3.3 overflow rule).
+    Overflow,
+    /// The difference in consumed-token counts crossed the divergence
+    /// threshold.
+    Divergence,
+}
+
+/// A latched fault-detection record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultRecord {
+    /// Time of the operation during which the fault was detected.
+    pub at: TimeNs,
+    /// Which rule fired.
+    pub cause: ReplicatorFaultCause,
+}
+
+/// Configuration of a [`Replicator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicatorConfig {
+    /// FIFO capacities `|R₁|, |R₂|` from eq. (3).
+    pub capacity: [usize; 2],
+    /// Enables the overflow fault latch (§3.3). With detection disabled the
+    /// replicator behaves per the bare §3.1 rules — writes block on a full
+    /// queue — which reproduces the motivational-example deadlock.
+    pub detect_overflow: bool,
+    /// Optional divergence threshold `D` on consumption counts; `None`
+    /// disables the divergence detector.
+    pub divergence_threshold: Option<u64>,
+}
+
+impl ReplicatorConfig {
+    /// Detection-enabled configuration with the given capacities and no
+    /// divergence detector.
+    pub fn new(capacity: [usize; 2]) -> Self {
+        ReplicatorConfig { capacity, detect_overflow: true, divergence_threshold: None }
+    }
+
+    /// Adds the divergence detector with threshold `d`.
+    pub fn with_divergence_threshold(mut self, d: u64) -> Self {
+        self.divergence_threshold = Some(d);
+        self
+    }
+
+    /// Disables all fault detection (ablation: bare §3.1 semantics).
+    pub fn without_detection(mut self) -> Self {
+        self.detect_overflow = false;
+        self.divergence_threshold = None;
+        self
+    }
+}
+
+/// The replicator channel state machine.
+///
+/// Implements [`ChannelBehavior`], so it runs unchanged under the
+/// discrete-event engine and the threaded runtime.
+///
+/// # Examples
+///
+/// ```
+/// use rtft_core::{Replicator, ReplicatorConfig};
+/// use rtft_kpn::{ChannelBehavior, Payload, ReadOutcome, Token, WriteOutcome};
+/// use rtft_rtc::TimeNs;
+///
+/// let mut r = Replicator::new("rep", ReplicatorConfig::new([2, 2]));
+/// let t = Token::new(0, TimeNs::ZERO, Payload::U64(7));
+/// assert_eq!(r.try_write(0, t, TimeNs::ZERO), WriteOutcome::Accepted);
+/// // Both replicas see the token.
+/// assert!(matches!(r.try_read(0, TimeNs::ZERO), ReadOutcome::Token(_)));
+/// assert!(matches!(r.try_read(1, TimeNs::ZERO), ReadOutcome::Token(_)));
+/// ```
+#[derive(Debug)]
+pub struct Replicator {
+    name: String,
+    config: ReplicatorConfig,
+    queues: [VecDeque<Token>; 2],
+    max_fill: [usize; 2],
+    /// Tokens consumed per read interface (for the divergence detector).
+    consumed: [u64; 2],
+    /// Successful producer writes.
+    writes: u64,
+    fault: [Option<FaultRecord>; 2],
+}
+
+impl Replicator {
+    /// Creates a replicator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(name: impl Into<String>, config: ReplicatorConfig) -> Self {
+        assert!(
+            config.capacity[0] > 0 && config.capacity[1] > 0,
+            "replicator queue capacities must be positive"
+        );
+        Replicator {
+            name: name.into(),
+            config,
+            queues: [
+                VecDeque::with_capacity(config.capacity[0]),
+                VecDeque::with_capacity(config.capacity[1]),
+            ],
+            max_fill: [0, 0],
+            consumed: [0, 0],
+            writes: 0,
+            fault: [None, None],
+        }
+    }
+
+    /// The replicator's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fault record for replica `i`, if detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 1`.
+    pub fn fault(&self, i: usize) -> Option<FaultRecord> {
+        self.fault[i]
+    }
+
+    /// `true` if replica `i` is latched faulty.
+    pub fn is_faulty(&self, i: usize) -> bool {
+        self.fault[i].is_some()
+    }
+
+    /// Number of tokens consumed so far by replica `i`.
+    pub fn consumed(&self, i: usize) -> u64 {
+        self.consumed[i]
+    }
+
+    /// Successful producer writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Remaining space in queue `i` (the paper's `space_i`).
+    pub fn space(&self, i: usize) -> usize {
+        if self.fault[i].is_some() {
+            // A latched queue no longer constrains the producer.
+            self.config.capacity[i]
+        } else {
+            self.config.capacity[i] - self.queues[i].len()
+        }
+    }
+
+    /// Bytes of framework state (fault-detection bookkeeping), excluding
+    /// token storage — the paper's Table 2 memory-overhead convention.
+    pub fn state_bytes() -> usize {
+        std::mem::size_of::<Replicator>()
+    }
+
+    fn latch(&mut self, i: usize, at: TimeNs, cause: ReplicatorFaultCause) {
+        if self.fault[i].is_none() {
+            self.fault[i] = Some(FaultRecord { at, cause });
+            // Per §3.3 the replicator stops inserting tokens into the
+            // latched queue; pending tokens stay readable in case the
+            // replica is later serviced for diagnosis.
+        }
+    }
+
+    fn check_divergence(&mut self, now: TimeNs) {
+        let Some(d) = self.config.divergence_threshold else { return };
+        if self.fault[0].is_some() || self.fault[1].is_some() {
+            return;
+        }
+        let (a, b) = (self.consumed[0], self.consumed[1]);
+        if a.abs_diff(b) >= d {
+            let behind = if a < b { 0 } else { 1 };
+            self.latch(behind, now, ReplicatorFaultCause::Divergence);
+        }
+    }
+}
+
+impl ChannelBehavior for Replicator {
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        assert_eq!(iface, 0, "replicator has a single write interface");
+
+        if self.config.detect_overflow {
+            // §3.3: a full healthy queue at a write attempt means that
+            // replica has a timing fault — latch it and keep going.
+            for i in 0..2 {
+                if self.fault[i].is_none() && self.queues[i].len() >= self.config.capacity[i] {
+                    self.latch(i, now, ReplicatorFaultCause::Overflow);
+                }
+            }
+        } else {
+            // Bare §3.1 rule 3: block unless both queues have space.
+            if (0..2).any(|i| self.queues[i].len() >= self.config.capacity[i]) {
+                return WriteOutcome::Blocked;
+            }
+        }
+
+        let mut delivered = false;
+        for i in 0..2 {
+            if self.fault[i].is_none() {
+                self.queues[i].push_back(token.clone());
+                self.max_fill[i] = self.max_fill[i].max(self.queues[i].len());
+                delivered = true;
+            }
+        }
+        self.writes += 1;
+        if delivered {
+            WriteOutcome::Accepted
+        } else {
+            WriteOutcome::AcceptedDropped
+        }
+    }
+
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        assert!(iface < 2, "replicator has two read interfaces");
+        match self.queues[iface].pop_front() {
+            Some(t) => {
+                self.consumed[iface] += 1;
+                self.check_divergence(now);
+                ReadOutcome::Token(t)
+            }
+            None => ReadOutcome::Blocked,
+        }
+    }
+
+    fn write_ifaces(&self) -> usize {
+        1
+    }
+
+    fn read_ifaces(&self) -> usize {
+        2
+    }
+
+    fn fill(&self, iface: usize) -> usize {
+        self.queues[iface].len()
+    }
+
+    fn capacity(&self, iface: usize) -> usize {
+        self.config.capacity[iface]
+    }
+
+    fn max_fill(&self, iface: usize) -> usize {
+        self.max_fill[iface]
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_kpn::Payload;
+
+    fn tok(seq: u64) -> Token {
+        Token::new(seq, TimeNs::ZERO, Payload::U64(seq))
+    }
+
+    fn replicator(caps: [usize; 2]) -> Replicator {
+        Replicator::new("r", ReplicatorConfig::new(caps))
+    }
+
+    #[test]
+    fn duplicates_every_token_to_both_queues() {
+        let mut r = replicator([4, 4]);
+        for s in 0..3 {
+            assert_eq!(r.try_write(0, tok(s), TimeNs::ZERO), WriteOutcome::Accepted);
+        }
+        for i in 0..2 {
+            for s in 0..3 {
+                match r.try_read(i, TimeNs::ZERO) {
+                    ReadOutcome::Token(t) => {
+                        assert_eq!(t.seq, s);
+                        assert_eq!(t.payload, Payload::U64(s));
+                    }
+                    ReadOutcome::Blocked => panic!("queue {i} missing token {s}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timestamps_are_preserved() {
+        let mut r = replicator([2, 2]);
+        let t = Token::new(0, TimeNs::from_ms(17), Payload::Empty);
+        r.try_write(0, t, TimeNs::from_ms(20));
+        for i in 0..2 {
+            match r.try_read(i, TimeNs::from_ms(21)) {
+                ReadOutcome::Token(t) => assert_eq!(t.produced_at, TimeNs::from_ms(17)),
+                ReadOutcome::Blocked => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_latches_fault_and_unblocks_producer() {
+        let mut r = replicator([2, 4]);
+        // Replica 0 never reads; replica 1 keeps up.
+        for s in 0..2 {
+            assert_eq!(r.try_write(0, tok(s), TimeNs::from_ms(s)), WriteOutcome::Accepted);
+            assert!(matches!(r.try_read(1, TimeNs::from_ms(s)), ReadOutcome::Token(_)));
+        }
+        assert!(!r.is_faulty(0));
+        // Third write: queue 0 full → latch, token still goes to replica 1.
+        assert_eq!(r.try_write(0, tok(2), TimeNs::from_ms(5)), WriteOutcome::Accepted);
+        let fault = r.fault(0).expect("latched");
+        assert_eq!(fault.cause, ReplicatorFaultCause::Overflow);
+        assert_eq!(fault.at, TimeNs::from_ms(5));
+        assert!(matches!(r.try_read(1, TimeNs::from_ms(5)), ReadOutcome::Token(_)));
+        // Producer can keep writing indefinitely.
+        for s in 3..100 {
+            assert_eq!(r.try_write(0, tok(s), TimeNs::from_ms(s)), WriteOutcome::Accepted);
+            assert!(matches!(r.try_read(1, TimeNs::from_ms(s)), ReadOutcome::Token(_)));
+        }
+        // The latched queue received nothing beyond its capacity.
+        assert_eq!(r.fill(0), 2);
+        assert_eq!(r.max_fill(0), 2);
+    }
+
+    #[test]
+    fn without_detection_write_blocks_on_full_queue() {
+        let mut r = Replicator::new("r", ReplicatorConfig::new([1, 4]).without_detection());
+        assert_eq!(r.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        // Queue 0 full, nobody reads it: the producer blocks (§1.1 hazard).
+        assert_eq!(r.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::Blocked);
+        assert!(!r.is_faulty(0));
+    }
+
+    #[test]
+    fn divergence_detector_flags_slow_consumer() {
+        let cfg = ReplicatorConfig::new([8, 8]).with_divergence_threshold(3);
+        let mut r = Replicator::new("r", cfg);
+        for s in 0..4 {
+            r.try_write(0, tok(s), TimeNs::from_ms(s));
+        }
+        // Replica 1 consumes 3, replica 0 none → divergence 3 ≥ D=3.
+        for k in 0..3u64 {
+            assert!(matches!(r.try_read(1, TimeNs::from_ms(10 + k)), ReadOutcome::Token(_)));
+        }
+        let fault = r.fault(0).expect("divergence latched");
+        assert_eq!(fault.cause, ReplicatorFaultCause::Divergence);
+        assert_eq!(fault.at, TimeNs::from_ms(12));
+    }
+
+    #[test]
+    fn divergence_below_threshold_is_tolerated() {
+        let cfg = ReplicatorConfig::new([8, 8]).with_divergence_threshold(3);
+        let mut r = Replicator::new("r", cfg);
+        for s in 0..8 {
+            r.try_write(0, tok(s), TimeNs::ZERO);
+        }
+        r.try_read(1, TimeNs::ZERO);
+        r.try_read(1, TimeNs::ZERO);
+        assert!(!r.is_faulty(0), "divergence 2 < 3 must not latch");
+        r.try_read(0, TimeNs::ZERO);
+        assert!(!r.is_faulty(0));
+        assert!(!r.is_faulty(1));
+    }
+
+    #[test]
+    fn both_replicas_faulty_drops_tokens() {
+        let mut r = replicator([1, 1]);
+        r.try_write(0, tok(0), TimeNs::ZERO);
+        // Both queues full: both latch; the write is accepted-but-dropped.
+        assert_eq!(r.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert!(r.is_faulty(0) && r.is_faulty(1));
+    }
+
+    #[test]
+    fn reads_block_on_empty_queue() {
+        let mut r = replicator([2, 2]);
+        assert_eq!(r.try_read(0, TimeNs::ZERO), ReadOutcome::Blocked);
+        assert_eq!(r.try_read(1, TimeNs::ZERO), ReadOutcome::Blocked);
+    }
+
+    #[test]
+    fn space_accounting_matches_paper_variables() {
+        let mut r = replicator([2, 3]);
+        assert_eq!((r.space(0), r.space(1)), (2, 3));
+        r.try_write(0, tok(0), TimeNs::ZERO);
+        assert_eq!((r.space(0), r.space(1)), (1, 2));
+        r.try_read(0, TimeNs::ZERO);
+        assert_eq!((r.space(0), r.space(1)), (2, 2));
+    }
+
+    #[test]
+    fn state_footprint_is_small() {
+        // The paper reports ~1.5 KB replicator overhead (excluding tokens);
+        // our bookkeeping is well under that.
+        assert!(Replicator::state_bytes() < 1536, "{}", Replicator::state_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "single write interface")]
+    fn write_iface_1_rejected() {
+        let mut r = replicator([2, 2]);
+        let _ = r.try_write(1, tok(0), TimeNs::ZERO);
+    }
+}

@@ -1,0 +1,517 @@
+//! The selector channel (paper §3.1 and §3.3).
+//!
+//! A selector merges the two replicas' output streams back into a single
+//! consumer stream. It has **two write interfaces** (the replicas) and
+//! **one read interface** (the consumer), but only **one physical FIFO** of
+//! size `max(|S₁|, |S₂|)` plus two *virtual queues* realised as the
+//! `space₁`/`space₂` counters (§3.1 selector rules 1–3):
+//!
+//! * a read pops the FIFO, decrements `fill`, increments *both* spaces;
+//! * a write on interface `i` blocks iff `space_i == 0`; otherwise, if
+//!   `space_i ≤ space_j` the token is the **first of its duplicate pair**
+//!   and is enqueued, else it is the late duplicate and is discarded —
+//!   either way `space_i` is decremented.
+//!
+//! Lemma 1 (replica isolation) is structural here: interface `j` never
+//! touches `space_i`, so back-pressure on one replica cannot be caused by
+//! the other.
+//!
+//! Fault detection (§3.3) adds two clock-free rules:
+//!
+//! * **stall** — replica `i` is faulty when `space_i` exceeds
+//!   `|S_i| + (D − 1)`. (The paper states the bound as `space_i > |S_i|`;
+//!   fault-free runs can legitimately reach `|S_i| + D − 1` because the
+//!   consumer may drain tokens the *other* replica supplied first, so we
+//!   add the divergence slack to keep the no-false-positive guarantee —
+//!   see DESIGN.md.)
+//! * **divergence** — when the difference in tokens received over the two
+//!   interfaces reaches `D` (eq. (5)), the replica that is behind is
+//!   faulty.
+//!
+//! After a latch the healthy interface feeds the FIFO alone, and writes
+//! arriving from the latched replica are accepted-and-discarded so a
+//! limping replica cannot block.
+
+use rtft_kpn::{ChannelBehavior, ReadOutcome, Token, WriteOutcome};
+use rtft_rtc::TimeNs;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Which detection rule latched a replica faulty at the selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SelectorFaultCause {
+    /// `space_i` exceeded `|S_i| + (D − 1)`: the replica stalled while the
+    /// consumer kept draining.
+    Stall,
+    /// The received-token divergence reached `D`.
+    Divergence,
+}
+
+/// A latched fault-detection record at the selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SelectorFaultRecord {
+    /// Time of the operation during which the fault was detected.
+    pub at: TimeNs,
+    /// Which rule fired.
+    pub cause: SelectorFaultCause,
+}
+
+/// Configuration of a [`Selector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectorConfig {
+    /// Virtual-queue capacities `|S₁|, |S₂|`.
+    pub capacity: [usize; 2],
+    /// Divergence threshold `D` (eq. (5)); `None` disables the divergence
+    /// detector.
+    pub divergence_threshold: Option<u64>,
+    /// Stall slack: replica `i` is flagged when
+    /// `space_i > |S_i| + stall_slack`. `None` disables the stall detector.
+    /// The no-false-positive choice is `D − 1` (see module docs).
+    pub stall_slack: Option<u64>,
+}
+
+impl SelectorConfig {
+    /// Detection-enabled configuration with divergence threshold `d` and
+    /// the matching no-false-positive stall slack `d − 1`.
+    pub fn new(capacity: [usize; 2], d: u64) -> Self {
+        SelectorConfig {
+            capacity,
+            divergence_threshold: Some(d),
+            stall_slack: Some(d.saturating_sub(1)),
+        }
+    }
+
+    /// Stall detection only (§3.3 "first method" ablation).
+    pub fn stall_only(capacity: [usize; 2], slack: u64) -> Self {
+        SelectorConfig { capacity, divergence_threshold: None, stall_slack: Some(slack) }
+    }
+
+    /// Disables all fault detection (ablation: bare §3.1 semantics).
+    pub fn without_detection(capacity: [usize; 2]) -> Self {
+        SelectorConfig { capacity, divergence_threshold: None, stall_slack: None }
+    }
+
+    /// Disables only the stall detector (ablation E9).
+    pub fn without_stall_detection(mut self) -> Self {
+        self.stall_slack = None;
+        self
+    }
+}
+
+/// The selector channel state machine.
+///
+/// # Examples
+///
+/// ```
+/// use rtft_core::{Selector, SelectorConfig};
+/// use rtft_kpn::{ChannelBehavior, Payload, ReadOutcome, Token, WriteOutcome};
+/// use rtft_rtc::TimeNs;
+///
+/// let mut s = Selector::new("sel", SelectorConfig::new([4, 4], 3));
+/// let t0 = TimeNs::ZERO;
+/// let tok = |seq| Token::new(seq, t0, Payload::U64(seq));
+/// // Replica 0 delivers first: enqueued. Replica 1's duplicate: discarded.
+/// assert_eq!(s.try_write(0, tok(0), t0), WriteOutcome::Accepted);
+/// assert_eq!(s.try_write(1, tok(0), t0), WriteOutcome::AcceptedDropped);
+/// // The consumer sees the pair exactly once.
+/// assert!(matches!(s.try_read(0, t0), ReadOutcome::Token(t) if t.seq == 0));
+/// assert_eq!(s.try_read(0, t0), ReadOutcome::Blocked);
+/// ```
+#[derive(Debug)]
+pub struct Selector {
+    name: String,
+    config: SelectorConfig,
+    queue: VecDeque<Token>,
+    /// The paper's `space_i` counters. They exceed `|S_i|` while a replica
+    /// stalls, which is exactly what the stall detector watches.
+    space: [u64; 2],
+    max_fill: usize,
+    /// Tokens received per write interface (divergence detector input).
+    received: [u64; 2],
+    /// Tokens enqueued / discarded (statistics).
+    enqueued: u64,
+    discarded: u64,
+    reads: u64,
+    fault: [Option<SelectorFaultRecord>; 2],
+}
+
+impl Selector {
+    /// Creates a selector; the physical FIFO capacity is
+    /// `max(|S₁|, |S₂|)` per §3.1 selector rule 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(name: impl Into<String>, config: SelectorConfig) -> Self {
+        assert!(
+            config.capacity[0] > 0 && config.capacity[1] > 0,
+            "selector virtual-queue capacities must be positive"
+        );
+        let physical = config.capacity[0].max(config.capacity[1]);
+        Selector {
+            name: name.into(),
+            config,
+            queue: VecDeque::with_capacity(physical),
+            space: [config.capacity[0] as u64, config.capacity[1] as u64],
+            max_fill: 0,
+            received: [0, 0],
+            enqueued: 0,
+            discarded: 0,
+            reads: 0,
+            fault: [None, None],
+        }
+    }
+
+    /// The selector's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fault record for replica `i`, if detected.
+    pub fn fault(&self, i: usize) -> Option<SelectorFaultRecord> {
+        self.fault[i]
+    }
+
+    /// `true` if replica `i` is latched faulty.
+    pub fn is_faulty(&self, i: usize) -> bool {
+        self.fault[i].is_some()
+    }
+
+    /// Current `space_i` counter.
+    pub fn space(&self, i: usize) -> u64 {
+        self.space[i]
+    }
+
+    /// Tokens received over interface `i` so far.
+    pub fn received(&self, i: usize) -> u64 {
+        self.received[i]
+    }
+
+    /// Tokens enqueued to the consumer so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Late duplicates discarded so far.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Successful consumer reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Bytes of framework state (fault-detection bookkeeping), excluding
+    /// token storage.
+    pub fn state_bytes() -> usize {
+        std::mem::size_of::<Selector>()
+    }
+
+    fn latch(&mut self, i: usize, at: TimeNs, cause: SelectorFaultCause) {
+        if self.fault[i].is_none() && self.fault[1 - i].is_none() {
+            self.fault[i] = Some(SelectorFaultRecord { at, cause });
+        }
+    }
+
+    fn check_divergence(&mut self, now: TimeNs) {
+        let Some(d) = self.config.divergence_threshold else { return };
+        if self.fault[0].is_some() || self.fault[1].is_some() {
+            return;
+        }
+        let (a, b) = (self.received[0], self.received[1]);
+        if a.abs_diff(b) >= d {
+            let behind = if a < b { 0 } else { 1 };
+            self.latch(behind, now, SelectorFaultCause::Divergence);
+        }
+    }
+
+    fn check_stall(&mut self, now: TimeNs) {
+        let Some(slack) = self.config.stall_slack else { return };
+        if self.fault[0].is_some() || self.fault[1].is_some() {
+            return;
+        }
+        for i in 0..2 {
+            if self.space[i] > self.config.capacity[i] as u64 + slack {
+                self.latch(i, now, SelectorFaultCause::Stall);
+                return;
+            }
+        }
+    }
+}
+
+impl ChannelBehavior for Selector {
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        assert!(iface < 2, "selector has two write interfaces");
+        let other = 1 - iface;
+
+        if self.fault[iface].is_some() {
+            // Tokens from a latched replica are accepted-and-discarded so a
+            // degraded replica cannot block itself (and through nothing
+            // else, per Lemma 1, anyone else).
+            self.discarded += 1;
+            return WriteOutcome::AcceptedDropped;
+        }
+
+        if self.fault[other].is_some() {
+            // Sole healthy source: every token is first-of-pair.
+            if self.queue.len() >= self.config.capacity[iface].max(self.config.capacity[other]) {
+                return WriteOutcome::Blocked;
+            }
+            self.queue.push_back(token);
+            self.max_fill = self.max_fill.max(self.queue.len());
+            self.space[iface] = self.space[iface].saturating_sub(1);
+            self.received[iface] += 1;
+            self.enqueued += 1;
+            return WriteOutcome::Accepted;
+        }
+
+        // §3.1 selector rule 3. The first-of-pair decision is made on the
+        // received-token counters: interface `i` supplies the first token
+        // of its pair iff it has received no more pairs than the other
+        // interface. This is the paper's `space_1 ≤ space_2` comparison
+        // normalised by the virtual-queue capacities — for |S₁| = |S₂| the
+        // two are identical, and for asymmetric capacities the raw space
+        // comparison misclassifies the first |S₂|−|S₁| unmatched tokens of
+        // the lagging replica after a leader fault (token loss); see
+        // DESIGN.md §5.
+        if self.space[iface] == 0 {
+            return WriteOutcome::Blocked;
+        }
+        let outcome = if self.received[iface] >= self.received[other] {
+            self.queue.push_back(token);
+            self.max_fill = self.max_fill.max(self.queue.len());
+            self.enqueued += 1;
+            WriteOutcome::Accepted
+        } else {
+            self.discarded += 1;
+            WriteOutcome::AcceptedDropped
+        };
+        self.space[iface] -= 1;
+        self.received[iface] += 1;
+        self.check_divergence(now);
+        outcome
+    }
+
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        assert_eq!(iface, 0, "selector has a single read interface");
+        match self.queue.pop_front() {
+            Some(t) => {
+                self.reads += 1;
+                self.space[0] += 1;
+                self.space[1] += 1;
+                self.check_stall(now);
+                ReadOutcome::Token(t)
+            }
+            None => ReadOutcome::Blocked,
+        }
+    }
+
+    fn write_ifaces(&self) -> usize {
+        2
+    }
+
+    fn read_ifaces(&self) -> usize {
+        1
+    }
+
+    fn fill(&self, _iface: usize) -> usize {
+        self.queue.len()
+    }
+
+    fn capacity(&self, iface: usize) -> usize {
+        self.config.capacity[iface.min(1)]
+    }
+
+    fn max_fill(&self, _iface: usize) -> usize {
+        self.max_fill
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_kpn::Payload;
+
+    fn tok(seq: u64) -> Token {
+        Token::new(seq, TimeNs::from_ms(seq), Payload::U64(seq))
+    }
+
+    fn selector(caps: [usize; 2], d: u64) -> Selector {
+        Selector::new("s", SelectorConfig::new(caps, d))
+    }
+
+    #[test]
+    fn first_of_pair_wins_either_order() {
+        // Replica 0 first for pair 0; replica 1 first for pair 1.
+        let mut s = selector([4, 4], 3);
+        let t = TimeNs::ZERO;
+        assert_eq!(s.try_write(0, tok(0), t), WriteOutcome::Accepted);
+        assert_eq!(s.try_write(1, tok(0), t), WriteOutcome::AcceptedDropped);
+        assert_eq!(s.try_write(1, tok(1), t), WriteOutcome::Accepted);
+        assert_eq!(s.try_write(0, tok(1), t), WriteOutcome::AcceptedDropped);
+        let seqs: Vec<u64> = (0..2)
+            .map(|_| match s.try_read(0, t) {
+                ReadOutcome::Token(t) => t.seq,
+                ReadOutcome::Blocked => panic!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(s.enqueued(), 2);
+        assert_eq!(s.discarded(), 2);
+    }
+
+    #[test]
+    fn lemma1_isolation_interface_j_never_touches_space_i() {
+        let mut s = selector([4, 4], 10);
+        let before = s.space(0);
+        for seq in 0..3 {
+            s.try_write(1, tok(seq), TimeNs::ZERO);
+        }
+        assert_eq!(s.space(0), before, "writes on interface 1 must not change space_0");
+    }
+
+    #[test]
+    fn write_blocks_when_virtual_queue_full() {
+        let mut s = selector([2, 4], 10);
+        assert_eq!(s.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        assert_eq!(s.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::Accepted);
+        // space_0 exhausted, consumer hasn't read.
+        assert_eq!(s.try_write(0, tok(2), TimeNs::ZERO), WriteOutcome::Blocked);
+        // A read frees one slot.
+        assert!(matches!(s.try_read(0, TimeNs::ZERO), ReadOutcome::Token(_)));
+        assert_eq!(s.try_write(0, tok(2), TimeNs::ZERO), WriteOutcome::Accepted);
+    }
+
+    #[test]
+    fn divergence_latches_the_lagging_replica() {
+        let mut s = selector([8, 8], 3);
+        // Replica 0 delivers 3 tokens; replica 1 none → divergence hits 3.
+        s.try_write(0, tok(0), TimeNs::from_ms(1));
+        s.try_write(0, tok(1), TimeNs::from_ms(2));
+        assert!(!s.is_faulty(1));
+        s.try_write(0, tok(2), TimeNs::from_ms(3));
+        let f = s.fault(1).expect("latched");
+        assert_eq!(f.cause, SelectorFaultCause::Divergence);
+        assert_eq!(f.at, TimeNs::from_ms(3));
+        assert!(!s.is_faulty(0));
+    }
+
+    #[test]
+    fn post_fault_healthy_replica_feeds_alone() {
+        let mut s = selector([4, 4], 2);
+        s.try_write(0, tok(0), TimeNs::ZERO);
+        s.try_write(0, tok(1), TimeNs::ZERO); // divergence 2 → replica 1 latched
+        assert!(s.is_faulty(1));
+        // Healthy replica keeps enqueueing every token (no pair logic).
+        assert_eq!(s.try_write(0, tok(2), TimeNs::ZERO), WriteOutcome::Accepted);
+        // Latched replica's stragglers are swallowed.
+        assert_eq!(s.try_write(1, tok(0), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        // Consumer sees the full sequence once.
+        let mut seqs = Vec::new();
+        while let ReadOutcome::Token(t) = s.try_read(0, TimeNs::ZERO) {
+            seqs.push(t.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stall_detector_fires_without_divergence_detector() {
+        // Pure §3.3 "first method": divergence detection off, stall slack 2.
+        let mut s = Selector::new("s", SelectorConfig::stall_only([2, 2], 2));
+        // Replica 1 is dead; replica 0 supplies, consumer drains.
+        // space_1 = 2 − 0 + reads; threshold: space_1 > |S_1| + 2 = 4,
+        // i.e. the 3rd read flags replica 1.
+        for seq in 0..3u64 {
+            assert_eq!(s.try_write(0, tok(seq), TimeNs::from_ms(seq)), WriteOutcome::Accepted);
+            assert!(matches!(s.try_read(0, TimeNs::from_ms(10 + seq)), ReadOutcome::Token(_)));
+        }
+        let f = s.fault(1).expect("replica 1 flagged by stall rule");
+        assert_eq!(f.cause, SelectorFaultCause::Stall);
+        assert_eq!(f.at, TimeNs::from_ms(12));
+        assert!(!s.is_faulty(0));
+    }
+
+    #[test]
+    fn stall_slack_prevents_false_positive_from_pair_skew() {
+        // Fault-free skew: replica 0 leads each pair by up to D−1 = 2.
+        // With the paper's bare rule (slack 0) replica 1 would be flagged;
+        // with slack D−1 it is not.
+        let mut s = selector([4, 4], 3);
+        for seq in 0..20u64 {
+            // Replica 0 delivers pairs seq and seq+1 before replica 1
+            // catches up on pair seq (skew ≤ 2 < D).
+            assert_eq!(s.try_write(0, tok(seq), TimeNs::from_ms(seq)), WriteOutcome::Accepted);
+            assert!(matches!(s.try_read(0, TimeNs::from_ms(seq)), ReadOutcome::Token(_)));
+            if seq >= 1 {
+                assert_eq!(
+                    s.try_write(1, tok(seq - 1), TimeNs::from_ms(seq)),
+                    WriteOutcome::AcceptedDropped
+                );
+            }
+        }
+        assert!(!s.is_faulty(0) && !s.is_faulty(1), "skew within D must not latch");
+    }
+
+    #[test]
+    fn no_detection_config_never_latches() {
+        let mut s = Selector::new("s", SelectorConfig::without_detection([2, 2]));
+        for seq in 0..2u64 {
+            s.try_write(0, tok(seq), TimeNs::ZERO);
+            let _ = s.try_read(0, TimeNs::ZERO);
+        }
+        // Replica 0 far ahead, replica 1 silent: still no latch.
+        assert!(!s.is_faulty(0) && !s.is_faulty(1));
+        // And the bare semantics block once space_0 runs out… space_0 was
+        // replenished by reads here, so exhaust it:
+        s.try_write(0, tok(2), TimeNs::ZERO);
+        s.try_write(0, tok(3), TimeNs::ZERO);
+        assert_eq!(s.try_write(0, tok(4), TimeNs::ZERO), WriteOutcome::Blocked);
+    }
+
+    #[test]
+    fn read_blocks_on_empty() {
+        let mut s = selector([2, 2], 2);
+        assert_eq!(s.try_read(0, TimeNs::ZERO), ReadOutcome::Blocked);
+    }
+
+    #[test]
+    fn only_one_replica_ever_latched() {
+        let mut s = selector([8, 8], 2);
+        s.try_write(0, tok(0), TimeNs::ZERO);
+        s.try_write(0, tok(1), TimeNs::ZERO);
+        assert!(s.is_faulty(1));
+        // Even if replica 0 now stalls and replica 1 recovers, the single-
+        // fault model keeps the first latch (the system is in failover).
+        for _ in 0..20 {
+            s.try_write(1, tok(99), TimeNs::ZERO);
+        }
+        assert!(!s.is_faulty(0));
+        assert!(s.is_faulty(1));
+    }
+
+    #[test]
+    fn state_footprint_is_small() {
+        // The paper reports ~2.1 KB selector overhead (excluding tokens).
+        assert!(Selector::state_bytes() < 2100, "{}", Selector::state_bytes());
+    }
+
+    #[test]
+    fn timestamps_flow_through_untouched() {
+        let mut s = selector([4, 4], 3);
+        let t = Token::new(0, TimeNs::from_ms(123), Payload::Empty);
+        s.try_write(0, t, TimeNs::from_ms(200));
+        match s.try_read(0, TimeNs::from_ms(201)) {
+            ReadOutcome::Token(t) => assert_eq!(t.produced_at, TimeNs::from_ms(123)),
+            ReadOutcome::Blocked => panic!(),
+        }
+    }
+}

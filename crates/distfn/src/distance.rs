@@ -1,0 +1,239 @@
+//! l-repetitive distance functions (Neukirchner et al., RTSS 2012).
+//!
+//! A *distance function* bounds the time spanned by `N` consecutive events
+//! of a stream: `d⁻(N)` is the minimum and `d⁺(N)` the maximum admissible
+//! distance between an event and the `(N−1)`-th event after it. General
+//! distance functions need unbounded memory; the *l-repetitive*
+//! approximation stores only the first `l` values and extrapolates larger
+//! spans from decompositions:
+//!
+//! ```text
+//! d⁻(N) ≥ max_{2 ≤ j ≤ l+1} d⁻(j) + d⁻(N − j + 1)
+//! d⁺(N) ≤ min_{2 ≤ j ≤ l+1} d⁺(j) + d⁺(N − j + 1)
+//! ```
+//!
+//! This trades precision for O(l) memory — the approximation the paper
+//! cites as the technique's efficiency/accuracy trade-off (§1, [11]).
+
+use rtft_rtc::{PjdModel, TimeNs};
+
+/// An l-repetitive pair of distance functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LRepetitive {
+    /// `dmin[k]` = `d⁻(k + 2)`: min span of `k + 2` consecutive events.
+    dmin: Vec<TimeNs>,
+    /// `dmax[k]` = `d⁺(k + 2)`.
+    dmax: Vec<TimeNs>,
+}
+
+impl LRepetitive {
+    /// Builds from explicit base values `d(2) .. d(l+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty, have different lengths, or violate
+    /// `d⁻ ≤ d⁺` pointwise.
+    pub fn new(dmin: Vec<TimeNs>, dmax: Vec<TimeNs>) -> Self {
+        assert!(!dmin.is_empty(), "need at least d(2)");
+        assert_eq!(dmin.len(), dmax.len(), "dmin/dmax length mismatch");
+        for (lo, hi) in dmin.iter().zip(dmax.iter()) {
+            assert!(lo <= hi, "d⁻ must not exceed d⁺");
+        }
+        LRepetitive { dmin, dmax }
+    }
+
+    /// The conformance distance functions of a PJD stream:
+    /// `d⁻(N) = max(0, (N−1)·P − J)`, `d⁺(N) = (N−1)·P + J`, truncated to
+    /// repetitiveness level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l == 0`.
+    pub fn from_pjd(model: &PjdModel, l: usize) -> Self {
+        assert!(l > 0, "repetitiveness level must be positive");
+        let mut dmin = Vec::with_capacity(l);
+        let mut dmax = Vec::with_capacity(l);
+        for n in 2..=(l + 1) as u64 {
+            let span = model.period * (n - 1);
+            dmin.push(span.saturating_sub(model.jitter));
+            dmax.push(span + model.jitter);
+        }
+        LRepetitive { dmin, dmax }
+    }
+
+    /// Repetitiveness level `l`.
+    pub fn level(&self) -> usize {
+        self.dmin.len()
+    }
+
+    /// Minimum admissible span of `n ≥ 2` consecutive events
+    /// (extrapolated beyond `l + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn dmin(&self, n: usize) -> TimeNs {
+        assert!(n >= 2, "distance functions start at N = 2");
+        if n - 2 < self.dmin.len() {
+            return self.dmin[n - 2];
+        }
+        // Superadditive extrapolation: take the largest stored block
+        // repeatedly (optimal for conformance-shaped d⁻).
+        let mut best = TimeNs::ZERO;
+        for (k, base) in self.dmin.iter().enumerate() {
+            // A block of (k + 2) events advances k + 1 inter-event steps;
+            // consecutive blocks share one event.
+            let step = k + 1;
+            let full = (n - 1) / step;
+            let rem = (n - 1) % step;
+            let mut total = *base * full as u64;
+            if rem > 0 {
+                total += self.dmin[rem - 1];
+            }
+            best = best.max(total);
+        }
+        best
+    }
+
+    /// Maximum admissible span of `n ≥ 2` consecutive events
+    /// (extrapolated beyond `l + 1` by subadditive composition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn dmax(&self, n: usize) -> TimeNs {
+        assert!(n >= 2, "distance functions start at N = 2");
+        if n - 2 < self.dmax.len() {
+            return self.dmax[n - 2];
+        }
+        let mut best = TimeNs::MAX;
+        for (k, base) in self.dmax.iter().enumerate() {
+            let step = k + 1; // events advanced per block of (k+2) events
+            let full = (n - 1) / step;
+            let rem = (n - 1) % step;
+            let mut total = *base * full as u64;
+            if rem > 0 {
+                total = total.saturating_add(self.dmax[rem - 1]);
+            }
+            best = best.min(total);
+        }
+        best
+    }
+
+    /// Checks a recorded event trace for conformance; returns the index of
+    /// the first event that violates a distance bound against any earlier
+    /// event within the repetitiveness window, or `None`.
+    pub fn first_violation(&self, trace: &[TimeNs]) -> Option<usize> {
+        for i in 1..trace.len() {
+            let max_back = self.level().min(i);
+            for back in 1..=max_back {
+                let span = trace[i] - trace[i - back];
+                let n = back + 1;
+                if span < self.dmin(n) || span > self.dmax(n) {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Bytes of monitor state for this approximation level (the memory
+    /// cost the paper contrasts with its own counters-only approach).
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + 2 * self.dmin.capacity() * std::mem::size_of::<TimeNs>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_ms(v)
+    }
+
+    #[test]
+    fn pjd_conformance_distances() {
+        let m = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let d = LRepetitive::from_pjd(&m, 3);
+        assert_eq!(d.level(), 3);
+        assert_eq!(d.dmin(2), ms(25));
+        assert_eq!(d.dmax(2), ms(35));
+        assert_eq!(d.dmin(3), ms(55));
+        assert_eq!(d.dmax(4), ms(95));
+    }
+
+    #[test]
+    fn extrapolation_is_conservative() {
+        // l = 1 extrapolation must bracket the true PJD distances.
+        let m = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let l1 = LRepetitive::from_pjd(&m, 1);
+        let l8 = LRepetitive::from_pjd(&m, 8);
+        for n in 2..=9 {
+            assert!(l1.dmin(n) <= l8.dmin(n), "n={n}: l=1 d⁻ must under-approximate");
+            assert!(l1.dmax(n) >= l8.dmax(n), "n={n}: l=1 d⁺ must over-approximate");
+        }
+        // And the gap is real for n > 2 when jitter > 0 (the paper's
+        // false-positive/negative trade-off).
+        assert!(l1.dmax(5) > l8.dmax(5));
+    }
+
+    #[test]
+    fn zero_jitter_extrapolation_is_exact() {
+        let m = PjdModel::periodic(ms(10));
+        let d = LRepetitive::from_pjd(&m, 1);
+        for n in 2..=12 {
+            assert_eq!(d.dmin(n), ms(10) * (n as u64 - 1));
+            assert_eq!(d.dmax(n), ms(10) * (n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn conforming_trace_passes() {
+        let m = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let d = LRepetitive::from_pjd(&m, 2);
+        // Events at n·30 + small displacement ≤ 5ms.
+        let trace: Vec<TimeNs> =
+            (0..20u64).map(|n| ms(n * 30) + TimeNs::from_us((n % 3) * 1000)).collect();
+        assert_eq!(d.first_violation(&trace), None);
+    }
+
+    #[test]
+    fn stalled_trace_is_flagged() {
+        let m = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let d = LRepetitive::from_pjd(&m, 2);
+        let mut trace: Vec<TimeNs> = (0..5u64).map(|n| ms(n * 30)).collect();
+        trace.push(ms(4 * 30 + 200)); // 200 ms gap
+        assert_eq!(d.first_violation(&trace), Some(5));
+    }
+
+    #[test]
+    fn burst_trace_is_flagged() {
+        let m = PjdModel::from_ms(30.0, 2.0, 0.0);
+        let d = LRepetitive::from_pjd(&m, 2);
+        let trace = vec![ms(0), ms(1)]; // two events 1 ms apart
+        assert_eq!(d.first_violation(&trace), Some(1));
+    }
+
+    #[test]
+    fn state_grows_with_level() {
+        let m = PjdModel::from_ms(30.0, 5.0, 0.0);
+        assert!(
+            LRepetitive::from_pjd(&m, 8).state_bytes()
+                > LRepetitive::from_pjd(&m, 1).state_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start at N = 2")]
+    fn n1_rejected() {
+        let m = PjdModel::periodic(ms(10));
+        let _ = LRepetitive::from_pjd(&m, 1).dmin(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "d⁻ must not exceed")]
+    fn inverted_bounds_rejected() {
+        let _ = LRepetitive::new(vec![ms(10)], vec![ms(5)]);
+    }
+}

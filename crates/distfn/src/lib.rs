@@ -1,0 +1,35 @@
+//! # rtft-distfn — the distance-function monitoring baseline
+//!
+//! The state-of-the-art comparison point of the paper's §4.3: timing-fault
+//! detection by monitoring stream conformance against *distance functions*
+//! (Neukirchner et al., "Monitoring arbitrary activation patterns in
+//! real-time systems", RTSS 2012), with the `l`-repetitive approximation
+//! and a polling monitor adapted to the fail-silent fault model exactly as
+//! the paper describes (`l = 1` at the replicator, 1 ms polling).
+//!
+//! The baseline detects the same faults as the paper's framework but needs
+//! **timestamped observation and a timer**, which is the resource cost the
+//! replicator/selector counters avoid — Table 3 quantifies the resulting
+//! ~1 poll-period latency penalty.
+//!
+//! # Example
+//!
+//! ```
+//! use rtft_distfn::{DistanceMonitor, LRepetitive, StreamTap};
+//! use rtft_rtc::{PjdModel, TimeNs};
+//!
+//! let model = PjdModel::from_ms(30.0, 2.0, 0.0);
+//! let bounds = LRepetitive::from_pjd(&model, 1);
+//! // 5 consecutive events must span at least 4·30 − 2 = 118 ms …
+//! assert_eq!(bounds.dmin(5), TimeNs::from_ms(112)); // l = 1 under-approximates
+//! // … and the exact l = 4 functions are tighter:
+//! assert_eq!(LRepetitive::from_pjd(&model, 4).dmin(5), TimeNs::from_ms(118));
+//! ```
+
+#![warn(missing_docs)]
+
+mod distance;
+mod monitor;
+
+pub use distance::LRepetitive;
+pub use monitor::{tap_stage, DistanceMonitor, MonitorVerdict, StreamTap, TapStage};

@@ -1,0 +1,224 @@
+//! Network assembly: processes + channels + wiring.
+
+use crate::channel::{ChannelBehavior, ChannelId, PortId};
+use crate::process::{NodeId, Process};
+use std::fmt;
+
+/// A named channel slot in the network.
+pub struct ChannelSlot {
+    /// Diagnostic name.
+    pub name: String,
+    /// The channel state machine.
+    pub behavior: Box<dyn ChannelBehavior>,
+}
+
+impl fmt::Debug for ChannelSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelSlot").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// A named process slot in the network.
+pub struct ProcessSlot {
+    /// Diagnostic name (copied from the process at insertion).
+    pub name: String,
+    /// The process itself.
+    pub process: Box<dyn Process>,
+}
+
+impl fmt::Debug for ProcessSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcessSlot").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// A complete process network: the unit both runtimes execute.
+///
+/// Build one with [`Network::new`] by adding channels first (so their
+/// [`PortId`]s can be passed to process constructors), then processes.
+///
+/// # Examples
+///
+/// ```
+/// use rtft_kpn::{Fifo, Network, Payload, PjdSink, PjdSource, PortId};
+/// use rtft_rtc::{PjdModel, TimeNs};
+///
+/// let mut net = Network::new();
+/// let link = net.add_channel(Fifo::new("link", 4));
+/// let model = PjdModel::periodic(TimeNs::from_ms(10));
+/// net.add_process(PjdSource::new("src", PortId::of(link), model, 0, Some(100), Payload::U64));
+/// net.add_process(PjdSink::new("sink", PortId::of(link), model, 1, Some(100)));
+/// assert_eq!(net.channel_count(), 1);
+/// assert_eq!(net.process_count(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    channels: Vec<ChannelSlot>,
+    processes: Vec<ProcessSlot>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a channel, returning its id.
+    pub fn add_channel(&mut self, behavior: impl ChannelBehavior + 'static) -> ChannelId {
+        self.add_channel_boxed(Box::new(behavior))
+    }
+
+    /// Adds an already-boxed channel, returning its id.
+    pub fn add_channel_boxed(&mut self, behavior: Box<dyn ChannelBehavior>) -> ChannelId {
+        let id = ChannelId(self.channels.len());
+        self.channels.push(ChannelSlot { name: format!("ch{}", id.0), behavior });
+        id
+    }
+
+    /// Adds a process, returning its id.
+    pub fn add_process(&mut self, process: impl Process + 'static) -> NodeId {
+        self.add_process_boxed(Box::new(process))
+    }
+
+    /// Adds an already-boxed process, returning its id.
+    pub fn add_process_boxed(&mut self, process: Box<dyn Process>) -> NodeId {
+        let id = NodeId(self.processes.len());
+        let name = process.name().to_owned();
+        self.processes.push(ProcessSlot { name, process });
+        id
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Borrows a channel's behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn channel(&self, id: ChannelId) -> &dyn ChannelBehavior {
+        self.channels[id.0].behavior.as_ref()
+    }
+
+    /// Mutably borrows a channel's behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn channel_mut(&mut self, id: ChannelId) -> &mut dyn ChannelBehavior {
+        self.channels[id.0].behavior.as_mut()
+    }
+
+    /// Downcasts a channel to a concrete type (e.g. to read a replicator's
+    /// fault latches after a run).
+    pub fn channel_as<T: 'static>(&self, id: ChannelId) -> Option<&T> {
+        self.channels.get(id.0).and_then(|c| c.behavior.as_any().downcast_ref::<T>())
+    }
+
+    /// Borrows a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn process(&self, id: NodeId) -> &dyn Process {
+        self.processes[id.0].process.as_ref()
+    }
+
+    /// Downcasts a process to a concrete type (e.g. to read a sink's
+    /// recorded arrivals after a run). Returns `None` if the process does
+    /// not opt into inspection via [`Process::as_any`] or the type differs.
+    pub fn process_as<T: 'static + Process>(&self, id: NodeId) -> Option<&T> {
+        self.processes
+            .get(id.0)
+            .and_then(|p| p.process.as_any())
+            .and_then(|a| a.downcast_ref::<T>())
+    }
+
+    /// Names of all processes, in id order (diagnostics).
+    pub fn process_names(&self) -> Vec<&str> {
+        self.processes.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// Validates the wiring reachable from the processes: every referenced
+    /// port must exist. Returns a human-readable description of the first
+    /// problem found.
+    ///
+    /// Port references live inside process state, so this can only check
+    /// channel-side invariants; it is called by the runtimes before
+    /// execution.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, c) in self.channels.iter().enumerate() {
+            let b = &c.behavior;
+            if b.write_ifaces() == 0 || b.read_ifaces() == 0 {
+                return Err(format!("channel {i} ({}) has a side with no interfaces", c.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits the network into its parts (used by the threaded runtime,
+    /// which moves processes into threads).
+    pub fn into_parts(self) -> (Vec<ChannelSlot>, Vec<ProcessSlot>) {
+        (self.channels, self.processes)
+    }
+
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<ChannelSlot>, &mut Vec<ProcessSlot>) {
+        (&mut self.channels, &mut self.processes)
+    }
+}
+
+/// Convenience: a `PortId` for interface 0 of a channel.
+pub fn port(channel: ChannelId) -> PortId {
+    PortId::of(channel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Fifo;
+    use crate::process::{Collector, Wakeup};
+    use rtft_rtc::TimeNs;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut net = Network::new();
+        let c0 = net.add_channel(Fifo::new("a", 1));
+        let c1 = net.add_channel(Fifo::new("b", 1));
+        assert_eq!((c0, c1), (ChannelId(0), ChannelId(1)));
+        let p0 = net.add_process(Collector::new("c", PortId::of(c0), None));
+        assert_eq!(p0, NodeId(0));
+        assert_eq!(net.process_names(), vec!["c"]);
+    }
+
+    #[test]
+    fn channel_downcast() {
+        let mut net = Network::new();
+        let c = net.add_channel(Fifo::new("fifo", 2));
+        assert!(net.channel_as::<Fifo>(c).is_some());
+        assert_eq!(net.channel_as::<Fifo>(c).unwrap().name(), "fifo");
+    }
+
+    #[test]
+    fn validate_accepts_simple_network() {
+        let mut net = Network::new();
+        net.add_channel(Fifo::new("a", 1));
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn process_resume_via_network() {
+        let mut net = Network::new();
+        let c = net.add_channel(Fifo::new("a", 1));
+        let p = net.add_process(Collector::new("c", PortId::of(c), None));
+        let (_, procs) = net.parts_mut();
+        let syscall = procs[p.0].process.resume(Wakeup::Start, TimeNs::ZERO);
+        assert!(matches!(syscall, crate::Syscall::Read(_)));
+    }
+}

@@ -1,0 +1,265 @@
+//! Real-thread runtime: the same networks and channel semantics on actual
+//! OS threads and wall-clock time.
+//!
+//! The discrete-event engine gives deterministic virtual-time results; this
+//! runtime demonstrates that the framework's channel state machines
+//! (including the replicator/selector from `rtft-core`) run unchanged on a
+//! real multicore — the "multicore emulation" leg of the reproduction. Each
+//! process gets its own thread; blocking channel operations are implemented
+//! with a mutex + condvar per channel; `Compute` becomes `thread::sleep`;
+//! `now` is the wall-clock offset from the run's epoch.
+//!
+//! Measurements from this runtime are inherently noisy (host scheduling),
+//! so the experiment tables are produced by the deterministic engine, while
+//! the integration tests use this runtime to validate behavioural
+//! equivalence (same token sequences, faults detected).
+
+use crate::channel::{ChannelBehavior, ReadOutcome, WriteOutcome};
+use crate::network::Network;
+use crate::token::Token;
+use crate::process::{Syscall, Wakeup};
+use parking_lot::{Condvar, Mutex};
+use rtft_rtc::TimeNs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A channel shared between process threads.
+#[derive(Debug)]
+struct SharedChannel {
+    state: Mutex<Box<dyn ChannelBehavior>>,
+    changed: Condvar,
+}
+
+impl SharedChannel {
+    fn write_blocking(&self, iface: usize, token: Token, clock: &WallClock) {
+        let mut guard = self.state.lock();
+        loop {
+            match guard.try_write(iface, token.clone(), clock.now()) {
+                WriteOutcome::Accepted | WriteOutcome::AcceptedDropped => {
+                    self.changed.notify_all();
+                    return;
+                }
+                WriteOutcome::Blocked => {
+                    self.changed.wait_for(&mut guard, Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    fn read_blocking(&self, iface: usize, clock: &WallClock) -> Token {
+        let mut guard = self.state.lock();
+        loop {
+            match guard.try_read(iface, clock.now()) {
+                ReadOutcome::Token(t) => {
+                    self.changed.notify_all();
+                    return t;
+                }
+                ReadOutcome::Blocked => {
+                    self.changed.wait_for(&mut guard, Duration::from_millis(5));
+                }
+            }
+        }
+    }
+}
+
+/// Wall-clock time since the run's epoch, reported as [`TimeNs`] so the
+/// same process code runs under both runtimes.
+#[derive(Debug, Clone, Copy)]
+struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    fn now(&self) -> TimeNs {
+        TimeNs::from_ns(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedRun {
+    /// The channels after the run (wrapped; downcast via
+    /// [`ThreadedRun::channel_as`]).
+    channels: Vec<(String, Arc<SharedChannel>)>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Processes that were still running when the deadline hit (names).
+    pub timed_out: Vec<String>,
+    /// The processes, returned for post-run inspection, in insertion order.
+    processes: Vec<(String, Box<dyn crate::process::Process>)>,
+}
+
+impl ThreadedRun {
+    /// Inspects a channel's final state under its concrete type.
+    pub fn channel_as<T: 'static, R>(
+        &self,
+        index: usize,
+        f: impl FnOnce(&T) -> R,
+    ) -> Option<R> {
+        let guard = self.channels.get(index)?.1.state.lock();
+        guard.as_any().downcast_ref::<T>().map(f)
+    }
+
+    /// Inspects a finished process under its concrete type (only processes
+    /// that halted before the deadline are returned to the run).
+    pub fn process_as<T: 'static>(&self, name: &str) -> Option<&T> {
+        self.processes
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, p)| p.as_any())
+            .and_then(|a| a.downcast_ref::<T>())
+    }
+}
+
+/// Runs `network` on real threads until every process halts or `deadline`
+/// elapses.
+///
+/// Processes that have not halted by the deadline are detached (their
+/// threads park on channels forever and are reaped at process exit); their
+/// names are reported in [`ThreadedRun::timed_out`]. Design note: Kahn
+/// processes block indefinitely by construction, so a hard join-with-timeout
+/// is the only portable way to bound a run on real threads.
+///
+/// # Panics
+///
+/// Panics if the network fails validation.
+pub fn run_threaded(network: Network, deadline: Duration) -> ThreadedRun {
+    if let Err(e) = network.validate() {
+        panic!("invalid network: {e}");
+    }
+    let (channel_slots, process_slots) = network.into_parts();
+    let clock = WallClock { epoch: Instant::now() };
+
+    let channels: Vec<(String, Arc<SharedChannel>)> = channel_slots
+        .into_iter()
+        .map(|slot| {
+            (
+                slot.name,
+                Arc::new(SharedChannel {
+                    state: Mutex::new(slot.behavior),
+                    changed: Condvar::new(),
+                }),
+            )
+        })
+        .collect();
+
+    let mut handles = Vec::new();
+    for slot in process_slots {
+        let name = slot.name.clone();
+        let mut process = slot.process;
+        let chans: Vec<Arc<SharedChannel>> =
+            channels.iter().map(|(_, c)| Arc::clone(c)).collect();
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                let mut wake = Wakeup::Start;
+                loop {
+                    match process.resume(wake, clock.now()) {
+                        Syscall::Halt => return (name, process),
+                        Syscall::Compute(d) => {
+                            if d > TimeNs::ZERO {
+                                std::thread::sleep(Duration::from_nanos(d.as_ns()));
+                            }
+                            wake = Wakeup::ComputeDone;
+                        }
+                        Syscall::Read(port) => {
+                            let t = chans[port.channel.0].read_blocking(port.iface, &clock);
+                            wake = Wakeup::ReadDone(t);
+                        }
+                        Syscall::Write(port, token) => {
+                            chans[port.channel.0].write_blocking(port.iface, token, &clock);
+                            wake = Wakeup::WriteDone;
+                        }
+                    }
+                }
+            })
+            .expect("spawn process thread");
+        handles.push(handle);
+    }
+
+    // Join with a global deadline.
+    let start = Instant::now();
+    let mut finished = Vec::new();
+    let mut timed_out = Vec::new();
+    for handle in handles {
+        let remaining = deadline.saturating_sub(start.elapsed());
+        // `JoinHandle` has no timed join; poll `is_finished`.
+        let poll_start = Instant::now();
+        while !handle.is_finished() && poll_start.elapsed() < remaining {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if handle.is_finished() {
+            match handle.join() {
+                Ok((name, process)) => finished.push((name, process)),
+                Err(_) => timed_out.push("<panicked>".to_owned()),
+            }
+        } else {
+            timed_out.push(handle.thread().name().unwrap_or("<unnamed>").to_owned());
+            drop(handle); // detach
+        }
+    }
+
+    ThreadedRun { channels, elapsed: start.elapsed(), timed_out, processes: finished }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Fifo, PortId};
+    use crate::process::{Collector, PjdSink, PjdSource};
+    use crate::token::Payload;
+    use rtft_rtc::PjdModel;
+
+    #[test]
+    fn threaded_pipeline_delivers_in_order() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 4));
+        // 1 ms period so the test stays fast on wall clock.
+        let model = PjdModel::periodic(TimeNs::from_ms(1));
+        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(20), Payload::U64));
+        net.add_process(Collector::new("col", PortId::of(a), Some(20)));
+        let run = run_threaded(net, Duration::from_secs(10));
+        assert!(run.timed_out.is_empty(), "timed out: {:?}", run.timed_out);
+        let col = run.process_as::<Collector>("col").expect("collector finished");
+        let values: Vec<u64> =
+            col.tokens().iter().map(|t| t.payload.as_u64().unwrap()).collect();
+        assert_eq!(values, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_backpressure_preserves_kahn_order() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 1));
+        let fast = PjdModel::periodic(TimeNs::from_us(100));
+        let slow = PjdModel::periodic(TimeNs::from_ms(1));
+        net.add_process(PjdSource::new("src", PortId::of(a), fast, 0, Some(10), Payload::U64));
+        net.add_process(PjdSink::new("sink", PortId::of(a), slow, 0, Some(10)));
+        let run = run_threaded(net, Duration::from_secs(10));
+        assert!(run.timed_out.is_empty());
+        let sink = run.process_as::<PjdSink>("sink").expect("sink finished");
+        assert_eq!(sink.arrivals().len(), 10);
+    }
+
+    #[test]
+    fn deadline_reaps_unfinished_processes() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 1));
+        // Collector with no producer: blocks forever.
+        net.add_process(Collector::new("stuck", PortId::of(a), None));
+        let run = run_threaded(net, Duration::from_millis(100));
+        assert_eq!(run.timed_out, vec!["stuck".to_owned()]);
+    }
+
+    #[test]
+    fn channel_state_inspectable_after_run() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 8));
+        let model = PjdModel::periodic(TimeNs::from_us(100));
+        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(5), Payload::U64));
+        net.add_process(Collector::new("col", PortId::of(a), Some(5)));
+        let run = run_threaded(net, Duration::from_secs(5));
+        let (writes, reads) =
+            run.channel_as::<Fifo, _>(0, |f| (f.writes(), f.reads())).expect("fifo");
+        assert_eq!((writes, reads), (5, 5));
+    }
+}

@@ -1,0 +1,172 @@
+//! Data tokens flowing through the process network.
+
+use bytes::Bytes;
+use rtft_rtc::TimeNs;
+use std::fmt;
+
+/// Payload carried by a [`Token`].
+///
+/// Payload clones are cheap: the `Bytes` variant is reference-counted, so a
+/// replicator duplicating a 76.8 KB decoded frame copies a pointer, not the
+/// pixels — mirroring the paper's note that more efficient shared-buffer
+/// replicator implementations are possible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Payload {
+    /// A pure control token with no data.
+    #[default]
+    Empty,
+    /// A small scalar value (test workloads, sequence checks).
+    U64(u64),
+    /// An arbitrary byte buffer (frames, audio samples, bitstreams).
+    Bytes(Bytes),
+}
+
+impl Payload {
+    /// Payload size in bytes, as the communication substrate sees it.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::U64(_) => 8,
+            Payload::Bytes(b) => b.len(),
+        }
+    }
+
+    /// `true` if the payload carries zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the byte content, if this is a `Bytes` payload.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The scalar value, if this is a `U64` payload.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Payload::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit content digest (FNV-1a), used by equivalence checks
+    /// to compare output streams without storing full payloads.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        match self {
+            Payload::Empty => eat(0),
+            Payload::U64(v) => v.to_le_bytes().into_iter().for_each(&mut eat),
+            Payload::Bytes(b) => b.iter().copied().for_each(&mut eat),
+        }
+        h
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(b: Bytes) -> Self {
+        Payload::Bytes(b)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::Bytes(Bytes::from(v))
+    }
+}
+
+impl From<u64> for Payload {
+    fn from(v: u64) -> Self {
+        Payload::U64(v)
+    }
+}
+
+/// A data token: the unit of communication in the process network.
+///
+/// Tokens carry a monotonically increasing per-stream sequence number `seq`
+/// (the paper's `j` in `T_k[j]`) and the timestamp `produced_at` at which
+/// the producing process emitted them (the paper's `t(k, j)`). The
+/// fault-tolerance framework itself never reads `produced_at` — that is the
+/// "no runtime timekeeping" claim — but the experiment harness and the
+/// distance-function baseline do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Monotonically increasing sequence number within the stream.
+    pub seq: u64,
+    /// Instant the token was produced.
+    pub produced_at: TimeNs,
+    /// The data carried.
+    pub payload: Payload,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(seq: u64, produced_at: TimeNs, payload: Payload) -> Self {
+        Token { seq, produced_at, payload }
+    }
+
+    /// Size of the token's payload in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T[{}]@{} ({}B)", self.seq, self.produced_at, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(Payload::Empty.len(), 0);
+        assert!(Payload::Empty.is_empty());
+        assert_eq!(Payload::U64(7).len(), 8);
+        assert_eq!(Payload::from(vec![1u8, 2, 3]).len(), 3);
+    }
+
+    #[test]
+    fn digest_distinguishes_content() {
+        let a = Payload::from(vec![1u8, 2, 3]);
+        let b = Payload::from(vec![1u8, 2, 4]);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.digest(), Payload::from(vec![1u8, 2, 3]).digest());
+        assert_ne!(Payload::U64(0).digest(), Payload::Empty.digest());
+    }
+
+    #[test]
+    fn token_display() {
+        let t = Token::new(3, TimeNs::from_ms(30), Payload::from(vec![0u8; 100]));
+        assert_eq!(format!("{t}"), "T[3]@30ms (100B)");
+    }
+
+    #[test]
+    fn cheap_payload_clone_shares_buffer() {
+        let data = Bytes::from(vec![0u8; 1024]);
+        let p1 = Payload::Bytes(data.clone());
+        let p2 = p1.clone();
+        // Same underlying allocation.
+        if let (Payload::Bytes(a), Payload::Bytes(b)) = (&p1, &p2) {
+            assert_eq!(a.as_ptr(), b.as_ptr());
+        } else {
+            unreachable!();
+        }
+    }
+}

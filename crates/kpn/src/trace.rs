@@ -1,0 +1,111 @@
+//! Execution tracing for debugging and experiment post-processing.
+
+use crate::channel::PortId;
+use crate::process::NodeId;
+use rtft_rtc::TimeNs;
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A token was accepted by a channel write interface.
+    TokenWritten {
+        /// Writing process.
+        node: NodeId,
+        /// Destination port.
+        port: PortId,
+        /// Token sequence number.
+        seq: u64,
+        /// `true` if the channel accepted-but-discarded it (selector
+        /// duplicate suppression / replicator fault latch).
+        dropped: bool,
+    },
+    /// A token was destructively read.
+    TokenRead {
+        /// Reading process.
+        node: NodeId,
+        /// Source port.
+        port: PortId,
+        /// Token sequence number.
+        seq: u64,
+    },
+    /// A read attempt blocked.
+    ReadBlocked {
+        /// Blocked process.
+        node: NodeId,
+        /// Port it blocked on.
+        port: PortId,
+    },
+    /// A write attempt blocked.
+    WriteBlocked {
+        /// Blocked process.
+        node: NodeId,
+        /// Port it blocked on.
+        port: PortId,
+    },
+    /// A process halted.
+    Halted {
+        /// The process.
+        node: NodeId,
+    },
+}
+
+/// An append-only event log. Disabled traces drop events with no
+/// allocation, so the hot path stays cheap when tracing is off.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<(TimeNs, TraceEvent)>,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace { enabled: false, events: Vec::new() }
+    }
+
+    /// A trace that records everything.
+    pub fn enabled() -> Self {
+        Trace { enabled: true, events: Vec::new() }
+    }
+
+    /// Records `event` at `at` if tracing is enabled.
+    pub fn push(&mut self, at: TimeNs, event: TraceEvent) {
+        if self.enabled {
+            self.events.push((at, event));
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[(TimeNs, TraceEvent)] {
+        &self.events
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelId;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(TimeNs::ZERO, TraceEvent::Halted { node: NodeId(0) });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        let port = PortId::of(ChannelId(0));
+        t.push(TimeNs::ZERO, TraceEvent::ReadBlocked { node: NodeId(1), port });
+        t.push(TimeNs::from_ms(1), TraceEvent::Halted { node: NodeId(1) });
+        assert_eq!(t.events().len(), 2);
+        assert!(t.events()[0].0 <= t.events()[1].0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the KPN runtime: conservation, ordering,
+//! determinism, and curve conformance of the PJD source/shaper.
+
+use proptest::prelude::*;
+use rtft_kpn::{
+    Collector, Engine, Fifo, Network, Payload, PjdShaper, PjdSource, PortId, Transform,
+};
+use rtft_rtc::{Curve, PjdModel, TimeNs};
+
+fn check_conformance(events: &[TimeNs], model: &PjdModel) -> Result<(), String> {
+    let upper = model.upper();
+    let lower = model.lower();
+    // Check windows anchored just before each event (worst placements for
+    // the upper curve) and spanning every pair of events.
+    for (i, s) in events.iter().enumerate() {
+        for (j, t) in events.iter().enumerate().skip(i) {
+            // Window [s, t + 1ns): contains events i..=j → j - i + 1.
+            let delta = *t + TimeNs::from_ns(1) - *s;
+            let count = (j - i + 1) as u64;
+            if count > upper.eval(delta) {
+                return Err(format!(
+                    "upper violated: {count} events in {delta} (events {i}..={j})"
+                ));
+            }
+        }
+    }
+    // Lower curve: between consecutive events the gap must not starve the
+    // guaranteed minimum (events i and i+k span at least dmin).
+    for w in events.windows(2) {
+        let gap = w[1] - w[0];
+        if lower.eval(gap) > 1 {
+            return Err(format!("lower violated: gap {gap} should contain more events"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A PJD source's emissions conform to the curves of its own model.
+    #[test]
+    fn source_output_conforms_to_model(
+        period_ms in 2u64..40,
+        jitter_ms in 0u64..60,
+        seed in 0u64..1000,
+    ) {
+        let model = PjdModel::new(
+            TimeNs::from_ms(period_ms),
+            TimeNs::from_ms(jitter_ms),
+            TimeNs::ZERO,
+        );
+        let mut net = Network::new();
+        let ch = net.add_channel(Fifo::new("out", 256));
+        net.add_process(PjdSource::new("src", PortId::of(ch), model, seed, Some(60), Payload::U64));
+        let col = net.add_process(Collector::new("col", PortId::of(ch), Some(60)));
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(30));
+        let events: Vec<TimeNs> = engine
+            .network()
+            .process_as::<Collector>(col)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.produced_at)
+            .collect();
+        prop_assert_eq!(events.len(), 60);
+        if let Err(e) = check_conformance(&events, &model) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// The PjdShaper really imposes its model: even when fed by a much
+    /// faster upstream, the shaped stream conforms — the invariant whose
+    /// violation produced divergence false positives during development.
+    #[test]
+    fn shaper_output_conforms_to_model(
+        period_ms in 4u64..40,
+        jitter_ms in 0u64..80,
+        seed in 0u64..1000,
+    ) {
+        let model = PjdModel::new(
+            TimeNs::from_ms(period_ms),
+            TimeNs::from_ms(jitter_ms),
+            TimeNs::from_ms(1),
+        );
+        // Upstream floods at 4x the shaped rate.
+        let fast = PjdModel::periodic(TimeNs::from_ms(period_ms) / 4);
+        let mut net = Network::new();
+        let raw = net.add_channel(Fifo::new("raw", 512));
+        let out = net.add_channel(Fifo::new("out", 512));
+        net.add_process(PjdSource::new("src", PortId::of(raw), fast, seed, Some(50), Payload::U64));
+        net.add_process(PjdShaper::new("shape", PortId::of(raw), PortId::of(out), model, seed + 1));
+        let col = net.add_process(Collector::new("col", PortId::of(out), Some(50)));
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(60));
+        let events: Vec<TimeNs> = engine
+            .network()
+            .process_as::<Collector>(col)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.produced_at)
+            .collect();
+        prop_assert_eq!(events.len(), 50);
+        if let Err(e) = check_conformance(&events, &model) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Token conservation and order through a random-length transform
+    /// chain with random capacities and service times.
+    #[test]
+    fn pipeline_conserves_and_orders_tokens(
+        stages in 1usize..6,
+        caps in prop::collection::vec(1usize..5, 6),
+        service_us in prop::collection::vec(0u64..2_000, 6),
+        seed in 0u64..500,
+    ) {
+        let tokens = 40u64;
+        let mut net = Network::new();
+        let mut prev = net.add_channel(Fifo::new("c0", caps[0]));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(prev),
+            PjdModel::from_ms(2.0, 1.0, 0.0),
+            seed,
+            Some(tokens),
+            Payload::U64,
+        ));
+        for i in 0..stages {
+            let next = net.add_channel(Fifo::new(format!("c{}", i + 1), caps[i + 1]));
+            net.add_process(Transform::new(
+                format!("t{i}"),
+                PortId::of(prev),
+                PortId::of(next),
+                TimeNs::from_us(service_us[i]),
+                TimeNs::from_us(service_us[i + 1] / 2),
+                seed + i as u64,
+                |p| p,
+            ));
+            prev = next;
+        }
+        let col = net.add_process(Collector::new("col", PortId::of(prev), Some(tokens as usize)));
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(120));
+        let got: Vec<u64> = engine
+            .network()
+            .process_as::<Collector>(col)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.payload.as_u64().unwrap())
+            .collect();
+        let expected: Vec<u64> = (0..tokens).collect();
+        prop_assert_eq!(got, expected, "tokens lost, duplicated or reordered");
+    }
+
+    /// Virtual time never runs backwards at any observation point.
+    #[test]
+    fn completion_times_are_monotone(seed in 0u64..500) {
+        let mut net = Network::new();
+        let ch = net.add_channel(Fifo::new("c", 3));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(ch),
+            PjdModel::from_ms(3.0, 2.0, 0.0),
+            seed,
+            Some(50),
+            Payload::U64,
+        ));
+        let col = net.add_process(Collector::new("col", PortId::of(ch), Some(50)));
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(10));
+        let times: Vec<TimeNs> = engine
+            .network()
+            .process_as::<Collector>(col)
+            .unwrap()
+            .tokens()
+            .iter()
+            .map(|t| t.produced_at)
+            .collect();
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1], "time ran backwards: {} then {}", w[0], w[1]);
+        }
+    }
+}

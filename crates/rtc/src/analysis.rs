@@ -1,0 +1,323 @@
+//! Exact sup/inf searches over staircase-curve differences.
+//!
+//! Every quantity in the paper's §3.4 is either a supremum of a difference
+//! of two curves (FIFO capacities, eq. (3)–(4); divergence threshold,
+//! eq. (5)) or an infimum of the window length at which a difference first
+//! reaches a target (detection latency, eq. (6)–(8)).
+//!
+//! Because all curves in this crate are integer staircases over integer
+//! nanoseconds, the difference `f(Δ) − g(Δ)` changes value only at the jump
+//! points of `f` or `g`. Probing each jump point `b` and its successor
+//! `b + 1` (curves are left-continuous) therefore explores *every* value
+//! the difference ever takes up to the horizon — the searches are exact,
+//! not sampled.
+
+use crate::curve::Curve;
+use crate::time::TimeNs;
+use std::fmt;
+
+/// Error from a curve analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveAnalysisError {
+    /// The supremum does not exist: the upper curve grows strictly faster
+    /// than the lower curve, so the difference diverges. In system terms,
+    /// the producer is faster than the consumer and no finite FIFO suffices.
+    Unbounded {
+        /// Long-run rate of the upper curve (tokens per second).
+        upper_rate: f64,
+        /// Long-run rate of the lower curve (tokens per second).
+        lower_rate: f64,
+    },
+    /// A search horizon of zero was supplied.
+    EmptyHorizon,
+}
+
+impl fmt::Display for CurveAnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveAnalysisError::Unbounded { upper_rate, lower_rate } => write!(
+                f,
+                "supremum is unbounded: upper rate {upper_rate:.3}/s exceeds lower rate {lower_rate:.3}/s"
+            ),
+            CurveAnalysisError::EmptyHorizon => write!(f, "search horizon must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for CurveAnalysisError {}
+
+/// Result of a supremum search: the value and a witness window length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supremum {
+    /// `sup_Δ { f(Δ) − g(Δ) }` (clamped at zero from below: arrival-curve
+    /// differences of interest are counts of outstanding tokens).
+    pub value: u64,
+    /// A window length at which the supremum is attained.
+    pub witness: TimeNs,
+}
+
+/// Enumerates all probe points for a pair of curves: `0`, `1`, each jump
+/// point and its successor, and the horizon.
+fn probe_points(f: &dyn Curve, g: &dyn Curve, horizon: TimeNs) -> Vec<TimeNs> {
+    let mut pts = Vec::with_capacity(64);
+    pts.push(TimeNs::ZERO);
+    pts.push(TimeNs::from_ns(1));
+    for b in f.jump_points(horizon).into_iter().chain(g.jump_points(horizon)) {
+        pts.push(b);
+        pts.push(b.saturating_add(TimeNs::from_ns(1)));
+    }
+    pts.push(horizon);
+    pts.retain(|p| *p <= horizon);
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// Computes `sup_{0 ≤ Δ ≤ horizon} { upper(Δ) − lower(Δ) }` exactly.
+///
+/// This is the workhorse behind eq. (3) (FIFO capacity), eq. (4) (initial
+/// fill) and eq. (5) (divergence threshold).
+///
+/// # Errors
+///
+/// * [`CurveAnalysisError::Unbounded`] if `upper` has a strictly greater
+///   long-run rate than `lower` — the difference diverges and no finite
+///   bound exists.
+/// * [`CurveAnalysisError::EmptyHorizon`] if `horizon` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rtft_rtc::{sup_difference, PjdModel, TimeNs};
+///
+/// // MJPEG: producer ⟨30, 2⟩ vs replica-1 consumption ⟨30, 5⟩ gives the
+/// // paper's |R₁| = 2 (Table 2).
+/// let producer = PjdModel::from_ms(30.0, 2.0, 0.0);
+/// let replica1 = PjdModel::from_ms(30.0, 5.0, 0.0);
+/// let sup = sup_difference(
+///     &producer.upper(),
+///     &replica1.lower(),
+///     TimeNs::from_secs(2),
+/// )?;
+/// assert_eq!(sup.value, 2);
+/// # Ok::<(), rtft_rtc::CurveAnalysisError>(())
+/// ```
+pub fn sup_difference(
+    upper: &dyn Curve,
+    lower: &dyn Curve,
+    horizon: TimeNs,
+) -> Result<Supremum, CurveAnalysisError> {
+    if horizon == TimeNs::ZERO {
+        return Err(CurveAnalysisError::EmptyHorizon);
+    }
+    if let (Some(ru), Some(rl)) = (upper.long_run_rate(), lower.long_run_rate()) {
+        if ru > rl {
+            return Err(CurveAnalysisError::Unbounded {
+                upper_rate: ru.tokens_per_sec(),
+                lower_rate: rl.tokens_per_sec(),
+            });
+        }
+    } else if upper.long_run_rate().is_some() && lower.long_run_rate().is_none() {
+        return Err(CurveAnalysisError::Unbounded {
+            upper_rate: upper.long_run_rate().expect("checked above").tokens_per_sec(),
+            lower_rate: 0.0,
+        });
+    }
+
+    let mut best = Supremum { value: 0, witness: TimeNs::ZERO };
+    for p in probe_points(upper, lower, horizon) {
+        let diff = upper.eval(p).saturating_sub(lower.eval(p));
+        if diff > best.value {
+            best = Supremum { value: diff, witness: p };
+        }
+    }
+    Ok(best)
+}
+
+/// Finds `inf { Δ ≤ horizon | f(Δ) − g(Δ) ≥ target }` exactly, in integer
+/// nanoseconds. Returns `None` if the condition never holds within the
+/// horizon.
+///
+/// This implements the infima of eq. (6)–(8): `f` is the lower curve of the
+/// healthy replica, `g` the (post-fault) upper curve of the faulty one, and
+/// `target = 2D − 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rtft_rtc::{first_delta_reaching, PjdModel, ZeroCurve, TimeNs};
+///
+/// // Fail-stop: how long until a ⟨30, 5⟩ replica has produced 7 tokens?
+/// let healthy = PjdModel::from_ms(30.0, 5.0, 0.0);
+/// let t = first_delta_reaching(&healthy.lower(), &ZeroCurve, 7, TimeNs::from_secs(2));
+/// assert_eq!(t, Some(TimeNs::from_ms(7 * 30 + 5)));
+/// ```
+pub fn first_delta_reaching(
+    f: &dyn Curve,
+    g: &dyn Curve,
+    target: u64,
+    horizon: TimeNs,
+) -> Option<TimeNs> {
+    if target == 0 {
+        return Some(TimeNs::ZERO);
+    }
+    let reaches = |p: TimeNs| f.eval(p).saturating_sub(g.eval(p)) >= target;
+    for p in probe_points(f, g, horizon) {
+        if reaches(p) {
+            // `p` is either a jump point (difference attained exactly at p)
+            // or a successor; in both cases it is the first probe point at
+            // which the condition holds, and since the difference is
+            // constant between probe points, `p` is the true infimum.
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// A conservative default search horizon for a pair of curves.
+///
+/// For equal long-run periods the difference of two PJD staircases is
+/// periodic (period `P`) once `Δ` exceeds the jitter transient, so any
+/// horizon covering a few periods beyond the transient is exact. For
+/// unequal periods the difference has a strictly negative drift and its
+/// supremum lies in the transient prefix. We use `64 ×` the sum of the
+/// effective periods, which covers both regimes for every model in this
+/// repository with a wide margin (documented in `DESIGN.md` §5.4); pass an
+/// explicit horizon to [`sup_difference`] for exotic curves.
+pub fn default_horizon(a: &dyn Curve, b: &dyn Curve) -> TimeNs {
+    let eff = |c: &dyn Curve| -> TimeNs {
+        match c.long_run_rate() {
+            Some(r) if r.tokens() > 0 => {
+                TimeNs::from_ns((r.per().as_ns() / r.tokens()).max(1))
+            }
+            _ => TimeNs::from_ms(1),
+        }
+    };
+    a.transient()
+        .saturating_add(b.transient())
+        .saturating_add((eff(a) + eff(b)) * 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{StaircaseCurve, ZeroCurve};
+    use crate::pjd::PjdModel;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_ms(v)
+    }
+
+    #[test]
+    fn sup_of_equal_curves_is_transient_only() {
+        let m = PjdModel::periodic(ms(10));
+        let sup = sup_difference(&m.upper(), &m.lower(), ms(500)).expect("bounded");
+        // ⌈Δ/P⌉ − ⌊Δ/P⌋ ≤ 1.
+        assert_eq!(sup.value, 1);
+    }
+
+    #[test]
+    fn sup_reproduces_mjpeg_replicator_capacities() {
+        let producer = PjdModel::from_ms(30.0, 2.0, 0.0);
+        let r1 = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let r2 = PjdModel::from_ms(30.0, 30.0, 0.0);
+        let h = ms(2_000);
+        assert_eq!(sup_difference(&producer.upper(), &r1.lower(), h).unwrap().value, 2);
+        assert_eq!(sup_difference(&producer.upper(), &r2.lower(), h).unwrap().value, 3);
+    }
+
+    #[test]
+    fn sup_reproduces_adpcm_replicator_capacities() {
+        let producer = PjdModel::from_ms(6.3, 1.0, 0.0);
+        let r1 = PjdModel::from_ms(6.3, 1.0, 0.0);
+        let r2 = PjdModel::from_ms(6.3, 16.0, 0.0);
+        let h = ms(2_000);
+        assert_eq!(sup_difference(&producer.upper(), &r1.lower(), h).unwrap().value, 2);
+        assert_eq!(sup_difference(&producer.upper(), &r2.lower(), h).unwrap().value, 4);
+    }
+
+    #[test]
+    fn unbounded_when_upper_is_faster() {
+        let fast = PjdModel::periodic(ms(10));
+        let slow = PjdModel::periodic(ms(20));
+        let err = sup_difference(&fast.upper(), &slow.lower(), ms(1_000)).unwrap_err();
+        assert!(matches!(err, CurveAnalysisError::Unbounded { .. }));
+        assert!(err.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn unbounded_when_lower_is_eventually_constant() {
+        let producer = PjdModel::periodic(ms(10));
+        let stalled = StaircaseCurve::new(vec![(TimeNs::ZERO, 3)]);
+        let err = sup_difference(&producer.upper(), &stalled, ms(1_000)).unwrap_err();
+        assert!(matches!(err, CurveAnalysisError::Unbounded { .. }));
+    }
+
+    #[test]
+    fn bounded_when_upper_is_eventually_constant() {
+        let burst = StaircaseCurve::new(vec![(TimeNs::ZERO, 5)]);
+        let drain = PjdModel::periodic(ms(10));
+        let sup = sup_difference(&burst, &drain.lower(), ms(1_000)).expect("bounded");
+        assert_eq!(sup.value, 5);
+        assert!(sup.witness < ms(10));
+    }
+
+    #[test]
+    fn zero_horizon_is_an_error() {
+        let m = PjdModel::periodic(ms(10));
+        assert_eq!(
+            sup_difference(&m.upper(), &m.lower(), TimeNs::ZERO).unwrap_err(),
+            CurveAnalysisError::EmptyHorizon
+        );
+    }
+
+    #[test]
+    fn first_delta_fail_stop_closed_form() {
+        // Closed form for PJD lower vs zero: Δ = n·P + J.
+        for (p, j, n) in [(30u64, 5u64, 7u64), (30, 30, 7), (10, 0, 3)] {
+            let m = PjdModel::new(ms(p), ms(j), TimeNs::ZERO);
+            let t = first_delta_reaching(&m.lower(), &ZeroCurve, n, ms(10_000));
+            assert_eq!(t, Some(ms(n * p + j)), "P={p} J={j} n={n}");
+        }
+    }
+
+    #[test]
+    fn first_delta_against_slow_faulty_replica() {
+        // Healthy ⟨30, 5⟩ vs a faulty replica still limping at ⟨90, 0⟩:
+        // difference grows by 2 per 90ms epoch; needs longer than fail-stop.
+        let healthy = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let faulty = PjdModel::periodic(ms(90));
+        let fail_stop =
+            first_delta_reaching(&healthy.lower(), &ZeroCurve, 7, ms(100_000)).unwrap();
+        let limping =
+            first_delta_reaching(&healthy.lower(), &faulty.upper(), 7, ms(100_000)).unwrap();
+        assert!(limping > fail_stop, "{limping} vs {fail_stop}");
+    }
+
+    #[test]
+    fn first_delta_none_when_unreachable() {
+        let m = PjdModel::periodic(ms(30));
+        // Same rate on both sides: difference never reaches 5.
+        assert_eq!(
+            first_delta_reaching(&m.lower(), &m.upper(), 5, ms(10_000)),
+            None
+        );
+    }
+
+    #[test]
+    fn first_delta_target_zero_is_immediate() {
+        let m = PjdModel::periodic(ms(30));
+        assert_eq!(
+            first_delta_reaching(&m.lower(), &ZeroCurve, 0, ms(100)),
+            Some(TimeNs::ZERO)
+        );
+    }
+
+    #[test]
+    fn default_horizon_covers_many_periods() {
+        let a = PjdModel::periodic(ms(30));
+        let b = PjdModel::from_ms(6.3, 16.0, 0.0);
+        let h = default_horizon(&a.upper(), &b.lower());
+        assert!(h >= ms(30) * 64);
+    }
+}

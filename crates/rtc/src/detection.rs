@@ -1,0 +1,224 @@
+//! Worst-case fault-detection latency bounds (paper §3.4, eq. (6)–(8)).
+//!
+//! After a replica suffers a timing fault at time `s`, the healthy replica
+//! must out-produce it by `2D − 1` tokens before the divergence counter can
+//! cross the threshold `D` (the faulty replica may have been up to `D − 1`
+//! tokens *ahead* when it failed). The worst-case latency is the smallest
+//! window in which that surplus is guaranteed:
+//!
+//! ```text
+//! Δ* = max_{i≠j} inf { Δ | (α_i^l − ᾱ_j^u)(Δ) ≥ 2D − 1 }       (eq. (7))
+//! ```
+//!
+//! where `ᾱ_j^u` is the faulty replica's residual (post-fault) upper curve;
+//! for a fail-stop fault `ᾱ_j^u = 0` (eq. (8)).
+
+use crate::analysis::first_delta_reaching;
+use crate::curve::{Curve, ZeroCurve};
+use crate::pjd::PjdModel;
+use crate::time::TimeNs;
+
+/// Tokens the healthy replica must out-produce the faulty one by before the
+/// divergence detector can fire: `2D − 1`.
+pub fn detection_surplus(threshold: u64) -> u64 {
+    2 * threshold.max(1) - 1
+}
+
+/// Worst-case detection latency for a *fail-stop* fault — eq. (8):
+///
+/// ```text
+/// Δ* = max_i inf { Δ | α_i^l(Δ) ≥ 2D − 1 }
+/// ```
+///
+/// For PJD models the infimum has the closed form `(2D−1)·P + J`, which the
+/// unit tests cross-check against the generic search.
+///
+/// Returns [`TimeNs::MAX`] if some replica's lower curve never reaches the
+/// surplus (rate zero — a degenerate model).
+///
+/// # Examples
+///
+/// ```
+/// use rtft_rtc::{detection, PjdModel, TimeNs};
+///
+/// let replicas = [
+///     PjdModel::from_ms(30.0, 5.0, 0.0),
+///     PjdModel::from_ms(30.0, 30.0, 0.0),
+/// ];
+/// let bound = detection::fail_stop_detection_bound(&replicas, 4);
+/// // 7 tokens from the ⟨30, 30⟩ replica: 7·30 + 30 = 240 ms.
+/// assert_eq!(bound, TimeNs::from_ms(240));
+/// ```
+pub fn fail_stop_detection_bound(replicas: &[PjdModel; 2], threshold: u64) -> TimeNs {
+    let surplus = detection_surplus(threshold);
+    let mut worst = TimeNs::ZERO;
+    for r in replicas {
+        let lower = r.lower();
+        let horizon = r.period * (surplus + 4) + r.jitter + r.jitter;
+        match first_delta_reaching(&lower, &ZeroCurve, surplus, horizon) {
+            Some(t) => worst = worst.max(t),
+            None => return TimeNs::MAX,
+        }
+    }
+    worst
+}
+
+/// Worst-case detection latency when the faulty replica keeps limping along
+/// bounded by `faulty_residual_upper` — eq. (6)/(7) in full generality.
+///
+/// Returns `None` if the surplus is never reached within `horizon` (the
+/// residual rate is too close to the healthy rate: the "fault" is not
+/// detectable by divergence counting, or the horizon is too short).
+///
+/// # Examples
+///
+/// ```
+/// use rtft_rtc::{detection, PjdModel, TimeNs};
+///
+/// let healthy = PjdModel::from_ms(30.0, 5.0, 0.0);
+/// // Faulty replica degraded to one token every 90 ms.
+/// let residual = PjdModel::from_ms(90.0, 0.0, 0.0);
+/// let t = detection::degraded_detection_bound(
+///     &healthy,
+///     &residual.upper(),
+///     4,
+///     TimeNs::from_secs(10),
+/// );
+/// assert!(t.expect("detectable") > TimeNs::from_ms(7 * 30 + 5));
+/// ```
+pub fn degraded_detection_bound(
+    healthy: &PjdModel,
+    faulty_residual_upper: &dyn Curve,
+    threshold: u64,
+    horizon: TimeNs,
+) -> Option<TimeNs> {
+    let surplus = detection_surplus(threshold);
+    first_delta_reaching(&healthy.lower(), faulty_residual_upper, surplus, horizon)
+}
+
+/// Worst-case detection latency of the replicator's *overflow* detector
+/// (§3.3, "fault detection at the replicator channel"): the producer
+/// notices a stopped replica when its write attempt finds the FIFO full.
+///
+/// Starting from an empty FIFO (worst case), the producer must generate
+/// `capacity + 1` tokens before the failing write attempt occurs; the bound
+/// is `inf { Δ | α_P^l(Δ) ≥ capacity + 1 }`.
+///
+/// Returns [`TimeNs::MAX`] for a rate-zero producer.
+pub fn replicator_overflow_bound(producer: &PjdModel, capacity: u64) -> TimeNs {
+    let lower = producer.lower();
+    let target = capacity + 1;
+    let horizon = producer.period * (target + 4) + producer.jitter + producer.jitter;
+    first_delta_reaching(&lower, &ZeroCurve, target, horizon).unwrap_or(TimeNs::MAX)
+}
+
+/// Worst-case detection latency of the selector's *stall* detector (§3.3,
+/// first method): replica `i` is flagged when `space_i` exceeds `|S_i|`,
+/// i.e. after the consumer performs `capacity + 1` reads past the replica's
+/// last write. The bound is `inf { Δ | α_C^l(Δ) ≥ capacity + 1 }`.
+///
+/// Returns [`TimeNs::MAX`] for a rate-zero consumer.
+pub fn selector_stall_bound(consumer: &PjdModel, capacity: u64) -> TimeNs {
+    let lower = consumer.lower();
+    let target = capacity + 1;
+    let horizon = consumer.period * (target + 4) + consumer.jitter + consumer.jitter;
+    first_delta_reaching(&lower, &ZeroCurve, target, horizon).unwrap_or(TimeNs::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::StaircaseCurve;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_ms(v)
+    }
+
+    #[test]
+    fn surplus_is_2d_minus_1() {
+        assert_eq!(detection_surplus(4), 7);
+        assert_eq!(detection_surplus(1), 1);
+        assert_eq!(detection_surplus(0), 1, "threshold clamps to 1");
+    }
+
+    #[test]
+    fn fail_stop_closed_form_mjpeg() {
+        let replicas =
+            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)];
+        // D = 4 ⇒ surplus 7. Worst replica is ⟨30, 30⟩: 7·30 + 30 = 240.
+        assert_eq!(fail_stop_detection_bound(&replicas, 4), ms(240));
+        // The tighter replica alone would give 7·30 + 5 = 215.
+        let tight = [replicas[0], replicas[0]];
+        assert_eq!(fail_stop_detection_bound(&tight, 4), ms(215));
+    }
+
+    #[test]
+    fn fail_stop_closed_form_adpcm() {
+        let replicas =
+            [PjdModel::from_ms(6.3, 1.0, 0.0), PjdModel::from_ms(6.3, 16.0, 0.0)];
+        // D = 5 ⇒ surplus 9. Worst: 9·6.3 + 16 = 72.7 ms.
+        assert_eq!(fail_stop_detection_bound(&replicas, 5), TimeNs::from_ms_f64(72.7));
+    }
+
+    #[test]
+    fn degraded_fault_takes_longer_than_fail_stop() {
+        let healthy = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let residual = PjdModel::periodic(ms(90));
+        let fail_stop = fail_stop_detection_bound(&[healthy, healthy], 4);
+        let degraded =
+            degraded_detection_bound(&healthy, &residual.upper(), 4, TimeNs::from_secs(10))
+                .expect("detectable");
+        assert!(degraded > fail_stop);
+    }
+
+    #[test]
+    fn undetectable_degradation_returns_none() {
+        // Faulty replica "degrades" to the same rate as the healthy one:
+        // the divergence never accumulates.
+        let healthy = PjdModel::periodic(ms(30));
+        let residual = PjdModel::periodic(ms(30));
+        assert_eq!(
+            degraded_detection_bound(&healthy, &residual.upper(), 4, TimeNs::from_secs(10)),
+            None
+        );
+    }
+
+    #[test]
+    fn burst_residual_delays_detection() {
+        // A faulty replica that dumps a final burst of 5 tokens then dies.
+        let healthy = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let burst = StaircaseCurve::new(vec![(TimeNs::ZERO, 5)]);
+        let with_burst =
+            degraded_detection_bound(&healthy, &burst, 4, TimeNs::from_secs(20)).expect("bounded");
+        let without =
+            fail_stop_detection_bound(&[healthy, healthy], 4);
+        // The burst adds 5 extra tokens the healthy replica must overcome.
+        assert_eq!(with_burst, ms((7 + 5) * 30 + 5));
+        assert!(with_burst > without);
+    }
+
+    #[test]
+    fn replicator_overflow_bound_closed_form() {
+        let producer = PjdModel::from_ms(30.0, 2.0, 0.0);
+        // capacity 3 ⇒ 4th token triggers: 4·30 + 2 = 122 ms.
+        assert_eq!(replicator_overflow_bound(&producer, 3), ms(122));
+    }
+
+    #[test]
+    fn selector_stall_bound_closed_form() {
+        let consumer = PjdModel::from_ms(30.0, 2.0, 0.0);
+        assert_eq!(selector_stall_bound(&consumer, 6), ms(7 * 30 + 2));
+    }
+
+    #[test]
+    fn bigger_threshold_means_longer_detection() {
+        let replicas =
+            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)];
+        let mut prev = TimeNs::ZERO;
+        for d in 1..8 {
+            let b = fail_stop_detection_bound(&replicas, d);
+            assert!(b > prev, "bound must grow with D");
+            prev = b;
+        }
+    }
+}

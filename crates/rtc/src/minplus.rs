@@ -1,0 +1,338 @@
+//! Min-plus algebra: convolution, deconvolution, service curves and the
+//! classical delay/backlog bounds.
+//!
+//! The paper's §3.4 uses only sup-of-difference and first-crossing
+//! searches, but the underlying theory (Chakraborty et al., RTSS 2006 —
+//! the paper's \[1\]) is the (min,+) dioid of real-time calculus. This
+//! module provides the standard operators over this crate's integer
+//! staircases so the library is usable beyond the paper's exact
+//! experiments:
+//!
+//! * `(f ⊗ g)(Δ) = inf_{0 ≤ λ ≤ Δ} f(λ) + g(Δ − λ)` — min-plus convolution;
+//! * `(f ⊘ g)(Δ) = sup_{λ ≥ 0} f(Δ + λ) − g(λ)` — min-plus deconvolution
+//!   (horizon-bounded);
+//! * [`RateLatency`] service curves `β_{R,T}`;
+//! * [`delay_bound`] — the horizontal deviation `h(α, β)`, the classical
+//!   worst-case delay of a flow `α` through a server `β`;
+//! * [`backlog_bound`] — the vertical deviation `v(α, β)` (which is the
+//!   same computation as the paper's eq. (3)).
+//!
+//! All operators are exact over the curves' breakpoints, like the rest of
+//! the crate.
+
+use crate::analysis::{sup_difference, CurveAnalysisError};
+use crate::curve::{Curve, Rate};
+use crate::time::TimeNs;
+
+/// Candidate split points for an exact staircase inf/sup search in
+/// `[0, delta]`: every jump point of `f`, every `delta − jump(g)`, plus
+/// the interval ends and their ±1 ns neighbours.
+fn split_candidates(f: &dyn Curve, g: &dyn Curve, delta: TimeNs) -> Vec<TimeNs> {
+    let mut pts = vec![TimeNs::ZERO, delta];
+    for b in f.jump_points(delta) {
+        pts.push(b);
+        pts.push(b.saturating_add(TimeNs::from_ns(1)));
+    }
+    for b in g.jump_points(delta) {
+        if b <= delta {
+            pts.push(delta - b);
+            pts.push((delta - b).saturating_sub(TimeNs::from_ns(1)));
+        }
+    }
+    pts.retain(|p| *p <= delta);
+    pts.sort_unstable();
+    pts.dedup();
+    pts
+}
+
+/// Min-plus convolution `(f ⊗ g)(Δ)`, evaluated pointwise.
+///
+/// For arrival curves, `α ⊗ β` is the output envelope of a flow `α`
+/// through a server `β`; for two upper curves it tightens both.
+///
+/// # Examples
+///
+/// ```
+/// use rtft_rtc::minplus::convolve_at;
+/// use rtft_rtc::{Curve, PjdModel, TimeNs};
+///
+/// let a = PjdModel::periodic(TimeNs::from_ms(10));
+/// // Convolving a curve with itself keeps it sub-additive-consistent:
+/// let v = convolve_at(&a.upper(), &a.upper(), TimeNs::from_ms(25));
+/// assert!(v <= a.upper().eval(TimeNs::from_ms(25)));
+/// ```
+pub fn convolve_at(f: &dyn Curve, g: &dyn Curve, delta: TimeNs) -> u64 {
+    let mut best = u64::MAX;
+    for lambda in split_candidates(f, g, delta) {
+        best = best.min(f.eval(lambda) + g.eval(delta - lambda));
+    }
+    best
+}
+
+/// Min-plus deconvolution `(f ⊘ g)(Δ)`, horizon-bounded.
+///
+/// `α ⊘ β` is the tightest upper arrival curve of a flow `α` *after*
+/// being served by `β` — how burstiness grows through a server.
+pub fn deconvolve_at(f: &dyn Curve, g: &dyn Curve, delta: TimeNs, horizon: TimeNs) -> u64 {
+    let mut pts = vec![TimeNs::ZERO, horizon];
+    for b in f.jump_points(horizon.saturating_add(delta)) {
+        let b = b.saturating_sub(delta);
+        pts.push(b);
+        pts.push(b.saturating_add(TimeNs::from_ns(1)));
+    }
+    for b in g.jump_points(horizon) {
+        pts.push(b);
+        pts.push(b.saturating_add(TimeNs::from_ns(1)));
+    }
+    pts.retain(|p| *p <= horizon);
+    pts.sort_unstable();
+    pts.dedup();
+    let mut best = 0u64;
+    for lambda in pts {
+        best = best.max(f.eval(delta + lambda).saturating_sub(g.eval(lambda)));
+    }
+    best
+}
+
+/// A rate-latency service curve `β_{R,T}(Δ) = R · (Δ − T)⁺` over token
+/// counts: the canonical model of a server that, after an initial latency
+/// `T`, guarantees `rate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLatency {
+    rate: Rate,
+    latency: TimeNs,
+}
+
+impl RateLatency {
+    /// A server guaranteeing `rate` after `latency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is zero.
+    pub fn new(rate: Rate, latency: TimeNs) -> Self {
+        assert!(rate.tokens() > 0, "service rate must be positive");
+        RateLatency { rate, latency }
+    }
+
+    /// The guaranteed long-run rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// The initial service latency `T`.
+    pub fn latency(&self) -> TimeNs {
+        self.latency
+    }
+}
+
+impl Curve for RateLatency {
+    fn eval(&self, delta: TimeNs) -> u64 {
+        match delta.checked_sub(self.latency) {
+            Some(d) => {
+                (d.as_ns() as u128 * self.rate.tokens() as u128 / self.rate.per().as_ns() as u128)
+                    as u64
+            }
+            None => 0,
+        }
+    }
+
+    fn jump_points(&self, horizon: TimeNs) -> Vec<TimeNs> {
+        // Completes token k at T + ceil(k · per / tokens).
+        let mut out = Vec::new();
+        let mut k: u64 = 1;
+        loop {
+            let dt = (k as u128 * self.rate.per().as_ns() as u128).div_ceil(self.rate.tokens()
+                as u128) as u64;
+            let b = self.latency + TimeNs::from_ns(dt);
+            if b > horizon {
+                break;
+            }
+            out.push(b);
+            k += 1;
+        }
+        out
+    }
+
+    fn long_run_rate(&self) -> Option<Rate> {
+        Some(self.rate)
+    }
+
+    fn transient(&self) -> TimeNs {
+        self.latency
+    }
+}
+
+/// Worst-case backlog of a flow `alpha` through a server `beta` — the
+/// vertical deviation `v(α, β) = sup_Δ { α(Δ) − β(Δ) }` (identical in
+/// form to the paper's FIFO-capacity eq. (3)).
+///
+/// # Errors
+///
+/// [`CurveAnalysisError::Unbounded`] if the arrival rate exceeds the
+/// service rate.
+pub fn backlog_bound(
+    alpha: &dyn Curve,
+    beta: &dyn Curve,
+    horizon: TimeNs,
+) -> Result<u64, CurveAnalysisError> {
+    Ok(sup_difference(alpha, beta, horizon)?.value)
+}
+
+/// Worst-case delay of a flow `alpha` through a server `beta` — the
+/// horizontal deviation `h(α, β) = sup_Δ inf { d ≥ 0 | α(Δ) ≤ β(Δ + d) }`.
+///
+/// Returns `None` if the delay is unbounded within the horizon (service
+/// rate below arrival rate, or horizon too short).
+pub fn delay_bound(alpha: &dyn Curve, beta: &dyn Curve, horizon: TimeNs) -> Option<TimeNs> {
+    if let (Some(ra), Some(rb)) = (alpha.long_run_rate(), beta.long_run_rate()) {
+        if ra > rb {
+            return None;
+        }
+    }
+    // At each arrival-curve step, find when beta catches up.
+    let mut worst = TimeNs::ZERO;
+    let mut probes = vec![TimeNs::ZERO, TimeNs::from_ns(1)];
+    for b in alpha.jump_points(horizon) {
+        probes.push(b);
+        probes.push(b.saturating_add(TimeNs::from_ns(1)));
+    }
+    let beta_steps = {
+        let mut v = beta.jump_points(horizon.saturating_add(horizon));
+        v.push(TimeNs::ZERO);
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    for delta in probes {
+        let need = alpha.eval(delta);
+        if need == 0 {
+            continue;
+        }
+        // Earliest t ≥ delta with beta(t) ≥ need, scanned over beta's
+        // steps (beta attains new values at its jump points).
+        let mut t = None;
+        for s in &beta_steps {
+            if *s >= delta && beta.eval(*s) >= need {
+                t = Some(*s);
+                break;
+            }
+        }
+        match t {
+            Some(t) => worst = worst.max(t - delta),
+            None => return None, // not served within horizon
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::StaircaseCurve;
+    use crate::pjd::PjdModel;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_ms(v)
+    }
+
+    #[test]
+    fn rate_latency_basics() {
+        // 1 token per 10 ms after a 5 ms latency.
+        let b = RateLatency::new(Rate::new(1, ms(10)), ms(5));
+        assert_eq!(b.eval(ms(5)), 0);
+        assert_eq!(b.eval(ms(15)), 1);
+        assert_eq!(b.eval(ms(35)), 3);
+        assert_eq!(b.transient(), ms(5));
+        // Jump points land where whole tokens complete.
+        assert_eq!(b.jump_points(ms(40)), vec![ms(15), ms(25), ms(35)]);
+    }
+
+    #[test]
+    fn convolution_with_burst_is_min() {
+        // f = immediate burst of 3; g = periodic 1/10ms.
+        let f = StaircaseCurve::new(vec![(TimeNs::ZERO, 3)]);
+        let g = PjdModel::periodic(ms(10)).upper();
+        // (f ⊗ g)(25ms): split λ=0 → f(0)+g(25)=0+3=3; λ=25 → 3+0=3;
+        // λ=5 → 3+g(20)=5 … min is 3.
+        assert_eq!(convolve_at(&f, &g, ms(25)), 3);
+        // Early window: limited by the burst's availability via g(0)=0.
+        assert_eq!(convolve_at(&f, &g, TimeNs::ZERO), 0);
+    }
+
+    #[test]
+    fn convolution_is_commutative_on_samples() {
+        let a = PjdModel::from_ms(10.0, 3.0, 0.0).upper();
+        let b = RateLatency::new(Rate::new(1, ms(7)), ms(2));
+        for d in [0u64, 1, 5, 12, 30, 77] {
+            let t = ms(d);
+            assert_eq!(convolve_at(&a, &b, t), convolve_at(&b, &a, t), "Δ = {t}");
+        }
+    }
+
+    #[test]
+    fn deconvolution_grows_burstiness() {
+        // A periodic flow through a slow-start server becomes burstier.
+        let alpha = PjdModel::periodic(ms(10)).upper();
+        let beta = RateLatency::new(Rate::new(1, ms(10)), ms(15));
+        let horizon = ms(1_000);
+        for d in [0u64, 5, 10, 25] {
+            let out = deconvolve_at(&alpha, &beta, ms(d), horizon);
+            assert!(
+                out >= alpha.eval(ms(d)),
+                "output envelope must dominate the input at Δ = {d} ms"
+            );
+        }
+        // The latency converts to ~2 extra tokens of burst at Δ→0⁺.
+        assert!(deconvolve_at(&alpha, &beta, ms(1), horizon) >= 2);
+    }
+
+    #[test]
+    fn backlog_matches_fifo_capacity_equation() {
+        // v(α, β) with β an exact-rate server equals the paper's |F|.
+        let producer = PjdModel::from_ms(30.0, 2.0, 0.0);
+        let consumer = PjdModel::from_ms(30.0, 30.0, 0.0);
+        let via_minplus =
+            backlog_bound(&producer.upper(), &consumer.lower(), ms(3_000)).expect("bounded");
+        let via_sizing = crate::sizing::fifo_capacity(&producer, &consumer).expect("bounded");
+        assert_eq!(via_minplus, via_sizing);
+    }
+
+    #[test]
+    fn delay_bound_closed_form_periodic_through_rate_latency() {
+        // Periodic 1/10ms through β with rate 1/10ms and latency T: the
+        // worst-case delay is T plus one service quantum.
+        let alpha = PjdModel::periodic(ms(10)).upper();
+        for t in [0u64, 5, 20] {
+            let beta = RateLatency::new(Rate::new(1, ms(10)), ms(t));
+            let d = delay_bound(&alpha, &beta, ms(2_000)).expect("bounded");
+            assert!(
+                d >= ms(t) && d <= ms(t + 10),
+                "latency {t} ms: delay bound {d} outside [T, T + P]"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_unbounded_when_underprovisioned() {
+        let alpha = PjdModel::periodic(ms(10)).upper();
+        let beta = RateLatency::new(Rate::new(1, ms(20)), TimeNs::ZERO);
+        assert_eq!(delay_bound(&alpha, &beta, ms(2_000)), None);
+    }
+
+    #[test]
+    fn delay_grows_with_jitter() {
+        let beta = RateLatency::new(Rate::new(1, ms(10)), ms(5));
+        let tight = PjdModel::from_ms(10.0, 0.0, 0.0).upper();
+        let loose = PjdModel::from_ms(10.0, 25.0, 0.0).upper();
+        let dt = delay_bound(&tight, &beta, ms(3_000)).expect("bounded");
+        let dl = delay_bound(&loose, &beta, ms(3_000)).expect("bounded");
+        assert!(dl > dt, "jitter must worsen the delay bound: {dl} vs {dt}");
+    }
+
+    #[test]
+    fn backlog_unbounded_when_underprovisioned() {
+        let alpha = PjdModel::periodic(ms(5)).upper();
+        let beta = RateLatency::new(Rate::new(1, ms(10)), TimeNs::ZERO);
+        assert!(backlog_bound(&alpha, &beta, ms(1_000)).is_err());
+    }
+}

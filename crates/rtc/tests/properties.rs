@@ -1,0 +1,213 @@
+//! Property-based tests for the real-time calculus core.
+
+use proptest::prelude::*;
+use rtft_rtc::{
+    detection, first_delta_reaching, sizing, sup_difference, Curve, PjdModel, StaircaseCurve,
+    TimeNs, ZeroCurve,
+};
+
+fn pjd_strategy() -> impl Strategy<Value = PjdModel> {
+    // Periods 1–100 ms, jitter 0–3 periods, in 100 µs quanta.
+    (1u64..=1_000, 0u64..=3_000).prop_map(|(p, j)| {
+        PjdModel::new(
+            TimeNs::from_us(p * 100),
+            TimeNs::from_us(j * 100),
+            TimeNs::ZERO,
+        )
+    })
+}
+
+proptest! {
+    /// Curves are monotone and upper dominates lower at every probe point.
+    #[test]
+    fn pjd_curves_monotone_and_ordered(m in pjd_strategy(), deltas in prop::collection::vec(0u64..10_000_000_000, 1..20)) {
+        let (u, l) = (m.upper(), m.lower());
+        let mut ds: Vec<TimeNs> = deltas.into_iter().map(TimeNs::from_ns).collect();
+        ds.sort_unstable();
+        let mut prev_u = 0;
+        let mut prev_l = 0;
+        for d in ds {
+            let (vu, vl) = (u.eval(d), l.eval(d));
+            prop_assert!(vu >= prev_u, "upper curve must be non-decreasing");
+            prop_assert!(vl >= prev_l, "lower curve must be non-decreasing");
+            prop_assert!(vu >= vl, "upper must dominate lower");
+            prev_u = vu;
+            prev_l = vl;
+        }
+    }
+
+    /// The upper curve is subadditive for zero-jitter (strictly periodic)
+    /// models: α(a + b) ≤ α(a) + α(b).
+    #[test]
+    fn periodic_upper_is_subadditive(p in 1u64..=500, a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let m = PjdModel::periodic(TimeNs::from_us(p * 100));
+        let u = m.upper();
+        let (ta, tb) = (TimeNs::from_ns(a), TimeNs::from_ns(b));
+        prop_assert!(u.eval(ta + tb) <= u.eval(ta) + u.eval(tb));
+    }
+
+    /// The lower curve is superadditive: α(a + b) ≥ α(a) + α(b).
+    #[test]
+    fn lower_is_superadditive(m in pjd_strategy(), a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let l = m.lower();
+        let (ta, tb) = (TimeNs::from_ns(a), TimeNs::from_ns(b));
+        prop_assert!(l.eval(ta + tb) >= l.eval(ta) + l.eval(tb));
+    }
+
+    /// Jump points really are the only places the curves change: between
+    /// consecutive jump points the value is constant.
+    #[test]
+    fn jump_points_are_complete(m in pjd_strategy()) {
+        let horizon = m.period * 12 + m.jitter;
+        for curve in [&m.upper() as &dyn Curve, &m.lower() as &dyn Curve] {
+            let mut jumps = curve.jump_points(horizon);
+            jumps.push(horizon);
+            jumps.sort_unstable();
+            jumps.dedup();
+            let mut prev = TimeNs::ZERO;
+            for b in jumps {
+                // The curve may change at a jump point (lower curves attain
+                // their next value exactly at b) or just after it (upper
+                // curves are left-continuous). Strictly between probe points
+                // {prev, prev+1} and {b} it must be constant.
+                let lo = prev.saturating_add(TimeNs::from_ns(1));
+                let hi = TimeNs::from_ns(b.as_ns().saturating_sub(1));
+                if hi > lo {
+                    prop_assert_eq!(curve.eval(lo), curve.eval(hi),
+                        "curve changed strictly between jump points {} and {}", prev, b);
+                }
+                prev = b;
+            }
+        }
+    }
+
+    /// FIFO capacity really prevents overflow: simulating the worst-case
+    /// producer pattern (all events as early as jitter allows) against the
+    /// worst-case consumer (all events as late as possible) never exceeds
+    /// the computed capacity.
+    #[test]
+    fn fifo_capacity_is_sufficient(p in 1u64..=200, jp in 0u64..=400, jc in 0u64..=400) {
+        let period = TimeNs::from_us(p * 100);
+        let producer = PjdModel::new(period, TimeNs::from_us(jp * 100), TimeNs::ZERO);
+        let consumer = PjdModel::new(period, TimeNs::from_us(jc * 100), TimeNs::ZERO);
+        let cap = sizing::fifo_capacity(&producer, &consumer).expect("equal rates are bounded");
+
+        // Worst-case trace: producer event n at n·P (early), consumer event
+        // n completes at n·P + Jc (late). Backlog at time t:
+        // arrivals(t) − departures(t).
+        let n_events = 200u64;
+        let mut max_backlog = 0i64;
+        for n in 0..n_events {
+            let arrival = period * n;
+            // arrivals strictly ≤ `arrival`: n + 1 (events 0..=n)
+            let arrivals = (n + 1) as i64;
+            // departures with departure time ≤ arrival:
+            // event m departs at m·P + Jc.
+            let jc_t = TimeNs::from_us(jc * 100);
+            let departures = if arrival < jc_t {
+                0
+            } else {
+                ((arrival - jc_t).div_floor(period) + 1) as i64
+            };
+            max_backlog = max_backlog.max(arrivals - departures);
+        }
+        prop_assert!(max_backlog as u64 <= cap,
+            "observed worst-case backlog {} exceeds computed capacity {}", max_backlog, cap);
+    }
+
+    /// The divergence threshold guarantees no false positives: for any two
+    /// healthy event traces consistent with the replica models, the running
+    /// count difference stays strictly below D.
+    #[test]
+    fn threshold_has_no_false_positives(p in 1u64..=100, j1 in 0u64..=300, j2 in 0u64..=300, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let period = TimeNs::from_us(p * 100);
+        let r1 = PjdModel::new(period, TimeNs::from_us(j1 * 100), TimeNs::ZERO);
+        let r2 = PjdModel::new(period, TimeNs::from_us(j2 * 100), TimeNs::ZERO);
+        let d = sizing::divergence_threshold(&r1, &r2).expect("equal rates");
+
+        // Random traces consistent with the models: event n at n·P + U(0..J).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut trace = |m: &PjdModel| -> Vec<TimeNs> {
+            (0..150u64)
+                .map(|n| {
+                    let jit = if m.jitter == TimeNs::ZERO {
+                        0
+                    } else {
+                        rng.gen_range(0..=m.jitter.as_ns())
+                    };
+                    m.period * n + TimeNs::from_ns(jit)
+                })
+                .collect()
+        };
+        let (t1, t2) = (trace(&r1), trace(&r2));
+        // Count difference at every event time.
+        let count_at = |tr: &[TimeNs], t: TimeNs| tr.iter().filter(|x| **x <= t).count() as i64;
+        for t in t1.iter().chain(t2.iter()) {
+            let diff = (count_at(&t1, *t) - count_at(&t2, *t)).unsigned_abs();
+            prop_assert!(diff < d, "divergence {} reached threshold {} fault-free", diff, d);
+        }
+    }
+
+    /// Detection bound dominates any simulated fail-stop detection time.
+    #[test]
+    fn fail_stop_bound_is_sound(p in 1u64..=100, j in 0u64..=300, d in 1u64..=6, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let healthy = PjdModel::new(TimeNs::from_us(p * 100), TimeNs::from_us(j * 100), TimeNs::ZERO);
+        let bound = detection::fail_stop_detection_bound(&[healthy, healthy], d);
+        let surplus = detection::detection_surplus(d);
+
+        // Healthy replica produces events at n·P + U(0..J); the fault occurs
+        // at time 0 with the faulty replica ahead by (D−1) tokens (worst
+        // case). Detection at the surplus-th healthy event.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let jit = |rng: &mut rand::rngs::StdRng| if healthy.jitter == TimeNs::ZERO { 0 } else { rng.gen_range(0..=healthy.jitter.as_ns()) };
+        // Event n (1-based) occurs no later than n·P + J; detection happens
+        // at event number `surplus` counted from the fault.
+        let detect_at = healthy.period * surplus + TimeNs::from_ns(jit(&mut rng));
+        prop_assert!(detect_at <= bound,
+            "simulated detection {} exceeded bound {}", detect_at, bound);
+    }
+}
+
+#[test]
+fn sup_matches_bruteforce_on_fine_grid() {
+    // Brute-force cross-check on a coarse-grained model where exhaustive
+    // nanosecond enumeration is feasible at microsecond granularity.
+    let a = PjdModel::new(TimeNs::from_us(7), TimeNs::from_us(3), TimeNs::ZERO);
+    let b = PjdModel::new(TimeNs::from_us(7), TimeNs::from_us(10), TimeNs::ZERO);
+    let horizon = TimeNs::from_us(500);
+    let sup = sup_difference(&a.upper(), &b.lower(), horizon).expect("bounded");
+    let mut brute = 0u64;
+    for ns in 0..=horizon.as_ns() {
+        let t = TimeNs::from_ns(ns);
+        brute = brute.max(a.upper().eval(t).saturating_sub(b.lower().eval(t)));
+    }
+    assert_eq!(sup.value, brute);
+}
+
+#[test]
+fn first_delta_matches_bruteforce() {
+    let healthy = PjdModel::new(TimeNs::from_us(9), TimeNs::from_us(4), TimeNs::ZERO);
+    let residual = StaircaseCurve::new(vec![(TimeNs::ZERO, 2)]);
+    let horizon = TimeNs::from_us(2_000);
+    let target = 9;
+    let got = first_delta_reaching(&healthy.lower(), &residual, target, horizon);
+    let mut brute = None;
+    for ns in 0..=horizon.as_ns() {
+        let t = TimeNs::from_ns(ns);
+        if healthy.lower().eval(t).saturating_sub(residual.eval(t)) >= target {
+            brute = Some(t);
+            break;
+        }
+    }
+    assert_eq!(got, brute);
+}
+
+#[test]
+fn zero_curve_never_reaches_positive_target() {
+    assert_eq!(
+        first_delta_reaching(&ZeroCurve, &ZeroCurve, 1, TimeNs::from_secs(1)),
+        None
+    );
+}

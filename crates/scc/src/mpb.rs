@@ -1,0 +1,132 @@
+//! Message-passing buffer (MPB) allocation.
+//!
+//! Each SCC tile carries 16 KB of on-die SRAM, exposed as 8 KB per core,
+//! used as the staging area for all MPB-routed messages. The paper's ≤3 KB
+//! chunk rule exists precisely so a chunk (plus iRCCE bookkeeping) always
+//! fits in the receiving core's MPB share. This module tracks those
+//! allocations so a mis-configured application (too many concurrent
+//! channels staged on one core) fails loudly at setup rather than
+//! corrupting the emulation.
+
+use crate::noc::MPB_BYTES_PER_CORE;
+use crate::topology::CoreId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An MPB allocation handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MpbRegion {
+    /// Owning core.
+    pub core: CoreId,
+    /// Offset within the core's 8 KB share.
+    pub offset: usize,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+/// Error allocating MPB space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpbExhausted {
+    /// The core whose share overflowed.
+    pub core: CoreId,
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+}
+
+impl fmt::Display for MpbExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MPB exhausted on {}: requested {} bytes, {} available",
+            self.core, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for MpbExhausted {}
+
+/// Per-core MPB allocator (bump allocation; channels live for the whole
+/// run, matching iRCCE's static buffer carving).
+#[derive(Debug, Default)]
+pub struct MpbAllocator {
+    used: HashMap<CoreId, usize>,
+}
+
+impl MpbAllocator {
+    /// An empty allocator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `len` bytes in `core`'s share.
+    ///
+    /// # Errors
+    ///
+    /// [`MpbExhausted`] if the core's 8 KB share cannot fit the request.
+    pub fn alloc(&mut self, core: CoreId, len: usize) -> Result<MpbRegion, MpbExhausted> {
+        let used = self.used.entry(core).or_insert(0);
+        let available = MPB_BYTES_PER_CORE - *used;
+        if len > available {
+            return Err(MpbExhausted { core, requested: len, available });
+        }
+        let offset = *used;
+        *used += len;
+        Ok(MpbRegion { core, offset, len })
+    }
+
+    /// Bytes used on `core`.
+    pub fn used(&self, core: CoreId) -> usize {
+        self.used.get(&core).copied().unwrap_or(0)
+    }
+
+    /// Bytes free on `core`.
+    pub fn free(&self, core: CoreId) -> usize {
+        MPB_BYTES_PER_CORE - self.used(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut a = MpbAllocator::new();
+        let core = CoreId::new(5);
+        let r1 = a.alloc(core, 3072).unwrap();
+        let r2 = a.alloc(core, 3072).unwrap();
+        assert_eq!(r1.offset, 0);
+        assert_eq!(r2.offset, 3072);
+        assert_eq!(a.used(core), 6144);
+        assert_eq!(a.free(core), 8192 - 6144);
+    }
+
+    #[test]
+    fn share_is_8kb() {
+        let mut a = MpbAllocator::new();
+        let core = CoreId::new(0);
+        assert!(a.alloc(core, 8192).is_ok());
+        let err = a.alloc(core, 1).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert!(err.to_string().contains("MPB exhausted"));
+    }
+
+    #[test]
+    fn cores_have_independent_shares() {
+        let mut a = MpbAllocator::new();
+        a.alloc(CoreId::new(0), 8192).unwrap();
+        assert!(a.alloc(CoreId::new(1), 8192).is_ok());
+    }
+
+    #[test]
+    fn two_chunks_plus_bookkeeping_fit() {
+        // The ≤3KB rule exists so double-buffered chunks + flags fit in 8KB.
+        let mut a = MpbAllocator::new();
+        let core = CoreId::new(9);
+        a.alloc(core, 3072).unwrap();
+        a.alloc(core, 3072).unwrap();
+        assert!(a.alloc(core, 2048).is_ok(), "bookkeeping space must remain");
+    }
+}

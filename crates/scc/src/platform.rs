@@ -1,0 +1,146 @@
+//! Bridging the SCC model into the KPN runtime.
+//!
+//! [`SccPlatform`] implements [`rtft_kpn::Platform`]: every KPN channel is
+//! given a route (source core → destination core), and each token write is
+//! charged the corresponding MPB transfer latency, chunked per the ≤3 KB
+//! rule. Unrouted channels (e.g. tile-local connections) cost nothing,
+//! matching shared-MPB communication within a tile being effectively free
+//! at the token periods of interest.
+
+use crate::mapping::Mapping;
+use crate::noc::NocModel;
+use crate::topology::CoreId;
+use rtft_kpn::{ChannelId, NodeId, Platform};
+use rtft_rtc::TimeNs;
+use std::collections::HashMap;
+
+/// SCC timing model for the KPN engine.
+#[derive(Debug)]
+pub struct SccPlatform {
+    noc: NocModel,
+    routes: HashMap<ChannelId, (CoreId, CoreId)>,
+    /// Optional per-core compute scaling (e.g. emulating a derated tile).
+    core_scale: HashMap<NodeId, f64>,
+}
+
+impl SccPlatform {
+    /// A platform over the given NoC model with no routes yet.
+    pub fn new(noc: NocModel) -> Self {
+        SccPlatform { noc, routes: HashMap::new(), core_scale: HashMap::new() }
+    }
+
+    /// A platform under the paper's boot configuration.
+    pub fn paper_boot() -> Self {
+        SccPlatform::new(NocModel::paper_boot())
+    }
+
+    /// Routes `channel` from `from` to `to`; writes on the channel are
+    /// charged the corresponding transfer latency.
+    pub fn route(&mut self, channel: ChannelId, from: CoreId, to: CoreId) -> &mut Self {
+        self.routes.insert(channel, (from, to));
+        self
+    }
+
+    /// Routes a linear pipeline: channel `i` connects mapped process `i`
+    /// to process `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping has fewer than `channels.len() + 1` entries.
+    pub fn route_pipeline(&mut self, channels: &[ChannelId], mapping: &Mapping) -> &mut Self {
+        for (i, ch) in channels.iter().enumerate() {
+            self.route(*ch, mapping.core(i), mapping.core(i + 1));
+        }
+        self
+    }
+
+    /// Scales the compute durations of process `node` (1.0 = neutral).
+    pub fn scale_node(&mut self, node: NodeId, scale: f64) -> &mut Self {
+        self.core_scale.insert(node, scale);
+        self
+    }
+
+    /// The underlying NoC model.
+    pub fn noc(&self) -> &NocModel {
+        &self.noc
+    }
+}
+
+impl Platform for SccPlatform {
+    fn transfer_latency(&self, _writer: NodeId, channel: ChannelId, bytes: usize) -> TimeNs {
+        match self.routes.get(&channel) {
+            Some((from, to)) => self.noc.message_latency(*from, *to, bytes),
+            None => TimeNs::ZERO,
+        }
+    }
+
+    fn compute_scale(&self, node: NodeId) -> f64 {
+        self.core_scale.get(&node).copied().unwrap_or(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::low_contention_pipeline;
+    use rtft_kpn::{Collector, Engine, Fifo, Network, Payload, PjdSource, PortId, RunOutcome};
+    use rtft_rtc::PjdModel;
+
+    #[test]
+    fn routed_channel_is_charged() {
+        let mut p = SccPlatform::paper_boot();
+        let ch = ChannelId(0);
+        p.route(ch, CoreId::new(0), CoreId::new(47));
+        let t = p.transfer_latency(NodeId(0), ch, 10 * 1024);
+        assert!(t > TimeNs::from_us(1));
+        // Unrouted channel is free.
+        assert_eq!(p.transfer_latency(NodeId(0), ChannelId(9), 1024), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn pipeline_routing_uses_mapping() {
+        let mapping = low_contention_pipeline(3);
+        let mut p = SccPlatform::paper_boot();
+        p.route_pipeline(&[ChannelId(0), ChannelId(1)], &mapping);
+        let near = p.transfer_latency(NodeId(0), ChannelId(0), 3072);
+        // Snake neighbours: exactly one hop each.
+        assert_eq!(near, p.transfer_latency(NodeId(1), ChannelId(1), 3072));
+        assert!(near > TimeNs::ZERO);
+    }
+
+    #[test]
+    fn engine_run_with_scc_timing() {
+        // A 30 fps source shipping 10 KB frames across the die: transfers
+        // delay tokens by microseconds, not milliseconds.
+        let mut net = Network::new();
+        let ch = net.add_channel(Fifo::new("frames", 8));
+        let model = PjdModel::periodic(TimeNs::from_ms(30));
+        net.add_process(PjdSource::new("cam", PortId::of(ch), model, 0, Some(10), |_| {
+            Payload::from(vec![0u8; 10 * 1024])
+        }));
+        let col = net.add_process(Collector::new("col", PortId::of(ch), Some(10)));
+
+        let mut platform = SccPlatform::paper_boot();
+        platform.route(ch, CoreId::new(0), CoreId::new(47));
+        let mut engine = Engine::with_platform(net, Box::new(platform));
+        let out = engine.run_until(TimeNs::from_secs(2));
+        assert!(matches!(out, RunOutcome::Completed { .. }), "{out:?}");
+        let col = engine.network().process_as::<Collector>(col).unwrap();
+        assert_eq!(col.tokens().len(), 10);
+        // Frame n is produced at n·30ms + transfer; spacing stays ~30ms.
+        let times: Vec<TimeNs> = col.tokens().iter().map(|t| t.produced_at).collect();
+        for (i, t) in times.iter().enumerate() {
+            let nominal = TimeNs::from_ms(30) * i as u64;
+            assert!(*t >= nominal);
+            assert!(*t < nominal + TimeNs::from_ms(1), "transfer cost must be tiny: {t}");
+        }
+    }
+
+    #[test]
+    fn compute_scaling_applies() {
+        let mut p = SccPlatform::paper_boot();
+        p.scale_node(NodeId(3), 2.0);
+        assert_eq!(p.compute_scale(NodeId(3)), 2.0);
+        assert_eq!(p.compute_scale(NodeId(0)), 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates the paper's structural figures as Graphviz DOT:
+//! Figure 1 (reference vs duplicated network) and Figure 2 (the MJPEG and
+//! ADPCM application pipelines).
+//!
+//! ```text
+//! cargo run -p rtft-examples --bin network_topology > figures.dot
+//! # then: dot -Tpng figures.dot  (one graph per `digraph` block)
+//! ```
+
+use rtft_core::dot::{figure1_duplicated, figure1_reference, NetworkSketch, NodeShape};
+
+/// Figure 2 (top): the MJPEG decoder pipeline.
+fn figure2_mjpeg() -> NetworkSketch {
+    let mut s = NetworkSketch::new("mjpeg_decoder");
+    for n in ["input", "splitstream", "decode lane 1", "decode lane 2", "mergeframe", "output"] {
+        s.node(n, NodeShape::Process);
+    }
+    s.edge("input", "splitstream", Some("encoded frame (10 KB)"))
+        .edge("splitstream", "decode lane 1", None)
+        .edge("splitstream", "decode lane 2", None)
+        .edge("decode lane 1", "mergeframe", None)
+        .edge("decode lane 2", "mergeframe", None)
+        .edge("mergeframe", "output", Some("decoded frame (76.8 KB)"));
+    s.cluster(
+        "critical subnetwork (duplicated)",
+        vec![
+            "splitstream".into(),
+            "decode lane 1".into(),
+            "decode lane 2".into(),
+            "mergeframe".into(),
+        ],
+    );
+    s
+}
+
+/// Figure 2 (bottom): the ADPCM application pipeline.
+fn figure2_adpcm() -> NetworkSketch {
+    let mut s = NetworkSketch::new("adpcm_application");
+    for n in ["input", "encoder", "decoder", "output"] {
+        s.node(n, NodeShape::Process);
+    }
+    s.edge("input", "encoder", Some("PCM sample (3 KB)"))
+        .edge("encoder", "decoder", Some("ADPCM (768 B, 4:1)"))
+        .edge("decoder", "output", Some("PCM sample (3 KB)"));
+    s.cluster("critical subnetwork (duplicated)", vec!["encoder".into(), "decoder".into()]);
+    s
+}
+
+fn main() {
+    println!("// Figure 1 (top): reference process network");
+    print!("{}", figure1_reference().to_dot());
+    println!("// Figure 1 (bottom): duplicated process network");
+    print!("{}", figure1_duplicated().to_dot());
+    println!("// Figure 2 (top): MJPEG decoder");
+    print!("{}", figure2_mjpeg().to_dot());
+    println!("// Figure 2 (bottom): ADPCM application");
+    print!("{}", figure2_adpcm().to_dot());
+}

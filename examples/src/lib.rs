@@ -1,0 +1,4 @@
+//! Shared nothing: this crate exists to host the runnable example binaries
+//! in the repository's `examples/` directory (see `[[bin]]` entries in its
+//! `Cargo.toml`). Run them with e.g.
+//! `cargo run --release -p rtft-examples --bin quickstart`.

@@ -1,0 +1,4 @@
+//! Host crate for the workspace integration tests (see this crate's
+//! `tests/` directory). The tests exercise every `rtft` crate together:
+//! applications over the fault-tolerance framework over both runtimes,
+//! with the SCC platform model and the distance-function baseline.

@@ -1,0 +1,196 @@
+//! Cross-crate integration: the three real applications running through
+//! the full fault-tolerance stack, checked against the analytic model.
+
+use rtft_apps::networks::App;
+use rtft_core::equivalence::{compare_streams, first_timing_violation, TimingStats};
+use rtft_core::{build_duplicated, build_reference, FaultPlan};
+use rtft_kpn::{ChannelBehavior, Engine};
+use rtft_rtc::TimeNs;
+
+const APPS: [App; 3] = [App::Mjpeg, App::Adpcm, App::H264];
+
+fn horizon(app: App, tokens: u64) -> TimeNs {
+    app.profile().model.producer.period * (tokens + 40) + TimeNs::from_secs(2)
+}
+
+/// Fault-free: duplicated ≡ reference in values, no detections, fills
+/// within capacity — for every application.
+#[test]
+fn all_apps_fault_free_equivalence() {
+    for app in APPS {
+        let tokens = 40u64;
+        let cfg = app.duplication_config(7, tokens).expect("bounded profile");
+        let factory = app.replica_factory([1, 2]);
+        let (dup_net, dup_ids) = build_duplicated(&cfg, &factory);
+        let (ref_net, ref_ids) = build_reference(&cfg, &factory);
+        let mut dup = Engine::new(dup_net);
+        dup.run_until(horizon(app, tokens));
+        let mut reference = Engine::new(ref_net);
+        reference.run_until(horizon(app, tokens));
+
+        let cmp = compare_streams(
+            ref_ids.consumer_arrivals(reference.network()),
+            dup_ids.consumer_arrivals(dup.network()),
+        );
+        assert!(cmp.values_equal(), "{app:?}: {cmp:?}");
+
+        let dnet = dup.network();
+        assert_eq!(dup_ids.replicator_faults(dnet), [None, None], "{app:?}");
+        assert_eq!(dup_ids.selector_faults(dnet), [None, None], "{app:?}");
+        for i in 0..2 {
+            assert!(
+                dnet.channel(dup_ids.replicator).max_fill(i)
+                    <= cfg.sizing.replicator_capacity[i] as usize,
+                "{app:?}: replicator fill exceeds analytic capacity"
+            );
+        }
+        assert!(
+            dnet.channel(dup_ids.selector).max_fill(0)
+                <= cfg.sizing.selector_queue_size() as usize,
+            "{app:?}: selector fill exceeds analytic capacity"
+        );
+    }
+}
+
+/// Fail-stop in either replica: detection within the analytic bound at
+/// the selector, full masking, healthy replica untouched — every app.
+#[test]
+fn all_apps_fault_detected_within_bounds() {
+    for app in APPS {
+        for faulty in 0..2usize {
+            let tokens = 50u64;
+            let period = app.profile().model.producer.period;
+            let fault_at = period * 20;
+            let cfg = app
+                .duplication_config(3, tokens)
+                .expect("bounded profile")
+                .with_fault(faulty, FaultPlan::fail_stop_at(fault_at));
+            let factory = app.replica_factory([5, 6]);
+            let (net, ids) = build_duplicated(&cfg, &factory);
+            let mut engine = Engine::new(net);
+            engine.run_until(horizon(app, tokens));
+            let net = engine.network();
+
+            assert_eq!(
+                ids.consumer_arrivals(net).len() as u64,
+                tokens,
+                "{app:?} replica {faulty}: tokens lost"
+            );
+            let sel = ids.selector_faults(net)[faulty];
+            let rep = ids.replicator_faults(net)[faulty];
+            assert!(sel.is_some() || rep.is_some(), "{app:?} replica {faulty}: undetected");
+            if let Some(f) = sel {
+                let latency = f.at.saturating_sub(fault_at);
+                assert!(
+                    latency <= cfg.sizing.selector_detection_bound,
+                    "{app:?} replica {faulty}: selector latency {} > bound {}",
+                    latency,
+                    cfg.sizing.selector_detection_bound
+                );
+            }
+            assert!(
+                ids.selector_faults(net)[1 - faulty].is_none()
+                    && ids.replicator_faults(net)[1 - faulty].is_none(),
+                "{app:?}: healthy replica flagged"
+            );
+        }
+    }
+}
+
+/// The consumer's delivery timing satisfies its own PJD requirement even
+/// across the fault (the timing half of Theorem 2).
+#[test]
+fn consumer_timing_requirement_holds_across_fault() {
+    let app = App::Adpcm;
+    let tokens = 60u64;
+    let cfg = app
+        .duplication_config(9, tokens)
+        .expect("bounded")
+        .with_fault(1, FaultPlan::fail_stop_at(TimeNs::from_ms(120)));
+    let factory = app.replica_factory([3, 4]);
+    let (net, ids) = build_duplicated(&cfg, &factory);
+    let mut engine = Engine::new(net);
+    engine.run_until(horizon(app, tokens));
+    let arrivals = ids.consumer_arrivals(engine.network());
+    assert_eq!(arrivals.len() as u64, tokens);
+    // Reads complete within jitter+slack of the consumer's nominal
+    // schedule; slack covers blocking on not-yet-produced tokens.
+    let violation = first_timing_violation(
+        arrivals,
+        &cfg.model.consumer,
+        cfg.model.producer.jitter + cfg.model.producer.period,
+    );
+    assert_eq!(violation, None, "consumer schedule violated");
+}
+
+/// Degraded (slow) replicas are detected too, not just fail-stop.
+#[test]
+fn degraded_replica_detected() {
+    let app = App::Adpcm;
+    let tokens = 200u64;
+    let cfg = app
+        .duplication_config(4, tokens)
+        .expect("bounded")
+        // Replica 1 slows all compute by 20x from 300 ms on: the shaper
+        // starves and its output rate collapses.
+        .with_fault(1, FaultPlan::slow_by_at(20.0, TimeNs::from_ms(300)));
+    let factory = app.replica_factory([8, 9]);
+    let (net, ids) = build_duplicated(&cfg, &factory);
+    let mut engine = Engine::new(net);
+    engine.run_until(horizon(app, tokens) + TimeNs::from_secs(5));
+    let net = engine.network();
+    assert_eq!(ids.consumer_arrivals(net).len() as u64, tokens, "degradation masked");
+    assert!(
+        ids.selector_faults(net)[1].is_some() || ids.replicator_faults(net)[1].is_some(),
+        "slow replica never flagged"
+    );
+    assert!(
+        ids.selector_faults(net)[0].is_none() && ids.replicator_faults(net)[0].is_none(),
+        "healthy replica flagged"
+    );
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// arrival logs, including under faults.
+#[test]
+fn full_stack_is_deterministic() {
+    let run = || {
+        let app = App::Mjpeg;
+        let cfg = app
+            .duplication_config(5, 30)
+            .expect("bounded")
+            .with_fault(0, FaultPlan::fail_stop_at(TimeNs::from_ms(400)));
+        let factory = app.replica_factory([7, 8]);
+        let (net, ids) = build_duplicated(&cfg, &factory);
+        let mut engine = Engine::new(net);
+        engine.run_until(horizon(App::Mjpeg, 30));
+        ids.consumer_arrivals(engine.network()).to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Inter-arrival statistics stay at the application's period with or
+/// without the framework (Table 2's "similar runtime performance").
+#[test]
+fn framework_does_not_change_delivery_rate() {
+    let app = App::Adpcm;
+    let tokens = 80u64;
+    let cfg = app.duplication_config(2, tokens).expect("bounded");
+    let factory = app.replica_factory([1, 2]);
+
+    let (dup_net, dup_ids) = build_duplicated(&cfg, &factory);
+    let mut dup = Engine::new(dup_net);
+    dup.run_until(horizon(app, tokens));
+    let (ref_net, ref_ids) = build_reference(&cfg, &factory);
+    let mut reference = Engine::new(ref_net);
+    reference.run_until(horizon(app, tokens));
+
+    let d = TimingStats::from_arrivals(dup_ids.consumer_arrivals(dup.network())).expect("gaps");
+    let r = TimingStats::from_arrivals(ref_ids.consumer_arrivals(reference.network()))
+        .expect("gaps");
+    let period_ns = cfg.model.producer.period.as_ns() as f64;
+    let d_mean = d.mean.as_ns() as f64;
+    let r_mean = r.mean.as_ns() as f64;
+    assert!((d_mean - period_ns).abs() / period_ns < 0.05, "duplicated mean {d_mean}");
+    assert!((d_mean - r_mean).abs() / period_ns < 0.02, "reference vs duplicated rates differ");
+}
