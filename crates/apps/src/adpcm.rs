@@ -9,11 +9,10 @@
 /// IMA ADPCM step-size table (89 entries, per the IMA spec).
 const STEP_TABLE: [i32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 /// Index adjustment per 4-bit code.
@@ -79,7 +78,11 @@ pub fn encode(samples: &[i16], state: &mut AdpcmState) -> Vec<u8> {
     let mut out = Vec::with_capacity(samples.len().div_ceil(2));
     for pair in samples.chunks(2) {
         let lo = encode_sample(state, pair[0]) & 0x0F;
-        let hi = if pair.len() > 1 { encode_sample(state, pair[1]) & 0x0F } else { 0 };
+        let hi = if pair.len() > 1 {
+            encode_sample(state, pair[1]) & 0x0F
+        } else {
+            0
+        };
         out.push(lo | (hi << 4));
     }
     out
@@ -169,7 +172,11 @@ mod tests {
         let block = AudioSource::new(1).block(0);
         assert_eq!(block.len(), 3 * 1024);
         let encoded = encode_block(&block);
-        assert_eq!(encoded.len(), block.len() / 4, "exact 4:1 as the paper states");
+        assert_eq!(
+            encoded.len(),
+            block.len() / 4,
+            "exact 4:1 as the paper states"
+        );
         let decoded = decode_block(&encoded);
         assert_eq!(decoded.len(), block.len());
     }
@@ -179,13 +186,20 @@ mod tests {
         let block = AudioSource::new(2).block(3);
         let decoded = decode_block(&encode_block(&block));
         // ADPCM is lossy; require a sane SNR over the block.
-        let orig: Vec<i16> =
-            block.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]])).collect();
-        let rec: Vec<i16> =
-            decoded.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]])).collect();
+        let orig: Vec<i16> = block
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        let rec: Vec<i16> = decoded
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
         let signal: f64 = orig.iter().map(|s| (*s as f64).powi(2)).sum();
-        let noise: f64 =
-            orig.iter().zip(rec.iter()).map(|(a, b)| ((a - b) as f64).powi(2)).sum();
+        let noise: f64 = orig
+            .iter()
+            .zip(rec.iter())
+            .map(|(a, b)| ((a - b) as f64).powi(2))
+            .sum();
         let snr_db = 10.0 * (signal / noise.max(1.0)).log10();
         assert!(snr_db > 15.0, "SNR {snr_db:.1} dB too low");
     }
@@ -200,7 +214,9 @@ mod tests {
     fn state_adapts_step_size() {
         let mut state = AdpcmState::default();
         // Loud signal drives the step index up.
-        let loud: Vec<i16> = (0..64).map(|i| if i % 2 == 0 { 20_000 } else { -20_000 }).collect();
+        let loud: Vec<i16> = (0..64)
+            .map(|i| if i % 2 == 0 { 20_000 } else { -20_000 })
+            .collect();
         encode(&loud, &mut state);
         assert!(state.step_index > 40, "index {}", state.step_index);
     }
@@ -211,7 +227,9 @@ mod tests {
         let mut state = AdpcmState::default();
         let codes = encode(&silence, &mut state);
         // All nibbles near zero magnitude.
-        assert!(codes.iter().all(|b| (b & 0x07) <= 1 && ((b >> 4) & 0x07) <= 1));
+        assert!(codes
+            .iter()
+            .all(|b| (b & 0x07) <= 1 && ((b >> 4) & 0x07) <= 1));
     }
 
     #[test]
@@ -219,8 +237,10 @@ mod tests {
         // The encoder updates its state via the decoder's reconstruction:
         // running both over the same stream yields identical states.
         let block = AudioSource::new(3).block(0);
-        let samples: Vec<i16> =
-            block.chunks_exact(2).map(|c| i16::from_le_bytes([c[0], c[1]])).collect();
+        let samples: Vec<i16> = block
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect();
         let mut enc_state = AdpcmState::default();
         let codes = encode(&samples, &mut enc_state);
         let mut dec_state = AdpcmState::default();

@@ -48,7 +48,11 @@ impl BitWriter {
 
     /// Signed Exp-Golomb code (`se(v)`): 0, 1, −1, 2, −2, …
     pub fn put_se(&mut self, v: i64) {
-        let mapped = if v > 0 { (v as u64) * 2 - 1 } else { (-v as u64) * 2 };
+        let mapped = if v > 0 {
+            (v as u64) * 2 - 1
+        } else {
+            (-v as u64) * 2
+        };
         self.put_ue(mapped);
     }
 
@@ -145,7 +149,11 @@ impl<'a> BitReader<'a> {
     /// [`BitstreamExhausted`] past the end of input.
     pub fn get_se(&mut self) -> Result<i64, BitstreamExhausted> {
         let v = self.get_ue()?;
-        Ok(if v % 2 == 1 { ((v + 1) / 2) as i64 } else { -((v / 2) as i64) })
+        Ok(if v % 2 == 1 {
+            (v.div_ceil(2)) as i64
+        } else {
+            -((v / 2) as i64)
+        })
     }
 
     /// Current bit position.

@@ -3,16 +3,16 @@
 
 /// Zig-zag scan order of an 8×8 block (row-major indices).
 pub const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// The JPEG Annex K luminance quantisation table.
 pub const QTABLE_LUMA: [u16; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104,
-    113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// Scales the base quantisation table by a JPEG-style quality factor
@@ -23,8 +23,11 @@ pub const QTABLE_LUMA: [u16; 64] = [
 /// Panics if `quality` is 0 or > 100.
 pub fn scaled_qtable(quality: u8) -> [u16; 64] {
     assert!((1..=100).contains(&quality), "quality must be 1..=100");
-    let scale: u32 =
-        if quality < 50 { 5000 / quality as u32 } else { 200 - 2 * quality as u32 };
+    let scale: u32 = if quality < 50 {
+        5000 / quality as u32
+    } else {
+        200 - 2 * quality as u32
+    };
     let mut out = [0u16; 64];
     for (o, q) in out.iter_mut().zip(QTABLE_LUMA.iter()) {
         *o = (((*q as u32) * scale + 50) / 100).clamp(1, 255) as u16;
@@ -41,11 +44,13 @@ fn basis() -> &'static [[f32; 8]; 8] {
     TABLE.get_or_init(|| {
         let mut t = [[0f32; 8]; 8];
         for (u, row) in t.iter_mut().enumerate() {
-            let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                std::f32::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             for (x, v) in row.iter_mut().enumerate() {
-                *v = 0.5
-                    * cu
-                    * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
+                *v = 0.5 * cu * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
             }
         }
         t
@@ -148,7 +153,10 @@ mod tests {
     fn flat_block_has_only_dc() {
         let block = [100u8; 64];
         let coeffs = fdct8x8(&block);
-        assert!((coeffs[0] - (100.0 - 128.0) * 8.0).abs() < 0.01, "DC = 8·mean shift");
+        assert!(
+            (coeffs[0] - (100.0 - 128.0) * 8.0).abs() < 0.01,
+            "DC = 8·mean shift"
+        );
         for (i, c) in coeffs.iter().enumerate().skip(1) {
             assert!(c.abs() < 1e-3, "AC coefficient {i} should vanish: {c}");
         }

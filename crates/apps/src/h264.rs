@@ -178,10 +178,16 @@ fn dequant(z: &[i32; 16], qp: u8) -> [i32; 16] {
 fn predict(recon: &[u8], width: usize, mbx: usize, mby: usize, mode: PredMode) -> [u8; 256] {
     let x0 = mbx * MB;
     let y0 = mby * MB;
-    let top: Option<Vec<u8>> = (mby > 0)
-        .then(|| (0..MB).map(|dx| recon[(y0 - 1) * width + x0 + dx]).collect());
-    let left: Option<Vec<u8>> = (mbx > 0)
-        .then(|| (0..MB).map(|dy| recon[(y0 + dy) * width + x0 - 1]).collect());
+    let top: Option<Vec<u8>> = (mby > 0).then(|| {
+        (0..MB)
+            .map(|dx| recon[(y0 - 1) * width + x0 + dx])
+            .collect()
+    });
+    let left: Option<Vec<u8>> = (mbx > 0).then(|| {
+        (0..MB)
+            .map(|dy| recon[(y0 + dy) * width + x0 - 1])
+            .collect()
+    });
 
     let mut out = [0u8; 256];
     match mode {
@@ -196,7 +202,7 @@ fn predict(recon: &[u8], width: usize, mbx: usize, mby: usize, mode: PredMode) -
                 sum += l.iter().map(|p| *p as u32).sum::<u32>();
                 n += MB as u32;
             }
-            let dc = if n == 0 { 128 } else { ((sum + n / 2) / n) as u8 };
+            let dc = (sum + n / 2).checked_div(n).map_or(128, |v| v as u8);
             out.fill(dc);
         }
         PredMode::Vertical => {
@@ -225,7 +231,7 @@ fn predict(recon: &[u8], width: usize, mbx: usize, mby: usize, mode: PredMode) -
 pub fn encode(frame: &Frame, qp: u8) -> Vec<u8> {
     assert!(qp <= 51, "QP must be 0..=51");
     assert!(
-        frame.width % MB == 0 && frame.height % MB == 0,
+        frame.width.is_multiple_of(MB) && frame.height.is_multiple_of(MB),
         "frame dimensions must be multiples of 16"
     );
     let (width, height) = (frame.width, frame.height);
@@ -315,7 +321,12 @@ pub fn decode(data: &[u8]) -> Result<Frame, H264Error> {
     let width = r.get_bits(16)? as usize;
     let height = r.get_bits(16)? as usize;
     let qp = r.get_bits(8)? as u8;
-    if width == 0 || height == 0 || width % MB != 0 || height % MB != 0 || qp > 51 {
+    if width == 0
+        || height == 0
+        || !width.is_multiple_of(MB)
+        || !height.is_multiple_of(MB)
+        || qp > 51
+    {
         return Err(H264Error::BadHeader);
     }
 
@@ -427,7 +438,11 @@ mod tests {
         let mut pixels = vec![0u8; 320 * 240];
         for y in 0..240 {
             for x in 0..320 {
-                pixels[y * 320 + x] = if x < 160 { (y % 256) as u8 } else { (x % 256) as u8 };
+                pixels[y * 320 + x] = if x < 160 {
+                    (y % 256) as u8
+                } else {
+                    (x % 256) as u8
+                };
             }
         }
         let frame = Frame::from_pixels(320, 240, pixels);

@@ -58,7 +58,7 @@ impl From<BitstreamExhausted> for MjpegError {
 /// not multiples of 8.
 pub fn encode(frame: &Frame, quality: u8) -> Vec<u8> {
     assert!(
-        frame.width % 8 == 0 && frame.height % 8 == 0,
+        frame.width.is_multiple_of(8) && frame.height.is_multiple_of(8),
         "frame dimensions must be multiples of 8"
     );
     let qtable = scaled_qtable(quality);
@@ -112,7 +112,7 @@ pub fn decode(data: &[u8]) -> Result<Frame, MjpegError> {
     let width = r.get_bits(16)? as usize;
     let height = r.get_bits(16)? as usize;
     let quality = r.get_bits(8)? as u8;
-    if width == 0 || height == 0 || width % 8 != 0 || height % 8 != 0 {
+    if width == 0 || height == 0 || !width.is_multiple_of(8) || !height.is_multiple_of(8) {
         return Err(MjpegError::BadHeader);
     }
     if !(1..=100).contains(&quality) {

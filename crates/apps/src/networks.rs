@@ -30,7 +30,6 @@ use std::sync::Arc;
 /// codecs on every token.
 pub const WORKLOAD_CYCLE: u64 = 4;
 
-
 /// Wraps a pure payload transform with a digest-keyed memo.
 ///
 /// Experiment campaigns cycle [`WORKLOAD_CYCLE`] distinct workload items
@@ -89,8 +88,9 @@ impl App {
             }
             App::Adpcm => {
                 let src = AudioSource::new(seed);
-                let blocks: Vec<Payload> =
-                    (0..WORKLOAD_CYCLE).map(|n| Payload::from(src.block(n))).collect();
+                let blocks: Vec<Payload> = (0..WORKLOAD_CYCLE)
+                    .map(|n| Payload::from(src.block(n)))
+                    .collect();
                 Arc::new(move |n| blocks[(n % WORKLOAD_CYCLE) as usize].clone())
             }
             App::H264 => {
@@ -109,7 +109,10 @@ impl App {
         let profile = self.profile();
         AppReplicaFactory {
             app: self,
-            jitter: [profile.model.replica_out[0].jitter, profile.model.replica_out[1].jitter],
+            jitter: [
+                profile.model.replica_out[0].jitter,
+                profile.model.replica_out[1].jitter,
+            ],
             seeds,
         }
     }
@@ -185,7 +188,10 @@ impl ReplicaFactory for AppReplicaFactory {
                     seed,
                     |p| {
                         let data = p.as_bytes().expect("encoded frame bytes");
-                        mjpeg::split_stream(data, 2).into_iter().map(Payload::from).collect()
+                        mjpeg::split_stream(data, 2)
+                            .into_iter()
+                            .map(Payload::from)
+                            .collect()
                     },
                 );
                 let split_id = net.add_process(FaultyProcess::new(split, fault));
@@ -194,12 +200,26 @@ impl ReplicaFactory for AppReplicaFactory {
                 // halves (entropy streams are not independently decodable;
                 // real decode happens at the merge, per DESIGN.md).
                 let lane = |name: String, from, to| {
-                    Transform::new(name, from, to, TimeNs::from_ms(2), TimeNs::ZERO, seed, |p| p)
+                    Transform::new(
+                        name,
+                        from,
+                        to,
+                        TimeNs::from_ms(2),
+                        TimeNs::ZERO,
+                        seed,
+                        |p| p,
+                    )
                 };
-                let lane_a =
-                    net.add_process(lane(tag("lane_a"), PortId::of(half_a), PortId::of(merged_a)));
-                let lane_b =
-                    net.add_process(lane(tag("lane_b"), PortId::of(half_b), PortId::of(merged_b)));
+                let lane_a = net.add_process(lane(
+                    tag("lane_a"),
+                    PortId::of(half_a),
+                    PortId::of(merged_a),
+                ));
+                let lane_b = net.add_process(lane(
+                    tag("lane_b"),
+                    PortId::of(half_b),
+                    PortId::of(merged_b),
+                ));
 
                 let decoded = net.add_channel(Fifo::new(tag("decoded"), 4));
                 let merge = FanInStage::new(
@@ -213,9 +233,9 @@ impl ReplicaFactory for AppReplicaFactory {
                         let mut memo: std::collections::HashMap<u64, Payload> =
                             std::collections::HashMap::new();
                         move |parts: Vec<Payload>| {
-                            let key = parts.iter().fold(0u64, |acc, p| {
-                                acc.rotate_left(13) ^ p.digest()
-                            });
+                            let key = parts
+                                .iter()
+                                .fold(0u64, |acc, p| acc.rotate_left(13) ^ p.digest());
                             if let Some(hit) = memo.get(&key) {
                                 return hit.clone();
                             }
@@ -223,10 +243,8 @@ impl ReplicaFactory for AppReplicaFactory {
                                 .iter()
                                 .map(|p| p.as_bytes().expect("half bytes").to_vec())
                                 .collect();
-                            let encoded =
-                                mjpeg::merge_parts(&bytes).expect("halves reassemble");
-                            let frame =
-                                mjpeg::decode(&encoded).expect("replica decodes its input");
+                            let encoded = mjpeg::merge_parts(&bytes).expect("halves reassemble");
+                            let frame = mjpeg::decode(&encoded).expect("replica decodes its input");
                             let out = Payload::from(frame.pixels);
                             if memo.len() < 64 {
                                 memo.insert(key, out.clone());
@@ -269,9 +287,7 @@ impl ReplicaFactory for AppReplicaFactory {
                     TimeNs::from_ms(1),
                     TimeNs::ZERO,
                     seed.wrapping_add(1),
-                    memoized(|p| {
-                        Payload::from(decode_block(p.as_bytes().expect("adpcm bytes")))
-                    }),
+                    memoized(|p| Payload::from(decode_block(p.as_bytes().expect("adpcm bytes")))),
                 );
                 let decoder_id = net.add_process(decoder);
                 // encoder 1 + decoder 1 + producer jitter 1 + margin 1 = 4 ms.
@@ -355,8 +371,7 @@ mod tests {
 
     #[test]
     fn adpcm_network_masks_fault() {
-        let (arrivals, faulty, healthy) =
-            run_app(App::Adpcm, 60, Some((1, TimeNs::from_ms(150))));
+        let (arrivals, faulty, healthy) = run_app(App::Adpcm, 60, Some((1, TimeNs::from_ms(150))));
         assert_eq!(arrivals, 60, "all samples delivered despite the fault");
         assert!(faulty, "fault detected");
         assert!(!healthy, "healthy replica untouched");
@@ -370,8 +385,7 @@ mod tests {
 
     #[test]
     fn mjpeg_network_masks_fault() {
-        let (arrivals, faulty, healthy) =
-            run_app(App::Mjpeg, 24, Some((0, TimeNs::from_ms(300))));
+        let (arrivals, faulty, healthy) = run_app(App::Mjpeg, 24, Some((0, TimeNs::from_ms(300))));
         assert_eq!(arrivals, 24);
         assert!(faulty);
         assert!(!healthy);
@@ -385,8 +399,7 @@ mod tests {
 
     #[test]
     fn h264_network_masks_fault() {
-        let (arrivals, faulty, healthy) =
-            run_app(App::H264, 12, Some((1, TimeNs::from_ms(150))));
+        let (arrivals, faulty, healthy) = run_app(App::H264, 12, Some((1, TimeNs::from_ms(150))));
         assert_eq!(arrivals, 12);
         assert!(faulty);
         assert!(!healthy);
@@ -403,10 +416,16 @@ mod tests {
             dup.run_until(TimeNs::from_secs(60));
             let mut reference = Engine::new(ref_net);
             reference.run_until(TimeNs::from_secs(60));
-            let d: Vec<u64> =
-                dup_ids.consumer_arrivals(dup.network()).iter().map(|a| a.1).collect();
-            let r: Vec<u64> =
-                ref_ids.consumer_arrivals(reference.network()).iter().map(|a| a.1).collect();
+            let d: Vec<u64> = dup_ids
+                .consumer_arrivals(dup.network())
+                .iter()
+                .map(|a| a.1)
+                .collect();
+            let r: Vec<u64> = ref_ids
+                .consumer_arrivals(reference.network())
+                .iter()
+                .map(|a| a.1)
+                .collect();
             assert_eq!(d, r, "{app:?}: Theorem 2 value equivalence");
         }
     }
@@ -419,8 +438,16 @@ mod tests {
             let g3 = app.payload_generator(2);
             assert_eq!(g1(0).digest(), g2(0).digest(), "{app:?} deterministic");
             assert_ne!(g1(0).digest(), g3(0).digest(), "{app:?} seeded");
-            assert_eq!(g1(0).digest(), g1(WORKLOAD_CYCLE).digest(), "{app:?} cycles");
-            assert_ne!(g1(0).digest(), g1(1).digest(), "{app:?} varies within a cycle");
+            assert_eq!(
+                g1(0).digest(),
+                g1(WORKLOAD_CYCLE).digest(),
+                "{app:?} cycles"
+            );
+            assert_ne!(
+                g1(0).digest(),
+                g1(1).digest(),
+                "{app:?} varies within a cycle"
+            );
         }
     }
 
@@ -428,7 +455,11 @@ mod tests {
     fn mjpeg_tokens_have_paper_sizes() {
         let gen = App::Mjpeg.payload_generator(1);
         let encoded = gen(0);
-        assert!((4_000..20_000).contains(&encoded.len()), "{}", encoded.len());
+        assert!(
+            (4_000..20_000).contains(&encoded.len()),
+            "{}",
+            encoded.len()
+        );
         // And the decoded output token is exactly 76.8 KB — check through
         // a short run of the reference network.
         let cfg = App::Mjpeg.duplication_config(1, 4).unwrap();

@@ -10,7 +10,7 @@ use rtft_rtc::sizing::DuplicationModel;
 use rtft_rtc::PjdModel;
 
 /// A complete experiment profile for one application.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AppProfile {
     /// Application name.
     pub name: &'static str,
@@ -33,7 +33,10 @@ pub fn mjpeg() -> AppProfile {
         model: DuplicationModel::symmetric(
             PjdModel::from_ms(30.0, 2.0, 0.0),
             PjdModel::from_ms(30.0, 2.0, 90.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+            [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
         ),
         input_token_bytes: 10 * 1024,
         output_token_bytes: 76_800,
@@ -49,7 +52,10 @@ pub fn adpcm() -> AppProfile {
         model: DuplicationModel::symmetric(
             PjdModel::from_ms(6.3, 1.0, 0.0),
             PjdModel::from_ms(6.3, 1.0, 25.2),
-            [PjdModel::from_ms(6.3, 1.0, 0.0), PjdModel::from_ms(6.3, 16.0, 0.0)],
+            [
+                PjdModel::from_ms(6.3, 1.0, 0.0),
+                PjdModel::from_ms(6.3, 16.0, 0.0),
+            ],
         ),
         input_token_bytes: 3 * 1024,
         output_token_bytes: 3 * 1024,
@@ -65,7 +71,10 @@ pub fn h264() -> AppProfile {
         model: DuplicationModel::symmetric(
             PjdModel::from_ms(33.3, 2.0, 0.0),
             PjdModel::from_ms(33.3, 2.0, 100.0),
-            [PjdModel::from_ms(33.3, 4.0, 0.0), PjdModel::from_ms(33.3, 20.0, 0.0)],
+            [
+                PjdModel::from_ms(33.3, 4.0, 0.0),
+                PjdModel::from_ms(33.3, 20.0, 0.0),
+            ],
         ),
         input_token_bytes: 76_800,
         output_token_bytes: 20 * 1024,

@@ -32,7 +32,9 @@ enum FanOutState {
 
 impl fmt::Debug for FanOutStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FanOutStage").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("FanOutStage")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -134,7 +136,9 @@ enum FanInState {
 
 impl fmt::Debug for FanInStage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FanInStage").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("FanInStage")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -216,7 +220,14 @@ mod tests {
         let out_a = net.add_channel(Fifo::new("a", 8));
         let out_b = net.add_channel(Fifo::new("b", 8));
         let model = PjdModel::periodic(TimeNs::from_ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(input), model, 0, Some(5), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(input),
+            model,
+            0,
+            Some(5),
+            Payload::U64,
+        ));
         net.add_process(FanOutStage::new(
             "split",
             PortId::of(input),
@@ -233,7 +244,10 @@ mod tests {
         let col_b = net.add_process(Collector::new("cb", PortId::of(out_b), Some(5)));
         let mut engine = Engine::new(net);
         let out = engine.run_until(TimeNs::from_secs(5));
-        assert!(matches!(out, RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }));
+        assert!(matches!(
+            out,
+            RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }
+        ));
         let a: Vec<u64> = engine
             .network()
             .process_as::<Collector>(col_a)
@@ -261,12 +275,22 @@ mod tests {
         let in_b = net.add_channel(Fifo::new("b", 8));
         let out = net.add_channel(Fifo::new("out", 8));
         let model = PjdModel::periodic(TimeNs::from_ms(10));
-        net.add_process(PjdSource::new("sa", PortId::of(in_a), model, 0, Some(4), |s| {
-            Payload::U64(s * 10)
-        }));
-        net.add_process(PjdSource::new("sb", PortId::of(in_b), model, 0, Some(4), |s| {
-            Payload::U64(s)
-        }));
+        net.add_process(PjdSource::new(
+            "sa",
+            PortId::of(in_a),
+            model,
+            0,
+            Some(4),
+            |s| Payload::U64(s * 10),
+        ));
+        net.add_process(PjdSource::new(
+            "sb",
+            PortId::of(in_b),
+            model,
+            0,
+            Some(4),
+            Payload::U64,
+        ));
         net.add_process(FanInStage::new(
             "merge",
             vec![PortId::of(in_a), PortId::of(in_b)],

@@ -7,7 +7,7 @@
 //! texture) that the codec does real work and compresses to roughly the
 //! paper's encoded size.
 
-use bytes::Bytes;
+use rtft_kpn::Bytes;
 
 /// Frame width used throughout the experiments.
 pub const FRAME_WIDTH: usize = 320;
@@ -30,7 +30,11 @@ pub struct Frame {
 impl Frame {
     /// A black frame of the experiment geometry.
     pub fn blank() -> Self {
-        Frame { width: FRAME_WIDTH, height: FRAME_HEIGHT, pixels: vec![0; FRAME_BYTES] }
+        Frame {
+            width: FRAME_WIDTH,
+            height: FRAME_HEIGHT,
+            pixels: vec![0; FRAME_BYTES],
+        }
     }
 
     /// A frame from raw bytes.
@@ -40,7 +44,11 @@ impl Frame {
     /// Panics if `pixels.len() != width * height`.
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
         assert_eq!(pixels.len(), width * height, "pixel count mismatch");
-        Frame { width, height, pixels }
+        Frame {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Pixel at `(x, y)`.
@@ -93,8 +101,8 @@ impl VideoSource {
         let mut pixels = vec![0u8; FRAME_BYTES];
         let phase = (self.seed % 251) as i64 + n as i64 * 3;
         let (cx, cy) = (
-            (60 + (n as i64 * 5 + phase) % (FRAME_WIDTH as i64 - 120)) as i64,
-            (60 + (n as i64 * 3) % (FRAME_HEIGHT as i64 - 120)) as i64,
+            60 + (n as i64 * 5 + phase) % (FRAME_WIDTH as i64 - 120),
+            60 + (n as i64 * 3) % (FRAME_HEIGHT as i64 - 120),
         );
         for y in 0..FRAME_HEIGHT {
             for x in 0..FRAME_WIDTH {
@@ -155,7 +163,10 @@ mod tests {
         let f = VideoSource::new(3).frame(7);
         let min = f.pixels.iter().min().unwrap();
         let max = f.pixels.iter().max().unwrap();
-        assert!(max - min > 100, "range {min}..{max} too flat to exercise the codec");
+        assert!(
+            max - min > 100,
+            "range {min}..{max} too flat to exercise the codec"
+        );
     }
 
     #[test]

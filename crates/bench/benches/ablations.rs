@@ -22,7 +22,10 @@ fn base_model() -> DuplicationModel {
     DuplicationModel::symmetric(
         PjdModel::from_ms(30.0, 2.0, 0.0),
         PjdModel::from_ms(30.0, 2.0, 90.0),
-        [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+        [
+            PjdModel::from_ms(30.0, 5.0, 0.0),
+            PjdModel::from_ms(30.0, 30.0, 0.0),
+        ],
     )
 }
 
@@ -114,14 +117,19 @@ fn ablation_detector_split() {
     let factory = JitterStageReplica::from_model(&base_model()).with_seeds([7, 8]);
     let mut t = AsciiTable::new();
     t.row(["Detector", "latency (ms)", "cause"]);
-    for (label, divergence, stall) in
-        [("both", true, true), ("divergence only", true, false), ("stall only", false, true)]
-    {
+    for (label, divergence, stall) in [
+        ("both", true, true),
+        ("divergence only", true, false),
+        ("stall only", false, true),
+    ] {
         let cfg = base_config(200);
         let d = cfg.sizing.selector_threshold;
         let (mut net, ids) = build_duplicated(&cfg, &factory);
         let mut sel_cfg = SelectorConfig::new(
-            [cfg.sizing.selector_capacity[0] as usize, cfg.sizing.selector_capacity[1] as usize],
+            [
+                cfg.sizing.selector_capacity[0] as usize,
+                cfg.sizing.selector_capacity[1] as usize,
+            ],
             d,
         );
         if !divergence {
@@ -130,8 +138,10 @@ fn ablation_detector_split() {
         if !stall {
             sel_cfg = sel_cfg.without_stall_detection();
         }
-        *net.channel_mut(ids.selector).as_any_mut().downcast_mut::<Selector>().expect("sel") =
-            Selector::new("selector", sel_cfg);
+        *net.channel_mut(ids.selector)
+            .as_any_mut()
+            .downcast_mut::<Selector>()
+            .expect("sel") = Selector::new("selector", sel_cfg);
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(30));
         match ids.selector_faults(engine.network())[0] {
@@ -154,11 +164,10 @@ fn ablation_jitter_sweep() {
         let model = DuplicationModel::symmetric(
             PjdModel::from_ms(30.0, 2.0, 0.0),
             PjdModel::from_ms(30.0, 2.0, 90.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::new(
-                TimeNs::from_ms(30),
-                TimeNs::from_ms(j2),
-                TimeNs::ZERO,
-            )],
+            [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::new(TimeNs::from_ms(30), TimeNs::from_ms(j2), TimeNs::ZERO),
+            ],
         );
         let s = SizingReport::analyze(&model).expect("bounded");
         t.row([

@@ -12,12 +12,15 @@
 use rtft_apps::networks::App;
 use rtft_core::equivalence::TimingStats;
 use rtft_core::{
-    build_duplicated, build_reference, DuplicationConfig, FaultPlan, ReplicaFactory,
+    build_duplicated, build_reference, instrument_duplicated, DuplicationConfig, FaultPlan,
+    ReplicaFactory, ReplicatorFaultCause, SelectorFaultCause,
 };
 use rtft_distfn::{tap_stage, DistanceMonitor, LRepetitive, StreamTap};
 use rtft_kpn::{Engine, Fifo, Network, NodeId, PortId};
+use rtft_obs::{BenchMetrics, DetectionSite, MetricsRegistry, ReplicaStatus};
 use rtft_rtc::sizing::SizingReport;
 use rtft_rtc::{PjdModel, TimeNs};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Number of experiment repetitions, matching the paper's "20 such runs".
@@ -72,9 +75,8 @@ pub fn no_fault_campaign(app: App, runs: usize, tokens: u64) -> NoFaultStats {
         reference.run_until(horizon);
 
         let dnet = dup.network();
-        for i in 0..2 {
-            max_fill_replicator[i] =
-                max_fill_replicator[i].max(dnet.channel(dup_ids.replicator).max_fill(i));
+        for (i, fill) in max_fill_replicator.iter_mut().enumerate() {
+            *fill = (*fill).max(dnet.channel(dup_ids.replicator).max_fill(i));
         }
         max_fill_selector = max_fill_selector.max(dnet.channel(dup_ids.selector).max_fill(0));
         let rep = dup_ids.replicator_faults(dnet);
@@ -83,8 +85,7 @@ pub fn no_fault_campaign(app: App, runs: usize, tokens: u64) -> NoFaultStats {
 
         let d = dup_ids.consumer_arrivals(dnet);
         let r = ref_ids.consumer_arrivals(reference.network());
-        equivalent &= d.len() == r.len()
-            && d.iter().map(|a| a.1).eq(r.iter().map(|a| a.1));
+        equivalent &= d.len() == r.len() && d.iter().map(|a| a.1).eq(r.iter().map(|a| a.1));
         dup_gaps.extend(d.windows(2).map(|w| w[1].0 - w[0].0));
         ref_gaps.extend(r.windows(2).map(|w| w[1].0 - w[0].0));
     }
@@ -131,6 +132,29 @@ pub struct FaultCampaign {
 ///
 /// Panics if the app profile's rates diverge.
 pub fn fault_campaign(app: App, runs: usize, tokens: u64, fault_at: TimeNs) -> FaultCampaign {
+    fault_campaign_observed(app, runs, tokens, fault_at).0
+}
+
+/// [`fault_campaign`] with the observability subsystem attached: every run
+/// executes with engine metrics on and a [`rtft_obs::HealthModel`] wired
+/// through [`instrument_duplicated`], and the pooled results come back as a
+/// [`BenchMetrics`] bundle for the result JSON. The detection numbers are
+/// identical to the untracked campaign — instrumentation never touches
+/// virtual time.
+///
+/// # Panics
+///
+/// Panics if the app profile's rates diverge.
+pub fn fault_campaign_observed(
+    app: App,
+    runs: usize,
+    tokens: u64,
+    fault_at: TimeNs,
+) -> (FaultCampaign, BenchMetrics) {
+    let registry = MetricsRegistry::new();
+    let latency = registry.histogram("bench.detection_latency_ns");
+    let mut by_site: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut max_fills = [0u64; 3]; // replicator.q0, replicator.q1, selector
     let mut rep_lat = Vec::new();
     let mut sel_lat = Vec::new();
     let mut all_masked = true;
@@ -147,25 +171,61 @@ pub fn fault_campaign(app: App, runs: usize, tokens: u64, fault_at: TimeNs) -> F
         let factory = app.replica_factory([run * 7 + 11, run * 7 + 22]);
         let horizon = sim_horizon(&cfg, tokens);
 
-        let (net, ids) = build_duplicated(&cfg, &factory);
-        let mut engine = Engine::new(net);
+        let (mut net, ids) = build_duplicated(&cfg, &factory);
+        let health = instrument_duplicated(&mut net, &ids, &cfg, &registry);
+        let mut engine = Engine::new(net).with_metrics(&registry);
         engine.run_until(horizon);
         let net = engine.network();
 
         if let Some(f) = ids.replicator_faults(net)[faulty] {
-            rep_lat.push(f.at.saturating_sub(fault_at));
+            let lat = f.at.saturating_sub(fault_at);
+            rep_lat.push(lat);
+            latency.record(lat.as_ns());
+            let site = match f.cause {
+                ReplicatorFaultCause::Overflow => DetectionSite::ReplicatorOverflow,
+                ReplicatorFaultCause::Divergence => DetectionSite::ReplicatorDivergence,
+            };
+            *by_site.entry(site.label()).or_insert(0) += 1;
         }
         if let Some(f) = ids.selector_faults(net)[faulty] {
-            sel_lat.push(f.at.saturating_sub(fault_at));
+            let lat = f.at.saturating_sub(fault_at);
+            sel_lat.push(lat);
+            latency.record(lat.as_ns());
+            let site = match f.cause {
+                SelectorFaultCause::Stall => DetectionSite::SelectorStall,
+                SelectorFaultCause::Divergence => DetectionSite::SelectorDivergence,
+            };
+            *by_site.entry(site.label()).or_insert(0) += 1;
         }
+        for (i, fill) in max_fills.iter_mut().take(2).enumerate() {
+            *fill = (*fill).max(net.channel(ids.replicator).max_fill(i) as u64);
+        }
+        max_fills[2] = max_fills[2].max(net.channel(ids.selector).max_fill(0) as u64);
+
         all_masked &= ids.consumer_arrivals(net).len() as u64 == tokens;
         // The healthy replica must never be flagged.
         all_masked &= ids.replicator_faults(net)[1 - faulty].is_none()
             && ids.selector_faults(net)[1 - faulty].is_none();
+        // The health model's folded view must agree with the raw latches.
+        all_masked &= health.status(faulty) == ReplicaStatus::Faulty
+            && health.status(1 - faulty) == ReplicaStatus::Healthy;
     }
 
+    let metrics = BenchMetrics {
+        detection_latency: latency.snapshot(),
+        detections_by_site: by_site
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+        max_fills: vec![
+            ("replicator.q0".to_owned(), max_fills[0]),
+            ("replicator.q1".to_owned(), max_fills[1]),
+            ("selector".to_owned(), max_fills[2]),
+        ],
+        runs: runs as u64,
+    };
     let sizing = sizing.expect("at least one run");
-    FaultCampaign {
+    let campaign = FaultCampaign {
         replicator: DetectionStats {
             stats: TimingStats::from_durations(&rep_lat).unwrap_or(TimingStats {
                 min: TimeNs::ZERO,
@@ -189,7 +249,8 @@ pub fn fault_campaign(app: App, runs: usize, tokens: u64, fault_at: TimeNs) -> F
             runs,
         },
         all_masked,
-    }
+    };
+    (campaign, metrics)
 }
 
 /// Table 3 campaign result: our approach vs the distance-function monitor
@@ -227,7 +288,10 @@ impl ReplicaFactory for TappedFactory<'_> {
             Arc::clone(&self.taps[replica]),
         ));
         let mut nodes = vec![tap];
-        nodes.extend(self.inner.build(net, PortId::of(mid), output, replica, fault));
+        nodes.extend(
+            self.inner
+                .build(net, PortId::of(mid), output, replica, fault),
+        );
         nodes
     }
 }
@@ -301,7 +365,10 @@ pub fn comparison_campaign(app: App, runs: usize) -> Option<ComparisonStats> {
         ));
         let mut engine = Engine::new(net);
         engine.run_until(horizon + TimeNs::from_secs(2));
-        let verdict = engine.network().process_as::<DistanceMonitor>(monitor)?.verdict()?;
+        let verdict = engine
+            .network()
+            .process_as::<DistanceMonitor>(monitor)?
+            .verdict()?;
         theirs.push(verdict.detected_at.saturating_sub(fault_at));
     }
 
@@ -345,6 +412,38 @@ mod tests {
         assert_eq!(c.selector.detections, 4);
         assert!(c.replicator.stats.max <= c.replicator.bound, "within bound");
         assert!(c.selector.stats.max <= c.selector.bound, "within bound");
+    }
+
+    #[test]
+    fn observed_campaign_pools_bench_metrics() {
+        let (c, m) = fault_campaign_observed(App::Adpcm, 4, 80, TimeNs::from_ms(189));
+        assert!(c.all_masked, "health model must agree with raw latches");
+        assert_eq!(m.runs, 4);
+        // One latency sample per detection, both sites pooled.
+        assert_eq!(
+            m.detection_latency.count as usize,
+            c.replicator.detections + c.selector.detections
+        );
+        assert!(
+            m.detection_latency.max <= c.selector.bound.as_ns().max(c.replicator.bound.as_ns())
+        );
+        let sites: Vec<&str> = m
+            .detections_by_site
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        assert!(sites
+            .iter()
+            .all(|s| s.starts_with("replicator.") || s.starts_with("selector.")));
+        assert_eq!(m.detections_by_site.iter().map(|(_, n)| n).sum::<u64>(), 8);
+        assert_eq!(m.max_fills.len(), 3);
+        assert!(
+            m.max_fills.iter().all(|(_, f)| *f >= 1),
+            "queues actually used"
+        );
+        let json = m.to_json();
+        assert!(json.contains("\"detection_latency_ns\""));
+        assert!(json.contains("\"max_observed_fills\""));
     }
 
     #[test]

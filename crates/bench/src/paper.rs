@@ -92,9 +92,21 @@ pub struct PaperTable3 {
 
 /// Paper Table 3, all rows.
 pub const TABLE3: [PaperTable3; 3] = [
-    PaperTable3 { app: "MJPEG", distance_fn_ms: (48.2, 48.1, 48.1), ours_ms: (47.1, 47.0, 47.0) },
-    PaperTable3 { app: "ADPCM", distance_fn_ms: (7.3, 7.1, 7.2), ours_ms: (6.3, 6.3, 6.3) },
-    PaperTable3 { app: "H.264", distance_fn_ms: (31.4, 31.2, 31.3), ours_ms: (30.4, 30.1, 30.3) },
+    PaperTable3 {
+        app: "MJPEG",
+        distance_fn_ms: (48.2, 48.1, 48.1),
+        ours_ms: (47.1, 47.0, 47.0),
+    },
+    PaperTable3 {
+        app: "ADPCM",
+        distance_fn_ms: (7.3, 7.1, 7.2),
+        ours_ms: (6.3, 6.3, 6.3),
+    },
+    PaperTable3 {
+        app: "H.264",
+        distance_fn_ms: (31.4, 31.2, 31.3),
+        ours_ms: (30.4, 30.1, 30.3),
+    },
 ];
 
 #[cfg(test)]
@@ -109,7 +121,11 @@ mod tests {
             assert!(t.selector_initial_fill[1] <= t.selector_capacity[1]);
             if let (_, Some(max), Some(mean)) = t.selector_latency_ms {
                 assert!(mean <= max);
-                assert!(max <= t.selector_bound_ms, "{}: observed within bound", t.app);
+                assert!(
+                    max <= t.selector_bound_ms,
+                    "{}: observed within bound",
+                    t.app
+                );
             }
         }
         for row in TABLE3 {

@@ -11,7 +11,12 @@ pub fn ms(t: TimeNs) -> String {
 
 /// Formats `(min, max, mean)` timing stats as milliseconds.
 pub fn stats_ms(s: &TimingStats) -> String {
-    format!("min {} / max {} / mean {}", ms(s.min), ms(s.max), ms(s.mean))
+    format!(
+        "min {} / max {} / mean {}",
+        ms(s.min),
+        ms(s.max),
+        ms(s.mean)
+    )
 }
 
 /// Formats an optional paper value for side-by-side comparison.

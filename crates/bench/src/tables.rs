@@ -5,7 +5,8 @@
 //! paper provides them.
 
 use crate::campaign::{
-    comparison_campaign, fault_campaign, no_fault_campaign, FaultCampaign, NoFaultStats, RUNS,
+    comparison_campaign, fault_campaign_observed, no_fault_campaign, FaultCampaign, NoFaultStats,
+    RUNS,
 };
 use crate::paper::{PaperTable2, ADPCM_TABLE2, MJPEG_TABLE2, TABLE3};
 use crate::report::{banner, ms, paper_val, stats_ms, AsciiTable};
@@ -61,7 +62,10 @@ pub struct Table2Scale {
 /// seconds while exercising hundreds of steady-state tokens.
 pub fn default_scale(app: App) -> Table2Scale {
     let period = app.profile().model.producer.period;
-    Table2Scale { tokens: 300, fault_at: period * 100 }
+    Table2Scale {
+        tokens: 300,
+        fault_at: period * 100,
+    }
 }
 
 /// Regenerates one application block of Table 2.
@@ -78,8 +82,10 @@ pub fn print_table2(app: App, paper: Option<&PaperTable2>) {
     ));
 
     let nf = no_fault_campaign(app, RUNS, scale.tokens);
-    let fc = fault_campaign(app, RUNS, scale.tokens, scale.fault_at);
+    let (fc, metrics) = fault_campaign_observed(app, RUNS, scale.tokens, scale.fault_at);
     print_table2_from(app, paper, &sizing, &nf, &fc);
+    println!("\nEmbedded bench metrics (machine-readable result JSON):");
+    println!("{}", metrics.to_json());
 }
 
 /// Prints a Table 2 block from already-computed campaign results.
@@ -129,7 +135,13 @@ pub fn print_table2_from(
 
     println!("\nFault detection latency (fail-stop, alternating replica):");
     let mut t = AsciiTable::new();
-    t.row(["Site", "Observed (measured)", "Upper bound", "Detected", "Paper (max/mean | bound)"]);
+    t.row([
+        "Site",
+        "Observed (measured)",
+        "Upper bound",
+        "Detected",
+        "Paper (max/mean | bound)",
+    ]);
     let paper_sel = paper.map(|p| {
         format!(
             "{}/{} | {:.0}",
@@ -161,7 +173,10 @@ pub fn print_table2_from(
         paper_rep.unwrap_or_else(|| "-".to_owned()),
     ]);
     print!("{}", t.render());
-    println!("All faults masked (full delivery, healthy replica unflagged): {}", fc.all_masked);
+    println!(
+        "All faults masked (full delivery, healthy replica unflagged): {}",
+        fc.all_masked
+    );
 
     let mem = memory_overhead(app);
     let rt = measure_runtime_overhead(200_000);
@@ -186,12 +201,16 @@ pub fn print_table2_from(
     t.row([
         "Reference".to_owned(),
         stats_ms(&nf.reference_inter),
-        paper.map(|p| fmt_paper(p.reference_inter_ms)).unwrap_or_else(|| "-".to_owned()),
+        paper
+            .map(|p| fmt_paper(p.reference_inter_ms))
+            .unwrap_or_else(|| "-".to_owned()),
     ]);
     t.row([
         "Duplicated".to_owned(),
         stats_ms(&nf.duplicated_inter),
-        paper.map(|p| fmt_paper(p.duplicated_inter_ms)).unwrap_or_else(|| "-".to_owned()),
+        paper
+            .map(|p| fmt_paper(p.duplicated_inter_ms))
+            .unwrap_or_else(|| "-".to_owned()),
     ]);
     print!("{}", t.render());
 }
@@ -216,7 +235,11 @@ pub fn print_table3() {
         "Paper DistFn max/min/mean",
         "Paper Ours max/min/mean",
     ]);
-    for (app, row) in [(App::Mjpeg, TABLE3[0]), (App::Adpcm, TABLE3[1]), (App::H264, TABLE3[2])] {
+    for (app, row) in [
+        (App::Mjpeg, TABLE3[0]),
+        (App::Adpcm, TABLE3[1]),
+        (App::H264, TABLE3[2]),
+    ] {
         match comparison_campaign(app, RUNS) {
             Some(c) => {
                 t.row([
@@ -227,11 +250,20 @@ pub fn print_table3() {
                         "{:.1}/{:.1}/{:.1}",
                         row.distance_fn_ms.0, row.distance_fn_ms.1, row.distance_fn_ms.2
                     ),
-                    format!("{:.1}/{:.1}/{:.1}", row.ours_ms.0, row.ours_ms.1, row.ours_ms.2),
+                    format!(
+                        "{:.1}/{:.1}/{:.1}",
+                        row.ours_ms.0, row.ours_ms.1, row.ours_ms.2
+                    ),
                 ]);
             }
             None => {
-                t.row([row.app.to_owned(), "MISSED".into(), "MISSED".into(), "-".into(), "-".into()]);
+                t.row([
+                    row.app.to_owned(),
+                    "MISSED".into(),
+                    "MISSED".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }

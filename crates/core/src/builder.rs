@@ -13,12 +13,14 @@
 //! single jittered stage for the synthetic experiments, or a full
 //! application pipeline (MJPEG / ADPCM / H.264 in `rtft-apps`).
 
-use crate::fault::{FaultPlan, FaultyProcess};
+use crate::fault::{FaultPlan, FaultTrigger, FaultyProcess};
+use crate::obs::DetectionObs;
 use crate::replicator::{FaultRecord, Replicator, ReplicatorConfig};
 use crate::selector::{Selector, SelectorConfig, SelectorFaultRecord};
 use rtft_kpn::{
     ChannelId, Fifo, Network, NodeId, Payload, PjdShaper, PjdSink, PjdSource, PortId, Transform,
 };
+use rtft_obs::{HealthModel, MetricsRegistry};
 use rtft_rtc::sizing::{DuplicationModel, SizingReport};
 use rtft_rtc::{CurveAnalysisError, PjdModel, TimeNs};
 use std::sync::Arc;
@@ -223,7 +225,9 @@ impl DuplicatedIds {
     /// Panics if the network does not contain the expected replicator (ids
     /// from a different build).
     pub fn replicator_faults(&self, net: &Network) -> [Option<FaultRecord>; 2] {
-        let r = net.channel_as::<Replicator>(self.replicator).expect("replicator channel");
+        let r = net
+            .channel_as::<Replicator>(self.replicator)
+            .expect("replicator channel");
         [r.fault(0), r.fault(1)]
     }
 
@@ -233,7 +237,9 @@ impl DuplicatedIds {
     ///
     /// Panics if the network does not contain the expected selector.
     pub fn selector_faults(&self, net: &Network) -> [Option<SelectorFaultRecord>; 2] {
-        let s = net.channel_as::<Selector>(self.selector).expect("selector channel");
+        let s = net
+            .channel_as::<Selector>(self.selector)
+            .expect("selector channel");
         [s.fault(0), s.fault(1)]
     }
 
@@ -243,8 +249,77 @@ impl DuplicatedIds {
     ///
     /// Panics if the network does not contain the expected sink.
     pub fn consumer_arrivals<'a>(&self, net: &'a Network) -> &'a [(TimeNs, u64)] {
-        net.process_as::<PjdSink>(self.consumer).expect("consumer sink").arrivals()
+        net.process_as::<PjdSink>(self.consumer)
+            .expect("consumer sink")
+            .arrivals()
     }
+}
+
+/// Attaches observability to a freshly built duplicated network: a
+/// two-replica [`HealthModel`] fed by both arbitration channels, plus the
+/// `core.detections` / `core.selector.discarded` counters in `registry`.
+///
+/// Time-triggered fault plans in `cfg` are pre-registered as injection
+/// instants, so the health model's detection-latency histogram measures
+/// `detected_at − injected_at` without the runtime ever reading a clock
+/// (both instants are virtual times the DES already carries).
+///
+/// Call between [`build_duplicated`] and engine construction:
+///
+/// ```
+/// use rtft_core::{build_duplicated, instrument_duplicated, DuplicationConfig,
+///                 FaultPlan, JitterStageReplica};
+/// use rtft_kpn::Engine;
+/// use rtft_obs::{MetricsRegistry, ReplicaStatus};
+/// use rtft_rtc::sizing::DuplicationModel;
+/// use rtft_rtc::{PjdModel, TimeNs};
+///
+/// let model = DuplicationModel::symmetric(
+///     PjdModel::from_ms(30.0, 2.0, 0.0),
+///     PjdModel::from_ms(30.0, 2.0, 90.0),
+///     [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+/// );
+/// let cfg = DuplicationConfig::from_model(model)?
+///     .with_token_count(60)
+///     .with_fault(0, FaultPlan::fail_stop_at(TimeNs::from_secs(1)));
+/// let factory = JitterStageReplica::from_model(&cfg.model);
+/// let (mut net, ids) = build_duplicated(&cfg, &factory);
+/// let registry = MetricsRegistry::new();
+/// let health = instrument_duplicated(&mut net, &ids, &cfg, &registry);
+/// let mut engine = Engine::new(net).with_metrics(&registry);
+/// engine.run_until(TimeNs::from_secs(20));
+/// assert_eq!(health.status(0), ReplicaStatus::Faulty);
+/// assert_eq!(health.status(1), ReplicaStatus::Healthy);
+/// # Ok::<(), rtft_rtc::CurveAnalysisError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `ids` do not match `net` (channels from a different build).
+pub fn instrument_duplicated(
+    net: &mut Network,
+    ids: &DuplicatedIds,
+    cfg: &DuplicationConfig,
+    registry: &MetricsRegistry,
+) -> HealthModel {
+    let health = HealthModel::new(2);
+    for (i, plan) in cfg.faults.iter().enumerate() {
+        if let FaultTrigger::AtTime(t) = plan.trigger {
+            health.note_fault_injected(i, t.as_ns());
+        }
+    }
+    let obs = DetectionObs::new(registry, health.clone());
+    net.channel_mut(ids.replicator)
+        .as_any_mut()
+        .downcast_mut::<Replicator>()
+        .expect("replicator channel")
+        .attach_obs(obs.clone());
+    net.channel_mut(ids.selector)
+        .as_any_mut()
+        .downcast_mut::<Selector>()
+        .expect("selector channel")
+        .attach_obs(obs);
+    health
 }
 
 /// Builds the duplicated process network of Fig. 1 (bottom).
@@ -271,7 +346,10 @@ pub fn build_duplicated(
     let selector = net.add_channel(Selector::new(
         "selector",
         SelectorConfig::new(
-            [sizing.selector_capacity[0] as usize, sizing.selector_capacity[1] as usize],
+            [
+                sizing.selector_capacity[0] as usize,
+                sizing.selector_capacity[1] as usize,
+            ],
             sizing.selector_threshold,
         ),
     ));
@@ -311,7 +389,16 @@ pub fn build_duplicated(
         cfg.token_count,
     ));
 
-    (net, DuplicatedIds { replicator, selector, producer, consumer, replicas })
+    (
+        net,
+        DuplicatedIds {
+            replicator,
+            selector,
+            producer,
+            consumer,
+            replicas,
+        },
+    )
 }
 
 /// Ids of the interesting pieces of a built reference network.
@@ -336,7 +423,9 @@ impl ReferenceIds {
     ///
     /// Panics if the network does not contain the expected sink.
     pub fn consumer_arrivals<'a>(&self, net: &'a Network) -> &'a [(TimeNs, u64)] {
-        net.process_as::<PjdSink>(self.consumer).expect("consumer sink").arrivals()
+        net.process_as::<PjdSink>(self.consumer)
+            .expect("consumer sink")
+            .arrivals()
     }
 }
 
@@ -381,7 +470,16 @@ pub fn build_reference(
         cfg.token_count,
     ));
 
-    (net, ReferenceIds { input_fifo, output_fifo, producer, consumer, subnetwork })
+    (
+        net,
+        ReferenceIds {
+            input_fifo,
+            output_fifo,
+            producer,
+            consumer,
+            subnetwork,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -395,7 +493,10 @@ mod tests {
             PjdModel::from_ms(30.0, 2.0, 0.0),
             // Consumer delayed one period to establish the initial fill.
             PjdModel::from_ms(30.0, 2.0, 90.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+            [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
         );
         DuplicationConfig::from_model(model)
             .expect("bounded model")
@@ -414,7 +515,10 @@ mod tests {
         let mut engine = Engine::new(net);
         let outcome = engine.run_until(TimeNs::from_secs(30));
         assert!(
-            matches!(outcome, RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }),
+            matches!(
+                outcome,
+                RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }
+            ),
             "{outcome:?}"
         );
         let arrivals = ids.consumer_arrivals(engine.network());
@@ -435,10 +539,16 @@ mod tests {
         let mut reference = Engine::new(ref_net);
         reference.run_until(TimeNs::from_secs(30));
 
-        let dup_vals: Vec<u64> =
-            dup_ids.consumer_arrivals(dup.network()).iter().map(|(_, d)| *d).collect();
-        let ref_vals: Vec<u64> =
-            ref_ids.consumer_arrivals(reference.network()).iter().map(|(_, d)| *d).collect();
+        let dup_vals: Vec<u64> = dup_ids
+            .consumer_arrivals(dup.network())
+            .iter()
+            .map(|(_, d)| *d)
+            .collect();
+        let ref_vals: Vec<u64> = ref_ids
+            .consumer_arrivals(reference.network())
+            .iter()
+            .map(|(_, d)| *d)
+            .collect();
         assert_eq!(dup_vals, ref_vals, "Theorem 2: value sequences must match");
     }
 
@@ -457,11 +567,21 @@ mod tests {
         // Replica 0 flagged at one or both sites; replica 1 never.
         let rep = ids.replicator_faults(engine.network());
         let sel = ids.selector_faults(engine.network());
-        assert!(rep[0].is_some() || sel[0].is_some(), "fault must be detected");
-        assert!(rep[1].is_none() && sel[1].is_none(), "healthy replica must not be flagged");
+        assert!(
+            rep[0].is_some() || sel[0].is_some(),
+            "fault must be detected"
+        );
+        assert!(
+            rep[1].is_none() && sel[1].is_none(),
+            "healthy replica must not be flagged"
+        );
 
         // Detection happened after the injection, within a plausible bound.
-        for f in rep[0].iter().map(|f| f.at).chain(sel[0].iter().map(|f| f.at)) {
+        for f in rep[0]
+            .iter()
+            .map(|f| f.at)
+            .chain(sel[0].iter().map(|f| f.at))
+        {
             assert!(f >= fault_at, "detected at {f} before injection {fault_at}");
             assert!(
                 f <= fault_at + TimeNs::from_secs(1),
@@ -482,10 +602,16 @@ mod tests {
         let mut reference = Engine::new(ref_net);
         reference.run_until(TimeNs::from_secs(30));
 
-        let dup_vals: Vec<u64> =
-            dup_ids.consumer_arrivals(dup.network()).iter().map(|(_, d)| *d).collect();
-        let ref_vals: Vec<u64> =
-            ref_ids.consumer_arrivals(reference.network()).iter().map(|(_, d)| *d).collect();
+        let dup_vals: Vec<u64> = dup_ids
+            .consumer_arrivals(dup.network())
+            .iter()
+            .map(|(_, d)| *d)
+            .collect();
+        let ref_vals: Vec<u64> = ref_ids
+            .consumer_arrivals(reference.network())
+            .iter()
+            .map(|(_, d)| *d)
+            .collect();
         assert_eq!(dup_vals, ref_vals, "Theorem 2 under a single fault");
     }
 
@@ -499,7 +625,10 @@ mod tests {
         for i in 0..2 {
             let max_fill = net.channel(ids.replicator).max_fill(i);
             let cap = cfg.sizing.replicator_capacity[i] as usize;
-            assert!(max_fill <= cap, "replicator queue {i}: fill {max_fill} > cap {cap}");
+            assert!(
+                max_fill <= cap,
+                "replicator queue {i}: fill {max_fill} > cap {cap}"
+            );
         }
         let sel_fill = net.channel(ids.selector).max_fill(0);
         assert!(sel_fill <= cfg.sizing.selector_queue_size() as usize);

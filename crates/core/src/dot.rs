@@ -29,7 +29,10 @@ pub enum NodeShape {
 impl NetworkSketch {
     /// Creates an empty sketch titled `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        NetworkSketch { name: name.into(), ..Default::default() }
+        NetworkSketch {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a node.
@@ -45,7 +48,8 @@ impl NetworkSketch {
         to: impl Into<String>,
         label: Option<&str>,
     ) -> &mut Self {
-        self.edges.push((from.into(), to.into(), label.map(str::to_owned)));
+        self.edges
+            .push((from.into(), to.into(), label.map(str::to_owned)));
         self
     }
 
@@ -151,7 +155,9 @@ mod tests {
     #[test]
     fn clusters_render_as_subgraphs() {
         let mut s = NetworkSketch::new("g");
-        s.node("a", NodeShape::Process).node("b", NodeShape::Process).edge("a", "b", None);
+        s.node("a", NodeShape::Process)
+            .node("b", NodeShape::Process)
+            .edge("a", "b", None);
         s.cluster("replica", vec!["a".into(), "b".into()]);
         let dot = s.to_dot();
         assert!(dot.contains("subgraph cluster_0"));

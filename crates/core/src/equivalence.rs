@@ -9,7 +9,7 @@
 use rtft_rtc::{PjdModel, TimeNs};
 
 /// Result of comparing two consumer arrival logs.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamComparison {
     /// Number of tokens compared (min of the two lengths).
     pub compared: usize,
@@ -80,7 +80,7 @@ pub fn compare_streams(
 
 /// Summary statistics over inter-arrival times — the paper's "Decoded
 /// Inter-Frame Timings" block of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingStats {
     /// Smallest inter-arrival gap.
     pub min: TimeNs,
@@ -124,7 +124,11 @@ impl TimingStats {
 
 impl std::fmt::Display for TimingStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "min {} / max {} / mean {} (n={})", self.min, self.max, self.mean, self.samples)
+        write!(
+            f,
+            "min {} / max {} / mean {} (n={})",
+            self.min, self.max, self.mean, self.samples
+        )
     }
 }
 

@@ -47,17 +47,26 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan that never fires.
     pub fn healthy() -> Self {
-        FaultPlan { trigger: FaultTrigger::Never, kind: FaultKind::FailStop }
+        FaultPlan {
+            trigger: FaultTrigger::Never,
+            kind: FaultKind::FailStop,
+        }
     }
 
     /// Fail-stop at time `at`.
     pub fn fail_stop_at(at: TimeNs) -> Self {
-        FaultPlan { trigger: FaultTrigger::AtTime(at), kind: FaultKind::FailStop }
+        FaultPlan {
+            trigger: FaultTrigger::AtTime(at),
+            kind: FaultKind::FailStop,
+        }
     }
 
     /// Fail-stop after `n` completed reads.
     pub fn fail_stop_after_reads(n: u64) -> Self {
-        FaultPlan { trigger: FaultTrigger::AfterReads(n), kind: FaultKind::FailStop }
+        FaultPlan {
+            trigger: FaultTrigger::AfterReads(n),
+            kind: FaultKind::FailStop,
+        }
     }
 
     /// Rate degradation by `factor` (> 1) starting at time `at`.
@@ -67,7 +76,10 @@ impl FaultPlan {
     /// Panics if `factor <= 1.0`.
     pub fn slow_by_at(factor: f64, at: TimeNs) -> Self {
         assert!(factor > 1.0, "slow-down factor must exceed 1");
-        FaultPlan { trigger: FaultTrigger::AtTime(at), kind: FaultKind::SlowBy(factor) }
+        FaultPlan {
+            trigger: FaultTrigger::AtTime(at),
+            kind: FaultKind::SlowBy(factor),
+        }
     }
 }
 
@@ -111,7 +123,12 @@ impl<P: fmt::Debug> fmt::Debug for FaultyProcess<P> {
 impl<P: Process> FaultyProcess<P> {
     /// Wraps `inner` with `plan`.
     pub fn new(inner: P, plan: FaultPlan) -> Self {
-        FaultyProcess { inner, plan, reads_done: 0, triggered_at: None }
+        FaultyProcess {
+            inner,
+            plan,
+            reads_done: 0,
+            triggered_at: None,
+        }
     }
 
     /// The time the fault manifested, if it has.
@@ -202,7 +219,10 @@ mod tests {
     #[test]
     fn fail_stop_at_time() {
         let mut f = FaultyProcess::new(transform(), FaultPlan::fail_stop_at(TimeNs::from_ms(10)));
-        assert!(matches!(f.resume(Wakeup::Start, TimeNs::from_ms(9)), Syscall::Read(_)));
+        assert!(matches!(
+            f.resume(Wakeup::Start, TimeNs::from_ms(9)),
+            Syscall::Read(_)
+        ));
         assert_eq!(
             f.resume(
                 Wakeup::ReadDone(Token::new(0, TimeNs::ZERO, Payload::Empty)),
@@ -217,28 +237,48 @@ mod tests {
     fn fail_stop_after_reads_counts_reads() {
         let mut f = FaultyProcess::new(transform(), FaultPlan::fail_stop_after_reads(2));
         let tok = || Token::new(0, TimeNs::ZERO, Payload::Empty);
-        assert!(matches!(f.resume(Wakeup::Start, TimeNs::ZERO), Syscall::Read(_)));
+        assert!(matches!(
+            f.resume(Wakeup::Start, TimeNs::ZERO),
+            Syscall::Read(_)
+        ));
         // First read completes → compute.
-        assert!(matches!(f.resume(Wakeup::ReadDone(tok()), TimeNs::ZERO), Syscall::Compute(_)));
-        assert!(matches!(f.resume(Wakeup::ComputeDone, TimeNs::ZERO), Syscall::Write(..)));
-        assert!(matches!(f.resume(Wakeup::WriteDone, TimeNs::ZERO), Syscall::Read(_)));
+        assert!(matches!(
+            f.resume(Wakeup::ReadDone(tok()), TimeNs::ZERO),
+            Syscall::Compute(_)
+        ));
+        assert!(matches!(
+            f.resume(Wakeup::ComputeDone, TimeNs::ZERO),
+            Syscall::Write(..)
+        ));
+        assert!(matches!(
+            f.resume(Wakeup::WriteDone, TimeNs::ZERO),
+            Syscall::Read(_)
+        ));
         // Second read completes → trigger.
-        assert_eq!(f.resume(Wakeup::ReadDone(tok()), TimeNs::from_ms(3)), Syscall::Halt);
+        assert_eq!(
+            f.resume(Wakeup::ReadDone(tok()), TimeNs::from_ms(3)),
+            Syscall::Halt
+        );
         assert_eq!(f.triggered_at(), Some(TimeNs::from_ms(3)));
     }
 
     #[test]
     fn slow_by_stretches_compute_only() {
-        let mut f =
-            FaultyProcess::new(transform(), FaultPlan::slow_by_at(3.0, TimeNs::from_ms(0)));
+        let mut f = FaultyProcess::new(transform(), FaultPlan::slow_by_at(3.0, TimeNs::from_ms(0)));
         let tok = || Token::new(0, TimeNs::ZERO, Payload::Empty);
-        assert!(matches!(f.resume(Wakeup::Start, TimeNs::ZERO), Syscall::Read(_)));
+        assert!(matches!(
+            f.resume(Wakeup::Start, TimeNs::ZERO),
+            Syscall::Read(_)
+        ));
         match f.resume(Wakeup::ReadDone(tok()), TimeNs::ZERO) {
             Syscall::Compute(d) => assert_eq!(d, TimeNs::from_ms(3)),
             other => panic!("expected stretched compute, got {other:?}"),
         }
         // Writes still happen (the replica limps, it doesn't die).
-        assert!(matches!(f.resume(Wakeup::ComputeDone, TimeNs::from_ms(3)), Syscall::Write(..)));
+        assert!(matches!(
+            f.resume(Wakeup::ComputeDone, TimeNs::from_ms(3)),
+            Syscall::Write(..)
+        ));
     }
 
     #[test]

@@ -65,14 +65,18 @@ pub mod dot;
 pub mod equivalence;
 mod fault;
 pub mod nmodular;
+mod obs;
 mod replicator;
 mod selector;
 
 pub use builder::{
-    build_duplicated, build_reference, DuplicatedIds, DuplicationConfig, JitterStageReplica,
-    PayloadGenerator, ReferenceIds, ReplicaFactory,
+    build_duplicated, build_reference, instrument_duplicated, DuplicatedIds, DuplicationConfig,
+    JitterStageReplica, PayloadGenerator, ReferenceIds, ReplicaFactory,
 };
 pub use fault::{FaultKind, FaultPlan, FaultTrigger, FaultyProcess};
-pub use nmodular::{build_n_modular, NModularIds, NModularModel, NReplicator, NSelector, NSizingReport};
+pub use nmodular::{
+    build_n_modular, NModularIds, NModularModel, NReplicator, NSelector, NSizingReport,
+};
+pub use obs::DetectionObs;
 pub use replicator::{FaultRecord, Replicator, ReplicatorConfig, ReplicatorFaultCause};
 pub use selector::{Selector, SelectorConfig, SelectorFaultCause, SelectorFaultRecord};

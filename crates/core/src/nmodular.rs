@@ -71,7 +71,10 @@ impl NSizingReport {
     ///
     /// Panics if fewer than two replicas are given.
     pub fn analyze(model: &NModularModel) -> Result<Self, CurveAnalysisError> {
-        assert!(model.replicas.len() >= 2, "n-modular redundancy needs at least two replicas");
+        assert!(
+            model.replicas.len() >= 2,
+            "n-modular redundancy needs at least two replicas"
+        );
         let mut replicator_capacity = Vec::new();
         let mut selector_capacity = Vec::new();
         for r in &model.replicas {
@@ -91,7 +94,12 @@ impl NSizingReport {
             detection_bound =
                 detection_bound.max(detection::fail_stop_detection_bound(&[*r, *r], threshold));
         }
-        Ok(NSizingReport { replicator_capacity, selector_capacity, threshold, detection_bound })
+        Ok(NSizingReport {
+            replicator_capacity,
+            selector_capacity,
+            threshold,
+            detection_bound,
+        })
     }
 
     /// Number of replicas covered.
@@ -125,7 +133,10 @@ impl NReplicator {
         divergence_threshold: Option<u64>,
     ) -> Self {
         assert!(capacity.len() >= 2, "need at least two replicas");
-        assert!(capacity.iter().all(|c| *c > 0), "capacities must be positive");
+        assert!(
+            capacity.iter().all(|c| *c > 0),
+            "capacities must be positive"
+        );
         let n = capacity.len();
         NReplicator {
             name: name.into(),
@@ -155,7 +166,9 @@ impl NReplicator {
     }
 
     fn check_divergence(&mut self, now: TimeNs) {
-        let Some(d) = self.divergence_threshold else { return };
+        let Some(d) = self.divergence_threshold else {
+            return;
+        };
         let max = self
             .consumed
             .iter()
@@ -165,12 +178,11 @@ impl NReplicator {
             .max()
             .unwrap_or(0);
         for i in 0..self.queues.len() {
-            if self.fault[i].is_none()
-                && self.healthy_count() > 1
-                && max - self.consumed[i] >= d
-            {
-                self.fault[i] =
-                    Some(FaultRecord { at: now, cause: ReplicatorFaultCause::Divergence });
+            if self.fault[i].is_none() && self.healthy_count() > 1 && max - self.consumed[i] >= d {
+                self.fault[i] = Some(FaultRecord {
+                    at: now,
+                    cause: ReplicatorFaultCause::Divergence,
+                });
             }
         }
     }
@@ -187,7 +199,10 @@ impl ChannelBehavior for NReplicator {
                 && self.queues[i].len() >= self.capacity[i]
                 && self.healthy_count() > 1
             {
-                self.fault[i] = Some(FaultRecord { at: now, cause: ReplicatorFaultCause::Overflow });
+                self.fault[i] = Some(FaultRecord {
+                    at: now,
+                    cause: ReplicatorFaultCause::Overflow,
+                });
             }
         }
         let mut delivered = false;
@@ -271,7 +286,10 @@ impl NSelector {
     /// Panics on fewer than two interfaces, a zero capacity, or `d == 0`.
     pub fn new(name: impl Into<String>, capacity: Vec<usize>, d: u64) -> Self {
         assert!(capacity.len() >= 2, "need at least two replicas");
-        assert!(capacity.iter().all(|c| *c > 0), "capacities must be positive");
+        assert!(
+            capacity.iter().all(|c| *c > 0),
+            "capacities must be positive"
+        );
         assert!(d > 0, "threshold must be positive");
         let n = capacity.len();
         NSelector {
@@ -336,8 +354,10 @@ impl NSelector {
                 && self.healthy_count() > 1
                 && max - self.received[i] >= self.threshold
             {
-                self.fault[i] =
-                    Some(SelectorFaultRecord { at: now, cause: SelectorFaultCause::Divergence });
+                self.fault[i] = Some(SelectorFaultRecord {
+                    at: now,
+                    cause: SelectorFaultCause::Divergence,
+                });
             }
         }
     }
@@ -348,8 +368,10 @@ impl NSelector {
                 && self.healthy_count() > 1
                 && self.space(i) > (self.capacity[i] as u64 + self.stall_slack) as i64
             {
-                self.fault[i] =
-                    Some(SelectorFaultRecord { at: now, cause: SelectorFaultCause::Stall });
+                self.fault[i] = Some(SelectorFaultRecord {
+                    at: now,
+                    cause: SelectorFaultCause::Stall,
+                });
             }
         }
     }
@@ -444,7 +466,9 @@ impl NModularIds {
     ///
     /// Panics if the network does not contain the expected sink.
     pub fn consumer_arrivals<'a>(&self, net: &'a Network) -> &'a [(TimeNs, u64)] {
-        net.process_as::<PjdSink>(self.consumer).expect("consumer sink").arrivals()
+        net.process_as::<PjdSink>(self.consumer)
+            .expect("consumer sink")
+            .arrivals()
     }
 }
 
@@ -471,12 +495,20 @@ pub fn build_n_modular(
     let mut net = Network::new();
     let replicator = net.add_channel(NReplicator::new(
         "n-replicator",
-        sizing.replicator_capacity.iter().map(|c| *c as usize).collect(),
+        sizing
+            .replicator_capacity
+            .iter()
+            .map(|c| *c as usize)
+            .collect(),
         Some(sizing.threshold),
     ));
     let selector = net.add_channel(NSelector::new(
         "n-selector",
-        sizing.selector_capacity.iter().map(|c| *c as usize).collect(),
+        sizing
+            .selector_capacity
+            .iter()
+            .map(|c| *c as usize)
+            .collect(),
         sizing.threshold,
     ));
 
@@ -510,7 +542,16 @@ pub fn build_n_modular(
         Some(token_count),
     ));
 
-    (net, NModularIds { replicator, selector, producer, consumer, replicas })
+    (
+        net,
+        NModularIds {
+            replicator,
+            selector,
+            producer,
+            consumer,
+            replicas,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -546,8 +587,7 @@ mod tests {
                 |p| p,
             );
             let stage_id = net.add_process(crate::FaultyProcess::new(stage, fault));
-            let model = self.models[replica]
-                .with_delay(TimeNs::from_ms(5));
+            let model = self.models[replica].with_delay(TimeNs::from_ms(5));
             let shaper = net.add_process(PjdShaper::new(
                 format!("r{replica}.shaper"),
                 PortId::of(internal),
@@ -574,7 +614,9 @@ mod tests {
     fn run_tri(faults: Vec<FaultPlan>) -> (usize, Vec<bool>) {
         let model = tri_model();
         let sizing = NSizingReport::analyze(&model).expect("bounded");
-        let factory = TriReplica { models: model.replicas.clone() };
+        let factory = TriReplica {
+            models: model.replicas.clone(),
+        };
         let tokens = 150u64;
         let (net, ids) = build_n_modular(
             &model,
@@ -589,9 +631,13 @@ mod tests {
         engine.run_until(TimeNs::from_secs(30));
         let net = engine.network();
         let arrivals = ids.consumer_arrivals(net).len();
-        let rep = net.channel_as::<NReplicator>(ids.replicator).expect("replicator");
+        let rep = net
+            .channel_as::<NReplicator>(ids.replicator)
+            .expect("replicator");
         let sel = net.channel_as::<NSelector>(ids.selector).expect("selector");
-        let flagged = (0..3).map(|i| rep.fault(i).is_some() || sel.fault(i).is_some()).collect();
+        let flagged = (0..3)
+            .map(|i| rep.fault(i).is_some() || sel.fault(i).is_some())
+            .collect();
         (arrivals, flagged)
     }
 
@@ -622,12 +668,11 @@ mod tests {
 
     #[test]
     fn single_fault_in_triplicated_network() {
-        let (arrivals, flagged) =
-            run_tri(vec![
-                FaultPlan::fail_stop_at(TimeNs::from_secs(2)),
-                FaultPlan::healthy(),
-                FaultPlan::healthy(),
-            ]);
+        let (arrivals, flagged) = run_tri(vec![
+            FaultPlan::fail_stop_at(TimeNs::from_secs(2)),
+            FaultPlan::healthy(),
+            FaultPlan::healthy(),
+        ]);
         assert_eq!(arrivals, 150);
         assert_eq!(flagged, vec![true, false, false]);
     }
@@ -663,11 +708,23 @@ mod tests {
         let tok = |seq| Token::new(seq, TimeNs::ZERO, Payload::U64(seq));
         // Group 0 arrives in order 1, 0, 2; group 1 in order 2, 0, 1.
         assert_eq!(s.try_write(1, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
-        assert_eq!(s.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
-        assert_eq!(s.try_write(2, tok(0), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(
+            s.try_write(0, tok(0), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(2, tok(0), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
         assert_eq!(s.try_write(2, tok(1), TimeNs::ZERO), WriteOutcome::Accepted);
-        assert_eq!(s.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
-        assert_eq!(s.try_write(1, tok(1), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(
+            s.try_write(0, tok(1), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(1, tok(1), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
         let mut out = Vec::new();
         while let ReadOutcome::Token(t) = s.try_read(0, TimeNs::ZERO) {
             out.push(t.seq);

@@ -17,13 +17,15 @@
 //! No operation consults a clock: the `now` parameter is recorded in the
 //! detection log for the experiment harness, never branched on.
 
+use crate::obs::DetectionObs;
 use rtft_kpn::{ChannelBehavior, ReadOutcome, Token, WriteOutcome};
+use rtft_obs::DetectionSite;
 use rtft_rtc::TimeNs;
 use std::any::Any;
 use std::collections::VecDeque;
 
 /// Which detection rule latched a replica faulty.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplicatorFaultCause {
     /// A producer write found the replica's queue full (§3.3 overflow rule).
     Overflow,
@@ -33,7 +35,7 @@ pub enum ReplicatorFaultCause {
 }
 
 /// A latched fault-detection record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRecord {
     /// Time of the operation during which the fault was detected.
     pub at: TimeNs,
@@ -59,7 +61,11 @@ impl ReplicatorConfig {
     /// Detection-enabled configuration with the given capacities and no
     /// divergence detector.
     pub fn new(capacity: [usize; 2]) -> Self {
-        ReplicatorConfig { capacity, detect_overflow: true, divergence_threshold: None }
+        ReplicatorConfig {
+            capacity,
+            detect_overflow: true,
+            divergence_threshold: None,
+        }
     }
 
     /// Adds the divergence detector with threshold `d`.
@@ -106,6 +112,7 @@ pub struct Replicator {
     /// Successful producer writes.
     writes: u64,
     fault: [Option<FaultRecord>; 2],
+    obs: Option<DetectionObs>,
 }
 
 impl Replicator {
@@ -130,7 +137,15 @@ impl Replicator {
             consumed: [0, 0],
             writes: 0,
             fault: [None, None],
+            obs: None,
         }
+    }
+
+    /// Attaches observability: each fault latch is mirrored into the
+    /// handles' [`HealthModel`](rtft_obs::HealthModel). Detection
+    /// semantics are unchanged — the latch stays the source of truth.
+    pub fn attach_obs(&mut self, obs: DetectionObs) {
+        self.obs = Some(obs);
     }
 
     /// The replicator's diagnostic name.
@@ -184,11 +199,20 @@ impl Replicator {
             // Per §3.3 the replicator stops inserting tokens into the
             // latched queue; pending tokens stay readable in case the
             // replica is later serviced for diagnosis.
+            if let Some(obs) = &self.obs {
+                let site = match cause {
+                    ReplicatorFaultCause::Overflow => DetectionSite::ReplicatorOverflow,
+                    ReplicatorFaultCause::Divergence => DetectionSite::ReplicatorDivergence,
+                };
+                obs.on_detection(i, site, at);
+            }
         }
     }
 
     fn check_divergence(&mut self, now: TimeNs) {
-        let Some(d) = self.config.divergence_threshold else { return };
+        let Some(d) = self.config.divergence_threshold else {
+            return;
+        };
         if self.fault[0].is_some() || self.fault[1].is_some() {
             return;
         }
@@ -267,6 +291,10 @@ impl ChannelBehavior for Replicator {
         self.max_fill[iface]
     }
 
+    fn debug_name(&self) -> Option<&str> {
+        Some(&self.name)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -326,20 +354,38 @@ mod tests {
         let mut r = replicator([2, 4]);
         // Replica 0 never reads; replica 1 keeps up.
         for s in 0..2 {
-            assert_eq!(r.try_write(0, tok(s), TimeNs::from_ms(s)), WriteOutcome::Accepted);
-            assert!(matches!(r.try_read(1, TimeNs::from_ms(s)), ReadOutcome::Token(_)));
+            assert_eq!(
+                r.try_write(0, tok(s), TimeNs::from_ms(s)),
+                WriteOutcome::Accepted
+            );
+            assert!(matches!(
+                r.try_read(1, TimeNs::from_ms(s)),
+                ReadOutcome::Token(_)
+            ));
         }
         assert!(!r.is_faulty(0));
         // Third write: queue 0 full → latch, token still goes to replica 1.
-        assert_eq!(r.try_write(0, tok(2), TimeNs::from_ms(5)), WriteOutcome::Accepted);
+        assert_eq!(
+            r.try_write(0, tok(2), TimeNs::from_ms(5)),
+            WriteOutcome::Accepted
+        );
         let fault = r.fault(0).expect("latched");
         assert_eq!(fault.cause, ReplicatorFaultCause::Overflow);
         assert_eq!(fault.at, TimeNs::from_ms(5));
-        assert!(matches!(r.try_read(1, TimeNs::from_ms(5)), ReadOutcome::Token(_)));
+        assert!(matches!(
+            r.try_read(1, TimeNs::from_ms(5)),
+            ReadOutcome::Token(_)
+        ));
         // Producer can keep writing indefinitely.
         for s in 3..100 {
-            assert_eq!(r.try_write(0, tok(s), TimeNs::from_ms(s)), WriteOutcome::Accepted);
-            assert!(matches!(r.try_read(1, TimeNs::from_ms(s)), ReadOutcome::Token(_)));
+            assert_eq!(
+                r.try_write(0, tok(s), TimeNs::from_ms(s)),
+                WriteOutcome::Accepted
+            );
+            assert!(matches!(
+                r.try_read(1, TimeNs::from_ms(s)),
+                ReadOutcome::Token(_)
+            ));
         }
         // The latched queue received nothing beyond its capacity.
         assert_eq!(r.fill(0), 2);
@@ -364,7 +410,10 @@ mod tests {
         }
         // Replica 1 consumes 3, replica 0 none → divergence 3 ≥ D=3.
         for k in 0..3u64 {
-            assert!(matches!(r.try_read(1, TimeNs::from_ms(10 + k)), ReadOutcome::Token(_)));
+            assert!(matches!(
+                r.try_read(1, TimeNs::from_ms(10 + k)),
+                ReadOutcome::Token(_)
+            ));
         }
         let fault = r.fault(0).expect("divergence latched");
         assert_eq!(fault.cause, ReplicatorFaultCause::Divergence);
@@ -391,7 +440,10 @@ mod tests {
         let mut r = replicator([1, 1]);
         r.try_write(0, tok(0), TimeNs::ZERO);
         // Both queues full: both latch; the write is accepted-but-dropped.
-        assert_eq!(r.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(
+            r.try_write(0, tok(1), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
         assert!(r.is_faulty(0) && r.is_faulty(1));
     }
 
@@ -416,7 +468,11 @@ mod tests {
     fn state_footprint_is_small() {
         // The paper reports ~1.5 KB replicator overhead (excluding tokens);
         // our bookkeeping is well under that.
-        assert!(Replicator::state_bytes() < 1536, "{}", Replicator::state_bytes());
+        assert!(
+            Replicator::state_bytes() < 1536,
+            "{}",
+            Replicator::state_bytes()
+        );
     }
 
     #[test]

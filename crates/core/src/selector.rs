@@ -32,13 +32,15 @@
 //! arriving from the latched replica are accepted-and-discarded so a
 //! limping replica cannot block.
 
+use crate::obs::DetectionObs;
 use rtft_kpn::{ChannelBehavior, ReadOutcome, Token, WriteOutcome};
+use rtft_obs::DetectionSite;
 use rtft_rtc::TimeNs;
 use std::any::Any;
 use std::collections::VecDeque;
 
 /// Which detection rule latched a replica faulty at the selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectorFaultCause {
     /// `space_i` exceeded `|S_i| + (D − 1)`: the replica stalled while the
     /// consumer kept draining.
@@ -48,7 +50,7 @@ pub enum SelectorFaultCause {
 }
 
 /// A latched fault-detection record at the selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SelectorFaultRecord {
     /// Time of the operation during which the fault was detected.
     pub at: TimeNs,
@@ -83,12 +85,20 @@ impl SelectorConfig {
 
     /// Stall detection only (§3.3 "first method" ablation).
     pub fn stall_only(capacity: [usize; 2], slack: u64) -> Self {
-        SelectorConfig { capacity, divergence_threshold: None, stall_slack: Some(slack) }
+        SelectorConfig {
+            capacity,
+            divergence_threshold: None,
+            stall_slack: Some(slack),
+        }
     }
 
     /// Disables all fault detection (ablation: bare §3.1 semantics).
     pub fn without_detection(capacity: [usize; 2]) -> Self {
-        SelectorConfig { capacity, divergence_threshold: None, stall_slack: None }
+        SelectorConfig {
+            capacity,
+            divergence_threshold: None,
+            stall_slack: None,
+        }
     }
 
     /// Disables only the stall detector (ablation E9).
@@ -133,6 +143,7 @@ pub struct Selector {
     discarded: u64,
     reads: u64,
     fault: [Option<SelectorFaultRecord>; 2],
+    obs: Option<DetectionObs>,
 }
 
 impl Selector {
@@ -159,7 +170,16 @@ impl Selector {
             discarded: 0,
             reads: 0,
             fault: [None, None],
+            obs: None,
         }
+    }
+
+    /// Attaches observability: each fault latch is mirrored into the
+    /// handles' [`HealthModel`](rtft_obs::HealthModel) and every late
+    /// duplicate suppressed bumps the discard counter. Detection
+    /// semantics are unchanged — the latch stays the source of truth.
+    pub fn attach_obs(&mut self, obs: DetectionObs) {
+        self.obs = Some(obs);
     }
 
     /// The selector's diagnostic name.
@@ -211,11 +231,20 @@ impl Selector {
     fn latch(&mut self, i: usize, at: TimeNs, cause: SelectorFaultCause) {
         if self.fault[i].is_none() && self.fault[1 - i].is_none() {
             self.fault[i] = Some(SelectorFaultRecord { at, cause });
+            if let Some(obs) = &self.obs {
+                let site = match cause {
+                    SelectorFaultCause::Stall => DetectionSite::SelectorStall,
+                    SelectorFaultCause::Divergence => DetectionSite::SelectorDivergence,
+                };
+                obs.on_detection(i, site, at);
+            }
         }
     }
 
     fn check_divergence(&mut self, now: TimeNs) {
-        let Some(d) = self.config.divergence_threshold else { return };
+        let Some(d) = self.config.divergence_threshold else {
+            return;
+        };
         if self.fault[0].is_some() || self.fault[1].is_some() {
             return;
         }
@@ -227,7 +256,9 @@ impl Selector {
     }
 
     fn check_stall(&mut self, now: TimeNs) {
-        let Some(slack) = self.config.stall_slack else { return };
+        let Some(slack) = self.config.stall_slack else {
+            return;
+        };
         if self.fault[0].is_some() || self.fault[1].is_some() {
             return;
         }
@@ -250,6 +281,9 @@ impl ChannelBehavior for Selector {
             // degraded replica cannot block itself (and through nothing
             // else, per Lemma 1, anyone else).
             self.discarded += 1;
+            if let Some(obs) = &self.obs {
+                obs.on_duplicate_discarded();
+            }
             return WriteOutcome::AcceptedDropped;
         }
 
@@ -285,6 +319,9 @@ impl ChannelBehavior for Selector {
             WriteOutcome::Accepted
         } else {
             self.discarded += 1;
+            if let Some(obs) = &self.obs {
+                obs.on_duplicate_discarded();
+            }
             WriteOutcome::AcceptedDropped
         };
         self.space[iface] -= 1;
@@ -325,6 +362,10 @@ impl ChannelBehavior for Selector {
 
     fn max_fill(&self, _iface: usize) -> usize {
         self.max_fill
+    }
+
+    fn debug_name(&self) -> Option<&str> {
+        Some(&self.name)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -376,7 +417,11 @@ mod tests {
         for seq in 0..3 {
             s.try_write(1, tok(seq), TimeNs::ZERO);
         }
-        assert_eq!(s.space(0), before, "writes on interface 1 must not change space_0");
+        assert_eq!(
+            s.space(0),
+            before,
+            "writes on interface 1 must not change space_0"
+        );
     }
 
     #[test]
@@ -414,7 +459,10 @@ mod tests {
         // Healthy replica keeps enqueueing every token (no pair logic).
         assert_eq!(s.try_write(0, tok(2), TimeNs::ZERO), WriteOutcome::Accepted);
         // Latched replica's stragglers are swallowed.
-        assert_eq!(s.try_write(1, tok(0), TimeNs::ZERO), WriteOutcome::AcceptedDropped);
+        assert_eq!(
+            s.try_write(1, tok(0), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
         // Consumer sees the full sequence once.
         let mut seqs = Vec::new();
         while let ReadOutcome::Token(t) = s.try_read(0, TimeNs::ZERO) {
@@ -431,8 +479,14 @@ mod tests {
         // space_1 = 2 − 0 + reads; threshold: space_1 > |S_1| + 2 = 4,
         // i.e. the 3rd read flags replica 1.
         for seq in 0..3u64 {
-            assert_eq!(s.try_write(0, tok(seq), TimeNs::from_ms(seq)), WriteOutcome::Accepted);
-            assert!(matches!(s.try_read(0, TimeNs::from_ms(10 + seq)), ReadOutcome::Token(_)));
+            assert_eq!(
+                s.try_write(0, tok(seq), TimeNs::from_ms(seq)),
+                WriteOutcome::Accepted
+            );
+            assert!(matches!(
+                s.try_read(0, TimeNs::from_ms(10 + seq)),
+                ReadOutcome::Token(_)
+            ));
         }
         let f = s.fault(1).expect("replica 1 flagged by stall rule");
         assert_eq!(f.cause, SelectorFaultCause::Stall);
@@ -449,8 +503,14 @@ mod tests {
         for seq in 0..20u64 {
             // Replica 0 delivers pairs seq and seq+1 before replica 1
             // catches up on pair seq (skew ≤ 2 < D).
-            assert_eq!(s.try_write(0, tok(seq), TimeNs::from_ms(seq)), WriteOutcome::Accepted);
-            assert!(matches!(s.try_read(0, TimeNs::from_ms(seq)), ReadOutcome::Token(_)));
+            assert_eq!(
+                s.try_write(0, tok(seq), TimeNs::from_ms(seq)),
+                WriteOutcome::Accepted
+            );
+            assert!(matches!(
+                s.try_read(0, TimeNs::from_ms(seq)),
+                ReadOutcome::Token(_)
+            ));
             if seq >= 1 {
                 assert_eq!(
                     s.try_write(1, tok(seq - 1), TimeNs::from_ms(seq)),
@@ -458,7 +518,10 @@ mod tests {
                 );
             }
         }
-        assert!(!s.is_faulty(0) && !s.is_faulty(1), "skew within D must not latch");
+        assert!(
+            !s.is_faulty(0) && !s.is_faulty(1),
+            "skew within D must not latch"
+        );
     }
 
     #[test]
@@ -501,7 +564,11 @@ mod tests {
     #[test]
     fn state_footprint_is_small() {
         // The paper reports ~2.1 KB selector overhead (excluding tokens).
-        assert!(Selector::state_bytes() < 2100, "{}", Selector::state_bytes());
+        assert!(
+            Selector::state_bytes() < 2100,
+            "{}",
+            Selector::state_bytes()
+        );
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! Property-based tests for the replicator/selector state machines and the
+//! Property-style tests for the replicator/selector state machines and the
 //! end-to-end fault-tolerance guarantees (Lemma 1, Theorem 2).
+//!
+//! Originally `proptest`-based; rewritten as deterministic seeded sweeps
+//! driven by [`SplitMix64`] so the workspace builds offline with no
+//! external dependencies.
 
-use proptest::prelude::*;
 use rtft_core::{
     build_duplicated, build_reference, DuplicationConfig, FaultPlan, JitterStageReplica,
     Replicator, ReplicatorConfig, Selector, SelectorConfig,
 };
-use rtft_kpn::{ChannelBehavior, Engine, Payload, ReadOutcome, Token, WriteOutcome};
+use rtft_kpn::{ChannelBehavior, Engine, Payload, ReadOutcome, SplitMix64, Token, WriteOutcome};
 use rtft_rtc::sizing::DuplicationModel;
 use rtft_rtc::{PjdModel, TimeNs};
 use std::sync::Arc;
@@ -15,30 +18,43 @@ fn tok(seq: u64) -> Token {
     Token::new(seq, TimeNs::from_ms(seq), Payload::U64(seq))
 }
 
-proptest! {
-    /// The replicator delivers the exact producer sequence to every healthy
-    /// replica, regardless of how reads interleave.
-    #[test]
-    fn replicator_preserves_order_per_queue(
-        caps in (1usize..6, 1usize..6),
-        ops in prop::collection::vec(0u8..4, 1..200),
-    ) {
-        let mut r = Replicator::new("r", ReplicatorConfig::new([caps.0, caps.1]));
+fn mjpeg_like_model() -> DuplicationModel {
+    DuplicationModel::symmetric(
+        PjdModel::from_ms(30.0, 2.0, 0.0),
+        PjdModel::from_ms(30.0, 2.0, 90.0),
+        [
+            PjdModel::from_ms(30.0, 5.0, 0.0),
+            PjdModel::from_ms(30.0, 30.0, 0.0),
+        ],
+    )
+}
+
+/// The replicator delivers the exact producer sequence to every healthy
+/// replica, regardless of how reads interleave.
+#[test]
+fn replicator_preserves_order_per_queue() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de_0001);
+    for _case in 0..32 {
+        let caps = [
+            (1 + rng.next_inclusive(4)) as usize,
+            (1 + rng.next_inclusive(4)) as usize,
+        ];
+        let n_ops = 1 + rng.next_inclusive(198);
+        let mut r = Replicator::new("r", ReplicatorConfig::new(caps));
         let mut written = 0u64;
         let mut read_seq = [0u64; 2];
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.next_inclusive(3) {
                 0 | 1 => {
                     // Producer write (detection on: never blocks).
                     let out = r.try_write(0, tok(written), TimeNs::from_ms(written));
-                    prop_assert_ne!(out, WriteOutcome::Blocked);
+                    assert_ne!(out, WriteOutcome::Blocked);
                     written += 1;
                 }
                 i @ (2 | 3) => {
                     let iface = (i - 2) as usize;
                     if let ReadOutcome::Token(t) = r.try_read(iface, TimeNs::ZERO) {
-                        prop_assert_eq!(t.seq, read_seq[iface],
-                            "queue {} out of order", iface);
+                        assert_eq!(t.seq, read_seq[iface], "queue {iface} out of order");
                         read_seq[iface] += 1;
                     }
                 }
@@ -46,46 +62,56 @@ proptest! {
             }
         }
         // Every token read was a prefix of what was written.
-        prop_assert!(read_seq[0] <= written && read_seq[1] <= written);
+        assert!(read_seq[0] <= written && read_seq[1] <= written);
     }
+}
 
-    /// Lemma 1 at the state-machine level: operations on one selector write
-    /// interface never change the other interface's space counter.
-    #[test]
-    fn lemma1_space_isolation(
-        ops in prop::collection::vec(0u8..2, 1..100),
-        caps in (1usize..8, 1usize..8),
-    ) {
-        let mut s = Selector::new("s", SelectorConfig::without_detection([caps.0, caps.1]));
+/// Lemma 1 at the state-machine level: operations on one selector write
+/// interface never change the other interface's space counter.
+#[test]
+fn lemma1_space_isolation() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de_0002);
+    for _case in 0..32 {
+        let caps = [
+            (1 + rng.next_inclusive(6)) as usize,
+            (1 + rng.next_inclusive(6)) as usize,
+        ];
+        let n_ops = 1 + rng.next_inclusive(98);
+        let mut s = Selector::new("s", SelectorConfig::without_detection(caps));
         let mut seq = [0u64; 2];
-        for op in ops {
-            let iface = op as usize;
+        for _ in 0..n_ops {
+            let iface = rng.next_inclusive(1) as usize;
             let other = 1 - iface;
             let space_other_before = s.space(other);
             let _ = s.try_write(iface, tok(seq[iface]), TimeNs::ZERO);
             seq[iface] += 1;
-            prop_assert_eq!(s.space(other), space_other_before,
-                "write on iface {} changed space of iface {}", iface, other);
+            assert_eq!(
+                s.space(other),
+                space_other_before,
+                "write on iface {iface} changed space of iface {other}"
+            );
         }
     }
+}
 
-    /// The selector delivers each duplicate pair exactly once, in order,
-    /// for any healthy interleaving of the two replicas (skew bounded by
-    /// the queue capacities).
-    #[test]
-    fn selector_delivers_each_pair_once(
-        schedule in prop::collection::vec(0u8..3, 1..300),
-        caps in (2usize..8, 2usize..8),
-    ) {
-        let mut s = Selector::new(
-            "s",
-            SelectorConfig::without_detection([caps.0, caps.1]),
-        );
+/// The selector delivers each duplicate pair exactly once, in order,
+/// for any healthy interleaving of the two replicas (skew bounded by
+/// the queue capacities).
+#[test]
+fn selector_delivers_each_pair_once() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de_0003);
+    for _case in 0..32 {
+        let caps = [
+            (2 + rng.next_inclusive(5)) as usize,
+            (2 + rng.next_inclusive(5)) as usize,
+        ];
+        let n_ops = 1 + rng.next_inclusive(298);
+        let mut s = Selector::new("s", SelectorConfig::without_detection(caps));
         let mut next_write = [0u64; 2];
         let mut delivered = Vec::new();
         let total = 40u64;
-        for op in schedule {
-            match op {
+        for _ in 0..n_ops {
+            match rng.next_inclusive(2) {
                 i @ (0 | 1) => {
                     let iface = i as usize;
                     if next_write[iface] < total {
@@ -108,31 +134,36 @@ proptest! {
             delivered.push(t.seq);
         }
         let expected: Vec<u64> = (0..delivered.len() as u64).collect();
-        prop_assert_eq!(&delivered, &expected, "pairs must appear exactly once, in order");
+        assert_eq!(
+            delivered, expected,
+            "pairs must appear exactly once, in order"
+        );
         // Everything both replicas completed was delivered.
         let both_done = next_write[0].min(next_write[1]);
-        prop_assert!(delivered.len() as u64 >= both_done,
-            "delivered {} < completed pairs {}", delivered.len(), both_done);
-    }
-
-    /// End-to-end Theorem 2: for random seeds and a random fail-stop time
-    /// in either replica, the duplicated network delivers exactly the
-    /// reference value sequence.
-    #[test]
-    fn theorem2_value_equivalence_under_fault(
-        seed_p in 0u64..1000,
-        seed_r1 in 0u64..1000,
-        seed_r2 in 0u64..1000,
-        faulty in 0usize..2,
-        fault_ms in 200u64..2000,
-    ) {
-        let model = DuplicationModel::symmetric(
-            PjdModel::from_ms(30.0, 2.0, 0.0),
-            PjdModel::from_ms(30.0, 2.0, 90.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+        assert!(
+            delivered.len() as u64 >= both_done,
+            "delivered {} < completed pairs {}",
+            delivered.len(),
+            both_done
         );
+    }
+}
+
+/// End-to-end Theorem 2: for random seeds and a random fail-stop time
+/// in either replica, the duplicated network delivers exactly the
+/// reference value sequence.
+#[test]
+fn theorem2_value_equivalence_under_fault() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de_0004);
+    for _case in 0..8 {
+        let seed_p = rng.next_inclusive(999);
+        let seed_r1 = rng.next_inclusive(999);
+        let seed_r2 = rng.next_inclusive(999);
+        let faulty = rng.next_inclusive(1) as usize;
+        let fault_ms = 200 + rng.next_inclusive(1_799);
+
         let tokens = 100u64;
-        let cfg = DuplicationConfig::from_model(model)
+        let cfg = DuplicationConfig::from_model(mjpeg_like_model())
             .expect("bounded")
             .with_token_count(tokens)
             .with_seeds(seed_p, seed_p + 1)
@@ -147,34 +178,48 @@ proptest! {
         let mut reference = Engine::new(ref_net);
         reference.run_until(TimeNs::from_secs(20));
 
-        let d: Vec<u64> = dup_ids.consumer_arrivals(dup.network()).iter().map(|a| a.1).collect();
-        let r: Vec<u64> =
-            ref_ids.consumer_arrivals(reference.network()).iter().map(|a| a.1).collect();
-        prop_assert_eq!(d.len() as u64, tokens);
-        prop_assert_eq!(d, r);
+        let d: Vec<u64> = dup_ids
+            .consumer_arrivals(dup.network())
+            .iter()
+            .map(|a| a.1)
+            .collect();
+        let r: Vec<u64> = ref_ids
+            .consumer_arrivals(reference.network())
+            .iter()
+            .map(|a| a.1)
+            .collect();
+        assert_eq!(
+            d.len() as u64,
+            tokens,
+            "fault at {fault_ms}ms in replica {faulty}"
+        );
+        assert_eq!(d, r);
 
         // The healthy replica is never flagged.
         let healthy = 1 - faulty;
         let rep = dup_ids.replicator_faults(dup.network());
         let sel = dup_ids.selector_faults(dup.network());
-        prop_assert!(rep[healthy].is_none(), "healthy replica flagged at replicator");
-        prop_assert!(sel[healthy].is_none(), "healthy replica flagged at selector");
-    }
-
-    /// No false positives: fault-free runs never latch a fault, for any
-    /// seeds (eq. (5) guarantee).
-    #[test]
-    fn no_false_positives_fault_free(
-        seed_p in 0u64..500,
-        seed_r1 in 0u64..500,
-        seed_r2 in 0u64..500,
-    ) {
-        let model = DuplicationModel::symmetric(
-            PjdModel::from_ms(30.0, 2.0, 0.0),
-            PjdModel::from_ms(30.0, 2.0, 90.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+        assert!(
+            rep[healthy].is_none(),
+            "healthy replica flagged at replicator"
         );
-        let cfg = DuplicationConfig::from_model(model)
+        assert!(
+            sel[healthy].is_none(),
+            "healthy replica flagged at selector"
+        );
+    }
+}
+
+/// No false positives: fault-free runs never latch a fault, for any
+/// seeds (eq. (5) guarantee).
+#[test]
+fn no_false_positives_fault_free() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de_0005);
+    for _case in 0..8 {
+        let seed_p = rng.next_inclusive(499);
+        let seed_r1 = rng.next_inclusive(499);
+        let seed_r2 = rng.next_inclusive(499);
+        let cfg = DuplicationConfig::from_model(mjpeg_like_model())
             .expect("bounded")
             .with_token_count(80)
             .with_seeds(seed_p, seed_p + 7);
@@ -182,22 +227,21 @@ proptest! {
         let (net, ids) = build_duplicated(&cfg, &factory);
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(20));
-        prop_assert_eq!(ids.replicator_faults(engine.network()), [None, None]);
-        prop_assert_eq!(ids.selector_faults(engine.network()), [None, None]);
-        prop_assert_eq!(ids.consumer_arrivals(engine.network()).len(), 80);
+        assert_eq!(ids.replicator_faults(engine.network()), [None, None]);
+        assert_eq!(ids.selector_faults(engine.network()), [None, None]);
+        assert_eq!(ids.consumer_arrivals(engine.network()).len(), 80);
     }
+}
 
-    /// Observed queue fills never exceed the analytic capacities (the
-    /// "Max. Observed fill ≤ Theoretical Capacity" claim of Table 2),
-    /// fault-free, for any seeds.
-    #[test]
-    fn observed_fill_bounded_by_capacity(seed in 0u64..500) {
-        let model = DuplicationModel::symmetric(
-            PjdModel::from_ms(30.0, 2.0, 0.0),
-            PjdModel::from_ms(30.0, 2.0, 90.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
-        );
-        let cfg = DuplicationConfig::from_model(model)
+/// Observed queue fills never exceed the analytic capacities (the
+/// "Max. Observed fill ≤ Theoretical Capacity" claim of Table 2),
+/// fault-free, for any seeds.
+#[test]
+fn observed_fill_bounded_by_capacity() {
+    let mut rng = SplitMix64::seed_from_u64(0xc0de_0006);
+    for _case in 0..8 {
+        let seed = rng.next_inclusive(499);
+        let cfg = DuplicationConfig::from_model(mjpeg_like_model())
             .expect("bounded")
             .with_token_count(80)
             .with_seeds(seed, seed + 13);
@@ -207,14 +251,12 @@ proptest! {
         engine.run_until(TimeNs::from_secs(20));
         let net = engine.network();
         for i in 0..2 {
-            prop_assert!(
+            assert!(
                 net.channel(ids.replicator).max_fill(i)
                     <= cfg.sizing.replicator_capacity[i] as usize
             );
         }
-        prop_assert!(
-            net.channel(ids.selector).max_fill(0) <= cfg.sizing.selector_queue_size() as usize
-        );
+        assert!(net.channel(ids.selector).max_fill(0) <= cfg.sizing.selector_queue_size() as usize);
     }
 }
 
@@ -223,12 +265,7 @@ proptest! {
 /// with detection enabled it does not.
 #[test]
 fn motivational_example_deadlock_vs_detection() {
-    let model = DuplicationModel::symmetric(
-        PjdModel::from_ms(30.0, 2.0, 0.0),
-        PjdModel::from_ms(30.0, 2.0, 90.0),
-        [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
-    );
-    let base = DuplicationConfig::from_model(model)
+    let base = DuplicationConfig::from_model(mjpeg_like_model())
         .expect("bounded")
         .with_token_count(100)
         .with_fault(0, FaultPlan::fail_stop_at(TimeNs::from_secs(1)));

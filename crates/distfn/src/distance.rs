@@ -170,8 +170,14 @@ mod tests {
         let l1 = LRepetitive::from_pjd(&m, 1);
         let l8 = LRepetitive::from_pjd(&m, 8);
         for n in 2..=9 {
-            assert!(l1.dmin(n) <= l8.dmin(n), "n={n}: l=1 d⁻ must under-approximate");
-            assert!(l1.dmax(n) >= l8.dmax(n), "n={n}: l=1 d⁺ must over-approximate");
+            assert!(
+                l1.dmin(n) <= l8.dmin(n),
+                "n={n}: l=1 d⁻ must under-approximate"
+            );
+            assert!(
+                l1.dmax(n) >= l8.dmax(n),
+                "n={n}: l=1 d⁺ must over-approximate"
+            );
         }
         // And the gap is real for n > 2 when jitter > 0 (the paper's
         // false-positive/negative trade-off).
@@ -193,8 +199,9 @@ mod tests {
         let m = PjdModel::from_ms(30.0, 5.0, 0.0);
         let d = LRepetitive::from_pjd(&m, 2);
         // Events at n·30 + small displacement ≤ 5ms.
-        let trace: Vec<TimeNs> =
-            (0..20u64).map(|n| ms(n * 30) + TimeNs::from_us((n % 3) * 1000)).collect();
+        let trace: Vec<TimeNs> = (0..20u64)
+            .map(|n| ms(n * 30) + TimeNs::from_us((n % 3) * 1000))
+            .collect();
         assert_eq!(d.first_violation(&trace), None);
     }
 
@@ -219,8 +226,7 @@ mod tests {
     fn state_grows_with_level() {
         let m = PjdModel::from_ms(30.0, 5.0, 0.0);
         assert!(
-            LRepetitive::from_pjd(&m, 8).state_bytes()
-                > LRepetitive::from_pjd(&m, 1).state_bytes()
+            LRepetitive::from_pjd(&m, 8).state_bytes() > LRepetitive::from_pjd(&m, 1).state_bytes()
         );
     }
 

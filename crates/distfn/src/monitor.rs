@@ -13,10 +13,9 @@
 //! through a [`StreamTap`] closure installed in a pass-through stage.
 
 use crate::distance::LRepetitive;
-use parking_lot::Mutex;
 use rtft_kpn::{PortId, Process, Syscall, Transform, Wakeup};
 use rtft_rtc::TimeNs;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A shared, timestamped event log: the tap writes, the monitor reads.
 #[derive(Debug, Default)]
@@ -32,27 +31,31 @@ impl StreamTap {
 
     /// Records an event at `at`.
     pub fn record(&self, at: TimeNs) {
-        self.events.lock().push(at);
+        self.events.lock().expect("tap mutex poisoned").push(at);
     }
 
     /// Number of events observed so far.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("tap mutex poisoned").len()
     }
 
     /// `true` if nothing was observed yet.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.events.lock().expect("tap mutex poisoned").is_empty()
     }
 
     /// Snapshot of the recorded event times.
     pub fn snapshot(&self) -> Vec<TimeNs> {
-        self.events.lock().clone()
+        self.events.lock().expect("tap mutex poisoned").clone()
     }
 
     /// The most recent event, if any.
     pub fn last(&self) -> Option<TimeNs> {
-        self.events.lock().last().copied()
+        self.events
+            .lock()
+            .expect("tap mutex poisoned")
+            .last()
+            .copied()
     }
 }
 
@@ -162,13 +165,19 @@ impl DistanceMonitor {
         }
         // Explicit violations between recorded events.
         if self.bounds.first_violation(&events).is_some() {
-            self.verdict = Some(MonitorVerdict { detected_at: now, overdue: false });
+            self.verdict = Some(MonitorVerdict {
+                detected_at: now,
+                overdue: false,
+            });
             return;
         }
         // Fail-silent rule: the next event is overdue.
         let last = *events.last().expect("non-empty");
         if now > last + self.bounds.dmax(2) {
-            self.verdict = Some(MonitorVerdict { detected_at: now, overdue: true });
+            self.verdict = Some(MonitorVerdict {
+                detected_at: now,
+                overdue: true,
+            });
         }
     }
 }
@@ -212,9 +221,21 @@ mod tests {
         let a = net.add_channel(Fifo::new("a", 4));
         let b = net.add_channel(Fifo::new("b", 4));
         let model = PjdModel::from_ms(30.0, 2.0, 0.0);
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 1, Some(30), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            1,
+            Some(30),
+            Payload::U64,
+        ));
         let tap = StreamTap::new();
-        net.add_process(tap_stage("tap", PortId::of(a), PortId::of(b), Arc::clone(&tap)));
+        net.add_process(tap_stage(
+            "tap",
+            PortId::of(a),
+            PortId::of(b),
+            Arc::clone(&tap),
+        ));
         net.add_process(Collector::new("col", PortId::of(b), Some(30)));
         let bounds = LRepetitive::from_pjd(&model, 1);
         // Deadline before the finite source runs dry (30·30 ms = 900 ms):
@@ -228,8 +249,14 @@ mod tests {
         ));
         let mut engine = Engine::new(net);
         let out = engine.run_until(TimeNs::from_secs(5));
-        assert!(matches!(out, RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }));
-        let mon = engine.network().process_as::<DistanceMonitor>(monitor).unwrap();
+        assert!(matches!(
+            out,
+            RunOutcome::Completed { .. } | RunOutcome::Quiescent { .. }
+        ));
+        let mon = engine
+            .network()
+            .process_as::<DistanceMonitor>(monitor)
+            .unwrap();
         assert_eq!(mon.verdict(), None);
         assert_eq!(tap.len(), 30);
     }
@@ -243,9 +270,21 @@ mod tests {
         let b = net.add_channel(Fifo::new("b", 4));
         let model = PjdModel::from_ms(30.0, 2.0, 0.0);
         // Source emits 10 tokens and stops: a fail-stop at t ≈ 270 ms.
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(10), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(10),
+            Payload::U64,
+        ));
         let tap = StreamTap::new();
-        net.add_process(tap_stage("tap", PortId::of(a), PortId::of(b), Arc::clone(&tap)));
+        net.add_process(tap_stage(
+            "tap",
+            PortId::of(a),
+            PortId::of(b),
+            Arc::clone(&tap),
+        ));
         net.add_process(Collector::new("col", PortId::of(b), Some(10)));
         let bounds = LRepetitive::from_pjd(&model, 1);
         let monitor = net.add_process(DistanceMonitor::new(
@@ -257,7 +296,10 @@ mod tests {
         ));
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(10));
-        let mon = engine.network().process_as::<DistanceMonitor>(monitor).unwrap();
+        let mon = engine
+            .network()
+            .process_as::<DistanceMonitor>(monitor)
+            .unwrap();
         let verdict = mon.verdict().expect("stall must be flagged");
         assert!(verdict.overdue);
         // Last event at 270 ms (zero-jitter seed path may displace by ≤2ms);
@@ -265,7 +307,10 @@ mod tests {
         let last = tap.last().unwrap();
         let latency = verdict.detected_at - last;
         assert!(latency > ms(32), "must exceed dmax(2): {latency}");
-        assert!(latency <= ms(32) + ms(2), "within polling quantisation: {latency}");
+        assert!(
+            latency <= ms(32) + ms(2),
+            "within polling quantisation: {latency}"
+        );
     }
 
     /// A burst violates d⁻ between recorded events (value-domain check).

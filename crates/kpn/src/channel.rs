@@ -101,6 +101,12 @@ pub trait ChannelBehavior: fmt::Debug + Send {
     /// "Max. Observed fill" row in Table 2.
     fn max_fill(&self, iface: usize) -> usize;
 
+    /// Diagnostic name, if the implementation carries one; the network
+    /// falls back to `ch<N>` for metric labels otherwise.
+    fn debug_name(&self) -> Option<&str> {
+        None
+    }
+
     /// Downcast support so harnesses can reach implementation-specific
     /// state (e.g. the replicator's fault-latch timestamps).
     fn as_any(&self) -> &dyn Any;
@@ -170,7 +176,8 @@ impl Fifo {
         assert!(initial <= capacity, "initial fill exceeds capacity");
         let mut f = Fifo::new(name, capacity);
         for seq in 0..initial {
-            f.queue.push_back(Token::new(seq as u64, TimeNs::ZERO, crate::Payload::Empty));
+            f.queue
+                .push_back(Token::new(seq as u64, TimeNs::ZERO, crate::Payload::Empty));
         }
         f.max_fill = initial;
         f
@@ -227,6 +234,10 @@ impl ChannelBehavior for Fifo {
         self.max_fill
     }
 
+    fn debug_name(&self) -> Option<&str> {
+        Some(&self.name)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -251,7 +262,10 @@ pub struct UnboundedFifo {
 impl UnboundedFifo {
     /// Creates an unbounded FIFO.
     pub fn new(name: impl Into<String>) -> Self {
-        UnboundedFifo { name: name.into(), ..Default::default() }
+        UnboundedFifo {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The FIFO's diagnostic name.
@@ -290,6 +304,10 @@ impl ChannelBehavior for UnboundedFifo {
 
     fn max_fill(&self, _iface: usize) -> usize {
         self.max_fill
+    }
+
+    fn debug_name(&self) -> Option<&str> {
+        Some(&self.name)
     }
 
     fn as_any(&self) -> &dyn Any {

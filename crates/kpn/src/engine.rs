@@ -28,9 +28,50 @@ use crate::network::Network;
 use crate::platform::{IdealPlatform, Platform};
 use crate::process::{NodeId, Syscall, Wakeup};
 use crate::trace::{Trace, TraceEvent};
+use rtft_obs::{Counter, Gauge, MetricsRegistry};
 use rtft_rtc::TimeNs;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Pre-resolved metric handles for the engine's hot loop.
+///
+/// Resolved once in [`Engine::with_metrics`], so the step loop pays one
+/// `Option` branch when metrics are off and a relaxed atomic op per event
+/// when they are on — never a registry lookup.
+#[derive(Debug, Clone)]
+struct EngineObs {
+    events: Counter,
+    tokens_written: Counter,
+    tokens_read: Counter,
+    tokens_dropped: Counter,
+    read_blocked: Counter,
+    write_blocked: Counter,
+    halts: Counter,
+    /// Occupancy gauge per channel (value = fill after the last op on the
+    /// touched interface; `max` = high-water mark).
+    channel_fill: Vec<Gauge>,
+}
+
+impl EngineObs {
+    fn new(registry: &MetricsRegistry, network: &Network) -> Self {
+        let channel_fill = (0..network.channel_count())
+            .map(|i| {
+                let name = network.channel_name(ChannelId(i));
+                registry.gauge_named(format!("kpn.channel.{name}.fill"))
+            })
+            .collect();
+        EngineObs {
+            events: registry.counter("kpn.engine.events"),
+            tokens_written: registry.counter("kpn.tokens.written"),
+            tokens_read: registry.counter("kpn.tokens.read"),
+            tokens_dropped: registry.counter("kpn.tokens.dropped"),
+            read_blocked: registry.counter("kpn.blocked.reads"),
+            write_blocked: registry.counter("kpn.blocked.writes"),
+            halts: registry.counter("kpn.halts"),
+            channel_fill,
+        }
+    }
+}
 
 /// Why a simulation run returned.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,6 +177,7 @@ pub struct Engine {
     read_waiters: Vec<Vec<NodeId>>,
     write_waiters: Vec<Vec<NodeId>>,
     trace: Trace,
+    obs: Option<EngineObs>,
     event_budget: u64,
     started: bool,
 }
@@ -174,6 +216,7 @@ impl Engine {
             read_waiters: vec![Vec::new(); n_chan],
             write_waiters: vec![Vec::new(); n_chan],
             trace: Trace::disabled(),
+            obs: None,
             event_budget: u64::MAX,
             started: false,
         }
@@ -191,6 +234,20 @@ impl Engine {
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
         self
+    }
+
+    /// Attaches metrics: engine step/token/block counters plus one
+    /// occupancy gauge per channel (named
+    /// `kpn.channel.<name>.fill`), all registered in `registry`. Handles
+    /// are resolved here, once; the step loop itself never locks.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.obs = Some(EngineObs::new(registry, &self.network));
+        self
+    }
+
+    /// Whether metric recording is attached.
+    pub fn metrics_enabled(&self) -> bool {
+        self.obs.is_some()
     }
 
     /// Current virtual time.
@@ -222,7 +279,12 @@ impl Engine {
     fn schedule(&mut self, at: TimeNs, node: NodeId, wake: WakeKind) {
         self.seq += 1;
         self.states[node.0] = ProcState::Scheduled;
-        self.queue.push(Reverse(QueuedEvent { at, seq: self.seq, node, wake }));
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq: self.seq,
+            node,
+            wake,
+        }));
     }
 
     fn wake_channel_waiters(&mut self, channel: ChannelId) {
@@ -248,9 +310,9 @@ impl Engine {
                     self.transfer_paid[node.0] = false;
                     s
                 }
-                None => {
-                    self.pending[node.0].take().expect("parked process has a pending syscall")
-                }
+                None => self.pending[node.0]
+                    .take()
+                    .expect("parked process has a pending syscall"),
             };
 
             match syscall {
@@ -258,6 +320,9 @@ impl Engine {
                     self.states[node.0] = ProcState::Halted;
                     self.pending[node.0] = None;
                     self.trace.push(self.now, TraceEvent::Halted { node });
+                    if let Some(obs) = &self.obs {
+                        obs.halts.inc();
+                    }
                     return;
                 }
                 Syscall::Compute(d) => {
@@ -272,20 +337,35 @@ impl Engine {
                     return;
                 }
                 Syscall::Read(port) => {
-                    let outcome =
-                        self.network.channel_mut(port.channel).try_read(port.iface, self.now);
+                    let outcome = self
+                        .network
+                        .channel_mut(port.channel)
+                        .try_read(port.iface, self.now);
                     match outcome {
                         ReadOutcome::Token(token) => {
                             self.trace.push(
                                 self.now,
-                                TraceEvent::TokenRead { node, port, seq: token.seq },
+                                TraceEvent::TokenRead {
+                                    node,
+                                    port,
+                                    seq: token.seq,
+                                },
                             );
+                            if let Some(obs) = &self.obs {
+                                obs.tokens_read.inc();
+                                let fill = self.network.channel(port.channel).fill(port.iface);
+                                obs.channel_fill[port.channel.0].set(fill as u64);
+                            }
                             self.pending[node.0] = None;
                             self.wake_channel_waiters(port.channel);
                             wake = Some(Wakeup::ReadDone(token));
                         }
                         ReadOutcome::Blocked => {
-                            self.trace.push(self.now, TraceEvent::ReadBlocked { node, port });
+                            self.trace
+                                .push(self.now, TraceEvent::ReadBlocked { node, port });
+                            if let Some(obs) = &self.obs {
+                                obs.read_blocked.inc();
+                            }
                             self.pending[node.0] = Some(Syscall::Read(port));
                             self.states[node.0] = ProcState::Parked;
                             self.read_waiters[port.channel.0].push(node);
@@ -297,11 +377,9 @@ impl Engine {
                     // Charge the transfer latency once per write, before
                     // admission.
                     if !self.transfer_paid[node.0] {
-                        let latency = self.platform.transfer_latency(
-                            node,
-                            port.channel,
-                            token.payload.len(),
-                        );
+                        let latency =
+                            self.platform
+                                .transfer_latency(node, port.channel, token.payload.len());
                         self.transfer_paid[node.0] = true;
                         if latency > TimeNs::ZERO {
                             self.pending[node.0] = Some(Syscall::Write(port, token));
@@ -309,27 +387,41 @@ impl Engine {
                             return;
                         }
                     }
-                    let outcome = self
-                        .network
-                        .channel_mut(port.channel)
-                        .try_write(port.iface, token.clone(), self.now);
+                    let outcome = self.network.channel_mut(port.channel).try_write(
+                        port.iface,
+                        token.clone(),
+                        self.now,
+                    );
                     match outcome {
                         WriteOutcome::Accepted | WriteOutcome::AcceptedDropped => {
+                            let was_dropped = outcome == WriteOutcome::AcceptedDropped;
                             self.trace.push(
                                 self.now,
                                 TraceEvent::TokenWritten {
                                     node,
                                     port,
                                     seq: token.seq,
-                                    dropped: outcome == WriteOutcome::AcceptedDropped,
+                                    dropped: was_dropped,
                                 },
                             );
+                            if let Some(obs) = &self.obs {
+                                obs.tokens_written.inc();
+                                if was_dropped {
+                                    obs.tokens_dropped.inc();
+                                }
+                                let fill = self.network.channel(port.channel).fill(0);
+                                obs.channel_fill[port.channel.0].set(fill as u64);
+                            }
                             self.pending[node.0] = None;
                             self.wake_channel_waiters(port.channel);
                             wake = Some(Wakeup::WriteDone);
                         }
                         WriteOutcome::Blocked => {
-                            self.trace.push(self.now, TraceEvent::WriteBlocked { node, port });
+                            self.trace
+                                .push(self.now, TraceEvent::WriteBlocked { node, port });
+                            if let Some(obs) = &self.obs {
+                                obs.write_blocked.inc();
+                            }
                             self.pending[node.0] = Some(Syscall::Write(port, token));
                             self.states[node.0] = ProcState::Parked;
                             self.write_waiters[port.channel.0].push(node);
@@ -365,7 +457,10 @@ impl Engine {
                 return if blocked.is_empty() {
                     RunOutcome::Completed { at: self.now }
                 } else {
-                    RunOutcome::Quiescent { at: self.now, blocked }
+                    RunOutcome::Quiescent {
+                        at: self.now,
+                        blocked,
+                    }
                 };
             };
             if ev.at > limit {
@@ -379,6 +474,9 @@ impl Engine {
                 return RunOutcome::EventBudgetExhausted { at: self.now };
             }
             budget -= 1;
+            if let Some(obs) = &self.obs {
+                obs.events.inc();
+            }
 
             self.now = ev.at;
             if self.states[ev.node.0] == ProcState::Halted {
@@ -416,7 +514,14 @@ mod tests {
         let a = net.add_channel(Fifo::new("a", 2));
         let b = net.add_channel(Fifo::new("b", 2));
         let model = PjdModel::periodic(ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(20), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(20),
+            Payload::U64,
+        ));
         net.add_process(Transform::new(
             "inc",
             PortId::of(a),
@@ -437,8 +542,11 @@ mod tests {
             "{outcome:?}"
         );
         let col = engine.network().process_as::<Collector>(col).unwrap();
-        let values: Vec<u64> =
-            col.tokens().iter().map(|t| t.payload.as_u64().unwrap()).collect();
+        let values: Vec<u64> = col
+            .tokens()
+            .iter()
+            .map(|t| t.payload.as_u64().unwrap())
+            .collect();
         assert_eq!(values, (1..=20).collect::<Vec<_>>());
     }
 
@@ -447,7 +555,14 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 64));
         let model = PjdModel::periodic(ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(5), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(5),
+            Payload::U64,
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(a), Some(5)));
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(1));
@@ -464,7 +579,14 @@ mod tests {
         let a = net.add_channel(Fifo::new("a", 1));
         let fast = PjdModel::periodic(ms(1));
         let slow = PjdModel::periodic(ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(a), fast, 0, Some(10), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            fast,
+            0,
+            Some(10),
+            Payload::U64,
+        ));
         let sink = net.add_process(PjdSink::new("sink", PortId::of(a), slow, 0, Some(10)));
         let mut engine = Engine::new(net);
         let outcome = engine.run_until(TimeNs::from_secs(10));
@@ -480,7 +602,14 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 4));
         let late = PjdModel::new(ms(10), TimeNs::ZERO, ms(50)); // first token at 50ms
-        net.add_process(PjdSource::new("src", PortId::of(a), late, 0, Some(1), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            late,
+            0,
+            Some(1),
+            Payload::U64,
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(a), Some(1)));
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(1));
@@ -510,7 +639,14 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 64));
         let model = PjdModel::periodic(ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(100), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(100),
+            Payload::U64,
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(a), Some(100)));
         let mut engine = Engine::new(net);
         assert_eq!(engine.run_until(ms(45)), RunOutcome::TimeLimit);
@@ -518,7 +654,10 @@ mod tests {
             let col_ref = engine.network().process_as::<Collector>(col).unwrap();
             assert_eq!(col_ref.tokens().len(), 5); // t = 0,10,20,30,40
         }
-        assert!(matches!(engine.run_until(TimeNs::from_secs(10)), RunOutcome::Completed { .. }));
+        assert!(matches!(
+            engine.run_until(TimeNs::from_secs(10)),
+            RunOutcome::Completed { .. }
+        ));
         let col_ref = engine.network().process_as::<Collector>(col).unwrap();
         assert_eq!(col_ref.tokens().len(), 100);
     }
@@ -528,12 +667,20 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 4));
         let model = PjdModel::periodic(ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(1), |_| {
-            Payload::from(vec![0u8; 1000])
-        }));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(1),
+            |_| Payload::from(vec![0u8; 1000]),
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(a), Some(1)));
         // 1 ms per message + 1 ns/B → 1000 B costs 1 µs, total 1.001 ms.
-        let platform = UniformBusPlatform { per_message: ms(1), per_byte_ps: 1000 };
+        let platform = UniformBusPlatform {
+            per_message: ms(1),
+            per_byte_ps: 1000,
+        };
         let mut engine = Engine::with_platform(net, Box::new(platform));
         let outcome = engine.run_until(TimeNs::from_secs(1));
         assert!(matches!(outcome, RunOutcome::Completed { .. }));
@@ -570,7 +717,14 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 4));
         let model = PjdModel::periodic(ms(10));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(3), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(3),
+            Payload::U64,
+        ));
         net.add_process(Collector::new("col", PortId::of(a), Some(3)));
         let mut engine = Engine::new(net).with_trace();
         engine.run_until(TimeNs::from_secs(1));
@@ -581,6 +735,36 @@ mod tests {
             .filter(|(_, e)| matches!(e, TraceEvent::TokenWritten { .. }))
             .count();
         assert_eq!(writes, 3);
+    }
+
+    #[test]
+    fn metrics_count_token_flow_and_fill_watermark() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 4));
+        let model = PjdModel::periodic(ms(10));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(5),
+            Payload::U64,
+        ));
+        net.add_process(PjdSink::new("sink", PortId::of(a), model, 0, Some(5)));
+        let registry = rtft_obs::MetricsRegistry::new();
+        let mut engine = Engine::new(net).with_metrics(&registry);
+        assert!(engine.metrics_enabled());
+        engine.run_until(TimeNs::from_secs(1));
+        assert_eq!(registry.counter("kpn.tokens.written").get(), 5);
+        assert_eq!(registry.counter("kpn.tokens.read").get(), 5);
+        assert_eq!(registry.counter("kpn.halts").get(), 2);
+        let events = registry.counter("kpn.engine.events").get();
+        assert!(events >= 10, "engine processed only {events} events");
+        let fills = registry.gauge_values();
+        let (name, cur, max) = &fills[0];
+        assert_eq!(name, "kpn.channel.a.fill");
+        assert_eq!(*cur, 0, "drained at end");
+        assert!(*max >= 1, "at least one token was queued");
     }
 
     #[test]
@@ -604,7 +788,11 @@ mod tests {
             let (net, sink) = build();
             let mut e = Engine::new(net);
             e.run_until(TimeNs::from_secs(10));
-            e.network().process_as::<PjdSink>(sink).unwrap().arrivals().to_vec()
+            e.network()
+                .process_as::<PjdSink>(sink)
+                .unwrap()
+                .arrivals()
+                .to_vec()
         };
         assert_eq!(run(), run());
     }

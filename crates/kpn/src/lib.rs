@@ -45,6 +45,7 @@ mod engine;
 mod network;
 mod platform;
 mod process;
+pub mod rng;
 pub mod threaded;
 mod token;
 mod trace;
@@ -59,5 +60,6 @@ pub use process::{
     Collector, JitterSampler, NodeId, PjdShaper, PjdSink, PjdSource, Process, Syscall, Transform,
     Wakeup,
 };
-pub use token::{Payload, Token};
-pub use trace::{Trace, TraceEvent};
+pub use rng::SplitMix64;
+pub use token::{Bytes, Payload, Token};
+pub use trace::{Trace, TraceEvent, DEFAULT_TRACE_CAPACITY};

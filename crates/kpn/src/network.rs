@@ -14,7 +14,9 @@ pub struct ChannelSlot {
 
 impl fmt::Debug for ChannelSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ChannelSlot").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("ChannelSlot")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -28,7 +30,9 @@ pub struct ProcessSlot {
 
 impl fmt::Debug for ProcessSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ProcessSlot").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("ProcessSlot")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -71,8 +75,21 @@ impl Network {
     /// Adds an already-boxed channel, returning its id.
     pub fn add_channel_boxed(&mut self, behavior: Box<dyn ChannelBehavior>) -> ChannelId {
         let id = ChannelId(self.channels.len());
-        self.channels.push(ChannelSlot { name: format!("ch{}", id.0), behavior });
+        let name = behavior
+            .debug_name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("ch{}", id.0));
+        self.channels.push(ChannelSlot { name, behavior });
         id
+    }
+
+    /// Diagnostic name of a channel (the behavior's own name, or `ch<N>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn channel_name(&self, id: ChannelId) -> &str {
+        &self.channels[id.0].name
     }
 
     /// Adds a process, returning its id.
@@ -119,7 +136,9 @@ impl Network {
     /// Downcasts a channel to a concrete type (e.g. to read a replicator's
     /// fault latches after a run).
     pub fn channel_as<T: 'static>(&self, id: ChannelId) -> Option<&T> {
-        self.channels.get(id.0).and_then(|c| c.behavior.as_any().downcast_ref::<T>())
+        self.channels
+            .get(id.0)
+            .and_then(|c| c.behavior.as_any().downcast_ref::<T>())
     }
 
     /// Borrows a process.
@@ -157,7 +176,10 @@ impl Network {
         for (i, c) in self.channels.iter().enumerate() {
             let b = &c.behavior;
             if b.write_ifaces() == 0 || b.read_ifaces() == 0 {
-                return Err(format!("channel {i} ({}) has a side with no interfaces", c.name));
+                return Err(format!(
+                    "channel {i} ({}) has a side with no interfaces",
+                    c.name
+                ));
             }
         }
         Ok(())

@@ -60,13 +60,19 @@ mod tests {
     #[test]
     fn ideal_platform_is_free() {
         let p = IdealPlatform;
-        assert_eq!(p.transfer_latency(NodeId(0), ChannelId(0), 1 << 20), TimeNs::ZERO);
+        assert_eq!(
+            p.transfer_latency(NodeId(0), ChannelId(0), 1 << 20),
+            TimeNs::ZERO
+        );
         assert_eq!(p.compute_scale(NodeId(0)), 1.0);
     }
 
     #[test]
     fn uniform_bus_charges_linear_cost() {
-        let p = UniformBusPlatform { per_message: TimeNs::from_us(1), per_byte_ps: 1000 };
+        let p = UniformBusPlatform {
+            per_message: TimeNs::from_us(1),
+            per_byte_ps: 1000,
+        };
         // 1 µs + 3000 B × 1 ns.
         assert_eq!(
             p.transfer_latency(NodeId(0), ChannelId(0), 3000),

@@ -10,9 +10,8 @@
 //! application code rarely writes the state machine by hand.
 
 use crate::channel::PortId;
+use crate::rng::SplitMix64;
 use crate::token::{Payload, Token};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rtft_rtc::{PjdModel, TimeNs};
 use std::fmt;
 
@@ -81,13 +80,16 @@ impl fmt::Debug for dyn Process {
 #[derive(Debug, Clone)]
 pub struct JitterSampler {
     jitter: TimeNs,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl JitterSampler {
     /// Creates a sampler over `[0, jitter]` seeded with `seed`.
     pub fn new(jitter: TimeNs, seed: u64) -> Self {
-        JitterSampler { jitter, rng: StdRng::seed_from_u64(seed) }
+        JitterSampler {
+            jitter,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
     }
 
     /// Draws the next jitter value.
@@ -95,7 +97,7 @@ impl JitterSampler {
         if self.jitter == TimeNs::ZERO {
             TimeNs::ZERO
         } else {
-            TimeNs::from_ns(self.rng.gen_range(0..=self.jitter.as_ns()))
+            TimeNs::from_ns(self.rng.next_inclusive(self.jitter.as_ns()))
         }
     }
 
@@ -300,25 +302,23 @@ impl Process for PjdSink {
     fn resume(&mut self, wake: Wakeup, now: TimeNs) -> Syscall {
         loop {
             match self.state {
-                SinkState::Pacing => {
-                    match wake {
-                        Wakeup::Start | Wakeup::ReadDone(_) => {
-                            if let Wakeup::ReadDone(ref token) = wake {
-                                self.arrivals.push((now, token.payload.digest()));
-                            }
-                            if matches!(self.count, Some(c) if self.next_seq >= c) {
-                                return Syscall::Halt;
-                            }
-                            let t = self.next_read_time();
-                            self.state = SinkState::Reading;
-                            if t > now {
-                                return Syscall::Compute(t - now);
-                            }
+                SinkState::Pacing => match wake {
+                    Wakeup::Start | Wakeup::ReadDone(_) => {
+                        if let Wakeup::ReadDone(ref token) = wake {
+                            self.arrivals.push((now, token.payload.digest()));
                         }
-                        Wakeup::ComputeDone => unreachable!("pacing state never sleeps"),
-                        Wakeup::WriteDone => unreachable!("sink never writes"),
+                        if matches!(self.count, Some(c) if self.next_seq >= c) {
+                            return Syscall::Halt;
+                        }
+                        let t = self.next_read_time();
+                        self.state = SinkState::Reading;
+                        if t > now {
+                            return Syscall::Compute(t - now);
+                        }
                     }
-                }
+                    Wakeup::ComputeDone => unreachable!("pacing state never sleeps"),
+                    Wakeup::WriteDone => unreachable!("sink never writes"),
+                },
                 SinkState::Reading => {
                     self.next_seq += 1;
                     self.state = SinkState::Pacing;
@@ -356,7 +356,9 @@ enum TransformState {
 
 impl fmt::Debug for Transform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Transform").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("Transform")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -430,7 +432,6 @@ impl Process for Transform {
         }
     }
 }
-
 
 /// A PJD traffic shaper: releases token `n` no earlier than
 /// `delay + n·period + U[0, jitter]`.
@@ -561,7 +562,12 @@ impl Collector {
     /// Creates a collector on `input`, optionally stopping after `limit`
     /// tokens.
     pub fn new(name: impl Into<String>, input: PortId, limit: Option<usize>) -> Self {
-        Collector { name: name.into(), input, tokens: Vec::new(), limit }
+        Collector {
+            name: name.into(),
+            input,
+            tokens: Vec::new(),
+            limit,
+        }
     }
 
     /// The collected tokens.
@@ -621,8 +627,7 @@ mod tests {
     #[test]
     fn source_paces_then_writes() {
         let model = PjdModel::periodic(TimeNs::from_ms(10));
-        let mut src =
-            PjdSource::new("src", port(), model, 0, Some(2), |seq| Payload::U64(seq));
+        let mut src = PjdSource::new("src", port(), model, 0, Some(2), Payload::U64);
         // t=0: first emission is due at 0 → immediate write.
         let s1 = src.resume(Wakeup::Start, TimeNs::ZERO);
         match s1 {
@@ -697,7 +702,10 @@ mod tests {
             }
             other => panic!("expected write, got {other:?}"),
         }
-        assert_eq!(t.resume(Wakeup::WriteDone, TimeNs::from_ms(2)), Syscall::Read(inp));
+        assert_eq!(
+            t.resume(Wakeup::WriteDone, TimeNs::from_ms(2)),
+            Syscall::Read(inp)
+        );
     }
 
     #[test]

@@ -16,46 +16,118 @@
 
 use crate::channel::{ChannelBehavior, ReadOutcome, WriteOutcome};
 use crate::network::Network;
-use crate::token::Token;
 use crate::process::{Syscall, Wakeup};
-use parking_lot::{Condvar, Mutex};
+use crate::token::Token;
+use rtft_obs::{Counter, MetricsRegistry};
 use rtft_rtc::TimeNs;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Pre-resolved wall-clock metric handles shared by all process threads.
+/// Resolved once at run start so the channel hot path never touches the
+/// registry lock.
+#[derive(Debug, Clone, Default)]
+struct ThreadObs {
+    writes: Counter,
+    reads: Counter,
+    write_waits: Counter,
+    read_waits: Counter,
+}
+
+impl ThreadObs {
+    fn from_registry(registry: &MetricsRegistry) -> Self {
+        ThreadObs {
+            writes: registry.counter("threaded.channel.writes"),
+            reads: registry.counter("threaded.channel.reads"),
+            write_waits: registry.counter("threaded.channel.write_waits"),
+            read_waits: registry.counter("threaded.channel.read_waits"),
+        }
+    }
+}
+
+/// Wall-clock timestamp (ns since the run epoch) of the most recent
+/// successful channel operation, compute completion, or halt. Drives
+/// quiescence detection in the join loop: once this stops advancing, the
+/// only threads still alive are permanently blocked on channels.
+#[derive(Debug, Default)]
+struct Progress {
+    last_ns: AtomicU64,
+}
+
+impl Progress {
+    fn touch(&self, now: TimeNs) {
+        self.last_ns.fetch_max(now.as_ns(), Ordering::Relaxed);
+    }
+
+    fn last(&self) -> u64 {
+        self.last_ns.load(Ordering::Relaxed)
+    }
+}
+
+/// How long the join loop waits with no progress anywhere before declaring
+/// the network quiescent. Far above any service time or period in this
+/// repository (all ≤ tens of ms); a single `Compute` sleep longer than
+/// this would be misread as quiescence.
+const QUIESCENCE_GRACE: Duration = Duration::from_secs(1);
 
 /// A channel shared between process threads.
 #[derive(Debug)]
 struct SharedChannel {
     state: Mutex<Box<dyn ChannelBehavior>>,
     changed: Condvar,
+    obs: Option<ThreadObs>,
+    progress: Arc<Progress>,
 }
 
 impl SharedChannel {
     fn write_blocking(&self, iface: usize, token: Token, clock: &WallClock) {
-        let mut guard = self.state.lock();
+        let mut guard = self.state.lock().unwrap();
         loop {
             match guard.try_write(iface, token.clone(), clock.now()) {
                 WriteOutcome::Accepted | WriteOutcome::AcceptedDropped => {
+                    if let Some(obs) = &self.obs {
+                        obs.writes.inc();
+                    }
+                    self.progress.touch(clock.now());
                     self.changed.notify_all();
                     return;
                 }
                 WriteOutcome::Blocked => {
-                    self.changed.wait_for(&mut guard, Duration::from_millis(5));
+                    if let Some(obs) = &self.obs {
+                        obs.write_waits.inc();
+                    }
+                    guard = self
+                        .changed
+                        .wait_timeout(guard, Duration::from_millis(5))
+                        .expect("channel mutex poisoned")
+                        .0;
                 }
             }
         }
     }
 
     fn read_blocking(&self, iface: usize, clock: &WallClock) -> Token {
-        let mut guard = self.state.lock();
+        let mut guard = self.state.lock().unwrap();
         loop {
             match guard.try_read(iface, clock.now()) {
                 ReadOutcome::Token(t) => {
+                    if let Some(obs) = &self.obs {
+                        obs.reads.inc();
+                    }
+                    self.progress.touch(clock.now());
                     self.changed.notify_all();
                     return t;
                 }
                 ReadOutcome::Blocked => {
-                    self.changed.wait_for(&mut guard, Duration::from_millis(5));
+                    if let Some(obs) = &self.obs {
+                        obs.read_waits.inc();
+                    }
+                    guard = self
+                        .changed
+                        .wait_timeout(guard, Duration::from_millis(5))
+                        .expect("channel mutex poisoned")
+                        .0;
                 }
             }
         }
@@ -91,12 +163,8 @@ pub struct ThreadedRun {
 
 impl ThreadedRun {
     /// Inspects a channel's final state under its concrete type.
-    pub fn channel_as<T: 'static, R>(
-        &self,
-        index: usize,
-        f: impl FnOnce(&T) -> R,
-    ) -> Option<R> {
-        let guard = self.channels.get(index)?.1.state.lock();
+    pub fn channel_as<T: 'static, R>(&self, index: usize, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let guard = self.channels.get(index)?.1.state.lock().unwrap();
         guard.as_any().downcast_ref::<T>().map(f)
     }
 
@@ -111,24 +179,50 @@ impl ThreadedRun {
     }
 }
 
-/// Runs `network` on real threads until every process halts or `deadline`
-/// elapses.
+/// Runs `network` on real threads until every process halts, the network
+/// quiesces, or `deadline` elapses.
 ///
-/// Processes that have not halted by the deadline are detached (their
-/// threads park on channels forever and are reaped at process exit); their
-/// names are reported in [`ThreadedRun::timed_out`]. Design note: Kahn
-/// processes block indefinitely by construction, so a hard join-with-timeout
-/// is the only portable way to bound a run on real threads.
+/// Quiescence: once no channel operation, compute completion, or halt has
+/// happened anywhere for one second, the remaining threads can only be
+/// permanently blocked on channels (Kahn processes such as shapers never
+/// halt by construction), so the run returns early; `deadline` is the hard
+/// upper bound for networks that keep making progress. Unfinished
+/// processes are detached (their threads park on channels forever and are
+/// reaped at process exit); their names are reported in
+/// [`ThreadedRun::timed_out`].
 ///
 /// # Panics
 ///
 /// Panics if the network fails validation.
 pub fn run_threaded(network: Network, deadline: Duration) -> ThreadedRun {
+    run_threaded_inner(network, deadline, None)
+}
+
+/// Like [`run_threaded`], but records wall-clock channel metrics
+/// (`threaded.channel.{writes,reads,write_waits,read_waits}` counters and
+/// the `threaded.elapsed_ns` gauge) into `registry`.
+pub fn run_threaded_observed(
+    network: Network,
+    deadline: Duration,
+    registry: &MetricsRegistry,
+) -> ThreadedRun {
+    run_threaded_inner(network, deadline, Some(registry))
+}
+
+fn run_threaded_inner(
+    network: Network,
+    deadline: Duration,
+    registry: Option<&MetricsRegistry>,
+) -> ThreadedRun {
     if let Err(e) = network.validate() {
         panic!("invalid network: {e}");
     }
     let (channel_slots, process_slots) = network.into_parts();
-    let clock = WallClock { epoch: Instant::now() };
+    let clock = WallClock {
+        epoch: Instant::now(),
+    };
+    let obs = registry.map(ThreadObs::from_registry);
+    let progress = Arc::new(Progress::default());
 
     let channels: Vec<(String, Arc<SharedChannel>)> = channel_slots
         .into_iter()
@@ -138,6 +232,8 @@ pub fn run_threaded(network: Network, deadline: Duration) -> ThreadedRun {
                 Arc::new(SharedChannel {
                     state: Mutex::new(slot.behavior),
                     changed: Condvar::new(),
+                    obs: obs.clone(),
+                    progress: Arc::clone(&progress),
                 }),
             )
         })
@@ -147,19 +243,24 @@ pub fn run_threaded(network: Network, deadline: Duration) -> ThreadedRun {
     for slot in process_slots {
         let name = slot.name.clone();
         let mut process = slot.process;
-        let chans: Vec<Arc<SharedChannel>> =
-            channels.iter().map(|(_, c)| Arc::clone(c)).collect();
+        let chans: Vec<Arc<SharedChannel>> = channels.iter().map(|(_, c)| Arc::clone(c)).collect();
+        let progress = Arc::clone(&progress);
         let handle = std::thread::Builder::new()
             .name(name.clone())
             .spawn(move || {
                 let mut wake = Wakeup::Start;
                 loop {
                     match process.resume(wake, clock.now()) {
-                        Syscall::Halt => return (name, process),
+                        Syscall::Halt => {
+                            progress.touch(clock.now());
+                            return (name, process);
+                        }
                         Syscall::Compute(d) => {
+                            progress.touch(clock.now());
                             if d > TimeNs::ZERO {
                                 std::thread::sleep(Duration::from_nanos(d.as_ns()));
                             }
+                            progress.touch(clock.now());
                             wake = Wakeup::ComputeDone;
                         }
                         Syscall::Read(port) => {
@@ -177,29 +278,53 @@ pub fn run_threaded(network: Network, deadline: Duration) -> ThreadedRun {
         handles.push(handle);
     }
 
-    // Join with a global deadline.
+    // Join with a global deadline, returning early once the network
+    // quiesces. A duplicated network always contains Kahn processes that
+    // never halt (shapers, stages): after the bounded producer and consumer
+    // finish, those threads are permanently blocked on channels. Once no
+    // channel operation, compute, or halt has happened anywhere for
+    // `QUIESCENCE_GRACE`, waiting out the rest of the deadline adds only
+    // latency, so the deadline serves purely as a hard upper bound.
     let start = Instant::now();
+    let mut pending: Vec<Option<_>> = handles.into_iter().map(Some).collect();
     let mut finished = Vec::new();
     let mut timed_out = Vec::new();
-    for handle in handles {
-        let remaining = deadline.saturating_sub(start.elapsed());
-        // `JoinHandle` has no timed join; poll `is_finished`.
-        let poll_start = Instant::now();
-        while !handle.is_finished() && poll_start.elapsed() < remaining {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        if handle.is_finished() {
-            match handle.join() {
-                Ok((name, process)) => finished.push((name, process)),
-                Err(_) => timed_out.push("<panicked>".to_owned()),
+    loop {
+        for slot in pending.iter_mut() {
+            // `JoinHandle` has no timed join; poll `is_finished`.
+            if slot.as_ref().is_some_and(|h| h.is_finished()) {
+                match slot.take().expect("just checked").join() {
+                    Ok((name, process)) => finished.push((name, process)),
+                    Err(_) => timed_out.push("<panicked>".to_owned()),
+                }
             }
-        } else {
-            timed_out.push(handle.thread().name().unwrap_or("<unnamed>").to_owned());
-            drop(handle); // detach
         }
+        if pending.iter().all(Option::is_none) {
+            break;
+        }
+        let idle_ns = clock.now().as_ns().saturating_sub(progress.last());
+        if start.elapsed() >= deadline || idle_ns > QUIESCENCE_GRACE.as_nanos() as u64 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for handle in pending.into_iter().flatten() {
+        timed_out.push(handle.thread().name().unwrap_or("<unnamed>").to_owned());
+        drop(handle); // detach: parked on a channel forever, reaped at exit
     }
 
-    ThreadedRun { channels, elapsed: start.elapsed(), timed_out, processes: finished }
+    let elapsed = start.elapsed();
+    if let Some(registry) = registry {
+        registry
+            .gauge("threaded.elapsed_ns")
+            .set(elapsed.as_nanos() as u64);
+    }
+    ThreadedRun {
+        channels,
+        elapsed,
+        timed_out,
+        processes: finished,
+    }
 }
 
 #[cfg(test)]
@@ -216,13 +341,25 @@ mod tests {
         let a = net.add_channel(Fifo::new("a", 4));
         // 1 ms period so the test stays fast on wall clock.
         let model = PjdModel::periodic(TimeNs::from_ms(1));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(20), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(20),
+            Payload::U64,
+        ));
         net.add_process(Collector::new("col", PortId::of(a), Some(20)));
         let run = run_threaded(net, Duration::from_secs(10));
         assert!(run.timed_out.is_empty(), "timed out: {:?}", run.timed_out);
-        let col = run.process_as::<Collector>("col").expect("collector finished");
-        let values: Vec<u64> =
-            col.tokens().iter().map(|t| t.payload.as_u64().unwrap()).collect();
+        let col = run
+            .process_as::<Collector>("col")
+            .expect("collector finished");
+        let values: Vec<u64> = col
+            .tokens()
+            .iter()
+            .map(|t| t.payload.as_u64().unwrap())
+            .collect();
         assert_eq!(values, (0..20).collect::<Vec<_>>());
     }
 
@@ -232,7 +369,14 @@ mod tests {
         let a = net.add_channel(Fifo::new("a", 1));
         let fast = PjdModel::periodic(TimeNs::from_us(100));
         let slow = PjdModel::periodic(TimeNs::from_ms(1));
-        net.add_process(PjdSource::new("src", PortId::of(a), fast, 0, Some(10), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            fast,
+            0,
+            Some(10),
+            Payload::U64,
+        ));
         net.add_process(PjdSink::new("sink", PortId::of(a), slow, 0, Some(10)));
         let run = run_threaded(net, Duration::from_secs(10));
         assert!(run.timed_out.is_empty());
@@ -251,15 +395,45 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_counts_channel_ops() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 4));
+        let model = PjdModel::periodic(TimeNs::from_us(100));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(7),
+            Payload::U64,
+        ));
+        net.add_process(Collector::new("col", PortId::of(a), Some(7)));
+        let registry = MetricsRegistry::new();
+        let run = run_threaded_observed(net, Duration::from_secs(5), &registry);
+        assert!(run.timed_out.is_empty());
+        assert_eq!(registry.counter("threaded.channel.writes").get(), 7);
+        assert_eq!(registry.counter("threaded.channel.reads").get(), 7);
+        assert!(registry.gauge("threaded.elapsed_ns").get() > 0);
+    }
+
+    #[test]
     fn channel_state_inspectable_after_run() {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 8));
         let model = PjdModel::periodic(TimeNs::from_us(100));
-        net.add_process(PjdSource::new("src", PortId::of(a), model, 0, Some(5), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(5),
+            Payload::U64,
+        ));
         net.add_process(Collector::new("col", PortId::of(a), Some(5)));
         let run = run_threaded(net, Duration::from_secs(5));
-        let (writes, reads) =
-            run.channel_as::<Fifo, _>(0, |f| (f.writes(), f.reads())).expect("fifo");
+        let (writes, reads) = run
+            .channel_as::<Fifo, _>(0, |f| (f.writes(), f.reads()))
+            .expect("fifo");
         assert_eq!((writes, reads), (5, 5));
     }
 }

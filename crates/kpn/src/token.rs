@@ -1,8 +1,14 @@
 //! Data tokens flowing through the process network.
 
-use bytes::Bytes;
 use rtft_rtc::TimeNs;
 use std::fmt;
+
+/// Reference-counted immutable byte buffer.
+///
+/// `Arc<[u8]>` gives the two properties token payloads need — cheap clone
+/// (pointer copy) and contents-based equality/hashing — without an external
+/// buffer crate. Build one with `Bytes::from(vec)`.
+pub type Bytes = std::sync::Arc<[u8]>;
 
 /// Payload carried by a [`Token`].
 ///
@@ -110,7 +116,11 @@ pub struct Token {
 impl Token {
     /// Creates a token.
     pub fn new(seq: u64, produced_at: TimeNs, payload: Payload) -> Self {
-        Token { seq, produced_at, payload }
+        Token {
+            seq,
+            produced_at,
+            payload,
+        }
     }
 
     /// Size of the token's payload in bytes.

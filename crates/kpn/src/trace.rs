@@ -1,8 +1,18 @@
 //! Execution tracing for debugging and experiment post-processing.
+//!
+//! Backed by a bounded [`rtft_obs::Ring`]: long campaign runs used to grow
+//! the old `Vec`-based log without bound; the ring retains the most recent
+//! events (64 Ki by default) and counts what it evicts, so memory stays
+//! flat no matter how long the run. The public API is a compatibility shim
+//! over the ring — existing trace-based tests run unchanged.
 
 use crate::channel::PortId;
 use crate::process::NodeId;
+use rtft_obs::Ring;
 use rtft_rtc::TimeNs;
+
+/// Default number of retained events when tracing is enabled.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
 
 /// One traced occurrence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,35 +59,73 @@ pub enum TraceEvent {
     },
 }
 
-/// An append-only event log. Disabled traces drop events with no
-/// allocation, so the hot path stays cheap when tracing is off.
-#[derive(Debug, Default)]
+/// A bounded event log. Disabled traces drop events with no allocation;
+/// enabled traces keep the most recent [`DEFAULT_TRACE_CAPACITY`] events
+/// (configurable via [`Trace::with_capacity`]) and count evictions.
+#[derive(Debug)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<(TimeNs, TraceEvent)>,
+    ring: Ring<(TimeNs, TraceEvent)>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
 }
 
 impl Trace {
     /// A trace that records nothing.
     pub fn disabled() -> Self {
-        Trace { enabled: false, events: Vec::new() }
+        Trace {
+            enabled: false,
+            ring: Ring::new(1),
+        }
     }
 
-    /// A trace that records everything.
+    /// A trace that records the most recent [`DEFAULT_TRACE_CAPACITY`]
+    /// events.
     pub fn enabled() -> Self {
-        Trace { enabled: true, events: Vec::new() }
+        Trace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled trace retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            ring: Ring::new(capacity),
+        }
     }
 
     /// Records `event` at `at` if tracing is enabled.
     pub fn push(&mut self, at: TimeNs, event: TraceEvent) {
         if self.enabled {
-            self.events.push((at, event));
+            self.ring.push((at, event));
         }
     }
 
-    /// The recorded events, in order.
-    pub fn events(&self) -> &[(TimeNs, TraceEvent)] {
-        &self.events
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<(TimeNs, TraceEvent)> {
+        self.ring.to_vec()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted because the ring filled up.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
     }
 
     /// Whether recording is active.
@@ -103,9 +151,34 @@ mod tests {
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled();
         let port = PortId::of(ChannelId(0));
-        t.push(TimeNs::ZERO, TraceEvent::ReadBlocked { node: NodeId(1), port });
+        t.push(
+            TimeNs::ZERO,
+            TraceEvent::ReadBlocked {
+                node: NodeId(1),
+                port,
+            },
+        );
         t.push(TimeNs::from_ms(1), TraceEvent::Halted { node: NodeId(1) });
         assert_eq!(t.events().len(), 2);
         assert!(t.events()[0].0 <= t.events()[1].0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn trace_is_bounded_and_counts_drops() {
+        let mut t = Trace::with_capacity(4);
+        for i in 0..10u64 {
+            t.push(
+                TimeNs::from_ms(i),
+                TraceEvent::Halted {
+                    node: NodeId(i as usize),
+                },
+            );
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        // Most recent events survive.
+        assert_eq!(t.events()[3].0, TimeNs::from_ms(9));
+        assert_eq!(t.events()[0].0, TimeNs::from_ms(6));
     }
 }

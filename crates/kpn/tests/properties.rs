@@ -1,9 +1,13 @@
-//! Property-based tests for the KPN runtime: conservation, ordering,
+//! Property-style tests for the KPN runtime: conservation, ordering,
 //! determinism, and curve conformance of the PJD source/shaper.
+//!
+//! Originally `proptest`-based; rewritten as deterministic seeded sweeps
+//! driven by [`SplitMix64`] so the workspace builds offline with no
+//! external dependencies. Every case set is a pure function of the seed
+//! constants below, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use rtft_kpn::{
-    Collector, Engine, Fifo, Network, Payload, PjdShaper, PjdSource, PortId, Transform,
+    Collector, Engine, Fifo, Network, Payload, PjdShaper, PjdSource, PortId, SplitMix64, Transform,
 };
 use rtft_rtc::{Curve, PjdModel, TimeNs};
 
@@ -29,22 +33,22 @@ fn check_conformance(events: &[TimeNs], model: &PjdModel) -> Result<(), String> 
     for w in events.windows(2) {
         let gap = w[1] - w[0];
         if lower.eval(gap) > 1 {
-            return Err(format!("lower violated: gap {gap} should contain more events"));
+            return Err(format!(
+                "lower violated: gap {gap} should contain more events"
+            ));
         }
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A PJD source's emissions conform to the curves of its own model.
-    #[test]
-    fn source_output_conforms_to_model(
-        period_ms in 2u64..40,
-        jitter_ms in 0u64..60,
-        seed in 0u64..1000,
-    ) {
+/// A PJD source's emissions conform to the curves of its own model.
+#[test]
+fn source_output_conforms_to_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x6b70_6e01);
+    for _case in 0..24 {
+        let period_ms = 2 + rng.next_inclusive(37);
+        let jitter_ms = rng.next_inclusive(59);
+        let seed = rng.next_inclusive(999);
         let model = PjdModel::new(
             TimeNs::from_ms(period_ms),
             TimeNs::from_ms(jitter_ms),
@@ -52,7 +56,14 @@ proptest! {
         );
         let mut net = Network::new();
         let ch = net.add_channel(Fifo::new("out", 256));
-        net.add_process(PjdSource::new("src", PortId::of(ch), model, seed, Some(60), Payload::U64));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(ch),
+            model,
+            seed,
+            Some(60),
+            Payload::U64,
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(ch), Some(60)));
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(30));
@@ -64,21 +75,23 @@ proptest! {
             .iter()
             .map(|t| t.produced_at)
             .collect();
-        prop_assert_eq!(events.len(), 60);
+        assert_eq!(events.len(), 60);
         if let Err(e) = check_conformance(&events, &model) {
-            prop_assert!(false, "{}", e);
+            panic!("{e} (period={period_ms}ms jitter={jitter_ms}ms seed={seed})");
         }
     }
+}
 
-    /// The PjdShaper really imposes its model: even when fed by a much
-    /// faster upstream, the shaped stream conforms — the invariant whose
-    /// violation produced divergence false positives during development.
-    #[test]
-    fn shaper_output_conforms_to_model(
-        period_ms in 4u64..40,
-        jitter_ms in 0u64..80,
-        seed in 0u64..1000,
-    ) {
+/// The PjdShaper really imposes its model: even when fed by a much
+/// faster upstream, the shaped stream conforms — the invariant whose
+/// violation produced divergence false positives during development.
+#[test]
+fn shaper_output_conforms_to_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x6b70_6e02);
+    for _case in 0..24 {
+        let period_ms = 4 + rng.next_inclusive(35);
+        let jitter_ms = rng.next_inclusive(79);
+        let seed = rng.next_inclusive(999);
         let model = PjdModel::new(
             TimeNs::from_ms(period_ms),
             TimeNs::from_ms(jitter_ms),
@@ -89,8 +102,21 @@ proptest! {
         let mut net = Network::new();
         let raw = net.add_channel(Fifo::new("raw", 512));
         let out = net.add_channel(Fifo::new("out", 512));
-        net.add_process(PjdSource::new("src", PortId::of(raw), fast, seed, Some(50), Payload::U64));
-        net.add_process(PjdShaper::new("shape", PortId::of(raw), PortId::of(out), model, seed + 1));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(raw),
+            fast,
+            seed,
+            Some(50),
+            Payload::U64,
+        ));
+        net.add_process(PjdShaper::new(
+            "shape",
+            PortId::of(raw),
+            PortId::of(out),
+            model,
+            seed + 1,
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(out), Some(50)));
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(60));
@@ -102,21 +128,26 @@ proptest! {
             .iter()
             .map(|t| t.produced_at)
             .collect();
-        prop_assert_eq!(events.len(), 50);
+        assert_eq!(events.len(), 50);
         if let Err(e) = check_conformance(&events, &model) {
-            prop_assert!(false, "{}", e);
+            panic!("{e} (period={period_ms}ms jitter={jitter_ms}ms seed={seed})");
         }
     }
+}
 
-    /// Token conservation and order through a random-length transform
-    /// chain with random capacities and service times.
-    #[test]
-    fn pipeline_conserves_and_orders_tokens(
-        stages in 1usize..6,
-        caps in prop::collection::vec(1usize..5, 6),
-        service_us in prop::collection::vec(0u64..2_000, 6),
-        seed in 0u64..500,
-    ) {
+/// Token conservation and order through a random-length transform
+/// chain with random capacities and service times.
+#[test]
+fn pipeline_conserves_and_orders_tokens() {
+    let mut rng = SplitMix64::seed_from_u64(0x6b70_6e03);
+    for _case in 0..24 {
+        let stages = (1 + rng.next_inclusive(4)) as usize;
+        let caps: Vec<usize> = (0..6)
+            .map(|_| (1 + rng.next_inclusive(3)) as usize)
+            .collect();
+        let service_us: Vec<u64> = (0..6).map(|_| rng.next_inclusive(1_999)).collect();
+        let seed = rng.next_inclusive(499);
+
         let tokens = 40u64;
         let mut net = Network::new();
         let mut prev = net.add_channel(Fifo::new("c0", caps[0]));
@@ -141,7 +172,11 @@ proptest! {
             ));
             prev = next;
         }
-        let col = net.add_process(Collector::new("col", PortId::of(prev), Some(tokens as usize)));
+        let col = net.add_process(Collector::new(
+            "col",
+            PortId::of(prev),
+            Some(tokens as usize),
+        ));
         let mut engine = Engine::new(net);
         engine.run_until(TimeNs::from_secs(120));
         let got: Vec<u64> = engine
@@ -153,12 +188,19 @@ proptest! {
             .map(|t| t.payload.as_u64().unwrap())
             .collect();
         let expected: Vec<u64> = (0..tokens).collect();
-        prop_assert_eq!(got, expected, "tokens lost, duplicated or reordered");
+        assert_eq!(
+            got, expected,
+            "tokens lost, duplicated or reordered (seed={seed})"
+        );
     }
+}
 
-    /// Virtual time never runs backwards at any observation point.
-    #[test]
-    fn completion_times_are_monotone(seed in 0u64..500) {
+/// Virtual time never runs backwards at any observation point.
+#[test]
+fn completion_times_are_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(0x6b70_6e04);
+    for _case in 0..24 {
+        let seed = rng.next_inclusive(499);
         let mut net = Network::new();
         let ch = net.add_channel(Fifo::new("c", 3));
         net.add_process(PjdSource::new(
@@ -181,7 +223,7 @@ proptest! {
             .map(|t| t.produced_at)
             .collect();
         for w in times.windows(2) {
-            prop_assert!(w[0] <= w[1], "time ran backwards: {} then {}", w[0], w[1]);
+            assert!(w[0] <= w[1], "time ran backwards: {} then {}", w[0], w[1]);
         }
     }
 }

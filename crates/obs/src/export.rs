@@ -1,0 +1,278 @@
+//! Exporters: JSONL event dumps, human-readable summary reports, and the
+//! [`BenchMetrics`] bundle the bench harness embeds in its result JSON.
+
+use crate::health::HealthModel;
+use crate::json::{array, JsonObject};
+use crate::metrics::{HistogramSnapshot, MetricsRegistry};
+use crate::ring::EventSink;
+use std::fmt::Write as _;
+
+/// Renders every retained event as one JSON object per line, followed by a
+/// trailer line recording how many events the ring evicted.
+pub fn events_to_jsonl(sink: &EventSink) -> String {
+    let mut out = String::new();
+    for e in sink.events() {
+        let mut obj = JsonObject::new()
+            .u64_field("at_ns", e.at_ns)
+            .str_field("clock", e.clock.label())
+            .str_field("event", e.name);
+        obj = obj.opt_u64_field("node", e.node.map(|n| n as u64));
+        obj = obj.opt_u64_field("channel", e.channel.map(|c| c as u64));
+        out.push_str(&obj.u64_field("value", e.value).finish());
+        out.push('\n');
+    }
+    out.push_str(
+        &JsonObject::new()
+            .str_field("event", "sink.trailer")
+            .u64_field("retained", sink.len() as u64)
+            .u64_field("dropped", sink.dropped())
+            .finish(),
+    );
+    out.push('\n');
+    out
+}
+
+fn histogram_json(s: &HistogramSnapshot) -> String {
+    JsonObject::new()
+        .u64_field("count", s.count)
+        .u64_field("sum", s.sum)
+        .f64_field("mean", s.mean())
+        .u64_field("p50", s.p50)
+        .u64_field("p90", s.p90)
+        .u64_field("p99", s.p99)
+        .u64_field("max", s.max)
+        .finish()
+}
+
+/// Renders a whole registry as one JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+pub fn registry_to_json(registry: &MetricsRegistry) -> String {
+    let counters = format!(
+        "{{{}}}",
+        registry
+            .counter_values()
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", crate::json::escape(k), v))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let gauges = format!(
+        "{{{}}}",
+        registry
+            .gauge_values()
+            .iter()
+            .map(|(k, cur, max)| {
+                format!(
+                    "\"{}\":{}",
+                    crate::json::escape(k),
+                    JsonObject::new()
+                        .u64_field("value", *cur)
+                        .u64_field("max", *max)
+                        .finish()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let histograms = format!(
+        "{{{}}}",
+        registry
+            .histogram_snapshots()
+            .iter()
+            .map(|(k, s)| format!("\"{}\":{}", crate::json::escape(k), histogram_json(s)))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    JsonObject::new()
+        .raw_field("counters", &counters)
+        .raw_field("gauges", &gauges)
+        .raw_field("histograms", &histograms)
+        .finish()
+}
+
+/// A human-readable report over a registry and (optionally) a health model.
+pub fn summary_report(registry: &MetricsRegistry, health: Option<&HealthModel>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== observability summary ==");
+    let counters = registry.counter_values();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in counters {
+            let _ = writeln!(out, "  {name:<40} {v}");
+        }
+    }
+    let gauges = registry.gauge_values();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "gauges (value / high-water):");
+        for (name, cur, max) in gauges {
+            let _ = writeln!(out, "  {name:<40} {cur} / {max}");
+        }
+    }
+    let hists = registry.histogram_snapshots();
+    if !hists.is_empty() {
+        let _ = writeln!(out, "histograms (count mean p50 p90 p99 max):");
+        for (name, s) in hists {
+            let _ = writeln!(
+                out,
+                "  {name:<40} n={} mean={:.1} p50≤{} p90≤{} p99≤{} max={}",
+                s.count,
+                s.mean(),
+                s.p50,
+                s.p90,
+                s.p99,
+                s.max
+            );
+        }
+    }
+    if let Some(h) = health {
+        let _ = writeln!(out, "replica health:");
+        for (i, r) in h.replicas().iter().enumerate() {
+            match (r.status, r.first_site, r.first_detected_at_ns) {
+                (crate::health::ReplicaStatus::Healthy, _, _) => {
+                    let _ = writeln!(out, "  replica {i}: healthy");
+                }
+                (status, site, at) => {
+                    let _ = writeln!(
+                        out,
+                        "  replica {i}: {} (first: {} at {} ns, {} event(s))",
+                        status.label(),
+                        site.map(|s| s.label()).unwrap_or("?"),
+                        at.unwrap_or(0),
+                        r.detections
+                    );
+                }
+            }
+        }
+        let lat = h.detection_latency_snapshot();
+        if lat.count > 0 {
+            let _ = writeln!(
+                out,
+                "detection latency: n={} mean={:.0} ns p50≤{} p99≤{} max={} ns",
+                lat.count,
+                lat.mean(),
+                lat.p50,
+                lat.p99,
+                lat.max
+            );
+        }
+    }
+    out
+}
+
+/// The metrics bundle a bench campaign embeds into its result JSON:
+/// detection-latency distribution, per-site detection counts, and the
+/// observed queue high-water marks.
+#[derive(Debug, Clone, Default)]
+pub struct BenchMetrics {
+    /// Detection latency distribution across all runs (ns).
+    pub detection_latency: HistogramSnapshot,
+    /// Detections per site label (`"replicator.overflow"`, ...).
+    pub detections_by_site: Vec<(String, u64)>,
+    /// Max observed fill per queue label, across all runs.
+    pub max_fills: Vec<(String, u64)>,
+    /// Number of campaign runs folded in.
+    pub runs: u64,
+}
+
+impl BenchMetrics {
+    /// Renders the bundle as a JSON object.
+    pub fn to_json(&self) -> String {
+        let sites = array(self.detections_by_site.iter().map(|(k, v)| {
+            JsonObject::new()
+                .str_field("site", k)
+                .u64_field("count", *v)
+                .finish()
+        }));
+        let fills = array(self.max_fills.iter().map(|(k, v)| {
+            JsonObject::new()
+                .str_field("queue", k)
+                .u64_field("max_fill", *v)
+                .finish()
+        }));
+        JsonObject::new()
+            .u64_field("runs", self.runs)
+            .raw_field(
+                "detection_latency_ns",
+                &histogram_json(&self.detection_latency),
+            )
+            .raw_field("detections_by_site", &sites)
+            .raw_field("max_observed_fills", &fills)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::DetectionSite;
+    use crate::ring::{ClockDomain, EventRecord};
+
+    #[test]
+    fn jsonl_has_one_line_per_event_plus_trailer() {
+        let sink = EventSink::new(8);
+        sink.push(EventRecord {
+            at_ns: 5,
+            clock: ClockDomain::Virtual,
+            name: "token.read",
+            node: Some(1),
+            channel: Some(0),
+            value: 42,
+        });
+        let jsonl = events_to_jsonl(&sink);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"token.read\""));
+        assert!(lines[0].contains("\"at_ns\":5"));
+        assert!(lines[1].contains("\"dropped\":0"));
+    }
+
+    #[test]
+    fn summary_covers_metrics_and_health() {
+        let reg = MetricsRegistry::new();
+        reg.counter("kpn.engine.events").add(10);
+        reg.gauge("q.fill").set(3);
+        reg.histogram("lat").record(100);
+        let health = HealthModel::new(2);
+        health.note_fault_injected(0, 10);
+        health.on_detection(0, DetectionSite::ReplicatorOverflow, 30);
+        let report = summary_report(&reg, Some(&health));
+        assert!(report.contains("kpn.engine.events"));
+        assert!(report.contains("replica 0: faulty"));
+        assert!(report.contains("replica 1: healthy"));
+        assert!(report.contains("detection latency: n=1"));
+    }
+
+    #[test]
+    fn bench_metrics_json_is_well_formed() {
+        let m = BenchMetrics {
+            detection_latency: HistogramSnapshot {
+                count: 2,
+                sum: 30,
+                max: 20,
+                p50: 15,
+                p90: 31,
+                p99: 31,
+            },
+            detections_by_site: vec![("selector.stall".into(), 2)],
+            max_fills: vec![("replicator.q0".into(), 4)],
+            runs: 20,
+        };
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"runs\":20"));
+        assert!(j.contains("\"site\":\"selector.stall\""));
+        assert!(j.contains("\"max_fill\":4"));
+    }
+
+    #[test]
+    fn registry_json_has_three_sections() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.gauge_named("g.dyn").set(2);
+        reg.histogram("h").record(7);
+        let j = registry_to_json(&reg);
+        assert!(j.contains("\"counters\":{\"c\":1}"));
+        assert!(j.contains("\"g.dyn\""));
+        assert!(j.contains("\"p50\""));
+    }
+}

@@ -1,0 +1,139 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace carries no external crates, so the exporters build their
+//! JSON with this ~100-line writer instead of serde. It covers exactly what
+//! the exporters need: objects, arrays, strings (escaped), integers, floats
+//! and booleans — composed as `String`s.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string *content* (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number (JSON has no NaN/Inf: those become
+/// `null`).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<String>,
+}
+
+impl JsonObject {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Adds a string field.
+    pub fn str_field(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64_field(mut self, key: &str, value: f64) -> Self {
+        self.fields
+            .push(format!("\"{}\":{}", escape(key), number(value)));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(mut self, key: &str, value: bool) -> Self {
+        self.fields.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object/array) verbatim.
+    pub fn raw_field(mut self, key: &str, json: &str) -> Self {
+        self.fields.push(format!("\"{}\":{}", escape(key), json));
+        self
+    }
+
+    /// Adds an optional unsigned integer field (`null` when absent).
+    pub fn opt_u64_field(mut self, key: &str, value: Option<u64>) -> Self {
+        match value {
+            Some(v) => self.fields.push(format!("\"{}\":{}", escape(key), v)),
+            None => self.fields.push(format!("\"{}\":null", escape(key))),
+        }
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    format!("[{}]", items.into_iter().collect::<Vec<_>>().join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_round_trip_shape() {
+        let o = JsonObject::new()
+            .str_field("name", "x\"y")
+            .u64_field("n", 3)
+            .bool_field("ok", true)
+            .opt_u64_field("missing", None)
+            .raw_field("nested", "[1,2]")
+            .finish();
+        assert_eq!(
+            o,
+            "{\"name\":\"x\\\"y\",\"n\":3,\"ok\":true,\"missing\":null,\"nested\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(1.5), "1.5");
+    }
+
+    #[test]
+    fn arrays_compose() {
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+}

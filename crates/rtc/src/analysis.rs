@@ -62,7 +62,11 @@ fn probe_points(f: &dyn Curve, g: &dyn Curve, horizon: TimeNs) -> Vec<TimeNs> {
     let mut pts = Vec::with_capacity(64);
     pts.push(TimeNs::ZERO);
     pts.push(TimeNs::from_ns(1));
-    for b in f.jump_points(horizon).into_iter().chain(g.jump_points(horizon)) {
+    for b in f
+        .jump_points(horizon)
+        .into_iter()
+        .chain(g.jump_points(horizon))
+    {
         pts.push(b);
         pts.push(b.saturating_add(TimeNs::from_ns(1)));
     }
@@ -119,16 +123,25 @@ pub fn sup_difference(
         }
     } else if upper.long_run_rate().is_some() && lower.long_run_rate().is_none() {
         return Err(CurveAnalysisError::Unbounded {
-            upper_rate: upper.long_run_rate().expect("checked above").tokens_per_sec(),
+            upper_rate: upper
+                .long_run_rate()
+                .expect("checked above")
+                .tokens_per_sec(),
             lower_rate: 0.0,
         });
     }
 
-    let mut best = Supremum { value: 0, witness: TimeNs::ZERO };
+    let mut best = Supremum {
+        value: 0,
+        witness: TimeNs::ZERO,
+    };
     for p in probe_points(upper, lower, horizon) {
         let diff = upper.eval(p).saturating_sub(lower.eval(p));
         if diff > best.value {
-            best = Supremum { value: diff, witness: p };
+            best = Supremum {
+                value: diff,
+                witness: p,
+            };
         }
     }
     Ok(best)
@@ -162,16 +175,13 @@ pub fn first_delta_reaching(
         return Some(TimeNs::ZERO);
     }
     let reaches = |p: TimeNs| f.eval(p).saturating_sub(g.eval(p)) >= target;
-    for p in probe_points(f, g, horizon) {
-        if reaches(p) {
-            // `p` is either a jump point (difference attained exactly at p)
-            // or a successor; in both cases it is the first probe point at
-            // which the condition holds, and since the difference is
-            // constant between probe points, `p` is the true infimum.
-            return Some(p);
-        }
-    }
-    None
+    // The first probe point at which the condition holds is the true
+    // infimum: each probe is either a jump point (difference attained
+    // exactly there) or a successor, and the difference is constant
+    // between probe points.
+    probe_points(f, g, horizon)
+        .into_iter()
+        .find(|&p| reaches(p))
 }
 
 /// A conservative default search horizon for a pair of curves.
@@ -187,9 +197,7 @@ pub fn first_delta_reaching(
 pub fn default_horizon(a: &dyn Curve, b: &dyn Curve) -> TimeNs {
     let eff = |c: &dyn Curve| -> TimeNs {
         match c.long_run_rate() {
-            Some(r) if r.tokens() > 0 => {
-                TimeNs::from_ns((r.per().as_ns() / r.tokens()).max(1))
-            }
+            Some(r) if r.tokens() > 0 => TimeNs::from_ns((r.per().as_ns() / r.tokens()).max(1)),
             _ => TimeNs::from_ms(1),
         }
     };
@@ -222,8 +230,18 @@ mod tests {
         let r1 = PjdModel::from_ms(30.0, 5.0, 0.0);
         let r2 = PjdModel::from_ms(30.0, 30.0, 0.0);
         let h = ms(2_000);
-        assert_eq!(sup_difference(&producer.upper(), &r1.lower(), h).unwrap().value, 2);
-        assert_eq!(sup_difference(&producer.upper(), &r2.lower(), h).unwrap().value, 3);
+        assert_eq!(
+            sup_difference(&producer.upper(), &r1.lower(), h)
+                .unwrap()
+                .value,
+            2
+        );
+        assert_eq!(
+            sup_difference(&producer.upper(), &r2.lower(), h)
+                .unwrap()
+                .value,
+            3
+        );
     }
 
     #[test]
@@ -232,8 +250,18 @@ mod tests {
         let r1 = PjdModel::from_ms(6.3, 1.0, 0.0);
         let r2 = PjdModel::from_ms(6.3, 16.0, 0.0);
         let h = ms(2_000);
-        assert_eq!(sup_difference(&producer.upper(), &r1.lower(), h).unwrap().value, 2);
-        assert_eq!(sup_difference(&producer.upper(), &r2.lower(), h).unwrap().value, 4);
+        assert_eq!(
+            sup_difference(&producer.upper(), &r1.lower(), h)
+                .unwrap()
+                .value,
+            2
+        );
+        assert_eq!(
+            sup_difference(&producer.upper(), &r2.lower(), h)
+                .unwrap()
+                .value,
+            4
+        );
     }
 
     #[test]
@@ -287,8 +315,7 @@ mod tests {
         // difference grows by 2 per 90ms epoch; needs longer than fail-stop.
         let healthy = PjdModel::from_ms(30.0, 5.0, 0.0);
         let faulty = PjdModel::periodic(ms(90));
-        let fail_stop =
-            first_delta_reaching(&healthy.lower(), &ZeroCurve, 7, ms(100_000)).unwrap();
+        let fail_stop = first_delta_reaching(&healthy.lower(), &ZeroCurve, 7, ms(100_000)).unwrap();
         let limping =
             first_delta_reaching(&healthy.lower(), &faulty.upper(), 7, ms(100_000)).unwrap();
         assert!(limping > fail_stop, "{limping} vs {fail_stop}");

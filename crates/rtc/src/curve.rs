@@ -116,7 +116,7 @@ impl Curve for Box<dyn Curve> {
 /// assert_eq!(a, b);
 /// assert!(Rate::new(1, TimeNs::from_ms(20)) > a);
 /// ```
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Rate {
     tokens: u64,
     per: TimeNs,
@@ -135,7 +135,10 @@ impl Rate {
 
     /// Zero tokens per second.
     pub fn zero() -> Self {
-        Rate { tokens: 0, per: TimeNs::from_secs(1) }
+        Rate {
+            tokens: 0,
+            per: TimeNs::from_secs(1),
+        }
     }
 
     /// Token count component.
@@ -257,7 +260,10 @@ impl StaircaseCurve {
             assert!(w[0].0 < w[1].0, "breakpoints must be strictly increasing");
             assert!(w[0].1 <= w[1].1, "staircase values must be non-decreasing");
         }
-        StaircaseCurve { points, extension: None }
+        StaircaseCurve {
+            points,
+            extension: None,
+        }
     }
 
     /// Adds an eventually-periodic extension: beyond the last explicit

@@ -143,8 +143,10 @@ mod tests {
 
     #[test]
     fn fail_stop_closed_form_mjpeg() {
-        let replicas =
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)];
+        let replicas = [
+            PjdModel::from_ms(30.0, 5.0, 0.0),
+            PjdModel::from_ms(30.0, 30.0, 0.0),
+        ];
         // D = 4 ⇒ surplus 7. Worst replica is ⟨30, 30⟩: 7·30 + 30 = 240.
         assert_eq!(fail_stop_detection_bound(&replicas, 4), ms(240));
         // The tighter replica alone would give 7·30 + 5 = 215.
@@ -154,10 +156,15 @@ mod tests {
 
     #[test]
     fn fail_stop_closed_form_adpcm() {
-        let replicas =
-            [PjdModel::from_ms(6.3, 1.0, 0.0), PjdModel::from_ms(6.3, 16.0, 0.0)];
+        let replicas = [
+            PjdModel::from_ms(6.3, 1.0, 0.0),
+            PjdModel::from_ms(6.3, 16.0, 0.0),
+        ];
         // D = 5 ⇒ surplus 9. Worst: 9·6.3 + 16 = 72.7 ms.
-        assert_eq!(fail_stop_detection_bound(&replicas, 5), TimeNs::from_ms_f64(72.7));
+        assert_eq!(
+            fail_stop_detection_bound(&replicas, 5),
+            TimeNs::from_ms_f64(72.7)
+        );
     }
 
     #[test]
@@ -190,8 +197,7 @@ mod tests {
         let burst = StaircaseCurve::new(vec![(TimeNs::ZERO, 5)]);
         let with_burst =
             degraded_detection_bound(&healthy, &burst, 4, TimeNs::from_secs(20)).expect("bounded");
-        let without =
-            fail_stop_detection_bound(&[healthy, healthy], 4);
+        let without = fail_stop_detection_bound(&[healthy, healthy], 4);
         // The burst adds 5 extra tokens the healthy replica must overcome.
         assert_eq!(with_burst, ms((7 + 5) * 30 + 5));
         assert!(with_burst > without);
@@ -212,8 +218,10 @@ mod tests {
 
     #[test]
     fn bigger_threshold_means_longer_detection() {
-        let replicas =
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)];
+        let replicas = [
+            PjdModel::from_ms(30.0, 5.0, 0.0),
+            PjdModel::from_ms(30.0, 30.0, 0.0),
+        ];
         let mut prev = TimeNs::ZERO;
         for d in 1..8 {
             let b = fail_stop_detection_bound(&replicas, d);

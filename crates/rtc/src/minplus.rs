@@ -141,8 +141,8 @@ impl Curve for RateLatency {
         let mut out = Vec::new();
         let mut k: u64 = 1;
         loop {
-            let dt = (k as u128 * self.rate.per().as_ns() as u128).div_ceil(self.rate.tokens()
-                as u128) as u64;
+            let dt = (k as u128 * self.rate.per().as_ns() as u128)
+                .div_ceil(self.rate.tokens() as u128) as u64;
             let b = self.latency + TimeNs::from_ns(dt);
             if b > horizon {
                 break;

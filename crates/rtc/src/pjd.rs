@@ -40,7 +40,7 @@ use crate::time::TimeNs;
 /// assert_eq!(upper.eval(TimeNs::from_ms(30)), 2);
 /// assert_eq!(lower.eval(TimeNs::from_ms(30)), 0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PjdModel {
     /// Nominal event period `P`.
     pub period: TimeNs,
@@ -58,7 +58,11 @@ impl PjdModel {
     /// Panics if `period` is zero.
     pub fn new(period: TimeNs, jitter: TimeNs, delay: TimeNs) -> Self {
         assert!(period > TimeNs::ZERO, "PJD period must be positive");
-        PjdModel { period, jitter, delay }
+        PjdModel {
+            period,
+            jitter,
+            delay,
+        }
     }
 
     /// Convenience constructor from fractional milliseconds, matching the
@@ -82,7 +86,11 @@ impl PjdModel {
 
     /// The upper arrival curve `α^u` induced by this model.
     pub fn upper(&self) -> PjdUpper {
-        PjdUpper { period: self.period, jitter: self.jitter, min_distance: None }
+        PjdUpper {
+            period: self.period,
+            jitter: self.jitter,
+            min_distance: None,
+        }
     }
 
     /// The upper arrival curve, additionally capped by a minimum
@@ -92,13 +100,23 @@ impl PjdModel {
     ///
     /// Panics if `min_distance` is zero.
     pub fn upper_with_min_distance(&self, min_distance: TimeNs) -> PjdUpper {
-        assert!(min_distance > TimeNs::ZERO, "minimum distance must be positive");
-        PjdUpper { period: self.period, jitter: self.jitter, min_distance: Some(min_distance) }
+        assert!(
+            min_distance > TimeNs::ZERO,
+            "minimum distance must be positive"
+        );
+        PjdUpper {
+            period: self.period,
+            jitter: self.jitter,
+            min_distance: Some(min_distance),
+        }
     }
 
     /// The lower arrival curve `α^l` induced by this model.
     pub fn lower(&self) -> PjdLower {
-        PjdLower { period: self.period, jitter: self.jitter }
+        PjdLower {
+            period: self.period,
+            jitter: self.jitter,
+        }
     }
 
     /// Long-run rate `1 / period`.
@@ -275,7 +293,10 @@ mod tests {
         let m = PjdModel::new(ms(30), ms(2), TimeNs::ZERO);
         let u = m.upper();
         // Jumps just after 0, 28, 58, 88 ms.
-        assert_eq!(u.jump_points(ms(90)), vec![TimeNs::ZERO, ms(28), ms(58), ms(88)]);
+        assert_eq!(
+            u.jump_points(ms(90)),
+            vec![TimeNs::ZERO, ms(28), ms(58), ms(88)]
+        );
         for b in u.jump_points(ms(90)).iter().skip(1) {
             assert_eq!(
                 u.eval(*b) + 1,
@@ -291,7 +312,11 @@ mod tests {
         let l = m.lower();
         assert_eq!(l.jump_points(ms(100)), vec![ms(35), ms(65), ms(95)]);
         for b in l.jump_points(ms(100)) {
-            assert_eq!(l.eval(b - ns1()) + 1, l.eval(b), "lower reaches next step at {b}");
+            assert_eq!(
+                l.eval(b - ns1()) + 1,
+                l.eval(b),
+                "lower reaches next step at {b}"
+            );
         }
     }
 

@@ -126,7 +126,10 @@ pub fn divergence_threshold(
     replica1: &PjdModel,
     replica2: &PjdModel,
 ) -> Result<u64, CurveAnalysisError> {
-    let mut worst: Supremum = Supremum { value: 0, witness: TimeNs::ZERO };
+    let mut worst: Supremum = Supremum {
+        value: 0,
+        witness: TimeNs::ZERO,
+    };
     for (a, b) in [(replica1, replica2), (replica2, replica1)] {
         let (u, l) = (a.upper(), b.lower());
         let h = default_horizon(&u, &l);
@@ -140,7 +143,7 @@ pub fn divergence_threshold(
 
 /// Interface timing models of a duplicated process network: the inputs to
 /// the full §3.4 analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DuplicationModel {
     /// Producer output model (`α_P`).
     pub producer: PjdModel,
@@ -156,14 +159,19 @@ impl DuplicationModel {
     /// Convenience constructor where each replica consumes and produces
     /// with the same model (the common case in the paper's experiments).
     pub fn symmetric(producer: PjdModel, consumer: PjdModel, replicas: [PjdModel; 2]) -> Self {
-        DuplicationModel { producer, consumer, replica_in: replicas, replica_out: replicas }
+        DuplicationModel {
+            producer,
+            consumer,
+            replica_in: replicas,
+            replica_out: replicas,
+        }
     }
 }
 
 /// The complete offline analysis of a duplicated network: every queue
 /// capacity, initial fill, threshold and worst-case detection bound the
 /// runtime framework needs. Produced by [`SizingReport::analyze`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizingReport {
     /// Replicator FIFO capacities `|R₁|, |R₂|` (eq. (3)).
     pub replicator_capacity: [u64; 2],
@@ -260,7 +268,10 @@ mod tests {
         DuplicationModel::symmetric(
             PjdModel::from_ms(30.0, 2.0, 0.0),
             PjdModel::from_ms(30.0, 2.0, 0.0),
-            [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 30.0, 0.0)],
+            [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
         )
     }
 
@@ -268,7 +279,10 @@ mod tests {
         DuplicationModel::symmetric(
             PjdModel::from_ms(6.3, 1.0, 0.0),
             PjdModel::from_ms(6.3, 1.0, 0.0),
-            [PjdModel::from_ms(6.3, 1.0, 0.0), PjdModel::from_ms(6.3, 16.0, 0.0)],
+            [
+                PjdModel::from_ms(6.3, 1.0, 0.0),
+                PjdModel::from_ms(6.3, 16.0, 0.0),
+            ],
         )
     }
 
@@ -336,8 +350,14 @@ mod tests {
         let model = DuplicationModel {
             producer: PjdModel::from_ms(30.0, 2.0, 0.0),
             consumer: PjdModel::from_ms(30.0, 2.0, 0.0),
-            replica_in: [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 5.0, 0.0)],
-            replica_out: [PjdModel::from_ms(30.0, 5.0, 0.0), PjdModel::from_ms(30.0, 60.0, 0.0)],
+            replica_in: [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+            ],
+            replica_out: [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 60.0, 0.0),
+            ],
         };
         let r = SizingReport::analyze(&model).expect("bounded");
         // Replicator side is symmetric and small...

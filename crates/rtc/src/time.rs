@@ -26,9 +26,7 @@ use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// assert_eq!(frame_period * 2, TimeNs::from_ms(60));
 /// assert_eq!(format!("{frame_period}"), "30ms");
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimeNs(u64);
 
 impl TimeNs {
@@ -66,7 +64,10 @@ impl TimeNs {
     ///
     /// Panics if `ms` is negative or not finite.
     pub fn from_ms_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         TimeNs((ms * 1_000_000.0).round() as u64)
     }
 
@@ -161,13 +162,13 @@ impl fmt::Display for TimeNs {
         let ns = self.0;
         if ns == u64::MAX {
             write!(f, "∞")
-        } else if ns >= 1_000_000_000 && ns % 1_000_000_000 == 0 {
+        } else if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns >= 1_000_000 && ns % 1_000_000 == 0 {
+        } else if ns >= 1_000_000 && ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
         } else if ns >= 1_000_000 {
             write!(f, "{:.3}ms", self.as_ms_f64())
-        } else if ns >= 1_000 && ns % 1_000 == 0 {
+        } else if ns >= 1_000 && ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{ns}ns")
@@ -272,7 +273,10 @@ mod tests {
 
     #[test]
     fn saturating_ops_clamp() {
-        assert_eq!(TimeNs::from_ms(1).saturating_sub(TimeNs::from_ms(2)), TimeNs::ZERO);
+        assert_eq!(
+            TimeNs::from_ms(1).saturating_sub(TimeNs::from_ms(2)),
+            TimeNs::ZERO
+        );
         assert_eq!(TimeNs::MAX.saturating_add(TimeNs::from_ns(1)), TimeNs::MAX);
     }
 

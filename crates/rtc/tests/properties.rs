@@ -1,63 +1,115 @@
-//! Property-based tests for the real-time calculus core.
+//! Property-style tests for the real-time calculus core.
+//!
+//! Originally written with `proptest`; rewritten as deterministic seeded
+//! sweeps so the workspace builds with zero external dependencies. Each
+//! test enumerates a fixed pseudo-random case set from a SplitMix64
+//! stream, so failures reproduce exactly and no registry access is
+//! needed.
 
-use proptest::prelude::*;
 use rtft_rtc::{
     detection, first_delta_reaching, sizing, sup_difference, Curve, PjdModel, StaircaseCurve,
     TimeNs, ZeroCurve,
 };
 
-fn pjd_strategy() -> impl Strategy<Value = PjdModel> {
-    // Periods 1–100 ms, jitter 0–3 periods, in 100 µs quanta.
-    (1u64..=1_000, 0u64..=3_000).prop_map(|(p, j)| {
-        PjdModel::new(
-            TimeNs::from_us(p * 100),
-            TimeNs::from_us(j * 100),
-            TimeNs::ZERO,
-        )
-    })
+/// Minimal SplitMix64 (same constants as `rtft_kpn::SplitMix64`, inlined
+/// here because `rtft-rtc` sits below the KPN crate in the dependency DAG).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..=hi` (simple modulo; bias is irrelevant for tests).
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo + 1)
+    }
 }
 
-proptest! {
-    /// Curves are monotone and upper dominates lower at every probe point.
-    #[test]
-    fn pjd_curves_monotone_and_ordered(m in pjd_strategy(), deltas in prop::collection::vec(0u64..10_000_000_000, 1..20)) {
-        let (u, l) = (m.upper(), m.lower());
-        let mut ds: Vec<TimeNs> = deltas.into_iter().map(TimeNs::from_ns).collect();
+/// A pseudo-random PJD model: periods 0.1–100 ms, jitter 0–3 periods.
+fn pjd_case(rng: &mut Rng) -> PjdModel {
+    let p = rng.range(1, 1_000);
+    let j = rng.range(0, 3_000);
+    PjdModel::new(
+        TimeNs::from_us(p * 100),
+        TimeNs::from_us(j * 100),
+        TimeNs::ZERO,
+    )
+}
+
+/// Curves are monotone and upper dominates lower at every probe point.
+#[test]
+fn pjd_curves_monotone_and_ordered() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for _case in 0..32 {
+        let m = pjd_case(&mut rng);
+        let mut ds: Vec<TimeNs> = (0..16)
+            .map(|_| TimeNs::from_ns(rng.range(0, 10_000_000_000 - 1)))
+            .collect();
         ds.sort_unstable();
+        let (u, l) = (m.upper(), m.lower());
         let mut prev_u = 0;
         let mut prev_l = 0;
         for d in ds {
             let (vu, vl) = (u.eval(d), l.eval(d));
-            prop_assert!(vu >= prev_u, "upper curve must be non-decreasing");
-            prop_assert!(vl >= prev_l, "lower curve must be non-decreasing");
-            prop_assert!(vu >= vl, "upper must dominate lower");
+            assert!(vu >= prev_u, "upper curve must be non-decreasing ({m:?})");
+            assert!(vl >= prev_l, "lower curve must be non-decreasing ({m:?})");
+            assert!(vu >= vl, "upper must dominate lower ({m:?})");
             prev_u = vu;
             prev_l = vl;
         }
     }
+}
 
-    /// The upper curve is subadditive for zero-jitter (strictly periodic)
-    /// models: α(a + b) ≤ α(a) + α(b).
-    #[test]
-    fn periodic_upper_is_subadditive(p in 1u64..=500, a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+/// The upper curve is subadditive for zero-jitter (strictly periodic)
+/// models: α(a + b) ≤ α(a) + α(b).
+#[test]
+fn periodic_upper_is_subadditive() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for _case in 0..64 {
+        let p = rng.range(1, 500);
         let m = PjdModel::periodic(TimeNs::from_us(p * 100));
         let u = m.upper();
-        let (ta, tb) = (TimeNs::from_ns(a), TimeNs::from_ns(b));
-        prop_assert!(u.eval(ta + tb) <= u.eval(ta) + u.eval(tb));
+        let ta = TimeNs::from_ns(rng.range(0, 1_000_000_000 - 1));
+        let tb = TimeNs::from_ns(rng.range(0, 1_000_000_000 - 1));
+        assert!(
+            u.eval(ta + tb) <= u.eval(ta) + u.eval(tb),
+            "subadditivity violated: P={p}00us a={ta} b={tb}"
+        );
     }
+}
 
-    /// The lower curve is superadditive: α(a + b) ≥ α(a) + α(b).
-    #[test]
-    fn lower_is_superadditive(m in pjd_strategy(), a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+/// The lower curve is superadditive: α(a + b) ≥ α(a) + α(b).
+#[test]
+fn lower_is_superadditive() {
+    let mut rng = Rng::new(0x5eed_0003);
+    for _case in 0..64 {
+        let m = pjd_case(&mut rng);
         let l = m.lower();
-        let (ta, tb) = (TimeNs::from_ns(a), TimeNs::from_ns(b));
-        prop_assert!(l.eval(ta + tb) >= l.eval(ta) + l.eval(tb));
+        let ta = TimeNs::from_ns(rng.range(0, 1_000_000_000 - 1));
+        let tb = TimeNs::from_ns(rng.range(0, 1_000_000_000 - 1));
+        assert!(
+            l.eval(ta + tb) >= l.eval(ta) + l.eval(tb),
+            "superadditivity violated: {m:?} a={ta} b={tb}"
+        );
     }
+}
 
-    /// Jump points really are the only places the curves change: between
-    /// consecutive jump points the value is constant.
-    #[test]
-    fn jump_points_are_complete(m in pjd_strategy()) {
+/// Jump points really are the only places the curves change: between
+/// consecutive jump points the value is constant.
+#[test]
+fn jump_points_are_complete() {
+    let mut rng = Rng::new(0x5eed_0004);
+    for _case in 0..24 {
+        let m = pjd_case(&mut rng);
         let horizon = m.period * 12 + m.jitter;
         for curve in [&m.upper() as &dyn Curve, &m.lower() as &dyn Curve] {
             let mut jumps = curve.jump_points(horizon);
@@ -73,20 +125,29 @@ proptest! {
                 let lo = prev.saturating_add(TimeNs::from_ns(1));
                 let hi = TimeNs::from_ns(b.as_ns().saturating_sub(1));
                 if hi > lo {
-                    prop_assert_eq!(curve.eval(lo), curve.eval(hi),
-                        "curve changed strictly between jump points {} and {}", prev, b);
+                    assert_eq!(
+                        curve.eval(lo),
+                        curve.eval(hi),
+                        "curve changed strictly between jump points {prev} and {b} ({m:?})"
+                    );
                 }
                 prev = b;
             }
         }
     }
+}
 
-    /// FIFO capacity really prevents overflow: simulating the worst-case
-    /// producer pattern (all events as early as jitter allows) against the
-    /// worst-case consumer (all events as late as possible) never exceeds
-    /// the computed capacity.
-    #[test]
-    fn fifo_capacity_is_sufficient(p in 1u64..=200, jp in 0u64..=400, jc in 0u64..=400) {
+/// FIFO capacity really prevents overflow: simulating the worst-case
+/// producer pattern (all events as early as jitter allows) against the
+/// worst-case consumer (all events as late as possible) never exceeds
+/// the computed capacity.
+#[test]
+fn fifo_capacity_is_sufficient() {
+    let mut rng = Rng::new(0x5eed_0005);
+    for _case in 0..48 {
+        let p = rng.range(1, 200);
+        let jp = rng.range(0, 400);
+        let jc = rng.range(0, 400);
         let period = TimeNs::from_us(p * 100);
         let producer = PjdModel::new(period, TimeNs::from_us(jp * 100), TimeNs::ZERO);
         let consumer = PjdModel::new(period, TimeNs::from_us(jc * 100), TimeNs::ZERO);
@@ -111,62 +172,86 @@ proptest! {
             };
             max_backlog = max_backlog.max(arrivals - departures);
         }
-        prop_assert!(max_backlog as u64 <= cap,
-            "observed worst-case backlog {} exceeds computed capacity {}", max_backlog, cap);
+        assert!(
+            max_backlog as u64 <= cap,
+            "observed worst-case backlog {max_backlog} exceeds computed capacity {cap}"
+        );
     }
+}
 
-    /// The divergence threshold guarantees no false positives: for any two
-    /// healthy event traces consistent with the replica models, the running
-    /// count difference stays strictly below D.
-    #[test]
-    fn threshold_has_no_false_positives(p in 1u64..=100, j1 in 0u64..=300, j2 in 0u64..=300, seed in 0u64..1000) {
-        use rand::{Rng, SeedableRng};
+/// The divergence threshold guarantees no false positives: for any two
+/// healthy event traces consistent with the replica models, the running
+/// count difference stays strictly below D.
+#[test]
+fn threshold_has_no_false_positives() {
+    let mut rng = Rng::new(0x5eed_0006);
+    for _case in 0..32 {
+        let p = rng.range(1, 100);
+        let j1 = rng.range(0, 300);
+        let j2 = rng.range(0, 300);
         let period = TimeNs::from_us(p * 100);
         let r1 = PjdModel::new(period, TimeNs::from_us(j1 * 100), TimeNs::ZERO);
         let r2 = PjdModel::new(period, TimeNs::from_us(j2 * 100), TimeNs::ZERO);
         let d = sizing::divergence_threshold(&r1, &r2).expect("equal rates");
 
         // Random traces consistent with the models: event n at n·P + U(0..J).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut trace = |m: &PjdModel| -> Vec<TimeNs> {
+        let trace = |m: &PjdModel, rng: &mut Rng| -> Vec<TimeNs> {
             (0..150u64)
                 .map(|n| {
                     let jit = if m.jitter == TimeNs::ZERO {
                         0
                     } else {
-                        rng.gen_range(0..=m.jitter.as_ns())
+                        rng.range(0, m.jitter.as_ns())
                     };
                     m.period * n + TimeNs::from_ns(jit)
                 })
                 .collect()
         };
-        let (t1, t2) = (trace(&r1), trace(&r2));
+        let t1 = trace(&r1, &mut rng);
+        let t2 = trace(&r2, &mut rng);
         // Count difference at every event time.
         let count_at = |tr: &[TimeNs], t: TimeNs| tr.iter().filter(|x| **x <= t).count() as i64;
         for t in t1.iter().chain(t2.iter()) {
             let diff = (count_at(&t1, *t) - count_at(&t2, *t)).unsigned_abs();
-            prop_assert!(diff < d, "divergence {} reached threshold {} fault-free", diff, d);
+            assert!(
+                diff < d,
+                "divergence {diff} reached threshold {d} fault-free"
+            );
         }
     }
+}
 
-    /// Detection bound dominates any simulated fail-stop detection time.
-    #[test]
-    fn fail_stop_bound_is_sound(p in 1u64..=100, j in 0u64..=300, d in 1u64..=6, seed in 0u64..500) {
-        use rand::{Rng, SeedableRng};
-        let healthy = PjdModel::new(TimeNs::from_us(p * 100), TimeNs::from_us(j * 100), TimeNs::ZERO);
+/// Detection bound dominates any simulated fail-stop detection time.
+#[test]
+fn fail_stop_bound_is_sound() {
+    let mut rng = Rng::new(0x5eed_0007);
+    for _case in 0..64 {
+        let p = rng.range(1, 100);
+        let j = rng.range(0, 300);
+        let d = rng.range(1, 6);
+        let healthy = PjdModel::new(
+            TimeNs::from_us(p * 100),
+            TimeNs::from_us(j * 100),
+            TimeNs::ZERO,
+        );
         let bound = detection::fail_stop_detection_bound(&[healthy, healthy], d);
         let surplus = detection::detection_surplus(d);
 
         // Healthy replica produces events at n·P + U(0..J); the fault occurs
         // at time 0 with the faulty replica ahead by (D−1) tokens (worst
         // case). Detection at the surplus-th healthy event.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let jit = |rng: &mut rand::rngs::StdRng| if healthy.jitter == TimeNs::ZERO { 0 } else { rng.gen_range(0..=healthy.jitter.as_ns()) };
+        let jit = if healthy.jitter == TimeNs::ZERO {
+            0
+        } else {
+            rng.range(0, healthy.jitter.as_ns())
+        };
         // Event n (1-based) occurs no later than n·P + J; detection happens
         // at event number `surplus` counted from the fault.
-        let detect_at = healthy.period * surplus + TimeNs::from_ns(jit(&mut rng));
-        prop_assert!(detect_at <= bound,
-            "simulated detection {} exceeded bound {}", detect_at, bound);
+        let detect_at = healthy.period * surplus + TimeNs::from_ns(jit);
+        assert!(
+            detect_at <= bound,
+            "simulated detection {detect_at} exceeded bound {bound}"
+        );
     }
 }
 

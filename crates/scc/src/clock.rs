@@ -13,7 +13,7 @@ use crate::topology::{CoreId, CORE_COUNT};
 use rtft_rtc::TimeNs;
 
 /// A fixed-frequency clock domain.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockDomain {
     freq_hz: u64,
 }
@@ -52,7 +52,7 @@ impl ClockDomain {
 }
 
 /// The boot configuration of the paper's experiments (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SccClocks {
     /// Tile (core) clock: 533 MHz.
     pub tile: ClockDomain,
@@ -80,7 +80,7 @@ impl SccClocks {
 }
 
 /// One core's timestamp counter.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tsc {
     domain: ClockDomain,
     /// Counter value at (global) time zero — models cores released from
@@ -93,7 +93,11 @@ pub struct Tsc {
 impl Tsc {
     /// A TSC in `domain` with the given boot offset and drift.
     pub fn new(domain: ClockDomain, boot_offset_cycles: u64, drift_ppb: i64) -> Self {
-        Tsc { domain, boot_offset_cycles, drift_ppb }
+        Tsc {
+            domain,
+            boot_offset_cycles,
+            drift_ppb,
+        }
     }
 
     /// Reads the counter at global instant `now`.
@@ -146,7 +150,9 @@ impl TscBank {
 
     /// A bank that is already synchronised (zero offsets, zero drift).
     pub fn synchronized(clocks: &SccClocks) -> Self {
-        TscBank { tscs: vec![Tsc::new(clocks.tile, 0, 0); CORE_COUNT as usize] }
+        TscBank {
+            tscs: vec![Tsc::new(clocks.tile, 0, 0); CORE_COUNT as usize],
+        }
     }
 
     /// Boot-time synchronisation (§4.1): aligns every core's counter to
@@ -170,7 +176,9 @@ impl TscBank {
     /// Maximum pairwise disagreement between core TSC readings at `now`,
     /// in cycles.
     pub fn max_skew(&self, now: TimeNs) -> u64 {
-        let readings: Vec<u64> = (0..CORE_COUNT).map(|i| self.tscs[i as usize].read(now)).collect();
+        let readings: Vec<u64> = (0..CORE_COUNT)
+            .map(|i| self.tscs[i as usize].read(now))
+            .collect();
         let min = readings.iter().min().copied().unwrap_or(0);
         let max = readings.iter().max().copied().unwrap_or(0);
         max - min
@@ -234,7 +242,10 @@ mod tests {
         assert!(skew_before > 0, "staggered reset must cause skew");
         bank.synchronize(boot);
         let skew_after = bank.max_skew(boot);
-        assert_eq!(skew_after, 0, "sync aligns all counters at the sync instant");
+        assert_eq!(
+            skew_after, 0,
+            "sync aligns all counters at the sync instant"
+        );
         // Drift reintroduces skew slowly afterwards — bounded by ±20 ppm.
         let later = boot + TimeNs::from_secs(10);
         let reintroduced = bank.max_skew(later);

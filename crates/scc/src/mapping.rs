@@ -73,7 +73,11 @@ impl Mapping {
 
     /// The maximum number of flows sharing any one link.
     pub fn max_link_sharing(&self, flows: &[(usize, usize)]) -> usize {
-        self.link_utilization(flows).values().copied().max().unwrap_or(0)
+        self.link_utilization(flows)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total communication latency of the flows under a NoC model, one
@@ -126,7 +130,11 @@ pub fn low_contention_pipeline(processes: usize) -> Mapping {
 /// once flows skip around).
 pub fn row_major(processes: usize) -> Mapping {
     assert!(processes <= TILE_COUNT as usize, "too many processes");
-    Mapping::new((0..processes).map(|i| TileId::new(i as u8).cores()[0]).collect())
+    Mapping::new(
+        (0..processes)
+            .map(|i| TileId::new(i as u8).cores()[0])
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -185,7 +193,10 @@ mod tests {
 
     #[test]
     fn utilization_counts_every_link_once_per_flow() {
-        let m = Mapping::new(vec![TileId::at(0, 0).cores()[0], TileId::at(2, 0).cores()[0]]);
+        let m = Mapping::new(vec![
+            TileId::at(0, 0).cores()[0],
+            TileId::at(2, 0).cores()[0],
+        ]);
         let util = m.link_utilization(&[(0, 1)]);
         assert_eq!(util.len(), 2); // two hops
         assert!(util.values().all(|c| *c == 1));

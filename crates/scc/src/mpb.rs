@@ -10,6 +10,7 @@
 
 use crate::noc::MPB_BYTES_PER_CORE;
 use crate::topology::CoreId;
+use rtft_obs::MetricsRegistry;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -52,12 +53,21 @@ impl std::error::Error for MpbExhausted {}
 #[derive(Debug, Default)]
 pub struct MpbAllocator {
     used: HashMap<CoreId, usize>,
+    registry: Option<MetricsRegistry>,
 }
 
 impl MpbAllocator {
     /// An empty allocator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Publishes per-core occupancy to `registry` as gauges named
+    /// `scc.mpb.core<N>.used_bytes` (the gauge's `max` is the high-water
+    /// mark). Allocation is setup-time work, so the named-gauge lookup
+    /// cost here is irrelevant.
+    pub fn observe(&mut self, registry: &MetricsRegistry) {
+        self.registry = Some(registry.clone());
     }
 
     /// Reserves `len` bytes in `core`'s share.
@@ -69,10 +79,19 @@ impl MpbAllocator {
         let used = self.used.entry(core).or_insert(0);
         let available = MPB_BYTES_PER_CORE - *used;
         if len > available {
-            return Err(MpbExhausted { core, requested: len, available });
+            return Err(MpbExhausted {
+                core,
+                requested: len,
+                available,
+            });
         }
         let offset = *used;
         *used += len;
+        if let Some(registry) = &self.registry {
+            registry
+                .gauge_named(format!("scc.mpb.{core}.used_bytes"))
+                .set(*used as u64);
+        }
         Ok(MpbRegion { core, offset, len })
     }
 
@@ -118,6 +137,21 @@ mod tests {
         let mut a = MpbAllocator::new();
         a.alloc(CoreId::new(0), 8192).unwrap();
         assert!(a.alloc(CoreId::new(1), 8192).is_ok());
+    }
+
+    #[test]
+    fn observed_allocator_publishes_occupancy() {
+        let registry = MetricsRegistry::new();
+        let mut a = MpbAllocator::new();
+        a.observe(&registry);
+        let core = CoreId::new(3);
+        a.alloc(core, 3072).unwrap();
+        a.alloc(core, 1024).unwrap();
+        let gauges = registry.gauge_values();
+        let (name, current, max) = &gauges[0];
+        assert_eq!(name, "scc.mpb.core3.used_bytes");
+        assert_eq!(*current, 4096);
+        assert_eq!(*max, 4096);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::clock::SccClocks;
 use crate::topology::{CoreId, TileId};
+use rtft_obs::{Counter, Histogram, MetricsRegistry};
 use rtft_rtc::TimeNs;
 
 /// Maximum chunk size for MPB-only routing (§4.1).
@@ -111,6 +112,53 @@ impl NocModel {
     pub fn tile_latency(&self, from: TileId, to: TileId, bytes: usize) -> TimeNs {
         self.message_latency(from.cores()[0], to.cores()[0], bytes)
     }
+
+    /// [`message_latency`](Self::message_latency) plus traffic accounting:
+    /// bumps `traffic`'s message/chunk/byte counters and records the
+    /// computed latency in its histogram. The latency value is identical
+    /// to the untracked call.
+    pub fn message_latency_tracked(
+        &self,
+        from: CoreId,
+        to: CoreId,
+        bytes: usize,
+        traffic: &NocTraffic,
+    ) -> TimeNs {
+        let latency = self.message_latency(from, to, bytes);
+        traffic.messages.inc();
+        traffic.chunks.add(self.chunks(bytes) as u64);
+        traffic.bytes.add(bytes as u64);
+        traffic.latency.record(latency.as_ns());
+        latency
+    }
+}
+
+/// Traffic accounting handles for the NoC model — the emulation-side
+/// equivalent of per-link flit counters. Resolve once with
+/// [`NocTraffic::from_registry`] and pass to
+/// [`NocModel::message_latency_tracked`].
+///
+/// Metrics registered: `scc.noc.messages`, `scc.noc.chunks`,
+/// `scc.noc.bytes` (counters) and `scc.noc.message_latency_ns`
+/// (histogram).
+#[derive(Debug, Clone)]
+pub struct NocTraffic {
+    messages: Counter,
+    chunks: Counter,
+    bytes: Counter,
+    latency: Histogram,
+}
+
+impl NocTraffic {
+    /// Resolves the traffic handles in `registry`.
+    pub fn from_registry(registry: &MetricsRegistry) -> Self {
+        NocTraffic {
+            messages: registry.counter("scc.noc.messages"),
+            chunks: registry.counter("scc.noc.chunks"),
+            bytes: registry.counter("scc.noc.bytes"),
+            latency: registry.histogram("scc.noc.message_latency_ns"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +203,10 @@ mod tests {
         let m = model();
         let t = m.message_latency(CoreId::new(0), CoreId::new(47), 76_800);
         assert!(t < TimeNs::from_ms(1), "{t}");
-        assert!(t > TimeNs::from_us(10), "a 25-chunk transfer is not free: {t}");
+        assert!(
+            t > TimeNs::from_us(10),
+            "a 25-chunk transfer is not free: {t}"
+        );
     }
 
     #[test]
@@ -179,5 +230,29 @@ mod tests {
         let one = m.message_latency(CoreId::new(0), CoreId::new(10), 3 * 1024);
         let four = m.message_latency(CoreId::new(0), CoreId::new(10), 12 * 1024);
         assert_eq!(four.as_ns(), one.as_ns() * 4);
+    }
+
+    #[test]
+    fn tracked_latency_matches_and_accounts_traffic() {
+        let m = model();
+        let registry = MetricsRegistry::new();
+        let traffic = NocTraffic::from_registry(&registry);
+        let plain = m.message_latency(CoreId::new(0), CoreId::new(47), 10 * 1024);
+        let tracked =
+            m.message_latency_tracked(CoreId::new(0), CoreId::new(47), 10 * 1024, &traffic);
+        assert_eq!(plain, tracked, "tracking must not change the model");
+        m.message_latency_tracked(CoreId::new(0), CoreId::new(1), 100, &traffic);
+        assert_eq!(registry.counter("scc.noc.messages").get(), 2);
+        assert_eq!(registry.counter("scc.noc.chunks").get(), 4 + 1);
+        assert_eq!(registry.counter("scc.noc.bytes").get(), 10 * 1024 + 100);
+        let h = registry.histogram("scc.noc.message_latency_ns").snapshot();
+        assert_eq!(h.count, 2);
+        assert_eq!(
+            h.max,
+            plain.as_ns().max(
+                m.message_latency(CoreId::new(0), CoreId::new(1), 100)
+                    .as_ns(),
+            )
+        );
     }
 }

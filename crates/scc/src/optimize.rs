@@ -27,7 +27,13 @@ fn cost(mapping: &Mapping, flows: &[(usize, usize, usize)], noc: &NocModel) -> u
     let util = mapping.link_utilization(&pair_flows);
     let contention: u128 = util
         .values()
-        .map(|c| if *c > 1 { ((*c - 1) as u128) * 50_000 } else { 0 })
+        .map(|c| {
+            if *c > 1 {
+                ((*c - 1) as u128) * 50_000
+            } else {
+                0
+            }
+        })
         .sum();
     total + contention
 }
@@ -67,16 +73,21 @@ pub fn optimize_mapping(
     iterations: usize,
     seed: u64,
 ) -> OptimizedMapping {
-    assert!(processes <= TILE_COUNT as usize, "one process per tile: at most 24");
+    assert!(
+        processes <= TILE_COUNT as usize,
+        "one process per tile: at most 24"
+    );
     for (a, b, _) in flows {
-        assert!(*a < processes && *b < processes, "flow references unknown process");
+        assert!(
+            *a < processes && *b < processes,
+            "flow references unknown process"
+        );
     }
     // Assignment: process i sits on tiles[slot[i]].
     let order = snake_order();
     let mut slots: Vec<usize> = (0..processes).collect();
-    let to_mapping = |slots: &[usize]| {
-        Mapping::new(slots.iter().map(|s| order[*s].cores()[0]).collect())
-    };
+    let to_mapping =
+        |slots: &[usize]| Mapping::new(slots.iter().map(|s| order[*s].cores()[0]).collect());
 
     let mut best = to_mapping(&slots);
     let initial_cost = cost(&best, flows, noc);
@@ -85,7 +96,7 @@ pub fn optimize_mapping(
 
     for _ in 0..iterations {
         let mut candidate = slots.clone();
-        if splitmix(&mut rng) % 2 == 0 && processes >= 2 {
+        if splitmix(&mut rng).is_multiple_of(2) && processes >= 2 {
             // Swap two processes.
             let i = (splitmix(&mut rng) as usize) % processes;
             let j = (splitmix(&mut rng) as usize) % processes;
@@ -108,7 +119,11 @@ pub fn optimize_mapping(
         }
     }
 
-    OptimizedMapping { mapping: best, cost: best_cost, initial_cost }
+    OptimizedMapping {
+        mapping: best,
+        cost: best_cost,
+        initial_cost,
+    }
 }
 
 /// The flow set of a duplicated network (Fig. 1) with per-replica
@@ -193,14 +208,16 @@ mod tests {
         // For a pure pipeline the snake is already contention-free; the
         // optimiser must not pretend otherwise by more than trivial
         // latency shuffling.
-        let flows: Vec<(usize, usize, usize)> =
-            (0..7).map(|i| (i, i + 1, 3 * 1024)).collect();
+        let flows: Vec<(usize, usize, usize)> = (0..7).map(|i| (i, i + 1, 3 * 1024)).collect();
         let snake = low_contention_pipeline(8);
         let pair_flows: Vec<(usize, usize)> = flows.iter().map(|(a, b, _)| (*a, *b)).collect();
         assert_eq!(snake.max_link_sharing(&pair_flows), 1);
         let result = optimize_mapping(8, &flows, &noc(), 2_000, 3);
         let result_sharing = result.mapping.max_link_sharing(&pair_flows);
-        assert!(result_sharing <= 1, "optimiser introduced contention: {result_sharing}");
+        assert!(
+            result_sharing <= 1,
+            "optimiser introduced contention: {result_sharing}"
+        );
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct SccPlatform {
 impl SccPlatform {
     /// A platform over the given NoC model with no routes yet.
     pub fn new(noc: NocModel) -> Self {
-        SccPlatform { noc, routes: HashMap::new(), core_scale: HashMap::new() }
+        SccPlatform {
+            noc,
+            routes: HashMap::new(),
+            core_scale: HashMap::new(),
+        }
     }
 
     /// A platform under the paper's boot configuration.
@@ -94,7 +98,10 @@ mod tests {
         let t = p.transfer_latency(NodeId(0), ch, 10 * 1024);
         assert!(t > TimeNs::from_us(1));
         // Unrouted channel is free.
-        assert_eq!(p.transfer_latency(NodeId(0), ChannelId(9), 1024), TimeNs::ZERO);
+        assert_eq!(
+            p.transfer_latency(NodeId(0), ChannelId(9), 1024),
+            TimeNs::ZERO
+        );
     }
 
     #[test]
@@ -115,9 +122,14 @@ mod tests {
         let mut net = Network::new();
         let ch = net.add_channel(Fifo::new("frames", 8));
         let model = PjdModel::periodic(TimeNs::from_ms(30));
-        net.add_process(PjdSource::new("cam", PortId::of(ch), model, 0, Some(10), |_| {
-            Payload::from(vec![0u8; 10 * 1024])
-        }));
+        net.add_process(PjdSource::new(
+            "cam",
+            PortId::of(ch),
+            model,
+            0,
+            Some(10),
+            |_| Payload::from(vec![0u8; 10 * 1024]),
+        ));
         let col = net.add_process(Collector::new("col", PortId::of(ch), Some(10)));
 
         let mut platform = SccPlatform::paper_boot();
@@ -132,7 +144,10 @@ mod tests {
         for (i, t) in times.iter().enumerate() {
             let nominal = TimeNs::from_ms(30) * i as u64;
             assert!(*t >= nominal);
-            assert!(*t < nominal + TimeNs::from_ms(1), "transfer cost must be tiny: {t}");
+            assert!(
+                *t < nominal + TimeNs::from_ms(1),
+                "transfer cost must be tiny: {t}"
+            );
         }
     }
 

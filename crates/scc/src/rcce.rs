@@ -61,20 +61,32 @@ pub struct RcceWorld {
 impl RcceWorld {
     /// A world over the given NoC model.
     pub fn new(noc: NocModel) -> Self {
-        RcceWorld { noc, inflight: HashMap::new(), last_send_done: HashMap::new() }
+        RcceWorld {
+            noc,
+            inflight: HashMap::new(),
+            last_send_done: HashMap::new(),
+        }
     }
 
     /// Blocking send (`iRCCE_send`): returns the instant the sender is done
     /// (which is also when the message becomes receivable — the chunk-wise
     /// copy through the MPB is synchronous).
     pub fn send(&mut self, from: CoreId, to: CoreId, payload: Vec<u8>, now: TimeNs) -> TimeNs {
-        let start = now.max(self.last_send_done.get(&(from, to)).copied().unwrap_or(TimeNs::ZERO));
+        let start = now.max(
+            self.last_send_done
+                .get(&(from, to))
+                .copied()
+                .unwrap_or(TimeNs::ZERO),
+        );
         let done = start + self.noc.message_latency(from, to, payload.len());
         self.last_send_done.insert((from, to), done);
         self.inflight
             .entry((from, to))
             .or_default()
-            .push_back(Message { payload, deliverable_at: done });
+            .push_back(Message {
+                payload,
+                deliverable_at: done,
+            });
         done
     }
 
@@ -152,7 +164,10 @@ mod tests {
         let (a, b) = (CoreId::new(0), CoreId::new(47));
         let d1 = w.send(a, b, vec![0; 3072], TimeNs::ZERO);
         let d2 = w.send(a, b, vec![0; 3072], TimeNs::ZERO);
-        assert!(d2 >= d1 * 2 / 1, "second send waits for the first: {d1} vs {d2}");
+        assert!(
+            d2 >= d1 * 2 / 1,
+            "second send waits for the first: {d1} vs {d2}"
+        );
         assert_eq!(d2.as_ns(), d1.as_ns() * 2);
     }
 
@@ -168,7 +183,10 @@ mod tests {
     fn distinct_pairs_are_independent() {
         let mut w = world();
         w.send(CoreId::new(0), CoreId::new(1), vec![9], TimeNs::ZERO);
-        assert_eq!(w.recv(CoreId::new(0), CoreId::new(2), TimeNs::from_secs(1)), RecvOutcome::Empty);
+        assert_eq!(
+            w.recv(CoreId::new(0), CoreId::new(2), TimeNs::from_secs(1)),
+            RecvOutcome::Empty
+        );
         assert_eq!(w.in_flight(CoreId::new(0), CoreId::new(1)), 1);
         assert_eq!(w.in_flight(CoreId::new(0), CoreId::new(2)), 0);
     }

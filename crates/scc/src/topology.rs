@@ -20,7 +20,7 @@ pub const CORES_PER_TILE: u8 = 2;
 pub const CORE_COUNT: u8 = TILE_COUNT * CORES_PER_TILE;
 
 /// A tile (router) position on the mesh.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TileId(u8);
 
 impl TileId {
@@ -40,7 +40,10 @@ impl TileId {
     ///
     /// Panics if `x >= 6` or `y >= 4`.
     pub fn at(x: u8, y: u8) -> Self {
-        assert!(x < MESH_COLS && y < MESH_ROWS, "tile ({x},{y}) out of range");
+        assert!(
+            x < MESH_COLS && y < MESH_ROWS,
+            "tile ({x},{y}) out of range"
+        );
         TileId(y * MESH_COLS + x)
     }
 
@@ -98,7 +101,7 @@ impl fmt::Display for TileId {
 }
 
 /// One of the 48 cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CoreId(u8);
 
 impl CoreId {
@@ -140,7 +143,7 @@ impl fmt::Display for CoreId {
 }
 
 /// A directed mesh link between adjacent tiles (for contention accounting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Link {
     /// Source tile.
     pub from: TileId,
@@ -151,7 +154,13 @@ pub struct Link {
 /// The links an XY-routed message occupies between two tiles.
 pub fn route_links(from: TileId, to: TileId) -> Vec<Link> {
     let route = from.xy_route(to);
-    route.windows(2).map(|w| Link { from: w[0], to: w[1] }).collect()
+    route
+        .windows(2)
+        .map(|w| Link {
+            from: w[0],
+            to: w[1],
+        })
+        .collect()
 }
 
 #[cfg(test)]

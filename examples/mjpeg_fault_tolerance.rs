@@ -56,14 +56,24 @@ fn main() {
     assert!(cmp.values_equal());
 
     // Detection at both sites, within the computed bounds.
-    println!("analytic bounds: selector {}, replicator {}",
-        cfg.sizing.selector_detection_bound, cfg.sizing.replicator_detection_bound);
+    println!(
+        "analytic bounds: selector {}, replicator {}",
+        cfg.sizing.selector_detection_bound, cfg.sizing.replicator_detection_bound
+    );
     if let Some(f) = dup_ids.selector_faults(net)[1] {
-        println!("selector   flagged replica 1 after {} ({:?})", f.at - fault_at, f.cause);
+        println!(
+            "selector   flagged replica 1 after {} ({:?})",
+            f.at - fault_at,
+            f.cause
+        );
         assert!(f.at - fault_at <= cfg.sizing.selector_detection_bound);
     }
     if let Some(f) = dup_ids.replicator_faults(net)[1] {
-        println!("replicator flagged replica 1 after {} ({:?})", f.at - fault_at, f.cause);
+        println!(
+            "replicator flagged replica 1 after {} ({:?})",
+            f.at - fault_at,
+            f.cause
+        );
     }
 
     // Decoded inter-frame timing (Table 2's last block).

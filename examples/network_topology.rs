@@ -12,7 +12,14 @@ use rtft_core::dot::{figure1_duplicated, figure1_reference, NetworkSketch, NodeS
 /// Figure 2 (top): the MJPEG decoder pipeline.
 fn figure2_mjpeg() -> NetworkSketch {
     let mut s = NetworkSketch::new("mjpeg_decoder");
-    for n in ["input", "splitstream", "decode lane 1", "decode lane 2", "mergeframe", "output"] {
+    for n in [
+        "input",
+        "splitstream",
+        "decode lane 1",
+        "decode lane 2",
+        "mergeframe",
+        "output",
+    ] {
         s.node(n, NodeShape::Process);
     }
     s.edge("input", "splitstream", Some("encoded frame (10 KB)"))
@@ -42,7 +49,10 @@ fn figure2_adpcm() -> NetworkSketch {
     s.edge("input", "encoder", Some("PCM sample (3 KB)"))
         .edge("encoder", "decoder", Some("ADPCM (768 B, 4:1)"))
         .edge("decoder", "output", Some("PCM sample (3 KB)"));
-    s.cluster("critical subnetwork (duplicated)", vec!["encoder".into(), "decoder".into()]);
+    s.cluster(
+        "critical subnetwork (duplicated)",
+        vec!["encoder".into(), "decoder".into()],
+    );
     s
 }
 

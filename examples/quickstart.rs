@@ -18,7 +18,7 @@ use std::sync::Arc;
 fn main() {
     // 1. Interface timing models — the paper's Table 1 style tuples.
     let model = DuplicationModel::symmetric(
-        PjdModel::from_ms(30.0, 2.0, 0.0),  // producer: ~30 fps, 2 ms jitter
+        PjdModel::from_ms(30.0, 2.0, 0.0), // producer: ~30 fps, 2 ms jitter
         PjdModel::from_ms(30.0, 2.0, 90.0), // consumer: starts 3 periods late
         [
             PjdModel::from_ms(30.0, 5.0, 0.0),  // replica 1: tight jitter
@@ -34,10 +34,22 @@ fn main() {
         .with_payload(Arc::new(Payload::U64))
         .with_fault(0, FaultPlan::fail_stop_at(TimeNs::from_secs(3)));
     println!("Sizing report (derived offline from the timing models):");
-    println!("  replicator capacities |R1|,|R2| = {:?}", cfg.sizing.replicator_capacity);
-    println!("  selector capacities  |S1|,|S2| = {:?}", cfg.sizing.selector_capacity);
-    println!("  divergence threshold D          = {}", cfg.sizing.selector_threshold);
-    println!("  worst-case detection latency    = {}", cfg.sizing.selector_detection_bound);
+    println!(
+        "  replicator capacities |R1|,|R2| = {:?}",
+        cfg.sizing.replicator_capacity
+    );
+    println!(
+        "  selector capacities  |S1|,|S2| = {:?}",
+        cfg.sizing.selector_capacity
+    );
+    println!(
+        "  divergence threshold D          = {}",
+        cfg.sizing.selector_threshold
+    );
+    println!(
+        "  worst-case detection latency    = {}",
+        cfg.sizing.selector_detection_bound
+    );
 
     // 3. Build and run the duplicated network; replica 0 dies at t = 3 s.
     let factory = JitterStageReplica::from_model(&cfg.model).with_seeds([11, 22]);

@@ -42,11 +42,17 @@ fn main() {
         println!("  process {i} -> {core} on {}", core.tile());
     }
     let flows: Vec<(usize, usize)> = (0..7).map(|i| (i, i + 1)).collect();
-    println!("max flows sharing one mesh link: {}", mapping.max_link_sharing(&flows));
+    println!(
+        "max flows sharing one mesh link: {}",
+        mapping.max_link_sharing(&flows)
+    );
 
     // Message timing: the paper's ≤3 KB chunks through the MPBs.
     let noc = NocModel::paper_boot();
-    for (bytes, label) in [(3 * 1024, "one 3 KB ADPCM sample"), (76_800, "one decoded frame")] {
+    for (bytes, label) in [
+        (3 * 1024, "one 3 KB ADPCM sample"),
+        (76_800, "one decoded frame"),
+    ] {
         let near = noc.message_latency(CoreId::new(0), CoreId::new(2), bytes);
         let far = noc.message_latency(
             TileId::at(0, 0).cores()[0],
@@ -70,8 +76,12 @@ fn main() {
     let mut platform = SccPlatform::paper_boot();
     // Route the arbitration channels across the mesh: producer on tile 0,
     // replicas on tiles 1 and 2, consumer on tile 3 (snake order).
-    let (t0, t1, t2, t3) =
-        (mapping.core(0), mapping.core(1), mapping.core(2), mapping.core(3));
+    let (t0, t1, t2, t3) = (
+        mapping.core(0),
+        mapping.core(1),
+        mapping.core(2),
+        mapping.core(3),
+    );
     platform.route(ids.replicator, t0, t1);
     platform.route(ids.selector, t2, t3);
 

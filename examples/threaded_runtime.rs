@@ -49,8 +49,12 @@ fn main() {
     // The producer/consumer halt after `tokens`; the pipeline stages are
     // infinite Kahn processes and always park on their channels, so they
     // are reaped at the deadline — that is expected and reported below.
-    let run = run_threaded(net, Duration::from_secs(3));
-    println!("wall time: {:?}; reaped infinite stages: {:?}", start.elapsed(), run.timed_out);
+    let run = run_threaded(net, Duration::from_secs(20));
+    println!(
+        "wall time: {:?}; reaped infinite stages: {:?}",
+        start.elapsed(),
+        run.timed_out
+    );
 
     // Channel index 1 is the selector (the builder adds replicator first).
     let (enqueued, discarded, fault0) = run
@@ -58,8 +62,17 @@ fn main() {
         .expect("selector state");
     println!("selector: enqueued {enqueued}, discarded {discarded}, replica-0 fault: {fault0:?}");
 
-    let sink = run.process_as::<PjdSink>("consumer").expect("consumer finished");
-    println!("consumer received {} tokens on real threads", sink.arrivals().len());
-    assert_eq!(sink.arrivals().len() as u64, tokens, "fault masked under wall-clock time");
+    let sink = run
+        .process_as::<PjdSink>("consumer")
+        .expect("consumer finished");
+    println!(
+        "consumer received {} tokens on real threads",
+        sink.arrivals().len()
+    );
+    assert_eq!(
+        sink.arrivals().len() as u64,
+        tokens,
+        "fault masked under wall-clock time"
+    );
     assert!(fault0.is_some(), "fault detected under wall-clock time");
 }

@@ -33,7 +33,10 @@ impl ReplicaFactory for Tapped<'_> {
             Arc::clone(&self.tap),
         ));
         let mut nodes = vec![tap];
-        nodes.extend(self.inner.build(net, PortId::of(mid), output, replica, fault));
+        nodes.extend(
+            self.inner
+                .build(net, PortId::of(mid), output, replica, fault),
+        );
         nodes
     }
 }
@@ -52,13 +55,13 @@ fn both_detectors_flag_the_same_fault() {
         .with_fault(0, FaultPlan::fail_stop_at(fault_at));
     let inner = app.replica_factory([11, 22]);
     let tap = StreamTap::new();
-    let factory = Tapped { inner: &inner, tap: Arc::clone(&tap) };
+    let factory = Tapped {
+        inner: &inner,
+        tap: Arc::clone(&tap),
+    };
 
     let (mut net, ids) = build_duplicated(&cfg, &factory);
-    let bounds = LRepetitive::from_pjd(
-        &PjdModel::new(period, period / 2, TimeNs::ZERO),
-        1,
-    );
+    let bounds = LRepetitive::from_pjd(&PjdModel::new(period, period / 2, TimeNs::ZERO), 1);
     let monitor = net.add_process(DistanceMonitor::new(
         "distfn",
         Arc::clone(&tap),

@@ -4,7 +4,7 @@
 use rtft_apps::networks::App;
 use rtft_core::equivalence::{compare_streams, first_timing_violation, TimingStats};
 use rtft_core::{build_duplicated, build_reference, FaultPlan};
-use rtft_kpn::{ChannelBehavior, Engine};
+use rtft_kpn::Engine;
 use rtft_rtc::TimeNs;
 
 const APPS: [App; 3] = [App::Mjpeg, App::Adpcm, App::H264];
@@ -45,8 +45,7 @@ fn all_apps_fault_free_equivalence() {
             );
         }
         assert!(
-            dnet.channel(dup_ids.selector).max_fill(0)
-                <= cfg.sizing.selector_queue_size() as usize,
+            dnet.channel(dup_ids.selector).max_fill(0) <= cfg.sizing.selector_queue_size() as usize,
             "{app:?}: selector fill exceeds analytic capacity"
         );
     }
@@ -78,7 +77,10 @@ fn all_apps_fault_detected_within_bounds() {
             );
             let sel = ids.selector_faults(net)[faulty];
             let rep = ids.replicator_faults(net)[faulty];
-            assert!(sel.is_some() || rep.is_some(), "{app:?} replica {faulty}: undetected");
+            assert!(
+                sel.is_some() || rep.is_some(),
+                "{app:?} replica {faulty}: undetected"
+            );
             if let Some(f) = sel {
                 let latency = f.at.saturating_sub(fault_at);
                 assert!(
@@ -139,7 +141,11 @@ fn degraded_replica_detected() {
     let mut engine = Engine::new(net);
     engine.run_until(horizon(app, tokens) + TimeNs::from_secs(5));
     let net = engine.network();
-    assert_eq!(ids.consumer_arrivals(net).len() as u64, tokens, "degradation masked");
+    assert_eq!(
+        ids.consumer_arrivals(net).len() as u64,
+        tokens,
+        "degradation masked"
+    );
     assert!(
         ids.selector_faults(net)[1].is_some() || ids.replicator_faults(net)[1].is_some(),
         "slow replica never flagged"
@@ -186,11 +192,17 @@ fn framework_does_not_change_delivery_rate() {
     reference.run_until(horizon(app, tokens));
 
     let d = TimingStats::from_arrivals(dup_ids.consumer_arrivals(dup.network())).expect("gaps");
-    let r = TimingStats::from_arrivals(ref_ids.consumer_arrivals(reference.network()))
-        .expect("gaps");
+    let r =
+        TimingStats::from_arrivals(ref_ids.consumer_arrivals(reference.network())).expect("gaps");
     let period_ns = cfg.model.producer.period.as_ns() as f64;
     let d_mean = d.mean.as_ns() as f64;
     let r_mean = r.mean.as_ns() as f64;
-    assert!((d_mean - period_ns).abs() / period_ns < 0.05, "duplicated mean {d_mean}");
-    assert!((d_mean - r_mean).abs() / period_ns < 0.02, "reference vs duplicated rates differ");
+    assert!(
+        (d_mean - period_ns).abs() / period_ns < 0.05,
+        "duplicated mean {d_mean}"
+    );
+    assert!(
+        (d_mean - r_mean).abs() / period_ns < 0.02,
+        "reference vs duplicated rates differ"
+    );
 }

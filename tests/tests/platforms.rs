@@ -35,7 +35,9 @@ fn scc_platform_preserves_framework_behaviour() {
     let (net, ids) = build();
     let mut ideal = Engine::new(net);
     ideal.run_until(TimeNs::from_secs(10));
-    let ideal_detect = ids.replicator_faults(ideal.network())[0].expect("detected").at;
+    let ideal_detect = ids.replicator_faults(ideal.network())[0]
+        .expect("detected")
+        .at;
     assert_eq!(ids.consumer_arrivals(ideal.network()).len() as u64, tokens);
 
     // SCC platform: replicator and selector channels routed across the
@@ -47,11 +49,15 @@ fn scc_platform_preserves_framework_behaviour() {
     platform.route(ids.selector, mapping.core(2), mapping.core(3));
     let mut scc = Engine::with_platform(net, Box::new(platform));
     scc.run_until(TimeNs::from_secs(10));
-    let scc_detect = ids.replicator_faults(scc.network())[0].expect("detected").at;
+    let scc_detect = ids.replicator_faults(scc.network())[0]
+        .expect("detected")
+        .at;
     assert_eq!(ids.consumer_arrivals(scc.network()).len() as u64, tokens);
 
     // Transfer costs shift events by microseconds, not periods.
-    let skew = scc_detect.saturating_sub(ideal_detect).max(ideal_detect.saturating_sub(scc_detect));
+    let skew = scc_detect
+        .saturating_sub(ideal_detect)
+        .max(ideal_detect.saturating_sub(scc_detect));
     assert!(
         skew < TimeNs::from_ms(7),
         "SCC communication changed detection by more than one period: {skew}"
@@ -83,17 +89,26 @@ fn scc_transfers_are_fast_relative_to_periods() {
 
 /// The framework masks a fault under real threads and wall-clock time —
 /// same channel state machines, no simulation involved.
+///
+/// The jitter terms here are deliberately much larger than the shapers'
+/// own randomness: on a shared (possibly single-core) host, OS scheduling
+/// can stall any process thread for tens of milliseconds, and the
+/// no-false-positive guarantee only holds if the PJD models bound the
+/// *actual* platform jitter — exactly the modelling obligation the paper
+/// states for the SCC. Token count is sized so the post-fault traffic
+/// still overflows the (correspondingly larger) queues and detection
+/// provably fires.
 #[test]
 fn threaded_runtime_masks_fault() {
     let model = DuplicationModel::symmetric(
-        PjdModel::new(TimeNs::from_ms(1), TimeNs::from_us(100), TimeNs::ZERO),
-        PjdModel::new(TimeNs::from_ms(1), TimeNs::from_us(100), TimeNs::from_ms(3)),
+        PjdModel::new(TimeNs::from_ms(1), TimeNs::from_ms(40), TimeNs::ZERO),
+        PjdModel::new(TimeNs::from_ms(1), TimeNs::from_ms(40), TimeNs::from_ms(3)),
         [
-            PjdModel::new(TimeNs::from_ms(1), TimeNs::from_us(200), TimeNs::ZERO),
-            PjdModel::new(TimeNs::from_ms(1), TimeNs::from_us(800), TimeNs::ZERO),
+            PjdModel::new(TimeNs::from_ms(1), TimeNs::from_ms(40), TimeNs::ZERO),
+            PjdModel::new(TimeNs::from_ms(1), TimeNs::from_ms(45), TimeNs::ZERO),
         ],
     );
-    let tokens = 150u64;
+    let tokens = 400u64;
     let cfg = DuplicationConfig::from_model(model)
         .expect("bounded")
         .with_token_count(tokens)
@@ -102,45 +117,66 @@ fn threaded_runtime_masks_fault() {
     let factory = JitterStageReplica::from_model(&cfg.model).with_seeds([11, 22]);
     let (net, _ids) = build_duplicated(&cfg, &factory);
 
-    let run = run_threaded(net, Duration::from_secs(3));
-    let sink = run.process_as::<PjdSink>("consumer").expect("consumer finished");
-    assert_eq!(sink.arrivals().len() as u64, tokens, "tokens lost on real threads");
+    let run = run_threaded(net, Duration::from_secs(20));
+    let sink = run
+        .process_as::<PjdSink>("consumer")
+        .expect("consumer finished");
+    assert_eq!(
+        sink.arrivals().len() as u64,
+        tokens,
+        "tokens lost on real threads"
+    );
 
     // Replicator is channel 0, selector channel 1 (builder order).
     let rep_fault = run
         .channel_as::<Replicator, _>(0, |r| r.fault(1))
         .expect("replicator state");
-    let sel_fault = run.channel_as::<Selector, _>(1, |s| s.fault(1)).expect("selector state");
-    assert!(rep_fault.is_some() || sel_fault.is_some(), "fault undetected on real threads");
-    let healthy_rep = run.channel_as::<Replicator, _>(0, |r| r.fault(0)).expect("state");
-    let healthy_sel = run.channel_as::<Selector, _>(1, |s| s.fault(0)).expect("state");
-    assert!(healthy_rep.is_none() && healthy_sel.is_none(), "healthy replica flagged");
+    let sel_fault = run
+        .channel_as::<Selector, _>(1, |s| s.fault(1))
+        .expect("selector state");
+    assert!(
+        rep_fault.is_some() || sel_fault.is_some(),
+        "fault undetected on real threads"
+    );
+    let healthy_rep = run
+        .channel_as::<Replicator, _>(0, |r| r.fault(0))
+        .expect("state");
+    let healthy_sel = run
+        .channel_as::<Selector, _>(1, |s| s.fault(0))
+        .expect("state");
+    assert!(
+        healthy_rep.is_none() && healthy_sel.is_none(),
+        "healthy replica flagged"
+    );
 }
 
 /// Wall-clock detection latency on threads lands in the same order of
 /// magnitude as the virtual-time prediction (loose factor: host jitter).
 #[test]
 fn threaded_detection_latency_matches_simulation_scale() {
+    // Jitter budgets cover OS scheduling stalls; see
+    // `threaded_runtime_masks_fault` for the rationale.
     let model = DuplicationModel::symmetric(
-        PjdModel::new(TimeNs::from_ms(2), TimeNs::from_us(100), TimeNs::ZERO),
-        PjdModel::new(TimeNs::from_ms(2), TimeNs::from_us(100), TimeNs::from_ms(6)),
+        PjdModel::new(TimeNs::from_ms(2), TimeNs::from_ms(40), TimeNs::ZERO),
+        PjdModel::new(TimeNs::from_ms(2), TimeNs::from_ms(40), TimeNs::from_ms(6)),
         [
-            PjdModel::new(TimeNs::from_ms(2), TimeNs::from_us(200), TimeNs::ZERO),
-            PjdModel::new(TimeNs::from_ms(2), TimeNs::from_us(400), TimeNs::ZERO),
+            PjdModel::new(TimeNs::from_ms(2), TimeNs::from_ms(40), TimeNs::ZERO),
+            PjdModel::new(TimeNs::from_ms(2), TimeNs::from_ms(45), TimeNs::ZERO),
         ],
     );
     let fault_at = TimeNs::from_ms(100);
     let cfg = DuplicationConfig::from_model(model)
         .expect("bounded")
-        .with_token_count(300)
+        .with_token_count(400)
         .with_payload(Arc::new(Payload::U64))
         .with_fault(0, FaultPlan::fail_stop_at(fault_at));
     let bound = cfg.sizing.selector_detection_bound;
     let factory = JitterStageReplica::from_model(&cfg.model).with_seeds([1, 2]);
     let (net, _ids) = build_duplicated(&cfg, &factory);
-    let run = run_threaded(net, Duration::from_secs(3));
-    let sel_fault =
-        run.channel_as::<Selector, _>(1, |s| s.fault(0)).expect("selector state");
+    let run = run_threaded(net, Duration::from_secs(20));
+    let sel_fault = run
+        .channel_as::<Selector, _>(1, |s| s.fault(0))
+        .expect("selector state");
     let f = sel_fault.expect("detected");
     let latency = f.at.saturating_sub(fault_at);
     // Host scheduling adds noise; require the right order of magnitude.
