@@ -66,6 +66,19 @@ pub enum App {
 }
 
 impl App {
+    /// All three applications, in Table 1 order. Campaign drivers (and the
+    /// fleet executor's mixed-tenant workloads) iterate this.
+    pub const ALL: [App; 3] = [App::Mjpeg, App::Adpcm, App::H264];
+
+    /// Short lower-case label for metric names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            App::Mjpeg => "mjpeg",
+            App::Adpcm => "adpcm",
+            App::H264 => "h264",
+        }
+    }
+
     /// The application's Table 1 profile.
     pub fn profile(self) -> AppProfile {
         match self {

@@ -200,6 +200,16 @@ impl DuplicationConfig {
         self.payload = payload;
         self
     }
+
+    /// A copy of this config with every fault plan cleared — the template
+    /// for a *replacement run* after a replica was latched faulty (the
+    /// fleet executor re-spawns the job from its template with fresh,
+    /// healthy replicas).
+    pub fn healed(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.faults = [FaultPlan::healthy(), FaultPlan::healthy()];
+        cfg
+    }
 }
 
 /// Ids of the interesting pieces of a built duplicated network.

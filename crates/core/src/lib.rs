@@ -75,7 +75,8 @@ pub use builder::{
 };
 pub use fault::{FaultKind, FaultPlan, FaultTrigger, FaultyProcess};
 pub use nmodular::{
-    build_n_modular, NModularIds, NModularModel, NReplicator, NSelector, NSizingReport,
+    build_n_modular, NJitterStageReplica, NModularIds, NModularModel, NReplicator, NSelector,
+    NSizingReport,
 };
 pub use obs::DetectionObs;
 pub use replicator::{FaultRecord, Replicator, ReplicatorConfig, ReplicatorFaultCause};

@@ -165,6 +165,17 @@ impl NReplicator {
         self.fault.iter().filter(|f| f.is_none()).count()
     }
 
+    /// Indices of the replicas currently latched faulty, ascending — the
+    /// enumeration counterpart of probing [`NReplicator::fault`] in a
+    /// loop. The fleet supervisor uses this to decide which replicas a
+    /// replacement run must re-spawn.
+    pub fn faulty_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fault
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|_| i))
+    }
+
     fn check_divergence(&mut self, now: TimeNs) {
         let Some(d) = self.divergence_threshold else {
             return;
@@ -322,6 +333,15 @@ impl NSelector {
         self.fault.iter().filter(|f| f.is_none()).count()
     }
 
+    /// Indices of the replicas currently latched faulty, ascending (see
+    /// [`NReplicator::faulty_indices`]).
+    pub fn faulty_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fault
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|_| i))
+    }
+
     /// Tokens delivered to the consumer so far.
     pub fn enqueued(&self) -> u64 {
         self.enqueued
@@ -441,6 +461,79 @@ impl ChannelBehavior for NSelector {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// The n-replica counterpart of
+/// [`JitterStageReplica`](crate::JitterStageReplica): each replica is a
+/// fixed-service transform stage followed by a [`PjdShaper`] imposing that
+/// replica's ⟨P, J⟩ output model. Works for any replica count, so the
+/// fleet executor uses it for synthetic n-modular jobs.
+///
+/// [`PjdShaper`]: rtft_kpn::PjdShaper
+#[derive(Debug, Clone)]
+pub struct NJitterStageReplica {
+    /// Fixed per-token service time of each compute stage.
+    pub service: TimeNs,
+    /// Per-replica output interface models (without the schedule offset).
+    pub out_models: Vec<PjdModel>,
+    /// Shaper schedule offset; must cover `service` plus producer jitter.
+    pub offset: TimeNs,
+    /// Base RNG seed; replica `i` uses `seed_base + i`.
+    pub seed_base: u64,
+}
+
+impl NJitterStageReplica {
+    /// Builds the factory from an n-modular model: service one tenth of
+    /// the producer period, offset `service + producer jitter + 1 ms`.
+    pub fn from_model(model: &NModularModel) -> Self {
+        let service = model.producer.period / 10;
+        let offset = service + model.producer.jitter + TimeNs::from_ms(1);
+        NJitterStageReplica {
+            service,
+            out_models: model.replicas.clone(),
+            offset,
+            seed_base: 0,
+        }
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed_base(mut self, seed_base: u64) -> Self {
+        self.seed_base = seed_base;
+        self
+    }
+}
+
+impl crate::ReplicaFactory for NJitterStageReplica {
+    fn build(
+        &self,
+        net: &mut Network,
+        input: PortId,
+        output: PortId,
+        replica: usize,
+        fault: FaultPlan,
+    ) -> Vec<NodeId> {
+        let internal = net.add_channel(rtft_kpn::Fifo::new(format!("r{replica}.shape"), 4));
+        let seed = self.seed_base.wrapping_add(replica as u64);
+        let stage = rtft_kpn::Transform::new(
+            format!("replica{replica}.stage"),
+            input,
+            PortId::of(internal),
+            self.service,
+            TimeNs::ZERO,
+            seed,
+            |p| p,
+        );
+        let stage_id = net.add_process(crate::FaultyProcess::new(stage, fault));
+        let shaper = rtft_kpn::PjdShaper::new(
+            format!("replica{replica}.shaper"),
+            PortId::of(internal),
+            output,
+            self.out_models[replica].with_delay(self.offset),
+            seed.wrapping_add(0x5eed),
+        );
+        let shaper_id = net.add_process(shaper);
+        vec![stage_id, shaper_id]
     }
 }
 
@@ -687,6 +780,79 @@ mod tests {
         ]);
         assert_eq!(arrivals, 150, "two faults masked by the surviving replica");
         assert_eq!(flagged, vec![true, true, false]);
+    }
+
+    #[test]
+    fn multi_fault_accounting_and_latch_ordering() {
+        // Satellite coverage for the fleet supervisor's observation path:
+        // with replicas 0 and 1 fail-stopped 1.5 s apart, the detectors
+        // must agree on *which* replicas are faulty, latch them in injection
+        // order, and keep the survivor's stream flowing.
+        let model = tri_model();
+        let sizing = NSizingReport::analyze(&model).expect("bounded");
+        let factory = TriReplica {
+            models: model.replicas.clone(),
+        };
+        let (net, ids) = build_n_modular(
+            &model,
+            &sizing,
+            150,
+            (1, 2),
+            Arc::new(Payload::U64),
+            &factory,
+            &[
+                FaultPlan::fail_stop_at(TimeNs::from_ms(1_500)),
+                FaultPlan::fail_stop_at(TimeNs::from_ms(3_000)),
+                FaultPlan::healthy(),
+            ],
+        );
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(30));
+        let net = engine.network();
+
+        let rep = net
+            .channel_as::<NReplicator>(ids.replicator)
+            .expect("replicator");
+        let sel = net.channel_as::<NSelector>(ids.selector).expect("selector");
+
+        // Which replicas are faulty: the union over both detectors is
+        // exactly {0, 1}, and each detector's own view is consistent with
+        // its healthy_count.
+        let mut faulty: Vec<usize> = rep.faulty_indices().chain(sel.faulty_indices()).collect();
+        faulty.sort_unstable();
+        faulty.dedup();
+        assert_eq!(faulty, vec![0, 1]);
+        assert_eq!(
+            rep.healthy_count() + rep.faulty_indices().count(),
+            3,
+            "replicator partition must cover all replicas"
+        );
+        assert_eq!(
+            sel.healthy_count() + sel.faulty_indices().count(),
+            3,
+            "selector partition must cover all replicas"
+        );
+        assert!(sel.healthy_count() >= 1, "front-runner never latched");
+
+        // Latch ordering follows injection order: replica 0 died first, so
+        // every detector that latched both saw 0 before 1.
+        let latch = |i: usize| -> Option<TimeNs> {
+            let r = rep.fault(i).map(|f| f.at);
+            let s = sel.fault(i).map(|f| f.at);
+            match (r, s) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        };
+        let (t0, t1) = (latch(0).expect("0 latched"), latch(1).expect("1 latched"));
+        assert!(
+            t0 < t1,
+            "replica 0 must latch before replica 1 ({t0:?} vs {t1:?})"
+        );
+        assert!(latch(2).is_none(), "survivor never latched");
+
+        // The survivor's stream is still selected end-to-end.
+        assert_eq!(ids.consumer_arrivals(net).len(), 150);
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! The fleet executor: admission control, EDF scheduling, replacement.
+//!
+//! # Job lifecycle
+//!
+//! ```text
+//!             submit()
+//!    ┌───────────┴───────────┐
+//!    ▼                       ▼
+//! Rejected               Admitted ──► Queued (EDF by absolute deadline)
+//! (queue full /              │
+//!  shutting down)            ▼
+//!                         Running ──panic──► Failed
+//!                            │
+//!              ┌─────────────┴─────────────┐
+//!              ▼                           ▼
+//!       faulty replicas             no faulty replicas
+//!      & attempts left                     │
+//!              │                           ▼
+//!              ▼                     Finished (completed / failed,
+//!       Replacement queued            deadline met / missed)
+//!       (healed template,                  │
+//!        same JobId, EDF            attempt > 0 & completed
+//!        against original                  │
+//!        deadline)                         ▼
+//!              │                       Recovered
+//!              └──────► runs again ────────┘
+//! ```
+//!
+//! # Admission and backpressure
+//!
+//! The executor never queues more than `pending_capacity` *outstanding*
+//! jobs (admitted but not yet finished, replacements included). `submit`
+//! on a full executor returns [`Admission::Rejected`] immediately — the
+//! caller sheds load instead of blocking, mirroring how the paper's
+//! replicator unblocks the producer on a full replica queue rather than
+//! deadlocking the network.
+//!
+//! # Scheduling
+//!
+//! Every admitted job gets an absolute deadline (admission time plus its
+//! relative deadline) which becomes its priority on the `rtft-kpn`
+//! [`WorkerPool`] — smaller runs first, so the pool executes
+//! earliest-deadline-first across all tenants, with idle workers stealing
+//! the most urgent work of their peers.
+//!
+//! # Replacement
+//!
+//! A run that comes back with latched-faulty replicas still *completes* —
+//! that is the paper's fault masking. The fleet layer then re-spawns the
+//! job from a healed copy of its template (up to `max_replacements`
+//! times): the fleet-level analogue of replacing a faulty replica on a
+//! spare core. Time from the fault observation to the replacement's
+//! healthy completion is recorded as the job's time-to-recovery.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use rtft_kpn::{PoolStats, WorkerPool};
+use rtft_obs::json::{array, JsonObject};
+
+use crate::job::{execute, JobId, JobSpec};
+use crate::supervisor::{FleetStatus, FleetSupervisor};
+
+/// Sizing and policy knobs of a [`FleetExecutor`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum outstanding (admitted but unfinished) jobs before
+    /// `submit` rejects.
+    pub pending_capacity: usize,
+    /// Replacement runs allowed per job after fault observations.
+    pub max_replacements: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 2,
+            pending_capacity: 64,
+            max_replacements: 1,
+        }
+    }
+}
+
+/// Outcome of [`FleetExecutor::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The job was queued under this id.
+    Admitted(JobId),
+    /// The job was refused; nothing was queued.
+    Rejected(RejectReason),
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The outstanding-job limit was reached (backpressure).
+    QueueFull {
+        /// Outstanding jobs at the time of the attempt.
+        pending: usize,
+        /// The configured limit.
+        capacity: usize,
+    },
+    /// [`FleetExecutor::shutdown`] was already called.
+    ShuttingDown,
+}
+
+/// Final record of one job (its last run's observations).
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Fleet-assigned id.
+    pub id: JobId,
+    /// Tenant name from the spec.
+    pub name: String,
+    /// Replacement runs this job consumed (0 = first run was final).
+    pub attempts: u64,
+    /// Tokens delivered by the final run.
+    pub arrivals: u64,
+    /// Tokens expected per run.
+    pub expected: u64,
+    /// Faulty replicas observed across all of the job's runs, ascending.
+    pub faulty_replicas: Vec<usize>,
+    /// Admission-to-final-completion wall time in nanoseconds.
+    pub completion_ns: u64,
+    /// Whether the final run finished inside the relative deadline.
+    pub deadline_met: bool,
+    /// Whether a replacement run came back healthy after a fault.
+    pub recovered: bool,
+    /// Whether the final run fell short of its expected tokens (or
+    /// panicked).
+    pub failed: bool,
+}
+
+impl JobRecord {
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64_field("id", self.id.0)
+            .str_field("name", &self.name)
+            .u64_field("attempts", self.attempts)
+            .u64_field("arrivals", self.arrivals)
+            .u64_field("expected", self.expected)
+            .raw_field(
+                "faulty_replicas",
+                &array(self.faulty_replicas.iter().map(|r| r.to_string())),
+            )
+            .u64_field("completion_ns", self.completion_ns)
+            .bool_field("deadline_met", self.deadline_met)
+            .bool_field("recovered", self.recovered)
+            .bool_field("failed", self.failed)
+            .finish()
+    }
+}
+
+/// Everything [`FleetExecutor::join`] returns.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One record per admitted job, in completion order.
+    pub runs: Vec<JobRecord>,
+    /// Fleet-level counters and distributions.
+    pub status: FleetStatus,
+    /// Worker-pool counters (executed / stolen / panicked).
+    pub pool: PoolStats,
+}
+
+impl FleetReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .raw_field("jobs", &array(self.runs.iter().map(|r| r.to_json())))
+            .raw_field("status", &self.status.to_json())
+            .u64_field("pool_executed", self.pool.executed)
+            .u64_field("pool_stolen", self.pool.stolen)
+            .u64_field("pool_panicked", self.pool.panicked)
+            .finish()
+    }
+}
+
+struct FleetState {
+    next_id: u64,
+    /// Admitted but unfinished jobs (replacements transfer, not add).
+    outstanding: usize,
+    records: Vec<JobRecord>,
+}
+
+struct Inner {
+    cfg: FleetConfig,
+    epoch: Instant,
+    pool: WorkerPool,
+    supervisor: FleetSupervisor,
+    state: Mutex<FleetState>,
+    idle: Condvar,
+    accepting: AtomicBool,
+}
+
+impl Inner {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A multi-tenant job executor over the `rtft-kpn` worker pool. Cloning
+/// shares the executor (submissions may come from many threads).
+#[derive(Clone)]
+pub struct FleetExecutor {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for FleetExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetExecutor")
+            .field("workers", &self.inner.pool.workers())
+            .field("outstanding", &self.outstanding())
+            .finish()
+    }
+}
+
+impl FleetExecutor {
+    /// Spawns the worker pool and an empty fleet.
+    pub fn new(cfg: FleetConfig) -> Self {
+        let pool = WorkerPool::new(cfg.workers);
+        FleetExecutor {
+            inner: Arc::new(Inner {
+                cfg,
+                epoch: Instant::now(),
+                pool,
+                supervisor: FleetSupervisor::new(),
+                state: Mutex::new(FleetState {
+                    next_id: 0,
+                    outstanding: 0,
+                    records: Vec::new(),
+                }),
+                idle: Condvar::new(),
+                accepting: AtomicBool::new(true),
+            }),
+        }
+    }
+
+    /// The fleet supervisor (live metrics while jobs run).
+    pub fn supervisor(&self) -> &FleetSupervisor {
+        &self.inner.supervisor
+    }
+
+    /// Admitted-but-unfinished jobs right now.
+    pub fn outstanding(&self) -> usize {
+        self.inner.state.lock().unwrap().outstanding
+    }
+
+    /// Tries to admit a job. Non-blocking: a full fleet rejects instead
+    /// of waiting.
+    pub fn submit(&self, spec: JobSpec) -> Admission {
+        let inner = &self.inner;
+        if !inner.accepting.load(Ordering::SeqCst) {
+            inner.supervisor.on_rejected(inner.now_ns());
+            return Admission::Rejected(RejectReason::ShuttingDown);
+        }
+        let admitted_ns = inner.now_ns();
+        let id = {
+            let mut st = inner.state.lock().unwrap();
+            if st.outstanding >= inner.cfg.pending_capacity {
+                let pending = st.outstanding;
+                drop(st);
+                inner.supervisor.on_rejected(admitted_ns);
+                return Admission::Rejected(RejectReason::QueueFull {
+                    pending,
+                    capacity: inner.cfg.pending_capacity,
+                });
+            }
+            st.outstanding += 1;
+            let id = JobId(st.next_id);
+            st.next_id += 1;
+            id
+        };
+        inner.supervisor.on_submitted(id, admitted_ns);
+        let deadline_ns = admitted_ns.saturating_add(spec.relative_deadline.as_nanos() as u64);
+        let task_inner = Arc::clone(inner);
+        inner.pool.submit(deadline_ns, move || {
+            run_job(&task_inner, id, spec, 0, admitted_ns, None, Vec::new());
+        });
+        Admission::Admitted(id)
+    }
+
+    /// Stops admitting new jobs (outstanding ones keep running).
+    pub fn shutdown(&self) {
+        self.inner.accepting.store(false, Ordering::SeqCst);
+    }
+
+    /// Blocks until every admitted job (including replacements) has
+    /// finished, then returns the fleet report. Further submissions are
+    /// rejected.
+    pub fn join(self) -> FleetReport {
+        self.shutdown();
+        let inner = &self.inner;
+        let mut st = inner.state.lock().unwrap();
+        while st.outstanding > 0 {
+            st = inner.idle.wait(st).unwrap();
+        }
+        let runs = st.records.clone();
+        drop(st);
+        FleetReport {
+            runs,
+            status: inner.supervisor.status(),
+            pool: inner.pool.stats(),
+        }
+    }
+}
+
+/// Executes one run of a job on a pool worker and settles its bookkeeping:
+/// either schedules a replacement (transferring the outstanding slot) or
+/// records the final result and releases the slot.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    inner: &Arc<Inner>,
+    id: JobId,
+    spec: JobSpec,
+    attempt: u64,
+    admitted_ns: u64,
+    observed_fault_ns: Option<u64>,
+    mut faulty_so_far: Vec<usize>,
+) {
+    // The builders can panic on malformed specs; isolate the run so the
+    // outstanding count is settled either way (a leaked slot would hang
+    // `join`).
+    let result = catch_unwind(AssertUnwindSafe(|| execute(&spec.template, &spec.runtime)));
+    let now_ns = inner.now_ns();
+    let completion_ns = now_ns.saturating_sub(admitted_ns);
+    let deadline_met = completion_ns <= spec.relative_deadline.as_nanos() as u64;
+
+    let result = match result {
+        Ok(r) => r,
+        Err(_) => {
+            inner.supervisor.on_run_panicked(id, now_ns);
+            finish(
+                inner,
+                JobRecord {
+                    id,
+                    name: spec.name,
+                    attempts: attempt,
+                    arrivals: 0,
+                    expected: spec.template.expected_tokens(),
+                    faulty_replicas: faulty_so_far,
+                    completion_ns,
+                    deadline_met: false,
+                    recovered: false,
+                    failed: true,
+                },
+            );
+            return;
+        }
+    };
+
+    inner
+        .supervisor
+        .on_run_finished(id, &result, completion_ns, deadline_met);
+
+    let recovered = attempt > 0 && result.faulty_replicas.is_empty() && result.completed();
+    if recovered {
+        let recovery_ns = now_ns.saturating_sub(observed_fault_ns.unwrap_or(admitted_ns));
+        inner.supervisor.on_recovered(id, now_ns, recovery_ns);
+    }
+
+    faulty_so_far.extend(result.faulty_replicas.iter().copied());
+    faulty_so_far.sort_unstable();
+    faulty_so_far.dedup();
+
+    // Fault observed and replacement budget left: re-spawn from a healed
+    // template. The outstanding slot transfers to the replacement run, so
+    // `join` keeps waiting for it.
+    if !result.faulty_replicas.is_empty() && attempt < inner.cfg.max_replacements {
+        inner
+            .supervisor
+            .on_replacement_scheduled(id, now_ns, attempt + 1);
+        let healed = JobSpec {
+            name: spec.name,
+            template: spec.template.healed(),
+            relative_deadline: spec.relative_deadline,
+            runtime: spec.runtime,
+        };
+        let deadline_ns = admitted_ns.saturating_add(healed.relative_deadline.as_nanos() as u64);
+        let task_inner = Arc::clone(inner);
+        inner.pool.submit(deadline_ns, move || {
+            run_job(
+                &task_inner,
+                id,
+                healed,
+                attempt + 1,
+                admitted_ns,
+                Some(now_ns),
+                faulty_so_far,
+            );
+        });
+        return;
+    }
+
+    finish(
+        inner,
+        JobRecord {
+            id,
+            name: spec.name,
+            attempts: attempt,
+            arrivals: result.arrivals,
+            expected: result.expected,
+            faulty_replicas: faulty_so_far,
+            completion_ns,
+            deadline_met,
+            recovered,
+            failed: !result.completed(),
+        },
+    );
+}
+
+fn finish(inner: &Arc<Inner>, record: JobRecord) {
+    let mut st = inner.state.lock().unwrap();
+    st.records.push(record);
+    st.outstanding -= 1;
+    if st.outstanding == 0 {
+        inner.idle.notify_all();
+    }
+}

@@ -1,0 +1,345 @@
+//! Job descriptions: what one fleet tenant runs, and how to observe it.
+//!
+//! A *job* is one fault-tolerant network instance — a duplicated pair or an
+//! n-modular group built from the `rtft-core` constructors — plus the
+//! runtime it should execute under (deterministic DES or OS threads) and a
+//! relative completion deadline. Templates are cheap to clone and can be
+//! **re-built**: when a run comes back with latched replicas, the executor
+//! re-spawns the job from a healed copy of its template (the fleet-level
+//! analogue of the paper's replica replacement).
+
+use rtft_core::{
+    build_duplicated, build_n_modular, instrument_duplicated, DuplicationConfig, FaultPlan,
+    NModularModel, NReplicator, NSelector, NSizingReport, PayloadGenerator, ReplicaFactory,
+    Replicator, Selector,
+};
+use rtft_kpn::threaded::{run_threaded_with, ThreadedConfig};
+use rtft_kpn::{Engine, PjdSink};
+use rtft_obs::{HealthModel, MetricsRegistry};
+use rtft_rtc::TimeNs;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fleet-wide unique job identifier, assigned at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// A replica factory that can be shared between the template and its
+/// healed replacements.
+pub type SharedFactory = Arc<dyn ReplicaFactory + Send + Sync>;
+
+/// Which runtime executes the job's network.
+#[derive(Debug, Clone, Copy)]
+pub enum JobRuntime {
+    /// Deterministic discrete-event simulation up to a virtual horizon.
+    DiscreteEvent {
+        /// Virtual-time limit of the run.
+        horizon: TimeNs,
+    },
+    /// Real OS threads under wall-clock time.
+    Threaded {
+        /// Hard wall-clock deadline of the run.
+        deadline: Duration,
+        /// Quiescence idle window (see `rtft_kpn::threaded`).
+        quiescence_grace: Duration,
+    },
+}
+
+/// The rebuildable description of a job's network.
+#[derive(Clone)]
+pub enum JobTemplate {
+    /// The paper's two-replica duplication (`build_duplicated`).
+    Duplicated {
+        /// Full duplication config (model, sizing, faults, payload).
+        cfg: DuplicationConfig,
+        /// Replica subnetwork factory.
+        factory: SharedFactory,
+    },
+    /// The n-replica generalisation (`build_n_modular`).
+    NModular {
+        /// Interface timing models.
+        model: NModularModel,
+        /// Derived queue parameters.
+        sizing: NSizingReport,
+        /// Tokens the producer emits.
+        token_count: u64,
+        /// RNG seeds: producer, consumer.
+        seeds: (u64, u64),
+        /// Token payload generator.
+        payload: PayloadGenerator,
+        /// Replica subnetwork factory.
+        factory: SharedFactory,
+        /// One fault plan per replica.
+        faults: Vec<FaultPlan>,
+    },
+}
+
+impl std::fmt::Debug for JobTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobTemplate::Duplicated { cfg, .. } => f
+                .debug_struct("JobTemplate::Duplicated")
+                .field("cfg", cfg)
+                .finish_non_exhaustive(),
+            JobTemplate::NModular {
+                token_count,
+                faults,
+                ..
+            } => f
+                .debug_struct("JobTemplate::NModular")
+                .field("replicas", &faults.len())
+                .field("token_count", token_count)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl JobTemplate {
+    /// Number of replicas the template builds.
+    pub fn replica_count(&self) -> usize {
+        match self {
+            JobTemplate::Duplicated { .. } => 2,
+            JobTemplate::NModular { faults, .. } => faults.len(),
+        }
+    }
+
+    /// Tokens the consumer is expected to receive (0 if unbounded).
+    pub fn expected_tokens(&self) -> u64 {
+        match self {
+            JobTemplate::Duplicated { cfg, .. } => cfg.token_count.unwrap_or(0),
+            JobTemplate::NModular { token_count, .. } => *token_count,
+        }
+    }
+
+    /// A copy of the template with every fault plan cleared — what a
+    /// replacement run is built from.
+    pub fn healed(&self) -> JobTemplate {
+        match self {
+            JobTemplate::Duplicated { cfg, factory } => JobTemplate::Duplicated {
+                cfg: cfg.healed(),
+                factory: Arc::clone(factory),
+            },
+            JobTemplate::NModular {
+                model,
+                sizing,
+                token_count,
+                seeds,
+                payload,
+                factory,
+                faults,
+            } => JobTemplate::NModular {
+                model: model.clone(),
+                sizing: sizing.clone(),
+                token_count: *token_count,
+                seeds: *seeds,
+                payload: Arc::clone(payload),
+                factory: Arc::clone(factory),
+                faults: vec![FaultPlan::healthy(); faults.len()],
+            },
+        }
+    }
+}
+
+/// One admitted job: a template, a runtime, and a relative deadline.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable tenant/job name (report key).
+    pub name: String,
+    /// The network to build for each run.
+    pub template: JobTemplate,
+    /// Completion deadline relative to admission (wall clock); drives the
+    /// executor's EDF ordering and the `deadline_met` verdict.
+    pub relative_deadline: Duration,
+    /// Runtime the network executes under.
+    pub runtime: JobRuntime,
+}
+
+/// Everything the supervisor needs to know about one finished run.
+#[derive(Debug)]
+pub struct JobRunResult {
+    /// Tokens the consumer actually received.
+    pub arrivals: u64,
+    /// Tokens the consumer was expected to receive.
+    pub expected: u64,
+    /// Replica indices latched faulty by either arbitration channel,
+    /// ascending, deduplicated.
+    pub faulty_replicas: Vec<usize>,
+    /// The run's private metrics registry (folded into the fleet registry
+    /// by the supervisor).
+    pub registry: MetricsRegistry,
+    /// Replica health (duplicated jobs only; n-modular jobs report faults
+    /// through `faulty_replicas`).
+    pub health: Option<HealthModel>,
+}
+
+impl JobRunResult {
+    /// `true` when every expected token arrived (an unbounded job is
+    /// complete when it delivered anything at all).
+    pub fn completed(&self) -> bool {
+        if self.expected == 0 {
+            self.arrivals > 0
+        } else {
+            self.arrivals >= self.expected
+        }
+    }
+}
+
+/// Merges two detectors' faulty-replica views into one ascending list.
+fn union_faulty(a: impl Iterator<Item = usize>, b: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = a.chain(b).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Builds and runs one instance of the template under the given runtime.
+///
+/// This is a plain synchronous function: the fleet executor calls it from
+/// a pool worker, tests can call it directly.
+///
+/// # Panics
+///
+/// Panics if the template's sizing and model disagree (propagated from the
+/// `rtft-core` builders) — the executor catches this and marks the run
+/// failed rather than poisoning the pool.
+pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
+    match template {
+        JobTemplate::Duplicated { cfg, factory } => execute_duplicated(cfg, factory, runtime),
+        JobTemplate::NModular {
+            model,
+            sizing,
+            token_count,
+            seeds,
+            payload,
+            factory,
+            faults,
+        } => {
+            let (net, ids) = build_n_modular(
+                model,
+                sizing,
+                *token_count,
+                *seeds,
+                Arc::clone(payload),
+                factory.as_ref(),
+                faults,
+            );
+            let expected = *token_count;
+            match runtime {
+                JobRuntime::DiscreteEvent { horizon } => {
+                    let mut engine = Engine::new(net);
+                    engine.run_until(*horizon);
+                    let net = engine.network();
+                    let rep = net
+                        .channel_as::<NReplicator>(ids.replicator)
+                        .expect("n-replicator");
+                    let sel = net
+                        .channel_as::<NSelector>(ids.selector)
+                        .expect("n-selector");
+                    JobRunResult {
+                        arrivals: ids.consumer_arrivals(net).len() as u64,
+                        expected,
+                        faulty_replicas: union_faulty(rep.faulty_indices(), sel.faulty_indices()),
+                        registry: MetricsRegistry::new(),
+                        health: None,
+                    }
+                }
+                JobRuntime::Threaded {
+                    deadline,
+                    quiescence_grace,
+                } => {
+                    let registry = MetricsRegistry::new();
+                    let config = ThreadedConfig::new(*deadline)
+                        .with_quiescence_grace(*quiescence_grace)
+                        .with_metrics(&registry);
+                    let run = run_threaded_with(net, &config);
+                    let faulty = run
+                        .channel_as::<NReplicator, _>(ids.replicator.0, |r| {
+                            r.faulty_indices().collect::<Vec<_>>()
+                        })
+                        .unwrap_or_default()
+                        .into_iter()
+                        .chain(
+                            run.channel_as::<NSelector, _>(ids.selector.0, |s| {
+                                s.faulty_indices().collect::<Vec<_>>()
+                            })
+                            .unwrap_or_default(),
+                        );
+                    JobRunResult {
+                        arrivals: run
+                            .process_as::<PjdSink>("consumer")
+                            .map_or(0, |s| s.arrivals().len() as u64),
+                        expected,
+                        faulty_replicas: union_faulty(faulty, std::iter::empty()),
+                        registry,
+                        health: None,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn execute_duplicated(
+    cfg: &DuplicationConfig,
+    factory: &SharedFactory,
+    runtime: &JobRuntime,
+) -> JobRunResult {
+    let (mut net, ids) = build_duplicated(cfg, factory.as_ref());
+    let registry = MetricsRegistry::new();
+    let health = instrument_duplicated(&mut net, &ids, cfg, &registry);
+    let expected = cfg.token_count.unwrap_or(0);
+    match runtime {
+        JobRuntime::DiscreteEvent { horizon } => {
+            let mut engine = Engine::new(net);
+            engine.run_until(*horizon);
+            let net = engine.network();
+            let rep = ids.replicator_faults(net);
+            let sel = ids.selector_faults(net);
+            let faulty = union_faulty(
+                rep.iter().enumerate().filter_map(|(i, f)| f.map(|_| i)),
+                sel.iter().enumerate().filter_map(|(i, f)| f.map(|_| i)),
+            );
+            JobRunResult {
+                arrivals: ids.consumer_arrivals(net).len() as u64,
+                expected,
+                faulty_replicas: faulty,
+                registry,
+                health: Some(health),
+            }
+        }
+        JobRuntime::Threaded {
+            deadline,
+            quiescence_grace,
+        } => {
+            let config = ThreadedConfig::new(*deadline)
+                .with_quiescence_grace(*quiescence_grace)
+                .with_metrics(&registry);
+            let run = run_threaded_with(net, &config);
+            let rep = run
+                .channel_as::<Replicator, _>(ids.replicator.0, |r| {
+                    (0..2).filter(|&i| r.fault(i).is_some()).collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            let sel = run
+                .channel_as::<Selector, _>(ids.selector.0, |s| {
+                    (0..2).filter(|&i| s.fault(i).is_some()).collect::<Vec<_>>()
+                })
+                .unwrap_or_default();
+            JobRunResult {
+                arrivals: run
+                    .process_as::<PjdSink>("consumer")
+                    .map_or(0, |s| s.arrivals().len() as u64),
+                expected,
+                faulty_replicas: union_faulty(rep.into_iter(), sel.into_iter()),
+                registry,
+                health: Some(health),
+            }
+        }
+    }
+}

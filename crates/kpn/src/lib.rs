@@ -44,6 +44,7 @@ mod channel;
 mod engine;
 mod network;
 mod platform;
+pub mod pool;
 mod process;
 pub mod rng;
 pub mod threaded;
@@ -56,6 +57,7 @@ pub use channel::{
 pub use engine::{Engine, RunOutcome};
 pub use network::{port, ChannelSlot, Network, ProcessSlot};
 pub use platform::{IdealPlatform, Platform, UniformBusPlatform};
+pub use pool::{PoolStats, WorkerPool};
 pub use process::{
     Collector, JitterSampler, NodeId, PjdShaper, PjdSink, PjdSource, Process, Syscall, Transform,
     Wakeup,

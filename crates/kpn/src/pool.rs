@@ -1,0 +1,349 @@
+//! A reusable priority worker pool with per-worker run queues and work
+//! stealing.
+//!
+//! The fleet executor (`rtft-fleet`) runs many independent network
+//! simulations concurrently; this pool is its execution substrate, kept in
+//! `rtft-kpn` so other harnesses (bench campaigns, future batch runners)
+//! can share it. Design:
+//!
+//! * **Per-worker run queues** — each worker owns a binary heap ordered by
+//!   a caller-supplied `u64` priority (smaller runs first; the fleet uses
+//!   absolute deadlines, making the pool an earliest-deadline-first
+//!   scheduler). Submission targets one worker's queue (round-robin by
+//!   default), so the common path contends on one small lock.
+//! * **Work stealing** — a worker whose own queue is empty scans its peers
+//!   and steals their *most urgent* task. Classic stealing takes the
+//!   victim's coldest end; under deadline scheduling the urgent end is the
+//!   correct one — an idle core should always run the globally earliest
+//!   deadline it can find.
+//! * **Panic isolation** — a panicking task is caught and counted; the
+//!   worker thread survives. One misbehaving job cannot take down the
+//!   pool (or, above it, the fleet).
+//!
+//! Dropping the pool drains it: workers keep executing until every
+//! submitted task (including tasks submitted *by* running tasks) has run,
+//! then exit and are joined.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle worker sleeps before re-scanning for stealable work.
+/// Submissions to a worker's own queue wake it immediately; this bounds
+/// only the latency of *stealing* from a peer.
+const IDLE_RESCAN: Duration = Duration::from_millis(1);
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PrioritizedTask {
+    priority: u64,
+    seq: u64,
+    run: Task,
+}
+
+impl PrioritizedTask {
+    /// Total order: priority first (smaller = more urgent), then FIFO.
+    fn key(&self) -> (u64, u64) {
+        (self.priority, self.seq)
+    }
+}
+
+impl PartialEq for PrioritizedTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for PrioritizedTask {}
+
+impl PartialOrd for PrioritizedTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PrioritizedTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct WorkerQueue {
+    heap: Mutex<BinaryHeap<Reverse<PrioritizedTask>>>,
+    wake: Condvar,
+}
+
+struct PoolShared {
+    queues: Vec<WorkerQueue>,
+    /// Tasks queued **or currently running**. Workers only exit when this
+    /// reaches zero under shutdown, so a running task may still submit
+    /// follow-up work (the fleet's replacement runs rely on this).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+    next_target: AtomicUsize,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    panicked: AtomicU64,
+}
+
+impl PoolShared {
+    fn pop_own(&self, index: usize) -> Option<PrioritizedTask> {
+        self.queues[index]
+            .heap
+            .lock()
+            .unwrap()
+            .pop()
+            .map(|Reverse(t)| t)
+    }
+
+    fn steal(&self, thief: usize) -> Option<PrioritizedTask> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            if let Some(Reverse(t)) = self.queues[victim].heap.lock().unwrap().pop() {
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    loop {
+        let task = shared.pop_own(index).or_else(|| shared.steal(index));
+        if let Some(t) = task {
+            if catch_unwind(AssertUnwindSafe(t.run)).is_err() {
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && shared.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let guard = shared.queues[index].heap.lock().unwrap();
+        if guard.is_empty() {
+            // Timed wait so peers' submissions become stealable promptly.
+            let _ = shared.queues[index]
+                .wake
+                .wait_timeout(guard, IDLE_RESCAN)
+                .expect("pool queue mutex poisoned");
+        }
+    }
+}
+
+/// Execution counters of a [`WorkerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Tasks executed (including panicked ones).
+    pub executed: u64,
+    /// Tasks a worker stole from a peer's queue.
+    pub stolen: u64,
+    /// Tasks that panicked (caught; the worker survived).
+    pub panicked: u64,
+}
+
+/// A bounded pool of worker threads with per-worker priority run queues
+/// and work stealing. See the module docs for the scheduling discipline.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers())
+            .field("pending", &self.pending())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers)
+                .map(|_| WorkerQueue {
+                    heap: Mutex::new(BinaryHeap::new()),
+                    wake: Condvar::new(),
+                })
+                .collect(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            next_target: AtomicUsize::new(0),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Submits a task with the given priority (smaller runs first) to the
+    /// next worker in round-robin order.
+    pub fn submit(&self, priority: u64, f: impl FnOnce() + Send + 'static) {
+        let target = self.shared.next_target.fetch_add(1, Ordering::Relaxed) % self.workers();
+        self.submit_to(target, priority, f);
+    }
+
+    /// Submits a task to a specific worker's queue (`worker` is taken
+    /// modulo the pool size). Peers can still steal it.
+    pub fn submit_to(&self, worker: usize, priority: u64, f: impl FnOnce() + Send + 'static) {
+        let w = worker % self.workers();
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.shared.queues[w].heap.lock().unwrap();
+        q.push(Reverse(PrioritizedTask {
+            priority,
+            seq,
+            run: Box::new(f),
+        }));
+        drop(q);
+        self.shared.queues[w].wake.notify_one();
+    }
+
+    /// Tasks queued or currently running.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers(),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drains the pool: blocks until every submitted task has run, then
+    /// joins the workers.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for q in &self.shared.queues {
+            q.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_everything_before_drop_returns() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new(3);
+        for i in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.submit(i, move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn single_worker_runs_in_priority_order() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let pool = WorkerPool::new(1);
+        // Block the worker so the queue fills before anything runs.
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(0, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        for (priority, label) in [(30u64, "c"), (10, "a"), (20, "b")] {
+            let order = Arc::clone(&order);
+            pool.submit(priority, move || order.lock().unwrap().push(label));
+        }
+        gate.store(true, Ordering::SeqCst);
+        drop(pool);
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_loaded_peer() {
+        let pool = WorkerPool::new(2);
+        let running = Arc::new(AtomicU64::new(0));
+        // Pin a long task plus a backlog onto worker 0 only.
+        {
+            let running = Arc::clone(&running);
+            pool.submit_to(0, 0, move || {
+                running.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+            });
+        }
+        let done = Arc::new(AtomicU64::new(0));
+        for i in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit_to(0, i + 1, move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Wait for the drain; worker 1 must have stolen the backlog while
+        // worker 0 slept in the long task.
+        while pool.pending() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = pool.stats();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert!(stats.stolen > 0, "expected steals, got {stats:?}");
+    }
+
+    #[test]
+    fn panicking_task_is_counted_and_pool_survives() {
+        let pool = WorkerPool::new(1);
+        pool.submit(0, || panic!("tenant bug"));
+        let ok = Arc::new(AtomicU64::new(0));
+        {
+            let ok = Arc::clone(&ok);
+            pool.submit(1, move || {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        while pool.pending() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(ok.load(Ordering::SeqCst), 1, "worker survived the panic");
+        assert_eq!(pool.stats().panicked, 1);
+    }
+}

@@ -20,7 +20,7 @@ use crate::process::{Syscall, Wakeup};
 use crate::token::Token;
 use rtft_obs::{Counter, MetricsRegistry};
 use rtft_rtc::TimeNs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -65,11 +65,90 @@ impl Progress {
     }
 }
 
-/// How long the join loop waits with no progress anywhere before declaring
-/// the network quiescent. Far above any service time or period in this
-/// repository (all ≤ tens of ms); a single `Compute` sleep longer than
-/// this would be misread as quiescence.
-const QUIESCENCE_GRACE: Duration = Duration::from_secs(1);
+/// Default quiescence idle window: how long the join loop waits with no
+/// progress anywhere before declaring the network quiescent. Far above any
+/// service time or period in this repository (all ≤ tens of ms); a single
+/// `Compute` sleep longer than the configured window would be misread as
+/// quiescence, so callers running coarser schedules must raise it via
+/// [`ThreadedConfig::with_quiescence_grace`] — and callers running many
+/// *small* jobs (the fleet executor) should lower it, since the window is
+/// pure completion-latency tail for every job.
+pub const DEFAULT_QUIESCENCE_GRACE: Duration = Duration::from_secs(1);
+
+/// A shared cancellation flag for a threaded run.
+///
+/// Cloning yields a handle to the same flag; [`CancelToken::cancel`] makes
+/// the join loop of the run holding the token return at its next poll
+/// (within a few hundred microseconds), reporting every still-running
+/// process in [`ThreadedRun::timed_out`]. The fleet executor uses this to
+/// abandon a job that outlived its deadline without waiting for the run's
+/// hard deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Configuration of a threaded run: hard deadline, quiescence idle window,
+/// optional cancellation hook and optional metrics registry.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Hard upper bound on the run's wall-clock duration.
+    pub deadline: Duration,
+    /// Idle window after which the network is declared quiescent
+    /// ([`DEFAULT_QUIESCENCE_GRACE`] unless overridden).
+    pub quiescence_grace: Duration,
+    /// Cooperative cancellation hook checked by the join loop.
+    pub cancel: Option<CancelToken>,
+    /// Wall-clock channel metrics are recorded here when set.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+impl ThreadedConfig {
+    /// A config with the given hard deadline and all defaults.
+    pub fn new(deadline: Duration) -> Self {
+        ThreadedConfig {
+            deadline,
+            quiescence_grace: DEFAULT_QUIESCENCE_GRACE,
+            cancel: None,
+            metrics: None,
+        }
+    }
+
+    /// Overrides the quiescence idle window.
+    pub fn with_quiescence_grace(mut self, grace: Duration) -> Self {
+        self.quiescence_grace = grace;
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Records wall-clock channel metrics into `registry`.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
+    }
+}
 
 /// A channel shared between process threads.
 #[derive(Debug)]
@@ -157,6 +236,8 @@ pub struct ThreadedRun {
     pub elapsed: Duration,
     /// Processes that were still running when the deadline hit (names).
     pub timed_out: Vec<String>,
+    /// `true` if the run returned because its [`CancelToken`] fired.
+    pub cancelled: bool,
     /// The processes, returned for post-run inspection, in insertion order.
     processes: Vec<(String, Box<dyn crate::process::Process>)>,
 }
@@ -183,19 +264,22 @@ impl ThreadedRun {
 /// quiesces, or `deadline` elapses.
 ///
 /// Quiescence: once no channel operation, compute completion, or halt has
-/// happened anywhere for one second, the remaining threads can only be
-/// permanently blocked on channels (Kahn processes such as shapers never
-/// halt by construction), so the run returns early; `deadline` is the hard
-/// upper bound for networks that keep making progress. Unfinished
-/// processes are detached (their threads park on channels forever and are
-/// reaped at process exit); their names are reported in
-/// [`ThreadedRun::timed_out`].
+/// happened anywhere for [`DEFAULT_QUIESCENCE_GRACE`], the remaining
+/// threads can only be permanently blocked on channels (Kahn processes
+/// such as shapers never halt by construction), so the run returns early;
+/// `deadline` is the hard upper bound for networks that keep making
+/// progress. Unfinished processes are detached (their threads park on
+/// channels forever and are reaped at process exit); their names are
+/// reported in [`ThreadedRun::timed_out`].
+///
+/// Use [`run_threaded_with`] to override the quiescence window or attach a
+/// [`CancelToken`].
 ///
 /// # Panics
 ///
 /// Panics if the network fails validation.
 pub fn run_threaded(network: Network, deadline: Duration) -> ThreadedRun {
-    run_threaded_inner(network, deadline, None)
+    run_threaded_with(network, &ThreadedConfig::new(deadline))
 }
 
 /// Like [`run_threaded`], but records wall-clock channel metrics
@@ -206,14 +290,20 @@ pub fn run_threaded_observed(
     deadline: Duration,
     registry: &MetricsRegistry,
 ) -> ThreadedRun {
-    run_threaded_inner(network, deadline, Some(registry))
+    run_threaded_with(
+        network,
+        &ThreadedConfig::new(deadline).with_metrics(registry),
+    )
 }
 
-fn run_threaded_inner(
-    network: Network,
-    deadline: Duration,
-    registry: Option<&MetricsRegistry>,
-) -> ThreadedRun {
+/// Runs `network` on real threads under an explicit [`ThreadedConfig`]:
+/// hard deadline, quiescence idle window, optional cancellation and
+/// optional metrics. See [`run_threaded`] for the termination semantics.
+///
+/// # Panics
+///
+/// Panics if the network fails validation.
+pub fn run_threaded_with(network: Network, config: &ThreadedConfig) -> ThreadedRun {
     if let Err(e) = network.validate() {
         panic!("invalid network: {e}");
     }
@@ -221,7 +311,7 @@ fn run_threaded_inner(
     let clock = WallClock {
         epoch: Instant::now(),
     };
-    let obs = registry.map(ThreadObs::from_registry);
+    let obs = config.metrics.as_ref().map(ThreadObs::from_registry);
     let progress = Arc::new(Progress::default());
 
     let channels: Vec<(String, Arc<SharedChannel>)> = channel_slots
@@ -279,16 +369,18 @@ fn run_threaded_inner(
     }
 
     // Join with a global deadline, returning early once the network
-    // quiesces. A duplicated network always contains Kahn processes that
-    // never halt (shapers, stages): after the bounded producer and consumer
-    // finish, those threads are permanently blocked on channels. Once no
-    // channel operation, compute, or halt has happened anywhere for
-    // `QUIESCENCE_GRACE`, waiting out the rest of the deadline adds only
-    // latency, so the deadline serves purely as a hard upper bound.
+    // quiesces or the cancel token fires. A duplicated network always
+    // contains Kahn processes that never halt (shapers, stages): after the
+    // bounded producer and consumer finish, those threads are permanently
+    // blocked on channels. Once no channel operation, compute, or halt has
+    // happened anywhere for the configured quiescence window, waiting out
+    // the rest of the deadline adds only latency, so the deadline serves
+    // purely as a hard upper bound.
     let start = Instant::now();
     let mut pending: Vec<Option<_>> = handles.into_iter().map(Some).collect();
     let mut finished = Vec::new();
     let mut timed_out = Vec::new();
+    let mut cancelled = false;
     loop {
         for slot in pending.iter_mut() {
             // `JoinHandle` has no timed join; poll `is_finished`.
@@ -302,8 +394,13 @@ fn run_threaded_inner(
         if pending.iter().all(Option::is_none) {
             break;
         }
+        if config.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            cancelled = true;
+            break;
+        }
         let idle_ns = clock.now().as_ns().saturating_sub(progress.last());
-        if start.elapsed() >= deadline || idle_ns > QUIESCENCE_GRACE.as_nanos() as u64 {
+        if start.elapsed() >= config.deadline || idle_ns > config.quiescence_grace.as_nanos() as u64
+        {
             break;
         }
         std::thread::sleep(Duration::from_micros(200));
@@ -314,7 +411,7 @@ fn run_threaded_inner(
     }
 
     let elapsed = start.elapsed();
-    if let Some(registry) = registry {
+    if let Some(registry) = &config.metrics {
         registry
             .gauge("threaded.elapsed_ns")
             .set(elapsed.as_nanos() as u64);
@@ -323,6 +420,7 @@ fn run_threaded_inner(
         channels,
         elapsed,
         timed_out,
+        cancelled,
         processes: finished,
     }
 }
@@ -334,6 +432,14 @@ mod tests {
     use crate::process::{Collector, PjdSink, PjdSource};
     use crate::token::Payload;
     use rtft_rtc::PjdModel;
+
+    /// Tests pin the quiescence window explicitly (satellite of the fleet
+    /// PR): every period in this module is ≤ 1 ms, so 200 ms of global
+    /// silence is conclusive and keeps the tests fast.
+    fn test_config() -> ThreadedConfig {
+        ThreadedConfig::new(Duration::from_secs(10))
+            .with_quiescence_grace(Duration::from_millis(200))
+    }
 
     #[test]
     fn threaded_pipeline_delivers_in_order() {
@@ -350,7 +456,7 @@ mod tests {
             Payload::U64,
         ));
         net.add_process(Collector::new("col", PortId::of(a), Some(20)));
-        let run = run_threaded(net, Duration::from_secs(10));
+        let run = run_threaded_with(net, &test_config());
         assert!(run.timed_out.is_empty(), "timed out: {:?}", run.timed_out);
         let col = run
             .process_as::<Collector>("col")
@@ -378,7 +484,7 @@ mod tests {
             Payload::U64,
         ));
         net.add_process(PjdSink::new("sink", PortId::of(a), slow, 0, Some(10)));
-        let run = run_threaded(net, Duration::from_secs(10));
+        let run = run_threaded_with(net, &test_config());
         assert!(run.timed_out.is_empty());
         let sink = run.process_as::<PjdSink>("sink").expect("sink finished");
         assert_eq!(sink.arrivals().len(), 10);
@@ -409,7 +515,7 @@ mod tests {
         ));
         net.add_process(Collector::new("col", PortId::of(a), Some(7)));
         let registry = MetricsRegistry::new();
-        let run = run_threaded_observed(net, Duration::from_secs(5), &registry);
+        let run = run_threaded_with(net, &test_config().with_metrics(&registry));
         assert!(run.timed_out.is_empty());
         assert_eq!(registry.counter("threaded.channel.writes").get(), 7);
         assert_eq!(registry.counter("threaded.channel.reads").get(), 7);
@@ -430,10 +536,59 @@ mod tests {
             Payload::U64,
         ));
         net.add_process(Collector::new("col", PortId::of(a), Some(5)));
-        let run = run_threaded(net, Duration::from_secs(5));
+        let run = run_threaded_with(net, &test_config());
         let (writes, reads) = run
             .channel_as::<Fifo, _>(0, |f| (f.writes(), f.reads()))
             .expect("fifo");
         assert_eq!((writes, reads), (5, 5));
+    }
+
+    #[test]
+    fn short_quiescence_window_returns_promptly() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 4));
+        let model = PjdModel::periodic(TimeNs::from_ms(1));
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(5),
+            Payload::U64,
+        ));
+        // Unbounded collector: never halts, blocks after the 5th token —
+        // only quiescence detection can end this run before the deadline.
+        net.add_process(Collector::new("col", PortId::of(a), None));
+        let cfg = ThreadedConfig::new(Duration::from_secs(30))
+            .with_quiescence_grace(Duration::from_millis(50));
+        let run = run_threaded_with(net, &cfg);
+        assert_eq!(run.timed_out, vec!["col".to_owned()]);
+        assert!(!run.cancelled);
+        assert!(
+            run.elapsed < Duration::from_secs(2),
+            "quiescence window not honoured: {:?}",
+            run.elapsed
+        );
+    }
+
+    #[test]
+    fn cancel_token_aborts_a_stuck_run() {
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 1));
+        // Collector with no producer: blocks forever.
+        net.add_process(Collector::new("stuck", PortId::of(a), None));
+        let token = CancelToken::new();
+        let canceller = token.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            canceller.cancel();
+        });
+        // Deadline and quiescence window both far beyond the cancel point.
+        let cfg = ThreadedConfig::new(Duration::from_secs(30)).with_cancel(token);
+        let run = run_threaded_with(net, &cfg);
+        h.join().unwrap();
+        assert!(run.cancelled);
+        assert_eq!(run.timed_out, vec!["stuck".to_owned()]);
+        assert!(run.elapsed < Duration::from_secs(5));
     }
 }

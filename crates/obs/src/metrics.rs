@@ -80,6 +80,22 @@ impl Gauge {
     pub fn max(&self) -> u64 {
         self.value.max.load(Ordering::Relaxed)
     }
+
+    /// Folds another gauge into this one: the current value is overwritten
+    /// (last writer wins) and the high-water marks are combined. Used by
+    /// [`MetricsRegistry::absorb`] for fleet-level aggregation.
+    pub fn merge_from(&self, other: &Gauge) {
+        if Arc::ptr_eq(&self.value, &other.value) {
+            return;
+        }
+        self.value.current.store(
+            other.value.current.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.value
+            .max
+            .fetch_max(other.value.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 /// Number of buckets in a [`Histogram`]: one per power of two of `u64`,
@@ -205,6 +221,29 @@ impl Histogram {
         Some(bucket_upper(last_occupied).min(self.max()))
     }
 
+    /// Folds another histogram's distribution into this one: buckets,
+    /// count and sum add; the maxima combine. Quantile estimates of the
+    /// merged histogram are exactly those of recording both input streams
+    /// into one histogram (the log₂ layout is mergeable bucket-by-bucket).
+    /// Used by [`MetricsRegistry::absorb`] for fleet-level aggregation.
+    pub fn merge_from(&self, other: &Histogram) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        for (mine, theirs) in self.inner.buckets.iter().zip(other.inner.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.inner
+            .count
+            .fetch_add(other.inner.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .sum
+            .fetch_add(other.inner.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.inner
+            .max
+            .fetch_max(other.inner.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// An immutable copy of the distribution's summary statistics.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -317,6 +356,56 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Folds another registry's metrics into this one, creating metrics on
+    /// first sight: counters add, histograms merge bucket-wise, gauges keep
+    /// the combined high-water mark. Each source registry should be
+    /// absorbed **once** (counters would double-add otherwise) — the fleet
+    /// supervisor absorbs every completed job's registry exactly once.
+    ///
+    /// Lock discipline: `other`'s handles are collected under its lock,
+    /// the lock is dropped, then `self` is updated — the two registry
+    /// locks are never held together, so `a.absorb(&b)` can race with
+    /// `b.absorb(&a)` without deadlocking. Absorbing a registry into
+    /// itself is a no-op.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let (counters, gauges, histograms, named_gauges) = {
+            let g = other.inner.lock().unwrap();
+            (
+                g.counters
+                    .iter()
+                    .map(|(k, v)| (*k, v.get()))
+                    .collect::<Vec<_>>(),
+                g.gauges
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>(),
+                g.histograms
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>(),
+                g.named_gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        for (name, value) in counters {
+            self.counter(name).add(value);
+        }
+        for (name, gauge) in gauges {
+            self.gauge(name).merge_from(&gauge);
+        }
+        for (name, histogram) in histograms {
+            self.histogram(name).merge_from(&histogram);
+        }
+        for (name, gauge) in named_gauges {
+            self.gauge_named(name).merge_from(&gauge);
+        }
+    }
+
     /// All counters as `(name, value)`, sorted by name.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         let g = self.inner.lock().unwrap();
@@ -406,5 +495,48 @@ mod tests {
         assert_eq!(h.quantile(0.5), None);
         assert_eq!(h.count(), 0);
         assert_eq!(h.snapshot().p50, 0);
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in [0u64, 1, 7, 100] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [3u64, 9_000, 9_000] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.snapshot(), combined.snapshot());
+        // Self-merge is a no-op, not a doubling.
+        let before = a.snapshot();
+        a.merge_from(&a.clone());
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn registry_absorb_aggregates_all_kinds() {
+        let fleet = MetricsRegistry::new();
+        fleet.counter("jobs").add(1);
+
+        let job = MetricsRegistry::new();
+        job.counter("jobs").add(2);
+        job.gauge("fill").set(9);
+        job.histogram("lat").record(40);
+        job.gauge_named("chan.a.fill").set(5);
+
+        fleet.absorb(&job);
+        assert_eq!(fleet.counter("jobs").get(), 3);
+        assert_eq!(fleet.gauge("fill").max(), 9);
+        assert_eq!(fleet.histogram("lat").count(), 1);
+        assert_eq!(fleet.gauge_named("chan.a.fill").get(), 5);
+
+        // Absorbing into itself changes nothing.
+        fleet.absorb(&fleet.clone());
+        assert_eq!(fleet.counter("jobs").get(), 3);
     }
 }

@@ -1,0 +1,92 @@
+//! The fleet executor on a mixed MJPEG tenant population — the CI smoke
+//! for `rtft-fleet`.
+//!
+//! Submits six small MJPEG decoding jobs (duplicated networks from the
+//! paper's Table 1 profile, run under the deterministic DES engine) to a
+//! two-worker fleet. One tenant has a fail-stop fault injected into
+//! replica 0: its first run masks the fault (every frame still arrives),
+//! the fleet observes the latched replica and re-spawns the job from a
+//! healed template, and the replacement completes cleanly — one recorded
+//! recovery.
+//!
+//! Exits non-zero if any job fails or no recovery is recorded, so CI can
+//! run it as a smoke test:
+//!
+//! ```sh
+//! cargo run --release --bin fleet
+//! ```
+
+use rtft_apps::networks::App;
+use rtft_core::FaultPlan;
+use rtft_fleet::{Admission, FleetConfig, FleetExecutor, JobRuntime, JobSpec, JobTemplate};
+use rtft_rtc::TimeNs;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let app = App::Mjpeg;
+    let tokens = 24u64;
+    let jobs = 6usize;
+    let faulty_tenant = 2usize;
+
+    let fleet = FleetExecutor::new(FleetConfig {
+        workers: 2,
+        pending_capacity: 16,
+        max_replacements: 1,
+    });
+
+    println!(
+        "fleet: {jobs} {} jobs of {tokens} frames each, fault injected into tenant-{faulty_tenant}",
+        app.label()
+    );
+    for i in 0..jobs {
+        let mut cfg = app
+            .duplication_config(i as u64, tokens)
+            .expect("bounded profile");
+        if i == faulty_tenant {
+            cfg = cfg.with_fault(0, FaultPlan::fail_stop_at(TimeNs::from_ms(300)));
+        }
+        let factory = Arc::new(app.replica_factory([11 + i as u64, 22 + i as u64]));
+        let admission = fleet.submit(JobSpec {
+            name: format!("tenant-{i}"),
+            template: JobTemplate::Duplicated { cfg, factory },
+            relative_deadline: Duration::from_secs(60),
+            runtime: JobRuntime::DiscreteEvent {
+                horizon: TimeNs::from_secs(10),
+            },
+        });
+        assert!(matches!(admission, Admission::Admitted(_)), "admission");
+    }
+
+    let report = fleet.join();
+
+    println!();
+    println!("  id  tenant     attempts  arrivals  faulty  recovered  deadline");
+    for job in &report.runs {
+        println!(
+            "  {:>2}  {:<9}  {:>8}  {:>8}  {:>6}  {:>9}  {:>8}",
+            job.id.0,
+            job.name,
+            job.attempts,
+            format!("{}/{}", job.arrivals, job.expected),
+            format!("{:?}", job.faulty_replicas),
+            job.recovered,
+            if job.deadline_met { "met" } else { "MISSED" },
+        );
+    }
+    println!();
+    println!("fleet status: {}", report.status.to_json());
+
+    let failed = report.runs.iter().filter(|r| r.failed).count();
+    if failed > 0 || report.status.recovered < 1 {
+        eprintln!(
+            "SMOKE FAILED: {failed} failed jobs, {} recoveries (expected 0 / >=1)",
+            report.status.recovered
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "SMOKE OK: {} jobs completed, {} replacement(s), {} recovery(ies)",
+        report.status.completed, report.status.replaced, report.status.recovered
+    );
+}
