@@ -1,0 +1,79 @@
+//! E10: chaos campaign — detection latency by fault kind.
+//!
+//! Runs a 150-scenario deterministic campaign over the full fault palette
+//! (every Table 1 application, both redundancy structures, all three
+//! platforms) and reports, per fault kind, how many scenarios were latched
+//! and the p50/p99/max detection latency — the empirical counterpart of
+//! the closed-form bound table in `rtft_rtc::DetectionBounds`. The
+//! campaign is entirely virtual-time, so every number here is exactly
+//! reproducible from the seed.
+//!
+//! Run with `cargo bench --bench chaos`; emits a machine-readable
+//! `BENCH_chaos.json:` line for trend tracking.
+
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_chaos::{Campaign, OutcomeClass};
+
+const CAMPAIGN_SEED: u64 = 0xDAC14;
+const SCENARIOS: u64 = 150;
+
+const KINDS: [&str; 6] = [
+    "fail-stop",
+    "slow-by",
+    "corrupt",
+    "transient",
+    "intermittent",
+    "omission",
+];
+
+fn main() {
+    banner("E10: chaos campaign — detection latency by fault kind");
+    println!(
+        "campaign seed {CAMPAIGN_SEED:#x}, {SCENARIOS} scenarios \
+         (3 apps x 2 structures x 3 platforms x 7 fault kinds)\n"
+    );
+
+    let report = Campaign::generate(CAMPAIGN_SEED, SCENARIOS).run();
+
+    let mut classes = AsciiTable::new();
+    classes.row(["outcome class", "count"]);
+    for class in OutcomeClass::ALL {
+        classes.row([class.label().to_string(), report.count(class).to_string()]);
+    }
+    print!("{}", classes.render());
+    println!();
+
+    let mut latency = AsciiTable::new();
+    latency.row(["fault kind", "latched", "p50 (ms)", "p99 (ms)", "max (ms)"]);
+    for kind in KINDS {
+        let snap = report.latency_snapshot(kind);
+        if snap.count == 0 {
+            latency.row([
+                kind.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        } else {
+            latency.row([
+                kind.to_string(),
+                snap.count.to_string(),
+                format!("{:.1}", snap.p50 as f64 / 1e6),
+                format!("{:.1}", snap.p99 as f64 / 1e6),
+                format!("{:.1}", snap.max as f64 / 1e6),
+            ]);
+        }
+    }
+    print!("{}", latency.render());
+    println!();
+    println!(
+        "silent failures are the timing selector's known blind spots \
+         (corruption/omission without voting); permanent timing faults: \
+         {} in bound, {} late",
+        report.count(OutcomeClass::DetectedInBound),
+        report.count(OutcomeClass::DetectedLate)
+    );
+
+    println!("BENCH_chaos.json: {}", report.bench_line());
+}

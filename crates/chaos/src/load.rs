@@ -1,0 +1,226 @@
+//! Chaos under load: faulty tenants inside the fleet executor.
+//!
+//! Scenario runs in [`crate::runner`] exercise one structure at a time.
+//! This module instead drives the PR-2 [`FleetExecutor`] with a mixed
+//! tenant set — healthy jobs, a duplicated job whose replica fail-stops
+//! mid-run (forcing a replica replacement), and a value-voting job under
+//! silent data corruption — and returns the executor's own
+//! [`FleetReport`]. It answers the question the single-scenario runner
+//! cannot: does detection-plus-replacement still hold when the faulty
+//! tenant competes for workers with healthy ones?
+
+use crate::runner::payload_cycle;
+use crate::scenario::SERVICE_DIVISOR;
+use rtft_apps::networks::App;
+use rtft_core::{
+    CorruptionMode, DuplicationConfig, FaultPlan, JitterStageReplica, NJitterStageReplica,
+    NModularModel, NSizingReport,
+};
+use rtft_fleet::{
+    Admission, FleetConfig, FleetExecutor, FleetReport, JobRuntime, JobSpec, JobTemplate,
+};
+use rtft_rtc::{PjdModel, TimeNs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tokens each tenant's producer emits.
+const LOAD_TOKENS: u64 = 120;
+
+fn horizon_for(app: App) -> TimeNs {
+    let model = app.profile().model;
+    model.producer.period * (LOAD_TOKENS + 60) + model.consumer.delay + TimeNs::from_secs(5)
+}
+
+fn duplicated_spec(name: &str, app: App, seed: u64, fault: Option<(usize, FaultPlan)>) -> JobSpec {
+    let profile = app.profile();
+    let model = profile.model;
+    let service = model.producer.period / SERVICE_DIVISOR;
+    let offset = service + model.producer.jitter + TimeNs::from_ms(1);
+    let mut cfg = DuplicationConfig::from_model(model)
+        .expect("profile models are bounded")
+        .with_token_count(LOAD_TOKENS)
+        .with_seeds(seed ^ 0xA5A5, seed ^ 0x5A5A)
+        .with_payload(payload_cycle(seed, profile.input_token_bytes));
+    if let Some((replica, plan)) = fault {
+        cfg = cfg.with_fault(replica, plan);
+    }
+    let factory = JitterStageReplica {
+        service,
+        out_model: [
+            model.replica_out[0].with_delay(offset),
+            model.replica_out[1].with_delay(offset),
+        ],
+        seeds: [seed ^ 0x11, seed ^ 0x22],
+    };
+    JobSpec {
+        name: name.to_string(),
+        template: JobTemplate::Duplicated {
+            cfg,
+            factory: Arc::new(factory),
+        },
+        relative_deadline: Duration::from_secs(60),
+        runtime: JobRuntime::DiscreteEvent {
+            horizon: horizon_for(app),
+        },
+    }
+}
+
+fn voting_spec(name: &str, app: App, seed: u64, fault: Option<(usize, FaultPlan)>) -> JobSpec {
+    let profile = app.profile();
+    let model = profile.model;
+    let period = model.producer.period;
+    let service = period / SERVICE_DIVISOR;
+    let offset = service + model.producer.jitter + TimeNs::from_ms(1);
+    let mid_jitter = TimeNs::from_ns(
+        (model.replica_out[0].jitter.as_ns() + model.replica_out[1].jitter.as_ns()) / 2,
+    );
+    let nmodel = NModularModel {
+        producer: model.producer,
+        consumer: model.consumer,
+        replicas: vec![
+            model.replica_out[0],
+            model.replica_out[1],
+            PjdModel::new(period, mid_jitter, TimeNs::ZERO),
+        ],
+    };
+    let sizing = NSizingReport::analyze(&nmodel).expect("profile models are bounded");
+    let mut faults = vec![FaultPlan::healthy(); 3];
+    if let Some((replica, plan)) = fault {
+        faults[replica] = plan;
+    }
+    let factory = NJitterStageReplica {
+        service,
+        out_models: nmodel.replicas.clone(),
+        offset,
+        seed_base: seed ^ 0x33,
+    };
+    JobSpec {
+        name: name.to_string(),
+        template: JobTemplate::NModularVoting {
+            model: nmodel,
+            sizing,
+            token_count: LOAD_TOKENS,
+            seeds: (seed ^ 0xA5A5, seed ^ 0x5A5A),
+            payload: payload_cycle(seed, profile.input_token_bytes),
+            factory: Arc::new(factory),
+            faults,
+        },
+        relative_deadline: Duration::from_secs(60),
+        runtime: JobRuntime::DiscreteEvent {
+            horizon: horizon_for(app),
+        },
+    }
+}
+
+/// Runs the chaos-under-load tenant mix and returns the fleet's report.
+///
+/// The mix (all deterministic DES jobs, seeded from `seed`):
+///
+/// 1. `mjpeg-healthy` — fault-free duplicated baseline;
+/// 2. `adpcm-failstop` — duplicated, replica 1 fail-stops mid-stream; the
+///    executor must latch it and launch a healthy replacement run;
+/// 3. `h264-corrupt` — tri-voting, replica 0 flips a payload bit
+///    mid-stream; the voting selector must latch it while the delivered
+///    stream stays value-clean;
+/// 4. `adpcm-voting-healthy` — fault-free voting baseline.
+///
+/// # Panics
+///
+/// Panics if the executor rejects any of the four submissions (the default
+/// pending capacity far exceeds the tenant count).
+pub fn chaos_under_load(seed: u64) -> FleetReport {
+    let executor = FleetExecutor::new(FleetConfig {
+        workers: 2,
+        pending_capacity: 16,
+        max_replacements: 2,
+    });
+    let submissions = [
+        duplicated_spec("mjpeg-healthy", App::Mjpeg, seed ^ 0x0101, None),
+        duplicated_spec(
+            "adpcm-failstop",
+            App::Adpcm,
+            seed ^ 0x0202,
+            Some((1, FaultPlan::fail_stop_at(TimeNs::from_ms(200)))),
+        ),
+        voting_spec(
+            "h264-corrupt",
+            App::H264,
+            seed ^ 0x0303,
+            Some((
+                0,
+                FaultPlan::corrupt_at(CorruptionMode::BitFlip(17), TimeNs::from_secs(1)),
+            )),
+        ),
+        voting_spec("adpcm-voting-healthy", App::Adpcm, seed ^ 0x0404, None),
+    ];
+    for spec in submissions {
+        let name = spec.name.clone();
+        let admission = executor.submit(spec);
+        assert!(
+            matches!(admission, Admission::Admitted(_)),
+            "{name}: {admission:?}"
+        );
+    }
+    executor.join()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faulty_tenants_are_detected_and_healthy_ones_unharmed() {
+        let report = chaos_under_load(0xBEEF);
+        assert_eq!(report.runs.len(), 4);
+        let by_name = |name: &str| {
+            report
+                .runs
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("missing job {name}"))
+        };
+
+        let healthy = by_name("mjpeg-healthy");
+        assert!(healthy.faulty_replicas.is_empty(), "{healthy:?}");
+        assert!(!healthy.failed);
+        assert_eq!(healthy.arrivals, LOAD_TOKENS);
+
+        let failstop = by_name("adpcm-failstop");
+        assert_eq!(failstop.faulty_replicas, vec![1], "{failstop:?}");
+        assert!(failstop.recovered, "replacement run must come back healthy");
+        assert!(!failstop.failed);
+
+        let corrupt = by_name("h264-corrupt");
+        assert_eq!(corrupt.faulty_replicas, vec![0], "{corrupt:?}");
+        assert!(!corrupt.failed);
+
+        let voting_healthy = by_name("adpcm-voting-healthy");
+        assert!(
+            voting_healthy.faulty_replicas.is_empty(),
+            "{voting_healthy:?}"
+        );
+        assert_eq!(voting_healthy.arrivals, LOAD_TOKENS);
+    }
+
+    #[test]
+    fn load_report_is_reproducible_in_outcome() {
+        let a = chaos_under_load(7);
+        let b = chaos_under_load(7);
+        // Wall-clock fields differ run to run; the logical outcome must not.
+        let digest = |r: &FleetReport| {
+            let mut rows: Vec<String> = r
+                .runs
+                .iter()
+                .map(|j| {
+                    format!(
+                        "{}:{}:{:?}:{}:{}",
+                        j.name, j.arrivals, j.faulty_replicas, j.recovered, j.failed
+                    )
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(digest(&a), digest(&b));
+    }
+}

@@ -1,0 +1,476 @@
+//! Scenario execution and outcome classification.
+//!
+//! [`run_scenario`] builds the scenario's network, runs it to completion
+//! under the deterministic DES, and classifies what happened against the
+//! analytic detection bounds of `rtft-rtc`:
+//!
+//! * [`OutcomeClass::DetectedInBound`] — the faulty replica was latched
+//!   within its analytic bound (plus one activation period of grace, since
+//!   an `AtTime` fault takes effect at the replica's next resume);
+//! * [`OutcomeClass::DetectedLate`] — latched, but after the bound (or the
+//!   fault class carries no guarantee at all);
+//! * [`OutcomeClass::Masked`] — never latched, yet every expected token
+//!   arrived with the correct payload digest;
+//! * [`OutcomeClass::SilentFailure`] — never latched and the output is
+//!   wrong (missing tokens or corrupted digests reached the consumer);
+//! * [`OutcomeClass::FalsePositive`] — a *healthy* replica was latched.
+
+use crate::scenario::{FaultSpec, PlatformKind, Redundancy, Scenario, SERVICE_DIVISOR};
+use rtft_core::{
+    build_duplicated, build_n_modular_voting, DuplicationConfig, FaultKind, FaultPlan,
+    JitterStageReplica, NJitterStageReplica, NModularModel, NReplicator, NSizingReport,
+    PayloadGenerator, VotingSelector,
+};
+use rtft_kpn::{Engine, Payload, SplitMix64};
+use rtft_rtc::detection::DetectionBounds;
+use rtft_rtc::{PjdModel, TimeNs};
+use rtft_scc::{low_contention_pipeline, NocFaultPlan, SccPlatform};
+use std::sync::Arc;
+
+/// How a scenario ended, relative to the framework's guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OutcomeClass {
+    /// Faulty replica latched within the analytic bound.
+    DetectedInBound,
+    /// Faulty replica latched after the bound (or no bound exists).
+    DetectedLate,
+    /// No latch, and the delivered stream is complete and value-correct.
+    Masked,
+    /// No latch, and the delivered stream is wrong.
+    SilentFailure,
+    /// A healthy replica was latched.
+    FalsePositive,
+}
+
+impl OutcomeClass {
+    /// Stable report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeClass::DetectedInBound => "detected-in-bound",
+            OutcomeClass::DetectedLate => "detected-late",
+            OutcomeClass::Masked => "masked",
+            OutcomeClass::SilentFailure => "silent-failure",
+            OutcomeClass::FalsePositive => "false-positive",
+        }
+    }
+
+    /// Every class, in report order.
+    pub const ALL: [OutcomeClass; 5] = [
+        OutcomeClass::DetectedInBound,
+        OutcomeClass::DetectedLate,
+        OutcomeClass::Masked,
+        OutcomeClass::SilentFailure,
+        OutcomeClass::FalsePositive,
+    ];
+}
+
+/// The classified result of one scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioOutcome {
+    /// The scenario that produced this outcome.
+    pub scenario: Scenario,
+    /// Classification against the analytic bounds.
+    pub class: OutcomeClass,
+    /// Earliest latch on the *faulty* replica, if any.
+    pub detected_at: Option<TimeNs>,
+    /// `detected_at − injection instant` (scheduled, not effective).
+    pub detection_latency: Option<TimeNs>,
+    /// The analytic bound the latency was judged against.
+    pub bound: Option<TimeNs>,
+    /// Tokens the consumer received.
+    pub arrivals: u64,
+    /// Delivered tokens whose payload digest differed from the reference.
+    pub value_errors: u64,
+}
+
+/// The analytic latch bound for this scenario's fault, from the
+/// [`DetectionBounds`] table. `None` means the framework makes no promise
+/// (mild slow-downs the shaper hides; corruption under the timing
+/// selector).
+fn analytic_bound(s: &Scenario, f: &FaultSpec, b: &DetectionBounds) -> Option<TimeNs> {
+    match f.kind {
+        FaultKind::FailStop => Some(b.permanent_timing()),
+        FaultKind::SlowBy(raw) => {
+            let eff = raw / SERVICE_DIVISOR as f64;
+            if eff > 1.0 {
+                b.slow_by(eff)
+            } else {
+                None
+            }
+        }
+        FaultKind::Corrupt(_) => match s.redundancy {
+            Redundancy::TriVoting => Some(b.value_vote()),
+            Redundancy::Duplicated => None,
+        },
+        // A stalled window behaves fail-stop while it lasts; if it latches
+        // at all, it must latch like a permanent fault.
+        FaultKind::Transient { .. } | FaultKind::Intermittent { .. } => Some(b.permanent_timing()),
+        // Heuristic: each token is dropped with probability `p`, so the
+        // divergence surplus accrues `p`-fold slower than under fail-stop.
+        FaultKind::Omission(p) => Some(TimeNs::from_ns(
+            (b.fail_stop.as_ns() as f64 / p).ceil() as u64
+        )),
+    }
+}
+
+/// Deterministic token payloads: a cycle of eight byte blocks of the
+/// application's Table 1 token size, filled from the scenario seed.
+pub(crate) fn payload_cycle(seed: u64, bytes: usize) -> PayloadGenerator {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let blocks: Vec<Payload> = (0..8)
+        .map(|_| {
+            let mut buf = vec![0u8; bytes];
+            for chunk in buf.chunks_mut(8) {
+                let w = rng.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+            Payload::from(buf)
+        })
+        .collect();
+    Arc::new(move |seq| blocks[(seq % 8) as usize].clone())
+}
+
+fn earliest(a: Option<TimeNs>, b: Option<TimeNs>) -> Option<TimeNs> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Wraps the built network in the scenario's platform and returns the
+/// engine. SCC platforms route the two arbitration channels across the
+/// mesh with the low-contention mapping; the degraded variant adds a
+/// uniform [`NocFaultPlan`] (10 µs per chunk, 5 µs per chunk-hop).
+fn engine_for(
+    s: &Scenario,
+    net: rtft_kpn::Network,
+    replicator: rtft_kpn::ChannelId,
+    selector: rtft_kpn::ChannelId,
+) -> Engine {
+    match s.platform {
+        PlatformKind::Ideal => Engine::new(net),
+        PlatformKind::Scc | PlatformKind::SccDegradedNoc => {
+            let mapping = low_contention_pipeline(4);
+            let mut platform = if s.platform == PlatformKind::SccDegradedNoc {
+                SccPlatform::paper_boot().with_noc_faults(NocFaultPlan::uniform(
+                    TimeNs::from_us(10),
+                    TimeNs::from_us(5),
+                ))
+            } else {
+                SccPlatform::paper_boot()
+            };
+            platform.route(replicator, mapping.core(0), mapping.core(1));
+            platform.route(selector, mapping.core(2), mapping.core(3));
+            Engine::with_platform(net, Box::new(platform))
+        }
+    }
+}
+
+/// Classifies a finished run from its per-replica latch times and the
+/// consumer's arrival record.
+#[allow(clippy::too_many_arguments)]
+fn classify(
+    s: &Scenario,
+    bounds: &DetectionBounds,
+    latches: &[Option<TimeNs>],
+    arrivals: &[(TimeNs, u64)],
+    expected_digests: &[u64],
+) -> ScenarioOutcome {
+    let value_errors = arrivals
+        .iter()
+        .enumerate()
+        .filter(|(k, (_, digest))| *digest != expected_digests[k % expected_digests.len()])
+        .count() as u64;
+    let complete = arrivals.len() as u64 == s.token_count;
+
+    let (class, detected_at, latency, bound) = match s.fault {
+        None => {
+            if latches.iter().any(Option::is_some) {
+                (OutcomeClass::FalsePositive, None, None, None)
+            } else if complete && value_errors == 0 {
+                (OutcomeClass::Masked, None, None, None)
+            } else {
+                (OutcomeClass::SilentFailure, None, None, None)
+            }
+        }
+        Some(f) => {
+            let healthy_latched = latches
+                .iter()
+                .enumerate()
+                .any(|(i, l)| i != f.replica && l.is_some());
+            let detected_at = latches[f.replica];
+            let bound = analytic_bound(s, &f, bounds);
+            if healthy_latched {
+                (OutcomeClass::FalsePositive, detected_at, None, bound)
+            } else if let Some(at) = detected_at {
+                // An AtTime fault takes effect at the replica's next
+                // activation, up to one period after the scheduled
+                // instant — grant that grace before judging the bound.
+                let grace = bounds.producer().period + bounds.producer().jitter;
+                let latency = at.saturating_sub(f.at);
+                let class = match bound {
+                    Some(b) if at <= f.at + b + grace => OutcomeClass::DetectedInBound,
+                    _ => OutcomeClass::DetectedLate,
+                };
+                (class, Some(at), Some(latency), bound)
+            } else if complete && value_errors == 0 {
+                (OutcomeClass::Masked, None, None, bound)
+            } else {
+                (OutcomeClass::SilentFailure, None, None, bound)
+            }
+        }
+    };
+
+    ScenarioOutcome {
+        scenario: *s,
+        class,
+        detected_at,
+        detection_latency: latency,
+        bound,
+        arrivals: arrivals.len() as u64,
+        value_errors,
+    }
+}
+
+/// Builds, runs, and classifies one scenario under the deterministic DES.
+pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
+    let profile = s.app.profile();
+    let model = profile.model;
+    let period = model.producer.period;
+    let service = period / SERVICE_DIVISOR;
+    let offset = service + model.producer.jitter + TimeNs::from_ms(1);
+    let payload = payload_cycle(s.seed, profile.input_token_bytes);
+    let expected_digests: Vec<u64> = (0..8).map(|i| payload(i).digest()).collect();
+    let horizon = period * (s.token_count + 60) + model.consumer.delay + TimeNs::from_secs(5);
+
+    match s.redundancy {
+        Redundancy::Duplicated => {
+            let mut cfg = DuplicationConfig::from_model(model)
+                .expect("profile models are bounded")
+                .with_token_count(s.token_count)
+                .with_seeds(s.seed ^ 0xA5A5, s.seed ^ 0x5A5A)
+                .with_payload(Arc::clone(&payload));
+            if let Some(f) = s.fault {
+                cfg = cfg.with_fault(f.replica, f.plan(s.seed ^ 0xFA01));
+            }
+            let factory = JitterStageReplica {
+                service,
+                out_model: [
+                    model.replica_out[0].with_delay(offset),
+                    model.replica_out[1].with_delay(offset),
+                ],
+                seeds: [s.seed ^ 0x11, s.seed ^ 0x22],
+            };
+            let bounds = cfg.sizing.detection_bounds(&model);
+            let (net, ids) = build_duplicated(&cfg, &factory);
+            let mut engine = engine_for(s, net, ids.replicator, ids.selector);
+            engine.run_until(horizon);
+            let net = engine.network();
+            let rep = ids.replicator_faults(net);
+            let sel = ids.selector_faults(net);
+            let latches: Vec<Option<TimeNs>> = (0..2)
+                .map(|i| earliest(rep[i].map(|r| r.at), sel[i].map(|r| r.at)))
+                .collect();
+            classify(
+                s,
+                &bounds,
+                &latches,
+                ids.consumer_arrivals(net),
+                &expected_digests,
+            )
+        }
+        Redundancy::TriVoting => {
+            let mid_jitter = TimeNs::from_ns(
+                (model.replica_out[0].jitter.as_ns() + model.replica_out[1].jitter.as_ns()) / 2,
+            );
+            let nmodel = NModularModel {
+                producer: model.producer,
+                consumer: model.consumer,
+                replicas: vec![
+                    model.replica_out[0],
+                    model.replica_out[1],
+                    PjdModel::new(period, mid_jitter, TimeNs::ZERO),
+                ],
+            };
+            let sizing = NSizingReport::analyze(&nmodel).expect("profile models are bounded");
+            let mut faults = vec![FaultPlan::healthy(); 3];
+            if let Some(f) = s.fault {
+                faults[f.replica] = f.plan(s.seed ^ 0xFA01);
+            }
+            let factory = NJitterStageReplica {
+                service,
+                out_models: nmodel.replicas.clone(),
+                offset,
+                seed_base: s.seed ^ 0x33,
+            };
+            let bounds = DetectionBounds::new(
+                nmodel.producer,
+                nmodel.consumer,
+                nmodel.replicas.clone(),
+                sizing.threshold,
+                sizing
+                    .replicator_capacity
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(1),
+                sizing.selector_capacity.iter().copied().max().unwrap_or(1),
+            );
+            let (net, ids) = build_n_modular_voting(
+                &nmodel,
+                &sizing,
+                s.token_count,
+                (s.seed ^ 0xA5A5, s.seed ^ 0x5A5A),
+                Arc::clone(&payload),
+                &factory,
+                &faults,
+            );
+            let mut engine = engine_for(s, net, ids.replicator, ids.selector);
+            engine.run_until(horizon);
+            let net = engine.network();
+            let rep = net
+                .channel_as::<NReplicator>(ids.replicator)
+                .expect("n-replicator");
+            let sel = net
+                .channel_as::<VotingSelector>(ids.selector)
+                .expect("voting selector");
+            let latches: Vec<Option<TimeNs>> = (0..3)
+                .map(|i| earliest(rep.fault(i).map(|r| r.at), sel.fault(i).map(|r| r.at)))
+                .collect();
+            classify(
+                s,
+                &bounds,
+                &latches,
+                ids.consumer_arrivals(net),
+                &expected_digests,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SCENARIO_TOKENS;
+    use rtft_apps::networks::App;
+    use rtft_core::CorruptionMode;
+
+    fn base(app: App, redundancy: Redundancy, fault: Option<FaultSpec>) -> Scenario {
+        Scenario {
+            id: 0,
+            app,
+            redundancy,
+            platform: PlatformKind::Ideal,
+            fault,
+            seed: 0xDECADE,
+            token_count: SCENARIO_TOKENS,
+        }
+    }
+
+    #[test]
+    fn fault_free_scenario_is_masked() {
+        for redundancy in [Redundancy::Duplicated, Redundancy::TriVoting] {
+            let out = run_scenario(&base(App::Adpcm, redundancy, None));
+            assert_eq!(out.class, OutcomeClass::Masked, "{out:?}");
+            assert_eq!(out.arrivals, SCENARIO_TOKENS);
+            assert_eq!(out.value_errors, 0);
+        }
+    }
+
+    #[test]
+    fn fail_stop_is_detected_in_bound_on_both_structures() {
+        let at = TimeNs::from_ms(400);
+        for redundancy in [Redundancy::Duplicated, Redundancy::TriVoting] {
+            let fault = FaultSpec {
+                replica: 1,
+                kind: FaultKind::FailStop,
+                at,
+            };
+            let out = run_scenario(&base(App::Adpcm, redundancy, Some(fault)));
+            assert_eq!(out.class, OutcomeClass::DetectedInBound, "{out:?}");
+            assert!(out.detected_at.expect("latched") > at);
+        }
+    }
+
+    #[test]
+    fn corruption_is_caught_by_voting_but_can_slip_past_the_timing_selector() {
+        let fault = FaultSpec {
+            replica: 0,
+            kind: FaultKind::Corrupt(CorruptionMode::BitFlip(9)),
+            at: TimeNs::from_ms(300),
+        };
+        let voting = run_scenario(&base(App::Adpcm, Redundancy::TriVoting, Some(fault)));
+        assert!(
+            matches!(
+                voting.class,
+                OutcomeClass::DetectedInBound | OutcomeClass::DetectedLate
+            ),
+            "{voting:?}"
+        );
+        assert_eq!(voting.value_errors, 0, "voting must mask the bad values");
+
+        let duplicated = run_scenario(&base(App::Adpcm, Redundancy::Duplicated, Some(fault)));
+        assert!(
+            matches!(
+                duplicated.class,
+                OutcomeClass::SilentFailure | OutcomeClass::Masked
+            ),
+            "timing selector cannot *detect* corruption: {duplicated:?}"
+        );
+    }
+
+    #[test]
+    fn scc_platform_preserves_detection() {
+        let fault = FaultSpec {
+            replica: 0,
+            kind: FaultKind::FailStop,
+            at: TimeNs::from_secs(1),
+        };
+        for platform in [PlatformKind::Scc, PlatformKind::SccDegradedNoc] {
+            let s = Scenario {
+                platform,
+                ..base(App::Mjpeg, Redundancy::Duplicated, Some(fault))
+            };
+            let out = run_scenario(&s);
+            assert_eq!(out.class, OutcomeClass::DetectedInBound, "{out:?}");
+        }
+    }
+
+    #[test]
+    fn short_transient_is_masked_long_transient_is_detected() {
+        let period = App::Adpcm.profile().model.producer.period;
+        let short = FaultSpec {
+            replica: 1,
+            kind: FaultKind::Transient {
+                duration: period / 2,
+            },
+            at: TimeNs::from_ms(300),
+        };
+        let out = run_scenario(&base(App::Adpcm, Redundancy::Duplicated, Some(short)));
+        assert_eq!(out.class, OutcomeClass::Masked, "{out:?}");
+
+        let long = FaultSpec {
+            replica: 1,
+            kind: FaultKind::Transient {
+                duration: TimeNs::from_secs(2),
+            },
+            at: TimeNs::from_ms(300),
+        };
+        let out = run_scenario(&base(App::Adpcm, Redundancy::Duplicated, Some(long)));
+        assert_eq!(out.class, OutcomeClass::DetectedInBound, "{out:?}");
+    }
+
+    #[test]
+    fn same_scenario_same_outcome() {
+        let fault = FaultSpec {
+            replica: 2,
+            kind: FaultKind::Omission(0.3),
+            at: TimeNs::from_ms(250),
+        };
+        let s = base(App::Adpcm, Redundancy::TriVoting, Some(fault));
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

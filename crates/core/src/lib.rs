@@ -68,12 +68,13 @@ pub mod nmodular;
 mod obs;
 mod replicator;
 mod selector;
+mod voting;
 
 pub use builder::{
     build_duplicated, build_reference, instrument_duplicated, DuplicatedIds, DuplicationConfig,
     JitterStageReplica, PayloadGenerator, ReferenceIds, ReplicaFactory,
 };
-pub use fault::{FaultKind, FaultPlan, FaultTrigger, FaultyProcess};
+pub use fault::{CorruptionMode, FaultKind, FaultPlan, FaultTrigger, FaultyProcess};
 pub use nmodular::{
     build_n_modular, NJitterStageReplica, NModularIds, NModularModel, NReplicator, NSelector,
     NSizingReport,
@@ -81,3 +82,4 @@ pub use nmodular::{
 pub use obs::DetectionObs;
 pub use replicator::{FaultRecord, Replicator, ReplicatorConfig, ReplicatorFaultCause};
 pub use selector::{Selector, SelectorConfig, SelectorFaultCause, SelectorFaultRecord};
+pub use voting::{build_n_modular_voting, VoteFaultCause, VoteFaultRecord, VotingSelector};

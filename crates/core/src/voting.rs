@@ -1,0 +1,726 @@
+//! Value-voting selector: n-modular redundancy over token *values*.
+//!
+//! The paper's selector arbitrates purely on *timing* — first token of each
+//! duplicate group wins — which is sound under the fail-silent assumption
+//! that a faulty replica never emits a wrong value. Silent data corruption
+//! breaks that assumption: a replica that keeps perfect pace while flipping
+//! payload bits sails straight through every counter-based detector. The
+//! [`VotingSelector`] closes the gap, in the spirit of replay/value
+//! comparison schemes (RepTFD; FlexStep): it majority-votes on the FNV
+//! digest of each duplicate group's payloads, delivers the first token of
+//! the winning digest, and latches any replica whose vote disagrees with
+//! the decided majority as *value-faulty*.
+//!
+//! Timing detection is retained unchanged (the divergence-`D` and stall
+//! rules of the [`NSelector`](crate::NSelector)), so a fail-stopped replica
+//! is still latched and cannot starve the quorum: with `n` replicas the
+//! quorum is a fixed majority `⌊n/2⌋ + 1`, so up to `⌈n/2⌉ − 1` faulty
+//! replicas — timing- or value-faulty, in any mix — are tolerated.
+//!
+//! The cost relative to the timing selector is delivery latency: a group is
+//! released only once a majority agrees, not on first arrival. The sizing
+//! analysis still applies (the same virtual per-replica queues bound
+//! buffering), but the consumer's initial delay must cover the slowest
+//! *majority* replica rather than the fastest single one.
+
+use crate::fault::FaultPlan;
+use rtft_kpn::{
+    ChannelBehavior, Network, PjdSink, PjdSource, PortId, ReadOutcome, Token, WriteOutcome,
+};
+use rtft_rtc::TimeNs;
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Why the voting selector latched a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VoteFaultCause {
+    /// The replica's vote disagreed with the decided majority digest —
+    /// silent data corruption, invisible to every timing detector.
+    ValueMismatch,
+    /// The replica's received count fell `D` behind the healthy
+    /// front-runner (the eq. (5) rule, unchanged).
+    Divergence,
+    /// The replica's virtual queue emptied beyond the stall slack.
+    Stall,
+}
+
+/// A latched fault: when, why, and (for value faults) which group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteFaultRecord {
+    /// Virtual time of the latch.
+    pub at: TimeNs,
+    /// Detection rule that fired.
+    pub cause: VoteFaultCause,
+    /// Duplicate-group index of the mismatching vote (value faults only).
+    pub group: Option<u64>,
+}
+
+/// Per-group voting state, kept until the group is decided, delivered, and
+/// fully voted (or its stragglers latched).
+#[derive(Debug)]
+struct Group {
+    /// Digest voted by each interface, in arrival order per interface.
+    votes: Vec<Option<u64>>,
+    /// First token seen per distinct digest (the delivery candidate).
+    candidates: Vec<(u64, Token)>,
+    /// Majority digest, once a quorum agrees.
+    decided: Option<u64>,
+    /// `true` once the winning token was handed to the consumer queue.
+    delivered: bool,
+}
+
+impl Group {
+    fn new(n: usize) -> Self {
+        Group {
+            votes: vec![None; n],
+            candidates: Vec::new(),
+            decided: None,
+            delivered: false,
+        }
+    }
+}
+
+/// N-way selector channel that majority-votes on token values.
+///
+/// Interface `i` carries replica `i`'s output stream; its `k`-th write is
+/// that replica's vote for duplicate group `k`. A group is delivered (in
+/// group order) once `⌊n/2⌋ + 1` votes agree on a payload digest; votes
+/// that disagree with a decided majority latch their replica value-faulty,
+/// whether they arrive before or after the decision.
+#[derive(Debug)]
+pub struct VotingSelector {
+    name: String,
+    queue: VecDeque<Token>,
+    capacity: Vec<usize>,
+    received: Vec<u64>,
+    reads: u64,
+    enqueued: u64,
+    discarded: u64,
+    max_fill: usize,
+    fault: Vec<Option<VoteFaultRecord>>,
+    threshold: u64,
+    stall_slack: u64,
+    quorum: usize,
+    groups: BTreeMap<u64, Group>,
+    next_deliver: u64,
+}
+
+impl VotingSelector {
+    /// Creates a voting selector with per-replica virtual capacities and
+    /// timing divergence threshold `d` (stall slack `d − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than three interfaces (majority voting needs a
+    /// tie-breaker), a zero capacity, or `d == 0`.
+    pub fn new(name: impl Into<String>, capacity: Vec<usize>, d: u64) -> Self {
+        assert!(
+            capacity.len() >= 3,
+            "value voting needs at least three replicas"
+        );
+        assert!(
+            capacity.iter().all(|c| *c > 0),
+            "capacities must be positive"
+        );
+        assert!(d > 0, "threshold must be positive");
+        let n = capacity.len();
+        VotingSelector {
+            name: name.into(),
+            queue: VecDeque::new(),
+            capacity,
+            received: vec![0; n],
+            reads: 0,
+            enqueued: 0,
+            discarded: 0,
+            max_fill: 0,
+            fault: vec![None; n],
+            threshold: d,
+            stall_slack: d - 1,
+            quorum: n / 2 + 1,
+            groups: BTreeMap::new(),
+            next_deliver: 0,
+        }
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fault record of replica `i`, if latched.
+    pub fn fault(&self, i: usize) -> Option<VoteFaultRecord> {
+        self.fault[i]
+    }
+
+    /// Number of replicas still healthy.
+    pub fn healthy_count(&self) -> usize {
+        self.fault.iter().filter(|f| f.is_none()).count()
+    }
+
+    /// Indices of the replicas currently latched faulty, ascending.
+    pub fn faulty_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.fault
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|_| i))
+    }
+
+    /// Groups delivered to the consumer so far.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Votes consumed without delivery (duplicates, mismatches, latched
+    /// writes) so far.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// The votes-agree quorum (`⌊n/2⌋ + 1`).
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// The `space_i` counter (capacity − received + reads).
+    fn space(&self, i: usize) -> i64 {
+        self.capacity[i] as i64 - self.received[i] as i64 + self.reads as i64
+    }
+
+    fn healthy_max_received(&self) -> u64 {
+        self.received
+            .iter()
+            .zip(&self.fault)
+            .filter(|(_, f)| f.is_none())
+            .map(|(r, _)| *r)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn latch_value(&mut self, iface: usize, group: u64, now: TimeNs) {
+        if self.fault[iface].is_none() {
+            self.fault[iface] = Some(VoteFaultRecord {
+                at: now,
+                cause: VoteFaultCause::ValueMismatch,
+                group: Some(group),
+            });
+        }
+    }
+
+    fn check_divergence(&mut self, now: TimeNs) {
+        let max = self.healthy_max_received();
+        for i in 0..self.received.len() {
+            if self.fault[i].is_none()
+                && self.healthy_count() > 1
+                && max - self.received[i] >= self.threshold
+            {
+                self.fault[i] = Some(VoteFaultRecord {
+                    at: now,
+                    cause: VoteFaultCause::Divergence,
+                    group: None,
+                });
+            }
+        }
+    }
+
+    fn check_stall(&mut self, now: TimeNs) {
+        for i in 0..self.received.len() {
+            if self.fault[i].is_none()
+                && self.healthy_count() > 1
+                && self.space(i) > (self.capacity[i] as u64 + self.stall_slack) as i64
+            {
+                self.fault[i] = Some(VoteFaultRecord {
+                    at: now,
+                    cause: VoteFaultCause::Stall,
+                    group: None,
+                });
+            }
+        }
+    }
+
+    /// Delivers decided groups in order and drops fully-voted state.
+    fn flush(&mut self) -> bool {
+        let mut delivered_any = false;
+        while let Some(g) = self.groups.get_mut(&self.next_deliver) {
+            let Some(winner) = g.decided else { break };
+            if !g.delivered {
+                let tok = g
+                    .candidates
+                    .iter()
+                    .find(|(d, _)| *d == winner)
+                    .map(|(_, t)| t.clone())
+                    .expect("decided digest always has a candidate token");
+                self.queue.push_back(tok);
+                self.max_fill = self.max_fill.max(self.queue.len());
+                self.enqueued += 1;
+                g.delivered = true;
+                delivered_any = true;
+            }
+            // Retire the group once every replica has voted or is latched —
+            // later stragglers can no longer reference it (a latched
+            // interface's writes are swallowed before voting).
+            let complete =
+                (0..self.received.len()).all(|i| g.votes[i].is_some() || self.fault[i].is_some());
+            if complete {
+                self.groups.remove(&self.next_deliver);
+                self.next_deliver += 1;
+            } else {
+                break;
+            }
+        }
+        delivered_any
+    }
+}
+
+impl ChannelBehavior for VotingSelector {
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        if self.fault[iface].is_some() {
+            self.discarded += 1;
+            return WriteOutcome::AcceptedDropped;
+        }
+        if self.space(iface) <= 0 {
+            return WriteOutcome::Blocked;
+        }
+        let group = self.received[iface];
+        self.received[iface] += 1;
+        let digest = token.payload.digest();
+        let n = self.received.len();
+        let quorum = self.quorum;
+
+        if group < self.next_deliver {
+            // Straggler vote for a group already retired (its state was
+            // dropped because this interface was latched at the time, or
+            // the group completed). Count it as discarded.
+            self.discarded += 1;
+        } else {
+            let g = self.groups.entry(group).or_insert_with(|| Group::new(n));
+            g.votes[iface] = Some(digest);
+            if !g.candidates.iter().any(|(d, _)| *d == digest) {
+                g.candidates.push((digest, token));
+            }
+            match g.decided {
+                Some(winner) => {
+                    self.discarded += 1;
+                    if digest != winner {
+                        self.latch_value(iface, group, now);
+                    }
+                }
+                None => {
+                    let agree = g.votes.iter().flatten().filter(|d| **d == digest).count();
+                    if agree >= quorum {
+                        g.decided = Some(digest);
+                        // Latch every earlier voter that disagreed with the
+                        // now-decided majority.
+                        let losers: Vec<usize> = g
+                            .votes
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, v)| match v {
+                                Some(d) if *d != digest => Some(i),
+                                _ => None,
+                            })
+                            .collect();
+                        for i in losers {
+                            self.latch_value(i, group, now);
+                        }
+                    }
+                }
+            }
+        }
+
+        let delivered = self.flush();
+        self.check_divergence(now);
+        if delivered {
+            WriteOutcome::Accepted
+        } else {
+            WriteOutcome::AcceptedDropped
+        }
+    }
+
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        assert_eq!(iface, 0, "voting selector has a single read interface");
+        match self.queue.pop_front() {
+            Some(t) => {
+                self.reads += 1;
+                self.check_stall(now);
+                ReadOutcome::Token(t)
+            }
+            None => ReadOutcome::Blocked,
+        }
+    }
+
+    fn write_ifaces(&self) -> usize {
+        self.received.len()
+    }
+
+    fn read_ifaces(&self) -> usize {
+        1
+    }
+
+    fn fill(&self, _iface: usize) -> usize {
+        self.queue.len()
+    }
+
+    fn capacity(&self, iface: usize) -> usize {
+        self.capacity[iface.min(self.capacity.len() - 1)]
+    }
+
+    fn max_fill(&self, _iface: usize) -> usize {
+        self.max_fill
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Builds an n-modular network arbitrated by a [`VotingSelector`] instead
+/// of the timing-only [`NSelector`](crate::NSelector): producer →
+/// n-replicator → `n` replicas → voting selector → consumer.
+///
+/// Uses the same sizing as [`build_n_modular`](crate::build_n_modular);
+/// the returned [`NModularIds`](crate::NModularIds)'s `selector` channel
+/// downcasts to [`VotingSelector`].
+///
+/// # Panics
+///
+/// Panics if `faults.len() != model.replicas.len()` or fewer than three
+/// replicas are configured.
+pub fn build_n_modular_voting(
+    model: &crate::NModularModel,
+    sizing: &crate::NSizingReport,
+    token_count: u64,
+    seeds: (u64, u64),
+    payload: crate::PayloadGenerator,
+    factory: &dyn crate::ReplicaFactory,
+    faults: &[FaultPlan],
+) -> (Network, crate::NModularIds) {
+    let n = model.replicas.len();
+    assert!(n >= 3, "value voting needs at least three replicas");
+    assert_eq!(faults.len(), n, "one fault plan per replica");
+
+    let mut net = Network::new();
+    let replicator = net.add_channel(crate::NReplicator::new(
+        "n-replicator",
+        sizing
+            .replicator_capacity
+            .iter()
+            .map(|c| *c as usize)
+            .collect(),
+        Some(sizing.threshold),
+    ));
+    let selector = net.add_channel(VotingSelector::new(
+        "voting-selector",
+        sizing
+            .selector_capacity
+            .iter()
+            .map(|c| *c as usize)
+            .collect(),
+        sizing.threshold,
+    ));
+
+    let gen = payload;
+    let producer = net.add_process(PjdSource::new(
+        "producer",
+        PortId::of(replicator),
+        model.producer,
+        seeds.0,
+        Some(token_count),
+        move |seq| gen(seq),
+    ));
+
+    let replicas: Vec<Vec<rtft_kpn::NodeId>> = (0..n)
+        .map(|i| {
+            factory.build(
+                &mut net,
+                PortId::iface(replicator, i),
+                PortId::iface(selector, i),
+                i,
+                faults[i],
+            )
+        })
+        .collect();
+
+    let consumer = net.add_process(PjdSink::new(
+        "consumer",
+        PortId::of(selector),
+        model.consumer,
+        seeds.1,
+        Some(token_count),
+    ));
+
+    (
+        net,
+        crate::NModularIds {
+            replicator,
+            selector,
+            producer,
+            consumer,
+            replicas,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{CorruptionMode, FaultPlan};
+    use crate::{NModularModel, NSizingReport};
+    use rtft_kpn::{Engine, Fifo, Payload, PjdShaper, Transform};
+    use rtft_rtc::PjdModel;
+    use std::sync::Arc;
+
+    fn tok(seq: u64, payload: Payload) -> Token {
+        Token::new(seq, TimeNs::ZERO, payload)
+    }
+
+    #[test]
+    fn majority_delivers_and_latches_minority() {
+        let mut s = VotingSelector::new("v", vec![4, 4, 4], 3);
+        // Group 0: replica 1 votes a corrupted value first, then the two
+        // healthy replicas agree — the group is decided on their digest and
+        // replica 1 is latched retroactively.
+        assert_eq!(
+            s.try_write(1, tok(0, Payload::U64(99)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(0, tok(0, Payload::U64(7)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(2, tok(0, Payload::U64(7)), TimeNs::from_ms(1)),
+            WriteOutcome::Accepted
+        );
+        let f = s.fault(1).expect("mismatching replica latched");
+        assert_eq!(f.cause, VoteFaultCause::ValueMismatch);
+        assert_eq!(f.group, Some(0));
+        assert_eq!(f.at, TimeNs::from_ms(1));
+        assert!(s.fault(0).is_none() && s.fault(2).is_none());
+        match s.try_read(0, TimeNs::from_ms(2)) {
+            ReadOutcome::Token(t) => assert_eq!(t.payload, Payload::U64(7)),
+            other => panic!("expected the majority token, got {other:?}"),
+        }
+        assert_eq!(s.enqueued(), 1);
+    }
+
+    #[test]
+    fn late_mismatching_vote_latches_after_decision() {
+        let mut s = VotingSelector::new("v", vec![4, 4, 4], 3);
+        assert_eq!(
+            s.try_write(0, tok(0, Payload::U64(7)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        // Quorum of 2 decides the group…
+        assert_eq!(
+            s.try_write(1, tok(0, Payload::U64(7)), TimeNs::ZERO),
+            WriteOutcome::Accepted
+        );
+        // …and the straggler's disagreeing vote latches it.
+        assert_eq!(
+            s.try_write(2, tok(0, Payload::U64(8)), TimeNs::from_ms(5)),
+            WriteOutcome::AcceptedDropped
+        );
+        let f = s.fault(2).expect("late mismatch latched");
+        assert_eq!(f.cause, VoteFaultCause::ValueMismatch);
+        assert_eq!(f.group, Some(0));
+    }
+
+    #[test]
+    fn groups_deliver_in_order_even_when_decided_out_of_order() {
+        let mut s = VotingSelector::new("v", vec![8, 8, 8], 5);
+        // Replica 0 is corrupt: group 0 gets votes 9 (corrupt) and 7 — no
+        // quorum yet. Group 1 reaches quorum first via replicas 0? No:
+        // replica votes are sequential per interface, so build the skew
+        // with replicas 1 and 2 racing ahead.
+        assert_eq!(
+            s.try_write(1, tok(0, Payload::U64(7)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(2, tok(0, Payload::U64(9)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        // Group 1 decided by replicas 1 and 2 before group 0 has a quorum.
+        assert_eq!(
+            s.try_write(1, tok(1, Payload::U64(17)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(2, tok(1, Payload::U64(17)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped,
+            "group 1 decided but must not overtake undecided group 0"
+        );
+        assert!(matches!(s.try_read(0, TimeNs::ZERO), ReadOutcome::Blocked));
+        // Replica 0's group-0 vote breaks the tie → both groups flush, in
+        // order.
+        assert_eq!(
+            s.try_write(0, tok(0, Payload::U64(7)), TimeNs::from_ms(1)),
+            WriteOutcome::Accepted
+        );
+        let seqs: Vec<u64> = std::iter::from_fn(|| match s.try_read(0, TimeNs::from_ms(2)) {
+            ReadOutcome::Token(t) => Some(t.payload.as_u64().unwrap()),
+            ReadOutcome::Blocked => None,
+        })
+        .collect();
+        assert_eq!(seqs, vec![7, 17]);
+        // Replica 2's lone group-0 vote (9) lost to the majority.
+        let f = s.fault(2).expect("group-0 minority latched");
+        assert_eq!(f.cause, VoteFaultCause::ValueMismatch);
+    }
+
+    #[test]
+    fn latched_replica_writes_are_swallowed() {
+        let mut s = VotingSelector::new("v", vec![2, 2, 2], 2);
+        assert_eq!(
+            s.try_write(0, tok(0, Payload::U64(1)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(1, tok(0, Payload::U64(2)), TimeNs::ZERO),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(
+            s.try_write(2, tok(0, Payload::U64(1)), TimeNs::ZERO),
+            WriteOutcome::Accepted
+        );
+        assert!(s.fault(1).is_some());
+        // The latched replica can spam writes without blocking anything.
+        for k in 1..10 {
+            assert_eq!(
+                s.try_write(1, tok(k, Payload::U64(0)), TimeNs::ZERO),
+                WriteOutcome::AcceptedDropped
+            );
+        }
+        assert_eq!(s.healthy_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three replicas")]
+    fn two_way_voting_rejected() {
+        let _ = VotingSelector::new("v", vec![2, 2], 2);
+    }
+
+    /// Pass-through replica factory: stage + shaper, so the end-to-end
+    /// digest equals the producer's payload digest.
+    struct PassThrough {
+        models: Vec<PjdModel>,
+    }
+
+    impl crate::ReplicaFactory for PassThrough {
+        fn build(
+            &self,
+            net: &mut Network,
+            input: PortId,
+            output: PortId,
+            replica: usize,
+            fault: FaultPlan,
+        ) -> Vec<rtft_kpn::NodeId> {
+            let internal = net.add_channel(Fifo::new(format!("r{replica}.mid"), 4));
+            let stage = Transform::new(
+                format!("r{replica}.stage"),
+                input,
+                PortId::of(internal),
+                TimeNs::from_ms(2),
+                TimeNs::ZERO,
+                replica as u64,
+                |p| p,
+            );
+            let stage_id = net.add_process(crate::FaultyProcess::new(stage, fault));
+            let model = self.models[replica].with_delay(TimeNs::from_ms(5));
+            let shaper = net.add_process(PjdShaper::new(
+                format!("r{replica}.shaper"),
+                PortId::of(internal),
+                output,
+                model,
+                0x5eed + replica as u64,
+            ));
+            vec![stage_id, shaper]
+        }
+    }
+
+    fn tri_model() -> NModularModel {
+        NModularModel {
+            producer: PjdModel::from_ms(30.0, 2.0, 0.0),
+            consumer: PjdModel::from_ms(30.0, 2.0, 120.0),
+            replicas: vec![
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 15.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
+        }
+    }
+
+    fn run_voting(faults: Vec<FaultPlan>) -> (Vec<(TimeNs, u64)>, Vec<Option<VoteFaultRecord>>) {
+        let model = tri_model();
+        let sizing = NSizingReport::analyze(&model).expect("bounded");
+        let factory = PassThrough {
+            models: model.replicas.clone(),
+        };
+        let tokens = 150u64;
+        let (net, ids) = build_n_modular_voting(
+            &model,
+            &sizing,
+            tokens,
+            (1, 2),
+            Arc::new(|seq| Payload::U64(seq.wrapping_mul(0x9e37_79b9))),
+            &factory,
+            &faults,
+        );
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(30));
+        let net = engine.network();
+        let arrivals = ids.consumer_arrivals(net).to_vec();
+        let sel = net
+            .channel_as::<VotingSelector>(ids.selector)
+            .expect("voting selector");
+        let faults = (0..3).map(|i| sel.fault(i)).collect();
+        (arrivals, faults)
+    }
+
+    #[test]
+    fn fault_free_voting_delivers_everything_once() {
+        let (arrivals, faults) = run_voting(vec![FaultPlan::healthy(); 3]);
+        assert_eq!(arrivals.len(), 150);
+        assert!(faults.iter().all(|f| f.is_none()), "no false positives");
+        // Every delivered digest matches the producer's payload.
+        for (i, (_, digest)) in arrivals.iter().enumerate() {
+            let expect = Payload::U64((i as u64).wrapping_mul(0x9e37_79b9)).digest();
+            assert_eq!(*digest, expect, "token {i}");
+        }
+    }
+
+    #[test]
+    fn corrupt_replica_is_latched_and_masked() {
+        let (arrivals, faults) = run_voting(vec![
+            FaultPlan::corrupt_at(CorruptionMode::BitFlip(12), TimeNs::from_secs(1)),
+            FaultPlan::healthy(),
+            FaultPlan::healthy(),
+        ]);
+        assert_eq!(arrivals.len(), 150, "corruption fully masked");
+        let f = faults[0].expect("corrupt replica latched");
+        assert_eq!(f.cause, VoteFaultCause::ValueMismatch);
+        assert!(f.at >= TimeNs::from_secs(1));
+        assert!(faults[1].is_none() && faults[2].is_none());
+        // Every delivered value is the *correct* one.
+        for (i, (_, digest)) in arrivals.iter().enumerate() {
+            let expect = Payload::U64((i as u64).wrapping_mul(0x9e37_79b9)).digest();
+            assert_eq!(*digest, expect, "token {i}");
+        }
+    }
+
+    #[test]
+    fn fail_stop_under_voting_is_latched_by_timing_rules() {
+        let (arrivals, faults) = run_voting(vec![
+            FaultPlan::healthy(),
+            FaultPlan::fail_stop_at(TimeNs::from_secs(2)),
+            FaultPlan::healthy(),
+        ]);
+        assert_eq!(arrivals.len(), 150, "2-of-3 quorum still delivers");
+        let f = faults[1].expect("dead replica latched");
+        assert_eq!(f.cause, VoteFaultCause::Divergence);
+    }
+}

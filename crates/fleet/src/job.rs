@@ -9,9 +9,9 @@
 //! analogue of the paper's replica replacement).
 
 use rtft_core::{
-    build_duplicated, build_n_modular, instrument_duplicated, DuplicationConfig, FaultPlan,
-    NModularModel, NReplicator, NSelector, NSizingReport, PayloadGenerator, ReplicaFactory,
-    Replicator, Selector,
+    build_duplicated, build_n_modular, build_n_modular_voting, instrument_duplicated,
+    DuplicationConfig, FaultPlan, NModularModel, NReplicator, NSelector, NSizingReport,
+    PayloadGenerator, ReplicaFactory, Replicator, Selector, VotingSelector,
 };
 use rtft_kpn::threaded::{run_threaded_with, ThreadedConfig};
 use rtft_kpn::{Engine, PjdSink};
@@ -78,6 +78,25 @@ pub enum JobTemplate {
         /// One fault plan per replica.
         faults: Vec<FaultPlan>,
     },
+    /// n-modular redundancy arbitrated by the value-voting selector
+    /// (`build_n_modular_voting`): tolerates silent data corruption in a
+    /// replica minority, not just timing faults. Needs ≥ 3 replicas.
+    NModularVoting {
+        /// Interface timing models.
+        model: NModularModel,
+        /// Derived queue parameters.
+        sizing: NSizingReport,
+        /// Tokens the producer emits.
+        token_count: u64,
+        /// RNG seeds: producer, consumer.
+        seeds: (u64, u64),
+        /// Token payload generator.
+        payload: PayloadGenerator,
+        /// Replica subnetwork factory.
+        factory: SharedFactory,
+        /// One fault plan per replica.
+        faults: Vec<FaultPlan>,
+    },
 }
 
 impl std::fmt::Debug for JobTemplate {
@@ -96,6 +115,15 @@ impl std::fmt::Debug for JobTemplate {
                 .field("replicas", &faults.len())
                 .field("token_count", token_count)
                 .finish_non_exhaustive(),
+            JobTemplate::NModularVoting {
+                token_count,
+                faults,
+                ..
+            } => f
+                .debug_struct("JobTemplate::NModularVoting")
+                .field("replicas", &faults.len())
+                .field("token_count", token_count)
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -105,7 +133,9 @@ impl JobTemplate {
     pub fn replica_count(&self) -> usize {
         match self {
             JobTemplate::Duplicated { .. } => 2,
-            JobTemplate::NModular { faults, .. } => faults.len(),
+            JobTemplate::NModular { faults, .. } | JobTemplate::NModularVoting { faults, .. } => {
+                faults.len()
+            }
         }
     }
 
@@ -113,7 +143,8 @@ impl JobTemplate {
     pub fn expected_tokens(&self) -> u64 {
         match self {
             JobTemplate::Duplicated { cfg, .. } => cfg.token_count.unwrap_or(0),
-            JobTemplate::NModular { token_count, .. } => *token_count,
+            JobTemplate::NModular { token_count, .. }
+            | JobTemplate::NModularVoting { token_count, .. } => *token_count,
         }
     }
 
@@ -134,6 +165,23 @@ impl JobTemplate {
                 factory,
                 faults,
             } => JobTemplate::NModular {
+                model: model.clone(),
+                sizing: sizing.clone(),
+                token_count: *token_count,
+                seeds: *seeds,
+                payload: Arc::clone(payload),
+                factory: Arc::clone(factory),
+                faults: vec![FaultPlan::healthy(); faults.len()],
+            },
+            JobTemplate::NModularVoting {
+                model,
+                sizing,
+                token_count,
+                seeds,
+                payload,
+                factory,
+                faults,
+            } => JobTemplate::NModularVoting {
                 model: model.clone(),
                 sizing: sizing.clone(),
                 token_count: *token_count,
@@ -211,6 +259,77 @@ fn union_faulty(a: impl Iterator<Item = usize>, b: impl Iterator<Item = usize>) 
 pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
     match template {
         JobTemplate::Duplicated { cfg, factory } => execute_duplicated(cfg, factory, runtime),
+        JobTemplate::NModularVoting {
+            model,
+            sizing,
+            token_count,
+            seeds,
+            payload,
+            factory,
+            faults,
+        } => {
+            let (net, ids) = build_n_modular_voting(
+                model,
+                sizing,
+                *token_count,
+                *seeds,
+                Arc::clone(payload),
+                factory.as_ref(),
+                faults,
+            );
+            let expected = *token_count;
+            match runtime {
+                JobRuntime::DiscreteEvent { horizon } => {
+                    let mut engine = Engine::new(net);
+                    engine.run_until(*horizon);
+                    let net = engine.network();
+                    let rep = net
+                        .channel_as::<NReplicator>(ids.replicator)
+                        .expect("n-replicator");
+                    let sel = net
+                        .channel_as::<VotingSelector>(ids.selector)
+                        .expect("voting selector");
+                    JobRunResult {
+                        arrivals: ids.consumer_arrivals(net).len() as u64,
+                        expected,
+                        faulty_replicas: union_faulty(rep.faulty_indices(), sel.faulty_indices()),
+                        registry: MetricsRegistry::new(),
+                        health: None,
+                    }
+                }
+                JobRuntime::Threaded {
+                    deadline,
+                    quiescence_grace,
+                } => {
+                    let registry = MetricsRegistry::new();
+                    let config = ThreadedConfig::new(*deadline)
+                        .with_quiescence_grace(*quiescence_grace)
+                        .with_metrics(&registry);
+                    let run = run_threaded_with(net, &config);
+                    let faulty = run
+                        .channel_as::<NReplicator, _>(ids.replicator.0, |r| {
+                            r.faulty_indices().collect::<Vec<_>>()
+                        })
+                        .unwrap_or_default()
+                        .into_iter()
+                        .chain(
+                            run.channel_as::<VotingSelector, _>(ids.selector.0, |s| {
+                                s.faulty_indices().collect::<Vec<_>>()
+                            })
+                            .unwrap_or_default(),
+                        );
+                    JobRunResult {
+                        arrivals: run
+                            .process_as::<PjdSink>("consumer")
+                            .map_or(0, |s| s.arrivals().len() as u64),
+                        expected,
+                        faulty_replicas: union_faulty(faulty, std::iter::empty()),
+                        registry,
+                        health: None,
+                    }
+                }
+            }
+        }
         JobTemplate::NModular {
             model,
             sizing,

@@ -1,0 +1,397 @@
+//! Link-level fault injection: a lossy, laggy, duplicating channel.
+//!
+//! [`FaultyProcess`](../../rtft_core/struct.FaultyProcess.html) injects
+//! faults *at* a process; real systems also lose, delay and duplicate
+//! messages *between* processes — in the interconnect. [`FaultyLink`] is a
+//! bounded FIFO whose writes pass through a seeded per-token fault draw
+//! (drop / duplicate / delay), so a chaos campaign can perturb the channel
+//! layer below everything the detectors model.
+//!
+//! # Semantics
+//!
+//! * **Drop** — the write completes ([`WriteOutcome::AcceptedDropped`]) but
+//!   the token vanishes.
+//! * **Duplicate** — the token is enqueued twice (the second copy only if
+//!   capacity allows).
+//! * **Delay** — the token is *staged* with a release time drawn uniformly
+//!   from `[0, max_delay]`; it becomes readable only once `now` reaches the
+//!   release time. The link preserves FIFO order: a delayed token holds
+//!   back everything written after it (head-of-line blocking, as on a real
+//!   ordered link).
+//!
+//! # Liveness caveat
+//!
+//! Channels are passive: staged tokens are released by the *next operation
+//! on the link*, because only processes advance time. A token delayed at
+//! the very tail of a finite stream therefore stays staged until some later
+//! write or read attempt touches the channel. Harnesses that use delay
+//! faults should either keep the producer running past the consumer's
+//! expected count or treat missing tail tokens as an (honest, reportable)
+//! consequence of the injected fault.
+
+use crate::channel::{ChannelBehavior, ReadOutcome, WriteOutcome};
+use crate::rng::SplitMix64;
+use crate::token::Token;
+use rtft_rtc::TimeNs;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// What a [`FaultyLink`] does to each token, and when it starts doing it.
+///
+/// Probabilities are evaluated in the fixed order drop → duplicate → delay
+/// with one RNG draw each, so a plan's effect on a given token stream is a
+/// pure function of the seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultPlan {
+    /// Seed of the per-link fault RNG.
+    pub seed: u64,
+    /// Probability a written token is silently dropped.
+    pub drop_p: f64,
+    /// Probability a written token is duplicated.
+    pub duplicate_p: f64,
+    /// Probability a written token is delayed.
+    pub delay_p: f64,
+    /// Upper bound of the uniform extra delay.
+    pub max_delay: TimeNs,
+    /// Faults are injected only at/after this time (before it the link is
+    /// a plain FIFO).
+    pub active_from: TimeNs,
+}
+
+impl LinkFaultPlan {
+    /// A plan that injects nothing (all probabilities zero).
+    pub fn benign(seed: u64) -> Self {
+        LinkFaultPlan {
+            seed,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            max_delay: TimeNs::ZERO,
+            active_from: TimeNs::ZERO,
+        }
+    }
+
+    /// Sets the drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Sets the delay probability and bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_delay(mut self, p: f64, max_delay: TimeNs) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability in [0, 1]");
+        self.delay_p = p;
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Sets the activation time.
+    pub fn from_time(mut self, at: TimeNs) -> Self {
+        self.active_from = at;
+        self
+    }
+}
+
+/// A bounded FIFO that injects seeded per-token link faults on writes.
+#[derive(Debug)]
+pub struct FaultyLink {
+    name: String,
+    /// Tokens ready for the reader.
+    ready: VecDeque<Token>,
+    /// Tokens in transit: `(release_time, token)`, FIFO.
+    staged: VecDeque<(TimeNs, Token)>,
+    capacity: usize,
+    max_fill: usize,
+    plan: LinkFaultPlan,
+    rng: SplitMix64,
+    writes: u64,
+    reads: u64,
+    dropped: u64,
+    duplicated: u64,
+    delayed: u64,
+}
+
+impl FaultyLink {
+    /// Creates a faulty link named `name` with the given capacity and plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize, plan: LinkFaultPlan) -> Self {
+        assert!(capacity > 0, "link capacity must be positive");
+        FaultyLink {
+            name: name.into(),
+            ready: VecDeque::new(),
+            staged: VecDeque::new(),
+            capacity,
+            max_fill: 0,
+            plan,
+            rng: SplitMix64::seed_from_u64(plan.seed),
+            writes: 0,
+            reads: 0,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+        }
+    }
+
+    /// The link's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The plan injected by this link (carries the seed, for report
+    /// headers).
+    pub fn plan(&self) -> &LinkFaultPlan {
+        &self.plan
+    }
+
+    /// Tokens dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Tokens duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Tokens delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
+    /// Tokens currently staged (written but not yet released).
+    pub fn in_transit(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Moves released tokens from staging to the ready queue, preserving
+    /// FIFO order (a still-delayed token blocks everything behind it).
+    fn release(&mut self, now: TimeNs) {
+        while let Some((release, _)) = self.staged.front() {
+            if *release <= now {
+                let (_, tok) = self.staged.pop_front().expect("front exists");
+                self.ready.push_back(tok);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.ready.len() + self.staged.len()
+    }
+}
+
+impl ChannelBehavior for FaultyLink {
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        assert_eq!(iface, 0, "faulty link has a single write interface");
+        self.release(now);
+        if self.occupancy() >= self.capacity {
+            return WriteOutcome::Blocked;
+        }
+        if now < self.plan.active_from {
+            self.ready.push_back(token);
+            self.writes += 1;
+            self.max_fill = self.max_fill.max(self.occupancy());
+            return WriteOutcome::Accepted;
+        }
+        // Fault draws, in fixed order so the stream is seed-deterministic.
+        if self.plan.drop_p > 0.0 && self.rng.next_f64() < self.plan.drop_p {
+            self.dropped += 1;
+            self.writes += 1;
+            return WriteOutcome::AcceptedDropped;
+        }
+        let duplicate = self.plan.duplicate_p > 0.0 && self.rng.next_f64() < self.plan.duplicate_p;
+        let release = if self.plan.delay_p > 0.0 && self.rng.next_f64() < self.plan.delay_p {
+            self.delayed += 1;
+            now + TimeNs::from_ns(self.rng.next_inclusive(self.plan.max_delay.as_ns()))
+        } else {
+            now
+        };
+        self.staged.push_back((release, token.clone()));
+        if duplicate && self.occupancy() < self.capacity {
+            self.duplicated += 1;
+            self.staged.push_back((release, token));
+        }
+        self.writes += 1;
+        self.release(now);
+        self.max_fill = self.max_fill.max(self.occupancy());
+        WriteOutcome::Accepted
+    }
+
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        assert_eq!(iface, 0, "faulty link has a single read interface");
+        self.release(now);
+        match self.ready.pop_front() {
+            Some(t) => {
+                self.reads += 1;
+                ReadOutcome::Token(t)
+            }
+            None => ReadOutcome::Blocked,
+        }
+    }
+
+    fn fill(&self, _iface: usize) -> usize {
+        self.occupancy()
+    }
+
+    fn capacity(&self, _iface: usize) -> usize {
+        self.capacity
+    }
+
+    fn max_fill(&self, _iface: usize) -> usize {
+        self.max_fill
+    }
+
+    fn debug_name(&self) -> Option<&str> {
+        Some(&self.name)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Payload;
+
+    fn tok(seq: u64) -> Token {
+        Token::new(seq, TimeNs::ZERO, Payload::U64(seq))
+    }
+
+    #[test]
+    fn benign_link_is_a_fifo() {
+        let mut l = FaultyLink::new("l", 4, LinkFaultPlan::benign(1));
+        for s in 0..4 {
+            assert_eq!(l.try_write(0, tok(s), TimeNs::ZERO), WriteOutcome::Accepted);
+        }
+        assert_eq!(l.try_write(0, tok(4), TimeNs::ZERO), WriteOutcome::Blocked);
+        for s in 0..4 {
+            match l.try_read(0, TimeNs::ZERO) {
+                ReadOutcome::Token(t) => assert_eq!(t.seq, s),
+                other => panic!("expected token {s}, got {other:?}"),
+            }
+        }
+        assert_eq!(l.dropped() + l.duplicated() + l.delayed(), 0);
+    }
+
+    #[test]
+    fn drop_all_loses_every_token() {
+        let plan = LinkFaultPlan::benign(7).with_drop(1.0);
+        let mut l = FaultyLink::new("l", 4, plan);
+        for s in 0..10 {
+            assert_eq!(
+                l.try_write(0, tok(s), TimeNs::ZERO),
+                WriteOutcome::AcceptedDropped
+            );
+        }
+        assert_eq!(l.dropped(), 10);
+        assert_eq!(l.try_read(0, TimeNs::ZERO), ReadOutcome::Blocked);
+    }
+
+    #[test]
+    fn duplicate_all_doubles_the_stream() {
+        let plan = LinkFaultPlan::benign(7).with_duplicate(1.0);
+        let mut l = FaultyLink::new("l", 8, plan);
+        assert_eq!(l.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        assert_eq!(l.fill(0), 2);
+        assert_eq!(l.duplicated(), 1);
+        let mut seqs = Vec::new();
+        while let ReadOutcome::Token(t) = l.try_read(0, TimeNs::ZERO) {
+            seqs.push(t.seq);
+        }
+        assert_eq!(seqs, vec![0, 0]);
+    }
+
+    #[test]
+    fn delayed_token_released_at_its_time() {
+        let plan = LinkFaultPlan::benign(3).with_delay(1.0, TimeNs::from_ms(10));
+        let mut l = FaultyLink::new("l", 4, plan);
+        assert_eq!(l.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        assert_eq!(l.delayed(), 1);
+        // Not readable before the release time…
+        assert_eq!(l.try_read(0, TimeNs::ZERO), ReadOutcome::Blocked);
+        assert_eq!(l.in_transit(), 1);
+        // …but guaranteed readable at max_delay.
+        match l.try_read(0, TimeNs::from_ms(10)) {
+            ReadOutcome::Token(t) => assert_eq!(t.seq, 0),
+            other => panic!("expected release, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_preserves_fifo_order() {
+        // First token delayed, second written undisturbed *before* the
+        // release time: the second must not overtake the first.
+        let plan = LinkFaultPlan::benign(3).with_delay(0.5, TimeNs::from_ms(10));
+        let mut l = FaultyLink::new("l", 8, plan);
+        for s in 0..8 {
+            assert_eq!(l.try_write(0, tok(s), TimeNs::ZERO), WriteOutcome::Accepted);
+        }
+        let mut seqs = Vec::new();
+        while let ReadOutcome::Token(t) = l.try_read(0, TimeNs::from_ms(10)) {
+            seqs.push(t.seq);
+        }
+        assert_eq!(seqs, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn faults_start_only_at_activation_time() {
+        let plan = LinkFaultPlan::benign(7)
+            .with_drop(1.0)
+            .from_time(TimeNs::from_ms(5));
+        let mut l = FaultyLink::new("l", 8, plan);
+        assert_eq!(l.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
+        assert_eq!(
+            l.try_write(0, tok(1), TimeNs::from_ms(5)),
+            WriteOutcome::AcceptedDropped
+        );
+        assert_eq!(l.dropped(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let run = |seed: u64| -> Vec<u64> {
+            let plan = LinkFaultPlan::benign(seed).with_drop(0.3);
+            let mut l = FaultyLink::new("l", 64, plan);
+            for s in 0..64 {
+                l.try_write(0, tok(s), TimeNs::ZERO);
+            }
+            let mut seqs = Vec::new();
+            while let ReadOutcome::Token(t) = l.try_read(0, TimeNs::ZERO) {
+                seqs.push(t.seq);
+            }
+            seqs
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

@@ -42,6 +42,7 @@
 
 mod channel;
 mod engine;
+mod fault_link;
 mod network;
 mod platform;
 pub mod pool;
@@ -55,6 +56,7 @@ pub use channel::{
     ChannelBehavior, ChannelId, Fifo, PortId, ReadOutcome, UnboundedFifo, WriteOutcome,
 };
 pub use engine::{Engine, RunOutcome};
+pub use fault_link::{FaultyLink, LinkFaultPlan};
 pub use network::{port, ChannelSlot, Network, ProcessSlot};
 pub use platform::{IdealPlatform, Platform, UniformBusPlatform};
 pub use pool::{PoolStats, WorkerPool};

@@ -66,6 +66,7 @@ pub enum TraceEvent {
 pub struct Trace {
     enabled: bool,
     ring: Ring<(TimeNs, TraceEvent)>,
+    seed: Option<u64>,
 }
 
 impl Default for Trace {
@@ -80,6 +81,7 @@ impl Trace {
         Trace {
             enabled: false,
             ring: Ring::new(1),
+            seed: None,
         }
     }
 
@@ -98,7 +100,74 @@ impl Trace {
         Trace {
             enabled: true,
             ring: Ring::new(capacity),
+            seed: None,
         }
+    }
+
+    /// Tags the trace with the campaign seed that drove the run it records.
+    /// The seed travels in every exported header, so a trace can always be
+    /// traced back to the exact scenario that produced it.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the campaign seed on an existing trace (the runtimes call this
+    /// when a harness supplies the seed after construction).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = Some(seed);
+    }
+
+    /// The campaign seed this trace is tagged with, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Exports the trace as a JSON object whose header carries the seed
+    /// (`null` when untagged), retention stats, and the retained events —
+    /// the format every trace-consuming report embeds.
+    pub fn export_json(&self) -> String {
+        let events = self.events().into_iter().map(|(at, ev)| {
+            let o = rtft_obs::json::JsonObject::new().u64_field("t_ns", at.as_ns());
+            match ev {
+                TraceEvent::TokenWritten {
+                    node,
+                    port,
+                    seq,
+                    dropped,
+                } => o
+                    .str_field("ev", "write")
+                    .u64_field("node", node.0 as u64)
+                    .u64_field("ch", port.channel.0 as u64)
+                    .u64_field("iface", port.iface as u64)
+                    .u64_field("seq", seq)
+                    .bool_field("dropped", dropped),
+                TraceEvent::TokenRead { node, port, seq } => o
+                    .str_field("ev", "read")
+                    .u64_field("node", node.0 as u64)
+                    .u64_field("ch", port.channel.0 as u64)
+                    .u64_field("iface", port.iface as u64)
+                    .u64_field("seq", seq),
+                TraceEvent::ReadBlocked { node, port } => o
+                    .str_field("ev", "read_blocked")
+                    .u64_field("node", node.0 as u64)
+                    .u64_field("ch", port.channel.0 as u64),
+                TraceEvent::WriteBlocked { node, port } => o
+                    .str_field("ev", "write_blocked")
+                    .u64_field("node", node.0 as u64)
+                    .u64_field("ch", port.channel.0 as u64),
+                TraceEvent::Halted { node } => {
+                    o.str_field("ev", "halted").u64_field("node", node.0 as u64)
+                }
+            }
+            .finish()
+        });
+        rtft_obs::json::JsonObject::new()
+            .opt_u64_field("seed", self.seed)
+            .u64_field("events", self.len() as u64)
+            .u64_field("evicted", self.dropped())
+            .raw_field("log", &rtft_obs::json::array(events))
+            .finish()
     }
 
     /// Records `event` at `at` if tracing is enabled.
@@ -162,6 +231,30 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert!(t.events()[0].0 <= t.events()[1].0);
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn exported_header_carries_the_seed() {
+        let mut t = Trace::enabled().with_seed(0xC0FFEE);
+        t.push(
+            TimeNs::from_ms(1),
+            TraceEvent::TokenRead {
+                node: NodeId(2),
+                port: PortId::of(ChannelId(3)),
+                seq: 7,
+            },
+        );
+        assert_eq!(t.seed(), Some(0xC0FFEE));
+        let json = t.export_json();
+        assert!(json.starts_with("{\"seed\":12648430,"), "{json}");
+        assert!(json.contains("\"ev\":\"read\""));
+        // An untagged trace exports an explicit null seed.
+        let bare = Trace::enabled();
+        assert!(bare.export_json().starts_with("{\"seed\":null,"));
+        // set_seed after construction is equivalent.
+        let mut late = Trace::enabled();
+        late.set_seed(5);
+        assert_eq!(late.seed(), Some(5));
     }
 
     #[test]

@@ -125,6 +125,150 @@ pub fn selector_stall_bound(consumer: &PjdModel, capacity: u64) -> TimeNs {
     first_delta_reaching(&lower, &ZeroCurve, target, horizon).unwrap_or(TimeNs::MAX)
 }
 
+/// Aggregated analytic detection bounds for one replicated stage — the
+/// single lookup a fault-injection harness queries when classifying an
+/// observed detection latency against the paper's guarantees.
+///
+/// The three detectors of §3.3/§3.4 each carry their own worst-case bound:
+///
+/// * [`fail_stop`](Self::fail_stop) — selector divergence latch for a
+///   fail-stop replica (eq. (8); worst replica, closed form
+///   `(2D − 1)·P + J`);
+/// * [`overflow`](Self::overflow) — replicator full-FIFO latch
+///   ([`replicator_overflow_bound`], worst replicator capacity);
+/// * [`stall`](Self::stall) — selector space-overrun latch
+///   ([`selector_stall_bound`], worst selector capacity).
+///
+/// A permanently silent replica trips *all* of them, so the end-to-end
+/// guarantee for a permanent timing fault is the minimum
+/// ([`permanent_timing`](Self::permanent_timing)). Degraded (slow-by) and
+/// value faults have dedicated lookups.
+#[derive(Debug, Clone)]
+pub struct DetectionBounds {
+    producer: PjdModel,
+    consumer: PjdModel,
+    replicas: Vec<PjdModel>,
+    threshold: u64,
+    /// Worst-case selector divergence-latch latency for a fail-stop replica.
+    pub fail_stop: TimeNs,
+    /// Worst-case replicator overflow-latch latency for a stopped replica.
+    pub overflow: TimeNs,
+    /// Worst-case selector stall-latch latency for a stopped replica.
+    pub stall: TimeNs,
+}
+
+impl DetectionBounds {
+    /// Computes the bound table for a stage with the given producer,
+    /// consumer, replica output models, divergence threshold `D`, and the
+    /// worst (largest) replicator / selector FIFO capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two replicas are supplied.
+    pub fn new(
+        producer: PjdModel,
+        consumer: PjdModel,
+        replicas: Vec<PjdModel>,
+        threshold: u64,
+        replicator_capacity: u64,
+        selector_capacity: u64,
+    ) -> Self {
+        assert!(replicas.len() >= 2, "detection needs at least two replicas");
+        let fail_stop = replicas
+            .iter()
+            .map(|r| fail_stop_detection_bound(&[*r, *r], threshold))
+            .max()
+            .expect("non-empty replica set");
+        let overflow = replicator_overflow_bound(&producer, replicator_capacity);
+        let stall = selector_stall_bound(&consumer, selector_capacity);
+        DetectionBounds {
+            producer,
+            consumer,
+            replicas,
+            threshold,
+            fail_stop,
+            overflow,
+            stall,
+        }
+    }
+
+    /// The divergence threshold `D` the bounds were computed for.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The producer model feeding the replicator.
+    pub fn producer(&self) -> &PjdModel {
+        &self.producer
+    }
+
+    /// The consumer model draining the selector.
+    pub fn consumer(&self) -> &PjdModel {
+        &self.consumer
+    }
+
+    /// End-to-end guarantee for a *permanent* timing fault (fail-stop): the
+    /// replica stops both consuming and producing, so every detector races
+    /// and the first to its own bound latches — the minimum of the three.
+    pub fn permanent_timing(&self) -> TimeNs {
+        self.fail_stop.min(self.overflow).min(self.stall)
+    }
+
+    /// Worst-case divergence-latch latency for a replica degraded to
+    /// `factor ×` its nominal period (eq. (7) with residual upper curve
+    /// `ᾱ^u = α^u` of the slowed model). `None` when the slow-down is too
+    /// mild for the healthy replicas to ever build the `2D − 1` surplus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0` (that is not a degradation).
+    pub fn slow_by(&self, factor: f64) -> Option<TimeNs> {
+        assert!(factor > 1.0, "slow-down factor must exceed 1");
+        let surplus = detection_surplus(self.threshold);
+        let mut worst: Option<TimeNs> = None;
+        for (j, faulty) in self.replicas.iter().enumerate() {
+            let stretched = TimeNs::from_ns((faulty.period.as_ns() as f64 * factor).ceil() as u64);
+            let residual = PjdModel::new(stretched, faulty.jitter, faulty.delay);
+            let horizon = residual.period * (surplus + 8) + residual.jitter + TimeNs::from_secs(1);
+            // Any healthy replica latching suffices, so the guarantee for
+            // faulty replica `j` is the tightest healthy bound; the table
+            // entry is the worst such guarantee over all choices of `j`.
+            let tightest = self
+                .replicas
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != j)
+                .filter_map(|(_, healthy)| {
+                    degraded_detection_bound(healthy, &residual.upper(), self.threshold, horizon)
+                })
+                .min()?;
+            worst = Some(worst.map_or(tightest, |w: TimeNs| w.max(tightest)));
+        }
+        worst
+    }
+
+    /// Heuristic latch bound for *value* faults under an n-modular voting
+    /// selector. **Not from the paper** (which detects timing faults only):
+    /// a corrupted group is decided once every replica has voted on it, and
+    /// replicas can trail the corrupter by at most `D` groups before the
+    /// timing detectors latch them first, so the vote completes within
+    /// `(D + 1)` periods plus jitter of the slowest replica.
+    pub fn value_vote(&self) -> TimeNs {
+        let slowest = self
+            .replicas
+            .iter()
+            .max_by_key(|r| r.period)
+            .expect("non-empty replica set");
+        let jitter = self
+            .replicas
+            .iter()
+            .map(|r| r.jitter)
+            .max()
+            .expect("non-empty replica set");
+        slowest.period * (self.threshold + 1) + jitter
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +372,83 @@ mod tests {
             assert!(b > prev, "bound must grow with D");
             prev = b;
         }
+    }
+
+    fn mjpeg_bounds() -> DetectionBounds {
+        DetectionBounds::new(
+            PjdModel::from_ms(30.0, 2.0, 0.0),
+            PjdModel::from_ms(30.0, 2.0, 120.0),
+            vec![
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
+            4,
+            3,
+            6,
+        )
+    }
+
+    #[test]
+    fn bound_table_matches_closed_forms() {
+        let b = mjpeg_bounds();
+        // Divergence: worst replica ⟨30, 30⟩, D = 4 ⇒ 7·30 + 30 = 240.
+        assert_eq!(b.fail_stop, ms(240));
+        // Overflow: producer ⟨30, 2⟩ must emit 4 tokens; α^l guarantees
+        // them only after 4·30 + 2 = 122 ms.
+        assert_eq!(b.overflow, ms(122));
+        // Stall: consumer must perform 7 reads; 7·30 + 2 = 212 ms.
+        assert_eq!(b.stall, ms(212));
+        // The end-to-end permanent-fault guarantee is the fastest detector.
+        assert_eq!(b.permanent_timing(), ms(122));
+        assert_eq!(b.threshold(), 4);
+        assert_eq!(b.producer().period, ms(30));
+        assert_eq!(b.consumer().delay, ms(120));
+    }
+
+    #[test]
+    fn slow_by_sits_between_healthy_and_fail_stop() {
+        let b = mjpeg_bounds();
+        // A 3× slow-down is detectable but strictly slower than fail-stop
+        // (the limping replica still contributes residual tokens).
+        let degraded = b.slow_by(3.0).expect("3x slow-down is detectable");
+        assert!(degraded > b.fail_stop, "{degraded:?} vs {:?}", b.fail_stop);
+        assert!(degraded < ms(2_000));
+        // A harsher slow-down is caught faster than a milder one.
+        let harsher = b.slow_by(10.0).expect("10x slow-down is detectable");
+        assert!(harsher < degraded);
+        // A 1.01× drift never builds the 2D−1 surplus within the horizon.
+        assert_eq!(b.slow_by(1.01), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow-down factor must exceed 1")]
+    fn slow_by_rejects_speedups() {
+        mjpeg_bounds().slow_by(0.5);
+    }
+
+    #[test]
+    fn value_vote_bound_tracks_slowest_replica() {
+        let b = mjpeg_bounds();
+        // (D + 1)·P_max + J_max = 5·30 + 30 = 180 ms.
+        assert_eq!(b.value_vote(), ms(180));
+    }
+
+    #[test]
+    fn sizing_report_bridges_to_bounds() {
+        use crate::sizing::{DuplicationModel, SizingReport};
+        let model = DuplicationModel::symmetric(
+            PjdModel::from_ms(30.0, 2.0, 0.0),
+            PjdModel::from_ms(30.0, 2.0, 0.0),
+            [
+                PjdModel::from_ms(30.0, 5.0, 0.0),
+                PjdModel::from_ms(30.0, 30.0, 0.0),
+            ],
+        );
+        let report = SizingReport::analyze(&model).expect("bounded model");
+        let b = report.detection_bounds(&model);
+        // Table 2: D = 4 ⇒ the divergence bound is the 240 ms of eq. (8).
+        assert_eq!(b.fail_stop, report.selector_detection_bound);
+        assert_eq!(b.fail_stop, ms(240));
+        assert!(b.permanent_timing() <= b.fail_stop);
     }
 }

@@ -258,6 +258,21 @@ impl SizingReport {
     pub fn selector_queue_size(&self) -> u64 {
         self.selector_capacity[0].max(self.selector_capacity[1])
     }
+
+    /// The full analytic bound table for this sizing — the lookup a
+    /// fault-injection harness classifies observed detection latencies
+    /// against. Conservative: uses the worst (largest) replicator and
+    /// selector capacities over both replicas.
+    pub fn detection_bounds(&self, model: &DuplicationModel) -> crate::detection::DetectionBounds {
+        crate::detection::DetectionBounds::new(
+            model.producer,
+            model.consumer,
+            model.replica_out.to_vec(),
+            self.selector_threshold,
+            self.replicator_capacity[0].max(self.replicator_capacity[1]),
+            self.selector_queue_size(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ pub mod topology;
 pub use clock::{ClockDomain, SccClocks, Tsc, TscBank};
 pub use mapping::{low_contention_pipeline, row_major, snake_order, Mapping};
 pub use mpb::{MpbAllocator, MpbExhausted, MpbRegion};
-pub use noc::{NocModel, NocTraffic, MAX_CHUNK_BYTES, MPB_BYTES_PER_CORE};
+pub use noc::{NocFaultPlan, NocModel, NocTraffic, MAX_CHUNK_BYTES, MPB_BYTES_PER_CORE};
 pub use optimize::{duplicated_network_flows, optimize_mapping, OptimizedMapping};
 pub use platform::SccPlatform;
 pub use rcce::{RcceWorld, RecvOutcome, SendHandle};

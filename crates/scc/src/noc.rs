@@ -23,7 +23,7 @@
 //! (a 10 KB frame transfers in ~10 µs vs a 30 ms period).
 
 use crate::clock::SccClocks;
-use crate::topology::{CoreId, TileId};
+use crate::topology::{route_links, CoreId, Link, TileId};
 use rtft_obs::{Counter, Histogram, MetricsRegistry};
 use rtft_rtc::TimeNs;
 
@@ -133,6 +133,105 @@ impl NocModel {
     }
 }
 
+/// NoC-level fault injection: extra latency and link-down windows folded
+/// into the message-latency model.
+///
+/// A chaos campaign perturbs the interconnect *below* everything the
+/// detectors model: uniform congestion (`extra_per_chunk` /
+/// `extra_per_hop`), per-link degradation, and link outages during which a
+/// message needing the link stalls until the window closes. The plan is
+/// pure data — evaluating it never draws randomness — so identical plans
+/// yield identical latencies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NocFaultPlan {
+    /// Extra latency added to every chunk (congestion floor).
+    pub extra_per_chunk: TimeNs,
+    /// Extra latency added per mesh hop, per chunk.
+    pub extra_per_hop: TimeNs,
+    /// Per-link degradation: each chunk whose x-y route crosses the link
+    /// pays the extra latency.
+    pub degraded_links: Vec<(Link, TimeNs)>,
+    /// Link outages `(link, from, until)`: a message departing at `now ∈
+    /// [from, until)` whose route crosses the link stalls until `until`.
+    pub down_windows: Vec<(Link, TimeNs, TimeNs)>,
+}
+
+impl NocFaultPlan {
+    /// A plan with uniform per-chunk and per-hop extra latency only.
+    pub fn uniform(extra_per_chunk: TimeNs, extra_per_hop: TimeNs) -> Self {
+        NocFaultPlan {
+            extra_per_chunk,
+            extra_per_hop,
+            ..Default::default()
+        }
+    }
+
+    /// Adds a degraded link.
+    pub fn degrade(mut self, link: Link, extra: TimeNs) -> Self {
+        self.degraded_links.push((link, extra));
+        self
+    }
+
+    /// Adds a link-down window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn down(mut self, link: Link, from: TimeNs, until: TimeNs) -> Self {
+        assert!(until > from, "down window must be non-empty");
+        self.down_windows.push((link, from, until));
+        self
+    }
+
+    /// `true` if the plan perturbs nothing.
+    pub fn is_benign(&self) -> bool {
+        *self == NocFaultPlan::default()
+    }
+
+    /// The stall a message departing at `now` over `route` suffers from
+    /// link-down windows (zero when no crossed link is down).
+    pub fn departure_stall(&self, route: &[Link], now: TimeNs) -> TimeNs {
+        let mut release = now;
+        for (link, from, until) in &self.down_windows {
+            if now >= *from && now < *until && route.contains(link) {
+                release = release.max(*until);
+            }
+        }
+        release - now
+    }
+}
+
+impl NocModel {
+    /// [`message_latency`](Self::message_latency) under a fault plan: base
+    /// latency plus uniform and per-link extras, plus the departure stall
+    /// if a crossed link is down at `now`.
+    ///
+    /// With a benign plan this equals the unperturbed latency exactly.
+    pub fn message_latency_under(
+        &self,
+        plan: &NocFaultPlan,
+        from: CoreId,
+        to: CoreId,
+        bytes: usize,
+        now: TimeNs,
+    ) -> TimeNs {
+        let base = self.message_latency(from, to, bytes);
+        if plan.is_benign() {
+            return base;
+        }
+        let chunks = self.chunks(bytes) as u64;
+        let hops = from.tile().hops_to(to.tile()) as u64;
+        let mut extra = plan.extra_per_chunk * chunks + plan.extra_per_hop * (chunks * hops);
+        let route = route_links(from.tile(), to.tile());
+        for (link, degrade) in &plan.degraded_links {
+            if route.contains(link) {
+                extra += *degrade * chunks;
+            }
+        }
+        plan.departure_stall(&route, now) + base + extra
+    }
+}
+
 /// Traffic accounting handles for the NoC model — the emulation-side
 /// equivalent of per-link flit counters. Resolve once with
 /// [`NocTraffic::from_registry`] and pass to
@@ -230,6 +329,85 @@ mod tests {
         let one = m.message_latency(CoreId::new(0), CoreId::new(10), 3 * 1024);
         let four = m.message_latency(CoreId::new(0), CoreId::new(10), 12 * 1024);
         assert_eq!(four.as_ns(), one.as_ns() * 4);
+    }
+
+    #[test]
+    fn benign_fault_plan_changes_nothing() {
+        let m = model();
+        let plan = NocFaultPlan::default();
+        assert!(plan.is_benign());
+        for bytes in [0usize, 100, 3 * 1024, 76_800] {
+            assert_eq!(
+                m.message_latency_under(
+                    &plan,
+                    CoreId::new(0),
+                    CoreId::new(47),
+                    bytes,
+                    TimeNs::ZERO
+                ),
+                m.message_latency(CoreId::new(0), CoreId::new(47), bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_extras_scale_with_chunks_and_hops() {
+        let m = model();
+        let plan = NocFaultPlan::uniform(TimeNs::from_us(10), TimeNs::from_us(1));
+        let from = CoreId::new(0);
+        let to = CoreId::new(47); // 8 hops
+        let bytes = 12 * 1024; // 4 chunks
+        let base = m.message_latency(from, to, bytes);
+        let faulty = m.message_latency_under(&plan, from, to, bytes, TimeNs::ZERO);
+        // 4 chunks × 10 µs + 4 chunks × 8 hops × 1 µs.
+        assert_eq!(faulty, base + TimeNs::from_us(40) + TimeNs::from_us(32));
+    }
+
+    #[test]
+    fn degraded_link_charges_only_routes_crossing_it() {
+        use crate::topology::{route_links, TileId};
+        let m = model();
+        let link = route_links(TileId::at(0, 0), TileId::at(1, 0))[0];
+        let plan = NocFaultPlan::default().degrade(link, TimeNs::from_us(100));
+        // CoreId 0 is on tile (0,0); CoreId 2 on tile (1,0): crosses.
+        let crossing =
+            m.message_latency_under(&plan, CoreId::new(0), CoreId::new(2), 1024, TimeNs::ZERO);
+        assert_eq!(
+            crossing,
+            m.message_latency(CoreId::new(0), CoreId::new(2), 1024) + TimeNs::from_us(100)
+        );
+        // Same-tile transfer does not cross the link.
+        let local =
+            m.message_latency_under(&plan, CoreId::new(0), CoreId::new(1), 1024, TimeNs::ZERO);
+        assert_eq!(
+            local,
+            m.message_latency(CoreId::new(0), CoreId::new(1), 1024)
+        );
+    }
+
+    #[test]
+    fn down_window_stalls_departures_inside_it() {
+        use crate::topology::{route_links, TileId};
+        let m = model();
+        let link = route_links(TileId::at(0, 0), TileId::at(1, 0))[0];
+        let plan = NocFaultPlan::default().down(link, TimeNs::from_ms(10), TimeNs::from_ms(20));
+        let base = m.message_latency(CoreId::new(0), CoreId::new(2), 512);
+        // Departing mid-window: stalls until 20 ms.
+        let stalled = m.message_latency_under(
+            &plan,
+            CoreId::new(0),
+            CoreId::new(2),
+            512,
+            TimeNs::from_ms(12),
+        );
+        assert_eq!(stalled, TimeNs::from_ms(8) + base);
+        // Before and after the window: unperturbed.
+        for t in [TimeNs::ZERO, TimeNs::from_ms(20), TimeNs::from_ms(30)] {
+            assert_eq!(
+                m.message_latency_under(&plan, CoreId::new(0), CoreId::new(2), 512, t),
+                base
+            );
+        }
     }
 
     #[test]

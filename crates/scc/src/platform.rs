@@ -8,7 +8,7 @@
 //! at the token periods of interest.
 
 use crate::mapping::Mapping;
-use crate::noc::NocModel;
+use crate::noc::{NocFaultPlan, NocModel};
 use crate::topology::CoreId;
 use rtft_kpn::{ChannelId, NodeId, Platform};
 use rtft_rtc::TimeNs;
@@ -21,6 +21,8 @@ pub struct SccPlatform {
     routes: HashMap<ChannelId, (CoreId, CoreId)>,
     /// Optional per-core compute scaling (e.g. emulating a derated tile).
     core_scale: HashMap<NodeId, f64>,
+    /// Stationary NoC perturbation folded into every routed transfer.
+    noc_faults: NocFaultPlan,
 }
 
 impl SccPlatform {
@@ -30,6 +32,7 @@ impl SccPlatform {
             noc,
             routes: HashMap::new(),
             core_scale: HashMap::new(),
+            noc_faults: NocFaultPlan::default(),
         }
     }
 
@@ -68,12 +71,40 @@ impl SccPlatform {
     pub fn noc(&self) -> &NocModel {
         &self.noc
     }
+
+    /// Applies a [`NocFaultPlan`] to every routed transfer. The
+    /// [`Platform`] trait has no notion of current time, so only the
+    /// plan's *stationary* perturbations (uniform and per-link extras)
+    /// take effect here; timed down-windows are evaluated as of `t = 0`.
+    /// Harnesses that need windowed outages call
+    /// [`NocModel::message_latency_under`] directly.
+    pub fn with_noc_faults(mut self, plan: NocFaultPlan) -> Self {
+        self.noc_faults = plan;
+        self
+    }
+
+    /// The active NoC perturbation plan (benign by default).
+    pub fn noc_faults(&self) -> &NocFaultPlan {
+        &self.noc_faults
+    }
 }
 
 impl Platform for SccPlatform {
     fn transfer_latency(&self, _writer: NodeId, channel: ChannelId, bytes: usize) -> TimeNs {
         match self.routes.get(&channel) {
-            Some((from, to)) => self.noc.message_latency(*from, *to, bytes),
+            Some((from, to)) => {
+                if self.noc_faults.is_benign() {
+                    self.noc.message_latency(*from, *to, bytes)
+                } else {
+                    self.noc.message_latency_under(
+                        &self.noc_faults,
+                        *from,
+                        *to,
+                        bytes,
+                        TimeNs::ZERO,
+                    )
+                }
+            }
             None => TimeNs::ZERO,
         }
     }
@@ -149,6 +180,31 @@ mod tests {
                 "transfer cost must be tiny: {t}"
             );
         }
+    }
+
+    #[test]
+    fn noc_fault_plan_inflates_routed_transfers() {
+        let route = (CoreId::new(0), CoreId::new(47));
+        let ch = ChannelId(0);
+        let mut healthy = SccPlatform::paper_boot();
+        healthy.route(ch, route.0, route.1);
+        let base = healthy.transfer_latency(NodeId(0), ch, 10 * 1024);
+
+        let mut degraded = SccPlatform::paper_boot().with_noc_faults(NocFaultPlan::uniform(
+            TimeNs::from_us(10),
+            TimeNs::from_us(5),
+        ));
+        degraded.route(ch, route.0, route.1);
+        // 10 KB = 4 chunks, 0 → 47 = 8 hops: 4·10 µs + 4·8·5 µs = 200 µs.
+        assert_eq!(
+            degraded.transfer_latency(NodeId(0), ch, 10 * 1024),
+            base + TimeNs::from_us(200)
+        );
+        // Unrouted channels stay free even under a fault plan.
+        assert_eq!(
+            degraded.transfer_latency(NodeId(0), ChannelId(9), 1024),
+            TimeNs::ZERO
+        );
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! A deterministic chaos campaign — the CI smoke for `rtft-chaos`.
+//!
+//! Generates 60 seeded scenarios spanning the full fault palette (fail-stop,
+//! slow-down, corruption, transient/intermittent stalls, omission, plus
+//! fault-free runs) across both redundancy structures and all three
+//! platforms, runs the campaign twice, and checks the chaos harness's two
+//! hard promises:
+//!
+//! 1. **Determinism** — both runs serialise to byte-identical JSON;
+//! 2. **No silent permanent faults** — every scenario whose fault
+//!    permanently degrades a replica's timing is `detected-in-bound`.
+//!
+//! Exits non-zero on any violation, so CI can run it as a smoke test:
+//!
+//! ```sh
+//! cargo run --release -p rtft-examples --bin chaos
+//! ```
+
+use rtft_chaos::{Campaign, OutcomeClass};
+
+fn main() {
+    let seed = 0xDAC14u64;
+    let count = 60u64;
+    println!("chaos: campaign seed {seed:#x}, {count} scenarios");
+
+    let campaign = Campaign::generate(seed, count);
+    let report = campaign.run();
+    let replay = Campaign::generate(seed, count).run();
+
+    let mut violations = 0u64;
+    if report.to_json() != replay.to_json() {
+        println!("FAIL: replay of the same campaign produced a different report");
+        violations += 1;
+    }
+
+    for class in OutcomeClass::ALL {
+        println!("  {:>18}: {}", class.label(), report.count(class));
+    }
+    let all = report.latency_snapshot("fail-stop");
+    if all.count > 0 {
+        println!(
+            "  fail-stop detection latency: p50 {} ms, p99 {} ms",
+            all.p50 / 1_000_000,
+            all.p99 / 1_000_000
+        );
+    }
+
+    for outcome in &report.outcomes {
+        let s = &outcome.scenario;
+        if let Some(fault) = s.fault {
+            if fault.is_permanent_timing() && outcome.class != OutcomeClass::DetectedInBound {
+                println!(
+                    "FAIL: scenario {} ({} {} on {}, {}) -> {}",
+                    s.id,
+                    s.app.profile().name,
+                    fault.kind_label(),
+                    s.platform.label(),
+                    s.redundancy.label(),
+                    outcome.class.label()
+                );
+                violations += 1;
+            }
+        }
+        if outcome.class == OutcomeClass::FalsePositive {
+            println!("FAIL: scenario {} latched a healthy replica", s.id);
+            violations += 1;
+        }
+    }
+
+    if violations > 0 {
+        println!("chaos: {violations} violation(s)");
+        std::process::exit(1);
+    }
+    println!("chaos: deterministic, no silent permanent faults, no false positives");
+}

@@ -1,0 +1,124 @@
+//! Campaign-level acceptance tests for `rtft-chaos` (ISSUE 3).
+//!
+//! These pin the chaos harness's contract at the scale the issue demands:
+//! a ≥200-scenario campaign whose report is byte-identical across runs,
+//! in which every single permanent timing fault is caught inside its
+//! analytic bound, every value-corruption under the voting selector is
+//! caught or masked, and no healthy replica is ever latched.
+
+use rtft_chaos::{Campaign, OutcomeClass, Redundancy};
+
+const CAMPAIGN_SEED: u64 = 0xDAC1_4FA7;
+const CAMPAIGN_SIZE: u64 = 200;
+
+#[test]
+fn campaign_is_deterministic_across_runs() {
+    let a = Campaign::generate(CAMPAIGN_SEED, CAMPAIGN_SIZE).run();
+    let b = Campaign::generate(CAMPAIGN_SEED, CAMPAIGN_SIZE).run();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "same campaign seed must serialise byte-identically"
+    );
+}
+
+#[test]
+fn campaign_respects_the_analytic_guarantees() {
+    let report = Campaign::generate(CAMPAIGN_SEED, CAMPAIGN_SIZE).run();
+    assert_eq!(report.outcomes.len(), CAMPAIGN_SIZE as usize);
+
+    let mut permanent = 0u64;
+    let mut corrupt_voting = 0u64;
+    let mut healthy = 0u64;
+    for outcome in &report.outcomes {
+        let s = &outcome.scenario;
+        match s.fault {
+            // The paper's guarantee: a permanent timing fault (fail-stop,
+            // or a slow-down the shaper cannot hide) is detected within
+            // the closed-form bound — on every platform.
+            Some(f) if f.is_permanent_timing() => {
+                permanent += 1;
+                assert_eq!(
+                    outcome.class,
+                    OutcomeClass::DetectedInBound,
+                    "scenario {}: permanent timing fault escaped its bound: {outcome:?}",
+                    s.id
+                );
+                let bound = outcome.bound.expect("permanent faults carry a bound");
+                let latency = outcome.detection_latency.expect("latched");
+                assert!(latency.as_ns() > 0, "scenario {}: zero latency", s.id);
+                // `DetectedInBound` already includes the activation grace;
+                // sanity-check the raw relation too.
+                assert!(
+                    latency.as_ns() <= bound.as_ns() + 10 * bound.as_ns(),
+                    "scenario {}: latency {latency} wildly above bound {bound}",
+                    s.id
+                );
+            }
+            // The voting selector's guarantee: silent data corruption in a
+            // replica minority is latched (or outvoted) — never silent.
+            Some(f) if f.is_value() && s.redundancy == Redundancy::TriVoting => {
+                corrupt_voting += 1;
+                assert_ne!(
+                    outcome.class,
+                    OutcomeClass::SilentFailure,
+                    "scenario {}: corruption slipped through the voting selector: {outcome:?}",
+                    s.id
+                );
+                assert_ne!(outcome.class, OutcomeClass::FalsePositive, "{outcome:?}");
+                assert_eq!(
+                    outcome.value_errors, 0,
+                    "scenario {}: voting delivered corrupted values: {outcome:?}",
+                    s.id
+                );
+            }
+            // Fault-free surveillance runs: any latch is a false positive,
+            // any loss is a silent failure; both are forbidden.
+            None => {
+                healthy += 1;
+                assert_eq!(
+                    outcome.class,
+                    OutcomeClass::Masked,
+                    "scenario {}: fault-free run misbehaved: {outcome:?}",
+                    s.id
+                );
+            }
+            _ => {}
+        }
+        // Universally: healthy replicas are never latched.
+        assert_ne!(
+            outcome.class,
+            OutcomeClass::FalsePositive,
+            "scenario {}: healthy replica latched: {outcome:?}",
+            s.id
+        );
+    }
+    // The palette must actually exercise each guarantee at this size.
+    assert!(
+        permanent >= 30,
+        "only {permanent} permanent-fault scenarios"
+    );
+    assert!(
+        corrupt_voting >= 10,
+        "only {corrupt_voting} corrupt-voting scenarios"
+    );
+    assert!(healthy >= 10, "only {healthy} fault-free scenarios");
+}
+
+#[test]
+fn report_json_carries_the_campaign_structure() {
+    let report = Campaign::generate(7, 30).run();
+    let json = report.to_json();
+    // Header, per-class table, outcome rows, embedded metrics registry.
+    assert!(json.contains("\"schema\":\"rtft-chaos-campaign-v1\""));
+    assert!(json.contains("\"campaign_seed\":7"));
+    assert!(json.contains("\"classes\":{"));
+    assert!(json.contains("\"detected-in-bound\":"));
+    assert!(json.contains("\"outcomes\":["));
+    assert!(json.contains("\"metrics\":{\"counters\":{"));
+    assert!(json.contains("\"chaos.scenarios\":30"));
+    // The bench line is a one-object summary of the same run.
+    let bench = report.bench_line();
+    assert!(bench.contains("\"bench\":\"chaos_campaign\""));
+    assert!(bench.contains("\"scenarios\":30"));
+}

@@ -1,0 +1,114 @@
+//! Error-path and property tests for the SCC model (`rtft-scc`).
+//!
+//! The happy paths are covered by the crate's own unit tests; these pin
+//! the failure modes — MPB share exhaustion — and the latency model's
+//! ordering properties, with and without an active NoC fault plan.
+
+use rtft_rtc::TimeNs;
+use rtft_scc::{CoreId, MpbAllocator, MpbExhausted, NocFaultPlan, NocModel};
+
+const MPB_SHARE: usize = 8 * 1024;
+
+#[test]
+fn mpb_allocator_reports_exhaustion_with_the_remaining_budget() {
+    let mut alloc = MpbAllocator::new();
+    let core = CoreId::new(5);
+    alloc.alloc(core, 6 * 1024).expect("first fits");
+    assert_eq!(alloc.free(core), MPB_SHARE - 6 * 1024);
+
+    let err = alloc.alloc(core, 3 * 1024).expect_err("must exhaust");
+    assert_eq!(
+        err,
+        MpbExhausted {
+            core,
+            requested: 3 * 1024,
+            available: 2 * 1024,
+        }
+    );
+    // The display string names the core and both byte counts.
+    let msg = err.to_string();
+    assert!(msg.contains("3072"), "{msg}");
+    assert!(msg.contains("2048"), "{msg}");
+
+    // A failed allocation must not consume budget …
+    assert_eq!(alloc.used(core), 6 * 1024);
+    // … and the exact remainder still fits.
+    alloc.alloc(core, 2 * 1024).expect("remainder fits");
+    assert_eq!(alloc.free(core), 0);
+    // Other cores' shares are independent.
+    assert_eq!(alloc.free(CoreId::new(6)), MPB_SHARE);
+    let err = alloc.alloc(core, 1).expect_err("share is full");
+    assert_eq!(err.available, 0);
+}
+
+/// Cores along the mesh's bottom row, in increasing hop distance from
+/// core 0 (even core ids 0, 2, 4, … sit on tiles x = 0, 1, 2, … of row 0).
+fn row_cores() -> Vec<CoreId> {
+    (0..6).map(|x| CoreId::new(2 * x)).collect()
+}
+
+#[test]
+fn message_latency_is_monotone_in_bytes_and_hops() {
+    let noc = NocModel::paper_boot();
+    let sizes = [0usize, 1, 512, 3 * 1024, 4 * 1024, 10 * 1024, 64 * 1024];
+    let cores = row_cores();
+
+    // Monotone in message size, for near and far destinations alike.
+    for to in [CoreId::new(2), CoreId::new(47)] {
+        let mut last = TimeNs::ZERO;
+        for bytes in sizes {
+            let lat = noc.message_latency(CoreId::new(0), to, bytes);
+            assert!(
+                lat >= last,
+                "latency to {to} shrank: {bytes} bytes -> {lat} (was {last})"
+            );
+            last = lat;
+        }
+    }
+
+    // Monotone in hop distance, for every chunk count.
+    for bytes in [1usize, 3 * 1024, 10 * 1024] {
+        let mut last = TimeNs::ZERO;
+        for to in &cores {
+            let lat = noc.message_latency(CoreId::new(0), *to, bytes);
+            assert!(
+                lat >= last,
+                "{bytes} bytes: latency shrank moving further out to {to}"
+            );
+            last = lat;
+        }
+    }
+}
+
+#[test]
+fn uniform_noc_faults_preserve_monotonicity_and_only_add_latency() {
+    let noc = NocModel::paper_boot();
+    // Per-link extras can break hop monotonicity by construction (one bad
+    // link makes a *shorter* route through it dearer), so the property is
+    // stated for the uniform plan.
+    let plan = NocFaultPlan::uniform(TimeNs::from_us(10), TimeNs::from_us(5));
+    let cores = row_cores();
+
+    for bytes in [1usize, 3 * 1024, 10 * 1024] {
+        let mut last = TimeNs::ZERO;
+        for to in &cores {
+            let base = noc.message_latency(CoreId::new(0), *to, bytes);
+            let under = noc.message_latency_under(&plan, CoreId::new(0), *to, bytes, TimeNs::ZERO);
+            assert!(under >= base, "a fault plan must never speed the NoC up");
+            assert!(
+                under >= last,
+                "{bytes} bytes: degraded latency shrank at {to}"
+            );
+            last = under;
+        }
+    }
+
+    // And in bytes, under the same plan.
+    let mut last = TimeNs::ZERO;
+    for bytes in [0usize, 1, 3 * 1024, 10 * 1024, 64 * 1024] {
+        let under =
+            noc.message_latency_under(&plan, CoreId::new(0), CoreId::new(47), bytes, TimeNs::ZERO);
+        assert!(under >= last, "degraded latency shrank at {bytes} bytes");
+        last = under;
+    }
+}
