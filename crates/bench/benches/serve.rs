@@ -1,0 +1,152 @@
+//! E11: serve ingestion throughput — tokens/sec and end-to-end p99 flush
+//! latency versus concurrent connections.
+//!
+//! Each connection is a real loopback TCP client streaming ADPCM-profile
+//! token batches into its own duplicated pipeline and waiting for every
+//! `Output` frame to come back: the measured latency covers framing, the
+//! socket round trip, fleet admission, the DES run of the duplicated
+//! network, and the notifier push — the full serving path. Saturated
+//! admission shows up as explicit `Busy` retries (counted, never lost
+//! tokens), so the bench also exercises the backpressure path under load.
+//!
+//! Run with `cargo bench --bench serve`; emits a machine-readable
+//! `BENCH_serve.json:` line for trend tracking.
+
+use rtft_apps::networks::App;
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_fleet::FleetConfig;
+use rtft_obs::json::{array, JsonObject};
+use rtft_obs::Histogram;
+use rtft_serve::{workload, Client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+const CONNECTIONS: [usize; 3] = [1, 4, 16];
+const FLUSHES_PER_CONNECTION: usize = 4;
+const TOKENS_PER_FLUSH: usize = 16;
+
+struct ScalePoint {
+    connections: usize,
+    tokens_per_sec: f64,
+    p99_ms: f64,
+    busy_retries: u64,
+}
+
+fn run_point(connections: usize) -> ScalePoint {
+    let cfg = ServerConfig {
+        fleet: FleetConfig {
+            workers: 4,
+            pending_capacity: connections.max(4),
+            max_replacements: 0,
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind");
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, &format!("bench-{c}")).expect("connect");
+                let stream = client
+                    .open_stream(App::Adpcm, 2)
+                    .expect("open")
+                    .expect_stream();
+                let latency = Histogram::new();
+                let mut delivered = 0u64;
+                let mut busy = 0u64;
+                for f in 0..FLUSHES_PER_CONNECTION {
+                    let batch = workload(App::Adpcm, (c * 31 + f) as u64, TOKENS_PER_FLUSH);
+                    client.send_tokens(stream, batch).expect("send");
+                    let t0 = Instant::now();
+                    loop {
+                        let run = client.flush(stream).expect("flush");
+                        if run.busy.is_some() {
+                            busy += 1;
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        }
+                        delivered += run.outputs.len() as u64;
+                        latency.record(t0.elapsed().as_nanos() as u64);
+                        break;
+                    }
+                }
+                client.close(stream).expect("close");
+                (delivered, busy, latency)
+            })
+        })
+        .collect();
+
+    let mut delivered = 0u64;
+    let mut busy_retries = 0u64;
+    let latency = Histogram::new();
+    for handle in handles {
+        let (d, b, h) = handle.join().expect("client thread");
+        delivered += d;
+        busy_retries += b;
+        latency.merge_from(&h);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let report = server.shutdown();
+    assert!(report.balanced(), "token accounting must balance");
+    let expected = (connections * FLUSHES_PER_CONNECTION * TOKENS_PER_FLUSH) as u64;
+    assert_eq!(delivered, expected, "every token must come back");
+
+    ScalePoint {
+        connections,
+        tokens_per_sec: delivered as f64 / elapsed,
+        p99_ms: latency.snapshot().p99 as f64 / 1e6,
+        busy_retries,
+    }
+}
+
+fn main() {
+    banner("E11: serve ingestion throughput vs connections");
+    println!(
+        "{FLUSHES_PER_CONNECTION} flushes x {TOKENS_PER_FLUSH} ADPCM tokens per connection, \
+         duplicated pipelines under the DES runtime\n"
+    );
+
+    let points: Vec<ScalePoint> = CONNECTIONS.iter().map(|&c| run_point(c)).collect();
+
+    let mut table = AsciiTable::new();
+    table.row([
+        "connections",
+        "tokens/sec",
+        "p99 flush (ms)",
+        "busy retries",
+    ]);
+    for p in &points {
+        table.row([
+            p.connections.to_string(),
+            format!("{:.0}", p.tokens_per_sec),
+            format!("{:.1}", p.p99_ms),
+            p.busy_retries.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let scaling = points.last().unwrap().tokens_per_sec / points[0].tokens_per_sec;
+    println!(
+        "scaling {}→{} connections: {scaling:.2}x",
+        points[0].connections,
+        points.last().unwrap().connections
+    );
+
+    let json = JsonObject::new()
+        .raw_field(
+            "points",
+            &array(points.iter().map(|p| {
+                JsonObject::new()
+                    .u64_field("connections", p.connections as u64)
+                    .f64_field("tokens_per_sec", p.tokens_per_sec)
+                    .f64_field("p99_ms", p.p99_ms)
+                    .u64_field("busy_retries", p.busy_retries)
+                    .finish()
+            })),
+        )
+        .f64_field("scaling_1_to_16", scaling)
+        .finish();
+    println!("BENCH_serve.json: {json}");
+}

@@ -60,7 +60,7 @@ use std::time::Instant;
 use rtft_kpn::{PoolStats, WorkerPool};
 use rtft_obs::json::{array, JsonObject};
 
-use crate::job::{execute, JobId, JobSpec};
+use crate::job::{execute, JobId, JobRunResult, JobSpec};
 use crate::supervisor::{FleetStatus, FleetSupervisor};
 
 /// Sizing and policy knobs of a [`FleetExecutor`].
@@ -106,6 +106,40 @@ pub enum RejectReason {
     },
     /// [`FleetExecutor::shutdown`] was already called.
     ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { pending, capacity } => {
+                write!(f, "queue full ({pending} of {capacity} jobs outstanding)")
+            }
+            RejectReason::ShuttingDown => write!(f, "executor is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Callback invoked exactly once when a job settles (its final run —
+/// original or last replacement — completed or panicked). The
+/// [`JobRunResult`] is `None` only for panicked runs. Fired *before* the
+/// job's outstanding slot is released, so [`FleetExecutor::join`] returns
+/// only after every notifier has run.
+pub type JobNotifier = Arc<dyn Fn(&JobRecord, Option<&JobRunResult>) + Send + Sync>;
+
+/// Instantaneous backpressure view across the fleet: pool queue depth,
+/// executing runs, and admitted-but-unfinished jobs against capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetLoad {
+    /// Runs waiting in worker queues.
+    pub queued: usize,
+    /// Runs executing right now.
+    pub inflight: usize,
+    /// Admitted but unfinished jobs (replacements transfer, not add).
+    pub outstanding: usize,
+    /// The admission limit on `outstanding`.
+    pub capacity: usize,
 }
 
 /// Final record of one job (its last run's observations).
@@ -252,6 +286,14 @@ impl FleetExecutor {
     /// Tries to admit a job. Non-blocking: a full fleet rejects instead
     /// of waiting.
     pub fn submit(&self, spec: JobSpec) -> Admission {
+        self.submit_with(spec, None)
+    }
+
+    /// Like [`submit`](Self::submit), with an optional [`JobNotifier`]
+    /// fired when the job settles — how a service (the `rtft-serve`
+    /// front-end) pushes a job's outputs without waiting for the whole
+    /// fleet to [`join`](Self::join).
+    pub fn submit_with(&self, spec: JobSpec, notify: Option<JobNotifier>) -> Admission {
         let inner = &self.inner;
         if !inner.accepting.load(Ordering::SeqCst) {
             inner.supervisor.on_rejected(inner.now_ns());
@@ -275,12 +317,46 @@ impl FleetExecutor {
             id
         };
         inner.supervisor.on_submitted(id, admitted_ns);
+        self.publish_load();
         let deadline_ns = admitted_ns.saturating_add(spec.relative_deadline.as_nanos() as u64);
         let task_inner = Arc::clone(inner);
         inner.pool.submit(deadline_ns, move || {
-            run_job(&task_inner, id, spec, 0, admitted_ns, None, Vec::new());
+            run_job(
+                &task_inner,
+                id,
+                spec,
+                0,
+                admitted_ns,
+                None,
+                Vec::new(),
+                notify,
+            );
         });
         Admission::Admitted(id)
+    }
+
+    /// Queue-depth/inflight/outstanding snapshot — the *real* backpressure
+    /// behind `submit`'s accept/reject verdicts.
+    pub fn load(&self) -> FleetLoad {
+        let pool = self.inner.pool.load();
+        FleetLoad {
+            queued: pool.queued,
+            inflight: pool.inflight,
+            outstanding: self.outstanding(),
+            capacity: self.inner.cfg.pending_capacity,
+        }
+    }
+
+    /// Publishes the current load to the supervisor's gauges
+    /// (`fleet.pool.queued` / `fleet.pool.inflight` /
+    /// `fleet.jobs.outstanding`).
+    fn publish_load(&self) {
+        let load = self.load();
+        self.inner.supervisor.on_load(
+            load.queued as u64,
+            load.inflight as u64,
+            load.outstanding as u64,
+        );
     }
 
     /// Stops admitting new jobs (outstanding ones keep running).
@@ -320,6 +396,7 @@ fn run_job(
     admitted_ns: u64,
     observed_fault_ns: Option<u64>,
     mut faulty_so_far: Vec<usize>,
+    notify: Option<JobNotifier>,
 ) {
     // The builders can panic on malformed specs; isolate the run so the
     // outstanding count is settled either way (a leaked slot would hang
@@ -333,21 +410,22 @@ fn run_job(
         Ok(r) => r,
         Err(_) => {
             inner.supervisor.on_run_panicked(id, now_ns);
-            finish(
-                inner,
-                JobRecord {
-                    id,
-                    name: spec.name,
-                    attempts: attempt,
-                    arrivals: 0,
-                    expected: spec.template.expected_tokens(),
-                    faulty_replicas: faulty_so_far,
-                    completion_ns,
-                    deadline_met: false,
-                    recovered: false,
-                    failed: true,
-                },
-            );
+            let record = JobRecord {
+                id,
+                name: spec.name,
+                attempts: attempt,
+                arrivals: 0,
+                expected: spec.template.expected_tokens(),
+                faulty_replicas: faulty_so_far,
+                completion_ns,
+                deadline_met: false,
+                recovered: false,
+                failed: true,
+            };
+            if let Some(notify) = &notify {
+                notify(&record, None);
+            }
+            finish(inner, record);
             return;
         }
     };
@@ -390,33 +468,43 @@ fn run_job(
                 admitted_ns,
                 Some(now_ns),
                 faulty_so_far,
+                notify,
             );
         });
         return;
     }
 
-    finish(
-        inner,
-        JobRecord {
-            id,
-            name: spec.name,
-            attempts: attempt,
-            arrivals: result.arrivals,
-            expected: result.expected,
-            faulty_replicas: faulty_so_far,
-            completion_ns,
-            deadline_met,
-            recovered,
-            failed: !result.completed(),
-        },
-    );
+    let record = JobRecord {
+        id,
+        name: spec.name,
+        attempts: attempt,
+        arrivals: result.arrivals,
+        expected: result.expected,
+        faulty_replicas: faulty_so_far,
+        completion_ns,
+        deadline_met,
+        recovered,
+        failed: !result.completed(),
+    };
+    // Settle notification before the outstanding slot is released, so
+    // `join` implies every notifier already ran.
+    if let Some(notify) = &notify {
+        notify(&record, Some(&result));
+    }
+    finish(inner, record);
 }
 
 fn finish(inner: &Arc<Inner>, record: JobRecord) {
     let mut st = inner.state.lock().unwrap();
     st.records.push(record);
     st.outstanding -= 1;
+    let outstanding = st.outstanding;
     if st.outstanding == 0 {
         inner.idle.notify_all();
     }
+    drop(st);
+    let pool = inner.pool.load();
+    inner
+        .supervisor
+        .on_load(pool.queued as u64, pool.inflight as u64, outstanding as u64);
 }

@@ -224,6 +224,10 @@ pub struct JobRunResult {
     /// Replica health (duplicated jobs only; n-modular jobs report faults
     /// through `faulty_replicas`).
     pub health: Option<HealthModel>,
+    /// The consumer's per-token `(arrival time ns, payload digest)` log,
+    /// in delivery order — what a streaming front-end pushes back to its
+    /// client as `Output` frames.
+    pub arrival_log: Vec<(u64, u64)>,
 }
 
 impl JobRunResult {
@@ -244,6 +248,11 @@ fn union_faulty(a: impl Iterator<Item = usize>, b: impl Iterator<Item = usize>) 
     v.sort_unstable();
     v.dedup();
     v
+}
+
+/// Copies a sink's arrival record into the run result's plain-u64 log.
+fn arrival_log_of(arrivals: &[(TimeNs, u64)]) -> Vec<(u64, u64)> {
+    arrivals.iter().map(|&(t, d)| (t.as_ns(), d)).collect()
 }
 
 /// Builds and runs one instance of the template under the given runtime.
@@ -289,12 +298,14 @@ pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
                     let sel = net
                         .channel_as::<VotingSelector>(ids.selector)
                         .expect("voting selector");
+                    let arrival_log = arrival_log_of(ids.consumer_arrivals(net));
                     JobRunResult {
-                        arrivals: ids.consumer_arrivals(net).len() as u64,
+                        arrivals: arrival_log.len() as u64,
                         expected,
                         faulty_replicas: union_faulty(rep.faulty_indices(), sel.faulty_indices()),
                         registry: MetricsRegistry::new(),
                         health: None,
+                        arrival_log,
                     }
                 }
                 JobRuntime::Threaded {
@@ -318,14 +329,16 @@ pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
                             })
                             .unwrap_or_default(),
                         );
+                    let arrival_log = run
+                        .process_as::<PjdSink>("consumer")
+                        .map_or_else(Vec::new, |s| arrival_log_of(s.arrivals()));
                     JobRunResult {
-                        arrivals: run
-                            .process_as::<PjdSink>("consumer")
-                            .map_or(0, |s| s.arrivals().len() as u64),
+                        arrivals: arrival_log.len() as u64,
                         expected,
                         faulty_replicas: union_faulty(faulty, std::iter::empty()),
                         registry,
                         health: None,
+                        arrival_log,
                     }
                 }
             }
@@ -360,12 +373,14 @@ pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
                     let sel = net
                         .channel_as::<NSelector>(ids.selector)
                         .expect("n-selector");
+                    let arrival_log = arrival_log_of(ids.consumer_arrivals(net));
                     JobRunResult {
-                        arrivals: ids.consumer_arrivals(net).len() as u64,
+                        arrivals: arrival_log.len() as u64,
                         expected,
                         faulty_replicas: union_faulty(rep.faulty_indices(), sel.faulty_indices()),
                         registry: MetricsRegistry::new(),
                         health: None,
+                        arrival_log,
                     }
                 }
                 JobRuntime::Threaded {
@@ -389,14 +404,16 @@ pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
                             })
                             .unwrap_or_default(),
                         );
+                    let arrival_log = run
+                        .process_as::<PjdSink>("consumer")
+                        .map_or_else(Vec::new, |s| arrival_log_of(s.arrivals()));
                     JobRunResult {
-                        arrivals: run
-                            .process_as::<PjdSink>("consumer")
-                            .map_or(0, |s| s.arrivals().len() as u64),
+                        arrivals: arrival_log.len() as u64,
                         expected,
                         faulty_replicas: union_faulty(faulty, std::iter::empty()),
                         registry,
                         health: None,
+                        arrival_log,
                     }
                 }
             }
@@ -424,12 +441,14 @@ fn execute_duplicated(
                 rep.iter().enumerate().filter_map(|(i, f)| f.map(|_| i)),
                 sel.iter().enumerate().filter_map(|(i, f)| f.map(|_| i)),
             );
+            let arrival_log = arrival_log_of(ids.consumer_arrivals(net));
             JobRunResult {
-                arrivals: ids.consumer_arrivals(net).len() as u64,
+                arrivals: arrival_log.len() as u64,
                 expected,
                 faulty_replicas: faulty,
                 registry,
                 health: Some(health),
+                arrival_log,
             }
         }
         JobRuntime::Threaded {
@@ -450,14 +469,16 @@ fn execute_duplicated(
                     (0..2).filter(|&i| s.fault(i).is_some()).collect::<Vec<_>>()
                 })
                 .unwrap_or_default();
+            let arrival_log = run
+                .process_as::<PjdSink>("consumer")
+                .map_or_else(Vec::new, |s| arrival_log_of(s.arrivals()));
             JobRunResult {
-                arrivals: run
-                    .process_as::<PjdSink>("consumer")
-                    .map_or(0, |s| s.arrivals().len() as u64),
+                arrivals: arrival_log.len() as u64,
                 expected,
                 faulty_replicas: union_faulty(rep.into_iter(), sel.into_iter()),
                 registry,
                 health: Some(health),
+                arrival_log,
             }
         }
     }

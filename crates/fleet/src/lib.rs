@@ -64,6 +64,9 @@ mod executor;
 mod job;
 mod supervisor;
 
-pub use executor::{Admission, FleetConfig, FleetExecutor, FleetReport, JobRecord, RejectReason};
+pub use executor::{
+    Admission, FleetConfig, FleetExecutor, FleetLoad, FleetReport, JobNotifier, JobRecord,
+    RejectReason,
+};
 pub use job::{execute, JobId, JobRunResult, JobRuntime, JobSpec, JobTemplate, SharedFactory};
 pub use supervisor::{FleetStatus, FleetSupervisor};

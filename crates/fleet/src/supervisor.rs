@@ -10,7 +10,8 @@
 
 use rtft_obs::export::events_to_jsonl;
 use rtft_obs::{
-    ClockDomain, Counter, EventRecord, EventSink, Histogram, HistogramSnapshot, MetricsRegistry,
+    ClockDomain, Counter, EventRecord, EventSink, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry,
 };
 
 use crate::job::{JobId, JobRunResult};
@@ -34,6 +35,9 @@ pub struct FleetSupervisor {
     completion_ns: Histogram,
     recovery_ns: Histogram,
     detection_latency_ns: Histogram,
+    pool_queued: Gauge,
+    pool_inflight: Gauge,
+    outstanding: Gauge,
 }
 
 impl Default for FleetSupervisor {
@@ -58,6 +62,9 @@ impl FleetSupervisor {
             completion_ns: registry.histogram("fleet.completion_ns"),
             recovery_ns: registry.histogram("fleet.recovery_ns"),
             detection_latency_ns: registry.histogram("fleet.detection_latency_ns"),
+            pool_queued: registry.gauge("fleet.pool.queued"),
+            pool_inflight: registry.gauge("fleet.pool.inflight"),
+            outstanding: registry.gauge("fleet.jobs.outstanding"),
             events: EventSink::new(EVENT_CAPACITY),
             registry,
         }
@@ -139,6 +146,16 @@ impl FleetSupervisor {
         self.recovered.inc();
         self.recovery_ns.record(recovery_ns);
         self.event("fleet.job.recovered", at_ns, job, recovery_ns);
+    }
+
+    /// Publishes the executor's instantaneous load to the fleet gauges
+    /// (`fleet.pool.queued` / `fleet.pool.inflight` /
+    /// `fleet.jobs.outstanding`). Gauges keep their high-water mark, so
+    /// the fleet registry also records peak backpressure.
+    pub fn on_load(&self, queued: u64, inflight: u64, outstanding: u64) {
+        self.pool_queued.set(queued);
+        self.pool_inflight.set(inflight);
+        self.outstanding.set(outstanding);
     }
 
     /// Records a run that panicked inside the worker.
@@ -238,6 +255,7 @@ mod tests {
             faulty_replicas: faulty,
             registry: MetricsRegistry::new(),
             health: None,
+            arrival_log: Vec::new(),
         }
     }
 

@@ -59,7 +59,7 @@ pub use engine::{Engine, RunOutcome};
 pub use fault_link::{FaultyLink, LinkFaultPlan};
 pub use network::{port, ChannelSlot, Network, ProcessSlot};
 pub use platform::{IdealPlatform, Platform, UniformBusPlatform};
-pub use pool::{PoolStats, WorkerPool};
+pub use pool::{PoolLoad, PoolStats, WorkerPool};
 pub use process::{
     Collector, JitterSampler, NodeId, PjdShaper, PjdSink, PjdSource, Process, Syscall, Transform,
     Wakeup,

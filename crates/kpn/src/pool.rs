@@ -83,6 +83,9 @@ struct PoolShared {
     /// reaches zero under shutdown, so a running task may still submit
     /// follow-up work (the fleet's replacement runs rely on this).
     pending: AtomicUsize,
+    /// Tasks currently executing on a worker (for the backpressure gauge
+    /// surfaced as [`PoolLoad`]).
+    inflight: AtomicUsize,
     shutdown: AtomicBool,
     seq: AtomicU64,
     next_target: AtomicUsize,
@@ -118,9 +121,11 @@ fn worker_loop(shared: Arc<PoolShared>, index: usize) {
     loop {
         let task = shared.pop_own(index).or_else(|| shared.steal(index));
         if let Some(t) = task {
+            shared.inflight.fetch_add(1, Ordering::SeqCst);
             if catch_unwind(AssertUnwindSafe(t.run)).is_err() {
                 shared.panicked.fetch_add(1, Ordering::Relaxed);
             }
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
             shared.executed.fetch_add(1, Ordering::Relaxed);
             shared.pending.fetch_sub(1, Ordering::SeqCst);
             continue;
@@ -152,6 +157,22 @@ pub struct PoolStats {
     pub panicked: u64,
 }
 
+/// Instantaneous backpressure snapshot of a [`WorkerPool`]: how much work
+/// is waiting in run queues and how much is executing right now.
+///
+/// `queued` is exact (the queue locks are taken); `inflight` is a
+/// relaxed-in-time atomic read, so during task handoff the two can
+/// transiently sum to one less than [`WorkerPool::pending`]. Services use
+/// this to report *real* queue depth instead of inferring it from
+/// admission rejections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolLoad {
+    /// Tasks sitting in worker run queues, not yet started.
+    pub queued: usize,
+    /// Tasks currently executing on a worker thread.
+    pub inflight: usize,
+}
+
 /// A bounded pool of worker threads with per-worker priority run queues
 /// and work stealing. See the module docs for the scheduling discipline.
 pub struct WorkerPool {
@@ -181,6 +202,7 @@ impl WorkerPool {
                 })
                 .collect(),
             pending: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             next_target: AtomicUsize::new(0),
@@ -231,6 +253,29 @@ impl WorkerPool {
     /// Tasks queued or currently running.
     pub fn pending(&self) -> usize {
         self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// Queue-depth/inflight snapshot (see [`PoolLoad`]).
+    pub fn load(&self) -> PoolLoad {
+        PoolLoad {
+            queued: self
+                .shared
+                .queues
+                .iter()
+                .map(|q| q.heap.lock().unwrap().len())
+                .sum(),
+            inflight: self.shared.inflight.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Per-worker run-queue depths, in worker order (diagnostics; exposes
+    /// imbalance the work-stealing normally hides).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.shared
+            .queues
+            .iter()
+            .map(|q| q.heap.lock().unwrap().len())
+            .collect()
     }
 
     /// Execution counters so far.
@@ -327,6 +372,33 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(done.load(Ordering::SeqCst), 8);
         assert!(stats.stolen > 0, "expected steals, got {stats:?}");
+    }
+
+    #[test]
+    fn load_gauge_tracks_queued_and_inflight() {
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(0, move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        // Wait until the gate task is actually executing.
+        while pool.load().inflight == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for i in 0..4 {
+            pool.submit(i + 1, || {});
+        }
+        let load = pool.load();
+        assert_eq!(load.inflight, 1, "{load:?}");
+        assert_eq!(load.queued, 4, "{load:?}");
+        assert_eq!(pool.queue_depths().iter().sum::<usize>(), 4);
+        gate.store(true, Ordering::SeqCst);
+        drop(pool);
     }
 
     #[test]

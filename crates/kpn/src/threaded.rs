@@ -260,6 +260,28 @@ impl ThreadedRun {
     }
 }
 
+/// Why a threaded run could not be started.
+///
+/// The panicking entry points ([`run_threaded`], [`run_threaded_with`])
+/// predate this type; [`try_run_threaded_with`] surfaces the same failure
+/// as a value so services (the `rtft-serve` front-end) can propagate one
+/// boxed error instead of catching unwinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadedError {
+    /// The network failed validation (dangling ports, unread channels).
+    InvalidNetwork(String),
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadedError::InvalidNetwork(why) => write!(f, "invalid network: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
 /// Runs `network` on real threads until every process halts, the network
 /// quiesces, or `deadline` elapses.
 ///
@@ -304,8 +326,21 @@ pub fn run_threaded_observed(
 ///
 /// Panics if the network fails validation.
 pub fn run_threaded_with(network: Network, config: &ThreadedConfig) -> ThreadedRun {
+    match try_run_threaded_with(network, config) {
+        Ok(run) => run,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_threaded_with`]: returns
+/// [`ThreadedError::InvalidNetwork`] instead of panicking when the network
+/// fails validation.
+pub fn try_run_threaded_with(
+    network: Network,
+    config: &ThreadedConfig,
+) -> Result<ThreadedRun, ThreadedError> {
     if let Err(e) = network.validate() {
-        panic!("invalid network: {e}");
+        return Err(ThreadedError::InvalidNetwork(e));
     }
     let (channel_slots, process_slots) = network.into_parts();
     let clock = WallClock {
@@ -416,13 +451,13 @@ pub fn run_threaded_with(network: Network, config: &ThreadedConfig) -> ThreadedR
             .gauge("threaded.elapsed_ns")
             .set(elapsed.as_nanos() as u64);
     }
-    ThreadedRun {
+    Ok(ThreadedRun {
         channels,
         elapsed,
         timed_out,
         cancelled,
         processes: finished,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -303,6 +303,8 @@ struct RegistryInner {
     histograms: BTreeMap<&'static str, Histogram>,
     /// Dynamic-name gauges (per-channel occupancy uses runtime names).
     named_gauges: BTreeMap<String, Gauge>,
+    /// Dynamic-name counters (per-tenant serve traffic uses runtime names).
+    named_counters: BTreeMap<String, Counter>,
 }
 
 impl MetricsRegistry {
@@ -329,6 +331,18 @@ impl MetricsRegistry {
             .unwrap()
             .gauges
             .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// A counter under a runtime-constructed name (per-tenant traffic:
+    /// `"serve.app.<name>.tokens"`), created on first use.
+    pub fn counter_named(&self, name: impl Into<String>) -> Counter {
+        self.inner
+            .lock()
+            .unwrap()
+            .named_counters
+            .entry(name.into())
             .or_default()
             .clone()
     }
@@ -371,7 +385,7 @@ impl MetricsRegistry {
         if Arc::ptr_eq(&self.inner, &other.inner) {
             return;
         }
-        let (counters, gauges, histograms, named_gauges) = {
+        let (counters, gauges, histograms, named_gauges, named_counters) = {
             let g = other.inner.lock().unwrap();
             (
                 g.counters
@@ -390,10 +404,17 @@ impl MetricsRegistry {
                     .iter()
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect::<Vec<_>>(),
+                g.named_counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.get()))
+                    .collect::<Vec<_>>(),
             )
         };
         for (name, value) in counters {
             self.counter(name).add(value);
+        }
+        for (name, value) in named_counters {
+            self.counter_named(name).add(value);
         }
         for (name, gauge) in gauges {
             self.gauge(name).merge_from(&gauge);
@@ -406,12 +427,14 @@ impl MetricsRegistry {
         }
     }
 
-    /// All counters as `(name, value)`, sorted by name.
+    /// All counters as `(name, value)`, sorted by name; runtime-named
+    /// counters follow the static ones.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         let g = self.inner.lock().unwrap();
         g.counters
             .iter()
             .map(|(k, v)| (k.to_string(), v.get()))
+            .chain(g.named_counters.iter().map(|(k, v)| (k.clone(), v.get())))
             .collect()
     }
 
@@ -528,12 +551,17 @@ mod tests {
         job.gauge("fill").set(9);
         job.histogram("lat").record(40);
         job.gauge_named("chan.a.fill").set(5);
+        job.counter_named("serve.app.mjpeg.tokens").add(7);
 
         fleet.absorb(&job);
         assert_eq!(fleet.counter("jobs").get(), 3);
         assert_eq!(fleet.gauge("fill").max(), 9);
         assert_eq!(fleet.histogram("lat").count(), 1);
         assert_eq!(fleet.gauge_named("chan.a.fill").get(), 5);
+        assert_eq!(fleet.counter_named("serve.app.mjpeg.tokens").get(), 7);
+        assert!(fleet
+            .counter_values()
+            .contains(&("serve.app.mjpeg.tokens".to_string(), 7)));
 
         // Absorbing into itself changes nothing.
         fleet.absorb(&fleet.clone());

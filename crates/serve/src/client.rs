@@ -1,0 +1,300 @@
+//! A synchronous loopback client for the `RTFT/1` protocol.
+//!
+//! [`Client`] drives one connection: open streams, push token batches,
+//! flush them through the server's fault-tolerant pipeline, and collect
+//! the pushed `Output` / `Fault` / `Stats` frames. Several streams can be
+//! multiplexed on one connection; frames that belong to a stream other
+//! than the one a call is waiting on are buffered and handed to that
+//! stream's next collect.
+//!
+//! The client is what the integration tests, the CI smoke example and the
+//! throughput bench talk through — it is the reference implementation of
+//! the protocol's client side.
+
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rtft_apps::networks::App;
+use rtft_kpn::Payload;
+
+use crate::error::{ProtocolError, ServeError};
+use crate::wire::{
+    read_frame, write_frame, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+
+/// A `Busy` refusal, decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyInfo {
+    /// Why the server refused.
+    pub reason: BusyReason,
+    /// Outstanding fleet jobs at refusal time.
+    pub pending: u32,
+    /// The fleet's outstanding-job capacity.
+    pub capacity: u32,
+}
+
+/// One delivered selector output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputEvent {
+    /// Zero-based sequence number within the flush.
+    pub seq: u64,
+    /// Delivery timestamp (virtual ns under DES).
+    pub at_ns: u64,
+    /// FNV-1a digest of the delivered payload.
+    pub digest: u64,
+}
+
+/// One pushed fault latch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Latched replica index.
+    pub replica: u32,
+    /// Detection-site kind byte ([`crate::wire::kind_label`]).
+    pub kind: u8,
+    /// Latch time minus injection time.
+    pub detection_latency_ns: u64,
+}
+
+/// Per-stream accounting from a `Stats` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Tokens the server has accepted on the stream.
+    pub tokens_in: u64,
+    /// Tokens delivered back as `Output` frames.
+    pub delivered: u64,
+    /// Fault frames pushed for the stream.
+    pub faults: u64,
+    /// Busy refusals the stream has seen.
+    pub busy: u64,
+    /// Fleet pool queue depth at snapshot time.
+    pub queued: u32,
+    /// Fleet runs executing at snapshot time.
+    pub inflight: u32,
+    /// Admitted-but-unfinished fleet jobs at snapshot time.
+    pub outstanding: u32,
+}
+
+/// Everything one flush (or close) exchange produced.
+#[derive(Debug, Clone, Default)]
+pub struct FlushOutcome {
+    /// Selector outputs, in delivery order.
+    pub outputs: Vec<OutputEvent>,
+    /// Fault latches pushed during the flush.
+    pub faults: Vec<FaultEvent>,
+    /// The refusal, if the flush was refused.
+    pub busy: Option<BusyInfo>,
+    /// The terminal stats snapshot (absent only on refusal).
+    pub stats: Option<StreamStats>,
+}
+
+impl FlushOutcome {
+    /// `true` if the batch was admitted (no `Busy` refusal).
+    pub fn admitted(&self) -> bool {
+        self.busy.is_none()
+    }
+}
+
+/// Result of [`Client::open_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenOutcome {
+    /// The server accepted and assigned this stream id.
+    Stream(u32),
+    /// The server is shutting down and refused the stream.
+    Busy(BusyInfo),
+}
+
+impl OpenOutcome {
+    /// The stream id, panicking on refusal (test convenience).
+    pub fn expect_stream(self) -> u32 {
+        match self {
+            OpenOutcome::Stream(id) => id,
+            OpenOutcome::Busy(info) => panic!("stream refused: {:?}", info),
+        }
+    }
+}
+
+/// One `RTFT/1` connection.
+#[derive(Debug)]
+pub struct Client {
+    sock: TcpStream,
+    max_frame: u32,
+    /// Server-push frames read while waiting for a different stream.
+    pending: VecDeque<Frame>,
+}
+
+impl Client {
+    /// Connects, performs the `Hello` handshake, and returns the ready
+    /// client. `name` is a diagnostic label echoed in server logs.
+    pub fn connect(addr: impl ToSocketAddrs, name: &str) -> Result<Client, ServeError> {
+        let mut sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true).ok();
+        write_frame(
+            &mut sock,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                client: name.to_string(),
+            },
+        )?;
+        let (frame, _) = read_frame(&mut sock, DEFAULT_MAX_FRAME)?;
+        match frame {
+            Frame::Accepted { .. } => Ok(Client {
+                sock,
+                max_frame: DEFAULT_MAX_FRAME,
+                pending: VecDeque::new(),
+            }),
+            other => Err(ProtocolError::UnexpectedFrame {
+                expected: "Accepted",
+                got: other.name(),
+            }
+            .into()),
+        }
+    }
+
+    /// Opens a fault-tolerant stream for `app` with `redundancy` replicas
+    /// (2 = duplicated timing selector, 3 = tri-modular value voting).
+    pub fn open_stream(&mut self, app: App, redundancy: u8) -> Result<OpenOutcome, ServeError> {
+        let app = App::ALL
+            .iter()
+            .position(|a| *a == app)
+            .expect("App::ALL contains every variant") as u8;
+        write_frame(&mut self.sock, &Frame::OpenStream { app, redundancy })?;
+        loop {
+            match self.next_frame()? {
+                Frame::Accepted { id } => return Ok(OpenOutcome::Stream(id)),
+                Frame::Busy {
+                    stream: u32::MAX,
+                    reason,
+                    pending,
+                    capacity,
+                } => {
+                    return Ok(OpenOutcome::Busy(BusyInfo {
+                        reason,
+                        pending,
+                        capacity,
+                    }))
+                }
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Sends a batch of raw token payloads to `stream`. The server
+    /// buffers them until the next flush; nothing is pushed back yet.
+    pub fn send_tokens(&mut self, stream: u32, payloads: Vec<Vec<u8>>) -> Result<(), ServeError> {
+        write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
+        Ok(())
+    }
+
+    /// Flushes `stream`'s buffered tokens through its pipeline and
+    /// collects everything the run pushes back, up to the terminal
+    /// `Stats` — or a `Busy` refusal, after which the tokens remain
+    /// buffered server-side and the flush can simply be retried.
+    pub fn flush(&mut self, stream: u32) -> Result<FlushOutcome, ServeError> {
+        write_frame(&mut self.sock, &Frame::Flush { stream })?;
+        self.collect(stream)
+    }
+
+    /// Closes `stream`: the server drains its in-flight flushes and
+    /// replies with a final `Stats` accounting for every accepted token.
+    pub fn close(&mut self, stream: u32) -> Result<FlushOutcome, ServeError> {
+        write_frame(&mut self.sock, &Frame::Close { stream })?;
+        self.collect(stream)
+    }
+
+    /// Reads frames (starting with any buffered ones) until `stream`'s
+    /// terminal `Stats` or `Busy`; frames for other streams are buffered.
+    fn collect(&mut self, stream: u32) -> Result<FlushOutcome, ServeError> {
+        let mut outcome = FlushOutcome::default();
+        let mut requeue = VecDeque::new();
+        loop {
+            let frame = if let Some(f) = self.pending.pop_front() {
+                f
+            } else {
+                self.next_frame()?
+            };
+            match frame {
+                Frame::Output {
+                    stream: s,
+                    seq,
+                    at_ns,
+                    digest,
+                } if s == stream => outcome.outputs.push(OutputEvent { seq, at_ns, digest }),
+                Frame::Fault {
+                    stream: s,
+                    replica,
+                    kind,
+                    detection_latency_ns,
+                } if s == stream => outcome.faults.push(FaultEvent {
+                    replica,
+                    kind,
+                    detection_latency_ns,
+                }),
+                Frame::Busy {
+                    stream: s,
+                    reason,
+                    pending,
+                    capacity,
+                } if s == stream => {
+                    outcome.busy = Some(BusyInfo {
+                        reason,
+                        pending,
+                        capacity,
+                    });
+                    break;
+                }
+                Frame::Stats {
+                    stream: s,
+                    tokens_in,
+                    delivered,
+                    faults,
+                    busy,
+                    queued,
+                    inflight,
+                    outstanding,
+                } if s == stream => {
+                    outcome.stats = Some(StreamStats {
+                        tokens_in,
+                        delivered,
+                        faults,
+                        busy,
+                        queued,
+                        inflight,
+                        outstanding,
+                    });
+                    break;
+                }
+                other => requeue.push_back(other),
+            }
+        }
+        // Frames for other streams stay queued, in arrival order.
+        requeue.extend(self.pending.drain(..));
+        self.pending = requeue;
+        Ok(outcome)
+    }
+
+    fn next_frame(&mut self) -> Result<Frame, ServeError> {
+        let (frame, _) = read_frame(&mut self.sock, self.max_frame)?;
+        Ok(frame)
+    }
+}
+
+/// `count` realistic token payloads for `app` — the same seeded workload
+/// items (encoded MJPEG frames, PCM blocks, raw video frames) the
+/// campaign drivers use, as raw bytes ready for [`Client::send_tokens`].
+pub fn workload(app: App, seed: u64, count: usize) -> Vec<Vec<u8>> {
+    let gen = app.payload_generator(seed);
+    (0..count)
+        .map(|n| {
+            gen(n as u64)
+                .as_bytes()
+                .map(|b| b.to_vec())
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+/// The digest the server will report for a token with these payload
+/// bytes — lets clients verify `Output` frames end-to-end.
+pub fn digest_of(bytes: &[u8]) -> u64 {
+    Payload::from(bytes.to_vec()).digest()
+}

@@ -1,0 +1,61 @@
+//! # rtft-serve — streaming ingestion server for the fault-tolerant fleet
+//!
+//! The paper validates its detection framework on networks whose tokens
+//! are generated *inside* the experiment. This crate closes the last gap
+//! to a deployable system: real clients stream real payload bytes over
+//! TCP into the fleet's fault-tolerant pipelines and get the selector's
+//! outputs — and every fault detection, with its latency — pushed back.
+//!
+//! Everything is `std`-only: `std::net::TcpListener`, OS threads, and the
+//! hand-rolled `RTFT/1` length-prefixed binary protocol in [`wire`]. No
+//! async runtime, no external crates — the same zero-dependency discipline
+//! as the rest of the workspace.
+//!
+//! * **[`wire`]** — the `RTFT/1` frame grammar: `Hello` / `OpenStream` /
+//!   `Tokens` / `Flush` / `Close` from the client; `Accepted` / `Busy` /
+//!   `Output` / `Fault` / `Stats` pushed by the server.
+//! * **[`Server`]** — accepts connections, buffers token batches per
+//!   stream, and turns each `Flush` into one admission-controlled fleet
+//!   job (duplicated pair or tri-modular voting group). Saturation is an
+//!   explicit `Busy` frame — backpressure, never token loss — and
+//!   shutdown drains every admitted job before the sockets close.
+//! * **[`Client`]** — the synchronous reference client the integration
+//!   tests, CI smoke example and throughput bench drive.
+//! * **[`ServeReport`]** — deterministic end-of-life accounting: every
+//!   accepted token is delivered or reported (`tokens_in == delivered +
+//!   undelivered`, per stream).
+//!
+//! # Example
+//!
+//! ```
+//! use rtft_apps::networks::App;
+//! use rtft_serve::{Client, Server, ServerConfig, workload};
+//!
+//! let server = Server::start("127.0.0.1:0", ServerConfig::default())?;
+//! let mut client = Client::connect(server.addr(), "doc-test")?;
+//! let stream = client.open_stream(App::Adpcm, 2)?.expect_stream();
+//! client.send_tokens(stream, workload(App::Adpcm, 7, 4))?;
+//! let run = client.flush(stream)?;
+//! assert_eq!(run.outputs.len(), 4); // every token came back, in order
+//! client.close(stream)?;
+//! let report = server.shutdown();
+//! assert!(report.balanced());
+//! # Ok::<(), rtft_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod report;
+pub mod server;
+pub mod wire;
+
+pub use client::{
+    digest_of, workload, BusyInfo, Client, FaultEvent, FlushOutcome, OpenOutcome, OutputEvent,
+    StreamStats,
+};
+pub use error::{ProtocolError, ServeError};
+pub use report::{ServeReport, StreamAccount};
+pub use server::{detection_bound, FaultInjection, ServeRuntime, Server, ServerConfig};
+pub use wire::{kind_label, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};

@@ -1,0 +1,173 @@
+//! The server's end-of-life accounting.
+
+use rtft_fleet::FleetReport;
+use rtft_obs::json::{array, JsonObject};
+
+/// Final accounting for one stream.
+///
+/// The core invariant every shutdown upholds:
+/// `tokens_in == delivered + undelivered` — an accepted token is either
+/// delivered back to the client as an `Output` frame or reported here as
+/// undelivered (still buffered, or lost to an incomplete faulty run).
+/// Tokens are never silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamAccount {
+    /// Stream id (global open order).
+    pub id: u32,
+    /// Application label (`mjpeg` / `adpcm` / `h264`).
+    pub app: &'static str,
+    /// Replica count the stream ran under.
+    pub redundancy: u8,
+    /// Tokens accepted from the client.
+    pub tokens_in: u64,
+    /// Tokens delivered back as `Output` frames.
+    pub delivered: u64,
+    /// Accepted tokens not delivered (buffered at shutdown, or withheld
+    /// by an incomplete run); always `tokens_in - delivered`.
+    pub undelivered: u64,
+    /// Fault latches pushed to the client.
+    pub faults: u64,
+    /// Busy refusals the stream saw (each one retryable, lossless).
+    pub busy: u64,
+    /// Whether the client closed the stream before shutdown.
+    pub closed: bool,
+}
+
+impl StreamAccount {
+    /// Renders the account as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .u64_field("id", self.id as u64)
+            .str_field("app", self.app)
+            .u64_field("redundancy", self.redundancy as u64)
+            .u64_field("tokens_in", self.tokens_in)
+            .u64_field("delivered", self.delivered)
+            .u64_field("undelivered", self.undelivered)
+            .u64_field("faults", self.faults)
+            .u64_field("busy", self.busy)
+            .bool_field("closed", self.closed)
+            .finish()
+    }
+}
+
+/// Everything [`Server::shutdown`](crate::Server::shutdown) returns: the
+/// per-stream token accounting, connection/frame/byte totals, and the
+/// drained fleet's own report. Deterministic for a given seed and client
+/// schedule under the discrete-event runtime.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-stream accounting, ascending by stream id.
+    pub streams: Vec<StreamAccount>,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Frames read from clients.
+    pub frames_in: u64,
+    /// Frames pushed to clients.
+    pub frames_out: u64,
+    /// Wire bytes read from clients.
+    pub bytes_in: u64,
+    /// Wire bytes pushed to clients.
+    pub bytes_out: u64,
+    /// The drained fleet's report (job records, status, pool counters).
+    pub fleet: FleetReport,
+}
+
+impl ServeReport {
+    /// Total tokens accepted across all streams.
+    pub fn tokens_in(&self) -> u64 {
+        self.streams.iter().map(|s| s.tokens_in).sum()
+    }
+
+    /// Total tokens delivered back across all streams.
+    pub fn delivered(&self) -> u64 {
+        self.streams.iter().map(|s| s.delivered).sum()
+    }
+
+    /// Total fault latches pushed across all streams.
+    pub fn faults(&self) -> u64 {
+        self.streams.iter().map(|s| s.faults).sum()
+    }
+
+    /// `true` if every stream's books balance
+    /// (`tokens_in == delivered + undelivered`).
+    pub fn balanced(&self) -> bool {
+        self.streams
+            .iter()
+            .all(|s| s.tokens_in == s.delivered + s.undelivered)
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        JsonObject::new()
+            .raw_field("streams", &array(self.streams.iter().map(|s| s.to_json())))
+            .u64_field("connections", self.connections)
+            .u64_field("frames_in", self.frames_in)
+            .u64_field("frames_out", self.frames_out)
+            .u64_field("bytes_in", self.bytes_in)
+            .u64_field("bytes_out", self.bytes_out)
+            .u64_field("tokens_in", self.tokens_in())
+            .u64_field("delivered", self.delivered())
+            .u64_field("faults", self.faults())
+            .raw_field("fleet", &self.fleet.to_json())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtft_fleet::FleetStatus;
+    use rtft_kpn::PoolStats;
+
+    fn account(tokens_in: u64, delivered: u64) -> StreamAccount {
+        StreamAccount {
+            id: 0,
+            app: "mjpeg",
+            redundancy: 2,
+            tokens_in,
+            delivered,
+            undelivered: tokens_in - delivered,
+            faults: 1,
+            busy: 2,
+            closed: true,
+        }
+    }
+
+    fn report(streams: Vec<StreamAccount>) -> ServeReport {
+        ServeReport {
+            streams,
+            connections: 1,
+            frames_in: 10,
+            frames_out: 20,
+            bytes_in: 300,
+            bytes_out: 400,
+            fleet: FleetReport {
+                runs: Vec::new(),
+                status: FleetStatus::default(),
+                pool: PoolStats {
+                    workers: 2,
+                    executed: 0,
+                    stolen: 0,
+                    panicked: 0,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn accounting_totals_and_balance() {
+        let r = report(vec![account(8, 8), account(5, 3)]);
+        assert_eq!(r.tokens_in(), 13);
+        assert_eq!(r.delivered(), 11);
+        assert_eq!(r.faults(), 2);
+        assert!(r.balanced());
+    }
+
+    #[test]
+    fn json_contains_stream_accounts() {
+        let json = report(vec![account(8, 8)]).to_json();
+        assert!(json.contains("\"app\":\"mjpeg\""), "{json}");
+        assert!(json.contains("\"tokens_in\":8"), "{json}");
+        assert!(json.contains("\"fleet\":{"), "{json}");
+    }
+}

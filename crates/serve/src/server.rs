@@ -1,0 +1,835 @@
+//! The streaming ingestion server: TCP front-end over the fleet executor.
+//!
+//! # Architecture
+//!
+//! ```text
+//!        client                    server (std::net + threads)
+//!   ┌──────────────┐   RTFT/1   ┌──────────┐
+//!   │ Client::flush├───────────►│ reader   │── Flush ──► FleetExecutor
+//!   └──────▲───────┘            │ thread   │             (EDF worker pool)
+//!          │                    └──────────┘                   │
+//!          │   Output / Fault / Stats  ◄── JobNotifier ────────┘
+//!          └────────────────────────── (fires on job settle)
+//! ```
+//!
+//! One acceptor thread polls a non-blocking listener; each connection gets
+//! a blocking reader thread. Tokens buffer per stream until a `Flush`
+//! turns the batch into one fault-tolerant fleet job (duplicated pair or
+//! tri-modular voting, per the stream's redundancy). Admission is
+//! **non-blocking**: a saturated fleet answers `Busy` and the batch stays
+//! buffered server-side — backpressure, never token loss. When the job
+//! settles, its [`JobNotifier`] pushes the selector's outputs, every fault
+//! latch (with its detection latency), and a terminal `Stats` back through
+//! the connection's shared writer.
+//!
+//! Shutdown is graceful: [`Server::begin_shutdown`] refuses new streams
+//! with `Busy{shutting-down}`, [`Server::shutdown`] drains every admitted
+//! job (notifiers still fire), then cancels the acceptor/readers via a
+//! [`CancelToken`] and unblocks them by shutting the sockets down.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rtft_apps::networks::App;
+use rtft_core::{
+    DuplicationConfig, FaultPlan, JitterStageReplica, NJitterStageReplica, NModularModel,
+    NSizingReport, PayloadGenerator,
+};
+use rtft_fleet::{
+    Admission, FleetConfig, FleetExecutor, JobNotifier, JobRuntime, JobSpec, JobTemplate,
+    RejectReason,
+};
+use rtft_kpn::threaded::CancelToken;
+use rtft_kpn::Payload;
+use rtft_obs::{ClockDomain, Counter, EventRecord, EventSink, Histogram, MetricsRegistry};
+use rtft_rtc::{PjdModel, TimeNs};
+
+use crate::error::{ProtocolError, ServeError};
+use crate::report::{ServeReport, StreamAccount};
+use crate::wire::{read_frame, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+
+/// Replica compute service time = producer period / this (matches the
+/// chaos campaigns, so serve jobs inherit their timing envelope).
+const SERVICE_DIVISOR: u64 = 2;
+
+/// Acceptor poll interval while waiting for connections.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Poll interval while `Close` waits for a stream's in-flight flushes.
+const DRAIN_POLL: Duration = Duration::from_millis(2);
+
+/// Capacity of the server's lifecycle event ring.
+const EVENT_CAPACITY: usize = 1024;
+
+/// Which runtime a flush's fleet job executes under.
+#[derive(Debug, Clone, Copy)]
+pub enum ServeRuntime {
+    /// Deterministic discrete-event simulation; the horizon is derived
+    /// from the app's producer period and the batch size.
+    DiscreteEvent,
+    /// Real OS threads under wall-clock time.
+    Threaded {
+        /// Hard wall-clock deadline per flush run.
+        deadline: Duration,
+        /// Quiescence idle window (see `rtft_kpn::threaded`).
+        quiescence_grace: Duration,
+    },
+}
+
+/// A server-side fault injection: the `stream`-th stream opened on this
+/// server (globally, zero-based) gets a permanent fail-stop fault in one
+/// replica on every flush. The wire protocol deliberately has no
+/// client-side fault frame — faults are an operator/test concern.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection {
+    /// Global open-order index of the target stream.
+    pub stream: u32,
+    /// Replica to fail-stop.
+    pub replica: usize,
+    /// Virtual/wall run time at which the replica halts.
+    pub at: TimeNs,
+}
+
+/// Server sizing and policy.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fleet executor knobs. The serve default disables replacement
+    /// (`max_replacements: 0`): a flush's *final* run is the faulty run,
+    /// so the pushed outputs and detection latencies describe the fault
+    /// the client streamed into — each flush rebuilds the network anyway.
+    pub fleet: FleetConfig,
+    /// Runtime for flush jobs.
+    pub runtime: ServeRuntime,
+    /// Maximum accepted frame length (tag + body bytes).
+    pub max_frame: u32,
+    /// Fault injections by global stream open-order.
+    pub inject: Vec<FaultInjection>,
+    /// Base seed for per-stream job seeds (token accounting and DES runs
+    /// are reproducible per seed).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            fleet: FleetConfig {
+                workers: 2,
+                pending_capacity: 64,
+                max_replacements: 0,
+            },
+            runtime: ServeRuntime::DiscreteEvent,
+            max_frame: DEFAULT_MAX_FRAME,
+            inject: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+/// The analytic worst-case fault-observation window for a duplicated
+/// stream of `app`: the [`DetectionBounds`](rtft_rtc::DetectionBounds)
+/// permanent-timing latch bound plus one producer period of arrival grace
+/// (an `AtTime` injection can land mid-period, before the replica touches
+/// a token). Clients assert pushed `Fault` latencies against this.
+pub fn detection_bound(app: App) -> TimeNs {
+    let model = app.profile().model;
+    let cfg = DuplicationConfig::from_model(model).expect("profile models are bounded");
+    let model = app.profile().model;
+    let bounds = cfg.sizing.detection_bounds(&model);
+    bounds.permanent_timing() + model.producer.period + model.producer.jitter
+}
+
+/// One open stream's server-side state.
+struct StreamState {
+    id: u32,
+    conn: u32,
+    app: App,
+    redundancy: u8,
+    /// Tokens accepted but not yet admitted into a flush job.
+    buffered: Mutex<Vec<Vec<u8>>>,
+    tokens_in: AtomicU64,
+    delivered: AtomicU64,
+    faults: AtomicU64,
+    busy: AtomicU64,
+    /// Admitted flush jobs not yet settled.
+    inflight: AtomicU64,
+    closed: AtomicBool,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    fleet: FleetExecutor,
+    registry: MetricsRegistry,
+    events: EventSink,
+    epoch: Instant,
+    cancel: CancelToken,
+    /// `false` once shutdown begins: no new streams, flushes answer Busy.
+    accepting: AtomicBool,
+    next_stream: AtomicU32,
+    streams: Mutex<HashMap<u32, Arc<StreamState>>>,
+    /// Socket clones for forced unblock at shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    c_connections: Counter,
+    c_streams_opened: Counter,
+    c_streams_closed: Counter,
+    c_tokens_in: Counter,
+    c_outputs: Counter,
+    c_faults: Counter,
+    c_busy: Counter,
+    c_frames_in: Counter,
+    c_frames_out: Counter,
+    c_bytes_in: Counter,
+    c_bytes_out: Counter,
+    c_protocol_errors: Counter,
+    h_frame_in: Histogram,
+    h_frame_out: Histogram,
+    h_flush_batch: Histogram,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn event(&self, name: &'static str, node: Option<usize>, value: u64) {
+        self.events.push(EventRecord {
+            at_ns: self.now_ns(),
+            clock: ClockDomain::Wall,
+            name,
+            node,
+            channel: None,
+            value,
+        });
+    }
+
+    /// Writes one frame through a connection's shared writer, updating the
+    /// outbound counters. Write errors mean the peer is gone; callers
+    /// treat that as the end of the exchange.
+    fn send(&self, writer: &Mutex<TcpStream>, frame: &Frame) -> Result<(), ServeError> {
+        let mut w = writer.lock().unwrap();
+        let n = crate::wire::write_frame(&mut *w, frame)?;
+        self.c_frames_out.inc();
+        self.c_bytes_out.add(n as u64);
+        self.h_frame_out.record(n as u64);
+        Ok(())
+    }
+
+    fn stats_frame(&self, st: &StreamState) -> Frame {
+        let load = self.fleet.load();
+        Frame::Stats {
+            stream: st.id,
+            tokens_in: st.tokens_in.load(Ordering::SeqCst),
+            delivered: st.delivered.load(Ordering::SeqCst),
+            faults: st.faults.load(Ordering::SeqCst),
+            busy: st.busy.load(Ordering::SeqCst),
+            queued: load.queued as u32,
+            inflight: load.inflight as u32,
+            outstanding: load.outstanding as u32,
+        }
+    }
+}
+
+/// A running streaming server. Dropping the handle does **not** stop the
+/// server; call [`Server::shutdown`] for a graceful drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port), spawns
+    /// the acceptor and the fleet, and returns the running server.
+    pub fn start(addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let registry = MetricsRegistry::new();
+        let shared = Arc::new(Shared {
+            fleet: FleetExecutor::new(cfg.fleet.clone()),
+            cfg,
+            events: EventSink::new(EVENT_CAPACITY),
+            epoch: Instant::now(),
+            cancel: CancelToken::new(),
+            accepting: AtomicBool::new(true),
+            next_stream: AtomicU32::new(0),
+            streams: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            c_connections: registry.counter("serve.connections"),
+            c_streams_opened: registry.counter("serve.streams.opened"),
+            c_streams_closed: registry.counter("serve.streams.closed"),
+            c_tokens_in: registry.counter("serve.tokens.in"),
+            c_outputs: registry.counter("serve.outputs"),
+            c_faults: registry.counter("serve.faults"),
+            c_busy: registry.counter("serve.busy"),
+            c_frames_in: registry.counter("serve.frames.in"),
+            c_frames_out: registry.counter("serve.frames.out"),
+            c_bytes_in: registry.counter("serve.bytes.in"),
+            c_bytes_out: registry.counter("serve.bytes.out"),
+            c_protocol_errors: registry.counter("serve.protocol.errors"),
+            h_frame_in: registry.histogram("serve.frame.bytes.in"),
+            h_frame_out: registry.histogram("serve.frame.bytes.out"),
+            h_flush_batch: registry.histogram("serve.flush.batch"),
+            registry,
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))
+            .map_err(ServeError::Io)?;
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            addr,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The fleet executor behind the server (live load inspection).
+    pub fn fleet(&self) -> &FleetExecutor {
+        &self.shared.fleet
+    }
+
+    /// The server's metrics registry (connection/stream/frame counters,
+    /// frame-size histograms).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// The server lifecycle event log as JSONL.
+    pub fn events_jsonl(&self) -> String {
+        rtft_obs::export::events_to_jsonl(&self.shared.events)
+    }
+
+    /// Stops accepting new streams and new flushes: `OpenStream` and
+    /// `Flush` answer `Busy{shutting-down}` from here on. Already-admitted
+    /// jobs keep running and their outputs keep flowing.
+    pub fn begin_shutdown(&self) {
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.event("serve.shutdown.begin", None, 0);
+    }
+
+    /// Graceful drain: refuses new work, waits for every admitted flush to
+    /// settle (all notifiers fire — every accepted token is delivered or
+    /// reported), then stops the acceptor and readers and returns the
+    /// final report. The serve registry is folded into the fleet
+    /// supervisor's registry, so the report's fleet view carries both.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.begin_shutdown();
+        // Drain: join a clone so the supervisor stays reachable after.
+        let fleet = self.shared.fleet.clone().join();
+        self.shared
+            .fleet
+            .supervisor()
+            .registry()
+            .absorb(&self.shared.registry);
+        self.shared.cancel.cancel();
+        for sock in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handlers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared.event("serve.shutdown.done", None, 0);
+
+        let mut streams: Vec<StreamAccount> = {
+            let guard = self.shared.streams.lock().unwrap();
+            guard
+                .values()
+                .map(|st| {
+                    let tokens_in = st.tokens_in.load(Ordering::SeqCst);
+                    let delivered = st.delivered.load(Ordering::SeqCst);
+                    StreamAccount {
+                        id: st.id,
+                        app: st.app.label(),
+                        redundancy: st.redundancy,
+                        tokens_in,
+                        delivered,
+                        undelivered: tokens_in.saturating_sub(delivered),
+                        faults: st.faults.load(Ordering::SeqCst),
+                        busy: st.busy.load(Ordering::SeqCst),
+                        closed: st.closed.load(Ordering::SeqCst),
+                    }
+                })
+                .collect()
+        };
+        streams.sort_by_key(|s| s.id);
+        ServeReport {
+            streams,
+            connections: self.shared.c_connections.get(),
+            frames_in: self.shared.c_frames_in.get(),
+            frames_out: self.shared.c_frames_out.get(),
+            bytes_in: self.shared.c_bytes_in.get(),
+            bytes_out: self.shared.c_bytes_out.get(),
+            fleet,
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    let mut next_conn: u32 = 0;
+    loop {
+        if shared.cancel.is_cancelled() {
+            return;
+        }
+        match listener.accept() {
+            Ok((sock, _)) => {
+                let conn_id = next_conn;
+                next_conn += 1;
+                shared.c_connections.inc();
+                shared.event("serve.conn.opened", Some(conn_id as usize), 0);
+                if let Ok(clone) = sock.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                }
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-conn-{conn_id}"))
+                    .spawn(move || {
+                        handle_connection(&conn_shared, sock, conn_id);
+                        conn_shared.event("serve.conn.closed", Some(conn_id as usize), 0);
+                    });
+                if let Ok(handle) = handle {
+                    shared.handlers.lock().unwrap().push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Runs one connection's read loop to completion. Any protocol violation
+/// or I/O failure ends the connection; buffered stream state survives (it
+/// is reported as undelivered at shutdown).
+fn handle_connection(shared: &Arc<Shared>, sock: TcpStream, conn_id: u32) {
+    let mut reader = match sock.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(sock));
+    match drive_connection(shared, &mut reader, &writer, conn_id) {
+        Ok(()) | Err(ServeError::ConnectionClosed) => {}
+        Err(ServeError::Protocol(_)) => {
+            shared.c_protocol_errors.inc();
+            shared.event("serve.protocol.error", Some(conn_id as usize), 0);
+        }
+        Err(_) => {}
+    }
+    // Actively shut the connection down: the clone registered for
+    // shutdown-time unblocking would otherwise keep the TCP stream open
+    // (and the peer blocked) after this handler exits.
+    let _ = writer.lock().unwrap().shutdown(Shutdown::Both);
+}
+
+fn drive_connection(
+    shared: &Arc<Shared>,
+    reader: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    conn_id: u32,
+) -> Result<(), ServeError> {
+    // First frame must be a version-matched Hello.
+    match next_frame(shared, reader)? {
+        Frame::Hello { version, .. } if version == PROTOCOL_VERSION => {
+            shared.send(writer, &Frame::Accepted { id: conn_id })?;
+        }
+        Frame::Hello { version, .. } => {
+            return Err(ProtocolError::VersionMismatch {
+                offered: version,
+                supported: PROTOCOL_VERSION,
+            }
+            .into());
+        }
+        other => {
+            return Err(ProtocolError::UnexpectedFrame {
+                expected: "Hello",
+                got: other.name(),
+            }
+            .into());
+        }
+    }
+
+    loop {
+        let frame = match next_frame(shared, reader) {
+            Ok(f) => f,
+            Err(ServeError::ConnectionClosed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame {
+            Frame::OpenStream { app, redundancy } => {
+                handle_open(shared, writer, conn_id, app, redundancy)?
+            }
+            Frame::Tokens { stream, payloads } => {
+                let st = lookup(shared, conn_id, stream)?;
+                handle_tokens(shared, &st, payloads);
+            }
+            Frame::Flush { stream } => {
+                let st = lookup(shared, conn_id, stream)?;
+                handle_flush(shared, writer, &st)?;
+            }
+            Frame::Close { stream } => {
+                let st = lookup(shared, conn_id, stream)?;
+                handle_close(shared, writer, &st)?;
+            }
+            other => {
+                return Err(ProtocolError::UnexpectedFrame {
+                    expected: "OpenStream|Tokens|Flush|Close",
+                    got: other.name(),
+                }
+                .into());
+            }
+        }
+    }
+}
+
+fn next_frame(shared: &Shared, reader: &mut TcpStream) -> Result<Frame, ServeError> {
+    let (frame, n) = read_frame(reader, shared.cfg.max_frame)?;
+    shared.c_frames_in.inc();
+    shared.c_bytes_in.add(n as u64);
+    shared.h_frame_in.record(n as u64);
+    Ok(frame)
+}
+
+fn lookup(shared: &Shared, conn_id: u32, stream: u32) -> Result<Arc<StreamState>, ServeError> {
+    let guard = shared.streams.lock().unwrap();
+    match guard.get(&stream) {
+        Some(st) if st.conn == conn_id => Ok(Arc::clone(st)),
+        Some(_) => Err(ProtocolError::BadPayload("stream belongs to another connection").into()),
+        None => Err(ProtocolError::BadPayload("unknown stream id").into()),
+    }
+}
+
+fn handle_open(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    conn_id: u32,
+    app: u8,
+    redundancy: u8,
+) -> Result<(), ServeError> {
+    if !shared.accepting.load(Ordering::SeqCst) {
+        let load = shared.fleet.load();
+        shared.c_busy.inc();
+        shared.send(
+            writer,
+            &Frame::Busy {
+                stream: u32::MAX,
+                reason: BusyReason::ShuttingDown,
+                pending: load.outstanding as u32,
+                capacity: load.capacity as u32,
+            },
+        )?;
+        return Ok(());
+    }
+    let app = *App::ALL
+        .get(app as usize)
+        .ok_or(ProtocolError::BadPayload("app index out of range"))?;
+    if !(redundancy == 2 || redundancy == 3) {
+        return Err(ProtocolError::BadPayload("redundancy must be 2 or 3").into());
+    }
+    let id = shared.next_stream.fetch_add(1, Ordering::SeqCst);
+    let st = Arc::new(StreamState {
+        id,
+        conn: conn_id,
+        app,
+        redundancy,
+        buffered: Mutex::new(Vec::new()),
+        tokens_in: AtomicU64::new(0),
+        delivered: AtomicU64::new(0),
+        faults: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        inflight: AtomicU64::new(0),
+        closed: AtomicBool::new(false),
+    });
+    shared.streams.lock().unwrap().insert(id, st);
+    shared.c_streams_opened.inc();
+    shared.event("serve.stream.opened", Some(id as usize), redundancy as u64);
+    shared.send(writer, &Frame::Accepted { id })
+}
+
+fn handle_tokens(shared: &Shared, st: &StreamState, payloads: Vec<Vec<u8>>) {
+    let n = payloads.len() as u64;
+    st.tokens_in.fetch_add(n, Ordering::SeqCst);
+    shared.c_tokens_in.add(n);
+    shared
+        .registry
+        .counter_named(format!("serve.app.{}.tokens", st.app.label()))
+        .add(n);
+    st.buffered.lock().unwrap().extend(payloads);
+}
+
+fn handle_flush(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    st: &Arc<StreamState>,
+) -> Result<(), ServeError> {
+    // Snapshot without draining: the batch only leaves the buffer once the
+    // fleet admits it, so a Busy refusal loses nothing.
+    let batch: Vec<Vec<u8>> = st.buffered.lock().unwrap().clone();
+    if batch.is_empty() {
+        return shared.send(writer, &shared.stats_frame(st));
+    }
+    if !shared.accepting.load(Ordering::SeqCst) {
+        return refuse(shared, writer, st, RejectReason::ShuttingDown);
+    }
+    let spec = build_spec(shared, st, &batch);
+    let notify = settle_notifier(shared, writer, st);
+    match shared.fleet.submit_with(spec, Some(notify)) {
+        Admission::Admitted(_) => {
+            // Drop exactly the snapshot; tokens that raced in during
+            // submission stay buffered for the next flush.
+            let mut buf = st.buffered.lock().unwrap();
+            let drained = batch.len().min(buf.len());
+            buf.drain(..drained);
+            st.inflight.fetch_add(1, Ordering::SeqCst);
+            shared.h_flush_batch.record(batch.len() as u64);
+            shared.event(
+                "serve.stream.flushed",
+                Some(st.id as usize),
+                batch.len() as u64,
+            );
+            Ok(())
+        }
+        Admission::Rejected(reason) => refuse(shared, writer, st, reason),
+    }
+}
+
+/// Answers a flush refusal with an explicit `Busy` frame — backpressure,
+/// not loss: the batch stays buffered for the client's retry.
+fn refuse(
+    shared: &Shared,
+    writer: &Arc<Mutex<TcpStream>>,
+    st: &StreamState,
+    reason: RejectReason,
+) -> Result<(), ServeError> {
+    st.busy.fetch_add(1, Ordering::SeqCst);
+    shared.c_busy.inc();
+    shared.event("serve.stream.busy", Some(st.id as usize), 0);
+    let (reason, pending, capacity) = match reason {
+        RejectReason::QueueFull { pending, capacity } => {
+            (BusyReason::QueueFull, pending as u32, capacity as u32)
+        }
+        RejectReason::ShuttingDown => {
+            let load = shared.fleet.load();
+            (
+                BusyReason::ShuttingDown,
+                load.outstanding as u32,
+                load.capacity as u32,
+            )
+        }
+    };
+    shared.send(
+        writer,
+        &Frame::Busy {
+            stream: st.id,
+            reason,
+            pending,
+            capacity,
+        },
+    )
+}
+
+/// The notifier a flush job settles through: pushes outputs, fault
+/// latches (with detection latency where the health model knows the
+/// injection instant), and the terminal `Stats`. Runs on a pool worker
+/// *before* the job's outstanding slot is released, so a fleet drain
+/// implies every frame below was written.
+fn settle_notifier(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    st: &Arc<StreamState>,
+) -> JobNotifier {
+    let shared = Arc::clone(shared);
+    let writer = Arc::clone(writer);
+    let st = Arc::clone(st);
+    Arc::new(move |record, result| {
+        if let Some(result) = result {
+            for (seq, &(at_ns, digest)) in result.arrival_log.iter().enumerate() {
+                let _ = shared.send(
+                    &writer,
+                    &Frame::Output {
+                        stream: st.id,
+                        seq: seq as u64,
+                        at_ns,
+                        digest,
+                    },
+                );
+            }
+            st.delivered
+                .fetch_add(result.arrival_log.len() as u64, Ordering::SeqCst);
+            shared.c_outputs.add(result.arrival_log.len() as u64);
+            for &replica in &record.faulty_replicas {
+                let (kind, latency) = result
+                    .health
+                    .as_ref()
+                    .and_then(|h| h.replica(replica))
+                    .map(|rh| {
+                        let latency = match (rh.first_detected_at_ns, rh.fault_injected_at_ns) {
+                            (Some(d), Some(i)) => d.saturating_sub(i),
+                            _ => 0,
+                        };
+                        (site_kind(rh.first_site), latency)
+                    })
+                    .unwrap_or((site_kind(None), 0));
+                st.faults.fetch_add(1, Ordering::SeqCst);
+                shared.c_faults.inc();
+                shared.event("serve.stream.fault", Some(st.id as usize), replica as u64);
+                let _ = shared.send(
+                    &writer,
+                    &Frame::Fault {
+                        stream: st.id,
+                        replica: replica as u32,
+                        kind,
+                        detection_latency_ns: latency,
+                    },
+                );
+            }
+        }
+        st.inflight.fetch_sub(1, Ordering::SeqCst);
+        let _ = shared.send(&writer, &shared.stats_frame(&st));
+    })
+}
+
+fn handle_close(
+    shared: &Shared,
+    writer: &Arc<Mutex<TcpStream>>,
+    st: &StreamState,
+) -> Result<(), ServeError> {
+    // Drain this stream's in-flight flushes so the final Stats accounts
+    // for every admitted token.
+    while st.inflight.load(Ordering::SeqCst) > 0 && !shared.cancel.is_cancelled() {
+        std::thread::sleep(DRAIN_POLL);
+    }
+    st.closed.store(true, Ordering::SeqCst);
+    shared.c_streams_closed.inc();
+    shared.event("serve.stream.closed", Some(st.id as usize), 0);
+    shared.send(writer, &shared.stats_frame(st))
+}
+
+/// Builds the fleet job for one flush batch: the stream's app profile
+/// under its redundancy, fed by the client's actual payload bytes.
+fn build_spec(shared: &Shared, st: &StreamState, batch: &[Vec<u8>]) -> JobSpec {
+    let profile = st.app.profile();
+    let model = profile.model;
+    let n = batch.len() as u64;
+    let payloads: Vec<Payload> = batch.iter().map(|b| Payload::from(b.clone())).collect();
+    let payload: PayloadGenerator =
+        Arc::new(move |i| payloads[(i as usize) % payloads.len()].clone());
+    let seed = shared
+        .cfg
+        .seed
+        .wrapping_add((st.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let service = model.producer.period / SERVICE_DIVISOR;
+    let offset = service + model.producer.jitter + TimeNs::from_ms(1);
+    let injections: Vec<(usize, TimeNs)> = shared
+        .cfg
+        .inject
+        .iter()
+        .filter(|inj| inj.stream == st.id)
+        .map(|inj| (inj.replica, inj.at))
+        .collect();
+
+    let template = if st.redundancy == 2 {
+        let mut cfg = DuplicationConfig::from_model(model)
+            .expect("profile models are bounded")
+            .with_token_count(n)
+            .with_seeds(seed ^ 0xA5A5, seed ^ 0x5A5A)
+            .with_payload(payload);
+        for &(replica, at) in &injections {
+            if replica < 2 {
+                cfg = cfg.with_fault(replica, FaultPlan::fail_stop_at(at));
+            }
+        }
+        let factory = JitterStageReplica {
+            service,
+            out_model: [
+                model.replica_out[0].with_delay(offset),
+                model.replica_out[1].with_delay(offset),
+            ],
+            seeds: [seed ^ 0x11, seed ^ 0x22],
+        };
+        JobTemplate::Duplicated {
+            cfg,
+            factory: Arc::new(factory),
+        }
+    } else {
+        let mid_jitter = TimeNs::from_ns(
+            (model.replica_out[0].jitter.as_ns() + model.replica_out[1].jitter.as_ns()) / 2,
+        );
+        let nmodel = NModularModel {
+            producer: model.producer,
+            consumer: model.consumer,
+            replicas: vec![
+                model.replica_out[0],
+                model.replica_out[1],
+                PjdModel::new(model.producer.period, mid_jitter, TimeNs::ZERO),
+            ],
+        };
+        let sizing = NSizingReport::analyze(&nmodel).expect("profile models are bounded");
+        let mut faults = vec![FaultPlan::healthy(); 3];
+        for &(replica, at) in &injections {
+            if replica < 3 {
+                faults[replica] = FaultPlan::fail_stop_at(at);
+            }
+        }
+        let factory = NJitterStageReplica {
+            service,
+            out_models: nmodel.replicas.clone(),
+            offset,
+            seed_base: seed ^ 0x33,
+        };
+        JobTemplate::NModularVoting {
+            model: nmodel,
+            sizing,
+            token_count: n,
+            seeds: (seed ^ 0xA5A5, seed ^ 0x5A5A),
+            payload,
+            factory: Arc::new(factory),
+            faults,
+        }
+    };
+
+    let runtime = match shared.cfg.runtime {
+        ServeRuntime::DiscreteEvent => JobRuntime::DiscreteEvent {
+            horizon: model.producer.period * (n + 60) + model.consumer.delay + TimeNs::from_secs(5),
+        },
+        ServeRuntime::Threaded {
+            deadline,
+            quiescence_grace,
+        } => JobRuntime::Threaded {
+            deadline,
+            quiescence_grace,
+        },
+    };
+
+    JobSpec {
+        name: format!("serve/{}/{}", st.app.label(), st.id),
+        template,
+        relative_deadline: Duration::from_secs(120),
+        runtime,
+    }
+}

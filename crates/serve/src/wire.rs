@@ -1,0 +1,592 @@
+//! The `RTFT/1` wire protocol: length-prefixed binary frames.
+//!
+//! # Frame grammar
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! frame   := length tag body
+//! length  := u32 LE        ; bytes following the length field (tag + body),
+//!                          ; 1 ..= max_frame
+//! tag     := u8            ; frame discriminator (see below)
+//! body    := tag-specific fields, fixed order, no padding
+//! ```
+//!
+//! Scalars are little-endian (`u32`/`u64`). Variable-length fields are a
+//! `u32` LE byte count followed by the raw bytes; strings are UTF-8.
+//!
+//! A `length` of zero, a `length` above the negotiated maximum, or an
+//! unknown `tag` is a [`ProtocolError`] — the peer must drop the
+//! connection. Decoding never panics on malformed input.
+//!
+//! # Frames
+//!
+//! | tag    | frame        | direction | body |
+//! |--------|--------------|-----------|------|
+//! | `0x01` | `Hello`      | C→S       | `version:u32, client:str` |
+//! | `0x02` | `OpenStream` | C→S       | `app:u8, redundancy:u8` |
+//! | `0x03` | `Tokens`     | C→S       | `stream:u32, count:u32, count × bytes` |
+//! | `0x04` | `Flush`      | C→S       | `stream:u32` |
+//! | `0x05` | `Close`      | C→S       | `stream:u32` |
+//! | `0x81` | `Accepted`   | S→C       | `id:u32` |
+//! | `0x82` | `Busy`       | S→C       | `stream:u32, reason:u8, pending:u32, capacity:u32` |
+//! | `0x83` | `Output`     | S→C       | `stream:u32, seq:u64, at_ns:u64, digest:u64` |
+//! | `0x84` | `Fault`      | S→C       | `stream:u32, replica:u32, kind:u8, detection_latency_ns:u64` |
+//! | `0x85` | `Stats`      | S→C       | `stream:u32, tokens_in:u64, delivered:u64, faults:u64, busy:u64, queued:u32, inflight:u32, outstanding:u32` |
+//!
+//! `app` indexes [`rtft_apps::networks::App::ALL`]; `redundancy` is the
+//! replica count (2 = duplicated timing selector, 3 = tri-modular value
+//! voting). `kind` in `Fault` is the detection site
+//! ([`site_kind`] / [`kind_label`]).
+
+use std::io::{Read, Write};
+
+use crate::error::{ProtocolError, ServeError};
+
+/// Protocol version this implementation speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default upper bound on a frame's length field (tag + body bytes).
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Why the server refused work (the `reason` byte of a `Busy` frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// Fleet admission is saturated; retry the flush later. Buffered
+    /// tokens are retained server-side — nothing is lost.
+    QueueFull,
+    /// The server is draining; no new streams or tokens are accepted.
+    ShuttingDown,
+}
+
+impl BusyReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            BusyReason::QueueFull => 0,
+            BusyReason::ShuttingDown => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        match b {
+            0 => Ok(BusyReason::QueueFull),
+            1 => Ok(BusyReason::ShuttingDown),
+            _ => Err(ProtocolError::BadPayload("unknown busy reason")),
+        }
+    }
+}
+
+impl std::fmt::Display for BusyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BusyReason::QueueFull => write!(f, "queue-full"),
+            BusyReason::ShuttingDown => write!(f, "shutting-down"),
+        }
+    }
+}
+
+/// One `RTFT/1` frame, either direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client greeting; must be the first frame on a connection.
+    Hello {
+        /// Protocol version the client speaks ([`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Client name (diagnostics only).
+        client: String,
+    },
+    /// Open a fault-tolerant stream.
+    OpenStream {
+        /// Index into [`rtft_apps::networks::App::ALL`].
+        app: u8,
+        /// Replica count: 2 (duplicated) or 3 (tri-modular voting).
+        redundancy: u8,
+    },
+    /// A batch of token payloads for a stream.
+    Tokens {
+        /// Stream id from `Accepted`.
+        stream: u32,
+        /// Raw token payloads, in arrival order.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// Run the stream's buffered tokens through its pipeline now.
+    Flush {
+        /// Stream id from `Accepted`.
+        stream: u32,
+    },
+    /// Client is done with the stream; server settles it and replies with
+    /// a final `Stats`.
+    Close {
+        /// Stream id from `Accepted`.
+        stream: u32,
+    },
+    /// Positive reply to `Hello` (connection id) or `OpenStream` (stream
+    /// id).
+    Accepted {
+        /// Connection or stream id.
+        id: u32,
+    },
+    /// Backpressure: the request was refused, nothing was lost.
+    Busy {
+        /// Stream the refusal concerns (`u32::MAX` = whole connection).
+        stream: u32,
+        /// Why the server refused.
+        reason: BusyReason,
+        /// Outstanding fleet jobs at the time of refusal.
+        pending: u32,
+        /// The fleet's outstanding-job capacity.
+        capacity: u32,
+    },
+    /// One selector output delivered to the consumer.
+    Output {
+        /// Stream id.
+        stream: u32,
+        /// Zero-based output sequence number within the flush.
+        seq: u64,
+        /// Delivery timestamp (virtual ns for DES runs, wall ns for
+        /// threaded runs).
+        at_ns: u64,
+        /// FNV-1a digest of the delivered payload.
+        digest: u64,
+    },
+    /// A replica was latched faulty during a flush run.
+    Fault {
+        /// Stream id.
+        stream: u32,
+        /// Latched replica index.
+        replica: u32,
+        /// Detection site ([`site_kind`]).
+        kind: u8,
+        /// Latch time minus injection time (0 when the injection instant
+        /// is unknown to the server).
+        detection_latency_ns: u64,
+    },
+    /// Per-stream accounting plus live server load.
+    Stats {
+        /// Stream id.
+        stream: u32,
+        /// Tokens accepted from the client so far.
+        tokens_in: u64,
+        /// Tokens delivered back as `Output` frames.
+        delivered: u64,
+        /// `Fault` frames pushed for this stream.
+        faults: u64,
+        /// `Busy` refusals this stream has seen.
+        busy: u64,
+        /// Fleet worker-pool queue depth at snapshot time.
+        queued: u32,
+        /// Fleet jobs executing at snapshot time.
+        inflight: u32,
+        /// Admitted-but-unfinished fleet jobs at snapshot time.
+        outstanding: u32,
+    },
+}
+
+impl Frame {
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::OpenStream { .. } => 0x02,
+            Frame::Tokens { .. } => 0x03,
+            Frame::Flush { .. } => 0x04,
+            Frame::Close { .. } => 0x05,
+            Frame::Accepted { .. } => 0x81,
+            Frame::Busy { .. } => 0x82,
+            Frame::Output { .. } => 0x83,
+            Frame::Fault { .. } => 0x84,
+            Frame::Stats { .. } => 0x85,
+        }
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "Hello",
+            Frame::OpenStream { .. } => "OpenStream",
+            Frame::Tokens { .. } => "Tokens",
+            Frame::Flush { .. } => "Flush",
+            Frame::Close { .. } => "Close",
+            Frame::Accepted { .. } => "Accepted",
+            Frame::Busy { .. } => "Busy",
+            Frame::Output { .. } => "Output",
+            Frame::Fault { .. } => "Fault",
+            Frame::Stats { .. } => "Stats",
+        }
+    }
+
+    /// Encodes the frame as `length ‖ tag ‖ body` wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Frame::Hello { version, client } => {
+                put_u32(&mut body, *version);
+                put_bytes(&mut body, client.as_bytes());
+            }
+            Frame::OpenStream { app, redundancy } => {
+                body.push(*app);
+                body.push(*redundancy);
+            }
+            Frame::Tokens { stream, payloads } => {
+                put_u32(&mut body, *stream);
+                put_u32(&mut body, payloads.len() as u32);
+                for p in payloads {
+                    put_bytes(&mut body, p);
+                }
+            }
+            Frame::Flush { stream } | Frame::Close { stream } => {
+                put_u32(&mut body, *stream);
+            }
+            Frame::Accepted { id } => put_u32(&mut body, *id),
+            Frame::Busy {
+                stream,
+                reason,
+                pending,
+                capacity,
+            } => {
+                put_u32(&mut body, *stream);
+                body.push(reason.to_byte());
+                put_u32(&mut body, *pending);
+                put_u32(&mut body, *capacity);
+            }
+            Frame::Output {
+                stream,
+                seq,
+                at_ns,
+                digest,
+            } => {
+                put_u32(&mut body, *stream);
+                put_u64(&mut body, *seq);
+                put_u64(&mut body, *at_ns);
+                put_u64(&mut body, *digest);
+            }
+            Frame::Fault {
+                stream,
+                replica,
+                kind,
+                detection_latency_ns,
+            } => {
+                put_u32(&mut body, *stream);
+                put_u32(&mut body, *replica);
+                body.push(*kind);
+                put_u64(&mut body, *detection_latency_ns);
+            }
+            Frame::Stats {
+                stream,
+                tokens_in,
+                delivered,
+                faults,
+                busy,
+                queued,
+                inflight,
+                outstanding,
+            } => {
+                put_u32(&mut body, *stream);
+                put_u64(&mut body, *tokens_in);
+                put_u64(&mut body, *delivered);
+                put_u64(&mut body, *faults);
+                put_u64(&mut body, *busy);
+                put_u32(&mut body, *queued);
+                put_u32(&mut body, *inflight);
+                put_u32(&mut body, *outstanding);
+            }
+        }
+        let mut wire = Vec::with_capacity(5 + body.len());
+        put_u32(&mut wire, 1 + body.len() as u32);
+        wire.push(self.tag());
+        wire.extend_from_slice(&body);
+        wire
+    }
+
+    /// Decodes a frame from `tag ‖ body` bytes (the length prefix already
+    /// stripped). Never panics on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Frame, ProtocolError> {
+        let (&tag, mut body) = buf
+            .split_first()
+            .ok_or(ProtocolError::BadPayload("empty frame"))?;
+        let r = &mut body;
+        let frame = match tag {
+            0x01 => Frame::Hello {
+                version: get_u32(r)?,
+                client: String::from_utf8(get_bytes(r)?)
+                    .map_err(|_| ProtocolError::BadPayload("client name is not UTF-8"))?,
+            },
+            0x02 => Frame::OpenStream {
+                app: get_u8(r)?,
+                redundancy: get_u8(r)?,
+            },
+            0x03 => {
+                let stream = get_u32(r)?;
+                let count = get_u32(r)? as usize;
+                // A payload costs at least its 4-byte length prefix, so a
+                // count beyond the remaining bytes / 4 cannot be honest.
+                if count > r.len() / 4 + 1 {
+                    return Err(ProtocolError::BadPayload("token count exceeds frame"));
+                }
+                let mut payloads = Vec::with_capacity(count);
+                for _ in 0..count {
+                    payloads.push(get_bytes(r)?);
+                }
+                Frame::Tokens { stream, payloads }
+            }
+            0x04 => Frame::Flush {
+                stream: get_u32(r)?,
+            },
+            0x05 => Frame::Close {
+                stream: get_u32(r)?,
+            },
+            0x81 => Frame::Accepted { id: get_u32(r)? },
+            0x82 => Frame::Busy {
+                stream: get_u32(r)?,
+                reason: BusyReason::from_byte(get_u8(r)?)?,
+                pending: get_u32(r)?,
+                capacity: get_u32(r)?,
+            },
+            0x83 => Frame::Output {
+                stream: get_u32(r)?,
+                seq: get_u64(r)?,
+                at_ns: get_u64(r)?,
+                digest: get_u64(r)?,
+            },
+            0x84 => Frame::Fault {
+                stream: get_u32(r)?,
+                replica: get_u32(r)?,
+                kind: get_u8(r)?,
+                detection_latency_ns: get_u64(r)?,
+            },
+            0x85 => Frame::Stats {
+                stream: get_u32(r)?,
+                tokens_in: get_u64(r)?,
+                delivered: get_u64(r)?,
+                faults: get_u64(r)?,
+                busy: get_u64(r)?,
+                queued: get_u32(r)?,
+                inflight: get_u32(r)?,
+                outstanding: get_u32(r)?,
+            },
+            other => return Err(ProtocolError::UnknownTag(other)),
+        };
+        if !r.is_empty() {
+            return Err(ProtocolError::BadPayload("trailing bytes after frame"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to `w`. Returns the wire bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize, ServeError> {
+    let wire = frame.encode();
+    w.write_all(&wire)?;
+    Ok(wire.len())
+}
+
+/// Reads one frame from `r`, enforcing `max_frame` on the length field.
+/// Returns the frame and the wire bytes consumed.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<(Frame, usize), ServeError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(ProtocolError::BadPayload("zero-length frame").into());
+    }
+    if len > max_frame {
+        return Err(ProtocolError::Oversized {
+            len,
+            max: max_frame,
+        }
+        .into());
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok((Frame::decode(&buf)?, 4 + len as usize))
+}
+
+/// Maps a detection site to the `kind` byte of a `Fault` frame.
+pub fn site_kind(site: Option<rtft_obs::DetectionSite>) -> u8 {
+    use rtft_obs::DetectionSite;
+    match site {
+        Some(DetectionSite::ReplicatorOverflow) => 0,
+        Some(DetectionSite::ReplicatorDivergence) => 1,
+        Some(DetectionSite::SelectorStall) => 2,
+        Some(DetectionSite::SelectorDivergence) => 3,
+        None => 255,
+    }
+}
+
+/// Human label for a `Fault` frame's `kind` byte.
+pub fn kind_label(kind: u8) -> &'static str {
+    match kind {
+        0 => "replicator.overflow",
+        1 => "replicator.divergence",
+        2 => "selector.stall",
+        3 => "selector.divergence",
+        _ => "unknown",
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn get_u8(r: &mut &[u8]) -> Result<u8, ProtocolError> {
+    let (&b, rest) = r
+        .split_first()
+        .ok_or(ProtocolError::BadPayload("truncated u8"))?;
+    *r = rest;
+    Ok(b)
+}
+
+fn get_u32(r: &mut &[u8]) -> Result<u32, ProtocolError> {
+    if r.len() < 4 {
+        return Err(ProtocolError::BadPayload("truncated u32"));
+    }
+    let (head, rest) = r.split_at(4);
+    *r = rest;
+    Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
+}
+
+fn get_u64(r: &mut &[u8]) -> Result<u64, ProtocolError> {
+    if r.len() < 8 {
+        return Err(ProtocolError::BadPayload("truncated u64"));
+    }
+    let (head, rest) = r.split_at(8);
+    *r = rest;
+    Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
+}
+
+fn get_bytes(r: &mut &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    let len = get_u32(r)? as usize;
+    if r.len() < len {
+        return Err(ProtocolError::BadPayload("truncated byte field"));
+    }
+    let (head, rest) = r.split_at(len);
+    *r = rest;
+    Ok(head.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let wire = frame.encode();
+        let (decoded, consumed) = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap_or_else(|e| panic!("{frame:?}: {e}"));
+        assert_eq!(decoded, frame);
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "test-client".into(),
+        });
+        round_trip(Frame::OpenStream {
+            app: 1,
+            redundancy: 3,
+        });
+        round_trip(Frame::Tokens {
+            stream: 7,
+            payloads: vec![vec![1, 2, 3], vec![], vec![0xFF; 100]],
+        });
+        round_trip(Frame::Flush { stream: 7 });
+        round_trip(Frame::Close { stream: 7 });
+        round_trip(Frame::Accepted { id: 42 });
+        round_trip(Frame::Busy {
+            stream: 7,
+            reason: BusyReason::QueueFull,
+            pending: 64,
+            capacity: 64,
+        });
+        round_trip(Frame::Output {
+            stream: 7,
+            seq: 3,
+            at_ns: 123_456,
+            digest: u64::MAX,
+        });
+        round_trip(Frame::Fault {
+            stream: 7,
+            replica: 1,
+            kind: 3,
+            detection_latency_ns: 987,
+        });
+        round_trip(Frame::Stats {
+            stream: 7,
+            tokens_in: 10,
+            delivered: 10,
+            faults: 1,
+            busy: 2,
+            queued: 3,
+            inflight: 1,
+            outstanding: 4,
+        });
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let wire = 0u32.to_le_bytes();
+        let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut wire.as_slice(), 1024).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Protocol(ProtocolError::Oversized { len: u32::MAX, .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_tag_is_a_clean_error() {
+        let frame = [2u8, 0, 0, 0, 0x7F, 0];
+        let err = read_frame(&mut frame.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Protocol(ProtocolError::UnknownTag(0x7F))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_a_clean_error() {
+        let full = Frame::Output {
+            stream: 1,
+            seq: 2,
+            at_ns: 3,
+            digest: 4,
+        }
+        .encode();
+        // Re-frame a prefix of the body under a matching (shorter) length.
+        let body = &full[4..full.len() - 5];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(body);
+        let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn dishonest_token_count_is_rejected() {
+        let mut body = vec![0x03];
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Frame::decode(&body).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadPayload(_)), "{err}");
+    }
+}

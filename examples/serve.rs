@@ -1,0 +1,144 @@
+//! The streaming ingestion server end to end — the CI smoke for
+//! `rtft-serve`.
+//!
+//! Starts a loopback server, connects three concurrent clients each
+//! streaming an MJPEG-profile workload into its own duplicated pipeline,
+//! and injects one permanent timing fault (fail-stop in replica 1 of
+//! client 0's stream). Every client must get all of its tokens back in
+//! order with matching digests; client 0 must additionally receive a
+//! `Fault` frame whose reported detection latency sits inside the
+//! analytic `DetectionBounds` window for the MJPEG profile. The final
+//! `ServeReport` must balance (`tokens_in == delivered + undelivered`,
+//! with nothing undelivered here).
+//!
+//! Exits non-zero on any violation, so CI can run it as a smoke test:
+//!
+//! ```sh
+//! cargo run --release --bin serve
+//! ```
+
+use rtft_apps::networks::App;
+use rtft_rtc::TimeNs;
+use rtft_serve::{
+    detection_bound, digest_of, kind_label, workload, Client, FaultInjection, Server, ServerConfig,
+};
+
+const CLIENTS: usize = 3;
+const TOKENS: usize = 16;
+const FAULTY_STREAM: u32 = 0;
+
+fn main() {
+    let cfg = ServerConfig {
+        inject: vec![FaultInjection {
+            stream: FAULTY_STREAM,
+            replica: 1,
+            at: TimeNs::from_ms(150),
+        }],
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind loopback");
+    println!(
+        "serve: listening on {}, {CLIENTS} clients x {TOKENS} MJPEG frames, \
+         permanent timing fault injected into stream {FAULTY_STREAM} replica 1",
+        server.addr()
+    );
+
+    // Client 0 opens its stream first so the injection's global stream
+    // index is deterministic; all three then flush concurrently.
+    let addr = server.addr();
+    let mut handles = Vec::new();
+    let mut clients: Vec<(Client, u32)> = (0..CLIENTS)
+        .map(|i| {
+            let mut client = Client::connect(addr, &format!("smoke-{i}")).expect("connect");
+            let stream = client
+                .open_stream(App::Mjpeg, 2)
+                .expect("open")
+                .expect_stream();
+            (client, stream)
+        })
+        .collect();
+    for (i, (mut client, stream)) in clients.drain(..).enumerate() {
+        handles.push(std::thread::spawn(move || {
+            let batch = workload(App::Mjpeg, i as u64, TOKENS);
+            client.send_tokens(stream, batch.clone()).expect("send");
+            let run = client.flush(stream).expect("flush");
+            let stats = client.close(stream).expect("close").stats.expect("stats");
+            (stream, batch, run, stats)
+        }));
+    }
+
+    let bound = detection_bound(App::Mjpeg).as_ns();
+    let mut failures = 0usize;
+    let mut fault_seen = false;
+    for handle in handles {
+        let (stream, batch, run, stats) = handle.join().expect("client thread");
+        let in_order = run
+            .outputs
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.seq == i as u64 && o.digest == digest_of(&batch[i]));
+        println!(
+            "  stream {stream}: {}/{} outputs, in-order+digests {}, faults {}, busy {}",
+            run.outputs.len(),
+            TOKENS,
+            if in_order { "ok" } else { "MISMATCH" },
+            run.faults.len(),
+            stats.busy,
+        );
+        if run.outputs.len() != TOKENS || !in_order {
+            eprintln!("SMOKE FAILED: stream {stream} lost or reordered tokens");
+            failures += 1;
+        }
+        for fault in &run.faults {
+            println!(
+                "    fault: replica {} at site {} ({}), detection latency {:.3} ms (bound {:.3} ms)",
+                fault.replica,
+                fault.kind,
+                kind_label(fault.kind),
+                fault.detection_latency_ns as f64 / 1e6,
+                bound as f64 / 1e6,
+            );
+            if stream == FAULTY_STREAM
+                && fault.replica == 1
+                && fault.detection_latency_ns > 0
+                && fault.detection_latency_ns <= bound
+            {
+                fault_seen = true;
+            }
+        }
+        if stream == FAULTY_STREAM && run.faults.is_empty() {
+            eprintln!("SMOKE FAILED: no Fault frame pushed for the injected fault");
+            failures += 1;
+        }
+    }
+
+    let report = server.shutdown();
+    println!();
+    println!("serve report: {}", report.to_json());
+
+    if !fault_seen {
+        eprintln!("SMOKE FAILED: Fault frame missing or detection latency out of bound");
+        failures += 1;
+    }
+    if !report.balanced() {
+        eprintln!("SMOKE FAILED: token accounting does not balance");
+        failures += 1;
+    }
+    if report.delivered() != (CLIENTS * TOKENS) as u64 {
+        eprintln!(
+            "SMOKE FAILED: delivered {} of {} tokens",
+            report.delivered(),
+            CLIENTS * TOKENS
+        );
+        failures += 1;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "SMOKE OK: {} tokens delivered across {} streams, fault detected within {:.3} ms bound",
+        report.delivered(),
+        report.streams.len(),
+        bound as f64 / 1e6
+    );
+}

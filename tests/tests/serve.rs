@@ -1,0 +1,421 @@
+//! Integration tests of `rtft-serve`: the `RTFT/1` wire protocol under a
+//! seeded fuzz of frame shapes, the loopback client/server path through a
+//! duplicated pipeline (in-order delivery, fault push within the analytic
+//! detection bound), `Busy` backpressure under saturated admission, and
+//! graceful shutdown under load with full token accounting.
+
+use rtft_apps::networks::App;
+use rtft_fleet::FleetConfig;
+use rtft_rtc::TimeNs;
+use rtft_serve::wire::{read_frame, write_frame};
+use rtft_serve::{
+    detection_bound, digest_of, workload, BusyReason, Client, FaultInjection, Frame, OpenOutcome,
+    ProtocolError, ServeError, ServeRuntime, Server, ServerConfig, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serialises the wall-clock-sensitive tests (threaded-runtime servers):
+/// the harness runs tests on parallel threads, and overlapping sleep-bound
+/// fleets stretch scheduler gaps past the quiescence grace.
+fn timing_lock() -> MutexGuard<'static, ()> {
+    static TIMING: Mutex<()> = Mutex::new(());
+    TIMING.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded sweep over every frame type with randomised field values and
+/// payload shapes — including zero-length and near-max payloads — each
+/// encoded and decoded through the real reader path.
+#[test]
+fn seeded_wire_round_trip_over_all_frame_types() {
+    let mut rng = 0x5EED_u64;
+    let mut frames = Vec::new();
+    for round in 0..64 {
+        let r = |rng: &mut u64| splitmix64(rng);
+        frames.push(match round % 10 {
+            0 => Frame::Hello {
+                version: r(&mut rng) as u32,
+                client: format!("client-{}", r(&mut rng) % 1000),
+            },
+            1 => Frame::OpenStream {
+                app: (r(&mut rng) % 3) as u8,
+                redundancy: 2 + (r(&mut rng) % 2) as u8,
+            },
+            2 => {
+                let count = r(&mut rng) % 5;
+                let payloads = (0..count)
+                    .map(|_| {
+                        let len = match r(&mut rng) % 3 {
+                            0 => 0, // zero-length payload
+                            1 => (r(&mut rng) % 64) as usize,
+                            _ => 4096,
+                        };
+                        (0..len).map(|_| r(&mut rng) as u8).collect()
+                    })
+                    .collect();
+                Frame::Tokens {
+                    stream: r(&mut rng) as u32,
+                    payloads,
+                }
+            }
+            3 => Frame::Flush {
+                stream: r(&mut rng) as u32,
+            },
+            4 => Frame::Close {
+                stream: r(&mut rng) as u32,
+            },
+            5 => Frame::Accepted {
+                id: r(&mut rng) as u32,
+            },
+            6 => Frame::Busy {
+                stream: r(&mut rng) as u32,
+                reason: if r(&mut rng) % 2 == 0 {
+                    BusyReason::QueueFull
+                } else {
+                    BusyReason::ShuttingDown
+                },
+                pending: r(&mut rng) as u32,
+                capacity: r(&mut rng) as u32,
+            },
+            7 => Frame::Output {
+                stream: r(&mut rng) as u32,
+                seq: r(&mut rng),
+                at_ns: r(&mut rng),
+                digest: r(&mut rng),
+            },
+            8 => Frame::Fault {
+                stream: r(&mut rng) as u32,
+                replica: r(&mut rng) as u32,
+                kind: (r(&mut rng) % 4) as u8,
+                detection_latency_ns: r(&mut rng),
+            },
+            _ => Frame::Stats {
+                stream: r(&mut rng) as u32,
+                tokens_in: r(&mut rng),
+                delivered: r(&mut rng),
+                faults: r(&mut rng),
+                busy: r(&mut rng),
+                queued: r(&mut rng) as u32,
+                inflight: r(&mut rng) as u32,
+                outstanding: r(&mut rng) as u32,
+            },
+        });
+    }
+    // One near-max-frame Tokens payload on top of the seeded sweep.
+    frames.push(Frame::Tokens {
+        stream: 1,
+        payloads: vec![vec![0xAB; DEFAULT_MAX_FRAME as usize - 64]],
+    });
+
+    // All frames through one contiguous byte stream, as on a socket.
+    let mut stream = Vec::new();
+    for f in &frames {
+        write_frame(&mut stream, f).expect("encode");
+    }
+    let mut cursor = stream.as_slice();
+    for expected in &frames {
+        let (decoded, _) = read_frame(&mut cursor, DEFAULT_MAX_FRAME).expect("decode");
+        assert_eq!(&decoded, expected);
+    }
+    assert!(cursor.is_empty(), "no residual bytes after all frames");
+}
+
+/// Malformed input is a clean error at every layer — truncated header,
+/// truncated body, oversized length, unknown tag — never a panic.
+#[test]
+fn malformed_wire_input_is_a_clean_connection_error() {
+    // Truncated length header: the peer vanished mid-frame.
+    let err = read_frame(&mut [0x01u8, 0x02].as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+    assert!(matches!(err, ServeError::ConnectionClosed), "{err}");
+
+    // Length promises more body than the stream carries.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&100u32.to_le_bytes());
+    wire.push(0x04);
+    let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+    assert!(matches!(err, ServeError::ConnectionClosed), "{err}");
+
+    // Oversized length is refused before any allocation.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(1u32 << 30).to_le_bytes());
+    let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Protocol(ProtocolError::Oversized { .. })),
+        "{err}"
+    );
+
+    // Unknown tag drops the connection with a typed error.
+    let wire = [1u8, 0, 0, 0, 0x42];
+    let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Protocol(ProtocolError::UnknownTag(0x42))),
+        "{err}"
+    );
+}
+
+/// The acceptance path: a client streams real MJPEG tokens into a
+/// duplicated pipeline over TCP, receives every selector output in order
+/// with verifiable digests, and — with a permanent timing fault injected
+/// into replica 1 — receives a `Fault` frame whose reported detection
+/// latency is within the analytic `DetectionBounds` window.
+#[test]
+fn loopback_duplicated_stream_delivers_in_order_and_detects_fault_in_bound() {
+    let cfg = ServerConfig {
+        inject: vec![FaultInjection {
+            stream: 0,
+            replica: 1,
+            at: TimeNs::from_ms(120),
+        }],
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(server.addr(), "acceptance").expect("connect");
+
+    let stream = client
+        .open_stream(App::Mjpeg, 2)
+        .expect("open")
+        .expect_stream();
+    let batch = workload(App::Mjpeg, 42, 12);
+    client.send_tokens(stream, batch.clone()).expect("send");
+    let run = client.flush(stream).expect("flush");
+    assert!(run.admitted(), "no backpressure expected on an idle server");
+
+    // Every token came back, in order, with the digest of the exact bytes
+    // this client streamed in.
+    assert_eq!(run.outputs.len(), batch.len());
+    let mut last_at = 0;
+    for (i, out) in run.outputs.iter().enumerate() {
+        assert_eq!(out.seq, i as u64, "outputs must arrive in order");
+        assert_eq!(
+            out.digest,
+            digest_of(&batch[i]),
+            "output {i} must carry the digest of the client's token {i}"
+        );
+        assert!(out.at_ns >= last_at, "delivery timestamps must not regress");
+        last_at = out.at_ns;
+    }
+
+    // The injected permanent timing fault was pushed, and its latency sits
+    // inside the analytic detection window for the MJPEG profile.
+    assert_eq!(run.faults.len(), 1, "exactly one replica was faulted");
+    let fault = &run.faults[0];
+    assert_eq!(fault.replica, 1);
+    assert!(fault.kind <= 3, "latched at a real detection site");
+    let bound = detection_bound(App::Mjpeg).as_ns();
+    assert!(
+        fault.detection_latency_ns > 0 && fault.detection_latency_ns <= bound,
+        "detection latency {} ns must be within the analytic bound {} ns",
+        fault.detection_latency_ns,
+        bound
+    );
+
+    let stats = client.close(stream).expect("close").stats.expect("stats");
+    assert_eq!(stats.tokens_in, 12);
+    assert_eq!(stats.delivered, 12);
+    assert_eq!(stats.faults, 1);
+
+    let report = server.shutdown();
+    assert!(report.balanced());
+    assert_eq!(report.streams.len(), 1);
+    assert_eq!(report.streams[0].undelivered, 0);
+    assert!(report.streams[0].closed);
+}
+
+/// Tri-modular voting streams work over the same wire: redundancy 3 routes
+/// the batch through the value-voting selector and still delivers every
+/// token in order.
+#[test]
+fn voting_stream_delivers_every_token() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr(), "voting").expect("connect");
+    let stream = client
+        .open_stream(App::Adpcm, 3)
+        .expect("open")
+        .expect_stream();
+    let batch = workload(App::Adpcm, 7, 6);
+    client.send_tokens(stream, batch.clone()).expect("send");
+    let run = client.flush(stream).expect("flush");
+    assert_eq!(run.outputs.len(), 6);
+    for (i, out) in run.outputs.iter().enumerate() {
+        assert_eq!(out.seq, i as u64);
+        assert_eq!(out.digest, digest_of(&batch[i]));
+    }
+    client.close(stream).expect("close");
+    let report = server.shutdown();
+    assert!(report.balanced());
+    assert_eq!(report.streams[0].redundancy, 3);
+}
+
+/// Saturated admission answers `Busy{queue-full}` — and the refused batch
+/// stays buffered server-side, so retrying the flush (no re-send of the
+/// tokens) eventually delivers everything. Backpressure, not loss.
+#[test]
+fn saturated_admission_answers_busy_then_retry_delivers_everything() {
+    let _guard = timing_lock();
+    let cfg = ServerConfig {
+        fleet: FleetConfig {
+            workers: 1,
+            pending_capacity: 1,
+            max_replacements: 0,
+        },
+        // Threaded runtime: wall-clock duration tracks the 30 ms MJPEG
+        // period, so the first stream reliably occupies the fleet while
+        // the second probes admission.
+        runtime: ServeRuntime::Threaded {
+            deadline: Duration::from_secs(30),
+            quiescence_grace: Duration::from_millis(150),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind");
+
+    let mut hog = Client::connect(server.addr(), "hog").expect("connect");
+    let hog_stream = hog
+        .open_stream(App::Mjpeg, 2)
+        .expect("open")
+        .expect_stream();
+    hog.send_tokens(hog_stream, workload(App::Mjpeg, 1, 20))
+        .expect("send");
+    let hog_thread = std::thread::spawn(move || hog.flush(hog_stream).expect("hog flush"));
+
+    // Give the hog's flush time to be admitted into the only slot.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut probe = Client::connect(server.addr(), "probe").expect("connect");
+    let probe_stream = probe
+        .open_stream(App::Mjpeg, 2)
+        .expect("open")
+        .expect_stream();
+    probe
+        .send_tokens(probe_stream, workload(App::Mjpeg, 2, 4))
+        .expect("send");
+
+    let mut busy_seen = 0;
+    let delivered = loop {
+        let run = probe.flush(probe_stream).expect("probe flush");
+        match run.busy {
+            Some(info) => {
+                assert_eq!(info.reason, BusyReason::QueueFull);
+                assert!(info.pending >= info.capacity);
+                busy_seen += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            None => break run.outputs.len(),
+        }
+    };
+    assert!(
+        busy_seen >= 1,
+        "the probe must observe explicit backpressure while the hog runs"
+    );
+    assert_eq!(delivered, 4, "the refused batch was retained and delivered");
+
+    let hog_run = hog_thread.join().expect("hog thread");
+    assert_eq!(hog_run.outputs.len(), 20);
+
+    let report = server.shutdown();
+    assert!(report.balanced());
+    let probe_account = report
+        .streams
+        .iter()
+        .find(|s| s.id == probe_stream)
+        .expect("probe stream accounted");
+    assert_eq!(probe_account.tokens_in, 4);
+    assert_eq!(probe_account.delivered, 4);
+    assert_eq!(probe_account.busy, busy_seen);
+}
+
+/// Shutdown under load: active streams drain via the cancel path (their
+/// in-flight outputs still arrive), new streams are refused with
+/// `Busy{shutting-down}`, and every accepted token is either delivered or
+/// reported undelivered — no silent loss.
+#[test]
+fn shutdown_under_load_drains_refuses_and_accounts_every_token() {
+    let _guard = timing_lock();
+    let cfg = ServerConfig {
+        runtime: ServeRuntime::Threaded {
+            deadline: Duration::from_secs(30),
+            quiescence_grace: Duration::from_millis(150),
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind");
+
+    let mut active = Client::connect(server.addr(), "active").expect("connect");
+    let stream = active
+        .open_stream(App::Mjpeg, 2)
+        .expect("open")
+        .expect_stream();
+    active
+        .send_tokens(stream, workload(App::Mjpeg, 3, 10))
+        .expect("send");
+    let flush_thread = std::thread::spawn(move || {
+        let run = active.flush(stream).expect("flush");
+        (active, run)
+    });
+
+    // Begin shutdown while the flush is mid-run (~300 ms of wall time).
+    std::thread::sleep(Duration::from_millis(150));
+    server.begin_shutdown();
+
+    // New streams are refused with an explicit shutting-down Busy.
+    let mut late = Client::connect(server.addr(), "late").expect("connect");
+    match late.open_stream(App::Adpcm, 2).expect("open") {
+        OpenOutcome::Busy(info) => assert_eq!(info.reason, BusyReason::ShuttingDown),
+        OpenOutcome::Stream(_) => panic!("a draining server must refuse new streams"),
+    }
+
+    // The in-flight flush still drains completely.
+    let (mut active, run) = flush_thread.join().expect("flush thread");
+    assert!(run.admitted());
+    assert_eq!(
+        run.outputs.len(),
+        10,
+        "admitted work drains during shutdown"
+    );
+
+    // Tokens accepted after shutdown began are refused at flush — and
+    // accounted as undelivered, not dropped.
+    active
+        .send_tokens(stream, workload(App::Mjpeg, 4, 3))
+        .expect("send");
+    let refused = active.flush(stream).expect("flush");
+    let busy = refused.busy.expect("flush during drain must be refused");
+    assert_eq!(busy.reason, BusyReason::ShuttingDown);
+
+    let report = server.shutdown();
+    assert!(report.balanced(), "tokens_in == delivered + undelivered");
+    assert_eq!(report.streams.len(), 1);
+    let account = &report.streams[0];
+    assert_eq!(account.tokens_in, 13);
+    assert_eq!(account.delivered, 10);
+    assert_eq!(account.undelivered, 3);
+}
+
+/// The protocol version is negotiated: a mismatched `Hello` ends the
+/// connection instead of silently proceeding.
+#[test]
+fn version_mismatch_ends_the_connection() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut sock = std::net::TcpStream::connect(server.addr()).expect("connect");
+    write_frame(
+        &mut sock,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION + 1,
+            client: "future".into(),
+        },
+    )
+    .expect("send hello");
+    // The server drops the connection without an Accepted frame.
+    let err = read_frame(&mut sock, DEFAULT_MAX_FRAME).unwrap_err();
+    assert!(matches!(err, ServeError::ConnectionClosed), "{err}");
+    server.shutdown();
+}
