@@ -1,0 +1,131 @@
+//! E12: parallel campaign engine — scenarios/sec vs worker count.
+//!
+//! Times the same seeded chaos campaign on the sequential inline path and
+//! scattered across 2 and 4 workers, verifying on the way that all three
+//! reports are byte-identical (the scatter/ordered-gather contract), then
+//! measures the DES engine's raw event throughput as a micro-section —
+//! the quantity the no-clone write path and pre-sized event queue speed
+//! up. Campaign scaling is hardware-dependent: expect ≥1.5× at 4 workers
+//! on a multicore host and ≈1.0× on a single-core CI runner.
+//!
+//! Run with `cargo bench --bench campaign`; emits a machine-readable
+//! `BENCH_campaign.json:` line for trend tracking.
+
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_chaos::Campaign;
+use rtft_kpn::{Collector, Engine, Fifo, Network, Payload, PjdSource, PortId};
+use rtft_obs::json::JsonObject;
+use rtft_obs::MetricsRegistry;
+use rtft_rtc::{PjdModel, TimeNs};
+use std::time::Instant;
+
+const CAMPAIGN_SEED: u64 = 0xDAC14;
+const SCENARIOS: u64 = 96;
+const ENGINE_TOKENS: u64 = 200_000;
+
+fn campaign_secs(workers: usize) -> (f64, String) {
+    let campaign = Campaign::generate(CAMPAIGN_SEED, SCENARIOS);
+    let start = Instant::now();
+    let report = campaign.run_with_workers(workers);
+    (start.elapsed().as_secs_f64(), report.to_json())
+}
+
+fn engine_network() -> Network {
+    let mut net = Network::new();
+    let link = net.add_channel(Fifo::new("link", 64));
+    let model = PjdModel::periodic(TimeNs::from_us(10));
+    net.add_process(PjdSource::new(
+        "src",
+        PortId::of(link),
+        model,
+        1,
+        Some(ENGINE_TOKENS),
+        Payload::U64,
+    ));
+    net.add_process(Collector::new(
+        "col",
+        PortId::of(link),
+        Some(ENGINE_TOKENS as usize),
+    ));
+    net
+}
+
+fn engine_events_per_sec() -> (u64, f64) {
+    // Count events once with metrics attached, then time the identical
+    // run with metrics off — the configuration the campaigns run in.
+    let registry = MetricsRegistry::new();
+    let mut counted = Engine::new(engine_network()).with_metrics(&registry);
+    counted.run_until(TimeNs::from_secs(30));
+    let events = registry.counter("kpn.engine.events").get();
+
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut engine = Engine::new(engine_network());
+        let start = Instant::now();
+        engine.run_until(TimeNs::from_secs(30));
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (events, events as f64 / best)
+}
+
+fn main() {
+    banner("E12: parallel campaign engine — scenarios/sec vs worker count");
+    println!(
+        "campaign seed {CAMPAIGN_SEED:#x}, {SCENARIOS} scenarios; host \
+         reports {} available core(s)\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut table = AsciiTable::new();
+    table.row(["workers", "wall (s)", "scenarios/sec", "speedup"]);
+    let mut rows = Vec::new();
+    let mut reference: Option<(f64, String)> = None;
+    for workers in [1usize, 2, 4] {
+        let (secs, json) = campaign_secs(workers);
+        let rate = SCENARIOS as f64 / secs;
+        let speedup = reference.as_ref().map_or(1.0, |(base, _)| base / secs);
+        if let Some((_, ref_json)) = &reference {
+            assert_eq!(
+                &json, ref_json,
+                "campaign report diverged at workers={workers}"
+            );
+        } else {
+            reference = Some((secs, json));
+        }
+        table.row([
+            workers.to_string(),
+            format!("{secs:.3}"),
+            format!("{rate:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push((workers, secs, rate, speedup));
+    }
+    print!("{}", table.render());
+    println!("\nall three reports byte-identical — ordered gather verified\n");
+
+    let (events, events_per_sec) = engine_events_per_sec();
+    println!(
+        "engine micro: {ENGINE_TOKENS} tokens through a FIFO pipeline, \
+         {events} events, {:.2} Mevents/s (no-clone accepted-write path)",
+        events_per_sec / 1e6
+    );
+
+    let mut obj = JsonObject::new()
+        .str_field("bench", "parallel_campaign")
+        .u64_field("scenarios", SCENARIOS);
+    for (workers, secs, rate, speedup) in &rows {
+        obj = obj.raw_field(
+            &format!("workers_{workers}"),
+            &JsonObject::new()
+                .u64_field("wall_us", (secs * 1e6) as u64)
+                .u64_field("scenarios_per_sec", *rate as u64)
+                .u64_field("speedup_x100", (speedup * 100.0) as u64)
+                .finish(),
+        );
+    }
+    let line = obj
+        .u64_field("engine_events", events)
+        .u64_field("engine_events_per_sec", events_per_sec as u64)
+        .finish();
+    println!("\nBENCH_campaign.json: {line}");
+}

@@ -9,6 +9,7 @@
 //! occupancy, which is reached within a few tokens (documented in
 //! `EXPERIMENTS.md`).
 
+use crate::parallel::{campaign_workers, parallel_map_ordered};
 use rtft_apps::networks::App;
 use rtft_core::equivalence::TimingStats;
 use rtft_core::{
@@ -44,22 +45,45 @@ pub struct NoFaultStats {
     pub equivalent: bool,
 }
 
+/// Per-run output of the fault-free campaign, gathered in run order and
+/// folded sequentially so the aggregate is worker-count independent.
+struct NoFaultRun {
+    max_fill_replicator: [usize; 2],
+    max_fill_selector: usize,
+    false_positive: bool,
+    equivalent: bool,
+    dup_gaps: Vec<TimeNs>,
+    ref_gaps: Vec<TimeNs>,
+}
+
 /// Runs the fault-free campaign for `app`: `runs` paired
 /// reference/duplicated executions over `tokens` tokens each.
+///
+/// Runs are independent seeded simulations, so they execute in parallel
+/// ([`campaign_workers`] threads; `RTFT_CAMPAIGN_WORKERS=1` forces the
+/// sequential path) and are reduced in run order — the aggregate is
+/// identical at any worker count.
 ///
 /// # Panics
 ///
 /// Panics if the app profile's rates diverge (cannot happen for the
 /// built-in profiles).
 pub fn no_fault_campaign(app: App, runs: usize, tokens: u64) -> NoFaultStats {
-    let mut max_fill_replicator = [0usize; 2];
-    let mut max_fill_selector = 0usize;
-    let mut dup_gaps: Vec<TimeNs> = Vec::new();
-    let mut ref_gaps: Vec<TimeNs> = Vec::new();
-    let mut false_positive = false;
-    let mut equivalent = true;
+    no_fault_campaign_with_workers(app, runs, tokens, campaign_workers())
+}
 
-    for run in 0..runs as u64 {
+/// [`no_fault_campaign`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if the app profile's rates diverge.
+pub fn no_fault_campaign_with_workers(
+    app: App,
+    runs: usize,
+    tokens: u64,
+    workers: usize,
+) -> NoFaultStats {
+    let results = parallel_map_ordered((0..runs as u64).collect::<Vec<_>>(), workers, |_, run| {
         let cfg = app
             .duplication_config(run + 1, tokens)
             .expect("bounded profile")
@@ -75,19 +99,40 @@ pub fn no_fault_campaign(app: App, runs: usize, tokens: u64) -> NoFaultStats {
         reference.run_until(horizon);
 
         let dnet = dup.network();
+        let mut max_fill_replicator = [0usize; 2];
         for (i, fill) in max_fill_replicator.iter_mut().enumerate() {
-            *fill = (*fill).max(dnet.channel(dup_ids.replicator).max_fill(i));
+            *fill = dnet.channel(dup_ids.replicator).max_fill(i);
         }
-        max_fill_selector = max_fill_selector.max(dnet.channel(dup_ids.selector).max_fill(0));
         let rep = dup_ids.replicator_faults(dnet);
         let sel = dup_ids.selector_faults(dnet);
-        false_positive |= rep.iter().any(Option::is_some) || sel.iter().any(Option::is_some);
 
         let d = dup_ids.consumer_arrivals(dnet);
         let r = ref_ids.consumer_arrivals(reference.network());
-        equivalent &= d.len() == r.len() && d.iter().map(|a| a.1).eq(r.iter().map(|a| a.1));
-        dup_gaps.extend(d.windows(2).map(|w| w[1].0 - w[0].0));
-        ref_gaps.extend(r.windows(2).map(|w| w[1].0 - w[0].0));
+        NoFaultRun {
+            max_fill_replicator,
+            max_fill_selector: dnet.channel(dup_ids.selector).max_fill(0),
+            false_positive: rep.iter().any(Option::is_some) || sel.iter().any(Option::is_some),
+            equivalent: d.len() == r.len() && d.iter().map(|a| a.1).eq(r.iter().map(|a| a.1)),
+            dup_gaps: d.windows(2).map(|w| w[1].0 - w[0].0).collect(),
+            ref_gaps: r.windows(2).map(|w| w[1].0 - w[0].0).collect(),
+        }
+    });
+
+    let mut max_fill_replicator = [0usize; 2];
+    let mut max_fill_selector = 0usize;
+    let mut dup_gaps: Vec<TimeNs> = Vec::new();
+    let mut ref_gaps: Vec<TimeNs> = Vec::new();
+    let mut false_positive = false;
+    let mut equivalent = true;
+    for run in results {
+        for (i, fill) in max_fill_replicator.iter_mut().enumerate() {
+            *fill = (*fill).max(run.max_fill_replicator[i]);
+        }
+        max_fill_selector = max_fill_selector.max(run.max_fill_selector);
+        false_positive |= run.false_positive;
+        equivalent &= run.equivalent;
+        dup_gaps.extend(run.dup_gaps);
+        ref_gaps.extend(run.ref_gaps);
     }
 
     NoFaultStats {
@@ -151,23 +196,44 @@ pub fn fault_campaign_observed(
     tokens: u64,
     fault_at: TimeNs,
 ) -> (FaultCampaign, BenchMetrics) {
-    let registry = MetricsRegistry::new();
-    let latency = registry.histogram("bench.detection_latency_ns");
-    let mut by_site: BTreeMap<&'static str, u64> = BTreeMap::new();
-    let mut max_fills = [0u64; 3]; // replicator.q0, replicator.q1, selector
-    let mut rep_lat = Vec::new();
-    let mut sel_lat = Vec::new();
-    let mut all_masked = true;
-    let mut sizing: Option<SizingReport> = None;
+    fault_campaign_observed_with_workers(app, runs, tokens, fault_at, campaign_workers())
+}
 
-    for run in 0..runs as u64 {
+/// Per-run output of the fault campaign. Each run records into its own
+/// [`MetricsRegistry`]; the aggregate registry absorbs them in run order,
+/// which yields the same histogram state as sequential recording (bucket
+/// counts, sum and max all add/combine exactly — see `rtft_obs`).
+struct FaultRun {
+    registry: MetricsRegistry,
+    rep_lat: Option<(TimeNs, &'static str)>,
+    sel_lat: Option<(TimeNs, &'static str)>,
+    max_fills: [u64; 3],
+    masked: bool,
+    sizing: SizingReport,
+}
+
+/// [`fault_campaign_observed`] with an explicit worker count.
+///
+/// # Panics
+///
+/// Panics if the app profile's rates diverge.
+pub fn fault_campaign_observed_with_workers(
+    app: App,
+    runs: usize,
+    tokens: u64,
+    fault_at: TimeNs,
+    workers: usize,
+) -> (FaultCampaign, BenchMetrics) {
+    let results = parallel_map_ordered((0..runs as u64).collect::<Vec<_>>(), workers, |_, run| {
+        let registry = MetricsRegistry::new();
+        let latency = registry.histogram("bench.detection_latency_ns");
         let faulty = (run % 2) as usize;
         let cfg = app
             .duplication_config(run + 1, tokens)
             .expect("bounded profile")
             .with_seeds(run * 3 + 1, run * 3 + 2)
             .with_fault(faulty, FaultPlan::fail_stop_at(fault_at));
-        sizing.get_or_insert(cfg.sizing);
+        let sizing = cfg.sizing;
         let factory = app.replica_factory([run * 7 + 11, run * 7 + 22]);
         let horizon = sim_horizon(&cfg, tokens);
 
@@ -177,38 +243,72 @@ pub fn fault_campaign_observed(
         engine.run_until(horizon);
         let net = engine.network();
 
-        if let Some(f) = ids.replicator_faults(net)[faulty] {
+        let rep_lat = ids.replicator_faults(net)[faulty].map(|f| {
             let lat = f.at.saturating_sub(fault_at);
-            rep_lat.push(lat);
             latency.record(lat.as_ns());
             let site = match f.cause {
                 ReplicatorFaultCause::Overflow => DetectionSite::ReplicatorOverflow,
                 ReplicatorFaultCause::Divergence => DetectionSite::ReplicatorDivergence,
             };
-            *by_site.entry(site.label()).or_insert(0) += 1;
-        }
-        if let Some(f) = ids.selector_faults(net)[faulty] {
+            (lat, site.label())
+        });
+        let sel_lat = ids.selector_faults(net)[faulty].map(|f| {
             let lat = f.at.saturating_sub(fault_at);
-            sel_lat.push(lat);
             latency.record(lat.as_ns());
             let site = match f.cause {
                 SelectorFaultCause::Stall => DetectionSite::SelectorStall,
                 SelectorFaultCause::Divergence => DetectionSite::SelectorDivergence,
             };
-            *by_site.entry(site.label()).or_insert(0) += 1;
-        }
+            (lat, site.label())
+        });
+        let mut max_fills = [0u64; 3]; // replicator.q0, replicator.q1, selector
         for (i, fill) in max_fills.iter_mut().take(2).enumerate() {
-            *fill = (*fill).max(net.channel(ids.replicator).max_fill(i) as u64);
+            *fill = net.channel(ids.replicator).max_fill(i) as u64;
         }
-        max_fills[2] = max_fills[2].max(net.channel(ids.selector).max_fill(0) as u64);
+        max_fills[2] = net.channel(ids.selector).max_fill(0) as u64;
 
-        all_masked &= ids.consumer_arrivals(net).len() as u64 == tokens;
-        // The healthy replica must never be flagged.
-        all_masked &= ids.replicator_faults(net)[1 - faulty].is_none()
-            && ids.selector_faults(net)[1 - faulty].is_none();
-        // The health model's folded view must agree with the raw latches.
-        all_masked &= health.status(faulty) == ReplicaStatus::Faulty
-            && health.status(1 - faulty) == ReplicaStatus::Healthy;
+        let masked = ids.consumer_arrivals(net).len() as u64 == tokens
+                // The healthy replica must never be flagged.
+                && ids.replicator_faults(net)[1 - faulty].is_none()
+                && ids.selector_faults(net)[1 - faulty].is_none()
+                // The health model's folded view must agree with the raw
+                // latches.
+                && health.status(faulty) == ReplicaStatus::Faulty
+                && health.status(1 - faulty) == ReplicaStatus::Healthy;
+
+        FaultRun {
+            registry,
+            rep_lat,
+            sel_lat,
+            max_fills,
+            masked,
+            sizing,
+        }
+    });
+
+    let registry = MetricsRegistry::new();
+    let latency = registry.histogram("bench.detection_latency_ns");
+    let mut by_site: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut max_fills = [0u64; 3];
+    let mut rep_lat = Vec::new();
+    let mut sel_lat = Vec::new();
+    let mut all_masked = true;
+    let mut sizing: Option<SizingReport> = None;
+    for run in &results {
+        registry.absorb(&run.registry);
+        if let Some((lat, site)) = run.rep_lat {
+            rep_lat.push(lat);
+            *by_site.entry(site).or_insert(0) += 1;
+        }
+        if let Some((lat, site)) = run.sel_lat {
+            sel_lat.push(lat);
+            *by_site.entry(site).or_insert(0) += 1;
+        }
+        for (i, fill) in max_fills.iter_mut().enumerate() {
+            *fill = (*fill).max(run.max_fills[i]);
+        }
+        all_masked &= run.masked;
+        sizing.get_or_insert(run.sizing);
     }
 
     let metrics = BenchMetrics {
@@ -302,6 +402,15 @@ impl ReplicaFactory for TappedFactory<'_> {
 /// (should not happen; surfaced rather than panicking so the table can
 /// report it).
 pub fn comparison_campaign(app: App, runs: usize) -> Option<ComparisonStats> {
+    comparison_campaign_with_workers(app, runs, campaign_workers())
+}
+
+/// [`comparison_campaign`] with an explicit worker count.
+pub fn comparison_campaign_with_workers(
+    app: App,
+    runs: usize,
+    workers: usize,
+) -> Option<ComparisonStats> {
     let profile = app.profile();
     let period = profile.model.producer.period;
     let tiny = TimeNs::from_us(200);
@@ -319,57 +428,68 @@ pub fn comparison_campaign(app: App, runs: usize) -> Option<ComparisonStats> {
     let fault_at = period * 40;
     let horizon = period * (tokens + 40) + TimeNs::from_secs(1);
 
-    let mut ours = Vec::new();
-    let mut theirs = Vec::new();
-    for run in 0..runs as u64 {
-        let make_cfg = || {
-            DuplicationConfig::from_model(model)
-                .expect("bounded")
-                .with_token_count(tokens)
-                .with_seeds(run * 3 + 1, run * 3 + 2)
-                .with_payload(app.payload_generator(run + 1))
-                .with_fault(0, FaultPlan::fail_stop_at(fault_at))
-        };
-        let factory = app
-            .replica_factory([run * 7 + 11, run * 7 + 22])
-            .with_jitter([tiny, tiny]);
+    let results = parallel_map_ordered(
+        (0..runs as u64).collect::<Vec<_>>(),
+        workers,
+        |_, run| -> Option<(TimeNs, TimeNs)> {
+            let make_cfg = || {
+                DuplicationConfig::from_model(model)
+                    .expect("bounded")
+                    .with_token_count(tokens)
+                    .with_seeds(run * 3 + 1, run * 3 + 2)
+                    .with_payload(app.payload_generator(run + 1))
+                    .with_fault(0, FaultPlan::fail_stop_at(fault_at))
+            };
+            let factory = app
+                .replica_factory([run * 7 + 11, run * 7 + 22])
+                .with_jitter([tiny, tiny]);
 
-        // Run 1 — our approach, unmodified network: replicator overflow
-        // detection with no observation machinery in the data path.
-        let (net, ids) = build_duplicated(&make_cfg(), &factory);
-        let mut engine = Engine::new(net);
-        engine.run_until(horizon + TimeNs::from_secs(2));
-        let our_record = ids.replicator_faults(engine.network())[0]?;
-        ours.push(our_record.at.saturating_sub(fault_at));
+            // Run 1 — our approach, unmodified network: replicator overflow
+            // detection with no observation machinery in the data path.
+            let (net, ids) = build_duplicated(&make_cfg(), &factory);
+            let mut engine = Engine::new(net);
+            engine.run_until(horizon + TimeNs::from_secs(2));
+            let our_record = ids.replicator_faults(engine.network())[0]?;
+            let ours = our_record.at.saturating_sub(fault_at);
 
-        // Run 2 — the baseline: identical seeds, plus the tap stage the
-        // distance-function monitor needs to timestamp consumption events
-        // (the observation cost our counters avoid).
-        let taps = [StreamTap::new(), StreamTap::new()];
-        let tapped = TappedFactory {
-            inner: &factory,
-            taps: [Arc::clone(&taps[0]), Arc::clone(&taps[1])],
-        };
-        let (mut net, _ids) = build_duplicated(&make_cfg(), &tapped);
-        // l = 1, 1 ms polling, fail-silent (overdue) rule — §4.3's setup.
-        let bounds = LRepetitive::from_pjd(
-            &PjdModel::new(period, tiny + profile.model.producer.jitter, TimeNs::ZERO),
-            1,
-        );
-        let monitor = net.add_process(DistanceMonitor::new(
-            "distfn",
-            Arc::clone(&taps[0]),
-            bounds,
-            TimeNs::from_ms(1),
-            Some(horizon),
-        ));
-        let mut engine = Engine::new(net);
-        engine.run_until(horizon + TimeNs::from_secs(2));
-        let verdict = engine
-            .network()
-            .process_as::<DistanceMonitor>(monitor)?
-            .verdict()?;
-        theirs.push(verdict.detected_at.saturating_sub(fault_at));
+            // Run 2 — the baseline: identical seeds, plus the tap stage the
+            // distance-function monitor needs to timestamp consumption
+            // events (the observation cost our counters avoid).
+            let taps = [StreamTap::new(), StreamTap::new()];
+            let tapped = TappedFactory {
+                inner: &factory,
+                taps: [Arc::clone(&taps[0]), Arc::clone(&taps[1])],
+            };
+            let (mut net, _ids) = build_duplicated(&make_cfg(), &tapped);
+            // l = 1, 1 ms polling, fail-silent (overdue) rule — §4.3's setup.
+            let bounds = LRepetitive::from_pjd(
+                &PjdModel::new(period, tiny + profile.model.producer.jitter, TimeNs::ZERO),
+                1,
+            );
+            let monitor = net.add_process(DistanceMonitor::new(
+                "distfn",
+                Arc::clone(&taps[0]),
+                bounds,
+                TimeNs::from_ms(1),
+                Some(horizon),
+            ));
+            let mut engine = Engine::new(net);
+            engine.run_until(horizon + TimeNs::from_secs(2));
+            let verdict = engine
+                .network()
+                .process_as::<DistanceMonitor>(monitor)?
+                .verdict()?;
+            Some((ours, verdict.detected_at.saturating_sub(fault_at)))
+        },
+    );
+
+    let mut ours = Vec::with_capacity(runs);
+    let mut theirs = Vec::with_capacity(runs);
+    for pair in results {
+        // A missed detection in any run is surfaced rather than panicking.
+        let (o, t) = pair?;
+        ours.push(o);
+        theirs.push(t);
     }
 
     Some(ComparisonStats {

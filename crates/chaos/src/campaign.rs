@@ -10,6 +10,7 @@
 
 use crate::runner::{run_scenario, OutcomeClass, ScenarioOutcome};
 use crate::scenario::{generate_scenarios, Scenario};
+use rtft_kpn::parallel::{campaign_workers, parallel_map_ordered};
 use rtft_obs::json::{array, JsonObject};
 use rtft_obs::{registry_to_json, HistogramSnapshot, MetricsRegistry};
 
@@ -57,15 +58,32 @@ impl Campaign {
     }
 
     /// Runs every scenario and aggregates the outcomes.
+    ///
+    /// Scenarios are independent seeded simulations; they execute across
+    /// [`campaign_workers`] threads (override with `RTFT_CAMPAIGN_WORKERS`,
+    /// `1` forces the sequential inline path) and are folded into the
+    /// report in scenario-index order, so [`CampaignReport::to_json`] stays
+    /// byte-identical for any worker count — the replay contract now also
+    /// covers worker-count independence.
     pub fn run(&self) -> CampaignReport {
+        self.run_with_workers(campaign_workers())
+    }
+
+    /// [`Campaign::run`] with an explicit worker count.
+    pub fn run_with_workers(&self, workers: usize) -> CampaignReport {
+        // Scatter: each scenario simulates in isolation, touching no shared
+        // state. Gather: `parallel_map_ordered` returns outcomes in input
+        // order, and all metric folding happens below, sequentially, so the
+        // registry contents are independent of execution interleaving.
+        let outcomes = parallel_map_ordered(self.scenarios.clone(), workers, |_, scenario| {
+            run_scenario(&scenario)
+        });
+
         let metrics = MetricsRegistry::new();
         let scenarios_run = metrics.counter("chaos.scenarios");
         let detections = metrics.counter("chaos.detections");
         let value_errors = metrics.counter("chaos.value_errors");
-
-        let mut outcomes = Vec::with_capacity(self.scenarios.len());
-        for scenario in &self.scenarios {
-            let outcome = run_scenario(scenario);
+        for outcome in &outcomes {
             scenarios_run.inc();
             metrics.counter(class_metric(outcome.class)).inc();
             value_errors.add(outcome.value_errors);
@@ -80,8 +98,8 @@ impl Campaign {
                     .histogram("chaos.latency.all")
                     .record(latency.as_ns());
             }
-            outcomes.push(outcome);
         }
+        let mut outcomes = outcomes;
         outcomes.sort_by_key(|o| o.scenario.id);
 
         CampaignReport {

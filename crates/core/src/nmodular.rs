@@ -228,7 +228,7 @@ impl ChannelBehavior for NReplicator {
         if delivered {
             WriteOutcome::Accepted
         } else {
-            WriteOutcome::Blocked
+            WriteOutcome::Blocked(token)
         }
     }
 
@@ -404,7 +404,7 @@ impl ChannelBehavior for NSelector {
             return WriteOutcome::AcceptedDropped;
         }
         if self.space(iface) <= 0 {
-            return WriteOutcome::Blocked;
+            return WriteOutcome::Blocked(token);
         }
         // First of its duplicate group iff no healthy peer has delivered
         // this group index yet.

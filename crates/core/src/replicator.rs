@@ -239,7 +239,7 @@ impl ChannelBehavior for Replicator {
         } else {
             // Bare §3.1 rule 3: block unless both queues have space.
             if (0..2).any(|i| self.queues[i].len() >= self.config.capacity[i]) {
-                return WriteOutcome::Blocked;
+                return WriteOutcome::Blocked(token);
             }
         }
 
@@ -397,7 +397,10 @@ mod tests {
         let mut r = Replicator::new("r", ReplicatorConfig::new([1, 4]).without_detection());
         assert_eq!(r.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
         // Queue 0 full, nobody reads it: the producer blocks (§1.1 hazard).
-        assert_eq!(r.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::Blocked);
+        assert!(matches!(
+            r.try_write(0, tok(1), TimeNs::ZERO),
+            WriteOutcome::Blocked(_)
+        ));
         assert!(!r.is_faulty(0));
     }
 

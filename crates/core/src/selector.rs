@@ -290,7 +290,7 @@ impl ChannelBehavior for Selector {
         if self.fault[other].is_some() {
             // Sole healthy source: every token is first-of-pair.
             if self.queue.len() >= self.config.capacity[iface].max(self.config.capacity[other]) {
-                return WriteOutcome::Blocked;
+                return WriteOutcome::Blocked(token);
             }
             self.queue.push_back(token);
             self.max_fill = self.max_fill.max(self.queue.len());
@@ -310,7 +310,7 @@ impl ChannelBehavior for Selector {
         // the lagging replica after a leader fault (token loss); see
         // DESIGN.md §5.
         if self.space[iface] == 0 {
-            return WriteOutcome::Blocked;
+            return WriteOutcome::Blocked(token);
         }
         let outcome = if self.received[iface] >= self.received[other] {
             self.queue.push_back(token);
@@ -430,7 +430,10 @@ mod tests {
         assert_eq!(s.try_write(0, tok(0), TimeNs::ZERO), WriteOutcome::Accepted);
         assert_eq!(s.try_write(0, tok(1), TimeNs::ZERO), WriteOutcome::Accepted);
         // space_0 exhausted, consumer hasn't read.
-        assert_eq!(s.try_write(0, tok(2), TimeNs::ZERO), WriteOutcome::Blocked);
+        assert!(matches!(
+            s.try_write(0, tok(2), TimeNs::ZERO),
+            WriteOutcome::Blocked(_)
+        ));
         // A read frees one slot.
         assert!(matches!(s.try_read(0, TimeNs::ZERO), ReadOutcome::Token(_)));
         assert_eq!(s.try_write(0, tok(2), TimeNs::ZERO), WriteOutcome::Accepted);
@@ -537,7 +540,10 @@ mod tests {
         // replenished by reads here, so exhaust it:
         s.try_write(0, tok(2), TimeNs::ZERO);
         s.try_write(0, tok(3), TimeNs::ZERO);
-        assert_eq!(s.try_write(0, tok(4), TimeNs::ZERO), WriteOutcome::Blocked);
+        assert!(matches!(
+            s.try_write(0, tok(4), TimeNs::ZERO),
+            WriteOutcome::Blocked(_)
+        ));
     }
 
     #[test]

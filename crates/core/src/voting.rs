@@ -278,7 +278,7 @@ impl ChannelBehavior for VotingSelector {
             return WriteOutcome::AcceptedDropped;
         }
         if self.space(iface) <= 0 {
-            return WriteOutcome::Blocked;
+            return WriteOutcome::Blocked(token);
         }
         let group = self.received[iface];
         self.received[iface] += 1;

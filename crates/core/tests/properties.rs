@@ -48,7 +48,7 @@ fn replicator_preserves_order_per_queue() {
                 0 | 1 => {
                     // Producer write (detection on: never blocks).
                     let out = r.try_write(0, tok(written), TimeNs::from_ms(written));
-                    assert_ne!(out, WriteOutcome::Blocked);
+                    assert!(!matches!(out, WriteOutcome::Blocked(_)));
                     written += 1;
                 }
                 i @ (2 | 3) => {
@@ -116,7 +116,7 @@ fn selector_delivers_each_pair_once() {
                     let iface = i as usize;
                     if next_write[iface] < total {
                         match s.try_write(iface, tok(next_write[iface]), TimeNs::ZERO) {
-                            WriteOutcome::Blocked => {}
+                            WriteOutcome::Blocked(_) => {}
                             _ => next_write[iface] += 1,
                         }
                     }

@@ -54,8 +54,12 @@ pub enum WriteOutcome {
     /// and a replicator drops tokens destined for a latched-faulty replica
     /// queue (§3.3).
     AcceptedDropped,
-    /// No space on this interface; the writer must block and retry.
-    Blocked,
+    /// No space on this interface; the writer must block and retry. The
+    /// token is handed back so the runtime can re-attempt the same write
+    /// later without ever cloning the payload — the accepted path moves
+    /// the token straight into the channel, and the blocked path moves it
+    /// straight back out.
+    Blocked(Token),
 }
 
 /// Result of a read attempt.
@@ -130,7 +134,8 @@ pub trait ChannelBehavior: fmt::Debug + Send {
 /// let t0 = TimeNs::ZERO;
 /// let tok = Token::new(1, t0, Payload::U64(42));
 /// assert_eq!(f.try_write(0, tok.clone(), t0), WriteOutcome::Accepted);
-/// assert_eq!(f.try_write(0, tok.clone(), t0), WriteOutcome::Blocked);
+/// // A blocked write hands the token back for a later retry.
+/// assert!(matches!(f.try_write(0, tok.clone(), t0), WriteOutcome::Blocked(_)));
 /// assert_eq!(f.try_read(0, t0), ReadOutcome::Token(tok));
 /// assert_eq!(f.try_read(0, t0), ReadOutcome::Blocked);
 /// ```
@@ -203,7 +208,7 @@ impl ChannelBehavior for Fifo {
     fn try_write(&mut self, iface: usize, token: Token, _now: TimeNs) -> WriteOutcome {
         assert_eq!(iface, 0, "FIFO has a single write interface");
         if self.queue.len() >= self.capacity {
-            return WriteOutcome::Blocked;
+            return WriteOutcome::Blocked(token);
         }
         self.queue.push_back(token);
         self.writes += 1;
@@ -334,7 +339,10 @@ mod tests {
         for s in 0..3 {
             assert_eq!(f.try_write(0, tok(s), TimeNs::ZERO), WriteOutcome::Accepted);
         }
-        assert_eq!(f.try_write(0, tok(3), TimeNs::ZERO), WriteOutcome::Blocked);
+        match f.try_write(0, tok(3), TimeNs::ZERO) {
+            WriteOutcome::Blocked(t) => assert_eq!(t.seq, 3, "token handed back intact"),
+            other => panic!("expected blocked write, got {other:?}"),
+        }
         for s in 0..3 {
             match f.try_read(0, TimeNs::ZERO) {
                 ReadOutcome::Token(t) => assert_eq!(t.seq, s),

@@ -208,7 +208,9 @@ impl Engine {
             network,
             platform,
             now: TimeNs::ZERO,
-            queue: BinaryHeap::new(),
+            // Pre-sized so the steady-state event mix (one wake per process
+            // plus channel-waiter retries) never reallocates mid-run.
+            queue: BinaryHeap::with_capacity((n_proc * 4).max(64)),
             seq: 0,
             states: vec![ProcState::Scheduled; n_proc],
             pending: (0..n_proc).map(|_| None).collect(),
@@ -387,11 +389,14 @@ impl Engine {
                             return;
                         }
                     }
-                    let outcome = self.network.channel_mut(port.channel).try_write(
-                        port.iface,
-                        token.clone(),
-                        self.now,
-                    );
+                    // Capture what the bookkeeping needs, then *move* the
+                    // token into the channel: the accepted path never
+                    // clones a payload (a blocked write hands it back).
+                    let seq = token.seq;
+                    let outcome = self
+                        .network
+                        .channel_mut(port.channel)
+                        .try_write(port.iface, token, self.now);
                     match outcome {
                         WriteOutcome::Accepted | WriteOutcome::AcceptedDropped => {
                             let was_dropped = outcome == WriteOutcome::AcceptedDropped;
@@ -400,7 +405,7 @@ impl Engine {
                                 TraceEvent::TokenWritten {
                                     node,
                                     port,
-                                    seq: token.seq,
+                                    seq,
                                     dropped: was_dropped,
                                 },
                             );
@@ -416,7 +421,7 @@ impl Engine {
                             self.wake_channel_waiters(port.channel);
                             wake = Some(Wakeup::WriteDone);
                         }
-                        WriteOutcome::Blocked => {
+                        WriteOutcome::Blocked(token) => {
                             self.trace
                                 .push(self.now, TraceEvent::WriteBlocked { node, port });
                             if let Some(obs) = &self.obs {
@@ -569,6 +574,43 @@ mod tests {
         let col = engine.network().process_as::<Collector>(col).unwrap();
         let times: Vec<TimeNs> = col.tokens().iter().map(|t| t.produced_at).collect();
         assert_eq!(times, vec![ms(0), ms(10), ms(20), ms(30), ms(40)]);
+    }
+
+    #[test]
+    fn accepted_write_preserves_payload_buffer_identity() {
+        // The write hot path must move the token into the channel, not
+        // clone it: the same `Arc<[u8]>` allocation travels source →
+        // channel → collector, and the refcount stays at exactly the three
+        // live handles (test local, generator capture, collected token).
+        use crate::token::Bytes;
+        let data = Bytes::from(vec![7u8; 4096]);
+        let ptr = data.as_ptr();
+        let mut net = Network::new();
+        let a = net.add_channel(Fifo::new("a", 2));
+        let model = PjdModel::periodic(ms(10));
+        let captured = data.clone();
+        net.add_process(PjdSource::new(
+            "src",
+            PortId::of(a),
+            model,
+            0,
+            Some(1),
+            move |_| Payload::Bytes(captured.clone()),
+        ));
+        let col = net.add_process(Collector::new("col", PortId::of(a), Some(1)));
+        let mut engine = Engine::new(net);
+        engine.run_until(TimeNs::from_secs(1));
+        let col = engine.network().process_as::<Collector>(col).unwrap();
+        let received = col.tokens()[0]
+            .payload
+            .as_bytes()
+            .expect("bytes payload survives the pipeline");
+        assert_eq!(received.as_ptr(), ptr, "same allocation end-to-end");
+        assert_eq!(
+            Bytes::strong_count(received),
+            3,
+            "no hidden clone on the accepted-write path"
+        );
     }
 
     #[test]

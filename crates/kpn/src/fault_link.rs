@@ -209,7 +209,7 @@ impl ChannelBehavior for FaultyLink {
         assert_eq!(iface, 0, "faulty link has a single write interface");
         self.release(now);
         if self.occupancy() >= self.capacity {
-            return WriteOutcome::Blocked;
+            return WriteOutcome::Blocked(token);
         }
         if now < self.plan.active_from {
             self.ready.push_back(token);
@@ -293,7 +293,10 @@ mod tests {
         for s in 0..4 {
             assert_eq!(l.try_write(0, tok(s), TimeNs::ZERO), WriteOutcome::Accepted);
         }
-        assert_eq!(l.try_write(0, tok(4), TimeNs::ZERO), WriteOutcome::Blocked);
+        assert!(matches!(
+            l.try_write(0, tok(4), TimeNs::ZERO),
+            WriteOutcome::Blocked(_)
+        ));
         for s in 0..4 {
             match l.try_read(0, TimeNs::ZERO) {
                 ReadOutcome::Token(t) => assert_eq!(t.seq, s),

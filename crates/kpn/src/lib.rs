@@ -44,6 +44,7 @@ mod channel;
 mod engine;
 mod fault_link;
 mod network;
+pub mod parallel;
 mod platform;
 pub mod pool;
 mod process;
@@ -58,6 +59,7 @@ pub use channel::{
 pub use engine::{Engine, RunOutcome};
 pub use fault_link::{FaultyLink, LinkFaultPlan};
 pub use network::{port, ChannelSlot, Network, ProcessSlot};
+pub use parallel::{campaign_workers, parallel_map_ordered};
 pub use platform::{IdealPlatform, Platform, UniformBusPlatform};
 pub use pool::{PoolLoad, PoolStats, WorkerPool};
 pub use process::{

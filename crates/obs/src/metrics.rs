@@ -376,6 +376,16 @@ impl MetricsRegistry {
     /// absorbed **once** (counters would double-add otherwise) — the fleet
     /// supervisor absorbs every completed job's registry exactly once.
     ///
+    /// Ordered-absorb determinism: counters and histograms are commutative
+    /// (pure additions / max-combines), so any absorb order yields the
+    /// same values; a gauge's *current* value is last-writer-wins, so
+    /// absorbing per-run registries **in run order** reproduces exactly
+    /// the state sequential execution over one shared registry would have
+    /// left. The parallel campaign drivers rely on this: they gather
+    /// per-run registries in scenario-index order and absorb them
+    /// sequentially, making campaign reports byte-identical at any worker
+    /// count.
+    ///
     /// Lock discipline: `other`'s handles are collected under its lock,
     /// the lock is dropped, then `self` is updated — the two registry
     /// locks are never held together, so `a.absorb(&b)` can race with
@@ -566,5 +576,41 @@ mod tests {
         // Absorbing into itself changes nothing.
         fleet.absorb(&fleet.clone());
         assert_eq!(fleet.counter("jobs").get(), 3);
+    }
+
+    #[test]
+    fn ordered_absorb_reproduces_sequential_recording() {
+        // The parallel campaign contract: per-run registries absorbed in
+        // run order leave the aggregate in exactly the state sequential
+        // recording into one shared registry would have.
+        let sequential = MetricsRegistry::new();
+        let per_run: Vec<MetricsRegistry> = (0..4u64)
+            .map(|run| {
+                let r = MetricsRegistry::new();
+                for reg in [&sequential, &r] {
+                    reg.counter("runs").inc();
+                    reg.histogram("lat").record(run * 100 + 7);
+                    reg.gauge("fill").set(10 - run); // decreasing: max ≠ last
+                }
+                r
+            })
+            .collect();
+
+        let gathered = MetricsRegistry::new();
+        for r in &per_run {
+            gathered.absorb(r);
+        }
+        assert_eq!(gathered.counter_values(), sequential.counter_values());
+        assert_eq!(gathered.gauge_values(), sequential.gauge_values());
+        let snaps = |r: &MetricsRegistry| {
+            r.histogram_snapshots()
+                .into_iter()
+                .map(|(n, s)| (n, s.count, s.sum, s.max, s.p50, s.p99))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(snaps(&gathered), snaps(&sequential));
+        // Gauge current is last-writer-wins: run order preserved it.
+        assert_eq!(gathered.gauge("fill").get(), 7);
+        assert_eq!(gathered.gauge("fill").max(), 10);
     }
 }

@@ -1,0 +1,60 @@
+//! Worker-count independence smoke for the parallel campaign drivers.
+//!
+//! Runs a small chaos campaign and a small Table 2 fault campaign twice —
+//! once on the sequential inline path (workers = 1) and once scattered
+//! across two workers — and exits non-zero if any emitted report diverges
+//! by a single byte. This is the CI-enforced form of the scatter/ordered-
+//! gather determinism contract (DESIGN.md, "Parallel campaign execution"):
+//!
+//! ```sh
+//! cargo run --release -p rtft-examples --bin parallel_campaign
+//! ```
+
+use rtft_apps::networks::App;
+use rtft_bench::campaign::fault_campaign_observed_with_workers;
+use rtft_chaos::Campaign;
+use rtft_rtc::TimeNs;
+
+fn main() {
+    let mut violations = 0u64;
+
+    let seed = 0xDAC14u64;
+    let count = 30u64;
+    println!("parallel_campaign: chaos seed {seed:#x}, {count} scenarios, workers 1 vs 2");
+    let campaign = Campaign::generate(seed, count);
+    let sequential = campaign.run_with_workers(1);
+    let parallel = campaign.run_with_workers(2);
+    if sequential.to_json() != parallel.to_json() {
+        println!("FAIL: chaos CampaignReport JSON diverges between workers 1 and 2");
+        violations += 1;
+    }
+    if sequential.bench_line() != parallel.bench_line() {
+        println!("FAIL: chaos bench line diverges between workers 1 and 2");
+        violations += 1;
+    }
+
+    let fault_at = TimeNs::from_ms(189);
+    println!("parallel_campaign: Table 2 fault campaign (adpcm, 6 runs), workers 1 vs 2");
+    let (seq_campaign, seq_metrics) =
+        fault_campaign_observed_with_workers(App::Adpcm, 6, 80, fault_at, 1);
+    let (par_campaign, par_metrics) =
+        fault_campaign_observed_with_workers(App::Adpcm, 6, 80, fault_at, 2);
+    if seq_metrics.to_json() != par_metrics.to_json() {
+        println!("FAIL: BenchMetrics JSON diverges between workers 1 and 2");
+        violations += 1;
+    }
+    if format!("{seq_campaign:?}") != format!("{par_campaign:?}") {
+        println!("FAIL: FaultCampaign aggregates diverge between workers 1 and 2");
+        violations += 1;
+    }
+    if !seq_campaign.all_masked {
+        println!("FAIL: fault campaign did not mask every run");
+        violations += 1;
+    }
+
+    if violations > 0 {
+        println!("parallel_campaign: {violations} violation(s)");
+        std::process::exit(1);
+    }
+    println!("parallel_campaign: reports byte-identical across worker counts");
+}

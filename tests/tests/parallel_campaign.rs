@@ -1,0 +1,75 @@
+//! Worker-count independence of the parallel campaign drivers.
+//!
+//! The scatter/ordered-gather contract (`rtft_kpn::parallel`, DESIGN.md
+//! "Parallel campaign execution"): a campaign's emitted report is
+//! **byte-identical** for workers = 1, 2, 4 — the sequential inline path
+//! is the reference, and every parallel schedule must reproduce it.
+
+use rtft_apps::networks::App;
+use rtft_bench::campaign::fault_campaign_observed_with_workers;
+use rtft_chaos::{Campaign, OutcomeClass};
+use rtft_rtc::TimeNs;
+
+#[test]
+fn chaos_report_is_byte_identical_across_worker_counts() {
+    let campaign = Campaign::generate(0xD15EA5E, 24);
+    let reference = campaign.run_with_workers(1);
+    let ref_json = reference.to_json();
+    let ref_bench = reference.bench_line();
+    for workers in [2, 4] {
+        let report = campaign.run_with_workers(workers);
+        assert_eq!(
+            report.to_json(),
+            ref_json,
+            "chaos CampaignReport diverged at workers={workers}"
+        );
+        assert_eq!(
+            report.bench_line(),
+            ref_bench,
+            "chaos bench line diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn chaos_outcomes_arrive_in_scenario_index_order() {
+    let campaign = Campaign::generate(0xBADCAB, 16);
+    for workers in [1, 2, 4] {
+        let report = campaign.run_with_workers(workers);
+        let ids: Vec<u64> = report.outcomes.iter().map(|o| o.scenario.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "out of order at workers={workers}");
+        assert_eq!(report.outcomes.len(), 16);
+        // Sanity: the campaign actually classified everything.
+        let total: usize = OutcomeClass::ALL.iter().map(|c| report.count(*c)).sum();
+        assert_eq!(total, 16);
+    }
+}
+
+#[test]
+fn table2_fault_campaign_is_byte_identical_across_worker_counts() {
+    let fault_at = TimeNs::from_ms(189);
+    let (ref_campaign, ref_metrics) =
+        fault_campaign_observed_with_workers(App::Adpcm, 6, 80, fault_at, 1);
+    let ref_json = ref_metrics.to_json();
+    // Debug formatting covers every aggregate field (latency stats, bounds,
+    // detection counts, masking) byte-for-byte.
+    let ref_debug = format!("{ref_campaign:?}");
+    for workers in [2, 4] {
+        let (campaign, metrics) =
+            fault_campaign_observed_with_workers(App::Adpcm, 6, 80, fault_at, workers);
+        assert_eq!(
+            metrics.to_json(),
+            ref_json,
+            "BenchMetrics JSON diverged at workers={workers}"
+        );
+        assert_eq!(
+            format!("{campaign:?}"),
+            ref_debug,
+            "FaultCampaign aggregate diverged at workers={workers}"
+        );
+    }
+    assert!(ref_campaign.all_masked);
+    assert_eq!(ref_campaign.replicator.detections, 6);
+}
