@@ -1,0 +1,146 @@
+//! E13: write-ahead log overhead — append throughput, group-commit
+//! batching, and recovery scan rate.
+//!
+//! Three measurements over the real segment files on real disk:
+//!
+//! * **Append path** (fsync off): raw records/sec and MB/s through
+//!   encode + checksum + segment write, the cost every accepted batch
+//!   pays before anything touches the platter.
+//! * **Group commit** (fsync on): concurrent writers share one leader
+//!   fsync per commit wave; the interesting number is appends-per-fsync
+//!   — the batching factor that keeps durable ingestion off the
+//!   one-fsync-per-record cliff.
+//! * **Recovery scan**: reopening the log replays every record through
+//!   checksum verification; the scan rate bounds restart time.
+//!
+//! Run with `cargo bench --bench wal`; emits a machine-readable
+//! `BENCH_wal.json:` line for trend tracking.
+
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_obs::json::{array, JsonObject};
+use rtft_wal::{Wal, WalConfig, WalRecord};
+use std::time::Instant;
+
+const APPEND_RECORDS: usize = 4096;
+const PAYLOAD_BYTES: usize = 1024;
+const COMMIT_WRITERS: [usize; 3] = [1, 4, 8];
+const COMMIT_RECORDS_PER_WRITER: usize = 64;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtft-wal-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn record(stream: u32, n: usize) -> WalRecord {
+    WalRecord::Tokens {
+        stream,
+        payloads: vec![vec![n as u8; PAYLOAD_BYTES]],
+    }
+}
+
+struct CommitPoint {
+    writers: usize,
+    appends_per_fsync: f64,
+    records_per_sec: f64,
+}
+
+fn run_commit_point(writers: usize) -> CommitPoint {
+    let dir = scratch(&format!("commit-{writers}"));
+    let (wal, _) = Wal::open(WalConfig::new(&dir)).expect("open");
+    let wal = std::sync::Arc::new(wal);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let wal = std::sync::Arc::clone(&wal);
+            std::thread::spawn(move || {
+                for n in 0..COMMIT_RECORDS_PER_WRITER {
+                    wal.append(&record(w as u32, n)).expect("append");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let appends = wal.registry().counter("wal.appends").get();
+    let fsyncs = wal.registry().counter("wal.fsyncs").get().max(1);
+    let total = (writers * COMMIT_RECORDS_PER_WRITER) as f64;
+    let point = CommitPoint {
+        writers,
+        appends_per_fsync: appends as f64 / fsyncs as f64,
+        records_per_sec: total / elapsed,
+    };
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    point
+}
+
+fn main() {
+    banner("E13: write-ahead log overhead");
+
+    // Append path, no fsync: encode + checksum + write.
+    let dir = scratch("append");
+    let (wal, _) = Wal::open(WalConfig::new(&dir).with_fsync(false)).expect("open");
+    let start = Instant::now();
+    for n in 0..APPEND_RECORDS {
+        wal.append(&record(0, n)).expect("append");
+    }
+    wal.sync().expect("sync");
+    let elapsed = start.elapsed().as_secs_f64();
+    let append_records_per_sec = APPEND_RECORDS as f64 / elapsed;
+    let append_mb_per_sec = (APPEND_RECORDS * PAYLOAD_BYTES) as f64 / elapsed / 1e6;
+    drop(wal);
+    println!(
+        "append (fsync off): {APPEND_RECORDS} x {PAYLOAD_BYTES} B records, \
+         {append_records_per_sec:.0} records/sec, {append_mb_per_sec:.1} MB/s\n"
+    );
+
+    // Recovery: reopen the log just written and scan every record.
+    let (wal, recovery) = Wal::open(WalConfig::new(&dir)).expect("reopen");
+    let scanned = recovery.records.len() as f64;
+    let recovery_records_per_sec = scanned / (recovery.recovery_ns.max(1) as f64 / 1e9);
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "recovery scan: {scanned:.0} records across {} segment(s) in {:.2} ms, \
+         {recovery_records_per_sec:.0} records/sec\n",
+        recovery.segments,
+        recovery.recovery_ns as f64 / 1e6
+    );
+
+    // Group commit under concurrent writers, fsync on.
+    let points: Vec<CommitPoint> = COMMIT_WRITERS
+        .iter()
+        .map(|&w| run_commit_point(w))
+        .collect();
+    let mut table = AsciiTable::new();
+    table.row(["writers", "appends/fsync", "records/sec (fsync on)"]);
+    for p in &points {
+        table.row([
+            p.writers.to_string(),
+            format!("{:.1}", p.appends_per_fsync),
+            format!("{:.0}", p.records_per_sec),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = JsonObject::new()
+        .f64_field("append_records_per_sec", append_records_per_sec)
+        .f64_field("append_mb_per_sec", append_mb_per_sec)
+        .f64_field("recovery_records_per_sec", recovery_records_per_sec)
+        .raw_field(
+            "group_commit",
+            &array(points.iter().map(|p| {
+                JsonObject::new()
+                    .u64_field("writers", p.writers as u64)
+                    .f64_field("appends_per_fsync", p.appends_per_fsync)
+                    .f64_field("records_per_sec", p.records_per_sec)
+                    .finish()
+            })),
+        )
+        .finish();
+    println!("BENCH_wal.json: {json}");
+}

@@ -45,6 +45,7 @@ fn class_metric(class: OutcomeClass) -> &'static str {
         OutcomeClass::Masked => "chaos.class.masked",
         OutcomeClass::SilentFailure => "chaos.class.silent_failure",
         OutcomeClass::FalsePositive => "chaos.class.false_positive",
+        OutcomeClass::ReplayDivergence => "chaos.class.replay_divergence",
     }
 }
 

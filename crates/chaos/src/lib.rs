@@ -41,12 +41,14 @@
 
 mod campaign;
 mod load;
+pub mod replay;
 mod runner;
 mod scenario;
 pub mod threaded;
 
 pub use campaign::{Campaign, CampaignReport};
 pub use load::chaos_under_load;
+pub use replay::{classify_replay, diff_digests, ReplayVerdict};
 pub use runner::{run_scenario, OutcomeClass, ScenarioOutcome};
 pub use scenario::{
     generate_scenarios, kind_label, FaultSpec, PlatformKind, Redundancy, Scenario, SCENARIO_TOKENS,

@@ -40,6 +40,10 @@ pub enum OutcomeClass {
     SilentFailure,
     /// A healthy replica was latched.
     FalsePositive,
+    /// Deterministic WAL replay of the stream produced different output
+    /// digests than the live run recorded — a transient fault in the
+    /// original execution detected after the fact (see [`crate::replay`]).
+    ReplayDivergence,
 }
 
 impl OutcomeClass {
@@ -51,16 +55,18 @@ impl OutcomeClass {
             OutcomeClass::Masked => "masked",
             OutcomeClass::SilentFailure => "silent-failure",
             OutcomeClass::FalsePositive => "false-positive",
+            OutcomeClass::ReplayDivergence => "replay-divergence",
         }
     }
 
     /// Every class, in report order.
-    pub const ALL: [OutcomeClass; 5] = [
+    pub const ALL: [OutcomeClass; 6] = [
         OutcomeClass::DetectedInBound,
         OutcomeClass::DetectedLate,
         OutcomeClass::Masked,
         OutcomeClass::SilentFailure,
         OutcomeClass::FalsePositive,
+        OutcomeClass::ReplayDivergence,
     ];
 }
 

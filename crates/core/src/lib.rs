@@ -70,6 +70,11 @@ mod replicator;
 mod selector;
 mod voting;
 
+// The streaming checksum the equivalence checks and the WAL record format
+// share — re-exported so fault-tolerance code can name it without reaching
+// into the runtime crate.
+pub use rtft_kpn::{digest_bytes, Digest};
+
 pub use builder::{
     build_duplicated, build_reference, instrument_duplicated, DuplicatedIds, DuplicationConfig,
     JitterStageReplica, PayloadGenerator, ReferenceIds, ReplicaFactory,

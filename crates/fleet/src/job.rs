@@ -421,6 +421,18 @@ pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
     }
 }
 
+/// Runs a full [`JobSpec`] outside the executor: builds the template and
+/// executes it under the spec's runtime, ignoring admission and deadlines.
+///
+/// This is the WAL replay path — `rtft-serve`'s `replay_verify` re-runs a
+/// logged stream's spec through the exact same builder the live server
+/// used, so the replayed output digests are comparable bit-for-bit with
+/// the logged ones. Determinism holds because every jitter source is
+/// seeded from the spec itself.
+pub fn execute_spec(spec: &JobSpec) -> JobRunResult {
+    execute(&spec.template, &spec.runtime)
+}
+
 fn execute_duplicated(
     cfg: &DuplicationConfig,
     factory: &SharedFactory,

@@ -68,5 +68,7 @@ pub use executor::{
     Admission, FleetConfig, FleetExecutor, FleetLoad, FleetReport, JobNotifier, JobRecord,
     RejectReason,
 };
-pub use job::{execute, JobId, JobRunResult, JobRuntime, JobSpec, JobTemplate, SharedFactory};
+pub use job::{
+    execute, execute_spec, JobId, JobRunResult, JobRuntime, JobSpec, JobTemplate, SharedFactory,
+};
 pub use supervisor::{FleetStatus, FleetSupervisor};

@@ -1,0 +1,197 @@
+//! Streaming FNV-1a digest — the incremental form of [`Payload::digest`].
+//!
+//! [`Payload::digest`](crate::Payload::digest) folds a payload's bytes
+//! eight at a time (little-endian words, tail bytes last, then the total
+//! length) into a 64-bit FNV-1a hash. [`Digest`] computes the *same*
+//! value incrementally: feed bytes in arbitrarily sized slices with
+//! [`Digest::update`] and close with [`Digest::finish`]. The word
+//! boundaries are anchored to the start of the stream (an internal
+//! partial-word buffer carries tail bytes across `update` calls), so the
+//! result is independent of how the input was split:
+//!
+//! ```
+//! use rtft_kpn::{Digest, Payload};
+//!
+//! let bytes: Vec<u8> = (0u8..13).collect();
+//! let mut d = Digest::new();
+//! d.update(&bytes[..5]);
+//! d.update(&bytes[5..]);
+//! assert_eq!(d.finish(), Payload::from(bytes).digest());
+//! ```
+//!
+//! This is what lets the WAL checksum a record while serialising it — no
+//! second pass over the buffer, no intermediate copy — and still produce
+//! a value comparable with the one-shot digests recorded elsewhere.
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn eat_word(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(PRIME)
+}
+
+#[inline]
+fn eat_byte(h: u64, byte: u8) -> u64 {
+    (h ^ byte as u64).wrapping_mul(PRIME)
+}
+
+/// Incremental FNV-1a word-at-a-time hasher.
+///
+/// `Digest::new().update(bytes).finish()` equals
+/// `Payload::from(bytes.to_vec()).digest()` for any byte buffer, however
+/// the calls to `update` slice it.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    h: u64,
+    /// Bytes of the current (incomplete) 8-byte word, in stream order.
+    partial: [u8; 8],
+    partial_len: usize,
+    /// Total bytes consumed (the trailing length word).
+    len: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Digest {
+            h: OFFSET,
+            partial: [0; 8],
+            partial_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Folds `bytes` into the digest. Word boundaries stay anchored to
+    /// the start of the stream, so splitting the input across calls does
+    /// not change the final value.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+        // Top up a pending partial word first.
+        if self.partial_len > 0 {
+            let take = (8 - self.partial_len).min(bytes.len());
+            self.partial[self.partial_len..self.partial_len + take].copy_from_slice(&bytes[..take]);
+            self.partial_len += take;
+            bytes = &bytes[take..];
+            if self.partial_len == 8 {
+                self.h = eat_word(self.h, u64::from_le_bytes(self.partial));
+                self.partial_len = 0;
+            } else {
+                return; // `bytes` exhausted before the word filled.
+            }
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.h = eat_word(
+                self.h,
+                u64::from_le_bytes(chunk.try_into().expect("8 bytes")),
+            );
+        }
+        let rem = chunks.remainder();
+        self.partial[..rem.len()].copy_from_slice(rem);
+        self.partial_len = rem.len();
+    }
+
+    /// Total bytes folded in so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if no bytes have been folded in yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Closes the stream: folds the tail bytes (byte-wise, as the
+    /// one-shot digest does) and the total length word, and returns the
+    /// digest.
+    pub fn finish(self) -> u64 {
+        let mut h = self.h;
+        for &b in &self.partial[..self.partial_len] {
+            h = eat_byte(h, b);
+        }
+        eat_word(h, self.len)
+    }
+}
+
+/// One-shot convenience: the digest of a whole byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.update(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Payload;
+
+    /// The pinned vectors from `Payload::digest` — the streamed form must
+    /// reproduce them exactly.
+    #[test]
+    fn fixed_vectors_match_one_shot() {
+        // Empty stream == Payload::Empty.
+        assert_eq!(Digest::new().finish(), 0xaf63_bd4c_8601_b7df);
+        assert_eq!(Digest::new().finish(), Payload::Empty.digest());
+
+        // A u64's LE bytes == Payload::U64.
+        let mut d = Digest::new();
+        d.update(&0xdead_beef_cafe_f00du64.to_le_bytes());
+        assert_eq!(d.finish(), 0x811d_0077_16ea_3bd0);
+
+        // A byte buffer == Payload::Bytes.
+        let bytes: Vec<u8> = (0u8..13).collect();
+        assert_eq!(digest_bytes(&bytes), 0xf0f1_c00c_fdb0_4010);
+        assert_eq!(digest_bytes(&bytes), Payload::from(bytes).digest());
+    }
+
+    /// Streaming in every possible two-way split (and some pathological
+    /// many-way splits) gives the same digest as one shot.
+    #[test]
+    fn split_invariance() {
+        let bytes: Vec<u8> = (0u16..257).map(|b| (b % 251) as u8).collect();
+        let expected = digest_bytes(&bytes);
+        assert_eq!(expected, Payload::from(bytes.clone()).digest());
+        for split in 0..=bytes.len() {
+            let mut d = Digest::new();
+            d.update(&bytes[..split]);
+            d.update(&bytes[split..]);
+            assert_eq!(d.finish(), expected, "split at {split}");
+        }
+        // Byte-at-a-time.
+        let mut d = Digest::new();
+        for b in &bytes {
+            d.update(std::slice::from_ref(b));
+        }
+        assert_eq!(d.finish(), expected);
+        // Empty updates are no-ops.
+        let mut d = Digest::new();
+        d.update(&[]);
+        d.update(&bytes);
+        d.update(&[]);
+        assert_eq!(d.finish(), expected);
+    }
+
+    #[test]
+    fn length_is_tracked() {
+        let mut d = Digest::new();
+        assert!(d.is_empty());
+        d.update(&[1, 2, 3]);
+        d.update(&[4]);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+    }
+
+    /// Zero-padded buffers of different lengths stay distinct (the
+    /// trailing length word survives the refactor).
+    #[test]
+    fn length_word_keeps_padded_buffers_distinct() {
+        assert_ne!(digest_bytes(&[0u8; 8]), digest_bytes(&[0u8; 1]));
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod digest;
 mod engine;
 mod fault_link;
 mod network;
@@ -56,6 +57,7 @@ mod trace;
 pub use channel::{
     ChannelBehavior, ChannelId, Fifo, PortId, ReadOutcome, UnboundedFifo, WriteOutcome,
 };
+pub use digest::{digest_bytes, Digest};
 pub use engine::{Engine, RunOutcome};
 pub use fault_link::{FaultyLink, LinkFaultPlan};
 pub use network::{port, ChannelSlot, Network, ProcessSlot};

@@ -1,5 +1,6 @@
 //! Data tokens flowing through the process network.
 
+use crate::digest::Digest;
 use rtft_rtc::TimeNs;
 use std::fmt;
 
@@ -67,30 +68,26 @@ impl Payload {
     /// per byte, which matters because this runs for every output token in
     /// equivalence checks and every serve `Output` frame. The trailing
     /// length word keeps zero-padded buffers of different sizes distinct.
+    ///
+    /// This is the one-shot form of the streaming [`Digest`](crate::Digest)
+    /// hasher: `Payload::from(v).digest()` equals
+    /// `Digest::new().update(&v).finish()` for any byte vector, and the
+    /// fixed vectors below pin both to the same values.
     pub fn digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        #[inline]
-        fn eat_word(h: u64, word: u64) -> u64 {
-            (h ^ word).wrapping_mul(PRIME)
-        }
-        #[inline]
-        fn eat_byte(h: u64, byte: u8) -> u64 {
-            (h ^ byte as u64).wrapping_mul(PRIME)
-        }
         match self {
-            Payload::Empty => eat_byte(OFFSET, 0),
-            Payload::U64(v) => eat_word(eat_word(OFFSET, *v), 8),
+            // An empty stream hashes identically to the historical
+            // `eat_byte(OFFSET, 0)` form: `finish` on zero bytes folds in
+            // the length word 0, and `h ^ 0` is `h` either way.
+            Payload::Empty => Digest::new().finish(),
+            Payload::U64(v) => {
+                let mut d = Digest::new();
+                d.update(&v.to_le_bytes());
+                d.finish()
+            }
             Payload::Bytes(b) => {
-                let mut h = OFFSET;
-                let mut chunks = b.chunks_exact(8);
-                for chunk in &mut chunks {
-                    h = eat_word(h, u64::from_le_bytes(chunk.try_into().unwrap()));
-                }
-                for &byte in chunks.remainder() {
-                    h = eat_byte(h, byte);
-                }
-                eat_word(h, b.len() as u64)
+                let mut d = Digest::new();
+                d.update(b);
+                d.finish()
             }
         }
     }

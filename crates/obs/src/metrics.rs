@@ -305,6 +305,9 @@ struct RegistryInner {
     named_gauges: BTreeMap<String, Gauge>,
     /// Dynamic-name counters (per-tenant serve traffic uses runtime names).
     named_counters: BTreeMap<String, Counter>,
+    /// Dynamic-name histograms (per-segment WAL commit batches and other
+    /// runtime-keyed distributions).
+    named_histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -370,6 +373,18 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// A histogram under a runtime-constructed name (per-stream WAL replay
+    /// sizes: `"wal.stream.<id>.replay"`), created on first use.
+    pub fn histogram_named(&self, name: impl Into<String>) -> Histogram {
+        self.inner
+            .lock()
+            .unwrap()
+            .named_histograms
+            .entry(name.into())
+            .or_default()
+            .clone()
+    }
+
     /// Folds another registry's metrics into this one, creating metrics on
     /// first sight: counters add, histograms merge bucket-wise, gauges keep
     /// the combined high-water mark. Each source registry should be
@@ -395,7 +410,7 @@ impl MetricsRegistry {
         if Arc::ptr_eq(&self.inner, &other.inner) {
             return;
         }
-        let (counters, gauges, histograms, named_gauges, named_counters) = {
+        let (counters, gauges, histograms, named_gauges, named_counters, named_histograms) = {
             let g = other.inner.lock().unwrap();
             (
                 g.counters
@@ -418,6 +433,10 @@ impl MetricsRegistry {
                     .iter()
                     .map(|(k, v)| (k.clone(), v.get()))
                     .collect::<Vec<_>>(),
+                g.named_histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>(),
             )
         };
         for (name, value) in counters {
@@ -434,6 +453,9 @@ impl MetricsRegistry {
         }
         for (name, gauge) in named_gauges {
             self.gauge_named(name).merge_from(&gauge);
+        }
+        for (name, histogram) in named_histograms {
+            self.histogram_named(name).merge_from(&histogram);
         }
     }
 
@@ -463,12 +485,18 @@ impl MetricsRegistry {
             .collect()
     }
 
-    /// All histograms as `(name, snapshot)`, sorted by name.
+    /// All histograms as `(name, snapshot)`, sorted by name; runtime-named
+    /// histograms follow the static ones.
     pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
         let g = self.inner.lock().unwrap();
         g.histograms
             .iter()
             .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .chain(
+                g.named_histograms
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.snapshot())),
+            )
             .collect()
     }
 }
@@ -562,6 +590,7 @@ mod tests {
         job.histogram("lat").record(40);
         job.gauge_named("chan.a.fill").set(5);
         job.counter_named("serve.app.mjpeg.tokens").add(7);
+        job.histogram_named("wal.stream.0.replay").record(12);
 
         fleet.absorb(&job);
         assert_eq!(fleet.counter("jobs").get(), 3);
@@ -569,6 +598,11 @@ mod tests {
         assert_eq!(fleet.histogram("lat").count(), 1);
         assert_eq!(fleet.gauge_named("chan.a.fill").get(), 5);
         assert_eq!(fleet.counter_named("serve.app.mjpeg.tokens").get(), 7);
+        assert_eq!(fleet.histogram_named("wal.stream.0.replay").count(), 1);
+        assert!(fleet
+            .histogram_snapshots()
+            .iter()
+            .any(|(name, snap)| name == "wal.stream.0.replay" && snap.count == 1));
         assert!(fleet
             .counter_values()
             .contains(&("serve.app.mjpeg.tokens".to_string(), 7)));

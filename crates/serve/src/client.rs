@@ -74,6 +74,16 @@ pub struct StreamStats {
     pub outstanding: u32,
 }
 
+/// A `Durable` acknowledgement: the server's write-ahead log holds the
+/// batch, so it survives a server crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableAck {
+    /// Tokens the acknowledged batch carried.
+    pub tokens: u32,
+    /// WAL sequence number of the batch's log record.
+    pub seq: u64,
+}
+
 /// Everything one flush (or close) exchange produced.
 #[derive(Debug, Clone, Default)]
 pub struct FlushOutcome {
@@ -81,6 +91,9 @@ pub struct FlushOutcome {
     pub outputs: Vec<OutputEvent>,
     /// Fault latches pushed during the flush.
     pub faults: Vec<FaultEvent>,
+    /// Durability acknowledgements read during the exchange (WAL-enabled
+    /// servers only).
+    pub durable: Vec<DurableAck>,
     /// The refusal, if the flush was refused.
     pub busy: Option<BusyInfo>,
     /// The terminal stats snapshot (absent only on refusal).
@@ -180,9 +193,47 @@ impl Client {
 
     /// Sends a batch of raw token payloads to `stream`. The server
     /// buffers them until the next flush; nothing is pushed back yet.
+    /// (Against a WAL-enabled server the `Durable` ack arrives later and
+    /// is surfaced by the next collect; use
+    /// [`Client::send_tokens_durable`] to wait for it here.)
     pub fn send_tokens(&mut self, stream: u32, payloads: Vec<Vec<u8>>) -> Result<(), ServeError> {
         write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
         Ok(())
+    }
+
+    /// Sends a batch of raw token payloads to `stream` and blocks until
+    /// the server's `Durable` acknowledgement: on return the batch is in
+    /// the server's write-ahead log and survives a server crash. Only
+    /// valid against a WAL-enabled server — without one, no `Durable`
+    /// frame ever arrives and this would block until the next push.
+    pub fn send_tokens_durable(
+        &mut self,
+        stream: u32,
+        payloads: Vec<Vec<u8>>,
+    ) -> Result<DurableAck, ServeError> {
+        write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
+        // Scan anything already buffered first, then the socket.
+        let mut scanned: Vec<Frame> = Vec::new();
+        loop {
+            let frame = if let Some(f) = self.pending.pop_front() {
+                f
+            } else {
+                self.next_frame()?
+            };
+            match frame {
+                Frame::Durable {
+                    stream: s,
+                    tokens,
+                    seq,
+                } if s == stream => {
+                    for f in scanned.into_iter().rev() {
+                        self.pending.push_front(f);
+                    }
+                    return Ok(DurableAck { tokens, seq });
+                }
+                other => scanned.push(other),
+            }
+        }
     }
 
     /// Flushes `stream`'s buffered tokens through its pipeline and
@@ -229,6 +280,11 @@ impl Client {
                     kind,
                     detection_latency_ns,
                 }),
+                Frame::Durable {
+                    stream: s,
+                    tokens,
+                    seq,
+                } if s == stream => outcome.durable.push(DurableAck { tokens, seq }),
                 Frame::Busy {
                     stream: s,
                     reason,

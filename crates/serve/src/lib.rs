@@ -24,6 +24,12 @@
 //! * **[`ServeReport`]** — deterministic end-of-life accounting: every
 //!   accepted token is delivered or reported (`tokens_in == delivered +
 //!   undelivered`, per stream).
+//! * **[`replay`]** — with a write-ahead log configured
+//!   ([`ServerConfig::wal`]), accepted batches are group-committed to
+//!   disk before the `Durable` ack, a restart rebuilds every stream and
+//!   resubmits its undelivered tail, and [`replay_verify`] re-runs the
+//!   whole log through the deterministic pipeline, flagging any output
+//!   divergence as a detected transient fault in the original run.
 //!
 //! # Example
 //!
@@ -47,15 +53,20 @@
 
 pub mod client;
 pub mod error;
+pub mod replay;
 pub mod report;
 pub mod server;
 pub mod wire;
 
 pub use client::{
-    digest_of, workload, BusyInfo, Client, FaultEvent, FlushOutcome, OpenOutcome, OutputEvent,
-    StreamStats,
+    digest_of, workload, BusyInfo, Client, DurableAck, FaultEvent, FlushOutcome, OpenOutcome,
+    OutputEvent, StreamStats,
 };
 pub use error::{ProtocolError, ServeError};
+pub use replay::{replay_verify, ReplayReport, StreamReplay};
 pub use report::{ServeReport, StreamAccount};
 pub use server::{detection_bound, FaultInjection, ServeRuntime, Server, ServerConfig};
 pub use wire::{kind_label, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+// Re-exported so servers can be configured durable without naming the
+// log crate directly.
+pub use rtft_wal::WalConfig;

@@ -68,6 +68,17 @@ pub struct ServeReport {
     pub bytes_in: u64,
     /// Wire bytes pushed to clients.
     pub bytes_out: u64,
+    /// Streams rebuilt from the write-ahead log at startup (0 without a
+    /// WAL). Recovered streams keep their accounting: their `tokens_in`
+    /// counts logged tokens, so the balance invariant spans the restart.
+    pub recovered_streams: u64,
+    /// Logged-but-undelivered tokens resubmitted through the fleet at
+    /// startup.
+    pub replayed_tokens: u64,
+    /// Torn-tail records dropped by WAL recovery at startup (tokens in
+    /// those records were never acknowledged `Durable`, so dropping them
+    /// loses nothing the client was promised).
+    pub wal_truncated_records: u64,
     /// The drained fleet's report (job records, status, pool counters).
     pub fleet: FleetReport,
 }
@@ -105,6 +116,9 @@ impl ServeReport {
             .u64_field("frames_out", self.frames_out)
             .u64_field("bytes_in", self.bytes_in)
             .u64_field("bytes_out", self.bytes_out)
+            .u64_field("recovered_streams", self.recovered_streams)
+            .u64_field("replayed_tokens", self.replayed_tokens)
+            .u64_field("wal_truncated_records", self.wal_truncated_records)
             .u64_field("tokens_in", self.tokens_in())
             .u64_field("delivered", self.delivered())
             .u64_field("faults", self.faults())
@@ -141,6 +155,9 @@ mod tests {
             frames_out: 20,
             bytes_in: 300,
             bytes_out: 400,
+            recovered_streams: 0,
+            replayed_tokens: 0,
+            wal_truncated_records: 0,
             fleet: FleetReport {
                 runs: Vec::new(),
                 status: FleetStatus::default(),

@@ -48,6 +48,7 @@ use rtft_kpn::threaded::CancelToken;
 use rtft_kpn::Payload;
 use rtft_obs::{ClockDomain, Counter, EventRecord, EventSink, Histogram, MetricsRegistry};
 use rtft_rtc::{PjdModel, TimeNs};
+use rtft_wal::{Wal, WalConfig, WalRecord};
 
 use crate::error::{ProtocolError, ServeError};
 use crate::report::{ServeReport, StreamAccount};
@@ -112,6 +113,13 @@ pub struct ServerConfig {
     /// Base seed for per-stream job seeds (token accounting and DES runs
     /// are reproducible per seed).
     pub seed: u64,
+    /// Write-ahead log configuration. When set, every accepted `Tokens`
+    /// batch is appended (group-committed) to the log before the server
+    /// acknowledges it with a `Durable` frame, settled flushes log their
+    /// output digests, and a restarting server replays the log: streams
+    /// are rebuilt, each resumes at its last delivered sequence number,
+    /// and the undelivered tail is resubmitted through the fleet.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -126,6 +134,7 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             inject: Vec::new(),
             seed: 1,
+            wal: None,
         }
     }
 }
@@ -163,6 +172,17 @@ struct StreamState {
 struct Shared {
     cfg: ServerConfig,
     fleet: FleetExecutor,
+    /// The durable log, when configured.
+    wal: Option<Wal>,
+    /// Set by [`Server::hard_drop`]: appends stop reaching the log, so
+    /// everything after the drop instant is lost exactly as in a crash.
+    wal_frozen: AtomicBool,
+    /// Streams rebuilt from the log at startup.
+    recovered_streams: AtomicU64,
+    /// Undelivered logged tokens resubmitted through the fleet at startup.
+    replayed_tokens: AtomicU64,
+    /// Torn-tail records dropped by WAL recovery at startup.
+    wal_truncated_records: u64,
     registry: MetricsRegistry,
     events: EventSink,
     epoch: Instant,
@@ -194,6 +214,16 @@ struct Shared {
 impl Shared {
     fn now_ns(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The WAL to append to, unless the server was hard-dropped (a
+    /// frozen log models the crash: later events never hit the disk).
+    fn wal(&self) -> Option<&Wal> {
+        if self.wal_frozen.load(Ordering::SeqCst) {
+            None
+        } else {
+            self.wal.as_ref()
+        }
     }
 
     fn event(&self, name: &'static str, node: Option<usize>, value: u64) {
@@ -251,20 +281,42 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral loopback port), spawns
     /// the acceptor and the fleet, and returns the running server.
+    ///
+    /// With a WAL configured, startup first recovers the log: the torn
+    /// tail (if any) is truncated, every logged stream is rebuilt at its
+    /// last delivered sequence number, and undelivered token tails are
+    /// resubmitted through the fleet before the listener opens.
     pub fn start(addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let mut wal = None;
+        let mut wal_truncated_records = 0;
+        let mut rebuilt: Vec<Arc<StreamState>> = Vec::new();
+        let mut next_stream: u32 = 0;
+        if let Some(wal_cfg) = cfg.wal.clone() {
+            let (w, recovery) = Wal::open(wal_cfg)?;
+            wal_truncated_records = recovery.truncated_records;
+            rebuilt = rebuild_streams(&recovery.records);
+            next_stream = rebuilt.iter().map(|st| st.id + 1).max().unwrap_or(0);
+            wal = Some(w);
+        }
+
         let registry = MetricsRegistry::new();
         let shared = Arc::new(Shared {
             fleet: FleetExecutor::new(cfg.fleet.clone()),
             cfg,
+            wal,
+            wal_frozen: AtomicBool::new(false),
+            recovered_streams: AtomicU64::new(rebuilt.len() as u64),
+            replayed_tokens: AtomicU64::new(0),
+            wal_truncated_records,
             events: EventSink::new(EVENT_CAPACITY),
             epoch: Instant::now(),
             cancel: CancelToken::new(),
             accepting: AtomicBool::new(true),
-            next_stream: AtomicU32::new(0),
+            next_stream: AtomicU32::new(next_stream),
             streams: Mutex::new(HashMap::new()),
             conns: Mutex::new(Vec::new()),
             handlers: Mutex::new(Vec::new()),
@@ -285,6 +337,44 @@ impl Server {
             h_flush_batch: registry.histogram("serve.flush.batch"),
             registry,
         });
+
+        // Re-home the recovered streams and resubmit their undelivered
+        // tails: each tail becomes an ordinary flush job whose settle
+        // logs its outputs back into the WAL. No client is attached
+        // (conn == u32::MAX); outputs are durable, not pushed.
+        for st in rebuilt {
+            shared.event(
+                "serve.stream.recovered",
+                Some(st.id as usize),
+                st.tokens_in.load(Ordering::SeqCst),
+            );
+            shared
+                .streams
+                .lock()
+                .unwrap()
+                .insert(st.id, Arc::clone(&st));
+            let batch: Vec<Vec<u8>> = st.buffered.lock().unwrap().clone();
+            if batch.is_empty() {
+                continue;
+            }
+            let spec = build_spec(&shared.cfg, st.id, st.app, st.redundancy, &batch);
+            let notify = recovery_notifier(&shared, &st);
+            if let Admission::Admitted(_) = shared.fleet.submit_with(spec, Some(notify)) {
+                let mut buf = st.buffered.lock().unwrap();
+                let drained = batch.len().min(buf.len());
+                buf.drain(..drained);
+                st.inflight.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .replayed_tokens
+                    .fetch_add(batch.len() as u64, Ordering::SeqCst);
+                shared.event(
+                    "serve.stream.replayed",
+                    Some(st.id as usize),
+                    batch.len() as u64,
+                );
+            }
+            // A rejected tail stays buffered and is reported undelivered.
+        }
 
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::Builder::new()
@@ -337,6 +427,10 @@ impl Server {
         self.begin_shutdown();
         // Drain: join a clone so the supervisor stays reachable after.
         let fleet = self.shared.fleet.clone().join();
+        if let Some(wal) = self.shared.wal() {
+            let _ = wal.sync();
+            self.shared.registry.absorb(wal.registry());
+        }
         self.shared
             .fleet
             .supervisor()
@@ -385,9 +479,139 @@ impl Server {
             frames_out: self.shared.c_frames_out.get(),
             bytes_in: self.shared.c_bytes_in.get(),
             bytes_out: self.shared.c_bytes_out.get(),
+            recovered_streams: self.shared.recovered_streams.load(Ordering::SeqCst),
+            replayed_tokens: self.shared.replayed_tokens.load(Ordering::SeqCst),
+            wal_truncated_records: self.shared.wal_truncated_records,
             fleet,
         }
     }
+
+    /// Crash simulation: kill the server **without** draining. The WAL is
+    /// frozen first — anything not yet appended when the drop begins
+    /// never reaches the disk, exactly as if the process had died — then
+    /// the sockets are torn down and the threads joined. No report; the
+    /// truth now lives in the log, and a subsequent [`Server::start`] on
+    /// the same WAL directory recovers it.
+    pub fn hard_drop(mut self) {
+        self.shared.wal_frozen.store(true, Ordering::SeqCst);
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.event("serve.hard_drop", None, 0);
+        self.shared.cancel.cancel();
+        for sock in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handlers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.handlers.lock().unwrap());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Folds the recovered log into per-stream state: every logged token
+/// counts as accepted, `delivered` resumes at the highest logged output
+/// sequence, and the undelivered tail goes back into the flush buffer.
+fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
+    struct Rebuilt {
+        app: App,
+        redundancy: u8,
+        payloads: Vec<Vec<u8>>,
+        delivered: u64,
+        closed: bool,
+    }
+    let mut map: std::collections::BTreeMap<u32, Rebuilt> = std::collections::BTreeMap::new();
+    for (_, rec) in records {
+        match rec {
+            WalRecord::StreamOpen {
+                stream,
+                app,
+                redundancy,
+            } => {
+                let app = *App::ALL.get(*app as usize).unwrap_or(&App::ALL[0]);
+                map.insert(
+                    *stream,
+                    Rebuilt {
+                        app,
+                        redundancy: *redundancy,
+                        payloads: Vec::new(),
+                        delivered: 0,
+                        closed: false,
+                    },
+                );
+            }
+            WalRecord::Tokens { stream, payloads } => {
+                if let Some(r) = map.get_mut(stream) {
+                    r.payloads.extend(payloads.iter().cloned());
+                }
+            }
+            WalRecord::Outputs {
+                stream,
+                first_seq,
+                digests,
+            } => {
+                if let Some(r) = map.get_mut(stream) {
+                    r.delivered = r.delivered.max(first_seq + digests.len() as u64);
+                }
+            }
+            WalRecord::StreamClose { stream } => {
+                if let Some(r) = map.get_mut(stream) {
+                    r.closed = true;
+                }
+            }
+        }
+    }
+    map.into_iter()
+        .map(|(id, r)| {
+            let tokens_in = r.payloads.len() as u64;
+            let delivered = r.delivered.min(tokens_in);
+            let tail = r.payloads[delivered as usize..].to_vec();
+            Arc::new(StreamState {
+                id,
+                conn: u32::MAX,
+                app: r.app,
+                redundancy: r.redundancy,
+                buffered: Mutex::new(tail),
+                tokens_in: AtomicU64::new(tokens_in),
+                delivered: AtomicU64::new(delivered),
+                faults: AtomicU64::new(0),
+                busy: AtomicU64::new(0),
+                inflight: AtomicU64::new(0),
+                closed: AtomicBool::new(r.closed),
+            })
+        })
+        .collect()
+}
+
+/// The notifier for a replayed recovery job: like [`settle_notifier`] but
+/// with no client connection — delivered outputs are logged to the WAL
+/// (so the *next* recovery resumes past them) and counted, not pushed.
+fn recovery_notifier(shared: &Arc<Shared>, st: &Arc<StreamState>) -> JobNotifier {
+    let shared = Arc::clone(shared);
+    let st = Arc::clone(st);
+    Arc::new(move |record, result| {
+        if let Some(result) = result {
+            let digests: Vec<u64> = result.arrival_log.iter().map(|&(_, d)| d).collect();
+            let prev = st
+                .delivered
+                .fetch_add(digests.len() as u64, Ordering::SeqCst);
+            if let Some(wal) = shared.wal() {
+                let _ = wal.append(&WalRecord::Outputs {
+                    stream: st.id,
+                    first_seq: prev,
+                    digests: digests.clone(),
+                });
+            }
+            shared.c_outputs.add(digests.len() as u64);
+            for _ in &record.faulty_replicas {
+                st.faults.fetch_add(1, Ordering::SeqCst);
+                shared.c_faults.inc();
+            }
+        }
+        st.inflight.fetch_sub(1, Ordering::SeqCst);
+    })
 }
 
 fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
@@ -486,7 +710,7 @@ fn drive_connection(
             }
             Frame::Tokens { stream, payloads } => {
                 let st = lookup(shared, conn_id, stream)?;
-                handle_tokens(shared, &st, payloads);
+                handle_tokens(shared, writer, &st, payloads)?;
             }
             Frame::Flush { stream } => {
                 let st = lookup(shared, conn_id, stream)?;
@@ -565,13 +789,28 @@ fn handle_open(
         inflight: AtomicU64::new(0),
         closed: AtomicBool::new(false),
     });
+    // Log the open before acknowledging it, so a crash right after the
+    // client saw `Accepted` still recovers the stream's existence.
+    if let Some(wal) = shared.wal() {
+        let app_index = App::ALL.iter().position(|a| *a == app).unwrap_or(0) as u8;
+        wal.append(&WalRecord::StreamOpen {
+            stream: id,
+            app: app_index,
+            redundancy,
+        })?;
+    }
     shared.streams.lock().unwrap().insert(id, st);
     shared.c_streams_opened.inc();
     shared.event("serve.stream.opened", Some(id as usize), redundancy as u64);
     shared.send(writer, &Frame::Accepted { id })
 }
 
-fn handle_tokens(shared: &Shared, st: &StreamState, payloads: Vec<Vec<u8>>) {
+fn handle_tokens(
+    shared: &Shared,
+    writer: &Arc<Mutex<TcpStream>>,
+    st: &StreamState,
+    payloads: Vec<Vec<u8>>,
+) -> Result<(), ServeError> {
     let n = payloads.len() as u64;
     st.tokens_in.fetch_add(n, Ordering::SeqCst);
     shared.c_tokens_in.add(n);
@@ -579,7 +818,28 @@ fn handle_tokens(shared: &Shared, st: &StreamState, payloads: Vec<Vec<u8>>) {
         .registry
         .counter_named(format!("serve.app.{}.tokens", st.app.label()))
         .add(n);
-    st.buffered.lock().unwrap().extend(payloads);
+    if let Some(wal) = shared.wal() {
+        // Log before buffering: a batch only becomes flushable once it
+        // is durable, so an Outputs record can never reference tokens
+        // the log does not hold. The group-committed append returning is
+        // the durability point the `Durable` ack reports.
+        let seq = wal.append(&WalRecord::Tokens {
+            stream: st.id,
+            payloads: payloads.clone(),
+        })?;
+        st.buffered.lock().unwrap().extend(payloads);
+        shared.send(
+            writer,
+            &Frame::Durable {
+                stream: st.id,
+                tokens: n as u32,
+                seq,
+            },
+        )?;
+    } else {
+        st.buffered.lock().unwrap().extend(payloads);
+    }
+    Ok(())
 }
 
 fn handle_flush(
@@ -596,7 +856,7 @@ fn handle_flush(
     if !shared.accepting.load(Ordering::SeqCst) {
         return refuse(shared, writer, st, RejectReason::ShuttingDown);
     }
-    let spec = build_spec(shared, st, &batch);
+    let spec = build_spec(&shared.cfg, st.id, st.app, st.redundancy, &batch);
     let notify = settle_notifier(shared, writer, st);
     match shared.fleet.submit_with(spec, Some(notify)) {
         Admission::Admitted(_) => {
@@ -668,6 +928,21 @@ fn settle_notifier(
     let st = Arc::clone(st);
     Arc::new(move |record, result| {
         if let Some(result) = result {
+            // Log the delivered digests (with their cumulative position)
+            // before pushing them: the Output frames are the client's
+            // acknowledgement, and recovery must never resume past a
+            // token the log does not show delivered.
+            let prev = st
+                .delivered
+                .fetch_add(result.arrival_log.len() as u64, Ordering::SeqCst);
+            if let Some(wal) = shared.wal() {
+                let digests: Vec<u64> = result.arrival_log.iter().map(|&(_, d)| d).collect();
+                let _ = wal.append(&WalRecord::Outputs {
+                    stream: st.id,
+                    first_seq: prev,
+                    digests,
+                });
+            }
             for (seq, &(at_ns, digest)) in result.arrival_log.iter().enumerate() {
                 let _ = shared.send(
                     &writer,
@@ -679,8 +954,6 @@ fn settle_notifier(
                     },
                 );
             }
-            st.delivered
-                .fetch_add(result.arrival_log.len() as u64, Ordering::SeqCst);
             shared.c_outputs.add(result.arrival_log.len() as u64);
             for &replica in &record.faulty_replicas {
                 let (kind, latency) = result
@@ -725,6 +998,9 @@ fn handle_close(
         std::thread::sleep(DRAIN_POLL);
     }
     st.closed.store(true, Ordering::SeqCst);
+    if let Some(wal) = shared.wal() {
+        wal.append(&WalRecord::StreamClose { stream: st.id })?;
+    }
     shared.c_streams_closed.inc();
     shared.event("serve.stream.closed", Some(st.id as usize), 0);
     shared.send(writer, &shared.stats_frame(st))
@@ -732,28 +1008,36 @@ fn handle_close(
 
 /// Builds the fleet job for one flush batch: the stream's app profile
 /// under its redundancy, fed by the client's actual payload bytes.
-fn build_spec(shared: &Shared, st: &StreamState, batch: &[Vec<u8>]) -> JobSpec {
-    let profile = st.app.profile();
+///
+/// Deterministic in `(cfg.seed, stream, app, redundancy, batch)` alone —
+/// `replay_verify` relies on this to rebuild the exact job a logged
+/// flush ran and compare outputs bit-for-bit.
+pub(crate) fn build_spec(
+    cfg: &ServerConfig,
+    stream: u32,
+    app: App,
+    redundancy: u8,
+    batch: &[Vec<u8>],
+) -> JobSpec {
+    let profile = app.profile();
     let model = profile.model;
     let n = batch.len() as u64;
     let payloads: Vec<Payload> = batch.iter().map(|b| Payload::from(b.clone())).collect();
     let payload: PayloadGenerator =
         Arc::new(move |i| payloads[(i as usize) % payloads.len()].clone());
-    let seed = shared
-        .cfg
+    let seed = cfg
         .seed
-        .wrapping_add((st.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        .wrapping_add((stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let service = model.producer.period / SERVICE_DIVISOR;
     let offset = service + model.producer.jitter + TimeNs::from_ms(1);
-    let injections: Vec<(usize, TimeNs)> = shared
-        .cfg
+    let injections: Vec<(usize, TimeNs)> = cfg
         .inject
         .iter()
-        .filter(|inj| inj.stream == st.id)
+        .filter(|inj| inj.stream == stream)
         .map(|inj| (inj.replica, inj.at))
         .collect();
 
-    let template = if st.redundancy == 2 {
+    let template = if redundancy == 2 {
         let mut cfg = DuplicationConfig::from_model(model)
             .expect("profile models are bounded")
             .with_token_count(n)
@@ -813,7 +1097,7 @@ fn build_spec(shared: &Shared, st: &StreamState, batch: &[Vec<u8>]) -> JobSpec {
         }
     };
 
-    let runtime = match shared.cfg.runtime {
+    let runtime = match cfg.runtime {
         ServeRuntime::DiscreteEvent => JobRuntime::DiscreteEvent {
             horizon: model.producer.period * (n + 60) + model.consumer.delay + TimeNs::from_secs(5),
         },
@@ -827,7 +1111,7 @@ fn build_spec(shared: &Shared, st: &StreamState, batch: &[Vec<u8>]) -> JobSpec {
     };
 
     JobSpec {
-        name: format!("serve/{}/{}", st.app.label(), st.id),
+        name: format!("serve/{}/{}", app.label(), stream),
         template,
         relative_deadline: Duration::from_secs(120),
         runtime,

@@ -33,6 +33,7 @@
 //! | `0x83` | `Output`     | S→C       | `stream:u32, seq:u64, at_ns:u64, digest:u64` |
 //! | `0x84` | `Fault`      | S→C       | `stream:u32, replica:u32, kind:u8, detection_latency_ns:u64` |
 //! | `0x85` | `Stats`      | S→C       | `stream:u32, tokens_in:u64, delivered:u64, faults:u64, busy:u64, queued:u32, inflight:u32, outstanding:u32` |
+//! | `0x86` | `Durable`    | S→C       | `stream:u32, tokens:u32, seq:u64` |
 //!
 //! `app` indexes [`rtft_apps::networks::App::ALL`]; `redundancy` is the
 //! replica count (2 = duplicated timing selector, 3 = tri-modular value
@@ -180,6 +181,17 @@ pub enum Frame {
         /// Admitted-but-unfinished fleet jobs at snapshot time.
         outstanding: u32,
     },
+    /// A `Tokens` batch reached the server's write-ahead log: the tokens
+    /// survive a server crash and will be replayed on restart. Only sent
+    /// when the server runs with a WAL (`ServerConfig::wal`).
+    Durable {
+        /// Stream id.
+        stream: u32,
+        /// Tokens in the batch this acknowledgement covers.
+        tokens: u32,
+        /// WAL sequence number of the batch's log record.
+        seq: u64,
+    },
 }
 
 impl Frame {
@@ -196,6 +208,7 @@ impl Frame {
             Frame::Output { .. } => 0x83,
             Frame::Fault { .. } => 0x84,
             Frame::Stats { .. } => 0x85,
+            Frame::Durable { .. } => 0x86,
         }
     }
 
@@ -212,6 +225,7 @@ impl Frame {
             Frame::Output { .. } => "Output",
             Frame::Fault { .. } => "Fault",
             Frame::Stats { .. } => "Stats",
+            Frame::Durable { .. } => "Durable",
         }
     }
 
@@ -290,6 +304,15 @@ impl Frame {
                 put_u32(&mut body, *inflight);
                 put_u32(&mut body, *outstanding);
             }
+            Frame::Durable {
+                stream,
+                tokens,
+                seq,
+            } => {
+                put_u32(&mut body, *stream);
+                put_u32(&mut body, *tokens);
+                put_u64(&mut body, *seq);
+            }
         }
         let mut wire = Vec::with_capacity(5 + body.len());
         put_u32(&mut wire, 1 + body.len() as u32);
@@ -363,6 +386,11 @@ impl Frame {
                 queued: get_u32(r)?,
                 inflight: get_u32(r)?,
                 outstanding: get_u32(r)?,
+            },
+            0x86 => Frame::Durable {
+                stream: get_u32(r)?,
+                tokens: get_u32(r)?,
+                seq: get_u64(r)?,
             },
             other => return Err(ProtocolError::UnknownTag(other)),
         };
@@ -529,6 +557,11 @@ mod tests {
             queued: 3,
             inflight: 1,
             outstanding: 4,
+        });
+        round_trip(Frame::Durable {
+            stream: 7,
+            tokens: 16,
+            seq: u64::MAX,
         });
     }
 

@@ -1,0 +1,678 @@
+//! # rtft-wal — durable ingestion log with replay-as-fault-detection
+//!
+//! The streaming server (`rtft-serve`) accepts tokens over TCP and runs
+//! them through a fault-tolerant fleet. Process-level redundancy masks
+//! faults *inside* a job, but a crash of the server itself still loses
+//! every buffered token. This crate closes that gap with a write-ahead
+//! log in the paper's own spirit: because the pipelines are deterministic
+//! Kahn networks, the log *is* a fault detector — re-running a logged
+//! stream must reproduce the logged output digests bit-for-bit, and any
+//! divergence is a detected transient fault in the original run.
+//!
+//! Three mechanisms, all std-only:
+//!
+//! * **Checksummed record frames** ([`WalRecord`]) — length-prefixed
+//!   bodies guarded by the same streaming FNV-1a digest
+//!   ([`rtft_kpn::Digest`]) the selector uses for output equivalence.
+//! * **Group commit** — [`Wal::append`] is durable on return, but
+//!   concurrent appenders share fsyncs: one leader syncs while followers
+//!   park on a condvar, and the batch size per fsync is recorded in the
+//!   `wal.commit.batch` histogram.
+//! * **Torn-tail recovery** — [`Wal::open`] scans the segments, truncates
+//!   the first invalid frame of the final segment (a crash mid-write),
+//!   and reports what it dropped; corruption in the *middle* of the log
+//!   is refused rather than silently skipped.
+
+#![warn(missing_docs)]
+
+mod record;
+mod segment;
+
+pub use record::{WalRecord, FRAME_HEADER, MAX_RECORD};
+pub use segment::{segment_file_name, SEGMENT_HEADER, SEGMENT_MAGIC};
+
+use rtft_obs::{Counter, Histogram, MetricsRegistry};
+use segment::{encode_header, list_segments, scan_segment, SegmentScan};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Configuration for opening a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one exceeds this size.
+    pub segment_bytes: u64,
+    /// Keep at most this many *sealed* segments (0 = keep all). Pruned
+    /// segments shorten replay history; sequence numbers stay global.
+    pub retain_segments: usize,
+    /// Issue real fsyncs. Turning this off makes `append` a buffered
+    /// write — useful for benchmarking the log structure itself.
+    pub fsync: bool,
+}
+
+impl WalConfig {
+    /// Defaults: 8 MiB segments, keep everything, fsync on.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: 8 << 20,
+            retain_segments: 0,
+            fsync: true,
+        }
+    }
+
+    /// Set the rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(SEGMENT_HEADER as u64 + 1);
+        self
+    }
+
+    /// Set the sealed-segment retention count (0 = unlimited).
+    pub fn with_retention(mut self, segments: usize) -> Self {
+        self.retain_segments = segments;
+        self
+    }
+
+    /// Enable or disable fsync.
+    pub fn with_fsync(mut self, on: bool) -> Self {
+        self.fsync = on;
+        self
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Every valid record, in sequence order, with global sequence numbers.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Records dropped by torn-tail truncation (0 or 1 per recovery).
+    pub truncated_records: u64,
+    /// Bytes physically truncated off the final segment.
+    pub truncated_bytes: u64,
+    /// Segment files found.
+    pub segments: u64,
+    /// Wall-clock nanoseconds the scan took.
+    pub recovery_ns: u64,
+}
+
+/// Summary of a read-only [`read_log`] scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogSummary {
+    /// Valid records found.
+    pub records: u64,
+    /// Segment files scanned.
+    pub segments: u64,
+    /// Torn records at the tail (not truncated — the scan is read-only).
+    pub truncated_records: u64,
+    /// Torn bytes at the tail.
+    pub truncated_bytes: u64,
+}
+
+struct WalState {
+    file: Arc<File>,
+    seg_index: u64,
+    seg_len: u64,
+    /// Global logical bytes written since open (commit targets).
+    written: u64,
+    /// Prefix of `written` known durable on disk.
+    durable: u64,
+    /// A leader is currently inside `sync_data`.
+    syncing: bool,
+    /// Appends since the last fsync began (group-commit batch size).
+    batch_pending: u64,
+    next_seq: u64,
+    sealed: Vec<(u64, PathBuf)>,
+}
+
+struct WalInner {
+    cfg: WalConfig,
+    state: Mutex<WalState>,
+    committed: Condvar,
+    registry: MetricsRegistry,
+    c_appends: Counter,
+    c_append_bytes: Counter,
+    c_fsyncs: Counter,
+    c_rotations: Counter,
+    c_pruned: Counter,
+    h_batch: Histogram,
+}
+
+/// A durable append-only log. Cheap to clone; all clones share one file
+/// and one group-commit queue.
+#[derive(Clone)]
+pub struct Wal {
+    inner: Arc<WalInner>,
+}
+
+impl Wal {
+    /// Open (or create) the log in `cfg.dir`, recovering existing
+    /// segments. The torn tail of the final segment, if any, is
+    /// physically truncated so the next append lands on a valid frame
+    /// boundary.
+    pub fn open(cfg: WalConfig) -> io::Result<(Wal, Recovery)> {
+        let started = Instant::now();
+        fs::create_dir_all(&cfg.dir)?;
+
+        let mut scans = scan_dir(&cfg.dir)?;
+        let mut truncated_records = 0u64;
+        let mut truncated_bytes = 0u64;
+
+        // A final segment whose *header* never hit the disk contributes
+        // nothing; remove it and fall back to the previous segment.
+        if scans.last().is_some_and(|s| s.header_torn) {
+            let torn = scans.pop().expect("non-empty");
+            truncated_records += torn.torn_records;
+            truncated_bytes += torn.torn_bytes;
+            fs::remove_file(&torn.path)?;
+        }
+
+        let segments = scans.len() as u64;
+        let (active, next_seq) = match scans.last() {
+            Some(last) => {
+                truncated_records += last.torn_records;
+                truncated_bytes += last.torn_bytes;
+                if last.torn_bytes > 0 {
+                    let f = OpenOptions::new().write(true).open(&last.path)?;
+                    f.set_len(last.valid_len)?;
+                    if cfg.fsync {
+                        f.sync_data()?;
+                    }
+                }
+                let file = OpenOptions::new().append(true).open(&last.path)?;
+                ((last.index, file, last.valid_len), last.next_seq())
+            }
+            None => {
+                let next_seq = 0;
+                let (file, len) = create_segment(&cfg, 0, next_seq)?;
+                ((0, file, len), next_seq)
+            }
+        };
+
+        let mut records = Vec::new();
+        let mut sealed = Vec::new();
+        for scan in &mut scans {
+            if scan.index != active.0 {
+                sealed.push((scan.index, scan.path.clone()));
+            }
+            records.append(&mut scan.records);
+        }
+
+        let registry = MetricsRegistry::new();
+        let inner = WalInner {
+            c_appends: registry.counter("wal.appends"),
+            c_append_bytes: registry.counter("wal.append.bytes"),
+            c_fsyncs: registry.counter("wal.fsyncs"),
+            c_rotations: registry.counter("wal.rotations"),
+            c_pruned: registry.counter("wal.segments.pruned"),
+            h_batch: registry.histogram("wal.commit.batch"),
+            state: Mutex::new(WalState {
+                file: Arc::new(active.1),
+                seg_index: active.0,
+                seg_len: active.2,
+                written: 0,
+                durable: 0,
+                syncing: false,
+                batch_pending: 0,
+                next_seq,
+                sealed,
+            }),
+            committed: Condvar::new(),
+            registry,
+            cfg,
+        };
+        let recovery_ns = started.elapsed().as_nanos() as u64;
+        inner.registry.gauge("wal.recovery.ns").set(recovery_ns);
+        inner
+            .registry
+            .counter("wal.recovery.records")
+            .add(records.len() as u64);
+        inner
+            .registry
+            .counter("wal.recovery.truncated.records")
+            .add(truncated_records);
+        inner
+            .registry
+            .counter("wal.recovery.truncated.bytes")
+            .add(truncated_bytes);
+
+        Ok((
+            Wal {
+                inner: Arc::new(inner),
+            },
+            Recovery {
+                records,
+                truncated_records,
+                truncated_bytes,
+                segments: segments.max(1),
+                recovery_ns,
+            },
+        ))
+    }
+
+    /// Append one record durably. Returns its global sequence number.
+    /// When the call returns, the record survives a crash (modulo
+    /// `fsync: false`).
+    pub fn append(&self, rec: &WalRecord) -> io::Result<u64> {
+        let (seq, target) = self.write_frames(std::slice::from_ref(rec))?;
+        self.commit(target)?;
+        Ok(seq)
+    }
+
+    /// Append a batch of records with a single durability point. Returns
+    /// the sequence number of the first record.
+    pub fn append_batch(&self, recs: &[WalRecord]) -> io::Result<u64> {
+        if recs.is_empty() {
+            return Ok(self.next_seq());
+        }
+        let (first_seq, target) = self.write_frames(recs)?;
+        self.commit(target)?;
+        Ok(first_seq)
+    }
+
+    /// Force everything appended so far onto disk.
+    pub fn sync(&self) -> io::Result<()> {
+        let target = self.lock().written;
+        self.commit(target)
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// The log's metrics: `wal.appends`, `wal.fsyncs`, `wal.append.bytes`,
+    /// `wal.commit.batch` (histogram), `wal.rotations`,
+    /// `wal.segments.pruned`, `wal.recovery.*`.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.inner.cfg.dir
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WalState> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write the frames under the state lock; returns (first seq, commit
+    /// target). Durability happens in `commit`.
+    fn write_frames(&self, recs: &[WalRecord]) -> io::Result<(u64, u64)> {
+        let mut buf = Vec::new();
+        for rec in recs {
+            buf.extend_from_slice(&rec.encode_frame());
+        }
+
+        let mut st = self.lock();
+        if st.seg_len >= self.inner.cfg.segment_bytes {
+            self.rotate(&mut st)?;
+        }
+        (&*st.file).write_all(&buf)?;
+        st.seg_len += buf.len() as u64;
+        st.written += buf.len() as u64;
+        st.batch_pending += recs.len() as u64;
+        let first_seq = st.next_seq;
+        st.next_seq += recs.len() as u64;
+        let target = st.written;
+        drop(st);
+
+        self.inner.c_appends.add(recs.len() as u64);
+        self.inner.c_append_bytes.add(buf.len() as u64);
+        Ok((first_seq, target))
+    }
+
+    /// Group commit: wait until at least `target` logical bytes are
+    /// durable. The first waiter to find no sync in flight becomes the
+    /// leader and fsyncs on behalf of everyone queued behind it.
+    fn commit(&self, target: u64) -> io::Result<()> {
+        let mut st = self.lock();
+        loop {
+            if st.durable >= target {
+                return Ok(());
+            }
+            if st.syncing {
+                st = self
+                    .inner
+                    .committed
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                continue;
+            }
+            st.syncing = true;
+            let to = st.written;
+            let batch = std::mem::take(&mut st.batch_pending);
+            let file = Arc::clone(&st.file);
+            drop(st);
+
+            let res = if self.inner.cfg.fsync {
+                file.sync_data()
+            } else {
+                Ok(())
+            };
+
+            st = self.lock();
+            st.syncing = false;
+            match res {
+                Ok(()) => {
+                    st.durable = st.durable.max(to);
+                    self.inner.c_fsyncs.inc();
+                    self.inner.h_batch.record(batch);
+                    self.inner.committed.notify_all();
+                }
+                Err(e) => {
+                    // Give the batch back so a retry re-counts it.
+                    st.batch_pending += batch;
+                    self.inner.committed.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Seal the current segment and start the next one. Called with the
+    /// state lock held; the old file is fully synced first so rotation
+    /// never leaves an unsynced sealed segment behind.
+    fn rotate(&self, st: &mut WalState) -> io::Result<()> {
+        if self.inner.cfg.fsync {
+            st.file.sync_data()?;
+        }
+        st.durable = st.durable.max(st.written);
+
+        let old_index = st.seg_index;
+        let old_path = self.inner.cfg.dir.join(segment_file_name(old_index));
+        let new_index = old_index + 1;
+        let (file, len) = create_segment(&self.inner.cfg, new_index, st.next_seq)?;
+        st.file = Arc::new(file);
+        st.seg_index = new_index;
+        st.seg_len = len;
+        st.sealed.push((old_index, old_path));
+        self.inner.c_rotations.inc();
+        self.inner.committed.notify_all();
+
+        let retain = self.inner.cfg.retain_segments;
+        if retain > 0 {
+            while st.sealed.len() > retain {
+                let (_, path) = st.sealed.remove(0);
+                fs::remove_file(&path)?;
+                self.inner.c_pruned.inc();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Read every record in a quiesced log directory without modifying it.
+///
+/// Used by replay verification: unlike [`Wal::open`] this never
+/// truncates, so a suspect log can be examined in place while the
+/// original server still owns it.
+pub fn read_log(dir: &Path) -> io::Result<(Vec<(u64, WalRecord)>, LogSummary)> {
+    let mut scans = scan_dir(dir)?;
+    let mut records = Vec::new();
+    let mut summary = LogSummary {
+        records: 0,
+        segments: scans.len() as u64,
+        truncated_records: 0,
+        truncated_bytes: 0,
+    };
+    for scan in &mut scans {
+        summary.truncated_records += scan.torn_records;
+        summary.truncated_bytes += scan.torn_bytes;
+        records.append(&mut scan.records);
+    }
+    summary.records = records.len() as u64;
+    Ok((records, summary))
+}
+
+/// Scan all segments in order; every segment but the last is strict.
+fn scan_dir(dir: &Path) -> io::Result<Vec<SegmentScan>> {
+    let listed = list_segments(dir)?;
+    let last = listed.len().saturating_sub(1);
+    let mut scans = Vec::with_capacity(listed.len());
+    for (pos, (_, path)) in listed.iter().enumerate() {
+        scans.push(scan_segment(path, pos != last)?);
+    }
+    Ok(scans)
+}
+
+fn create_segment(cfg: &WalConfig, index: u64, base_seq: u64) -> io::Result<(File, u64)> {
+    let path = cfg.dir.join(segment_file_name(index));
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)?;
+    let header = encode_header(index, base_seq);
+    file.write_all(&header)?;
+    if cfg.fsync {
+        file.sync_all()?;
+        // Make the new directory entry itself durable.
+        if let Ok(d) = File::open(&cfg.dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok((file, header.len() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("rtft-wal-{}-{tag}-{n}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn tokens(stream: u32, n: usize) -> WalRecord {
+        WalRecord::Tokens {
+            stream,
+            payloads: (0..n).map(|i| vec![i as u8; i % 7 + 1]).collect(),
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_recovers_everything() {
+        let dir = TempDir::new("roundtrip");
+        let cfg = WalConfig::new(dir.path()).with_fsync(false);
+        let (wal, rec) = Wal::open(cfg.clone()).expect("open");
+        assert!(rec.records.is_empty());
+        let mut written = Vec::new();
+        for i in 0..20u32 {
+            let r = tokens(i, i as usize % 5);
+            let seq = wal.append(&r).expect("append");
+            assert_eq!(seq, i as u64);
+            written.push((seq, r));
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+
+        let (wal, rec) = Wal::open(cfg).expect("reopen");
+        assert_eq!(rec.records, written);
+        assert_eq!(rec.truncated_records, 0);
+        assert_eq!(wal.next_seq(), 20);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_stays_appendable() {
+        let dir = TempDir::new("torn");
+        let cfg = WalConfig::new(dir.path()).with_fsync(false);
+        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        for i in 0..5u32 {
+            wal.append(&tokens(i, 3)).expect("append");
+        }
+        drop(wal);
+
+        // Simulate a crash mid-write: garbage after the last valid frame.
+        let seg = dir.path().join(segment_file_name(0));
+        let mut f = OpenOptions::new().append(true).open(&seg).expect("seg");
+        f.write_all(&[0xAB; 29]).expect("garbage");
+        drop(f);
+
+        let (wal, rec) = Wal::open(cfg.clone()).expect("recover");
+        assert_eq!(rec.records.len(), 5);
+        assert_eq!(rec.truncated_records, 1);
+        assert_eq!(rec.truncated_bytes, 29);
+        // The truncation is physical: a fresh append continues the log.
+        assert_eq!(wal.append(&tokens(9, 1)).expect("append"), 5);
+        drop(wal);
+
+        let (_, rec) = Wal::open(cfg).expect("reopen");
+        assert_eq!(rec.records.len(), 6);
+        assert_eq!(rec.truncated_records, 0);
+    }
+
+    #[test]
+    fn rotation_preserves_global_sequence_numbers() {
+        let dir = TempDir::new("rotate");
+        let cfg = WalConfig::new(dir.path())
+            .with_fsync(false)
+            .with_segment_bytes(256);
+        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        for i in 0..40u32 {
+            wal.append(&tokens(i, 4)).expect("append");
+        }
+        assert!(wal.registry().counter("wal.rotations").get() >= 2);
+        drop(wal);
+
+        let (_, rec) = Wal::open(cfg).expect("reopen");
+        assert!(
+            rec.segments >= 3,
+            "expected several segments, got {}",
+            rec.segments
+        );
+        let seqs: Vec<u64> = rec.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn retention_prunes_oldest_sealed_segments() {
+        let dir = TempDir::new("retain");
+        let cfg = WalConfig::new(dir.path())
+            .with_fsync(false)
+            .with_segment_bytes(256)
+            .with_retention(2);
+        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        for i in 0..60u32 {
+            wal.append(&tokens(i, 4)).expect("append");
+        }
+        assert!(wal.registry().counter("wal.segments.pruned").get() >= 1);
+        drop(wal);
+
+        let (_, rec) = Wal::open(cfg).expect("reopen");
+        assert!(
+            rec.segments <= 3,
+            "retention bound violated: {}",
+            rec.segments
+        );
+        // Sequence numbers survive pruning: the tail is intact and global.
+        let last = rec.records.last().expect("records").0;
+        assert_eq!(last, 59);
+        let first = rec.records.first().expect("records").0;
+        assert!(first > 0, "oldest records should have been pruned");
+        let seqs: Vec<u64> = rec.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (first..=last).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn concurrent_appends_all_become_durable() {
+        let dir = TempDir::new("group");
+        let cfg = WalConfig::new(dir.path()).with_segment_bytes(4096);
+        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        let threads: Vec<_> = (0..4u32)
+            .map(|t| {
+                let wal = wal.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25u32 {
+                        wal.append(&tokens(t, (i % 3 + 1) as usize))
+                            .expect("append");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("join");
+        }
+        let appends = wal.registry().counter("wal.appends").get();
+        let fsyncs = wal.registry().counter("wal.fsyncs").get();
+        assert_eq!(appends, 100);
+        assert!(fsyncs >= 1);
+        assert_eq!(wal.registry().histogram("wal.commit.batch").sum(), 100);
+        drop(wal);
+
+        let (_, rec) = Wal::open(cfg).expect("reopen");
+        assert_eq!(rec.records.len(), 100);
+    }
+
+    #[test]
+    fn append_batch_is_one_durability_point() {
+        let dir = TempDir::new("batch");
+        let cfg = WalConfig::new(dir.path());
+        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        let recs: Vec<WalRecord> = (0..10u32).map(|i| tokens(i, 2)).collect();
+        let first = wal.append_batch(&recs).expect("batch");
+        assert_eq!(first, 0);
+        assert_eq!(wal.next_seq(), 10);
+        assert_eq!(wal.registry().counter("wal.fsyncs").get(), 1);
+        drop(wal);
+        let (_, rec) = Wal::open(cfg).expect("reopen");
+        assert_eq!(rec.records.len(), 10);
+    }
+
+    #[test]
+    fn read_log_matches_recovery_without_truncating() {
+        let dir = TempDir::new("readlog");
+        let cfg = WalConfig::new(dir.path()).with_fsync(false);
+        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        for i in 0..8u32 {
+            wal.append(&tokens(i, 2)).expect("append");
+        }
+        drop(wal);
+        let seg = dir.path().join(segment_file_name(0));
+        let valid_len = fs::metadata(&seg).expect("meta").len();
+        let mut f = OpenOptions::new().append(true).open(&seg).expect("seg");
+        f.write_all(&[0x11; 7]).expect("garbage");
+        drop(f);
+
+        let (records, summary) = read_log(dir.path()).expect("read");
+        assert_eq!(records.len(), 8);
+        assert_eq!(summary.truncated_records, 1);
+        assert_eq!(summary.truncated_bytes, 7);
+        // Read-only: the torn bytes are still there afterwards.
+        assert_eq!(fs::metadata(&seg).expect("meta").len(), valid_len + 7);
+    }
+
+    #[test]
+    fn empty_directory_opens_fresh() {
+        let dir = TempDir::new("fresh");
+        let (wal, rec) = Wal::open(WalConfig::new(dir.path())).expect("open");
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.segments, 1);
+        assert_eq!(wal.next_seq(), 0);
+    }
+}

@@ -1,0 +1,337 @@
+//! The WAL record vocabulary and its on-disk framing.
+//!
+//! Every record is written as one *frame*:
+//!
+//! ```text
+//! +----------------+------------------+------------------+
+//! | body len (u32) | checksum (u64)   | body (len bytes) |
+//! +----------------+------------------+------------------+
+//! ```
+//!
+//! all little-endian. The checksum is the streaming FNV-1a word-at-a-time
+//! digest ([`rtft_kpn::Digest`]) over the body — the same function the
+//! selector uses for output-equivalence checks, so a replayed stream and a
+//! recorded stream are compared in exactly the currency the detector
+//! already speaks. A frame whose length field, checksum, or body fails to
+//! parse marks the torn tail of a segment: everything before it is valid,
+//! everything from it on is discarded by recovery.
+
+use rtft_kpn::Digest;
+
+/// Frame header size: body length (u32) + body checksum (u64).
+pub const FRAME_HEADER: usize = 12;
+
+/// Upper bound on a single record body. A length field above this is
+/// treated as corruption rather than an instruction to allocate.
+pub const MAX_RECORD: usize = 1 << 26;
+
+const TAG_STREAM_OPEN: u8 = 0x01;
+const TAG_TOKENS: u8 = 0x02;
+const TAG_OUTPUTS: u8 = 0x03;
+const TAG_STREAM_CLOSE: u8 = 0x04;
+
+/// One durable event on the ingestion path.
+///
+/// The record stream for a single server stream is
+/// `StreamOpen (Tokens* Outputs*)* StreamClose?` — tokens are logged
+/// before they are acknowledged, output digests are logged as each flush
+/// settles, so replaying the log deterministically reproduces the
+/// delivered prefix and re-derives the undelivered tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A stream was accepted: its id and the pipeline it runs.
+    StreamOpen {
+        /// Server-assigned stream id.
+        stream: u32,
+        /// Application pipeline selector (the wire `app` byte).
+        app: u8,
+        /// Replica count the stream was opened with.
+        redundancy: u8,
+    },
+    /// A batch of ingested token payloads, logged before acknowledgement.
+    Tokens {
+        /// Stream the tokens belong to.
+        stream: u32,
+        /// Raw payload bytes, one entry per token, in ingestion order.
+        payloads: Vec<Vec<u8>>,
+    },
+    /// Output digests recorded as a flush settled.
+    Outputs {
+        /// Stream the outputs belong to.
+        stream: u32,
+        /// Cumulative index of the first digest (tokens delivered before
+        /// this flush).
+        first_seq: u64,
+        /// Output digest per delivered token, in delivery order.
+        digests: Vec<u64>,
+    },
+    /// The stream was closed cleanly.
+    StreamClose {
+        /// Stream that closed.
+        stream: u32,
+    },
+}
+
+impl WalRecord {
+    /// Serialize the record body (tag + payload, no frame header).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::StreamOpen {
+                stream,
+                app,
+                redundancy,
+            } => {
+                out.push(TAG_STREAM_OPEN);
+                put_u32(&mut out, *stream);
+                out.push(*app);
+                out.push(*redundancy);
+            }
+            WalRecord::Tokens { stream, payloads } => {
+                out.push(TAG_TOKENS);
+                put_u32(&mut out, *stream);
+                put_u32(&mut out, payloads.len() as u32);
+                for p in payloads {
+                    put_u32(&mut out, p.len() as u32);
+                    out.extend_from_slice(p);
+                }
+            }
+            WalRecord::Outputs {
+                stream,
+                first_seq,
+                digests,
+            } => {
+                out.push(TAG_OUTPUTS);
+                put_u32(&mut out, *stream);
+                put_u64(&mut out, *first_seq);
+                put_u32(&mut out, digests.len() as u32);
+                for d in digests {
+                    put_u64(&mut out, *d);
+                }
+            }
+            WalRecord::StreamClose { stream } => {
+                out.push(TAG_STREAM_CLOSE);
+                put_u32(&mut out, *stream);
+            }
+        }
+        out
+    }
+
+    /// Parse a record body. `None` means the body is malformed — the
+    /// caller treats the enclosing frame as the torn tail.
+    pub fn decode_body(body: &[u8]) -> Option<WalRecord> {
+        let mut at = 0usize;
+        let tag = get_u8(body, &mut at)?;
+        let rec = match tag {
+            TAG_STREAM_OPEN => WalRecord::StreamOpen {
+                stream: get_u32(body, &mut at)?,
+                app: get_u8(body, &mut at)?,
+                redundancy: get_u8(body, &mut at)?,
+            },
+            TAG_TOKENS => {
+                let stream = get_u32(body, &mut at)?;
+                let count = get_u32(body, &mut at)? as usize;
+                if count > body.len() {
+                    return None;
+                }
+                let mut payloads = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = get_u32(body, &mut at)? as usize;
+                    payloads.push(get_bytes(body, &mut at, len)?.to_vec());
+                }
+                WalRecord::Tokens { stream, payloads }
+            }
+            TAG_OUTPUTS => {
+                let stream = get_u32(body, &mut at)?;
+                let first_seq = get_u64(body, &mut at)?;
+                let count = get_u32(body, &mut at)? as usize;
+                if count.checked_mul(8)? > body.len() {
+                    return None;
+                }
+                let mut digests = Vec::with_capacity(count);
+                for _ in 0..count {
+                    digests.push(get_u64(body, &mut at)?);
+                }
+                WalRecord::Outputs {
+                    stream,
+                    first_seq,
+                    digests,
+                }
+            }
+            TAG_STREAM_CLOSE => WalRecord::StreamClose {
+                stream: get_u32(body, &mut at)?,
+            },
+            _ => return None,
+        };
+        if at != body.len() {
+            return None; // trailing garbage inside a checksummed body
+        }
+        Some(rec)
+    }
+
+    /// Serialize the full frame: header + body.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut d = Digest::new();
+        d.update(&body);
+        let checksum = d.finish();
+        let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
+        put_u32(&mut out, body.len() as u32);
+        put_u64(&mut out, checksum);
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Attempt to parse one frame at the start of `buf`.
+///
+/// `Ok((record, frame_len))` on success; `Err(())` when the bytes do not
+/// form a complete, checksum-valid, decodable frame — i.e. the torn tail.
+pub fn decode_frame(buf: &[u8]) -> Result<(WalRecord, usize), ()> {
+    if buf.len() < FRAME_HEADER {
+        return Err(());
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if len == 0 || len > MAX_RECORD {
+        return Err(());
+    }
+    let stored = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    let total = FRAME_HEADER + len;
+    if buf.len() < total {
+        return Err(());
+    }
+    let body = &buf[FRAME_HEADER..total];
+    let mut d = Digest::new();
+    d.update(body);
+    if d.finish() != stored {
+        return Err(());
+    }
+    match WalRecord::decode_body(body) {
+        Some(rec) => Ok((rec, total)),
+        None => Err(()),
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u8(buf: &[u8], at: &mut usize) -> Option<u8> {
+    let b = *buf.get(*at)?;
+    *at += 1;
+    Some(b)
+}
+
+fn get_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let v = u32::from_le_bytes(buf.get(*at..end)?.try_into().ok()?);
+    *at = end;
+    Some(v)
+}
+
+fn get_u64(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    let v = u64::from_le_bytes(buf.get(*at..end)?.try_into().ok()?);
+    *at = end;
+    Some(v)
+}
+
+fn get_bytes<'a>(buf: &'a [u8], at: &mut usize, len: usize) -> Option<&'a [u8]> {
+    let end = at.checked_add(len)?;
+    let s = buf.get(*at..end)?;
+    *at = end;
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::StreamOpen {
+                stream: 7,
+                app: 2,
+                redundancy: 3,
+            },
+            WalRecord::Tokens {
+                stream: 7,
+                payloads: vec![vec![], vec![1, 2, 3], (0..64).collect()],
+            },
+            WalRecord::Outputs {
+                stream: 7,
+                first_seq: 41,
+                digests: vec![0xdead_beef, 0, u64::MAX],
+            },
+            WalRecord::StreamClose { stream: 7 },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for rec in samples() {
+            let frame = rec.encode_frame();
+            let (back, used) = decode_frame(&frame).expect("frame decodes");
+            assert_eq!(back, rec);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        for rec in samples() {
+            let frame = rec.encode_frame();
+            for cut in 0..frame.len() {
+                assert!(
+                    decode_frame(&frame[..cut]).is_err(),
+                    "prefix of {cut} bytes must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let rec = WalRecord::Tokens {
+            stream: 3,
+            payloads: vec![vec![9; 17], vec![4; 5]],
+        };
+        let frame = rec.encode_frame();
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0x10;
+            match decode_frame(&bad) {
+                Err(()) => {}
+                Ok((back, _)) => {
+                    // A flip in the length field can only "succeed" by
+                    // reading a different checksummed frame — impossible
+                    // here, so any Ok must equal the original (it never
+                    // does; keep the assert for the counterexample).
+                    assert_eq!(
+                        back, rec,
+                        "bit flip at byte {byte} yielded a different record"
+                    );
+                    panic!("bit flip at byte {byte} went undetected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut body = vec![0x7f];
+        body.extend_from_slice(&5u32.to_le_bytes());
+        assert!(WalRecord::decode_body(&body).is_none());
+    }
+
+    #[test]
+    fn trailing_bytes_in_body_are_rejected() {
+        let mut body = WalRecord::StreamClose { stream: 1 }.encode_body();
+        body.push(0);
+        assert!(WalRecord::decode_body(&body).is_none());
+    }
+}

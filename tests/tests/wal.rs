@@ -1,0 +1,214 @@
+//! Integration tests of `rtft-wal`: a kill-point sweep that truncates
+//! the log at *every byte offset* of its final record and asserts clean
+//! truncate-at-tail recovery, and the replay-as-fault-detection path — a
+//! log whose recorded output digests were corrupted in flight is flagged
+//! divergent and classified as a detected transient fault by the chaos
+//! taxonomy.
+
+use rtft_apps::networks::App;
+use rtft_chaos::{classify_replay, OutcomeClass, ReplayVerdict};
+use rtft_serve::{digest_of, replay_verify, workload, ServerConfig};
+use rtft_wal::{read_log, segment_file_name, Wal, WalConfig, WalRecord};
+
+/// A self-cleaning scratch directory (no tempfile crate in a
+/// zero-dependency workspace).
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("rtft-waltest-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn app_index(app: App) -> u8 {
+    App::ALL
+        .iter()
+        .position(|a| *a == app)
+        .expect("App::ALL contains every variant") as u8
+}
+
+/// The kill-point sweep: write a log, then for every byte offset inside
+/// its final record simulate a crash that left exactly that prefix on
+/// disk. Recovery must always come back with every record *before* the
+/// torn one, truncate the tail physically, and leave a log that accepts
+/// new appends — no panic, no half-read record, at any cut.
+#[test]
+fn recovery_survives_truncation_at_every_byte_of_the_final_record() {
+    let master = TempDir::new("killpoint-master");
+    let records: Vec<WalRecord> = vec![
+        WalRecord::StreamOpen {
+            stream: 0,
+            app: app_index(App::Adpcm),
+            redundancy: 2,
+        },
+        WalRecord::Tokens {
+            stream: 0,
+            payloads: vec![vec![1, 2, 3], vec![], vec![4; 17]],
+        },
+        WalRecord::Outputs {
+            stream: 0,
+            first_seq: 0,
+            digests: vec![11, 22, 33],
+        },
+        WalRecord::Tokens {
+            stream: 0,
+            payloads: vec![vec![9; 5], vec![8; 9]],
+        },
+    ];
+    {
+        let (wal, _) = Wal::open(WalConfig::new(master.path()).with_fsync(false)).expect("open");
+        for rec in &records {
+            wal.append(rec).expect("append");
+        }
+        wal.sync().expect("sync");
+    }
+    let seg = master.path().join(segment_file_name(0));
+    let bytes = std::fs::read(&seg).expect("read segment");
+    let final_frame = records.last().unwrap().encode_frame().len();
+    let final_start = bytes.len() - final_frame;
+
+    // Every cut inside the final record, plus the clean full-length file.
+    for cut in final_start..=bytes.len() {
+        let dir = TempDir::new(&format!("killpoint-{cut}"));
+        std::fs::write(dir.path().join(segment_file_name(0)), &bytes[..cut]).expect("write cut");
+
+        let (wal, recovery) =
+            Wal::open(WalConfig::new(dir.path()).with_fsync(false)).expect("recover at cut {cut}");
+        let survivors = if cut == bytes.len() { 4 } else { 3 };
+        assert_eq!(
+            recovery.records.len(),
+            survivors,
+            "cut at byte {cut}: every record before the torn one survives"
+        );
+        for ((_, got), want) in recovery.records.iter().zip(&records) {
+            assert_eq!(got, want, "cut at byte {cut}: surviving records intact");
+        }
+        // A partial frame on disk counts as one torn record; a cut right
+        // on the record boundary leaves nothing to truncate.
+        let torn = cut != final_start && cut != bytes.len();
+        assert_eq!(recovery.truncated_records, u64::from(torn));
+        assert_eq!(
+            recovery.truncated_bytes,
+            if torn { (cut - final_start) as u64 } else { 0 }
+        );
+
+        // The truncation is physical and the log is appendable again.
+        let len_after = std::fs::metadata(dir.path().join(segment_file_name(0)))
+            .expect("metadata")
+            .len() as usize;
+        assert_eq!(
+            len_after,
+            if cut == bytes.len() { cut } else { final_start }
+        );
+        let seq = wal
+            .append(&WalRecord::StreamClose { stream: 0 })
+            .expect("append after recovery");
+        drop(wal);
+        let (reread, summary) = read_log(dir.path()).expect("reread");
+        assert_eq!(summary.records, survivors as u64 + 1);
+        assert_eq!(
+            reread.last().unwrap(),
+            &(seq, WalRecord::StreamClose { stream: 0 })
+        );
+    }
+}
+
+/// Replay as fault detection: a log whose `Outputs` digests do not match
+/// what the deterministic pipeline reproduces marks the *original* run
+/// as having diverged — a transient fault the in-band detectors missed.
+/// One recorded digest is corrupted (a bit flip in the result path);
+/// `replay_verify` pins the exact position and the chaos taxonomy
+/// classifies the run as `replay-divergence`.
+#[test]
+fn corrupted_log_digest_is_detected_and_classified_as_divergence() {
+    let dir = TempDir::new("divergence");
+    let cfg = ServerConfig::default();
+    let payloads = workload(App::Adpcm, 9, 4);
+    let digests: Vec<u64> = payloads.iter().map(|p| digest_of(p)).collect();
+
+    // An honest log, except one recorded output digest had a bit flipped
+    // before it reached the disk.
+    let mut corrupted = digests.clone();
+    corrupted[2] ^= 1 << 40;
+    {
+        let (wal, _) = Wal::open(WalConfig::new(dir.path()).with_fsync(false)).expect("open");
+        wal.append(&WalRecord::StreamOpen {
+            stream: 0,
+            app: app_index(App::Adpcm),
+            redundancy: 2,
+        })
+        .expect("append");
+        wal.append(&WalRecord::Tokens {
+            stream: 0,
+            payloads: payloads.clone(),
+        })
+        .expect("append");
+        wal.append(&WalRecord::Outputs {
+            stream: 0,
+            first_seq: 0,
+            digests: corrupted.clone(),
+        })
+        .expect("append");
+        wal.sync().expect("sync");
+    }
+
+    let report = replay_verify(dir.path(), &cfg).expect("replay");
+    assert_eq!(report.log_records, 3);
+    assert_eq!(report.divergent(), 1, "exactly the flipped digest diverges");
+    assert!(!report.clean());
+    let stream = &report.streams[0];
+    assert_eq!(stream.recorded, 4);
+    assert_eq!(stream.replayed, 4);
+    assert_eq!(
+        stream.first_divergence,
+        Some((2, corrupted[2], digests[2])),
+        "the divergence is pinned to the corrupted position"
+    );
+
+    // The chaos taxonomy folds the verdict in as a detected fault class.
+    let verdict = ReplayVerdict {
+        recorded: stream.recorded,
+        divergent: stream.divergent,
+        known_faulty: false,
+    };
+    assert_eq!(classify_replay(verdict), OutcomeClass::ReplayDivergence);
+
+    // The same log with the honest digest replays clean.
+    let clean_dir = TempDir::new("divergence-clean");
+    {
+        let (wal, _) = Wal::open(WalConfig::new(clean_dir.path()).with_fsync(false)).expect("open");
+        wal.append(&WalRecord::StreamOpen {
+            stream: 0,
+            app: app_index(App::Adpcm),
+            redundancy: 2,
+        })
+        .expect("append");
+        wal.append(&WalRecord::Tokens {
+            stream: 0,
+            payloads,
+        })
+        .expect("append");
+        wal.append(&WalRecord::Outputs {
+            stream: 0,
+            first_seq: 0,
+            digests,
+        })
+        .expect("append");
+        wal.sync().expect("sync");
+    }
+    let report = replay_verify(clean_dir.path(), &cfg).expect("replay");
+    assert!(report.clean(), "an honest log certifies the original run");
+}
