@@ -1,0 +1,174 @@
+//! E14: tenant admission overhead — directory throughput and latency
+//! versus tenant count and supervisor shard count.
+//!
+//! The admission path is what every accepted batch pays before the fleet
+//! sees it: resolve the tenant in its shard, check the queue quota, take
+//! an in-flight slot, consult the rate bucket. This bench drives that
+//! path with four worker threads over directories of 100 → 10 000
+//! attached tenants, at one shard (every resolve contends on one lock)
+//! and four shards (hash-spread). Each operation is the full state-
+//! neutral cycle `admit_tokens → admit_flush → cancel_flush →
+//! release_buffered`, so the directory is back in its initial state
+//! after every op and the numbers are steady-state.
+//!
+//! Shard speedup is lock-contention relief, so it needs real
+//! parallelism: on a single-core host the four workers time-slice and
+//! the 4-shard/1-shard ratio sits near 1.0x; the contention the shards
+//! remove only materializes with ≥2 cores driving admission
+//! concurrently.
+//!
+//! Run with `cargo bench --bench tenant`; emits a machine-readable
+//! `BENCH_tenant.json:` line for trend tracking.
+
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_obs::json::{array, JsonObject};
+use rtft_tenant::{TenantConfig, TenantId, TenantManager};
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANT_COUNTS: [usize; 3] = [100, 1_000, 10_000];
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+const WORKERS: usize = 4;
+const OPS_PER_WORKER: usize = 10_000;
+const BATCH_TOKENS: u64 = 8;
+
+struct Point {
+    tenants: usize,
+    shards: usize,
+    attach_per_sec: f64,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_point(tenants: usize, shards: usize) -> Point {
+    let mgr = Arc::new(TenantManager::new(shards));
+    let start = Instant::now();
+    let ids: Vec<TenantId> = (0..tenants)
+        .map(|i| {
+            mgr.attach(&format!("bench-{i}"), TenantConfig::default())
+                .expect("fresh names attach")
+        })
+        .collect();
+    let attach_per_sec = tenants as f64 / start.elapsed().as_secs_f64();
+    let ids = Arc::new(ids);
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let mgr = Arc::clone(&mgr);
+            let ids = Arc::clone(&ids);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(OPS_PER_WORKER);
+                for n in 0..OPS_PER_WORKER {
+                    // Round-robin over the directory, interleaved across
+                    // workers so shard locks actually contend.
+                    let id = ids[(w + n * WORKERS) % ids.len()];
+                    let op = Instant::now();
+                    mgr.admit_tokens(id, BATCH_TOKENS).expect("under quota");
+                    mgr.admit_flush(id, BATCH_TOKENS, 0)
+                        .expect("under in-flight cap");
+                    mgr.cancel_flush(id, BATCH_TOKENS);
+                    mgr.release_buffered(id, BATCH_TOKENS);
+                    latencies.push(op.elapsed().as_nanos() as u64);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("worker thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+
+    Point {
+        tenants,
+        shards,
+        attach_per_sec,
+        ops_per_sec: (WORKERS * OPS_PER_WORKER) as f64 / elapsed,
+        p50_ns: percentile(&latencies, 0.50),
+        p99_ns: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    banner("E14: tenant admission overhead");
+    println!(
+        "{WORKERS} workers x {OPS_PER_WORKER} admissions ({BATCH_TOKENS} tokens each), \
+         host parallelism {}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let points: Vec<Point> = TENANT_COUNTS
+        .iter()
+        .flat_map(|&t| SHARD_COUNTS.iter().map(move |&s| run_point(t, s)))
+        .collect();
+
+    let mut table = AsciiTable::new();
+    table.row([
+        "tenants",
+        "shards",
+        "attach/sec",
+        "admissions/sec",
+        "p50 ns",
+        "p99 ns",
+    ]);
+    for p in &points {
+        table.row([
+            p.tenants.to_string(),
+            p.shards.to_string(),
+            format!("{:.0}", p.attach_per_sec),
+            format!("{:.0}", p.ops_per_sec),
+            p.p50_ns.to_string(),
+            p.p99_ns.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    for &t in &TENANT_COUNTS {
+        let of = |s: usize| {
+            points
+                .iter()
+                .find(|p| p.tenants == t && p.shards == s)
+                .expect("point")
+                .ops_per_sec
+        };
+        println!(
+            "{t} tenants: 4-shard / 1-shard admission speedup {:.2}x",
+            of(4) / of(1)
+        );
+    }
+    println!(
+        "(shard speedup is contention relief — expect ~1.0x on a 1-core host, \
+         and it to grow with cores driving admission in parallel)\n"
+    );
+
+    let json = JsonObject::new()
+        .u64_field("workers", WORKERS as u64)
+        .u64_field("ops_per_worker", OPS_PER_WORKER as u64)
+        .raw_field(
+            "points",
+            &array(points.iter().map(|p| {
+                JsonObject::new()
+                    .u64_field("tenants", p.tenants as u64)
+                    .u64_field("shards", p.shards as u64)
+                    .f64_field("attach_per_sec", p.attach_per_sec)
+                    .f64_field("admissions_per_sec", p.ops_per_sec)
+                    .u64_field("p50_ns", p.p50_ns)
+                    .u64_field("p99_ns", p.p99_ns)
+                    .finish()
+            })),
+        )
+        .finish();
+    println!("BENCH_tenant.json: {json}");
+}

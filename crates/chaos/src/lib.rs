@@ -44,6 +44,7 @@ mod load;
 pub mod replay;
 mod runner;
 mod scenario;
+mod tenants;
 pub mod threaded;
 
 pub use campaign::{Campaign, CampaignReport};
@@ -53,5 +54,8 @@ pub use runner::{run_scenario, OutcomeClass, ScenarioOutcome};
 pub use scenario::{
     generate_scenarios, kind_label, FaultSpec, PlatformKind, Redundancy, Scenario, SCENARIO_TOKENS,
     SERVICE_DIVISOR,
+};
+pub use tenants::{
+    chaos_with_tenants, TenantChaosReport, CHAOS_TENANTS, DETACHED_TENANT, FAULTY_TENANT,
 };
 pub use threaded::{run_spot_checks, SpotCheck};

@@ -106,6 +106,23 @@ pub enum RejectReason {
     },
     /// [`FleetExecutor::shutdown`] was already called.
     ShuttingDown,
+    /// A per-tenant quota (queue bytes-in-buffer or in-flight jobs) is
+    /// exhausted. Produced by admission layers sitting in front of the
+    /// executor (rtft-tenant); carried here so every refusal on the
+    /// submission path shares one structured vocabulary.
+    QuotaExceeded {
+        /// Units of the quota already in use (tokens or jobs).
+        used: u64,
+        /// The configured limit.
+        quota: u64,
+    },
+    /// A per-tenant token-rate limit refused the work for now.
+    RateLimited {
+        /// Nanoseconds until the token bucket will have refilled enough
+        /// for the refused batch (0 when unknown). A retry hint, not a
+        /// guarantee — other submitters drain the same bucket.
+        retry_after_ns: u64,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -115,6 +132,12 @@ impl std::fmt::Display for RejectReason {
                 write!(f, "queue full ({pending} of {capacity} jobs outstanding)")
             }
             RejectReason::ShuttingDown => write!(f, "executor is shutting down"),
+            RejectReason::QuotaExceeded { used, quota } => {
+                write!(f, "quota exceeded ({used} of {quota} in use)")
+            }
+            RejectReason::RateLimited { retry_after_ns } => {
+                write!(f, "rate limited (retry after {retry_after_ns} ns)")
+            }
         }
     }
 }
@@ -202,9 +225,16 @@ pub struct FleetReport {
 
 impl FleetReport {
     /// Renders the report as a JSON object.
+    ///
+    /// The `jobs` array is emitted sorted by job id — `runs` itself stays
+    /// in completion order (callers assert EDF ordering on it), but the
+    /// serialized report must be byte-identical regardless of which of two
+    /// equally-urgent jobs happened to finish first on a given run.
     pub fn to_json(&self) -> String {
+        let mut ordered: Vec<&JobRecord> = self.runs.iter().collect();
+        ordered.sort_by_key(|r| r.id.0);
         JsonObject::new()
-            .raw_field("jobs", &array(self.runs.iter().map(|r| r.to_json())))
+            .raw_field("jobs", &array(ordered.iter().map(|r| r.to_json())))
             .raw_field("status", &self.status.to_json())
             .u64_field("pool_executed", self.pool.executed)
             .u64_field("pool_stolen", self.pool.stolen)

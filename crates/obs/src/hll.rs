@@ -1,0 +1,293 @@
+//! HyperLogLog distinct-value sketch.
+//!
+//! The fleet report wants "how many distinct streams / tenants did this
+//! shard touch" without keeping a `HashSet` per shard alive for the whole
+//! campaign. [`Hll`] answers that in 4 KiB of fixed state per sketch: a
+//! classic HyperLogLog with `2^12` single-byte registers, a relaxed-atomic
+//! insert path (same discipline as [`Counter`](crate::Counter)), and a
+//! register-wise-max [`Hll::merge_from`] that is commutative and
+//! idempotent — merging per-shard sketches in any order, or re-merging the
+//! same sketch, yields byte-identical registers. That is what keeps tenant
+//! reports invariant under shard count: however streams are partitioned
+//! across shards, `max` over the union of registers equals the registers
+//! of one sketch fed everything.
+//!
+//! The hash is fixed (FNV-1a folded through the SplitMix64 finalizer), so
+//! estimates are reproducible across runs and platforms and can be pinned
+//! in tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Register-index bits. `2^12 = 4096` registers ⇒ ~1.6 % standard error,
+/// 4 KiB per sketch.
+const HLL_P: u32 = 12;
+/// Number of registers.
+const HLL_M: usize = 1 << HLL_P;
+
+/// A mergeable HyperLogLog distinct counter.
+///
+/// Clones share state, like every other metric in this crate: cloning a
+/// handle and inserting through either side updates the same registers.
+///
+/// ```
+/// use rtft_obs::Hll;
+///
+/// let sketch = Hll::new();
+/// for v in 0..500u64 {
+///     sketch.insert_u64(v);
+///     sketch.insert_u64(v); // duplicates don't count
+/// }
+/// let est = sketch.estimate();
+/// assert!((est - 500.0).abs() / 500.0 < 0.05);
+/// ```
+#[derive(Clone)]
+pub struct Hll {
+    registers: Arc<[AtomicU8; HLL_M]>,
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Hll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hll")
+            .field("estimate", &self.estimate_u64())
+            .finish()
+    }
+}
+
+impl Hll {
+    /// Create an empty sketch.
+    pub fn new() -> Self {
+        Hll {
+            registers: Arc::new([const { AtomicU8::new(0) }; HLL_M]),
+        }
+    }
+
+    /// Insert a `u64` key. Idempotent: re-inserting a value never changes
+    /// the estimate.
+    pub fn insert_u64(&self, value: u64) {
+        let h = splitmix64_mix(value ^ 0x5851_f42d_4c95_7f2d);
+        self.insert_hash(h);
+    }
+
+    /// Insert an arbitrary byte-string key.
+    pub fn insert_bytes(&self, value: &[u8]) {
+        self.insert_hash(splitmix64_mix(fnv1a(value)));
+    }
+
+    fn insert_hash(&self, h: u64) {
+        let idx = (h >> (64 - HLL_P)) as usize;
+        // Rank of the first set bit in the remaining 64-P bits, 1-based;
+        // an all-zero remainder ranks 64-P+1.
+        let rest = h << HLL_P;
+        let rho = if rest == 0 {
+            (64 - HLL_P + 1) as u8
+        } else {
+            (rest.leading_zeros() + 1) as u8
+        };
+        self.registers[idx].fetch_max(rho, Ordering::Relaxed);
+    }
+
+    /// Estimated number of distinct keys inserted so far.
+    ///
+    /// Uses the standard HyperLogLog estimator with the linear-counting
+    /// correction for small cardinalities, where it is near-exact.
+    pub fn estimate(&self) -> f64 {
+        let m = HLL_M as f64;
+        let mut inverse_sum = 0.0f64;
+        let mut zeros = 0usize;
+        for r in self.registers.iter() {
+            let v = r.load(Ordering::Relaxed);
+            if v == 0 {
+                zeros += 1;
+            }
+            inverse_sum += 1.0 / ((1u64 << v.min(63)) as f64);
+        }
+        // alpha_m for m >= 128.
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let raw = alpha * m * m / inverse_sum;
+        if raw <= 2.5 * m && zeros > 0 {
+            // Small-range correction: linear counting on empty registers.
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+
+    /// [`Hll::estimate`] rounded to the nearest integer — the form reports
+    /// serialize, and the form tests pin.
+    pub fn estimate_u64(&self) -> u64 {
+        self.estimate().round() as u64
+    }
+
+    /// Fold another sketch into this one (register-wise max).
+    ///
+    /// Commutative, associative, and idempotent, like
+    /// [`Histogram::merge_from`](crate::Histogram::merge_from); merging a
+    /// sketch into itself (shared-state clones included) is a no-op.
+    pub fn merge_from(&self, other: &Hll) {
+        if Arc::ptr_eq(&self.registers, &other.registers) {
+            return;
+        }
+        for (mine, theirs) in self.registers.iter().zip(other.registers.iter()) {
+            mine.fetch_max(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// True when no key was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers
+            .iter()
+            .all(|r| r.load(Ordering::Relaxed) == 0)
+    }
+}
+
+/// SplitMix64 finalizer — the same bit-mixer the workspace's seeded RNGs
+/// use, applied here to spread FNV/sequential keys over all 64 bits.
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte string (64-bit), matching the digest family used
+/// across the workspace.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let h = Hll::new();
+        assert!(h.is_empty());
+        assert_eq!(h.estimate_u64(), 0);
+    }
+
+    #[test]
+    fn inserts_are_idempotent() {
+        let h = Hll::new();
+        for v in 0..100u64 {
+            h.insert_u64(v);
+        }
+        let once = h.estimate_u64();
+        for v in 0..100u64 {
+            h.insert_u64(v);
+        }
+        assert_eq!(h.estimate_u64(), once);
+    }
+
+    #[test]
+    fn fixed_vectors_pin_estimates() {
+        // The hash is fixed, so these estimates are part of the contract:
+        // a change to the hash or estimator shows up here first.
+        for (n, tolerance) in [(8u64, 0.0), (100, 0.03), (1_000, 0.03), (50_000, 0.04)] {
+            let h = Hll::new();
+            for v in 0..n {
+                h.insert_u64(v);
+            }
+            let est = h.estimate_u64();
+            let err = (est as f64 - n as f64).abs() / n as f64;
+            assert!(
+                err <= tolerance,
+                "n={n}: estimate {est} outside {tolerance} relative error"
+            );
+        }
+        // One exact pin: byte-string and u64 paths are distinct keys.
+        let h = Hll::new();
+        for v in 0..1_000u64 {
+            h.insert_u64(v);
+        }
+        let pinned = h.estimate_u64();
+        let again = Hll::new();
+        for v in 0..1_000u64 {
+            again.insert_u64(v);
+        }
+        assert_eq!(
+            again.estimate_u64(),
+            pinned,
+            "estimate must be reproducible"
+        );
+    }
+
+    #[test]
+    fn bytes_and_u64_key_spaces_differ() {
+        let a = Hll::new();
+        a.insert_u64(7);
+        let b = Hll::new();
+        b.insert_bytes(&7u64.to_le_bytes());
+        // Different key derivations should (with this fixed hash) land in
+        // different registers; the merged sketch sees two keys.
+        a.merge_from(&b);
+        assert_eq!(a.estimate_u64(), 2);
+    }
+
+    #[test]
+    fn merge_equals_union_under_any_partition() {
+        // Partition 0..N across k sketches by any rule, merge, and the
+        // registers equal one sketch fed everything — the shard-count
+        // invariance the tenant rollup relies on.
+        const N: u64 = 2_000;
+        let whole = Hll::new();
+        for v in 0..N {
+            whole.insert_u64(v);
+        }
+        for k in [1usize, 2, 3, 7] {
+            let parts: Vec<Hll> = (0..k).map(|_| Hll::new()).collect();
+            for v in 0..N {
+                parts[(v as usize) % k].insert_u64(v);
+            }
+            let merged = Hll::new();
+            // Merge in reverse order to exercise commutativity too.
+            for p in parts.iter().rev() {
+                merged.merge_from(p);
+            }
+            assert_eq!(merged.estimate_u64(), whole.estimate_u64(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_self_safe() {
+        let a = Hll::new();
+        for v in 0..300u64 {
+            a.insert_u64(v);
+        }
+        let before = a.estimate_u64();
+        a.merge_from(&a.clone()); // shared-state clone: must not deadlock or change
+        a.merge_from(&a);
+        assert_eq!(a.estimate_u64(), before);
+        let b = Hll::new();
+        for v in 100..400u64 {
+            b.insert_u64(v);
+        }
+        a.merge_from(&b);
+        let merged = a.estimate_u64();
+        a.merge_from(&b);
+        assert_eq!(a.estimate_u64(), merged);
+        let err = (merged as f64 - 400.0).abs() / 400.0;
+        assert!(err < 0.05, "union estimate {merged} too far from 400");
+    }
+
+    #[test]
+    fn clones_share_registers() {
+        let a = Hll::new();
+        let b = a.clone();
+        b.insert_u64(42);
+        assert!(!a.is_empty());
+        assert_eq!(a.estimate_u64(), 1);
+    }
+}

@@ -236,6 +236,39 @@ impl Client {
         }
     }
 
+    /// Blocks until a `Busy` frame for `stream` arrives and returns it,
+    /// buffering every other frame. This is how a refusal answered to a
+    /// `Tokens` frame (tenant queue quota, draining tenant) is consumed:
+    /// unlike a flush refusal it arrives outside any collect exchange, so
+    /// a later flush or close would otherwise swallow it as its own.
+    pub fn recv_busy(&mut self, stream: u32) -> Result<BusyInfo, ServeError> {
+        let mut requeue = VecDeque::new();
+        loop {
+            let frame = if let Some(f) = self.pending.pop_front() {
+                f
+            } else {
+                self.next_frame()?
+            };
+            match frame {
+                Frame::Busy {
+                    stream: s,
+                    reason,
+                    pending,
+                    capacity,
+                } if s == stream => {
+                    requeue.extend(self.pending.drain(..));
+                    self.pending = requeue;
+                    return Ok(BusyInfo {
+                        reason,
+                        pending,
+                        capacity,
+                    });
+                }
+                other => requeue.push_back(other),
+            }
+        }
+    }
+
     /// Flushes `stream`'s buffered tokens through its pipeline and
     /// collects everything the run pushes back, up to the terminal
     /// `Stats` — or a `Busy` refusal, after which the tokens remain

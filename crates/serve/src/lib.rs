@@ -24,6 +24,14 @@
 //! * **[`ServeReport`]** — deterministic end-of-life accounting: every
 //!   accepted token is delivered or reported (`tokens_in == delivered +
 //!   undelivered`, per stream).
+//! * **Tenancy** — with a tenant directory configured
+//!   ([`ServerConfig::tenancy`]), the `Hello` client name becomes a
+//!   tenant identity and every batch passes that tenant's quota,
+//!   in-flight cap and rate limit *before* it can reach the fleet;
+//!   refusals are structured `Busy` codes (`quota-exceeded` /
+//!   `rate-limited` / `tenant-draining`), tenants attach and detach at
+//!   runtime ([`Server::detach_tenant`] drains losslessly), and the
+//!   report gains a shard-count-invariant `tenants` section.
 //! * **[`replay`]** — with a write-ahead log configured
 //!   ([`ServerConfig::wal`]), accepted batches are group-committed to
 //!   disk before the `Durable` ack, a restart rebuilds every stream and
@@ -65,8 +73,16 @@ pub use client::{
 pub use error::{ProtocolError, ServeError};
 pub use replay::{replay_verify, ReplayReport, StreamReplay};
 pub use report::{ServeReport, StreamAccount};
-pub use server::{detection_bound, FaultInjection, ServeRuntime, Server, ServerConfig};
+pub use server::{
+    detection_bound, FaultInjection, ServeRuntime, Server, ServerConfig, TenancyConfig,
+};
 pub use wire::{kind_label, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 // Re-exported so servers can be configured durable without naming the
 // log crate directly.
 pub use rtft_wal::WalConfig;
+// Re-exported so multi-tenant servers can be configured and inspected
+// without naming the tenant crate directly.
+pub use rtft_tenant::{
+    AttachError, TenantConfig, TenantDirectoryReport, TenantError, TenantId, TenantManager,
+    TenantReject, TenantReport, TenantState, TokenRate,
+};

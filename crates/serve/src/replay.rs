@@ -121,6 +121,7 @@ pub fn replay_verify(dir: &Path, cfg: &ServerConfig) -> Result<ReplayReport, Ser
         match rec {
             WalRecord::StreamOpen {
                 stream,
+                tenant: _,
                 app,
                 redundancy,
             } => {

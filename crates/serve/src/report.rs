@@ -2,6 +2,7 @@
 
 use rtft_fleet::FleetReport;
 use rtft_obs::json::{array, JsonObject};
+use rtft_tenant::TenantDirectoryReport;
 
 /// Final accounting for one stream.
 ///
@@ -9,11 +10,16 @@ use rtft_obs::json::{array, JsonObject};
 /// `tokens_in == delivered + undelivered` — an accepted token is either
 /// delivered back to the client as an `Output` frame or reported here as
 /// undelivered (still buffered, or lost to an incomplete faulty run).
-/// Tokens are never silently dropped.
+/// Tokens a tenant quota refused were never accepted: they count in
+/// `rejected`, not `tokens_in`, so the client's offered total is
+/// `delivered + undelivered + rejected`. Tokens are never silently
+/// dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamAccount {
     /// Stream id (global open order).
     pub id: u32,
+    /// Tenant the stream was admitted under (0 = untenanted server).
+    pub tenant: u64,
     /// Application label (`mjpeg` / `adpcm` / `h264`).
     pub app: &'static str,
     /// Replica count the stream ran under.
@@ -25,6 +31,9 @@ pub struct StreamAccount {
     /// Accepted tokens not delivered (buffered at shutdown, or withheld
     /// by an incomplete run); always `tokens_in - delivered`.
     pub undelivered: u64,
+    /// Tokens refused at admission (queue quota, draining tenant) and
+    /// never accepted — the client still holds them.
+    pub rejected: u64,
     /// Fault latches pushed to the client.
     pub faults: u64,
     /// Busy refusals the stream saw (each one retryable, lossless).
@@ -38,11 +47,13 @@ impl StreamAccount {
     pub fn to_json(&self) -> String {
         JsonObject::new()
             .u64_field("id", self.id as u64)
+            .u64_field("tenant", self.tenant)
             .str_field("app", self.app)
             .u64_field("redundancy", self.redundancy as u64)
             .u64_field("tokens_in", self.tokens_in)
             .u64_field("delivered", self.delivered)
             .u64_field("undelivered", self.undelivered)
+            .u64_field("rejected", self.rejected)
             .u64_field("faults", self.faults)
             .u64_field("busy", self.busy)
             .bool_field("closed", self.closed)
@@ -79,6 +90,10 @@ pub struct ServeReport {
     /// those records were never acknowledged `Durable`, so dropping them
     /// loses nothing the client was promised).
     pub wal_truncated_records: u64,
+    /// The tenant directory at shutdown (tenancy-enabled servers only):
+    /// per-tenant reports sorted by id, the merged shard rollup, and the
+    /// unique-stream / unique-tenant sketches.
+    pub tenants: Option<TenantDirectoryReport>,
     /// The drained fleet's report (job records, status, pool counters).
     pub fleet: FleetReport,
 }
@@ -107,10 +122,15 @@ impl ServeReport {
             .all(|s| s.tokens_in == s.delivered + s.undelivered)
     }
 
-    /// Renders the report as a JSON object.
+    /// Renders the report as a JSON object. Tenants (when present) are
+    /// emitted sorted by id, so the section is byte-identical at any
+    /// shard count.
     pub fn to_json(&self) -> String {
-        JsonObject::new()
-            .raw_field("streams", &array(self.streams.iter().map(|s| s.to_json())))
+        let mut obj = JsonObject::new();
+        if let Some(tenants) = &self.tenants {
+            obj = obj.raw_field("tenants", &tenants.to_json());
+        }
+        obj.raw_field("streams", &array(self.streams.iter().map(|s| s.to_json())))
             .u64_field("connections", self.connections)
             .u64_field("frames_in", self.frames_in)
             .u64_field("frames_out", self.frames_out)
@@ -136,11 +156,13 @@ mod tests {
     fn account(tokens_in: u64, delivered: u64) -> StreamAccount {
         StreamAccount {
             id: 0,
+            tenant: 0,
             app: "mjpeg",
             redundancy: 2,
             tokens_in,
             delivered,
             undelivered: tokens_in - delivered,
+            rejected: 0,
             faults: 1,
             busy: 2,
             closed: true,
@@ -158,6 +180,7 @@ mod tests {
             recovered_streams: 0,
             replayed_tokens: 0,
             wal_truncated_records: 0,
+            tenants: None,
             fleet: FleetReport {
                 runs: Vec::new(),
                 status: FleetStatus::default(),

@@ -48,6 +48,10 @@ use rtft_kpn::threaded::CancelToken;
 use rtft_kpn::Payload;
 use rtft_obs::{ClockDomain, Counter, EventRecord, EventSink, Histogram, MetricsRegistry};
 use rtft_rtc::{PjdModel, TimeNs};
+use rtft_tenant::{
+    AttachError, TenantConfig, TenantError, TenantId, TenantManager, TenantReject, TenantReport,
+    TenantState,
+};
 use rtft_wal::{Wal, WalConfig, WalRecord};
 
 use crate::error::{ProtocolError, ServeError};
@@ -96,6 +100,35 @@ pub struct FaultInjection {
     pub at: TimeNs,
 }
 
+/// Multi-tenant admission policy for a server.
+///
+/// With tenancy enabled, the `client` string of the `Hello` handshake
+/// names the tenant every stream on that connection belongs to, and the
+/// tenant's quotas / token rate / lifecycle gate admission *before* a
+/// flush reaches the fleet. Without it (`ServerConfig::tenancy == None`)
+/// the server behaves exactly as before tenancy existed.
+#[derive(Debug, Clone)]
+pub struct TenancyConfig {
+    /// Supervisor shard count (hash-by-tenant-id; clamped to ≥ 1).
+    pub shards: usize,
+    /// Attach unknown `Hello` names on first sight with `default`. When
+    /// `false`, a connection naming an unattached tenant is a protocol
+    /// error — attach tenants up front via [`Server::attach_tenant`].
+    pub auto_attach: bool,
+    /// Policy for auto-attached (and recovery-re-attached) tenants.
+    pub default: TenantConfig,
+}
+
+impl Default for TenancyConfig {
+    fn default() -> Self {
+        TenancyConfig {
+            shards: 4,
+            auto_attach: true,
+            default: TenantConfig::default(),
+        }
+    }
+}
+
 /// Server sizing and policy.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -120,6 +153,10 @@ pub struct ServerConfig {
     /// are rebuilt, each resumes at its last delivered sequence number,
     /// and the undelivered tail is resubmitted through the fleet.
     pub wal: Option<WalConfig>,
+    /// Tenant lifecycle, quotas, and sharded supervision. `None` keeps
+    /// the untenanted behavior (every stream under implicit tenant 0, no
+    /// quotas).
+    pub tenancy: Option<TenancyConfig>,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +172,7 @@ impl Default for ServerConfig {
             inject: Vec::new(),
             seed: 1,
             wal: None,
+            tenancy: None,
         }
     }
 }
@@ -156,12 +194,16 @@ pub fn detection_bound(app: App) -> TimeNs {
 struct StreamState {
     id: u32,
     conn: u32,
+    /// Tenant id the stream was admitted under (0 = untenanted server).
+    tenant: u64,
     app: App,
     redundancy: u8,
     /// Tokens accepted but not yet admitted into a flush job.
     buffered: Mutex<Vec<Vec<u8>>>,
     tokens_in: AtomicU64,
     delivered: AtomicU64,
+    /// Tokens refused at admission (quota / draining), never accepted.
+    rejected: AtomicU64,
     faults: AtomicU64,
     busy: AtomicU64,
     /// Admitted flush jobs not yet settled.
@@ -172,6 +214,8 @@ struct StreamState {
 struct Shared {
     cfg: ServerConfig,
     fleet: FleetExecutor,
+    /// The tenant directory, when tenancy is configured.
+    tenants: Option<TenantManager>,
     /// The durable log, when configured.
     wal: Option<Wal>,
     /// Set by [`Server::hard_drop`]: appends stop reaching the log, so
@@ -303,9 +347,29 @@ impl Server {
             wal = Some(w);
         }
 
+        // Tenancy: build the sharded directory and re-attach every tenant
+        // the recovered streams were logged under, with their original
+        // ids, so admission and reports line up across the restart. The
+        // WAL does not log tenant names; recovered tenants come back
+        // under synthetic `recovered-{id}` names with the default policy.
+        let tenants = cfg.tenancy.as_ref().map(|t| TenantManager::new(t.shards));
+        if let (Some(mgr), Some(tcfg)) = (&tenants, &cfg.tenancy) {
+            let mut seen = std::collections::BTreeSet::new();
+            for st in &rebuilt {
+                if st.tenant != 0 && seen.insert(st.tenant) {
+                    let _ = mgr.attach_with_id(
+                        TenantId(st.tenant),
+                        &format!("recovered-{}", st.tenant),
+                        tcfg.default,
+                    );
+                }
+            }
+        }
+
         let registry = MetricsRegistry::new();
         let shared = Arc::new(Shared {
             fleet: FleetExecutor::new(cfg.fleet.clone()),
+            tenants,
             cfg,
             wal,
             wal_frozen: AtomicBool::new(false),
@@ -364,6 +428,12 @@ impl Server {
                 let drained = batch.len().min(buf.len());
                 buf.drain(..drained);
                 st.inflight.fetch_add(1, Ordering::SeqCst);
+                if let Some(mgr) = &shared.tenants {
+                    // Recovery resubmission bypasses quota and rate
+                    // checks — the tokens were already admitted (and made
+                    // durable) in the previous life.
+                    mgr.admit_replay(TenantId(st.tenant));
+                }
                 shared
                     .replayed_tokens
                     .fetch_add(batch.len() as u64, Ordering::SeqCst);
@@ -403,6 +473,50 @@ impl Server {
     /// frame-size histograms).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.shared.registry
+    }
+
+    /// The tenant directory, when the server runs with
+    /// [`ServerConfig::tenancy`].
+    pub fn tenants(&self) -> Option<&TenantManager> {
+        self.shared.tenants.as_ref()
+    }
+
+    /// Attaches a tenant ahead of its first connection (required for
+    /// every tenant when [`TenancyConfig::auto_attach`] is off).
+    ///
+    /// # Panics
+    ///
+    /// If the server was started without [`ServerConfig::tenancy`].
+    pub fn attach_tenant(&self, name: &str, config: TenantConfig) -> Result<TenantId, AttachError> {
+        self.shared
+            .tenants
+            .as_ref()
+            .expect("tenancy not enabled")
+            .attach(name, config)
+    }
+
+    /// Drains and detaches a tenant at runtime: admission refuses with
+    /// `Busy{tenant-draining}` from this instant, in-flight jobs run to
+    /// completion, and the call returns the tenant's final report once
+    /// the drain empties. Every other tenant is untouched.
+    ///
+    /// Returns [`TenantError::Unknown`] when the id is not attached (or
+    /// tenancy is disabled).
+    pub fn detach_tenant(&self, id: TenantId) -> Result<TenantReport, TenantError> {
+        let mgr = self
+            .shared
+            .tenants
+            .as_ref()
+            .ok_or(TenantError::Unknown(id))?;
+        mgr.begin_detach(id)?;
+        loop {
+            match mgr.finish_detach(id) {
+                Ok(()) => break,
+                Err(TenantError::StillBusy { .. }) => std::thread::sleep(DRAIN_POLL),
+                Err(e) => return Err(e),
+            }
+        }
+        mgr.tenant_report(id).ok_or(TenantError::Unknown(id))
     }
 
     /// The server lifecycle event log as JSONL.
@@ -459,11 +573,13 @@ impl Server {
                     let delivered = st.delivered.load(Ordering::SeqCst);
                     StreamAccount {
                         id: st.id,
+                        tenant: st.tenant,
                         app: st.app.label(),
                         redundancy: st.redundancy,
                         tokens_in,
                         delivered,
                         undelivered: tokens_in.saturating_sub(delivered),
+                        rejected: st.rejected.load(Ordering::SeqCst),
                         faults: st.faults.load(Ordering::SeqCst),
                         busy: st.busy.load(Ordering::SeqCst),
                         closed: st.closed.load(Ordering::SeqCst),
@@ -482,6 +598,7 @@ impl Server {
             recovered_streams: self.shared.recovered_streams.load(Ordering::SeqCst),
             replayed_tokens: self.shared.replayed_tokens.load(Ordering::SeqCst),
             wal_truncated_records: self.shared.wal_truncated_records,
+            tenants: self.shared.tenants.as_ref().map(|m| m.report()),
             fleet,
         }
     }
@@ -516,6 +633,7 @@ impl Server {
 /// sequence, and the undelivered tail goes back into the flush buffer.
 fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
     struct Rebuilt {
+        tenant: u64,
         app: App,
         redundancy: u8,
         payloads: Vec<Vec<u8>>,
@@ -527,6 +645,7 @@ fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
         match rec {
             WalRecord::StreamOpen {
                 stream,
+                tenant,
                 app,
                 redundancy,
             } => {
@@ -534,6 +653,7 @@ fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
                 map.insert(
                     *stream,
                     Rebuilt {
+                        tenant: *tenant,
                         app,
                         redundancy: *redundancy,
                         payloads: Vec::new(),
@@ -571,11 +691,13 @@ fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
             Arc::new(StreamState {
                 id,
                 conn: u32::MAX,
+                tenant: r.tenant,
                 app: r.app,
                 redundancy: r.redundancy,
                 buffered: Mutex::new(tail),
                 tokens_in: AtomicU64::new(tokens_in),
                 delivered: AtomicU64::new(delivered),
+                rejected: AtomicU64::new(0),
                 faults: AtomicU64::new(0),
                 busy: AtomicU64::new(0),
                 inflight: AtomicU64::new(0),
@@ -609,6 +731,9 @@ fn recovery_notifier(shared: &Arc<Shared>, st: &Arc<StreamState>) -> JobNotifier
                 st.faults.fetch_add(1, Ordering::SeqCst);
                 shared.c_faults.inc();
             }
+        }
+        if let Some(mgr) = &shared.tenants {
+            mgr.on_settle(TenantId(st.tenant), record, result);
         }
         st.inflight.fetch_sub(1, Ordering::SeqCst);
     })
@@ -677,10 +802,17 @@ fn drive_connection(
     writer: &Arc<Mutex<TcpStream>>,
     conn_id: u32,
 ) -> Result<(), ServeError> {
-    // First frame must be a version-matched Hello.
-    match next_frame(shared, reader)? {
-        Frame::Hello { version, .. } if version == PROTOCOL_VERSION => {
+    // First frame must be a version-matched Hello. Under tenancy, its
+    // `client` string names the tenant every stream on this connection
+    // belongs to.
+    let tenant: Option<TenantId> = match next_frame(shared, reader)? {
+        Frame::Hello { version, client } if version == PROTOCOL_VERSION => {
+            let tenant = match &shared.tenants {
+                Some(mgr) => Some(resolve_tenant(shared, mgr, &client)?),
+                None => None,
+            };
             shared.send(writer, &Frame::Accepted { id: conn_id })?;
+            tenant
         }
         Frame::Hello { version, .. } => {
             return Err(ProtocolError::VersionMismatch {
@@ -696,7 +828,7 @@ fn drive_connection(
             }
             .into());
         }
-    }
+    };
 
     loop {
         let frame = match next_frame(shared, reader) {
@@ -706,7 +838,7 @@ fn drive_connection(
         };
         match frame {
             Frame::OpenStream { app, redundancy } => {
-                handle_open(shared, writer, conn_id, app, redundancy)?
+                handle_open(shared, writer, conn_id, tenant, app, redundancy)?
             }
             Frame::Tokens { stream, payloads } => {
                 let st = lookup(shared, conn_id, stream)?;
@@ -739,6 +871,32 @@ fn next_frame(shared: &Shared, reader: &mut TcpStream) -> Result<Frame, ServeErr
     Ok(frame)
 }
 
+/// Maps a `Hello` client name onto a tenant id: the attached tenant of
+/// that name, or a fresh auto-attached one when policy allows.
+fn resolve_tenant(
+    shared: &Shared,
+    mgr: &TenantManager,
+    client: &str,
+) -> Result<TenantId, ServeError> {
+    if let Some(id) = mgr.resolve(client) {
+        return Ok(id);
+    }
+    let tcfg = shared
+        .cfg
+        .tenancy
+        .as_ref()
+        .expect("a manager implies a tenancy config");
+    if !tcfg.auto_attach {
+        return Err(ProtocolError::BadPayload("unknown tenant").into());
+    }
+    match mgr.attach(client, tcfg.default) {
+        Ok(id) => Ok(id),
+        // Two connections raced the first attach of this name: one won,
+        // the other adopts the winner's tenant.
+        Err(AttachError::NameTaken(id)) | Err(AttachError::IdTaken(id)) => Ok(id),
+    }
+}
+
 fn lookup(shared: &Shared, conn_id: u32, stream: u32) -> Result<Arc<StreamState>, ServeError> {
     let guard = shared.streams.lock().unwrap();
     match guard.get(&stream) {
@@ -752,6 +910,7 @@ fn handle_open(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
     conn_id: u32,
+    tenant: Option<TenantId>,
     app: u8,
     redundancy: u8,
 ) -> Result<(), ServeError> {
@@ -769,6 +928,26 @@ fn handle_open(
         )?;
         return Ok(());
     }
+    // A tenant that began draining after the handshake refuses new
+    // streams — retryable (the name can re-attach), so Busy, not error.
+    if let (Some(mgr), Some(tid)) = (&shared.tenants, tenant) {
+        let active = mgr
+            .get(tid)
+            .is_some_and(|t| t.state() == TenantState::Active);
+        if !active {
+            shared.c_busy.inc();
+            shared.send(
+                writer,
+                &Frame::Busy {
+                    stream: u32::MAX,
+                    reason: BusyReason::TenantDraining,
+                    pending: 0,
+                    capacity: 0,
+                },
+            )?;
+            return Ok(());
+        }
+    }
     let app = *App::ALL
         .get(app as usize)
         .ok_or(ProtocolError::BadPayload("app index out of range"))?;
@@ -776,14 +955,17 @@ fn handle_open(
         return Err(ProtocolError::BadPayload("redundancy must be 2 or 3").into());
     }
     let id = shared.next_stream.fetch_add(1, Ordering::SeqCst);
+    let tenant_id = tenant.map_or(0, |t| t.0);
     let st = Arc::new(StreamState {
         id,
         conn: conn_id,
+        tenant: tenant_id,
         app,
         redundancy,
         buffered: Mutex::new(Vec::new()),
         tokens_in: AtomicU64::new(0),
         delivered: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
         faults: AtomicU64::new(0),
         busy: AtomicU64::new(0),
         inflight: AtomicU64::new(0),
@@ -795,9 +977,13 @@ fn handle_open(
         let app_index = App::ALL.iter().position(|a| *a == app).unwrap_or(0) as u8;
         wal.append(&WalRecord::StreamOpen {
             stream: id,
+            tenant: tenant_id,
             app: app_index,
             redundancy,
         })?;
+    }
+    if let (Some(mgr), Some(tid)) = (&shared.tenants, tenant) {
+        mgr.on_stream_opened(tid, id as u64);
     }
     shared.streams.lock().unwrap().insert(id, st);
     shared.c_streams_opened.inc();
@@ -812,6 +998,15 @@ fn handle_tokens(
     payloads: Vec<Vec<u8>>,
 ) -> Result<(), ServeError> {
     let n = payloads.len() as u64;
+    // Tenancy gates acceptance *before* anything is billed or buffered:
+    // a refused batch was never accepted — the client still holds it, it
+    // is absent from `tokens_in`, and it counts under `rejected`.
+    if let Some(mgr) = &shared.tenants {
+        if let Err(reject) = mgr.admit_tokens(TenantId(st.tenant), n) {
+            st.rejected.fetch_add(n, Ordering::SeqCst);
+            return refuse(shared, writer, st, reject);
+        }
+    }
     st.tokens_in.fetch_add(n, Ordering::SeqCst);
     shared.c_tokens_in.add(n);
     shared
@@ -854,7 +1049,17 @@ fn handle_flush(
         return shared.send(writer, &shared.stats_frame(st));
     }
     if !shared.accepting.load(Ordering::SeqCst) {
-        return refuse(shared, writer, st, RejectReason::ShuttingDown);
+        return refuse(shared, writer, st, RejectReason::ShuttingDown.into());
+    }
+    // Tenant admission (lifecycle, in-flight cap, token rate) runs before
+    // the executor ever sees the job. A refusal is lossless: the batch
+    // stays buffered and nothing was billed.
+    if let Some(mgr) = &shared.tenants {
+        if let Err(reject) =
+            mgr.admit_flush(TenantId(st.tenant), batch.len() as u64, shared.now_ns())
+        {
+            return refuse(shared, writer, st, reject);
+        }
     }
     let spec = build_spec(&shared.cfg, st.id, st.app, st.redundancy, &batch);
     let notify = settle_notifier(shared, writer, st);
@@ -874,26 +1079,38 @@ fn handle_flush(
             );
             Ok(())
         }
-        Admission::Rejected(reason) => refuse(shared, writer, st, reason),
+        Admission::Rejected(reason) => {
+            // Give the tenant back its in-flight slot, buffered tokens,
+            // and rate tokens: executor backpressure must not consume
+            // tenant budget.
+            if let Some(mgr) = &shared.tenants {
+                mgr.cancel_flush(TenantId(st.tenant), batch.len() as u64);
+            }
+            refuse(shared, writer, st, reason.into())
+        }
     }
 }
 
-/// Answers a flush refusal with an explicit `Busy` frame — backpressure,
-/// not loss: the batch stays buffered for the client's retry.
+/// Answers an admission refusal with an explicit `Busy` frame —
+/// backpressure, not loss: whatever the client already streamed stays
+/// buffered, and a refused batch stays in the client's hands.
+///
+/// The mapping onto the wire vocabulary is 1:1 and lossless; the
+/// `pending` / `capacity` pair is reason-scoped (see [`crate::wire`]).
 fn refuse(
     shared: &Shared,
     writer: &Arc<Mutex<TcpStream>>,
     st: &StreamState,
-    reason: RejectReason,
+    reason: TenantReject,
 ) -> Result<(), ServeError> {
     st.busy.fetch_add(1, Ordering::SeqCst);
     shared.c_busy.inc();
     shared.event("serve.stream.busy", Some(st.id as usize), 0);
     let (reason, pending, capacity) = match reason {
-        RejectReason::QueueFull { pending, capacity } => {
+        TenantReject::Fleet(RejectReason::QueueFull { pending, capacity }) => {
             (BusyReason::QueueFull, pending as u32, capacity as u32)
         }
-        RejectReason::ShuttingDown => {
+        TenantReject::Fleet(RejectReason::ShuttingDown) => {
             let load = shared.fleet.load();
             (
                 BusyReason::ShuttingDown,
@@ -901,6 +1118,17 @@ fn refuse(
                 load.capacity as u32,
             )
         }
+        TenantReject::Fleet(RejectReason::QuotaExceeded { used, quota }) => (
+            BusyReason::QuotaExceeded,
+            used.min(u32::MAX as u64) as u32,
+            quota.min(u32::MAX as u64) as u32,
+        ),
+        TenantReject::Fleet(RejectReason::RateLimited { retry_after_ns }) => (
+            BusyReason::RateLimited,
+            retry_after_ns.div_ceil(1_000_000).min(u32::MAX as u64) as u32,
+            0,
+        ),
+        TenantReject::Draining => (BusyReason::TenantDraining, 0, 0),
     };
     shared.send(
         writer,
@@ -982,6 +1210,9 @@ fn settle_notifier(
                 );
             }
         }
+        if let Some(mgr) = &shared.tenants {
+            mgr.on_settle(TenantId(st.tenant), record, result);
+        }
         st.inflight.fetch_sub(1, Ordering::SeqCst);
         let _ = shared.send(&writer, &shared.stats_frame(&st));
     })
@@ -998,6 +1229,13 @@ fn handle_close(
         std::thread::sleep(DRAIN_POLL);
     }
     st.closed.store(true, Ordering::SeqCst);
+    // Tokens still buffered at close will never flush; give their queue
+    // quota back to the tenant (they stay in the stream's books as
+    // accepted-but-undelivered).
+    if let Some(mgr) = &shared.tenants {
+        let leftover = st.buffered.lock().unwrap().len() as u64;
+        mgr.release_buffered(TenantId(st.tenant), leftover);
+    }
     if let Some(wal) = shared.wal() {
         wal.append(&WalRecord::StreamClose { stream: st.id })?;
     }

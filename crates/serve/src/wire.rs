@@ -51,6 +51,19 @@ pub const PROTOCOL_VERSION: u32 = 1;
 pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
 
 /// Why the server refused work (the `reason` byte of a `Busy` frame).
+///
+/// Every refusal is lossless backpressure: whatever the server already
+/// buffered stays buffered, whatever it refused stays with the client,
+/// and the operation may be retried. The `pending`/`capacity` fields of
+/// the `Busy` frame are reason-scoped:
+///
+/// | reason           | pending                   | capacity            |
+/// |------------------|---------------------------|---------------------|
+/// | `QueueFull`      | outstanding fleet jobs    | fleet job capacity  |
+/// | `ShuttingDown`   | outstanding fleet jobs    | fleet job capacity  |
+/// | `QuotaExceeded`  | quota units in use        | the quota           |
+/// | `RateLimited`    | retry-after (whole ms)    | 0                   |
+/// | `TenantDraining` | 0                         | 0                   |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BusyReason {
     /// Fleet admission is saturated; retry the flush later. Buffered
@@ -58,6 +71,14 @@ pub enum BusyReason {
     QueueFull,
     /// The server is draining; no new streams or tokens are accepted.
     ShuttingDown,
+    /// A per-tenant quota (buffered-token queue quota on `Tokens`,
+    /// in-flight-jobs cap on `Flush`) is exhausted.
+    QuotaExceeded,
+    /// The tenant's token-rate limit refused the flush for now; retry
+    /// after the hinted delay.
+    RateLimited,
+    /// The stream's tenant is draining toward detach; no new work.
+    TenantDraining,
 }
 
 impl BusyReason {
@@ -65,6 +86,9 @@ impl BusyReason {
         match self {
             BusyReason::QueueFull => 0,
             BusyReason::ShuttingDown => 1,
+            BusyReason::QuotaExceeded => 2,
+            BusyReason::RateLimited => 3,
+            BusyReason::TenantDraining => 4,
         }
     }
 
@@ -72,6 +96,9 @@ impl BusyReason {
         match b {
             0 => Ok(BusyReason::QueueFull),
             1 => Ok(BusyReason::ShuttingDown),
+            2 => Ok(BusyReason::QuotaExceeded),
+            3 => Ok(BusyReason::RateLimited),
+            4 => Ok(BusyReason::TenantDraining),
             _ => Err(ProtocolError::BadPayload("unknown busy reason")),
         }
     }
@@ -82,6 +109,9 @@ impl std::fmt::Display for BusyReason {
         match self {
             BusyReason::QueueFull => write!(f, "queue-full"),
             BusyReason::ShuttingDown => write!(f, "shutting-down"),
+            BusyReason::QuotaExceeded => write!(f, "quota-exceeded"),
+            BusyReason::RateLimited => write!(f, "rate-limited"),
+            BusyReason::TenantDraining => write!(f, "tenant-draining"),
         }
     }
 }
@@ -536,6 +566,19 @@ mod tests {
             pending: 64,
             capacity: 64,
         });
+        for reason in [
+            BusyReason::ShuttingDown,
+            BusyReason::QuotaExceeded,
+            BusyReason::RateLimited,
+            BusyReason::TenantDraining,
+        ] {
+            round_trip(Frame::Busy {
+                stream: 9,
+                reason,
+                pending: 3,
+                capacity: 0,
+            });
+        }
         round_trip(Frame::Output {
             stream: 7,
             seq: 3,

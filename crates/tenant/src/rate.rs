@@ -1,0 +1,189 @@
+//! Deterministic token-bucket rate limiting.
+//!
+//! The bucket never reads a clock: every operation takes the caller's
+//! `now_ns`, so the DES runtime can drive it with virtual time, the
+//! threaded runtime with wall time, and tests with hand-picked instants —
+//! the same discipline as the rest of the workspace ("zero-timekeeping").
+//! All arithmetic is integer (micro-tokens), so two runs fed the same
+//! instants make byte-identical decisions.
+
+use crate::tenant::TokenRate;
+
+/// Micro-tokens per token: refill math runs at 10⁻⁶-token granularity so
+/// slow rates (a few tokens/second) still accrue something every call.
+const MICRO: u64 = 1_000_000;
+
+/// Outcome of [`TokenBucket::try_take`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDecision {
+    /// The batch fit; the tokens were consumed.
+    Granted,
+    /// The bucket is short. Carries the nanoseconds until the deficit
+    /// refills at the configured rate — a retry hint, not a reservation.
+    Denied {
+        /// Nanoseconds until the refused batch would fit, other traffic
+        /// permitting. `u64::MAX` when the rate is zero (never).
+        retry_after_ns: u64,
+    },
+}
+
+/// A deterministic token bucket.
+///
+/// State is two `u64`s behind no lock — the owner (a
+/// [`Tenant`](crate::Tenant)) serializes access. Refill saturates at the
+/// configured burst, and the rate itself lives in the tenant's config so
+/// runtime updates apply on the next call.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Current level in micro-tokens.
+    micro: u64,
+    /// Instant of the last refill.
+    last_ns: u64,
+    /// Whether the bucket has been touched (first call starts full).
+    primed: bool,
+}
+
+impl Default for TokenBucket {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenBucket {
+    /// A bucket that starts full at first use.
+    pub fn new() -> Self {
+        TokenBucket {
+            micro: 0,
+            last_ns: 0,
+            primed: false,
+        }
+    }
+
+    fn refill(&mut self, rate: &TokenRate, now_ns: u64) {
+        let cap = rate.burst.saturating_mul(MICRO);
+        if !self.primed {
+            self.primed = true;
+            self.micro = cap;
+            self.last_ns = now_ns;
+            return;
+        }
+        let elapsed = now_ns.saturating_sub(self.last_ns);
+        // micro-tokens accrued = elapsed_ns * tokens_per_sec / 1e9 * 1e6.
+        let add = (elapsed as u128 * rate.tokens_per_sec as u128 / 1_000) as u64;
+        if add > 0 {
+            self.micro = self.micro.saturating_add(add).min(cap);
+            self.last_ns = now_ns;
+        }
+    }
+
+    /// Try to take `tokens` whole tokens at instant `now_ns`.
+    pub fn try_take(&mut self, rate: &TokenRate, tokens: u64, now_ns: u64) -> RateDecision {
+        self.refill(rate, now_ns);
+        let need = tokens.saturating_mul(MICRO);
+        if need <= self.micro {
+            self.micro -= need;
+            return RateDecision::Granted;
+        }
+        let deficit = need - self.micro;
+        let retry_after_ns = if rate.tokens_per_sec == 0 {
+            u64::MAX
+        } else {
+            // ns until the deficit refills: deficit_micro * 1e3 / rate.
+            ((deficit as u128 * 1_000).div_ceil(rate.tokens_per_sec as u128)).min(u64::MAX as u128)
+                as u64
+        };
+        RateDecision::Denied { retry_after_ns }
+    }
+
+    /// Return `tokens` to the bucket (a downstream layer refused work the
+    /// bucket already granted — the refusal must not bill the tenant).
+    pub fn refund(&mut self, rate: &TokenRate, tokens: u64) {
+        let cap = rate.burst.saturating_mul(MICRO);
+        self.micro = self
+            .micro
+            .saturating_add(tokens.saturating_mul(MICRO))
+            .min(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate(tokens_per_sec: u64, burst: u64) -> TokenRate {
+        TokenRate {
+            tokens_per_sec,
+            burst,
+        }
+    }
+
+    #[test]
+    fn starts_full_and_denies_past_burst() {
+        let mut b = TokenBucket::new();
+        let r = rate(100, 10);
+        assert_eq!(b.try_take(&r, 10, 0), RateDecision::Granted);
+        match b.try_take(&r, 1, 0) {
+            RateDecision::Denied { retry_after_ns } => {
+                // 1 token at 100/s = 10 ms.
+                assert_eq!(retry_after_ns, 10_000_000);
+            }
+            RateDecision::Granted => panic!("empty bucket granted"),
+        }
+    }
+
+    #[test]
+    fn refills_deterministically() {
+        let mut b = TokenBucket::new();
+        let r = rate(1_000, 50);
+        assert_eq!(b.try_take(&r, 50, 0), RateDecision::Granted);
+        // 5 ms at 1000 tokens/s = 5 tokens.
+        assert_eq!(b.try_take(&r, 5, 5_000_000), RateDecision::Granted);
+        assert!(matches!(
+            b.try_take(&r, 1, 5_000_000),
+            RateDecision::Denied { .. }
+        ));
+        // Identical instants replay to identical decisions.
+        let mut c = TokenBucket::new();
+        assert_eq!(c.try_take(&r, 50, 0), RateDecision::Granted);
+        assert_eq!(c.try_take(&r, 5, 5_000_000), RateDecision::Granted);
+        assert!(matches!(
+            c.try_take(&r, 1, 5_000_000),
+            RateDecision::Denied { .. }
+        ));
+    }
+
+    #[test]
+    fn refill_saturates_at_burst() {
+        let mut b = TokenBucket::new();
+        let r = rate(1_000_000, 8);
+        assert_eq!(b.try_take(&r, 8, 0), RateDecision::Granted);
+        // An hour later the bucket holds burst, not an hour of rate.
+        assert_eq!(b.try_take(&r, 8, 3_600_000_000_000), RateDecision::Granted);
+        assert!(matches!(
+            b.try_take(&r, 9, 3_600_000_000_000),
+            RateDecision::Denied { .. }
+        ));
+    }
+
+    #[test]
+    fn refund_restores_tokens() {
+        let mut b = TokenBucket::new();
+        let r = rate(10, 4);
+        assert_eq!(b.try_take(&r, 4, 0), RateDecision::Granted);
+        b.refund(&r, 4);
+        assert_eq!(b.try_take(&r, 4, 0), RateDecision::Granted);
+    }
+
+    #[test]
+    fn zero_rate_never_retries() {
+        let mut b = TokenBucket::new();
+        let r = rate(0, 2);
+        assert_eq!(b.try_take(&r, 2, 0), RateDecision::Granted);
+        assert_eq!(
+            b.try_take(&r, 1, u64::MAX / 2),
+            RateDecision::Denied {
+                retry_after_ns: u64::MAX
+            }
+        );
+    }
+}

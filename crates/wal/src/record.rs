@@ -39,7 +39,8 @@ const TAG_STREAM_CLOSE: u8 = 0x04;
 /// delivered prefix and re-derives the undelivered tail.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
-    /// A stream was accepted: its id and the pipeline it runs.
+    /// A stream was accepted: its id, the pipeline it runs, and the
+    /// tenant it belongs to.
     StreamOpen {
         /// Server-assigned stream id.
         stream: u32,
@@ -47,6 +48,9 @@ pub enum WalRecord {
         app: u8,
         /// Replica count the stream was opened with.
         redundancy: u8,
+        /// Tenant the stream was admitted under (0 = untenanted server),
+        /// so recovery can re-attach tenants before rebuilding streams.
+        tenant: u64,
     },
     /// A batch of ingested token payloads, logged before acknowledgement.
     Tokens {
@@ -81,11 +85,13 @@ impl WalRecord {
                 stream,
                 app,
                 redundancy,
+                tenant,
             } => {
                 out.push(TAG_STREAM_OPEN);
                 put_u32(&mut out, *stream);
                 out.push(*app);
                 out.push(*redundancy);
+                put_u64(&mut out, *tenant);
             }
             WalRecord::Tokens { stream, payloads } => {
                 out.push(TAG_TOKENS);
@@ -127,6 +133,7 @@ impl WalRecord {
                 stream: get_u32(body, &mut at)?,
                 app: get_u8(body, &mut at)?,
                 redundancy: get_u8(body, &mut at)?,
+                tenant: get_u64(body, &mut at)?,
             },
             TAG_TOKENS => {
                 let stream = get_u32(body, &mut at)?;
@@ -257,6 +264,7 @@ mod tests {
                 stream: 7,
                 app: 2,
                 redundancy: 3,
+                tenant: 0x0123_4567_89ab_cdef,
             },
             WalRecord::Tokens {
                 stream: 7,

@@ -21,8 +21,9 @@ use std::path::{Path, PathBuf};
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"RTFTWAL1";
 
-/// On-disk format version.
-pub const SEGMENT_VERSION: u32 = 1;
+/// On-disk format version. Bumped to 2 when `StreamOpen` grew the tenant
+/// id — v1 segments are refused rather than misparsed.
+pub const SEGMENT_VERSION: u32 = 2;
 
 /// Serialized header size.
 pub const SEGMENT_HEADER: usize = 8 + 4 + 8 + 8;

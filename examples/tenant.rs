@@ -1,0 +1,237 @@
+//! The tenant lifecycle layer end to end — the CI smoke for
+//! `rtft-tenant` under `rtft-serve`.
+//!
+//! Thirty-two tenants stream into one tenancy-enabled server. Tenant 0
+//! carries an injected permanent timing fault (fail-stop in replica 1 of
+//! its duplicated pipeline); while the second round of flushes is in
+//! flight, the operator detaches four healthy tenants. The smoke then
+//! holds the directory to the subsystem's two contracts:
+//!
+//! * **Isolation** — the injected fault latches in tenant 0's books and
+//!   nowhere else, and every surviving tenant gets all of its tokens
+//!   back in order with matching digests.
+//! * **Lossless detach** — each detached tenant drains to a zero
+//!   in-flight, zero buffered balance with `tokens_in == delivered`,
+//!   and its refused second round is counted under `rejected_draining`
+//!   (the client still holds those tokens; nothing is silently dropped).
+//!
+//! Exits non-zero on a leaked fault, an unbalanced book, or a lost
+//! token, so CI can run it as a smoke test:
+//!
+//! ```sh
+//! cargo run --release --bin tenant
+//! ```
+
+use rtft_apps::networks::App;
+use rtft_rtc::TimeNs;
+use rtft_serve::{
+    detection_bound, digest_of, workload, Client, FaultInjection, Server, ServerConfig,
+    TenancyConfig, TenantState,
+};
+
+const TENANTS: usize = 32;
+const DETACHED: [usize; 4] = [8, 16, 24, 31];
+const BATCH: usize = 6;
+const FAULTY_TOKENS: usize = 16;
+
+fn app_of(i: usize) -> App {
+    if i == 0 {
+        App::Mjpeg
+    } else {
+        App::Adpcm
+    }
+}
+
+fn tokens_of(i: usize) -> usize {
+    if i == 0 {
+        FAULTY_TOKENS
+    } else {
+        BATCH
+    }
+}
+
+/// One synchronous send + flush; returns delivered count, digest-order
+/// correctness, and whether an in-bound replica-1 fault latched.
+fn stream_round(client: &mut Client, stream: u32, i: usize, seed: u64) -> (usize, bool, bool) {
+    let batch = workload(app_of(i), seed, tokens_of(i));
+    client.send_tokens(stream, batch.clone()).expect("send");
+    let run = client.flush(stream).expect("flush");
+    let in_order = run
+        .outputs
+        .iter()
+        .enumerate()
+        .all(|(k, o)| o.seq == k as u64 && o.digest == digest_of(&batch[k]));
+    let bound = detection_bound(app_of(i)).as_ns();
+    let fault_in_bound = run
+        .faults
+        .iter()
+        .any(|f| f.replica == 1 && f.detection_latency_ns > 0 && f.detection_latency_ns <= bound);
+    (run.outputs.len(), in_order, fault_in_bound)
+}
+
+fn main() {
+    let cfg = ServerConfig {
+        tenancy: Some(TenancyConfig::default()),
+        inject: vec![FaultInjection {
+            stream: 0,
+            replica: 1,
+            at: TimeNs::from_ms(150),
+        }],
+        ..ServerConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("bind loopback");
+    println!(
+        "tenant: listening on {}, {TENANTS} tenants, fault injected into tenant 0, \
+         detaching {:?} under load",
+        server.addr(),
+        DETACHED
+    );
+
+    // Sequential opens: stream i belongs to tenant-i, so the injection's
+    // global stream index 0 is tenant 0's pipeline.
+    let mut clients: Vec<Option<(Client, u32)>> = (0..TENANTS)
+        .map(|i| {
+            let mut c = Client::connect(server.addr(), &format!("tenant-{i}")).expect("connect");
+            let s = c.open_stream(app_of(i), 2).expect("open").expect_stream();
+            Some((c, s))
+        })
+        .collect();
+
+    let mut failures = 0usize;
+    let mut fault_in_bound = false;
+
+    // Round 1: every tenant delivers one batch.
+    for (i, slot) in clients.iter_mut().enumerate() {
+        let (client, stream) = slot.as_mut().expect("open client");
+        let (delivered, in_order, fault) = stream_round(client, *stream, i, i as u64);
+        fault_in_bound |= i == 0 && fault;
+        if delivered != tokens_of(i) || !in_order {
+            eprintln!("SMOKE FAILED: tenant {i} lost or reordered tokens in round 1");
+            failures += 1;
+        }
+    }
+
+    // Round 2 for the survivors runs in threads; the four detaches land
+    // while those flushes are in flight.
+    let mut handles = Vec::new();
+    for (i, slot) in clients.iter_mut().enumerate() {
+        if DETACHED.contains(&i) {
+            continue;
+        }
+        let (mut client, stream) = slot.take().expect("open client");
+        handles.push(std::thread::spawn(move || {
+            let (delivered, in_order, fault) = stream_round(&mut client, stream, i, 100 + i as u64);
+            client.close(stream).expect("close");
+            (i, delivered, in_order, fault)
+        }));
+    }
+
+    let mgr = server.tenants().expect("tenancy enabled");
+    for &i in &DETACHED {
+        let id = mgr.resolve(&format!("tenant-{i}")).expect("attached");
+        let report = server.detach_tenant(id).expect("drain and detach");
+        println!(
+            "  detached tenant {i}: state {:?}, inflight {}, buffered {}, \
+             {} of {} tokens delivered",
+            report.state, report.inflight, report.buffered, report.delivered, report.tokens_in
+        );
+        if report.state != TenantState::Detached
+            || report.inflight != 0
+            || report.buffered != 0
+            || report.tokens_in != report.delivered
+        {
+            eprintln!("SMOKE FAILED: tenant {i} did not drain to a clean balance");
+            failures += 1;
+        }
+    }
+
+    // The detached tenants' second round must be refused — not lost.
+    for &i in &DETACHED {
+        let (client, stream) = clients[i].as_mut().expect("detached client");
+        client
+            .send_tokens(*stream, workload(App::Adpcm, 200 + i as u64, BATCH))
+            .expect("send");
+        let busy = client.recv_busy(*stream).expect("refusal");
+        println!("  tenant {i} round 2 refused: {:?}", busy.reason);
+    }
+
+    for handle in handles {
+        let (i, delivered, in_order, fault) = handle.join().expect("client thread");
+        fault_in_bound |= i == 0 && fault;
+        if delivered != tokens_of(i) || !in_order {
+            eprintln!("SMOKE FAILED: tenant {i} lost or reordered tokens in round 2");
+            failures += 1;
+        }
+    }
+    for &i in &DETACHED {
+        let (mut client, stream) = clients[i].take().expect("detached client");
+        client.close(stream).expect("close");
+    }
+
+    let report = server.shutdown();
+    let directory = report.tenants.as_ref().expect("tenant directory");
+    println!();
+    let (jobs, delivered) = directory
+        .tenants
+        .iter()
+        .fold((0u64, 0u64), |(j, d), t| (j + t.jobs, d + t.delivered));
+    println!(
+        "  directory: {} tenants attached, {jobs} jobs settled, {delivered} tokens delivered",
+        directory.tenants.len(),
+    );
+
+    if !fault_in_bound {
+        eprintln!("SMOKE FAILED: tenant 0's fault missing or detected out of bound");
+        failures += 1;
+    }
+    for t in &directory.tenants {
+        if t.name == "tenant-0" {
+            if t.faults == 0 {
+                eprintln!("SMOKE FAILED: injected fault absent from tenant 0's books");
+                failures += 1;
+            }
+        } else if t.faults != 0 {
+            eprintln!("SMOKE FAILED: fault leaked into {}'s books", t.name);
+            failures += 1;
+        }
+        if DETACHED.iter().any(|&i| t.name == format!("tenant-{i}")) {
+            if t.rejected_draining != BATCH as u64 {
+                eprintln!(
+                    "SMOKE FAILED: {} refused {} tokens, expected {BATCH}",
+                    t.name, t.rejected_draining
+                );
+                failures += 1;
+            }
+        } else if t.delivered != 2 * tokens_of_name(&t.name) as u64 {
+            eprintln!(
+                "SMOKE FAILED: {} delivered {} of {}",
+                t.name,
+                t.delivered,
+                2 * tokens_of_name(&t.name)
+            );
+            failures += 1;
+        }
+    }
+    if !report.balanced() {
+        eprintln!("SMOKE FAILED: token accounting does not balance");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "SMOKE OK: {} tokens delivered across {TENANTS} tenants, fault confined to tenant 0, \
+         {} detached losslessly under load",
+        report.delivered(),
+        DETACHED.len()
+    );
+}
+
+fn tokens_of_name(name: &str) -> usize {
+    if name == "tenant-0" {
+        FAULTY_TOKENS
+    } else {
+        BATCH
+    }
+}

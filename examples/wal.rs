@@ -114,6 +114,7 @@ fn main() {
         let app = App::ALL.iter().position(|a| *a == App::Adpcm).unwrap() as u8;
         wal.append(&WalRecord::StreamOpen {
             stream: 0,
+            tenant: 0,
             app,
             redundancy: 2,
         })

@@ -51,6 +51,7 @@ fn recovery_survives_truncation_at_every_byte_of_the_final_record() {
     let records: Vec<WalRecord> = vec![
         WalRecord::StreamOpen {
             stream: 0,
+            tenant: 0,
             app: app_index(App::Adpcm),
             redundancy: 2,
         },
@@ -147,6 +148,7 @@ fn corrupted_log_digest_is_detected_and_classified_as_divergence() {
         let (wal, _) = Wal::open(WalConfig::new(dir.path()).with_fsync(false)).expect("open");
         wal.append(&WalRecord::StreamOpen {
             stream: 0,
+            tenant: 0,
             app: app_index(App::Adpcm),
             redundancy: 2,
         })
@@ -192,6 +194,7 @@ fn corrupted_log_digest_is_detected_and_classified_as_divergence() {
         let (wal, _) = Wal::open(WalConfig::new(clean_dir.path()).with_fsync(false)).expect("open");
         wal.append(&WalRecord::StreamOpen {
             stream: 0,
+            tenant: 0,
             app: app_index(App::Adpcm),
             redundancy: 2,
         })
