@@ -1,0 +1,161 @@
+//! E15: serving throughput under network chaos — sustained accepted
+//! tokens/sec and detection-latency p99 versus connection count and
+//! hostile-client share.
+//!
+//! Each point runs one full `rtft_chaos::net` wave: a hardened live
+//! server (read deadlines, tenancy, write-ahead log) under 64 or 256
+//! concurrent connections, with either no hostile clients (the clean
+//! baseline) or ~10% of them injecting the full network-fault palette
+//! (replica faults, slow-loris stalls, malformed frames, partial writes,
+//! abrupt disconnects, quota storms). The interesting number is the
+//! *cost of hostility*: how much sustained ingest the well-behaved
+//! clients lose while the server is busy evicting, failing closed, and
+//! refusing quota storms — with every wave still required to end with
+//! balanced books and a clean WAL replay.
+//!
+//! Run with `cargo bench --bench net_chaos`; emits a machine-readable
+//! `BENCH_net_chaos.json:` line for trend tracking.
+
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_chaos::{run_net_chaos, NetChaosConfig};
+use rtft_obs::json::{array, JsonObject};
+use rtft_obs::Histogram;
+use std::path::PathBuf;
+
+const CONNECTIONS: [u32; 2] = [64, 256];
+/// Hostile share per point: none (baseline) and ~10%, rounded to a
+/// multiple of six so every fault kind appears equally often.
+fn hostile_for(connections: u32, hostile: bool) -> u32 {
+    if !hostile {
+        return 0;
+    }
+    (connections / 10 / 6).max(1) * 6
+}
+
+struct ChaosPoint {
+    connections: u32,
+    hostile: u32,
+    accepted_per_sec: f64,
+    delivered: u64,
+    rejected: u64,
+    evictions: u64,
+    detection_p99_ms: f64,
+    wall_s: f64,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rtft-bench-net-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run_point(connections: u32, hostile: bool) -> ChaosPoint {
+    let cfg = NetChaosConfig {
+        seed: 0xDAC14,
+        connections,
+        hostile: hostile_for(connections, hostile),
+        tokens_per_batch: 8,
+        batches: 2,
+        wal: true,
+    };
+    let dir = scratch(&format!("{connections}-{}", cfg.hostile));
+    let report = run_net_chaos(&cfg, &dir).expect("chaos wave");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        report.violations.is_empty(),
+        "bench waves must stay invariant-clean:\n{}",
+        report.violations.join("\n")
+    );
+    assert!(report.replay_clean, "WAL replay must certify the wave");
+
+    let latency = Histogram::new();
+    for l in report.detection_latencies() {
+        latency.record(l);
+    }
+    ChaosPoint {
+        connections,
+        hostile: cfg.hostile,
+        accepted_per_sec: report.accepted_tokens() as f64 / report.elapsed.as_secs_f64(),
+        delivered: report.delivered_tokens(),
+        rejected: report.rejected_tokens(),
+        evictions: report.evictions,
+        detection_p99_ms: latency.snapshot().p99 as f64 / 1e6,
+        wall_s: report.elapsed.as_secs_f64(),
+    }
+}
+
+fn main() {
+    banner("E15: ingestion under network chaos (hostile clients vs clean baseline)");
+    println!(
+        "full chaos wave per point: WAL + tenancy + read deadlines, 2 batches x 8 tokens \
+         per connection; detection p99 is DES-virtual latency of injected replica faults\n"
+    );
+
+    let mut points = Vec::new();
+    for &connections in &CONNECTIONS {
+        for hostile in [false, true] {
+            points.push(run_point(connections, hostile));
+        }
+    }
+
+    let mut table = AsciiTable::new();
+    table.row([
+        "connections",
+        "hostile",
+        "accepted tokens/s",
+        "delivered",
+        "rejected",
+        "evictions",
+        "detect p99 (ms)",
+        "wall (s)",
+    ]);
+    for p in &points {
+        table.row([
+            p.connections.to_string(),
+            p.hostile.to_string(),
+            format!("{:.0}", p.accepted_per_sec),
+            p.delivered.to_string(),
+            p.rejected.to_string(),
+            p.evictions.to_string(),
+            if p.hostile == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", p.detection_p99_ms)
+            },
+            format!("{:.2}", p.wall_s),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // The headline ratio: hostile-wave sustained ingest relative to the
+    // clean baseline at the same connection count.
+    for pair in points.chunks(2) {
+        let [clean, hostile] = pair else { continue };
+        println!(
+            "{} connections: hostile wave sustains {:.0}% of clean ingest",
+            clean.connections,
+            100.0 * hostile.accepted_per_sec / clean.accepted_per_sec
+        );
+    }
+
+    let json = JsonObject::new()
+        .raw_field(
+            "points",
+            &array(points.iter().map(|p| {
+                JsonObject::new()
+                    .u64_field("connections", p.connections as u64)
+                    .u64_field("hostile", p.hostile as u64)
+                    .f64_field("accepted_per_sec", p.accepted_per_sec)
+                    .u64_field("delivered", p.delivered)
+                    .u64_field("rejected", p.rejected)
+                    .u64_field("evictions", p.evictions)
+                    .f64_field("detection_p99_ms", p.detection_p99_ms)
+                    .f64_field("wall_s", p.wall_s)
+                    .finish()
+            })),
+        )
+        .finish();
+    println!("BENCH_net_chaos.json: {json}");
+}

@@ -28,6 +28,13 @@
 //! in the separate [`threaded`] spot checks, and [`chaos_under_load`]
 //! replays faulty tenants through the `rtft-fleet` executor.
 //!
+//! The [`net`] module extends the sweep to the *network* dimension:
+//! [`run_net_chaos`] drives a live `rtft-serve` server with hundreds of
+//! concurrent connections while a seeded subset injects replica faults,
+//! slow-loris stalls, malformed frames, partial writes, abrupt
+//! disconnects and quota storms — then proves the token books balanced
+//! and the write-ahead log replays clean.
+//!
 //! ```
 //! use rtft_chaos::{Campaign, OutcomeClass};
 //!
@@ -41,6 +48,7 @@
 
 mod campaign;
 mod load;
+pub mod net;
 pub mod replay;
 mod runner;
 mod scenario;
@@ -49,6 +57,10 @@ pub mod threaded;
 
 pub use campaign::{Campaign, CampaignReport};
 pub use load::chaos_under_load;
+pub use net::{
+    generate_net_scenarios, run_net_chaos, soak_net_chaos, NetChaosConfig, NetChaosReport,
+    NetFaultKind, NetOutcome, NetScenario, NetScenarioOutcome, NetSoakReport,
+};
 pub use replay::{classify_replay, diff_digests, ReplayVerdict};
 pub use runner::{run_scenario, OutcomeClass, ScenarioOutcome};
 pub use scenario::{

@@ -144,6 +144,19 @@ impl EventSink {
         self.ring.lock().unwrap().to_vec()
     }
 
+    /// Number of retained events named `name`. Lifecycle assertions
+    /// (eviction counts, retry storms) read this instead of re-parsing
+    /// the JSONL export; note the ring is bounded, so the count covers
+    /// only the retained window.
+    pub fn count(&self, name: &str) -> u64 {
+        self.ring
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.name == name)
+            .count() as u64
+    }
+
     /// Number of events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.ring.lock().unwrap().dropped()

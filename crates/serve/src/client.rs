@@ -13,9 +13,10 @@
 
 use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use rtft_apps::networks::App;
-use rtft_kpn::Payload;
+use rtft_kpn::{Payload, SplitMix64};
 
 use crate::error::{ProtocolError, ServeError};
 use crate::wire::{
@@ -105,6 +106,97 @@ impl FlushOutcome {
     pub fn admitted(&self) -> bool {
         self.busy.is_none()
     }
+}
+
+/// Client-side retry policy for refused flushes: bounded exponential
+/// backoff with seeded jitter.
+///
+/// The policy drives [`Client::send_flush_with_retry`]. Retries are
+/// **lossless by protocol design**: a refused flush leaves the batch
+/// buffered server-side, so a retry re-sends only the 9-byte `Flush`
+/// frame — token payloads cross the wire exactly once, and an `Accepted`
+/// batch is never re-sent.
+///
+/// Which refusals are retryable:
+/// - `QueueFull` — fleet backpressure; the batch stays buffered.
+/// - `QuotaExceeded` — another flush will free buffered quota.
+/// - `RateLimited` — retry after the server's hint; the wait is
+///   `max(backoff, hint)`, so the hint is always honored even when it
+///   exceeds [`RetryPolicy::cap`] (the cap bounds only the policy's own
+///   exponential term).
+/// - `ShuttingDown` / `TenantDraining` — **not** retryable: the refusal
+///   is terminal for this server life / tenant life, so the policy gives
+///   up immediately and surfaces the `Busy`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Exponential growth factor per retry.
+    pub multiplier: u32,
+    /// Upper bound on the exponential term (not on a `RateLimited` hint).
+    pub cap: Duration,
+    /// Seed for the jitter stream; jitter is deterministic in
+    /// `(seed, stream, retry index)`.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(2),
+            multiplier: 2,
+            cap: Duration::from_millis(250),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry `retry` (zero-based) of `stream`, given the
+    /// server's retry-after hint in milliseconds (0 = no hint): the
+    /// capped exponential term or the hint, whichever is larger, plus up
+    /// to 50% seeded jitter to decorrelate simultaneous retriers.
+    pub fn wait_before(&self, stream: u32, retry: u32, hint_ms: u64) -> Duration {
+        let mut backoff = self.base;
+        for _ in 0..retry {
+            backoff = backoff.saturating_mul(self.multiplier.max(1)).min(self.cap);
+        }
+        let wait = backoff.max(Duration::from_millis(hint_ms));
+        let mut rng = SplitMix64::seed_from_u64(self.seed ^ ((stream as u64) << 32) ^ retry as u64);
+        let jitter_ns = rng.next_inclusive((wait.as_nanos() as u64) / 2);
+        wait + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// What [`Client::send_flush_with_retry`] produced across all attempts.
+#[derive(Debug, Clone, Default)]
+pub struct RetriedFlush {
+    /// The final attempt's outcome, with `durable` acknowledgements
+    /// accumulated across every attempt. `outcome.busy` is `Some` only
+    /// when the policy gave up (attempts exhausted or a non-retryable
+    /// refusal).
+    pub outcome: FlushOutcome,
+    /// Attempts made (1 = admitted first try).
+    pub attempts: u32,
+    /// Refusals that were retried (`attempts - 1` unless the last
+    /// attempt was itself refused).
+    pub retries: u32,
+    /// Total time slept between attempts.
+    pub waited: Duration,
+}
+
+/// The server's answer to an acknowledged token batch
+/// ([`Client::send_tokens_acked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokensAck {
+    /// Accepted and durable in the write-ahead log.
+    Durable(DurableAck),
+    /// Refused at admission (queue quota, draining tenant): the client
+    /// still holds the batch, nothing was accepted or billed.
+    Refused(BusyInfo),
 }
 
 /// Result of [`Client::open_stream`].
@@ -276,6 +368,112 @@ impl Client {
     pub fn flush(&mut self, stream: u32) -> Result<FlushOutcome, ServeError> {
         write_frame(&mut self.sock, &Frame::Flush { stream })?;
         self.collect(stream)
+    }
+
+    /// Flushes `stream` under `policy`: on a retryable `Busy` refusal
+    /// (`QueueFull`, `QuotaExceeded`, `RateLimited`) the client sleeps
+    /// the policy's backoff — honoring a `RateLimited` retry-after hint —
+    /// and re-sends **only** the `Flush` frame; the refused batch stayed
+    /// buffered server-side, so no token ever crosses the wire twice.
+    /// Returns when an attempt is admitted (its outputs/faults/stats in
+    /// `outcome`), the refusal is non-retryable (`ShuttingDown`,
+    /// `TenantDraining`), or attempts run out — in the latter two cases
+    /// `outcome.busy` carries the last refusal.
+    pub fn send_flush_with_retry(
+        &mut self,
+        stream: u32,
+        policy: &RetryPolicy,
+    ) -> Result<RetriedFlush, ServeError> {
+        let mut result = RetriedFlush::default();
+        let mut durable: Vec<DurableAck> = Vec::new();
+        loop {
+            let mut outcome = self.flush(stream)?;
+            result.attempts += 1;
+            durable.append(&mut outcome.durable);
+            let retryable = match &outcome.busy {
+                None => {
+                    // Admitted: every output below is from this attempt;
+                    // earlier refused attempts delivered nothing.
+                    outcome.durable = durable;
+                    result.outcome = outcome;
+                    return Ok(result);
+                }
+                Some(info) => matches!(
+                    info.reason,
+                    BusyReason::QueueFull | BusyReason::QuotaExceeded | BusyReason::RateLimited
+                ),
+            };
+            if !retryable || result.attempts >= policy.max_attempts.max(1) {
+                outcome.durable = durable;
+                result.outcome = outcome;
+                return Ok(result);
+            }
+            let busy = outcome.busy.expect("refused attempt carries Busy");
+            // RateLimited refusals ship the retry-after hint as whole
+            // milliseconds in `pending` (see crate::wire).
+            let hint_ms = match busy.reason {
+                BusyReason::RateLimited => busy.pending as u64,
+                _ => 0,
+            };
+            let wait = policy.wait_before(stream, result.retries, hint_ms);
+            result.retries += 1;
+            result.waited += wait;
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Sends a token batch and blocks for the server's answer: `Durable`
+    /// (accepted and logged) or `Busy` (refused at admission — the
+    /// client still holds the batch). Only valid against a WAL-enabled
+    /// server: without one an *accepted* batch is never acknowledged and
+    /// this would block until the next push. Frames for other exchanges
+    /// are buffered, as everywhere else.
+    pub fn send_tokens_acked(
+        &mut self,
+        stream: u32,
+        payloads: Vec<Vec<u8>>,
+    ) -> Result<TokensAck, ServeError> {
+        write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
+        let mut scanned: Vec<Frame> = Vec::new();
+        loop {
+            let frame = if let Some(f) = self.pending.pop_front() {
+                f
+            } else {
+                self.next_frame()?
+            };
+            let ack = match frame {
+                Frame::Durable {
+                    stream: s,
+                    tokens,
+                    seq,
+                } if s == stream => TokensAck::Durable(DurableAck { tokens, seq }),
+                Frame::Busy {
+                    stream: s,
+                    reason,
+                    pending,
+                    capacity,
+                } if s == stream => TokensAck::Refused(BusyInfo {
+                    reason,
+                    pending,
+                    capacity,
+                }),
+                other => {
+                    scanned.push(other);
+                    continue;
+                }
+            };
+            for f in scanned.into_iter().rev() {
+                self.pending.push_front(f);
+            }
+            return Ok(ack);
+        }
+    }
+
+    /// Sets (or clears) the socket's read timeout — lets callers bound
+    /// how long a collect can block on a wedged server.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.sock.set_read_timeout(timeout)?;
+        Ok(())
     }
 
     /// Closes `stream`: the server drains its in-flight flushes and

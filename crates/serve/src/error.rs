@@ -63,6 +63,33 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// Why the server evicted a connection (read-deadline enforcement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// No frame arrived within `ServerConfig::max_idle` while the
+    /// connection had no in-flight work.
+    Idle,
+    /// A started frame did not complete within
+    /// `ServerConfig::read_timeout` (stalled or slow-loris writer).
+    Stalled,
+}
+
+impl EvictReason {
+    /// Stable lowercase label (event names, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvictReason::Idle => "idle",
+            EvictReason::Stalled => "stalled",
+        }
+    }
+}
+
+impl fmt::Display for EvictReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Anything that can go wrong on the serve path.
 #[derive(Debug)]
 pub enum ServeError {
@@ -77,6 +104,10 @@ pub enum ServeError {
     Runtime(ThreadedError),
     /// The peer closed the connection mid-exchange.
     ConnectionClosed,
+    /// The server evicted the connection for violating a read deadline.
+    /// Accounting stays lossless: the evicted streams' buffered tokens
+    /// are reported `undelivered`, never dropped.
+    Evicted(EvictReason),
 }
 
 impl fmt::Display for ServeError {
@@ -87,6 +118,7 @@ impl fmt::Display for ServeError {
             ServeError::Rejected(r) => write!(f, "admission rejected: {r}"),
             ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
             ServeError::ConnectionClosed => write!(f, "connection closed by peer"),
+            ServeError::Evicted(reason) => write!(f, "connection evicted ({reason})"),
         }
     }
 }
@@ -99,6 +131,7 @@ impl std::error::Error for ServeError {
             ServeError::Rejected(r) => Some(r),
             ServeError::Runtime(e) => Some(e),
             ServeError::ConnectionClosed => None,
+            ServeError::Evicted(_) => None,
         }
     }
 }

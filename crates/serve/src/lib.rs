@@ -20,7 +20,16 @@
 //!   explicit `Busy` frame — backpressure, never token loss — and
 //!   shutdown drains every admitted job before the sockets close.
 //! * **[`Client`]** — the synchronous reference client the integration
-//!   tests, CI smoke example and throughput bench drive.
+//!   tests, CI smoke example and throughput bench drive. With a
+//!   [`RetryPolicy`], [`Client::send_flush_with_retry`] turns retryable
+//!   `Busy` refusals into bounded exponential backoff (seeded jitter,
+//!   `RateLimited` retry-after honored) — and because a refused batch
+//!   stays buffered server-side, a retry re-sends only the `Flush` frame.
+//! * **Eviction** — with [`ServerConfig::read_timeout`] /
+//!   [`ServerConfig::max_idle`] set, stalled (slow-loris) and idle
+//!   connections are evicted: the socket closes, the books stay lossless
+//!   (buffered tokens are reported `undelivered`, the report counts the
+//!   eviction).
 //! * **[`ServeReport`]** — deterministic end-of-life accounting: every
 //!   accepted token is delivered or reported (`tokens_in == delivered +
 //!   undelivered`, per stream).
@@ -68,9 +77,9 @@ pub mod wire;
 
 pub use client::{
     digest_of, workload, BusyInfo, Client, DurableAck, FaultEvent, FlushOutcome, OpenOutcome,
-    OutputEvent, StreamStats,
+    OutputEvent, RetriedFlush, RetryPolicy, StreamStats, TokensAck,
 };
-pub use error::{ProtocolError, ServeError};
+pub use error::{EvictReason, ProtocolError, ServeError};
 pub use replay::{replay_verify, ReplayReport, StreamReplay};
 pub use report::{ServeReport, StreamAccount};
 pub use server::{

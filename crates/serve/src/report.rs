@@ -40,6 +40,10 @@ pub struct StreamAccount {
     pub busy: u64,
     /// Whether the client closed the stream before shutdown.
     pub closed: bool,
+    /// Whether the stream's connection was evicted for violating a read
+    /// deadline (idle or stalled). Eviction is lossless: the accepted
+    /// tokens stay in the books, still buffered ones as `undelivered`.
+    pub evicted: bool,
 }
 
 impl StreamAccount {
@@ -57,6 +61,7 @@ impl StreamAccount {
             .u64_field("faults", self.faults)
             .u64_field("busy", self.busy)
             .bool_field("closed", self.closed)
+            .bool_field("evicted", self.evicted)
             .finish()
     }
 }
@@ -90,6 +95,10 @@ pub struct ServeReport {
     /// those records were never acknowledged `Durable`, so dropping them
     /// loses nothing the client was promised).
     pub wal_truncated_records: u64,
+    /// Connections evicted for read-deadline violations (idle or
+    /// stalled writers). Each eviction is lossless — see
+    /// [`StreamAccount::evicted`].
+    pub evictions: u64,
     /// The tenant directory at shutdown (tenancy-enabled servers only):
     /// per-tenant reports sorted by id, the merged shard rollup, and the
     /// unique-stream / unique-tenant sketches.
@@ -139,6 +148,7 @@ impl ServeReport {
             .u64_field("recovered_streams", self.recovered_streams)
             .u64_field("replayed_tokens", self.replayed_tokens)
             .u64_field("wal_truncated_records", self.wal_truncated_records)
+            .u64_field("evictions", self.evictions)
             .u64_field("tokens_in", self.tokens_in())
             .u64_field("delivered", self.delivered())
             .u64_field("faults", self.faults())
@@ -166,6 +176,7 @@ mod tests {
             faults: 1,
             busy: 2,
             closed: true,
+            evicted: false,
         }
     }
 
@@ -180,6 +191,7 @@ mod tests {
             recovered_streams: 0,
             replayed_tokens: 0,
             wal_truncated_records: 0,
+            evictions: 0,
             tenants: None,
             fleet: FleetReport {
                 runs: Vec::new(),

@@ -28,7 +28,7 @@
 //! [`CancelToken`] and unblocks them by shutting the sockets down.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -54,7 +54,7 @@ use rtft_tenant::{
 };
 use rtft_wal::{Wal, WalConfig, WalRecord};
 
-use crate::error::{ProtocolError, ServeError};
+use crate::error::{EvictReason, ProtocolError, ServeError};
 use crate::report::{ServeReport, StreamAccount};
 use crate::wire::{read_frame, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
 
@@ -157,6 +157,17 @@ pub struct ServerConfig {
     /// the untenanted behavior (every stream under implicit tenant 0, no
     /// quotas).
     pub tenancy: Option<TenancyConfig>,
+    /// Slow-writer deadline: once any byte of a frame has arrived, the
+    /// whole frame must complete within this window or the connection is
+    /// evicted (`stalled`) — the slow-loris guard. `None` disables it
+    /// (readers block indefinitely, the pre-deadline behavior).
+    pub read_timeout: Option<Duration>,
+    /// Idle deadline: the maximum gap between frames while the
+    /// connection has no in-flight flush. Beyond it the connection is
+    /// evicted (`idle`). A client silently waiting for its own flush to
+    /// settle is *not* idle — in-flight work resets the window. `None`
+    /// disables the deadline.
+    pub max_idle: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -173,6 +184,8 @@ impl Default for ServerConfig {
             seed: 1,
             wal: None,
             tenancy: None,
+            read_timeout: None,
+            max_idle: None,
         }
     }
 }
@@ -209,6 +222,8 @@ struct StreamState {
     /// Admitted flush jobs not yet settled.
     inflight: AtomicU64,
     closed: AtomicBool,
+    /// The stream's connection was evicted for violating a read deadline.
+    evicted: AtomicBool,
 }
 
 struct Shared {
@@ -250,6 +265,7 @@ struct Shared {
     c_bytes_in: Counter,
     c_bytes_out: Counter,
     c_protocol_errors: Counter,
+    c_evictions: Counter,
     h_frame_in: Histogram,
     h_frame_out: Histogram,
     h_flush_batch: Histogram,
@@ -396,6 +412,7 @@ impl Server {
             c_bytes_in: registry.counter("serve.bytes.in"),
             c_bytes_out: registry.counter("serve.bytes.out"),
             c_protocol_errors: registry.counter("serve.protocol.errors"),
+            c_evictions: registry.counter("serve.evictions"),
             h_frame_in: registry.histogram("serve.frame.bytes.in"),
             h_frame_out: registry.histogram("serve.frame.bytes.out"),
             h_flush_batch: registry.histogram("serve.flush.batch"),
@@ -583,6 +600,7 @@ impl Server {
                         faults: st.faults.load(Ordering::SeqCst),
                         busy: st.busy.load(Ordering::SeqCst),
                         closed: st.closed.load(Ordering::SeqCst),
+                        evicted: st.evicted.load(Ordering::SeqCst),
                     }
                 })
                 .collect()
@@ -598,6 +616,7 @@ impl Server {
             recovered_streams: self.shared.recovered_streams.load(Ordering::SeqCst),
             replayed_tokens: self.shared.replayed_tokens.load(Ordering::SeqCst),
             wal_truncated_records: self.shared.wal_truncated_records,
+            evictions: self.shared.c_evictions.get(),
             tenants: self.shared.tenants.as_ref().map(|m| m.report()),
             fleet,
         }
@@ -702,6 +721,7 @@ fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
                 busy: AtomicU64::new(0),
                 inflight: AtomicU64::new(0),
                 closed: AtomicBool::new(r.closed),
+                evicted: AtomicBool::new(false),
             })
         })
         .collect()
@@ -781,6 +801,12 @@ fn handle_connection(shared: &Arc<Shared>, sock: TcpStream, conn_id: u32) {
         Ok(r) => r,
         Err(_) => return,
     };
+    if shared.cfg.read_timeout.is_some() || shared.cfg.max_idle.is_some() {
+        // The socket timeout is only the *poll* granularity of the
+        // deadline reader — the actual deadlines are enforced against
+        // monotonic clocks in `read_exact_deadline`.
+        let _ = reader.set_read_timeout(Some(deadline_poll(&shared.cfg)));
+    }
     let writer = Arc::new(Mutex::new(sock));
     match drive_connection(shared, &mut reader, &writer, conn_id) {
         Ok(()) | Err(ServeError::ConnectionClosed) => {}
@@ -788,6 +814,7 @@ fn handle_connection(shared: &Arc<Shared>, sock: TcpStream, conn_id: u32) {
             shared.c_protocol_errors.inc();
             shared.event("serve.protocol.error", Some(conn_id as usize), 0);
         }
+        Err(ServeError::Evicted(reason)) => evict_connection(shared, conn_id, reason),
         Err(_) => {}
     }
     // Actively shut the connection down: the clone registered for
@@ -805,7 +832,7 @@ fn drive_connection(
     // First frame must be a version-matched Hello. Under tenancy, its
     // `client` string names the tenant every stream on this connection
     // belongs to.
-    let tenant: Option<TenantId> = match next_frame(shared, reader)? {
+    let tenant: Option<TenantId> = match next_frame(shared, reader, conn_id)? {
         Frame::Hello { version, client } if version == PROTOCOL_VERSION => {
             let tenant = match &shared.tenants {
                 Some(mgr) => Some(resolve_tenant(shared, mgr, &client)?),
@@ -831,7 +858,7 @@ fn drive_connection(
     };
 
     loop {
-        let frame = match next_frame(shared, reader) {
+        let frame = match next_frame(shared, reader, conn_id) {
             Ok(f) => f,
             Err(ServeError::ConnectionClosed) => return Ok(()),
             Err(e) => return Err(e),
@@ -863,12 +890,180 @@ fn drive_connection(
     }
 }
 
-fn next_frame(shared: &Shared, reader: &mut TcpStream) -> Result<Frame, ServeError> {
-    let (frame, n) = read_frame(reader, shared.cfg.max_frame)?;
+fn next_frame(shared: &Shared, reader: &mut TcpStream, conn_id: u32) -> Result<Frame, ServeError> {
+    let deadlines = shared.cfg.read_timeout.is_some() || shared.cfg.max_idle.is_some();
+    let (frame, n) = if deadlines {
+        read_frame_deadline(shared, reader, conn_id)?
+    } else {
+        read_frame(reader, shared.cfg.max_frame)?
+    };
     shared.c_frames_in.inc();
     shared.c_bytes_in.add(n as u64);
     shared.h_frame_in.record(n as u64);
     Ok(frame)
+}
+
+/// Socket poll interval for deadline-enforced reads: a fraction of the
+/// tightest configured deadline, clamped so eviction latency stays small
+/// without spinning.
+fn deadline_poll(cfg: &ServerConfig) -> Duration {
+    let tightest = match (cfg.read_timeout, cfg.max_idle) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) | (None, Some(a)) => a,
+        (None, None) => Duration::from_millis(50),
+    };
+    (tightest / 4).clamp(Duration::from_millis(2), Duration::from_millis(50))
+}
+
+/// `true` while any stream of `conn_id` has an admitted, unsettled flush
+/// — the connection is waiting on the server, not the other way round.
+fn conn_has_inflight(shared: &Shared, conn_id: u32) -> bool {
+    shared
+        .streams
+        .lock()
+        .unwrap()
+        .values()
+        .any(|st| st.conn == conn_id && st.inflight.load(Ordering::SeqCst) > 0)
+}
+
+/// Reads exactly `buf.len()` bytes under the connection's read deadlines.
+///
+/// `frame_start` is the instant the current frame's first byte arrived
+/// (`None` while waiting between frames). The idle deadline applies only
+/// before that first byte; once a frame has started, the *whole frame*
+/// must complete within `read_timeout` regardless of inter-byte pacing —
+/// a slow-loris writer trickling one byte per poll cannot reset it.
+///
+/// Hand-rolled instead of `read_exact` because a socket timeout makes
+/// `read_exact` fail mid-frame and discard the bytes it already consumed;
+/// this loop keeps its position across `WouldBlock`/`TimedOut` polls.
+fn read_exact_deadline(
+    shared: &Shared,
+    sock: &mut TcpStream,
+    conn_id: u32,
+    buf: &mut [u8],
+    frame_start: &mut Option<Instant>,
+    idle_since: &mut Instant,
+) -> Result<(), ServeError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        if shared.cancel.is_cancelled() {
+            return Err(ServeError::ConnectionClosed);
+        }
+        match sock.read(&mut buf[got..]) {
+            Ok(0) => return Err(ServeError::ConnectionClosed),
+            Ok(n) => {
+                got += n;
+                frame_start.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                match (*frame_start, shared.cfg.read_timeout) {
+                    (Some(start), Some(limit)) if start.elapsed() >= limit => {
+                        return Err(ServeError::Evicted(EvictReason::Stalled));
+                    }
+                    _ => {}
+                }
+                if frame_start.is_none() {
+                    if let Some(limit) = shared.cfg.max_idle {
+                        if conn_has_inflight(shared, conn_id) {
+                            // A client silently waiting for its own flush
+                            // to settle is not idle; restart the window.
+                            *idle_since = Instant::now();
+                        } else if idle_since.elapsed() >= limit {
+                            return Err(ServeError::Evicted(EvictReason::Idle));
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// [`read_frame`] with [`ServerConfig::read_timeout`] /
+/// [`ServerConfig::max_idle`] enforcement (mirrors its grammar checks).
+fn read_frame_deadline(
+    shared: &Shared,
+    sock: &mut TcpStream,
+    conn_id: u32,
+) -> Result<(Frame, usize), ServeError> {
+    let mut idle_since = Instant::now();
+    let mut frame_start: Option<Instant> = None;
+    let mut len_buf = [0u8; 4];
+    read_exact_deadline(
+        shared,
+        sock,
+        conn_id,
+        &mut len_buf,
+        &mut frame_start,
+        &mut idle_since,
+    )?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(ProtocolError::BadPayload("zero-length frame").into());
+    }
+    if len > shared.cfg.max_frame {
+        return Err(ProtocolError::Oversized {
+            len,
+            max: shared.cfg.max_frame,
+        }
+        .into());
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact_deadline(
+        shared,
+        sock,
+        conn_id,
+        &mut buf,
+        &mut frame_start,
+        &mut idle_since,
+    )?;
+    Ok((Frame::decode(&buf)?, 4 + len as usize))
+}
+
+/// Closes the books on a connection the server is ejecting for a read
+/// deadline violation. Lossless by construction: evicted streams keep
+/// every accepted token (reported `undelivered` at shutdown) and only
+/// the tenant's queue quota for still-buffered tokens is released — they
+/// will never flush, exactly as in [`handle_close`].
+fn evict_connection(shared: &Arc<Shared>, conn_id: u32, reason: EvictReason) {
+    shared.c_evictions.inc();
+    shared
+        .registry
+        .counter_named(format!("serve.evictions.{}", reason.label()))
+        .inc();
+    shared.event(
+        match reason {
+            EvictReason::Idle => "serve.conn.evicted.idle",
+            EvictReason::Stalled => "serve.conn.evicted.stalled",
+        },
+        Some(conn_id as usize),
+        0,
+    );
+    let streams: Vec<Arc<StreamState>> = shared
+        .streams
+        .lock()
+        .unwrap()
+        .values()
+        .filter(|st| st.conn == conn_id && !st.closed.load(Ordering::SeqCst))
+        .map(Arc::clone)
+        .collect();
+    for st in streams {
+        st.evicted.store(true, Ordering::SeqCst);
+        shared.event(
+            "serve.stream.evicted",
+            Some(st.id as usize),
+            st.tokens_in.load(Ordering::SeqCst),
+        );
+        if let Some(mgr) = &shared.tenants {
+            let leftover = st.buffered.lock().unwrap().len() as u64;
+            mgr.release_buffered(TenantId(st.tenant), leftover);
+        }
+    }
 }
 
 /// Maps a `Hello` client name onto a tenant id: the attached tenant of
@@ -970,6 +1165,7 @@ fn handle_open(
         busy: AtomicU64::new(0),
         inflight: AtomicU64::new(0),
         closed: AtomicBool::new(false),
+        evicted: AtomicBool::new(false),
     });
     // Log the open before acknowledging it, so a crash right after the
     // client saw `Accepted` still recovers the stream's existence.

@@ -14,7 +14,7 @@ use rtft_serve::{
     DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use std::sync::{Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serialises the wall-clock-sensitive tests (threaded-runtime servers):
 /// the harness runs tests on parallel threads, and overlapping sleep-bound
@@ -292,8 +292,20 @@ fn saturated_admission_answers_busy_then_retry_delivers_everything() {
         .expect("send");
     let hog_thread = std::thread::spawn(move || hog.flush(hog_stream).expect("hog flush"));
 
-    // Give the hog's flush time to be admitted into the only slot.
-    std::thread::sleep(Duration::from_millis(150));
+    // Wait until the hog's Flush frame has reached the server (its 4th
+    // frame: Hello, OpenStream, Tokens, Flush) so it holds the only
+    // admission slot before the probe asks. A fixed sleep is not enough
+    // on a loaded single-core box.
+    let frames_in = server.registry().counter("serve.frames.in");
+    let armed = Instant::now();
+    while frames_in.get() < 4 {
+        assert!(
+            armed.elapsed() < Duration::from_secs(10),
+            "hog flush never reached the server"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(50));
 
     let mut probe = Client::connect(server.addr(), "probe").expect("connect");
     let probe_stream = probe
@@ -515,4 +527,390 @@ fn version_mismatch_ends_the_connection() {
     let err = read_frame(&mut sock, DEFAULT_MAX_FRAME).unwrap_err();
     assert!(matches!(err, ServeError::ConnectionClosed), "{err}");
     server.shutdown();
+}
+
+/// Every client frame type, damaged at every byte: single-bit flips at
+/// every offset and truncations at every length. The decoder must never
+/// panic; whatever still decodes must re-encode cleanly.
+#[test]
+fn adversarial_wire_sweep_never_panics() {
+    let frames = [
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "sweep".into(),
+        },
+        Frame::OpenStream {
+            app: 0,
+            redundancy: 2,
+        },
+        Frame::Tokens {
+            stream: 3,
+            payloads: vec![vec![0xAB; 9], Vec::new(), vec![0x01, 0x02]],
+        },
+        Frame::Flush { stream: 3 },
+        Frame::Close { stream: 3 },
+    ];
+    for frame in &frames {
+        let wire = frame.encode();
+        // Truncation at every length short of the full frame must fail
+        // (closed), never hang or panic.
+        for cut in 0..wire.len() {
+            let mut cursor = std::io::Cursor::new(&wire[..cut]);
+            assert!(
+                read_frame(&mut cursor, DEFAULT_MAX_FRAME).is_err(),
+                "{}: truncation at {cut} must be rejected",
+                frame.name()
+            );
+        }
+        // Every single-bit corruption either fails closed or decodes to
+        // a frame that is itself well-formed (re-encodable and
+        // round-trippable) — no middle ground, no panic.
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut damaged = wire.clone();
+                damaged[byte] ^= 1 << bit;
+                let mut cursor = std::io::Cursor::new(damaged.as_slice());
+                if let Ok((decoded, _)) = read_frame(&mut cursor, DEFAULT_MAX_FRAME) {
+                    let rewire = decoded.encode();
+                    let mut recursor = std::io::Cursor::new(rewire.as_slice());
+                    let (again, _) =
+                        read_frame(&mut recursor, DEFAULT_MAX_FRAME).expect("re-encode decodes");
+                    assert_eq!(
+                        again.encode(),
+                        rewire,
+                        "{}: unstable re-encode",
+                        frame.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A live server fails a damaged connection *closed*: the corrupt frame
+/// ends the connection, the protocol-error counter ticks, and every
+/// token accepted before the damage stays in the books as undelivered.
+#[test]
+fn corrupt_frame_fails_connection_closed_with_accounting_intact() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut sock = std::net::TcpStream::connect(server.addr()).expect("connect");
+    write_frame(
+        &mut sock,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "hostile".into(),
+        },
+    )
+    .expect("hello");
+    let Frame::Accepted { .. } = read_frame(&mut sock, DEFAULT_MAX_FRAME).expect("accept").0 else {
+        panic!("expected Accepted");
+    };
+    write_frame(
+        &mut sock,
+        &Frame::OpenStream {
+            app: 0,
+            redundancy: 2,
+        },
+    )
+    .expect("open");
+    let Frame::Accepted { id } = read_frame(&mut sock, DEFAULT_MAX_FRAME).expect("accept").0 else {
+        panic!("expected stream id");
+    };
+    write_frame(
+        &mut sock,
+        &Frame::Tokens {
+            stream: id,
+            payloads: workload(App::Mjpeg, 9, 4),
+        },
+    )
+    .expect("tokens");
+
+    // A Flush frame with its tag bit-flipped to an unknown value.
+    let mut damaged = Frame::Flush { stream: id }.encode();
+    damaged[4] ^= 0x40;
+    use std::io::Write as _;
+    sock.write_all(&damaged).expect("send damage");
+    sock.flush().expect("flush socket");
+    let err = read_frame(&mut sock, DEFAULT_MAX_FRAME).unwrap_err();
+    assert!(matches!(err, ServeError::ConnectionClosed), "{err}");
+
+    assert_eq!(server.registry().counter("serve.protocol.errors").get(), 1);
+    let report = server.shutdown();
+    assert!(report.balanced());
+    assert_eq!(report.streams.len(), 1);
+    assert_eq!(report.streams[0].tokens_in, 4);
+    assert_eq!(report.streams[0].delivered, 0);
+    assert_eq!(report.streams[0].undelivered, 4, "nothing silently lost");
+    assert!(!report.streams[0].closed);
+}
+
+/// The retry policy's wait computation: a `RateLimited` retry-after hint
+/// is always honored (even past the exponential cap), jitter is bounded
+/// to +50%, waits are deterministic per seed, and the exponential term
+/// actually grows.
+#[test]
+fn retry_policy_honors_hint_cap_and_determinism() {
+    use rtft_serve::RetryPolicy;
+    let policy = RetryPolicy::default();
+
+    // Hint beyond the cap: the wait must still cover the server's ask.
+    let hinted = policy.wait_before(7, 0, 500);
+    assert!(hinted >= Duration::from_millis(500), "{hinted:?}");
+    assert!(
+        hinted <= Duration::from_millis(750),
+        "jitter is at most +50%"
+    );
+
+    // No hint: first retry waits the base (plus bounded jitter).
+    let first = policy.wait_before(7, 0, 0);
+    assert!(
+        first >= policy.base && first <= policy.base * 3 / 2,
+        "{first:?}"
+    );
+
+    // The exponential term grows with the retry index and respects the cap.
+    let late = policy.wait_before(7, 20, 0);
+    assert!(late >= policy.cap, "{late:?}");
+    assert!(late <= policy.cap * 3 / 2, "{late:?}");
+
+    // Deterministic per (seed, stream, retry); decorrelated across streams.
+    assert_eq!(policy.wait_before(7, 3, 0), policy.wait_before(7, 3, 0));
+    assert_ne!(policy.wait_before(7, 3, 0), policy.wait_before(8, 3, 0));
+}
+
+/// Under a saturated fleet, `send_flush_with_retry` turns `QueueFull`
+/// refusals into backoff-and-retry until admission — and because a
+/// refused batch stays buffered server-side, the tokens cross the wire
+/// exactly once: the server's book shows them accepted once, delivered
+/// once, no duplicates.
+#[test]
+fn flush_retry_is_lossless_and_never_resends_tokens() {
+    use rtft_serve::RetryPolicy;
+    let _guard = timing_lock();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            fleet: FleetConfig {
+                workers: 2,
+                pending_capacity: 1,
+                max_replacements: 0,
+            },
+            runtime: ServeRuntime::Threaded {
+                deadline: Duration::from_secs(30),
+                quiescence_grace: Duration::from_millis(150),
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    // Occupy the single admission slot with a long sleep-bound flush,
+    // driven over a raw socket so this thread controls the ordering: the
+    // frames-in counter reaching 4 (Hello, Open, Tokens, Flush) proves
+    // the server has processed the Flush — and, with no competitor yet,
+    // admitted it into the only slot.
+    let addr = server.addr();
+    let mut slow = std::net::TcpStream::connect(addr).expect("connect slow");
+    write_frame(
+        &mut slow,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "slow".into(),
+        },
+    )
+    .expect("hello");
+    read_frame(&mut slow, DEFAULT_MAX_FRAME).expect("accepted");
+    write_frame(
+        &mut slow,
+        &Frame::OpenStream {
+            app: 0,
+            redundancy: 2,
+        },
+    )
+    .expect("open");
+    read_frame(&mut slow, DEFAULT_MAX_FRAME).expect("stream id");
+    write_frame(
+        &mut slow,
+        &Frame::Tokens {
+            stream: 0,
+            payloads: workload(App::Mjpeg, 1, 12),
+        },
+    )
+    .expect("tokens");
+    write_frame(&mut slow, &Frame::Flush { stream: 0 }).expect("flush");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.registry().counter("serve.frames.in").get() < 4 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never processed the slow flush"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut client = Client::connect(addr, "retrier").expect("connect");
+    let stream = client
+        .open_stream(App::Adpcm, 2)
+        .expect("open")
+        .expect_stream();
+    let batch = workload(App::Adpcm, 2, 6);
+    client.send_tokens(stream, batch.clone()).expect("send");
+    let rf = client
+        .send_flush_with_retry(
+            stream,
+            &RetryPolicy {
+                max_attempts: 200,
+                seed: 42,
+                ..RetryPolicy::default()
+            },
+        )
+        .expect("retry");
+    assert!(rf.outcome.admitted(), "retries must end in admission");
+    assert_eq!(rf.outcome.outputs.len(), batch.len());
+    assert_eq!(rf.attempts, rf.retries + 1);
+    client.close(stream).expect("close");
+
+    // Drain the slow stream: its outputs and flush Stats, then Close.
+    loop {
+        if let Frame::Stats { .. } = read_frame(&mut slow, DEFAULT_MAX_FRAME).expect("drain").0 {
+            break;
+        }
+    }
+    write_frame(&mut slow, &Frame::Close { stream: 0 }).expect("close slow");
+    loop {
+        if let Frame::Stats { .. } = read_frame(&mut slow, DEFAULT_MAX_FRAME).expect("drain").0 {
+            break;
+        }
+    }
+
+    let report = server.shutdown();
+    assert!(report.balanced());
+    let account = report
+        .streams
+        .iter()
+        .find(|s| s.app == "adpcm")
+        .expect("retrier stream");
+    // The proof of single transmission: had the client re-sent the batch
+    // on any retry, tokens_in would be a multiple of the batch size > 1.
+    assert_eq!(account.tokens_in, batch.len() as u64);
+    assert_eq!(account.delivered, batch.len() as u64);
+    assert!(account.busy >= 1, "at least one refusal was retried");
+}
+
+/// An idle connection (no frame, nothing in flight) past `max_idle` is
+/// evicted: the socket closes, the eviction is counted, and the stream's
+/// buffered tokens land in `undelivered` — lossless books.
+#[test]
+fn idle_connection_is_evicted_losslessly() {
+    let _guard = timing_lock();
+    // Payloads up front: generating them between protocol exchanges
+    // would eat into the idle window on slow (debug) builds.
+    let batch = workload(App::Mjpeg, 3, 5);
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_idle: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr(), "idler").expect("connect");
+    let stream = client
+        .open_stream(App::Mjpeg, 2)
+        .expect("open")
+        .expect_stream();
+    client.send_tokens(stream, batch).expect("send");
+
+    // Stay silent past the idle deadline; the server must close on us,
+    // so the next exchange fails instead of flushing.
+    std::thread::sleep(Duration::from_millis(800));
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    assert!(
+        client.flush(stream).is_err(),
+        "server should have closed the idle connection"
+    );
+
+    let report = server.shutdown();
+    assert_eq!(report.evictions, 1);
+    assert!(report.balanced());
+    assert_eq!(report.streams.len(), 1);
+    let account = &report.streams[0];
+    assert!(account.evicted, "stream row records the eviction");
+    assert_eq!(account.tokens_in, 5);
+    assert_eq!(account.undelivered, 5, "buffered tokens stay in the books");
+    assert!(!account.closed);
+}
+
+/// A slow-loris writer — a frame started but trickled too slowly to ever
+/// complete — trips the whole-frame `read_timeout` even though every
+/// inter-byte gap is short, and is evicted losslessly.
+#[test]
+fn stalled_writer_is_evicted_by_the_frame_deadline() {
+    let _guard = timing_lock();
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(120)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut sock = std::net::TcpStream::connect(server.addr()).expect("connect");
+    write_frame(
+        &mut sock,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            client: "loris".into(),
+        },
+    )
+    .expect("hello");
+    read_frame(&mut sock, DEFAULT_MAX_FRAME).expect("accepted");
+    write_frame(
+        &mut sock,
+        &Frame::OpenStream {
+            app: 0,
+            redundancy: 2,
+        },
+    )
+    .expect("open");
+    read_frame(&mut sock, DEFAULT_MAX_FRAME).expect("stream id");
+
+    // Trickle a Tokens frame one byte every 40ms: each gap is under the
+    // deadline, but the frame as a whole can never finish in 120ms.
+    use std::io::Write as _;
+    let wire = Frame::Tokens {
+        stream: 0,
+        payloads: workload(App::Mjpeg, 4, 3),
+    }
+    .encode();
+    for byte in &wire[..6] {
+        if sock.write_all(std::slice::from_ref(byte)).is_err() {
+            break; // evicted mid-trickle — also a pass
+        }
+        let _ = sock.flush();
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    assert!(
+        read_frame(&mut sock, DEFAULT_MAX_FRAME).is_err(),
+        "server must close the stalled connection"
+    );
+
+    assert_eq!(
+        server
+            .registry()
+            .counter_named("serve.evictions.stalled")
+            .get(),
+        1
+    );
+    let report = server.shutdown();
+    assert_eq!(report.evictions, 1);
+    assert!(report.balanced());
+    assert!(report.streams[0].evicted);
+    assert_eq!(
+        report.streams[0].tokens_in, 0,
+        "the trickled frame never landed"
+    );
 }
