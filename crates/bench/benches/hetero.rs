@@ -1,0 +1,133 @@
+//! E16: the sampled-checker frontier — detection bound vs compute cost
+//! across the sampling stride k ∈ {1, 4, 16, 64}.
+//!
+//! For each stride a seeded hetero chaos campaign runs the full fault
+//! palette (fail-stop on either side, slow-down, corruption, omission,
+//! transients, fault-free) and the sweep asserts the structure's
+//! contract: every latch inside the k-dependent closed-form bound, zero
+//! silent failures, zero false positives, and a compute factor `1 + 1/k`
+//! strictly below duplication's `2.0` for every `k > 1`.
+//!
+//! Run with `cargo bench --bench hetero`; emits a machine-readable
+//! `BENCH_hetero.json:` line for trend tracking.
+
+use rtft_bench::hetero::{hetero_frontier, HETERO_SWEEP_KS};
+use rtft_bench::report::{banner, AsciiTable};
+use rtft_chaos::Campaign;
+use rtft_obs::json::JsonObject;
+
+const SWEEP_SEED: u64 = 0xE16;
+const SCENARIOS_PER_K: u64 = 24;
+
+/// Duplication's execution-slot cost, the ceiling every frontier point
+/// must undercut.
+const DUPLICATED_COMPUTE: f64 = 2.0;
+
+fn main() {
+    banner("E16: sampled-checker frontier — detection bound vs compute, k sweep");
+    println!(
+        "seed {SWEEP_SEED:#x}, {SCENARIOS_PER_K} scenarios per stride, \
+         strides {HETERO_SWEEP_KS:?} (duplicated compute baseline {DUPLICATED_COMPUTE:.1}x)\n"
+    );
+
+    let points = hetero_frontier(SWEEP_SEED, SCENARIOS_PER_K, &HETERO_SWEEP_KS);
+
+    let mut table = AsciiTable::new();
+    table.row([
+        "k",
+        "compute x",
+        "sampled bound (ms)",
+        "value bound (ms)",
+        "in-bound",
+        "masked",
+        "late/silent/fp",
+        "max latency (ms)",
+    ]);
+    for p in &points {
+        table.row([
+            p.k.to_string(),
+            format!("{:.3}", p.compute_factor),
+            format!("{:.1}", p.sampled_bound.as_ms_f64()),
+            format!("{:.1}", p.value_bound.as_ms_f64()),
+            format!("{}/{}", p.detected_in_bound, p.scenarios),
+            p.masked.to_string(),
+            format!(
+                "{}/{}/{}",
+                p.detected_late, p.silent_failures, p.false_positives
+            ),
+            format!("{:.1}", p.max_latency.as_ms_f64()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    for p in &points {
+        assert_eq!(p.detected_late, 0, "k={}: latch past the bound", p.k);
+        assert_eq!(p.silent_failures, 0, "k={}: silent failure", p.k);
+        assert_eq!(p.false_positives, 0, "k={}: healthy replica latched", p.k);
+        assert_eq!(
+            p.detected_in_bound + p.masked,
+            p.scenarios,
+            "k={}: every scenario detected in bound or masked",
+            p.k
+        );
+        assert!(
+            p.compute_factor <= DUPLICATED_COMPUTE,
+            "k={}: compute factor above duplication",
+            p.k
+        );
+        if p.k > 1 {
+            assert!(
+                p.compute_factor < DUPLICATED_COMPUTE,
+                "k={}: sampling must be strictly cheaper than duplication",
+                p.k
+            );
+        }
+    }
+    for w in points.windows(2) {
+        assert!(
+            w[1].compute_factor < w[0].compute_factor,
+            "compute factor falls with k"
+        );
+        assert!(
+            w[1].sampled_bound > w[0].sampled_bound,
+            "sampled bound grows with k"
+        );
+    }
+    println!(
+        "\nall latches in bound; compute factor {:.3}x..{:.3}x, all < {DUPLICATED_COMPUTE:.1}x duplicated",
+        points.last().expect("non-empty sweep").compute_factor,
+        points[0].compute_factor,
+    );
+
+    // Determinism spot check: the k=4 campaign report is byte-identical
+    // across runs of the same seed (the chaos replay contract, extended
+    // to the hetero generator).
+    let a = Campaign::generate_hetero(SWEEP_SEED, SCENARIOS_PER_K, 4)
+        .run()
+        .to_json();
+    let b = Campaign::generate_hetero(SWEEP_SEED, SCENARIOS_PER_K, 4)
+        .run()
+        .to_json();
+    assert_eq!(a, b, "hetero campaign report must be seed-stable");
+    println!("k=4 campaign report byte-identical across two runs\n");
+
+    let mut obj = JsonObject::new()
+        .str_field("bench", "hetero_frontier")
+        .u64_field("seed", SWEEP_SEED)
+        .u64_field("scenarios_per_k", SCENARIOS_PER_K);
+    for p in &points {
+        obj = obj.raw_field(
+            &format!("k_{}", p.k),
+            &JsonObject::new()
+                .u64_field("compute_x1000", (p.compute_factor * 1000.0) as u64)
+                .u64_field("sampled_bound_ns", p.sampled_bound.as_ns())
+                .u64_field("value_bound_ns", p.value_bound.as_ns())
+                .u64_field("permanent_bound_ns", p.permanent_bound.as_ns())
+                .u64_field("detected_in_bound", p.detected_in_bound as u64)
+                .u64_field("masked", p.masked as u64)
+                .u64_field("max_latency_ns", p.max_latency.as_ns())
+                .finish(),
+        );
+    }
+    println!("BENCH_hetero.json: {}", obj.finish());
+}

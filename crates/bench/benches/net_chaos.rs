@@ -6,8 +6,9 @@
 //! server (read deadlines, tenancy, write-ahead log) under 64 or 256
 //! concurrent connections, with either no hostile clients (the clean
 //! baseline) or ~10% of them injecting the full network-fault palette
-//! (replica faults, slow-loris stalls, malformed frames, partial writes,
-//! abrupt disconnects, quota storms). The interesting number is the
+//! (replica faults, sampled-checker faults, slow-loris stalls, malformed
+//! frames, partial writes, abrupt disconnects, quota storms). The
+//! interesting number is the
 //! *cost of hostility*: how much sustained ingest the well-behaved
 //! clients lose while the server is busy evicting, failing closed, and
 //! refusing quota storms — with every wave still required to end with
@@ -24,12 +25,12 @@ use std::path::PathBuf;
 
 const CONNECTIONS: [u32; 2] = [64, 256];
 /// Hostile share per point: none (baseline) and ~10%, rounded to a
-/// multiple of six so every fault kind appears equally often.
+/// multiple of seven so every fault kind appears equally often.
 fn hostile_for(connections: u32, hostile: bool) -> u32 {
     if !hostile {
         return 0;
     }
-    (connections / 10 / 6).max(1) * 6
+    (connections / 10 / 7).max(1) * 7
 }
 
 struct ChaosPoint {
@@ -90,7 +91,7 @@ fn main() {
     banner("E15: ingestion under network chaos (hostile clients vs clean baseline)");
     println!(
         "full chaos wave per point: WAL + tenancy + read deadlines, 2 batches x 8 tokens \
-         per connection; detection p99 is DES-virtual latency of injected replica faults\n"
+         per connection; detection p99 is DES-virtual latency of injected replica/checker faults\n"
     );
 
     let mut points = Vec::new();

@@ -1,0 +1,101 @@
+//! One place that decides "was this detection in bound?".
+//!
+//! Both the campaign runner ([`crate::run_scenario`]) and the network
+//! chaos harness ([`crate::run_net_chaos`]) classify observed detection
+//! latencies against an analytic bound from `rtft-rtc`, and both used to
+//! carry their own copy of the comparison (bound + activation grace vs.
+//! raw wire bound). [`BoundCheck`] is the shared rule; the hetero sweep
+//! classifies against it too, so all three redundancy structures are
+//! judged identically.
+
+use rtft_rtc::{PjdModel, TimeNs};
+
+/// An analytic detection bound plus the grace the harness grants before
+/// calling a latch late.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundCheck {
+    bound: TimeNs,
+    grace: TimeNs,
+}
+
+impl BoundCheck {
+    /// A check with an explicit grace window.
+    pub fn new(bound: TimeNs, grace: TimeNs) -> Self {
+        BoundCheck { bound, grace }
+    }
+
+    /// The standard simulation-side grace: an `AtTime` fault takes effect
+    /// at the replica's next activation, up to one producer period plus
+    /// jitter after the scheduled instant.
+    pub fn with_producer_grace(bound: TimeNs, producer: &PjdModel) -> Self {
+        BoundCheck {
+            bound,
+            grace: producer.period + producer.jitter,
+        }
+    }
+
+    /// The wire-side check: `rtft-serve` reports latencies against
+    /// [`rtft_serve::detection_bound`]-style bounds that already fold the
+    /// activation grace in, so none is added here.
+    pub fn wire(bound: TimeNs) -> Self {
+        BoundCheck {
+            bound,
+            grace: TimeNs::ZERO,
+        }
+    }
+
+    /// The analytic bound being enforced.
+    pub fn bound(&self) -> TimeNs {
+        self.bound
+    }
+
+    /// The grace window granted on top of it.
+    pub fn grace(&self) -> TimeNs {
+        self.grace
+    }
+
+    /// Whether an observed `latency` (detection instant minus injection
+    /// instant) is within bound + grace.
+    pub fn admits_latency(&self, latency: TimeNs) -> bool {
+        latency <= self.bound + self.grace
+    }
+
+    /// Whether a latch at `detected` for a fault injected at `injected` is
+    /// within bound + grace.
+    pub fn admits_at(&self, detected: TimeNs, injected: TimeNs) -> bool {
+        detected <= injected + self.bound + self.grace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> TimeNs {
+        TimeNs::from_ms(v)
+    }
+
+    #[test]
+    fn latency_check_includes_grace() {
+        let c = BoundCheck::with_producer_grace(ms(100), &PjdModel::from_ms(30.0, 2.0, 0.0));
+        assert_eq!(c.bound(), ms(100));
+        assert_eq!(c.grace(), ms(32));
+        assert!(c.admits_latency(ms(132)));
+        assert!(!c.admits_latency(ms(133)));
+    }
+
+    #[test]
+    fn wire_check_has_no_extra_grace() {
+        let c = BoundCheck::wire(ms(100));
+        assert!(c.admits_latency(ms(100)));
+        assert!(!c.admits_latency(ms(101)));
+    }
+
+    #[test]
+    fn at_check_matches_latency_check() {
+        let c = BoundCheck::new(ms(100), ms(30));
+        assert!(c.admits_at(ms(500), ms(400)));
+        assert!(c.admits_at(ms(530), ms(400)));
+        assert!(!c.admits_at(ms(531), ms(400)));
+    }
+}

@@ -9,7 +9,7 @@
 //! run — the property the campaign regression tests pin down.
 
 use crate::runner::{run_scenario, OutcomeClass, ScenarioOutcome};
-use crate::scenario::{generate_scenarios, Scenario};
+use crate::scenario::{generate_hetero_scenarios, generate_scenarios, Scenario};
 use rtft_kpn::parallel::{campaign_workers, parallel_map_ordered};
 use rtft_obs::json::{array, JsonObject};
 use rtft_obs::{registry_to_json, HistogramSnapshot, MetricsRegistry};
@@ -55,6 +55,17 @@ impl Campaign {
         Campaign {
             seed,
             scenarios: generate_scenarios(seed, count),
+        }
+    }
+
+    /// Expands `seed` into a `count`-scenario campaign over the
+    /// sampled-checker structure with stride `k`. Kept separate from
+    /// [`Campaign::generate`] so existing `(seed, count)` reports stay
+    /// byte-identical.
+    pub fn generate_hetero(seed: u64, count: u64, k: u64) -> Self {
+        Campaign {
+            seed,
+            scenarios: generate_hetero_scenarios(seed, count, k),
         }
     }
 

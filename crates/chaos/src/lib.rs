@@ -8,7 +8,9 @@
 //! * **applications** — the paper's Table 1 timing profiles (MJPEG,
 //!   ADPCM, H.264) via `rtft-apps`;
 //! * **redundancy structures** — the paper's two-replica duplication with
-//!   the timing selector, and three-replica value voting;
+//!   the timing selector, three-replica value voting, and the sampled
+//!   checker (full-rate main spot-checked every `k`-th token, swept by
+//!   [`generate_hetero_scenarios`]);
 //! * **platforms** — ideal Kahn semantics, the SCC mesh, and the SCC mesh
 //!   with a degraded NoC (`rtft-scc`);
 //! * **fault kinds** — fail-stop, permanent slow-down, silent data
@@ -46,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+mod bounds;
 mod campaign;
 mod load;
 pub mod net;
@@ -55,6 +58,7 @@ mod scenario;
 mod tenants;
 pub mod threaded;
 
+pub use bounds::BoundCheck;
 pub use campaign::{Campaign, CampaignReport};
 pub use load::chaos_under_load;
 pub use net::{
@@ -64,8 +68,8 @@ pub use net::{
 pub use replay::{classify_replay, diff_digests, ReplayVerdict};
 pub use runner::{run_scenario, OutcomeClass, ScenarioOutcome};
 pub use scenario::{
-    generate_scenarios, kind_label, FaultSpec, PlatformKind, Redundancy, Scenario, SCENARIO_TOKENS,
-    SERVICE_DIVISOR,
+    generate_hetero_scenarios, generate_scenarios, kind_label, FaultSpec, PlatformKind, Redundancy,
+    Scenario, SCENARIO_TOKENS, SERVICE_DIVISOR,
 };
 pub use tenants::{
     chaos_with_tenants, TenantChaosReport, CHAOS_TENANTS, DETACHED_TENANT, FAULTY_TENANT,

@@ -44,11 +44,13 @@ use rtft_obs::json::{array, escape, JsonObject};
 use rtft_rtc::TimeNs;
 use rtft_serve::wire::{read_frame, write_frame};
 use rtft_serve::{
-    detection_bound, replay_verify, workload, BusyReason, Client, FaultInjection, Frame,
-    ProtocolError, RetryPolicy, ServeError, ServeReport, ServeRuntime, Server, ServerConfig,
-    StreamAccount, TenancyConfig, TenantConfig, TokensAck, WalConfig, DEFAULT_MAX_FRAME,
-    PROTOCOL_VERSION,
+    detection_bound, hetero_detection_bound, hetero_redundancy, replay_verify, workload,
+    BusyReason, Client, FaultInjection, Frame, ProtocolError, RetryPolicy, ServeError, ServeReport,
+    ServeRuntime, Server, ServerConfig, StreamAccount, TenancyConfig, TenantConfig, TokensAck,
+    WalConfig, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
+
+use crate::bounds::BoundCheck;
 
 /// Distinct load tenants the well-behaved connections spread across.
 const LOAD_TENANTS: u32 = 8;
@@ -74,7 +76,17 @@ const TRICKLE_GAP: Duration = Duration::from_millis(60);
 /// Bytes a slow-loris writer trickles before listening for the eviction.
 const TRICKLE_BYTES: usize = 5;
 
-/// The six network-fault kinds the harness injects.
+/// Sampling stride the hetero-fault scenarios open their streams with.
+/// Small enough that the sampled-divergence bound fits comfortably
+/// inside one flush of [`HETERO_NET_TOKENS`] MJPEG tokens.
+const HETERO_NET_STRIDE: u64 = 4;
+
+/// Minimum tokens per flush for a hetero-fault stream: the checker
+/// fail-stops at [`INJECT_AT_MS`] and the main stream must keep
+/// producing samples long enough for the sampled gap to latch.
+const HETERO_NET_TOKENS: usize = 24;
+
+/// The seven network-fault kinds the harness injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetFaultKind {
     /// A permanent fail-stop fault injected into replica 1 of every
@@ -95,17 +107,23 @@ pub enum NetFaultKind {
     /// A tenant sized to overflow its queue quota, forcing a
     /// deterministic `Busy{quota-exceeded}` refusal mid-stream.
     BusyStorm,
+    /// A permanent fail-stop fault injected into the *checker* of a
+    /// sampled-checker stream (opened with the
+    /// [`HETERO_NET_STRIDE`] redundancy byte) — detection must land
+    /// within the k-dependent sampled-divergence bound.
+    HeteroFault,
 }
 
 impl NetFaultKind {
     /// Every kind, in schedule order.
-    pub const ALL: [NetFaultKind; 6] = [
+    pub const ALL: [NetFaultKind; 7] = [
         NetFaultKind::ReplicaFault,
         NetFaultKind::SlowLoris,
         NetFaultKind::Malformed,
         NetFaultKind::PartialWrite,
         NetFaultKind::Disconnect,
         NetFaultKind::BusyStorm,
+        NetFaultKind::HeteroFault,
     ];
 
     /// Stable lowercase label (reports, schedules).
@@ -117,6 +135,7 @@ impl NetFaultKind {
             NetFaultKind::PartialWrite => "partial-write",
             NetFaultKind::Disconnect => "disconnect",
             NetFaultKind::BusyStorm => "busy-storm",
+            NetFaultKind::HeteroFault => "hetero-fault",
         }
     }
 }
@@ -188,6 +207,20 @@ pub struct NetScenario {
     pub tenant: String,
 }
 
+impl NetScenario {
+    /// The redundancy byte the stream's phase-1 open carries: the
+    /// sampled-checker encoding for hetero-fault scenarios, the
+    /// duplicated pair for everyone else.
+    pub fn redundancy(&self) -> u8 {
+        match self.kind {
+            Some(NetFaultKind::HeteroFault) => {
+                hetero_redundancy(HETERO_NET_STRIDE).expect("stride is a small power of two")
+            }
+            _ => 2,
+        }
+    }
+}
+
 /// Harness sizing. Fully scalar, so a soak can derive per-wave seeds.
 #[derive(Debug, Clone, Copy)]
 pub struct NetChaosConfig {
@@ -221,16 +254,17 @@ impl Default for NetChaosConfig {
 
 /// The deterministic scenario schedule for `cfg`: the first
 /// `cfg.hostile` clients cycle through [`NetFaultKind::ALL`], the rest
-/// are load clients; apps cycle per index (replica-fault scenarios pin
-/// MJPEG, whose injection recipe is proven in-bound); busy-storm
-/// scenarios get dedicated over-quota tenants, everyone else spreads
-/// over [`LOAD_TENANTS`] shared ones.
+/// are load clients; apps cycle per index (replica-fault and
+/// hetero-fault scenarios pin MJPEG, whose injection recipe is proven
+/// in-bound); busy-storm scenarios get dedicated over-quota tenants,
+/// everyone else spreads over [`LOAD_TENANTS`] shared ones.
 pub fn generate_net_scenarios(cfg: &NetChaosConfig) -> Vec<NetScenario> {
     (0..cfg.connections)
         .map(|i| {
-            let kind = (i < cfg.hostile).then(|| NetFaultKind::ALL[i as usize % 6]);
+            let kind =
+                (i < cfg.hostile).then(|| NetFaultKind::ALL[i as usize % NetFaultKind::ALL.len()]);
             let app = match kind {
-                Some(NetFaultKind::ReplicaFault) => App::Mjpeg,
+                Some(NetFaultKind::ReplicaFault) | Some(NetFaultKind::HeteroFault) => App::Mjpeg,
                 _ => App::ALL[i as usize % App::ALL.len()],
             };
             let tenant = match kind {
@@ -481,7 +515,12 @@ pub fn run_net_chaos(cfg: &NetChaosConfig, dir: &Path) -> Result<NetChaosReport,
     let scenarios = generate_net_scenarios(cfg);
     let inject: Vec<FaultInjection> = scenarios
         .iter()
-        .filter(|s| s.kind == Some(NetFaultKind::ReplicaFault))
+        .filter(|s| {
+            matches!(
+                s.kind,
+                Some(NetFaultKind::ReplicaFault) | Some(NetFaultKind::HeteroFault)
+            )
+        })
         .map(|s| FaultInjection {
             stream: s.conn,
             replica: 1,
@@ -543,7 +582,7 @@ pub fn run_net_chaos(cfg: &NetChaosConfig, dir: &Path) -> Result<NetChaosReport,
             id
         } else {
             let mut client = Client::connect(addr, &s.tenant)?;
-            let id = client.open_stream(s.app, 2)?.expect_stream();
+            let id = client.open_stream(s.app, s.redundancy())?.expect_stream();
             conns.push(Conn::Api(client));
             id
         };
@@ -695,7 +734,9 @@ fn reconcile(
                 ));
             }
             let expected_faults = match s.kind {
-                Some(NetFaultKind::ReplicaFault) => cfg.batches as u64,
+                Some(NetFaultKind::ReplicaFault) | Some(NetFaultKind::HeteroFault) => {
+                    cfg.batches as u64
+                }
                 _ => 0,
             };
             if faults != expected_faults {
@@ -797,7 +838,8 @@ fn drive_scenario(
     let mut view = ClientView::default();
     let outcome = match (s.kind, conn) {
         (None, Conn::Api(client)) => drive_load(cfg, s, client, &mut view),
-        (Some(NetFaultKind::ReplicaFault), Conn::Api(client)) => {
+        (Some(NetFaultKind::ReplicaFault), Conn::Api(client))
+        | (Some(NetFaultKind::HeteroFault), Conn::Api(client)) => {
             drive_load(cfg, s, client, &mut view)
         }
         (Some(NetFaultKind::BusyStorm), Conn::Api(client)) => {
@@ -826,10 +868,13 @@ fn drive_scenario(
 /// Batch size for one scenario. Replica-fault streams always carry at
 /// least 12 tokens per flush: the MJPEG run must extend past the
 /// injection instant plus the detection window, or the fault would
-/// never activate inside the flush.
+/// never activate inside the flush. Hetero-fault streams need more —
+/// the checker only votes every [`HETERO_NET_STRIDE`]-th token, so the
+/// sampled gap takes proportionally longer to cross the threshold.
 fn batch_tokens(cfg: &NetChaosConfig, s: &NetScenario) -> usize {
     match s.kind {
         Some(NetFaultKind::ReplicaFault) => cfg.tokens_per_batch.max(12),
+        Some(NetFaultKind::HeteroFault) => cfg.tokens_per_batch.max(HETERO_NET_TOKENS),
         _ => cfg.tokens_per_batch,
     }
 }
@@ -867,8 +912,9 @@ fn send_batch(
     }
 }
 
-/// Well-behaved load, also the replica-fault script (the fault is
-/// injected server-side; the client just collects the latches).
+/// Well-behaved load, also the replica-fault and hetero-fault scripts
+/// (the fault is injected server-side; the client just collects the
+/// latches and judges them against the structure's analytic bound).
 fn drive_load(
     cfg: &NetChaosConfig,
     s: &NetScenario,
@@ -899,9 +945,21 @@ fn drive_load(
     view.latencies
         .extend(fin.faults.iter().map(|f| f.detection_latency_ns));
 
-    view.class = Some(match s.kind {
-        Some(NetFaultKind::ReplicaFault) => {
-            let bound = detection_bound(s.app).as_ns();
+    // Wire-side latencies already fold the activation grace in, so both
+    // fault kinds share the no-extra-grace [`BoundCheck`]; only the
+    // analytic bound differs (duplicated divergence vs. the k-dependent
+    // sampled-divergence bound of the checker structure).
+    let check = match s.kind {
+        Some(NetFaultKind::ReplicaFault) => Some(BoundCheck::wire(detection_bound(s.app))),
+        Some(NetFaultKind::HeteroFault) => Some(BoundCheck::wire(hetero_detection_bound(
+            s.app,
+            HETERO_NET_STRIDE,
+            1,
+        ))),
+        _ => None,
+    };
+    view.class = Some(match check {
+        Some(check) => {
             if view.latencies.len() != cfg.batches {
                 view.err(
                     s.conn,
@@ -912,13 +970,17 @@ fn drive_load(
                     ),
                 );
                 NetOutcome::Violation
-            } else if view.latencies.iter().all(|&l| l > 0 && l <= bound) {
+            } else if view
+                .latencies
+                .iter()
+                .all(|&l| l > 0 && check.admits_latency(TimeNs::from_ns(l)))
+            {
                 NetOutcome::DetectedInBound
             } else {
                 NetOutcome::DetectedLate
             }
         }
-        _ => NetOutcome::Clean,
+        None => NetOutcome::Clean,
     });
     Ok(())
 }

@@ -15,14 +15,16 @@
 //!   wrong (missing tokens or corrupted digests reached the consumer);
 //! * [`OutcomeClass::FalsePositive`] — a *healthy* replica was latched.
 
+use crate::bounds::BoundCheck;
 use crate::scenario::{FaultSpec, PlatformKind, Redundancy, Scenario, SERVICE_DIVISOR};
 use rtft_core::{
-    build_duplicated, build_n_modular_voting, DuplicationConfig, FaultKind, FaultPlan,
+    build_duplicated, build_hetero, build_n_modular_voting, DuplicationConfig, FaultKind,
+    FaultPlan, HeteroModel, HeteroSelector, HeteroSizingReport, HeteroStageReplica,
     JitterStageReplica, NJitterStageReplica, NModularModel, NReplicator, NSizingReport,
-    PayloadGenerator, VotingSelector,
+    PayloadGenerator, SampledReplicator, VotingSelector,
 };
 use rtft_kpn::{Engine, Payload, SplitMix64};
-use rtft_rtc::detection::DetectionBounds;
+use rtft_rtc::detection::{DetectionBounds, HeteroBounds};
 use rtft_rtc::{PjdModel, TimeNs};
 use rtft_scc::{low_contention_pipeline, NocFaultPlan, SccPlatform};
 use std::sync::Arc;
@@ -107,6 +109,8 @@ fn analytic_bound(s: &Scenario, f: &FaultSpec, b: &DetectionBounds) -> Option<Ti
         FaultKind::Corrupt(_) => match s.redundancy {
             Redundancy::TriVoting => Some(b.value_vote()),
             Redundancy::Duplicated => None,
+            // Hetero scenarios are judged by [`hetero_analytic_bound`].
+            Redundancy::Hetero { .. } => None,
         },
         // A stalled window behaves fail-stop while it lasts; if it latches
         // at all, it must latch like a permanent fault.
@@ -115,6 +119,44 @@ fn analytic_bound(s: &Scenario, f: &FaultSpec, b: &DetectionBounds) -> Option<Ti
         // divergence surplus accrues `p`-fold slower than under fail-stop.
         FaultKind::Omission(p) => Some(TimeNs::from_ns(
             (b.fail_stop.as_ns() as f64 / p).ceil() as u64
+        )),
+    }
+}
+
+/// The analytic latch bound for a hetero scenario's fault, from the
+/// [`HeteroBounds`] table. Side 0 is the full-rate main (overflow and
+/// sampled-divergence detectors race; digest mismatches convict it), side 1
+/// the trusted checker (only the sampled-divergence detector sees it).
+fn hetero_analytic_bound(f: &FaultSpec, b: &HeteroBounds) -> Option<TimeNs> {
+    match f.kind {
+        FaultKind::FailStop | FaultKind::Transient { .. } | FaultKind::Intermittent { .. } => {
+            Some(if f.replica == 0 {
+                b.permanent_timing()
+            } else {
+                b.sampled_divergence
+            })
+        }
+        FaultKind::SlowBy(raw) => {
+            let eff = raw / SERVICE_DIVISOR as f64;
+            if f.replica == 0 && eff > 1.0 {
+                b.slow_by(eff)
+            } else {
+                None
+            }
+        }
+        // The checker is trusted: a corrupting main is convicted at the
+        // next verified sample; a corrupting checker convicts the main
+        // instead, so no per-side promise exists there.
+        FaultKind::Corrupt(_) => {
+            if f.replica == 0 {
+                Some(b.value)
+            } else {
+                None
+            }
+        }
+        // Sample surplus accrues `p`-fold slower, on the sampled stream.
+        FaultKind::Omission(p) => Some(TimeNs::from_ns(
+            (b.sampled_divergence.as_ns() as f64 / p).ceil() as u64,
         )),
     }
 }
@@ -174,11 +216,15 @@ fn engine_for(
 }
 
 /// Classifies a finished run from its per-replica latch times and the
-/// consumer's arrival record.
+/// consumer's arrival record. `bound` is the precomputed analytic bound
+/// for this scenario's fault ([`analytic_bound`] or
+/// [`hetero_analytic_bound`]); `producer` feeds the activation grace of
+/// the shared [`BoundCheck`] rule.
 #[allow(clippy::too_many_arguments)]
 fn classify(
     s: &Scenario,
-    bounds: &DetectionBounds,
+    producer: &PjdModel,
+    bound: Option<TimeNs>,
     latches: &[Option<TimeNs>],
     arrivals: &[(TimeNs, u64)],
     expected_digests: &[u64],
@@ -206,17 +252,17 @@ fn classify(
                 .enumerate()
                 .any(|(i, l)| i != f.replica && l.is_some());
             let detected_at = latches[f.replica];
-            let bound = analytic_bound(s, &f, bounds);
             if healthy_latched {
                 (OutcomeClass::FalsePositive, detected_at, None, bound)
             } else if let Some(at) = detected_at {
                 // An AtTime fault takes effect at the replica's next
                 // activation, up to one period after the scheduled
                 // instant — grant that grace before judging the bound.
-                let grace = bounds.producer().period + bounds.producer().jitter;
                 let latency = at.saturating_sub(f.at);
                 let class = match bound {
-                    Some(b) if at <= f.at + b + grace => OutcomeClass::DetectedInBound,
+                    Some(b) if BoundCheck::with_producer_grace(b, producer).admits_at(at, f.at) => {
+                        OutcomeClass::DetectedInBound
+                    }
                     _ => OutcomeClass::DetectedLate,
                 };
                 (class, Some(at), Some(latency), bound)
@@ -278,9 +324,11 @@ pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
             let latches: Vec<Option<TimeNs>> = (0..2)
                 .map(|i| earliest(rep[i].map(|r| r.at), sel[i].map(|r| r.at)))
                 .collect();
+            let bound = s.fault.and_then(|f| analytic_bound(s, &f, &bounds));
             classify(
                 s,
-                &bounds,
+                &model.producer,
+                bound,
                 &latches,
                 ids.consumer_arrivals(net),
                 &expected_digests,
@@ -344,9 +392,62 @@ pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
             let latches: Vec<Option<TimeNs>> = (0..3)
                 .map(|i| earliest(rep.fault(i).map(|r| r.at), sel.fault(i).map(|r| r.at)))
                 .collect();
+            let bound = s.fault.and_then(|f| analytic_bound(s, &f, &bounds));
             classify(
                 s,
-                &bounds,
+                &nmodel.producer,
+                bound,
+                &latches,
+                ids.consumer_arrivals(net),
+                &expected_digests,
+            )
+        }
+        Redundancy::Hetero { k } => {
+            let hmodel = HeteroModel::with_checker_jitter(
+                model.producer,
+                model.consumer,
+                model.replica_out[0],
+                model.replica_out[1].jitter,
+                k,
+            );
+            let sizing = HeteroSizingReport::analyze(&hmodel).expect("profile models are bounded");
+            let bounds = sizing.bounds(&hmodel);
+            let mut faults = [FaultPlan::healthy(), FaultPlan::healthy()];
+            if let Some(f) = s.fault {
+                faults[f.replica] = f.plan(s.seed ^ 0xFA01);
+            }
+            let factory = HeteroStageReplica {
+                service,
+                out_models: [hmodel.main, hmodel.checker],
+                offset,
+                seed_base: s.seed ^ 0x44,
+            };
+            let (net, ids) = build_hetero(
+                &hmodel,
+                &sizing,
+                s.token_count,
+                (s.seed ^ 0xA5A5, s.seed ^ 0x5A5A),
+                Arc::clone(&payload),
+                &factory,
+                &faults,
+            );
+            let mut engine = engine_for(s, net, ids.replicator, ids.selector);
+            engine.run_until(horizon);
+            let net = engine.network();
+            let rep = net
+                .channel_as::<SampledReplicator>(ids.replicator)
+                .expect("sampled replicator");
+            let sel = net
+                .channel_as::<HeteroSelector>(ids.selector)
+                .expect("hetero selector");
+            let latches: Vec<Option<TimeNs>> = (0..2)
+                .map(|i| earliest(rep.fault(i).map(|r| r.at), sel.fault(i).map(|r| r.at)))
+                .collect();
+            let bound = s.fault.and_then(|f| hetero_analytic_bound(&f, &bounds));
+            classify(
+                s,
+                &hmodel.producer,
+                bound,
                 &latches,
                 ids.consumer_arrivals(net),
                 &expected_digests,
@@ -465,6 +566,50 @@ mod tests {
         };
         let out = run_scenario(&base(App::Adpcm, Redundancy::Duplicated, Some(long)));
         assert_eq!(out.class, OutcomeClass::DetectedInBound, "{out:?}");
+    }
+
+    #[test]
+    fn hetero_fault_free_is_masked_fail_stop_is_in_bound_on_either_side() {
+        let healthy = run_scenario(&base(App::Adpcm, Redundancy::Hetero { k: 4 }, None));
+        assert_eq!(healthy.class, OutcomeClass::Masked, "{healthy:?}");
+        assert_eq!(healthy.arrivals, SCENARIO_TOKENS);
+        assert_eq!(healthy.value_errors, 0);
+
+        let at = TimeNs::from_ms(400);
+        for replica in [0, 1] {
+            let fault = FaultSpec {
+                replica,
+                kind: FaultKind::FailStop,
+                at,
+            };
+            let out = run_scenario(&base(App::Adpcm, Redundancy::Hetero { k: 4 }, Some(fault)));
+            assert_eq!(out.class, OutcomeClass::DetectedInBound, "{out:?}");
+            assert!(out.detected_at.expect("latched") > at);
+        }
+    }
+
+    #[test]
+    fn hetero_corruption_on_main_is_caught_by_the_sampled_check() {
+        let fault = FaultSpec {
+            replica: 0,
+            kind: FaultKind::Corrupt(CorruptionMode::BitFlip(9)),
+            at: TimeNs::from_ms(300),
+        };
+        let out = run_scenario(&base(App::Adpcm, Redundancy::Hetero { k: 1 }, Some(fault)));
+        assert_eq!(out.class, OutcomeClass::DetectedInBound, "{out:?}");
+    }
+
+    #[test]
+    fn hetero_scenarios_run_deterministically() {
+        let fault = FaultSpec {
+            replica: 0,
+            kind: FaultKind::Omission(0.4),
+            at: TimeNs::from_ms(250),
+        };
+        let s = base(App::Adpcm, Redundancy::Hetero { k: 4 }, Some(fault));
+        let a = run_scenario(&s);
+        let b = run_scenario(&s);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

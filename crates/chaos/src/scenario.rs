@@ -30,13 +30,20 @@ pub enum Redundancy {
     Duplicated,
     /// Three replicas arbitrated by the value-voting selector.
     TriVoting,
+    /// Full-rate main replica plus a lightweight checker that re-verifies
+    /// every `k`-th token digest (`rtft_core::hetero`).
+    Hetero {
+        /// Sampling stride; campaigns sweep `k ∈ {1, 4, 16, 64}`.
+        k: u64,
+    },
 }
 
 impl Redundancy {
-    /// Replica count of the structure.
+    /// Replica count of the structure (the hetero checker counts as a
+    /// replica slot for fault-injection purposes).
     pub fn replicas(self) -> usize {
         match self {
-            Redundancy::Duplicated => 2,
+            Redundancy::Duplicated | Redundancy::Hetero { .. } => 2,
             Redundancy::TriVoting => 3,
         }
     }
@@ -46,6 +53,13 @@ impl Redundancy {
         match self {
             Redundancy::Duplicated => "duplicated",
             Redundancy::TriVoting => "tri-voting",
+            // Metric labels are interned statics, so the swept strides map
+            // through a match.
+            Redundancy::Hetero { k: 1 } => "hetero-k1",
+            Redundancy::Hetero { k: 4 } => "hetero-k4",
+            Redundancy::Hetero { k: 16 } => "hetero-k16",
+            Redundancy::Hetero { k: 64 } => "hetero-k64",
+            Redundancy::Hetero { .. } => "hetero",
         }
     }
 }
@@ -260,6 +274,93 @@ pub fn generate_scenarios(campaign_seed: u64, count: u64) -> Vec<Scenario> {
         .collect()
 }
 
+/// Expands `campaign_seed` into `count` sampled-checker scenarios at
+/// stride `k`, deterministically. Kept separate from
+/// [`generate_scenarios`] so existing campaign reports stay byte-identical.
+///
+/// Value faults only target the **main** replica (side `0`): the checker
+/// is the trusted side by construction, so a corrupted checker latching
+/// the healthy main would be misclassified as a false positive. Timing
+/// faults target either side. Streams are stretched by `8·k` tokens so the
+/// sampled-divergence detector (latency `∝ k`) has room to play out.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn generate_hetero_scenarios(campaign_seed: u64, count: u64, k: u64) -> Vec<Scenario> {
+    assert!(k > 0, "sampling stride must be positive");
+    let mut rng = SplitMix64::seed_from_u64(campaign_seed ^ 0x8E7E_0000 ^ k);
+    let apps = App::ALL;
+    let permanent_bounds: Vec<TimeNs> = apps
+        .iter()
+        .map(|app| {
+            let model = app.profile().model;
+            let sizing = SizingReport::analyze(&model).expect("profile models are bounded");
+            sizing.detection_bounds(&model).permanent_timing()
+        })
+        .collect();
+    let platforms = [
+        PlatformKind::Ideal,
+        PlatformKind::Scc,
+        PlatformKind::SccDegradedNoc,
+    ];
+    let token_count = SCENARIO_TOKENS + 8 * k;
+
+    (0..count)
+        .map(|id| {
+            let app_ix = (rng.next_u64() % apps.len() as u64) as usize;
+            let app = apps[app_ix];
+            let platform = platforms[(rng.next_u64() % platforms.len() as u64) as usize];
+            let period = app.profile().model.producer.period;
+            let bound = permanent_bounds[app_ix];
+            let palette = rng.next_u64() % 8;
+            let (kind, replica) = match palette {
+                0 => (Some(FaultKind::FailStop), 0),
+                1 => (Some(FaultKind::FailStop), 1),
+                2 => (Some(FaultKind::SlowBy(6.0)), 0),
+                3 => (
+                    Some(FaultKind::Corrupt(CorruptionMode::BitFlip(
+                        (rng.next_u64() % 64) as u32,
+                    ))),
+                    0,
+                ),
+                4 => (
+                    Some(FaultKind::Corrupt(CorruptionMode::Substitute(
+                        rng.next_u64() | 1,
+                    ))),
+                    0,
+                ),
+                5 => (Some(FaultKind::Omission(0.4)), 0),
+                6 => (
+                    Some(FaultKind::Transient {
+                        duration: bound * 2,
+                    }),
+                    0,
+                ),
+                _ => (None, 0),
+            };
+            let fault = kind.map(|kind| {
+                let frac = 0.2 + 0.3 * rng.next_f64();
+                let stream_ns = period.as_ns() * token_count;
+                FaultSpec {
+                    replica,
+                    kind,
+                    at: TimeNs::from_ns((frac * stream_ns as f64) as u64),
+                }
+            });
+            Scenario {
+                id,
+                app,
+                redundancy: Redundancy::Hetero { k },
+                platform,
+                fault,
+                seed: rng.next_u64(),
+                token_count,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +416,36 @@ mod tests {
         assert!(scenarios.iter().any(|s| s
             .fault
             .is_some_and(|f| f.is_value() && s.redundancy == Redundancy::TriVoting)));
+    }
+
+    #[test]
+    fn hetero_generation_is_deterministic_and_trusts_the_checker() {
+        let a = generate_hetero_scenarios(42, 80, 4);
+        let b = generate_hetero_scenarios(42, 80, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        let mut kinds = std::collections::BTreeSet::new();
+        for s in &a {
+            assert_eq!(s.redundancy, Redundancy::Hetero { k: 4 });
+            assert_eq!(s.redundancy.label(), "hetero-k4");
+            assert_eq!(s.token_count, SCENARIO_TOKENS + 32);
+            if let Some(f) = s.fault {
+                kinds.insert(f.kind_label());
+                if f.is_value() {
+                    assert_eq!(f.replica, 0, "value faults only hit the main side");
+                }
+                assert!(f.replica < 2);
+            }
+        }
+        assert!(kinds.contains("fail-stop") && kinds.contains("corrupt"));
+        // A different stride generates a different campaign.
+        let c = generate_hetero_scenarios(42, 80, 16);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| format!("{x:?}") != format!("{y:?}")));
+        assert!(c.iter().all(|s| s.token_count == SCENARIO_TOKENS + 128));
     }
 
     #[test]

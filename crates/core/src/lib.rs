@@ -60,10 +60,12 @@
 
 #![warn(missing_docs)]
 
+pub mod arbitration;
 mod builder;
 pub mod dot;
 pub mod equivalence;
 mod fault;
+pub mod hetero;
 pub mod nmodular;
 mod obs;
 mod replicator;
@@ -75,11 +77,18 @@ mod voting;
 // into the runtime crate.
 pub use rtft_kpn::{digest_bytes, Digest};
 
+pub use arbitration::{
+    ArbFault, ArbFaultCause, Arbiter, ArbiterLedger, ComparePolicy, FirstOfGroup, PolicySelector,
+};
 pub use builder::{
     build_duplicated, build_reference, instrument_duplicated, DuplicatedIds, DuplicationConfig,
     JitterStageReplica, PayloadGenerator, ReferenceIds, ReplicaFactory,
 };
 pub use fault::{CorruptionMode, FaultKind, FaultPlan, FaultTrigger, FaultyProcess};
+pub use hetero::{
+    build_hetero, HeteroIds, HeteroModel, HeteroSelector, HeteroSizingReport, HeteroStageReplica,
+    SampledCheck, SampledReplicator,
+};
 pub use nmodular::{
     build_n_modular, NJitterStageReplica, NModularIds, NModularModel, NReplicator, NSelector,
     NSizingReport,

@@ -23,6 +23,9 @@
 //! uninterrupted (the tests inject two staggered fail-stops into a
 //! triplicated network).
 
+use crate::arbitration::{
+    ArbFault, ArbFaultCause, Arbiter, ArbiterLedger, FirstOfGroup, PolicySelector,
+};
 use crate::fault::FaultPlan;
 use crate::replicator::{FaultRecord, ReplicatorFaultCause};
 use crate::selector::{SelectorFaultCause, SelectorFaultRecord};
@@ -272,21 +275,35 @@ impl ChannelBehavior for NReplicator {
     }
 }
 
-/// N-way selector channel.
-#[derive(Debug)]
-pub struct NSelector {
-    name: String,
-    queue: VecDeque<Token>,
-    capacity: Vec<usize>,
-    received: Vec<u64>,
-    reads: u64,
-    enqueued: u64,
-    discarded: u64,
-    max_fill: usize,
-    fault: Vec<Option<SelectorFaultRecord>>,
-    threshold: u64,
-    stall_slack: u64,
+impl Arbiter for NReplicator {
+    fn arbiter_name(&self) -> &str {
+        self.name()
+    }
+
+    fn replica_ifaces(&self) -> usize {
+        self.capacity.len()
+    }
+
+    fn latched(&self, i: usize) -> Option<ArbFault> {
+        self.fault[i].map(|f| ArbFault {
+            at: f.at,
+            cause: match f.cause {
+                ReplicatorFaultCause::Overflow => ArbFaultCause::Stall,
+                ReplicatorFaultCause::Divergence => ArbFaultCause::Divergence,
+            },
+            group: None,
+        })
+    }
 }
+
+/// N-way selector channel: the paper's timing arbitration
+/// ([`FirstOfGroup`]) over the shared [`ArbiterLedger`]. Interface `i`
+/// supplies the first token of duplicate group `k` iff no healthy peer has
+/// delivered `k` yet; late group members are discarded; the eq. (5)
+/// divergence and §3.3 stall rules latch a lagging replica.
+///
+/// [`ArbiterLedger`]: crate::arbitration::ArbiterLedger
+pub type NSelector = PolicySelector<FirstOfGroup>;
 
 impl NSelector {
     /// Creates an n-way selector with per-replica virtual capacities and
@@ -297,170 +314,21 @@ impl NSelector {
     /// Panics on fewer than two interfaces, a zero capacity, or `d == 0`.
     pub fn new(name: impl Into<String>, capacity: Vec<usize>, d: u64) -> Self {
         assert!(capacity.len() >= 2, "need at least two replicas");
-        assert!(
-            capacity.iter().all(|c| *c > 0),
-            "capacities must be positive"
-        );
-        assert!(d > 0, "threshold must be positive");
-        let n = capacity.len();
-        NSelector {
-            name: name.into(),
-            queue: VecDeque::new(),
-            capacity,
-            received: vec![0; n],
-            reads: 0,
-            enqueued: 0,
-            discarded: 0,
-            max_fill: 0,
-            fault: vec![None; n],
-            threshold: d,
-            stall_slack: d - 1,
-        }
-    }
-
-    /// The channel's diagnostic name.
-    pub fn name(&self) -> &str {
-        &self.name
+        PolicySelector::from_parts(ArbiterLedger::new(name, capacity, d), FirstOfGroup)
     }
 
     /// Fault record of replica `i`, if latched.
     pub fn fault(&self, i: usize) -> Option<SelectorFaultRecord> {
-        self.fault[i]
-    }
-
-    /// Number of replicas still healthy.
-    pub fn healthy_count(&self) -> usize {
-        self.fault.iter().filter(|f| f.is_none()).count()
-    }
-
-    /// Indices of the replicas currently latched faulty, ascending (see
-    /// [`NReplicator::faulty_indices`]).
-    pub fn faulty_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.fault
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.map(|_| i))
-    }
-
-    /// Tokens delivered to the consumer so far.
-    pub fn enqueued(&self) -> u64 {
-        self.enqueued
-    }
-
-    /// Late group members discarded so far.
-    pub fn discarded(&self) -> u64 {
-        self.discarded
-    }
-
-    /// The `space_i` counter (capacity − received + reads).
-    fn space(&self, i: usize) -> i64 {
-        self.capacity[i] as i64 - self.received[i] as i64 + self.reads as i64
-    }
-
-    fn healthy_max_received(&self) -> u64 {
-        self.received
-            .iter()
-            .zip(&self.fault)
-            .filter(|(_, f)| f.is_none())
-            .map(|(r, _)| *r)
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn check_divergence(&mut self, now: TimeNs) {
-        let max = self.healthy_max_received();
-        for i in 0..self.received.len() {
-            if self.fault[i].is_none()
-                && self.healthy_count() > 1
-                && max - self.received[i] >= self.threshold
-            {
-                self.fault[i] = Some(SelectorFaultRecord {
-                    at: now,
-                    cause: SelectorFaultCause::Divergence,
-                });
-            }
-        }
-    }
-
-    fn check_stall(&mut self, now: TimeNs) {
-        for i in 0..self.received.len() {
-            if self.fault[i].is_none()
-                && self.healthy_count() > 1
-                && self.space(i) > (self.capacity[i] as u64 + self.stall_slack) as i64
-            {
-                self.fault[i] = Some(SelectorFaultRecord {
-                    at: now,
-                    cause: SelectorFaultCause::Stall,
-                });
-            }
-        }
-    }
-}
-
-impl ChannelBehavior for NSelector {
-    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
-        if self.fault[iface].is_some() {
-            self.discarded += 1;
-            return WriteOutcome::AcceptedDropped;
-        }
-        if self.space(iface) <= 0 {
-            return WriteOutcome::Blocked(token);
-        }
-        // First of its duplicate group iff no healthy peer has delivered
-        // this group index yet.
-        let first = self.received[iface] >= self.healthy_max_received();
-        self.received[iface] += 1;
-        let outcome = if first {
-            self.queue.push_back(token);
-            self.max_fill = self.max_fill.max(self.queue.len());
-            self.enqueued += 1;
-            WriteOutcome::Accepted
-        } else {
-            self.discarded += 1;
-            WriteOutcome::AcceptedDropped
-        };
-        self.check_divergence(now);
-        outcome
-    }
-
-    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
-        assert_eq!(iface, 0, "n-selector has a single read interface");
-        match self.queue.pop_front() {
-            Some(t) => {
-                self.reads += 1;
-                self.check_stall(now);
-                ReadOutcome::Token(t)
-            }
-            None => ReadOutcome::Blocked,
-        }
-    }
-
-    fn write_ifaces(&self) -> usize {
-        self.received.len()
-    }
-
-    fn read_ifaces(&self) -> usize {
-        1
-    }
-
-    fn fill(&self, _iface: usize) -> usize {
-        self.queue.len()
-    }
-
-    fn capacity(&self, iface: usize) -> usize {
-        self.capacity[iface.min(self.capacity.len() - 1)]
-    }
-
-    fn max_fill(&self, _iface: usize) -> usize {
-        self.max_fill
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+        self.arb_fault(i).map(|f| SelectorFaultRecord {
+            at: f.at,
+            cause: match f.cause {
+                ArbFaultCause::Divergence => SelectorFaultCause::Divergence,
+                ArbFaultCause::Stall => SelectorFaultCause::Stall,
+                ArbFaultCause::ValueMismatch => {
+                    unreachable!("timing arbitration never inspects values")
+                }
+            },
+        })
     }
 }
 

@@ -17,6 +17,7 @@
 //! No operation consults a clock: the `now` parameter is recorded in the
 //! detection log for the experiment harness, never branched on.
 
+use crate::arbitration::{ArbFault, ArbFaultCause, Arbiter};
 use crate::obs::DetectionObs;
 use rtft_kpn::{ChannelBehavior, ReadOutcome, Token, WriteOutcome};
 use rtft_obs::DetectionSite;
@@ -301,6 +302,29 @@ impl ChannelBehavior for Replicator {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+impl Arbiter for Replicator {
+    fn arbiter_name(&self) -> &str {
+        self.name()
+    }
+
+    fn replica_ifaces(&self) -> usize {
+        2
+    }
+
+    fn latched(&self, i: usize) -> Option<ArbFault> {
+        self.fault[i].map(|f| ArbFault {
+            at: f.at,
+            cause: match f.cause {
+                // An overflowed replica queue is the write-side stall
+                // detector: the replica stopped consuming.
+                ReplicatorFaultCause::Overflow => ArbFaultCause::Stall,
+                ReplicatorFaultCause::Divergence => ArbFaultCause::Divergence,
+            },
+            group: None,
+        })
     }
 }
 

@@ -32,6 +32,7 @@
 //! arriving from the latched replica are accepted-and-discarded so a
 //! limping replica cannot block.
 
+use crate::arbitration::{ArbFault, ArbFaultCause, Arbiter};
 use crate::obs::DetectionObs;
 use rtft_kpn::{ChannelBehavior, ReadOutcome, Token, WriteOutcome};
 use rtft_obs::DetectionSite;
@@ -374,6 +375,27 @@ impl ChannelBehavior for Selector {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+impl Arbiter for Selector {
+    fn arbiter_name(&self) -> &str {
+        self.name()
+    }
+
+    fn replica_ifaces(&self) -> usize {
+        2
+    }
+
+    fn latched(&self, i: usize) -> Option<ArbFault> {
+        self.fault[i].map(|f| ArbFault {
+            at: f.at,
+            cause: match f.cause {
+                SelectorFaultCause::Stall => ArbFaultCause::Stall,
+                SelectorFaultCause::Divergence => ArbFaultCause::Divergence,
+            },
+            group: None,
+        })
     }
 }
 

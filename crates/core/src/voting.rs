@@ -23,13 +23,11 @@
 //! buffering), but the consumer's initial delay must cover the slowest
 //! *majority* replica rather than the fastest single one.
 
+use crate::arbitration::{ArbFaultCause, ArbiterLedger, ComparePolicy, PolicySelector};
 use crate::fault::FaultPlan;
-use rtft_kpn::{
-    ChannelBehavior, Network, PjdSink, PjdSource, PortId, ReadOutcome, Token, WriteOutcome,
-};
+use rtft_kpn::{Network, PjdSink, PjdSource, PortId, Token, WriteOutcome};
 use rtft_rtc::TimeNs;
-use std::any::Any;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 /// Why the voting selector latched a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,100 +78,27 @@ impl Group {
     }
 }
 
-/// N-way selector channel that majority-votes on token values.
-///
-/// Interface `i` carries replica `i`'s output stream; its `k`-th write is
-/// that replica's vote for duplicate group `k`. A group is delivered (in
-/// group order) once `⌊n/2⌋ + 1` votes agree on a payload digest; votes
-/// that disagree with a decided majority latch their replica value-faulty,
-/// whether they arrive before or after the decision.
+/// The majority-vote [`ComparePolicy`]: interface `i`'s `k`-th write is
+/// replica `i`'s vote for duplicate group `k`; a group is delivered (in
+/// group order) once [`quorum`](MajorityVote::quorum) votes agree on a
+/// payload digest, and votes that disagree with a decided majority latch
+/// their replica value-faulty, whether they arrive before or after the
+/// decision.
 #[derive(Debug)]
-pub struct VotingSelector {
-    name: String,
-    queue: VecDeque<Token>,
-    capacity: Vec<usize>,
-    received: Vec<u64>,
-    reads: u64,
-    enqueued: u64,
-    discarded: u64,
-    max_fill: usize,
-    fault: Vec<Option<VoteFaultRecord>>,
-    threshold: u64,
-    stall_slack: u64,
+pub struct MajorityVote {
     quorum: usize,
     groups: BTreeMap<u64, Group>,
     next_deliver: u64,
 }
 
-impl VotingSelector {
-    /// Creates a voting selector with per-replica virtual capacities and
-    /// timing divergence threshold `d` (stall slack `d − 1`).
-    ///
-    /// # Panics
-    ///
-    /// Panics on fewer than three interfaces (majority voting needs a
-    /// tie-breaker), a zero capacity, or `d == 0`.
-    pub fn new(name: impl Into<String>, capacity: Vec<usize>, d: u64) -> Self {
-        assert!(
-            capacity.len() >= 3,
-            "value voting needs at least three replicas"
-        );
-        assert!(
-            capacity.iter().all(|c| *c > 0),
-            "capacities must be positive"
-        );
-        assert!(d > 0, "threshold must be positive");
-        let n = capacity.len();
-        VotingSelector {
-            name: name.into(),
-            queue: VecDeque::new(),
-            capacity,
-            received: vec![0; n],
-            reads: 0,
-            enqueued: 0,
-            discarded: 0,
-            max_fill: 0,
-            fault: vec![None; n],
-            threshold: d,
-            stall_slack: d - 1,
+impl MajorityVote {
+    /// A majority policy for `n` replicas (quorum `⌊n/2⌋ + 1`).
+    pub fn for_replicas(n: usize) -> Self {
+        MajorityVote {
             quorum: n / 2 + 1,
             groups: BTreeMap::new(),
             next_deliver: 0,
         }
-    }
-
-    /// The channel's diagnostic name.
-    pub fn name(&self) -> &str {
-        &self.name
-    }
-
-    /// Fault record of replica `i`, if latched.
-    pub fn fault(&self, i: usize) -> Option<VoteFaultRecord> {
-        self.fault[i]
-    }
-
-    /// Number of replicas still healthy.
-    pub fn healthy_count(&self) -> usize {
-        self.fault.iter().filter(|f| f.is_none()).count()
-    }
-
-    /// Indices of the replicas currently latched faulty, ascending.
-    pub fn faulty_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.fault
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.map(|_| i))
-    }
-
-    /// Groups delivered to the consumer so far.
-    pub fn enqueued(&self) -> u64 {
-        self.enqueued
-    }
-
-    /// Votes consumed without delivery (duplicates, mismatches, latched
-    /// writes) so far.
-    pub fn discarded(&self) -> u64 {
-        self.discarded
     }
 
     /// The votes-agree quorum (`⌊n/2⌋ + 1`).
@@ -181,64 +106,8 @@ impl VotingSelector {
         self.quorum
     }
 
-    /// The `space_i` counter (capacity − received + reads).
-    fn space(&self, i: usize) -> i64 {
-        self.capacity[i] as i64 - self.received[i] as i64 + self.reads as i64
-    }
-
-    fn healthy_max_received(&self) -> u64 {
-        self.received
-            .iter()
-            .zip(&self.fault)
-            .filter(|(_, f)| f.is_none())
-            .map(|(r, _)| *r)
-            .max()
-            .unwrap_or(0)
-    }
-
-    fn latch_value(&mut self, iface: usize, group: u64, now: TimeNs) {
-        if self.fault[iface].is_none() {
-            self.fault[iface] = Some(VoteFaultRecord {
-                at: now,
-                cause: VoteFaultCause::ValueMismatch,
-                group: Some(group),
-            });
-        }
-    }
-
-    fn check_divergence(&mut self, now: TimeNs) {
-        let max = self.healthy_max_received();
-        for i in 0..self.received.len() {
-            if self.fault[i].is_none()
-                && self.healthy_count() > 1
-                && max - self.received[i] >= self.threshold
-            {
-                self.fault[i] = Some(VoteFaultRecord {
-                    at: now,
-                    cause: VoteFaultCause::Divergence,
-                    group: None,
-                });
-            }
-        }
-    }
-
-    fn check_stall(&mut self, now: TimeNs) {
-        for i in 0..self.received.len() {
-            if self.fault[i].is_none()
-                && self.healthy_count() > 1
-                && self.space(i) > (self.capacity[i] as u64 + self.stall_slack) as i64
-            {
-                self.fault[i] = Some(VoteFaultRecord {
-                    at: now,
-                    cause: VoteFaultCause::Stall,
-                    group: None,
-                });
-            }
-        }
-    }
-
     /// Delivers decided groups in order and drops fully-voted state.
-    fn flush(&mut self) -> bool {
+    fn flush(&mut self, ledger: &mut ArbiterLedger) -> bool {
         let mut delivered_any = false;
         while let Some(g) = self.groups.get_mut(&self.next_deliver) {
             let Some(winner) = g.decided else { break };
@@ -249,17 +118,15 @@ impl VotingSelector {
                     .find(|(d, _)| *d == winner)
                     .map(|(_, t)| t.clone())
                     .expect("decided digest always has a candidate token");
-                self.queue.push_back(tok);
-                self.max_fill = self.max_fill.max(self.queue.len());
-                self.enqueued += 1;
+                ledger.deliver(tok);
                 g.delivered = true;
                 delivered_any = true;
             }
             // Retire the group once every replica has voted or is latched —
             // later stragglers can no longer reference it (a latched
             // interface's writes are swallowed before voting).
-            let complete =
-                (0..self.received.len()).all(|i| g.votes[i].is_some() || self.fault[i].is_some());
+            let complete = (0..ledger.replica_count())
+                .all(|i| g.votes[i].is_some() || ledger.fault(i).is_some());
             if complete {
                 self.groups.remove(&self.next_deliver);
                 self.next_deliver += 1;
@@ -271,26 +138,24 @@ impl VotingSelector {
     }
 }
 
-impl ChannelBehavior for VotingSelector {
-    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
-        if self.fault[iface].is_some() {
-            self.discarded += 1;
-            return WriteOutcome::AcceptedDropped;
-        }
-        if self.space(iface) <= 0 {
-            return WriteOutcome::Blocked(token);
-        }
-        let group = self.received[iface];
-        self.received[iface] += 1;
+impl ComparePolicy for MajorityVote {
+    fn arbitrate(
+        &mut self,
+        ledger: &mut ArbiterLedger,
+        iface: usize,
+        token: Token,
+        now: TimeNs,
+    ) -> WriteOutcome {
+        let group = ledger.note_received(iface);
         let digest = token.payload.digest();
-        let n = self.received.len();
+        let n = ledger.replica_count();
         let quorum = self.quorum;
 
         if group < self.next_deliver {
             // Straggler vote for a group already retired (its state was
             // dropped because this interface was latched at the time, or
             // the group completed). Count it as discarded.
-            self.discarded += 1;
+            ledger.discard();
         } else {
             let g = self.groups.entry(group).or_insert_with(|| Group::new(n));
             g.votes[iface] = Some(digest);
@@ -299,9 +164,9 @@ impl ChannelBehavior for VotingSelector {
             }
             match g.decided {
                 Some(winner) => {
-                    self.discarded += 1;
+                    ledger.discard();
                     if digest != winner {
-                        self.latch_value(iface, group, now);
+                        ledger.latch(iface, ArbFaultCause::ValueMismatch, Some(group), now);
                     }
                 }
                 None => {
@@ -320,60 +185,63 @@ impl ChannelBehavior for VotingSelector {
                             })
                             .collect();
                         for i in losers {
-                            self.latch_value(i, group, now);
+                            ledger.latch(i, ArbFaultCause::ValueMismatch, Some(group), now);
                         }
                     }
                 }
             }
         }
 
-        let delivered = self.flush();
-        self.check_divergence(now);
-        if delivered {
+        if self.flush(ledger) {
             WriteOutcome::Accepted
         } else {
             WriteOutcome::AcceptedDropped
         }
     }
+}
 
-    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
-        assert_eq!(iface, 0, "voting selector has a single read interface");
-        match self.queue.pop_front() {
-            Some(t) => {
-                self.reads += 1;
-                self.check_stall(now);
-                ReadOutcome::Token(t)
-            }
-            None => ReadOutcome::Blocked,
-        }
+/// N-way selector channel that majority-votes on token values: the
+/// [`MajorityVote`] policy over the shared
+/// [`ArbiterLedger`](crate::arbitration::ArbiterLedger). Timing detection
+/// (divergence / stall) is inherited from the ledger unchanged.
+pub type VotingSelector = PolicySelector<MajorityVote>;
+
+impl VotingSelector {
+    /// Creates a voting selector with per-replica virtual capacities and
+    /// timing divergence threshold `d` (stall slack `d − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on fewer than three interfaces (majority voting needs a
+    /// tie-breaker), a zero capacity, or `d == 0`.
+    pub fn new(name: impl Into<String>, capacity: Vec<usize>, d: u64) -> Self {
+        assert!(
+            capacity.len() >= 3,
+            "value voting needs at least three replicas"
+        );
+        let n = capacity.len();
+        PolicySelector::from_parts(
+            ArbiterLedger::new(name, capacity, d),
+            MajorityVote::for_replicas(n),
+        )
     }
 
-    fn write_ifaces(&self) -> usize {
-        self.received.len()
+    /// Fault record of replica `i`, if latched.
+    pub fn fault(&self, i: usize) -> Option<VoteFaultRecord> {
+        self.arb_fault(i).map(|f| VoteFaultRecord {
+            at: f.at,
+            cause: match f.cause {
+                ArbFaultCause::ValueMismatch => VoteFaultCause::ValueMismatch,
+                ArbFaultCause::Divergence => VoteFaultCause::Divergence,
+                ArbFaultCause::Stall => VoteFaultCause::Stall,
+            },
+            group: f.group,
+        })
     }
 
-    fn read_ifaces(&self) -> usize {
-        1
-    }
-
-    fn fill(&self, _iface: usize) -> usize {
-        self.queue.len()
-    }
-
-    fn capacity(&self, iface: usize) -> usize {
-        self.capacity[iface.min(self.capacity.len() - 1)]
-    }
-
-    fn max_fill(&self, _iface: usize) -> usize {
-        self.max_fill
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+    /// The votes-agree quorum (`⌊n/2⌋ + 1`).
+    pub fn quorum(&self) -> usize {
+        self.policy().quorum()
     }
 }
 
@@ -469,7 +337,7 @@ mod tests {
     use super::*;
     use crate::fault::{CorruptionMode, FaultPlan};
     use crate::{NModularModel, NSizingReport};
-    use rtft_kpn::{Engine, Fifo, Payload, PjdShaper, Transform};
+    use rtft_kpn::{ChannelBehavior, Engine, Fifo, Payload, PjdShaper, ReadOutcome, Transform};
     use rtft_rtc::PjdModel;
     use std::sync::Arc;
 

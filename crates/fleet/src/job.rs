@@ -9,13 +9,15 @@
 //! analogue of the paper's replica replacement).
 
 use rtft_core::{
-    build_duplicated, build_n_modular, build_n_modular_voting, instrument_duplicated,
-    DuplicationConfig, FaultPlan, NModularModel, NReplicator, NSelector, NSizingReport,
-    PayloadGenerator, ReplicaFactory, Replicator, Selector, VotingSelector,
+    build_duplicated, build_hetero, build_n_modular, build_n_modular_voting, instrument_duplicated,
+    ArbFault, ArbFaultCause, DuplicationConfig, FaultPlan, FaultRecord, FaultTrigger, HeteroModel,
+    HeteroSelector, HeteroSizingReport, NModularModel, NReplicator, NSelector, NSizingReport,
+    PayloadGenerator, ReplicaFactory, Replicator, ReplicatorFaultCause, SampledReplicator,
+    Selector, VotingSelector,
 };
 use rtft_kpn::threaded::{run_threaded_with, ThreadedConfig};
 use rtft_kpn::{Engine, PjdSink};
-use rtft_obs::{HealthModel, MetricsRegistry};
+use rtft_obs::{DetectionSite, HealthModel, MetricsRegistry};
 use rtft_rtc::TimeNs;
 use std::sync::Arc;
 use std::time::Duration;
@@ -97,6 +99,26 @@ pub enum JobTemplate {
         /// One fault plan per replica.
         faults: Vec<FaultPlan>,
     },
+    /// The sampled-checker structure (`build_hetero`): a full-rate main
+    /// replica spot-checked by a lightweight checker that re-verifies
+    /// every `k`-th token digest. Runs record checker-lag and
+    /// sampled-vs-verified counters into the job registry.
+    Hetero {
+        /// Interface timing models (main, checker, stride `k`).
+        model: HeteroModel,
+        /// Derived queue parameters and sampled threshold.
+        sizing: HeteroSizingReport,
+        /// Tokens the producer emits.
+        token_count: u64,
+        /// RNG seeds: producer, consumer.
+        seeds: (u64, u64),
+        /// Token payload generator.
+        payload: PayloadGenerator,
+        /// Replica subnetwork factory (side 0 = main, side 1 = checker).
+        factory: SharedFactory,
+        /// Fault plans: `[main, checker]`.
+        faults: [FaultPlan; 2],
+    },
 }
 
 impl std::fmt::Debug for JobTemplate {
@@ -124,6 +146,13 @@ impl std::fmt::Debug for JobTemplate {
                 .field("replicas", &faults.len())
                 .field("token_count", token_count)
                 .finish_non_exhaustive(),
+            JobTemplate::Hetero {
+                model, token_count, ..
+            } => f
+                .debug_struct("JobTemplate::Hetero")
+                .field("k", &model.k)
+                .field("token_count", token_count)
+                .finish_non_exhaustive(),
         }
     }
 }
@@ -132,7 +161,7 @@ impl JobTemplate {
     /// Number of replicas the template builds.
     pub fn replica_count(&self) -> usize {
         match self {
-            JobTemplate::Duplicated { .. } => 2,
+            JobTemplate::Duplicated { .. } | JobTemplate::Hetero { .. } => 2,
             JobTemplate::NModular { faults, .. } | JobTemplate::NModularVoting { faults, .. } => {
                 faults.len()
             }
@@ -144,7 +173,8 @@ impl JobTemplate {
         match self {
             JobTemplate::Duplicated { cfg, .. } => cfg.token_count.unwrap_or(0),
             JobTemplate::NModular { token_count, .. }
-            | JobTemplate::NModularVoting { token_count, .. } => *token_count,
+            | JobTemplate::NModularVoting { token_count, .. }
+            | JobTemplate::Hetero { token_count, .. } => *token_count,
         }
     }
 
@@ -189,6 +219,23 @@ impl JobTemplate {
                 payload: Arc::clone(payload),
                 factory: Arc::clone(factory),
                 faults: vec![FaultPlan::healthy(); faults.len()],
+            },
+            JobTemplate::Hetero {
+                model,
+                sizing,
+                token_count,
+                seeds,
+                payload,
+                factory,
+                ..
+            } => JobTemplate::Hetero {
+                model: model.clone(),
+                sizing: sizing.clone(),
+                token_count: *token_count,
+                seeds: *seeds,
+                payload: Arc::clone(payload),
+                factory: Arc::clone(factory),
+                faults: [FaultPlan::healthy(), FaultPlan::healthy()],
             },
         }
     }
@@ -240,6 +287,61 @@ impl JobRunResult {
             self.arrivals >= self.expected
         }
     }
+}
+
+/// Folds a hetero run's per-structure observability into the job
+/// registry: how many main tokens were sampled for re-verification, how
+/// many of those the checker actually verified, and how far the checker
+/// was still running behind the sampled stream when the run ended.
+fn record_hetero_metrics(registry: &MetricsRegistry, samples: u64, verified: u64, lag: u64) {
+    registry.counter("hetero.tokens.sampled").add(samples);
+    registry.counter("hetero.tokens.verified").add(verified);
+    registry.gauge("hetero.checker_lag").set(lag);
+}
+
+/// Builds a hetero run's health view after the fact: injection instants
+/// from the fault plans, detection instants from the two channels' latch
+/// records. The front-end reads detection latencies off this exactly as
+/// it does for duplicated jobs.
+fn hetero_health(
+    faults: &[FaultPlan; 2],
+    rep: [Option<FaultRecord>; 2],
+    sel: [Option<ArbFault>; 2],
+) -> HealthModel {
+    let health = HealthModel::new(2);
+    for (i, plan) in faults.iter().enumerate() {
+        if let FaultTrigger::AtTime(t) = plan.trigger {
+            health.note_fault_injected(i, t.as_ns());
+        }
+    }
+    for i in 0..2 {
+        let mut events: Vec<(DetectionSite, u64)> = Vec::new();
+        if let Some(f) = rep[i] {
+            let site = match f.cause {
+                ReplicatorFaultCause::Overflow => DetectionSite::ReplicatorOverflow,
+                ReplicatorFaultCause::Divergence => DetectionSite::ReplicatorDivergence,
+            };
+            events.push((site, f.at.as_ns()));
+        }
+        if let Some(f) = sel[i] {
+            let site = match f.cause {
+                ArbFaultCause::Stall => DetectionSite::SelectorStall,
+                // A digest mismatch is an arrival that disagrees — the
+                // closest existing site label.
+                ArbFaultCause::Divergence | ArbFaultCause::ValueMismatch => {
+                    DetectionSite::SelectorDivergence
+                }
+            };
+            events.push((site, f.at.as_ns()));
+        }
+        // `on_detection` takes the first call as the first detection, so
+        // feed the sites in time order.
+        events.sort_by_key(|e| e.1);
+        for (site, at) in events {
+            health.on_detection(i, site, at);
+        }
+    }
+    health
 }
 
 /// Merges two detectors' faulty-replica views into one ascending list.
@@ -413,6 +515,104 @@ pub fn execute(template: &JobTemplate, runtime: &JobRuntime) -> JobRunResult {
                         faulty_replicas: union_faulty(faulty, std::iter::empty()),
                         registry,
                         health: None,
+                        arrival_log,
+                    }
+                }
+            }
+        }
+        JobTemplate::Hetero {
+            model,
+            sizing,
+            token_count,
+            seeds,
+            payload,
+            factory,
+            faults,
+        } => {
+            let (net, ids) = build_hetero(
+                model,
+                sizing,
+                *token_count,
+                *seeds,
+                Arc::clone(payload),
+                factory.as_ref(),
+                faults,
+            );
+            let expected = *token_count;
+            match runtime {
+                JobRuntime::DiscreteEvent { horizon } => {
+                    let mut engine = Engine::new(net);
+                    engine.run_until(*horizon);
+                    let net = engine.network();
+                    let rep = net
+                        .channel_as::<SampledReplicator>(ids.replicator)
+                        .expect("sampled replicator");
+                    let sel = net
+                        .channel_as::<HeteroSelector>(ids.selector)
+                        .expect("hetero selector");
+                    let registry = MetricsRegistry::new();
+                    let check = sel.policy();
+                    record_hetero_metrics(
+                        &registry,
+                        check.samples(),
+                        check.verified(),
+                        check.checker_lag(),
+                    );
+                    let health = hetero_health(
+                        faults,
+                        [rep.fault(0), rep.fault(1)],
+                        [sel.fault(0), sel.fault(1)],
+                    );
+                    let arrival_log = arrival_log_of(ids.consumer_arrivals(net));
+                    JobRunResult {
+                        arrivals: arrival_log.len() as u64,
+                        expected,
+                        faulty_replicas: union_faulty(
+                            rep.faulty_indices(),
+                            (0..2).filter(|&i| sel.fault(i).is_some()),
+                        ),
+                        registry,
+                        health: Some(health),
+                        arrival_log,
+                    }
+                }
+                JobRuntime::Threaded {
+                    deadline,
+                    quiescence_grace,
+                } => {
+                    let registry = MetricsRegistry::new();
+                    let config = ThreadedConfig::new(*deadline)
+                        .with_quiescence_grace(*quiescence_grace)
+                        .with_metrics(&registry);
+                    let run = run_threaded_with(net, &config);
+                    let rep_records = run
+                        .channel_as::<SampledReplicator, _>(ids.replicator.0, |r| {
+                            [r.fault(0), r.fault(1)]
+                        })
+                        .unwrap_or([None, None]);
+                    let (sel_records, obs) = run
+                        .channel_as::<HeteroSelector, _>(ids.selector.0, |s| {
+                            let c = s.policy();
+                            (
+                                [s.fault(0), s.fault(1)],
+                                (c.samples(), c.verified(), c.checker_lag()),
+                            )
+                        })
+                        .unwrap_or(([None, None], (0, 0, 0)));
+                    record_hetero_metrics(&registry, obs.0, obs.1, obs.2);
+                    let health = hetero_health(faults, rep_records, sel_records);
+                    let arrival_log = run
+                        .process_as::<PjdSink>("consumer")
+                        .map_or_else(Vec::new, |s| arrival_log_of(s.arrivals()));
+                    JobRunResult {
+                        arrivals: arrival_log.len() as u64,
+                        expected,
+                        faulty_replicas: union_faulty(
+                            (0..2).filter(|&i| rep_records[i].is_some()),
+                            (0..2).filter(|&i| sel_records[i].is_some()),
+                        ),
+                        registry,
+                        health: Some(health),
                         arrival_log,
                     }
                 }

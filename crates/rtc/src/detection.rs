@@ -269,6 +269,150 @@ impl DetectionBounds {
     }
 }
 
+/// The PJD model of the *sampled* projection of a full-rate stream: every
+/// `k`-th token of a ⟨P, J, D⟩ stream arrives with period `k·P` and the
+/// original jitter and delay (decimation does not re-time the survivors).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn sampled_stream_model(full: &PjdModel, k: u64) -> PjdModel {
+    assert!(k > 0, "sampling stride must be positive");
+    PjdModel::new(full.period * k, full.jitter, full.delay)
+}
+
+/// Analytic detection bounds for the *heterogeneous sampled-checker*
+/// structure: a full-rate main replica spot-checked by a lightweight
+/// checker that re-verifies every `k`-th token digest.
+///
+/// Unlike [`DetectionBounds`], there is no selector stall detector — the
+/// checker legally runs at `1/k` of the main rate, so the space counters
+/// are meaningless and the stall rule is disabled. Two detectors remain,
+/// plus the value check:
+///
+/// * [`sampled_divergence`](Self::sampled_divergence) — eq. (8) applied to
+///   the **sample streams**: main's sample counter (one per `k` tokens)
+///   versus the checker's vote counter, with the sampled threshold `D_s`
+///   derived from the period-stretched models. Detection latency is a
+///   function of `k`: `≈ (2·D_s − 1)·k·P + J`.
+/// * [`overflow`](Self::overflow) — the replicator's full-FIFO latch on the
+///   main queue, identical to the duplicated case (full-rate, independent
+///   of `k`).
+/// * [`value`](Self::value) — worst-case latency until a permanently
+///   corrupting main is caught by a digest mismatch: the corruption must
+///   reach the next sampled token (up to `k·P` away) and survive the
+///   checker's own sampled-rate service (another `k·P` plus jitters).
+#[derive(Debug, Clone)]
+pub struct HeteroBounds {
+    producer: PjdModel,
+    main: PjdModel,
+    checker: PjdModel,
+    k: u64,
+    sampled_threshold: u64,
+    /// Worst-case sampled-divergence latch latency for a fail-stop main or
+    /// checker (eq. (8) on the sample streams).
+    pub sampled_divergence: TimeNs,
+    /// Worst-case replicator overflow-latch latency for a main that stops
+    /// consuming.
+    pub overflow: TimeNs,
+    /// Worst-case digest-mismatch latch latency for a permanently
+    /// corrupting main.
+    pub value: TimeNs,
+}
+
+impl HeteroBounds {
+    /// Computes the hetero bound table: `main` is the full-rate replica
+    /// output model, `checker` the checker's *vote* output model (already
+    /// at the sampled rate, period `≈ k·P`), `sampled_threshold` the
+    /// divergence threshold `D_s` over the two sample streams, and
+    /// `main_capacity` the main replicator FIFO size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(
+        producer: PjdModel,
+        main: PjdModel,
+        checker: PjdModel,
+        k: u64,
+        sampled_threshold: u64,
+        main_capacity: u64,
+    ) -> Self {
+        let main_sampled = sampled_stream_model(&main, k);
+        let sampled_divergence =
+            fail_stop_detection_bound(&[main_sampled, checker], sampled_threshold);
+        let overflow = replicator_overflow_bound(&producer, main_capacity);
+        let value = main.period * (2 * k) + main.jitter + checker.jitter + checker.delay;
+        HeteroBounds {
+            producer,
+            main,
+            checker,
+            k,
+            sampled_threshold,
+            sampled_divergence,
+            overflow,
+            value,
+        }
+    }
+
+    /// The sampling stride `k` (every `k`-th main token is re-verified).
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+
+    /// The sampled divergence threshold `D_s`.
+    pub fn sampled_threshold(&self) -> u64 {
+        self.sampled_threshold
+    }
+
+    /// The producer model feeding the sampled replicator.
+    pub fn producer(&self) -> &PjdModel {
+        &self.producer
+    }
+
+    /// The full-rate main replica output model.
+    pub fn main(&self) -> &PjdModel {
+        &self.main
+    }
+
+    /// The checker vote output model (sampled rate).
+    pub fn checker(&self) -> &PjdModel {
+        &self.checker
+    }
+
+    /// End-to-end guarantee for a *permanent* timing fault of the main
+    /// replica: the sampled-divergence and overflow detectors race (there
+    /// is no stall detector in this structure).
+    pub fn permanent_timing(&self) -> TimeNs {
+        self.sampled_divergence.min(self.overflow)
+    }
+
+    /// Worst-case sampled-divergence latch latency for a main replica
+    /// degraded to `factor ×` its nominal period — eq. (7) on the sample
+    /// streams, with the checker as the healthy side and the stretched,
+    /// `k`-decimated main as the residual. `None` when the slow-down never
+    /// builds the `2·D_s − 1` sample surplus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 1.0`.
+    pub fn slow_by(&self, factor: f64) -> Option<TimeNs> {
+        assert!(factor > 1.0, "slow-down factor must exceed 1");
+        let surplus = detection_surplus(self.sampled_threshold);
+        let main_sampled = sampled_stream_model(&self.main, self.k);
+        let stretched =
+            TimeNs::from_ns((main_sampled.period.as_ns() as f64 * factor).ceil() as u64);
+        let residual = PjdModel::new(stretched, main_sampled.jitter, main_sampled.delay);
+        let horizon = residual.period * (surplus + 8) + residual.jitter + TimeNs::from_secs(1);
+        degraded_detection_bound(
+            &self.checker,
+            &residual.upper(),
+            self.sampled_threshold,
+            horizon,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +568,58 @@ mod tests {
     #[should_panic(expected = "slow-down factor must exceed 1")]
     fn slow_by_rejects_speedups() {
         mjpeg_bounds().slow_by(0.5);
+    }
+
+    #[test]
+    fn sampled_model_stretches_period_only() {
+        let main = PjdModel::from_ms(30.0, 5.0, 0.0);
+        let s = sampled_stream_model(&main, 4);
+        assert_eq!(s.period, ms(120));
+        assert_eq!(s.jitter, ms(5));
+        assert_eq!(s.delay, TimeNs::ZERO);
+    }
+
+    fn hetero(k: u64, d_s: u64) -> HeteroBounds {
+        HeteroBounds::new(
+            PjdModel::from_ms(30.0, 2.0, 0.0),
+            PjdModel::from_ms(30.0, 5.0, 0.0),
+            sampled_stream_model(&PjdModel::from_ms(30.0, 8.0, 0.0), k),
+            k,
+            d_s,
+            3,
+        )
+    }
+
+    #[test]
+    fn hetero_bounds_match_closed_forms() {
+        let b = hetero(4, 2);
+        // Sampled divergence, D_s = 2 ⇒ surplus 3 samples. Worst stream is
+        // the checker ⟨120, 8⟩: 3·120 + 8 = 368 ms.
+        assert_eq!(b.sampled_divergence, ms(368));
+        // Overflow identical to duplicated: 4·30 + 2 = 122 ms, so the
+        // permanent-timing guarantee is unchanged by the sampling stride.
+        assert_eq!(b.overflow, ms(122));
+        assert_eq!(b.permanent_timing(), ms(122));
+        // Value: 2k·P + J_main + J_chk = 8·30 + 5 + 8 = 253 ms.
+        assert_eq!(b.value, ms(253));
+        assert_eq!(b.k(), 4);
+        assert_eq!(b.sampled_threshold(), 2);
+    }
+
+    #[test]
+    fn hetero_sampled_latency_grows_linearly_with_k() {
+        let mut prev = TimeNs::ZERO;
+        for k in [1, 4, 16, 64] {
+            let b = hetero(k, 2);
+            assert!(
+                b.sampled_divergence > prev,
+                "sampled bound must grow with k"
+            );
+            assert!(b.value > if k == 1 { TimeNs::ZERO } else { prev });
+            prev = b.sampled_divergence;
+        }
+        // Closed form at k = 64: 3·(64·30) + 8 = 5768 ms.
+        assert_eq!(hetero(64, 2).sampled_divergence, ms(5768));
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod time;
 pub use analysis::{
     default_horizon, first_delta_reaching, sup_difference, CurveAnalysisError, Supremum,
 };
-pub use detection::DetectionBounds;
+pub use detection::{DetectionBounds, HeteroBounds};
 
 pub use curve::{
     Curve, DelayCurve, MaxCurve, MinCurve, Rate, ScaleCurve, StaircaseCurve, SumCurve, ZeroCurve,

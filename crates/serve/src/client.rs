@@ -255,8 +255,10 @@ impl Client {
         }
     }
 
-    /// Opens a fault-tolerant stream for `app` with `redundancy` replicas
-    /// (2 = duplicated timing selector, 3 = tri-modular value voting).
+    /// Opens a fault-tolerant stream for `app`. `redundancy` selects the
+    /// structure: `2` = duplicated timing selector, `3` = tri-modular
+    /// value voting, or a [`crate::hetero_redundancy`] byte for the
+    /// sampled-checker structure at a power-of-two stride.
     pub fn open_stream(&mut self, app: App, redundancy: u8) -> Result<OpenOutcome, ServeError> {
         let app = App::ALL
             .iter()

@@ -83,9 +83,13 @@ pub use error::{EvictReason, ProtocolError, ServeError};
 pub use replay::{replay_verify, ReplayReport, StreamReplay};
 pub use report::{ServeReport, StreamAccount};
 pub use server::{
-    detection_bound, FaultInjection, ServeRuntime, Server, ServerConfig, TenancyConfig,
+    detection_bound, hetero_detection_bound, FaultInjection, ServeRuntime, Server, ServerConfig,
+    TenancyConfig,
 };
-pub use wire::{kind_label, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+pub use wire::{
+    hetero_redundancy, hetero_stride, kind_label, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+};
 // Re-exported so servers can be configured durable without naming the
 // log crate directly.
 pub use rtft_wal::WalConfig;

@@ -37,8 +37,8 @@ use std::time::{Duration, Instant};
 
 use rtft_apps::networks::App;
 use rtft_core::{
-    DuplicationConfig, FaultPlan, JitterStageReplica, NJitterStageReplica, NModularModel,
-    NSizingReport, PayloadGenerator,
+    DuplicationConfig, FaultPlan, HeteroModel, HeteroSizingReport, HeteroStageReplica,
+    JitterStageReplica, NJitterStageReplica, NModularModel, NSizingReport, PayloadGenerator,
 };
 use rtft_fleet::{
     Admission, FleetConfig, FleetExecutor, JobNotifier, JobRuntime, JobSpec, JobTemplate,
@@ -56,7 +56,9 @@ use rtft_wal::{Wal, WalConfig, WalRecord};
 
 use crate::error::{EvictReason, ProtocolError, ServeError};
 use crate::report::{ServeReport, StreamAccount};
-use crate::wire::{read_frame, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+use crate::wire::{
+    hetero_stride, read_frame, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
 
 /// Replica compute service time = producer period / this (matches the
 /// chaos campaigns, so serve jobs inherit their timing envelope).
@@ -201,6 +203,35 @@ pub fn detection_bound(app: App) -> TimeNs {
     let model = app.profile().model;
     let bounds = cfg.sizing.detection_bounds(&model);
     bounds.permanent_timing() + model.producer.period + model.producer.jitter
+}
+
+/// The analytic worst-case fault-observation window for a sampled-checker
+/// stream of `app` at stride `k`, with the same producer-period arrival
+/// grace as [`detection_bound`]. Side `0` (the full-rate main) is covered
+/// by the overflow and sampled-divergence detectors racing; side `1` (the
+/// checker) only by sampled divergence, whose latency grows linearly in
+/// `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn hetero_detection_bound(app: App, k: u64, replica: usize) -> TimeNs {
+    let model = app.profile().model;
+    let hmodel = HeteroModel::with_checker_jitter(
+        model.producer,
+        model.consumer,
+        model.replica_out[0],
+        model.replica_out[1].jitter,
+        k,
+    );
+    let sizing = HeteroSizingReport::analyze(&hmodel).expect("profile models are bounded");
+    let bounds = sizing.bounds(&hmodel);
+    let latch = if replica == 0 {
+        bounds.permanent_timing()
+    } else {
+        bounds.sampled_divergence
+    };
+    latch + model.producer.period + model.producer.jitter
 }
 
 /// One open stream's server-side state.
@@ -1146,8 +1177,10 @@ fn handle_open(
     let app = *App::ALL
         .get(app as usize)
         .ok_or(ProtocolError::BadPayload("app index out of range"))?;
-    if !(redundancy == 2 || redundancy == 3) {
-        return Err(ProtocolError::BadPayload("redundancy must be 2 or 3").into());
+    if !(redundancy == 2 || redundancy == 3 || hetero_stride(redundancy).is_some()) {
+        return Err(
+            ProtocolError::BadPayload("redundancy must be 2, 3, or a hetero stride byte").into(),
+        );
     }
     let id = shared.next_stream.fetch_add(1, Ordering::SeqCst);
     let tenant_id = tenant.map_or(0, |t| t.0);
@@ -1494,6 +1527,36 @@ pub(crate) fn build_spec(
             cfg,
             factory: Arc::new(factory),
         }
+    } else if let Some(k) = hetero_stride(redundancy) {
+        let hmodel = HeteroModel::with_checker_jitter(
+            model.producer,
+            model.consumer,
+            model.replica_out[0],
+            model.replica_out[1].jitter,
+            k,
+        );
+        let sizing = HeteroSizingReport::analyze(&hmodel).expect("profile models are bounded");
+        let mut faults = [FaultPlan::healthy(), FaultPlan::healthy()];
+        for &(replica, at) in &injections {
+            if replica < 2 {
+                faults[replica] = FaultPlan::fail_stop_at(at);
+            }
+        }
+        let factory = HeteroStageReplica {
+            service,
+            out_models: [hmodel.main, hmodel.checker],
+            offset,
+            seed_base: seed ^ 0x44,
+        };
+        JobTemplate::Hetero {
+            model: hmodel,
+            sizing,
+            token_count: n,
+            seeds: (seed ^ 0xA5A5, seed ^ 0x5A5A),
+            payload,
+            factory: Arc::new(factory),
+            faults,
+        }
     } else {
         let mid_jitter = TimeNs::from_ns(
             (model.replica_out[0].jitter.as_ns() + model.replica_out[1].jitter.as_ns()) / 2,
@@ -1531,9 +1594,15 @@ pub(crate) fn build_spec(
         }
     };
 
+    // Sampled-divergence detection latency grows linearly in the stride,
+    // so hetero streams get extra virtual-time headroom; plain replica
+    // counts keep the historical horizon exactly.
+    let horizon_slack = hetero_stride(redundancy).map_or(0, |k| 8 * k);
     let runtime = match cfg.runtime {
         ServeRuntime::DiscreteEvent => JobRuntime::DiscreteEvent {
-            horizon: model.producer.period * (n + 60) + model.consumer.delay + TimeNs::from_secs(5),
+            horizon: model.producer.period * (n + 60 + horizon_slack)
+                + model.consumer.delay
+                + TimeNs::from_secs(5),
         },
         ServeRuntime::Threaded {
             deadline,

@@ -35,9 +35,11 @@
 //! | `0x85` | `Stats`      | S→C       | `stream:u32, tokens_in:u64, delivered:u64, faults:u64, busy:u64, queued:u32, inflight:u32, outstanding:u32` |
 //! | `0x86` | `Durable`    | S→C       | `stream:u32, tokens:u32, seq:u64` |
 //!
-//! `app` indexes [`rtft_apps::networks::App::ALL`]; `redundancy` is the
-//! replica count (2 = duplicated timing selector, 3 = tri-modular value
-//! voting). `kind` in `Fault` is the detection site
+//! `app` indexes [`rtft_apps::networks::App::ALL`]; `redundancy` selects
+//! the structure: `2` = duplicated timing selector, `3` = tri-modular
+//! value voting, and `0x10 | e` = the sampled-checker structure with
+//! stride `k = 1 << e` (`e ≤ 6`; see [`hetero_redundancy`] /
+//! [`hetero_stride`]). `kind` in `Fault` is the detection site
 //! ([`site_kind`] / [`kind_label`]).
 
 use std::io::{Read, Write};
@@ -46,6 +48,28 @@ use crate::error::{ProtocolError, ServeError};
 
 /// Protocol version this implementation speaks.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Encodes a sampled-checker stride as an `OpenStream` redundancy byte:
+/// `0x10 | e` with `k = 1 << e`. Only power-of-two strides up to `64`
+/// fit the encoding; anything else returns `None`.
+pub fn hetero_redundancy(k: u64) -> Option<u8> {
+    if k.is_power_of_two() && k <= 64 {
+        Some(0x10 | k.trailing_zeros() as u8)
+    } else {
+        None
+    }
+}
+
+/// Decodes an `OpenStream` redundancy byte: `Some(k)` when it selects
+/// the sampled-checker structure, `None` for the plain replica counts.
+pub fn hetero_stride(redundancy: u8) -> Option<u64> {
+    let e = redundancy ^ 0x10;
+    if redundancy & 0xF0 == 0x10 && e <= 6 {
+        Some(1u64 << e)
+    } else {
+        None
+    }
+}
 
 /// Default upper bound on a frame's length field (tag + body bytes).
 pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
@@ -534,6 +558,21 @@ fn get_bytes(r: &mut &[u8]) -> Result<Vec<u8>, ProtocolError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hetero_redundancy_roundtrips() {
+        for k in [1u64, 2, 4, 8, 16, 32, 64] {
+            let byte = hetero_redundancy(k).expect("power-of-two stride");
+            assert_eq!(hetero_stride(byte), Some(k));
+        }
+        assert_eq!(hetero_redundancy(3), None);
+        assert_eq!(hetero_redundancy(128), None);
+        // Plain replica counts and out-of-range exponents decode to None.
+        assert_eq!(hetero_stride(2), None);
+        assert_eq!(hetero_stride(3), None);
+        assert_eq!(hetero_stride(0x17), None);
+        assert_eq!(hetero_stride(0x20), None);
+    }
 
     fn round_trip(frame: Frame) {
         let wire = frame.encode();

@@ -1,11 +1,11 @@
 //! Network chaos over a live server — the CI smoke for `rtft_chaos::net`.
 //!
 //! Starts a hardened `rtft-serve` server (read deadlines, tenancy,
-//! write-ahead log) and drives it with 72 concurrent connections, 12 of
+//! write-ahead log) and drives it with 72 concurrent connections, 14 of
 //! them hostile — two of each network-fault kind: replica faults inside
-//! flushes, slow-loris writers, malformed frames, partial writes, abrupt
-//! disconnects with resume, and queue-quota storms. Checks the harness's
-//! hard promises:
+//! flushes, checker faults on sampled-checker streams, slow-loris
+//! writers, malformed frames, partial writes, abrupt disconnects with
+//! resume, and queue-quota storms. Checks the harness's hard promises:
 //!
 //! 1. **Zero violations** — per-stream and per-tenant token books
 //!    balance (`offered == delivered + undelivered + rejected`), every
@@ -38,7 +38,7 @@ fn main() {
     let cfg = NetChaosConfig {
         seed: 0xDAC14,
         connections: 72,
-        hostile: 12,
+        hostile: 14,
         tokens_per_batch: 4,
         batches: 2,
         wal: true,
@@ -66,9 +66,10 @@ fn main() {
         failures += 1;
     }
     // Two scenarios of each hostile kind must resolve to their taxonomy
-    // class — in particular both replica faults detected in bound.
+    // class — in particular the replica faults and the sampled-checker
+    // faults all detected in bound (two of each).
     for (class, expected) in [
-        (NetOutcome::DetectedInBound, 2),
+        (NetOutcome::DetectedInBound, 4),
         (NetOutcome::EvictedLossless, 2),
         (NetOutcome::FailedClosed, 2),
         (NetOutcome::Resumed, 2),

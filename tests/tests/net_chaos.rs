@@ -4,7 +4,8 @@
 //! The headline soak drives 200+ concurrent connections with every
 //! network-fault kind injected and proves the framework's guarantees
 //! held: per-stream and per-tenant token balance, in-bound detection of
-//! every permanent replica fault, lossless eviction of stalled writers,
+//! every permanent replica fault (on duplicated pairs and on
+//! sampled-checker streams alike), lossless eviction of stalled writers,
 //! fail-closed handling of malformed frames, zero silent failures, and a
 //! clean `replay_verify` over the surviving write-ahead log. A second
 //! test pins the canonical report byte-identical across runs of the same
@@ -54,7 +55,7 @@ impl Drop for TempDir {
 fn scenario_schedule_is_deterministic_and_covers_every_kind() {
     let cfg = NetChaosConfig {
         connections: 40,
-        hostile: 12,
+        hostile: 14,
         ..NetChaosConfig::default()
     };
     let a = generate_net_scenarios(&cfg);
@@ -70,14 +71,23 @@ fn scenario_schedule_is_deterministic_and_covers_every_kind() {
         assert_eq!(
             a.iter().filter(|s| s.kind == Some(kind)).count(),
             2,
-            "12 hostile over 6 kinds = 2 each ({})",
+            "14 hostile over 7 kinds = 2 each ({})",
             kind.label()
         );
     }
-    assert_eq!(a.iter().filter(|s| s.kind.is_none()).count(), 28);
+    assert_eq!(a.iter().filter(|s| s.kind.is_none()).count(), 26);
+    // Sampled-checker scenarios open with the hetero redundancy byte;
+    // everyone else stays on the duplicated pair.
+    for s in &a {
+        if s.kind == Some(NetFaultKind::HeteroFault) {
+            assert_eq!(s.redundancy(), 0x12, "k=4 encodes as 0x10 | log2(4)");
+        } else {
+            assert_eq!(s.redundancy(), 2);
+        }
+    }
 }
 
-/// The acceptance soak: 208 concurrent connections, 24 hostile (four of
+/// The acceptance soak: 208 concurrent connections, 28 hostile (four of
 /// each fault kind), write-ahead log on. Every invariant the issue
 /// names must hold with zero violations.
 #[test]
@@ -87,7 +97,7 @@ fn soak_two_hundred_connections_all_fault_kinds() {
     let cfg = NetChaosConfig {
         seed: 0xDAC14,
         connections: 208,
-        hostile: 24,
+        hostile: 28,
         tokens_per_batch: 4,
         batches: 2,
         wal: true,
@@ -105,16 +115,18 @@ fn soak_two_hundred_connections_all_fault_kinds() {
     assert!(wave.serve.balanced(), "serve books unbalanced");
 
     // Four scenarios of each hostile kind, each classified exactly as
-    // the taxonomy demands — no late detections, no violations.
-    assert_eq!(wave.count(NetOutcome::DetectedInBound), 4);
+    // the taxonomy demands — no late detections, no violations. The
+    // in-bound detections split 4 duplicated replica faults + 4
+    // sampled-checker (hetero) faults.
+    assert_eq!(wave.count(NetOutcome::DetectedInBound), 8);
     assert_eq!(wave.count(NetOutcome::DetectedLate), 0);
     assert_eq!(wave.count(NetOutcome::EvictedLossless), 4);
     assert_eq!(wave.count(NetOutcome::FailedClosed), 4);
     assert_eq!(wave.count(NetOutcome::Resumed), 4);
     assert_eq!(wave.count(NetOutcome::Backpressured), 4);
     assert_eq!(wave.count(NetOutcome::Violation), 0);
-    // 184 load clients + 4 partial-write scenarios end clean.
-    assert_eq!(wave.count(NetOutcome::Clean), 188);
+    // 180 load clients + 4 partial-write scenarios end clean.
+    assert_eq!(wave.count(NetOutcome::Clean), 184);
 
     assert_eq!(wave.evictions, 4, "one eviction per slow-loris");
     assert_eq!(wave.protocol_errors, 4, "one per malformed frame");
