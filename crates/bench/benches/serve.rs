@@ -57,7 +57,7 @@ fn run_point(connections: usize) -> ScalePoint {
                 let mut busy = 0u64;
                 for f in 0..FLUSHES_PER_CONNECTION {
                     let batch = workload(App::Adpcm, (c * 31 + f) as u64, TOKENS_PER_FLUSH);
-                    client.send_tokens(stream, batch).expect("send");
+                    client.send_tokens(stream, &batch).expect("send");
                     let t0 = Instant::now();
                     loop {
                         let run = client.flush(stream).expect("flush");

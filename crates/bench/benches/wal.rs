@@ -36,7 +36,7 @@ fn scratch(tag: &str) -> std::path::PathBuf {
 fn record(stream: u32, n: usize) -> WalRecord {
     WalRecord::Tokens {
         stream,
-        payloads: vec![vec![n as u8; PAYLOAD_BYTES]],
+        payloads: vec![rtft_kpn::Bytes::from(vec![n as u8; PAYLOAD_BYTES])],
     }
 }
 

@@ -42,7 +42,7 @@ use rtft_fleet::FleetConfig;
 use rtft_kpn::SplitMix64;
 use rtft_obs::json::{array, escape, JsonObject};
 use rtft_rtc::TimeNs;
-use rtft_serve::wire::{read_frame, write_frame};
+use rtft_serve::wire::{read_frame, write_frame, write_tokens};
 use rtft_serve::{
     detection_bound, hetero_detection_bound, hetero_redundancy, replay_verify, workload,
     BusyReason, Client, FaultInjection, Frame, ProtocolError, RetryPolicy, ServeError, ServeReport,
@@ -903,11 +903,11 @@ fn send_batch(
 ) -> Result<bool, ServeError> {
     if cfg.wal {
         Ok(matches!(
-            client.send_tokens_acked(stream, batch)?,
+            client.send_tokens_acked(stream, &batch)?,
             TokensAck::Durable(_)
         ))
     } else {
-        client.send_tokens(stream, batch)?;
+        client.send_tokens(stream, &batch)?;
         Ok(true)
     }
 }
@@ -1011,12 +1011,12 @@ fn drive_storm(
     // The deterministic refusal: quota == one batch, one batch buffered.
     view.offered += n;
     let refused = if cfg.wal {
-        match client.send_tokens_acked(stream, second.clone())? {
+        match client.send_tokens_acked(stream, &second)? {
             TokensAck::Refused(info) => Some(info),
             TokensAck::Durable(_) => None,
         }
     } else {
-        client.send_tokens(stream, second.clone())?;
+        client.send_tokens(stream, &second)?;
         Some(client.recv_busy(stream)?)
     };
     match refused {
@@ -1122,7 +1122,12 @@ fn drive_slow_loris(
     // under the read timeout — only the whole-frame deadline can latch.
     let wire = Frame::Tokens {
         stream,
-        payloads: batches.next().expect("two batches"),
+        payloads: batches
+            .next()
+            .expect("two batches")
+            .into_iter()
+            .map(rtft_kpn::Bytes::from)
+            .collect(),
     }
     .encode();
     let trickle = TRICKLE_BYTES.min(wire.len() - 1);
@@ -1223,7 +1228,7 @@ fn drive_partial_write(
 
     let wire = Frame::Tokens {
         stream,
-        payloads: batch,
+        payloads: batch.into_iter().map(rtft_kpn::Bytes::from).collect(),
     }
     .encode();
     let split = wire.len() / 2;
@@ -1291,7 +1296,7 @@ fn raw_send_tokens(
     stream: u32,
     payloads: Vec<Vec<u8>>,
 ) -> Result<(), ServeError> {
-    write_frame(sock, &Frame::Tokens { stream, payloads })?;
+    write_tokens(sock, stream, &payloads)?;
     if cfg.wal {
         raw_wait_durable(sock, stream)?;
     }

@@ -205,6 +205,7 @@ impl Fifo {
 }
 
 impl ChannelBehavior for Fifo {
+    #[inline]
     fn try_write(&mut self, iface: usize, token: Token, _now: TimeNs) -> WriteOutcome {
         assert_eq!(iface, 0, "FIFO has a single write interface");
         if self.queue.len() >= self.capacity {
@@ -216,6 +217,7 @@ impl ChannelBehavior for Fifo {
         WriteOutcome::Accepted
     }
 
+    #[inline]
     fn try_read(&mut self, iface: usize, _now: TimeNs) -> ReadOutcome {
         assert_eq!(iface, 0, "FIFO has a single read interface");
         match self.queue.pop_front() {

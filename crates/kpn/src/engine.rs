@@ -23,21 +23,24 @@
 //! and with the paper's process counts (≤ a few dozen) far from being a
 //! bottleneck.
 
-use crate::channel::{ChannelId, ReadOutcome, WriteOutcome};
+use crate::calendar::{EventQueue, Popped, QueueKind, QueuedEvent, WakeKind};
+use crate::channel::{ChannelBehavior as _, ChannelId, ReadOutcome, WriteOutcome};
 use crate::network::Network;
 use crate::platform::{IdealPlatform, Platform};
+use crate::process::Process as _;
 use crate::process::{NodeId, Syscall, Wakeup};
 use crate::trace::{Trace, TraceEvent};
 use rtft_obs::{Counter, Gauge, MetricsRegistry};
 use rtft_rtc::TimeNs;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Pre-resolved metric handles for the engine's hot loop.
 ///
-/// Resolved once in [`Engine::with_metrics`], so the step loop pays one
-/// `Option` branch when metrics are off and a relaxed atomic op per event
-/// when they are on — never a registry lookup.
+/// Resolved once in [`Engine::with_metrics`]. The loop itself never
+/// touches these: it bumps the plain-integer [`ObsTally`] shadow and the
+/// engine flushes the tally into the atomics when `run_until` returns.
+/// (Each engine owns its registry in practice — fleet workers build one
+/// per engine — so a concurrent reader only ever loses the tail of the
+/// slice currently executing, never committed counts.)
 #[derive(Debug, Clone)]
 struct EngineObs {
     events: Counter,
@@ -50,6 +53,39 @@ struct EngineObs {
     /// Occupancy gauge per channel (value = fill after the last op on the
     /// touched interface; `max` = high-water mark).
     channel_fill: Vec<Gauge>,
+}
+
+/// Plain-integer shadow of [`EngineObs`], accumulated on the hot path
+/// (one predictable branch + an increment per touch, no atomic RMW) and
+/// flushed into the shared counters at every `run_until` exit.
+#[derive(Debug, Default)]
+struct ObsTally {
+    events: u64,
+    tokens_written: u64,
+    tokens_read: u64,
+    tokens_dropped: u64,
+    read_blocked: u64,
+    write_blocked: u64,
+    halts: u64,
+    /// Per-channel (last fill, high-water, touched-this-slice).
+    fill: Vec<(u64, u64, bool)>,
+}
+
+impl ObsTally {
+    fn new(channels: usize) -> Self {
+        ObsTally {
+            fill: vec![(0, 0, false); channels],
+            ..ObsTally::default()
+        }
+    }
+
+    #[inline]
+    fn record_fill(&mut self, channel: usize, fill: u64) {
+        let slot = &mut self.fill[channel];
+        slot.0 = fill;
+        slot.1 = slot.1.max(fill);
+        slot.2 = true;
+    }
 }
 
 impl EngineObs {
@@ -101,36 +137,6 @@ pub enum RunOutcome {
     },
 }
 
-#[derive(Debug, PartialEq, Eq)]
-struct QueuedEvent {
-    at: TimeNs,
-    seq: u64,
-    node: NodeId,
-    wake: WakeKind,
-}
-
-/// Internal wakeup kinds; tokens for `ReadDone` are produced at delivery.
-#[derive(Debug, PartialEq, Eq)]
-enum WakeKind {
-    Start,
-    ComputeDone,
-    /// Re-attempt the stored pending syscall (after a park or a transfer
-    /// latency charge).
-    Attempt,
-}
-
-impl Ord for QueuedEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for QueuedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
     /// Waiting for a scheduled wakeup (start, compute, or attempt).
@@ -165,8 +171,14 @@ enum ProcState {
 pub struct Engine {
     network: Network,
     platform: Box<dyn Platform>,
+    /// Per-node [`Platform::compute_scale`], cached at construction so the
+    /// Compute path never makes the dyn call.
+    compute_scales: Vec<f64>,
+    /// Cached [`Platform::zero_transfer`]: skips the per-write latency
+    /// query on zero-latency platforms.
+    zero_transfer: bool,
     now: TimeNs,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: EventQueue,
     seq: u64,
     states: Vec<ProcState>,
     /// Pending syscall per process (the one being attempted/parked).
@@ -178,6 +190,10 @@ pub struct Engine {
     write_waiters: Vec<Vec<NodeId>>,
     trace: Trace,
     obs: Option<EngineObs>,
+    /// Mirrors `obs.is_some()`: one bool load on the hot path instead of
+    /// an `Option` discriminant.
+    metrics_on: bool,
+    tally: ObsTally,
     event_budget: u64,
     started: bool,
 }
@@ -204,13 +220,19 @@ impl Engine {
         }
         let n_proc = network.process_count();
         let n_chan = network.channel_count();
+        let compute_scales = (0..n_proc)
+            .map(|i| platform.compute_scale(NodeId(i)))
+            .collect();
+        let zero_transfer = platform.zero_transfer();
         Engine {
             network,
             platform,
+            compute_scales,
+            zero_transfer,
             now: TimeNs::ZERO,
             // Pre-sized so the steady-state event mix (one wake per process
             // plus channel-waiter retries) never reallocates mid-run.
-            queue: BinaryHeap::with_capacity((n_proc * 4).max(64)),
+            queue: EventQueue::new(crate::calendar::default_queue(), (n_proc * 4).max(64)),
             seq: 0,
             states: vec![ProcState::Scheduled; n_proc],
             pending: (0..n_proc).map(|_| None).collect(),
@@ -219,6 +241,8 @@ impl Engine {
             write_waiters: vec![Vec::new(); n_chan],
             trace: Trace::disabled(),
             obs: None,
+            metrics_on: false,
+            tally: ObsTally::new(n_chan),
             event_budget: u64::MAX,
             started: false,
         }
@@ -238,12 +262,33 @@ impl Engine {
         self
     }
 
+    /// Selects the event-queue implementation (default: the process-wide
+    /// [`crate::default_queue`], normally the calendar queue). Both
+    /// produce identical event orders; the heap exists for differential
+    /// testing. Must be called before the first `run_until`.
+    pub fn with_queue(mut self, kind: QueueKind) -> Self {
+        assert!(!self.started, "queue selected after the run started");
+        self.queue = EventQueue::new(kind, 64);
+        self
+    }
+
+    /// Which event-queue implementation this engine runs on.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Number of scheduled events not yet delivered (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Attaches metrics: engine step/token/block counters plus one
     /// occupancy gauge per channel (named
     /// `kpn.channel.<name>.fill`), all registered in `registry`. Handles
     /// are resolved here, once; the step loop itself never locks.
     pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
         self.obs = Some(EngineObs::new(registry, &self.network));
+        self.metrics_on = true;
         self
     }
 
@@ -278,22 +323,44 @@ impl Engine {
         self.network
     }
 
+    #[inline]
     fn schedule(&mut self, at: TimeNs, node: NodeId, wake: WakeKind) {
+        // No `states` write: a process is Parked or Halted only while its
+        // last drive ended that way, and both sites store the state
+        // themselves. Termination (the only reader of `states` besides
+        // the halted-skip) is unreachable while this event is queued.
         self.seq += 1;
-        self.states[node.0] = ProcState::Scheduled;
-        self.queue.push(Reverse(QueuedEvent {
-            at,
-            seq: self.seq,
-            node,
-            wake,
-        }));
+        self.queue.push(
+            self.now,
+            QueuedEvent {
+                at,
+                seq: self.seq,
+                node,
+                wake,
+            },
+        );
     }
 
     fn wake_channel_waiters(&mut self, channel: ChannelId) {
-        let readers = std::mem::take(&mut self.read_waiters[channel.0]);
-        let writers = std::mem::take(&mut self.write_waiters[channel.0]);
-        for node in readers.into_iter().chain(writers) {
+        // Indexed loops instead of `mem::take`: taking the Vec dropped its
+        // allocation and the next park re-allocated it — a malloc/free
+        // pair per blocked token on the hot path. `clear()` keeps the
+        // capacity. Safe because `schedule` never touches the wait lists.
+        let readers = self.read_waiters[channel.0].len();
+        for i in 0..readers {
+            let node = self.read_waiters[channel.0][i];
             self.schedule(self.now, node, WakeKind::Attempt);
+        }
+        if readers > 0 {
+            self.read_waiters[channel.0].clear();
+        }
+        let writers = self.write_waiters[channel.0].len();
+        for i in 0..writers {
+            let node = self.write_waiters[channel.0][i];
+            self.schedule(self.now, node, WakeKind::Attempt);
+        }
+        if writers > 0 {
+            self.write_waiters[channel.0].clear();
         }
     }
 
@@ -309,7 +376,9 @@ impl Engine {
                 Some(w) => {
                     let (_, procs) = self.network.parts_mut();
                     let s = procs[node.0].process.resume(w, self.now);
-                    self.transfer_paid[node.0] = false;
+                    if !self.zero_transfer {
+                        self.transfer_paid[node.0] = false;
+                    }
                     s
                 }
                 None => self.pending[node.0]
@@ -322,13 +391,13 @@ impl Engine {
                     self.states[node.0] = ProcState::Halted;
                     self.pending[node.0] = None;
                     self.trace.push(self.now, TraceEvent::Halted { node });
-                    if let Some(obs) = &self.obs {
-                        obs.halts.inc();
+                    if self.metrics_on {
+                        self.tally.halts += 1;
                     }
                     return;
                 }
                 Syscall::Compute(d) => {
-                    let scale = self.platform.compute_scale(node);
+                    let scale = self.compute_scales[node.0];
                     let scaled = if scale == 1.0 {
                         d
                     } else {
@@ -341,7 +410,7 @@ impl Engine {
                 Syscall::Read(port) => {
                     let outcome = self
                         .network
-                        .channel_mut(port.channel)
+                        .chan_body_mut(port.channel)
                         .try_read(port.iface, self.now);
                     match outcome {
                         ReadOutcome::Token(token) => {
@@ -353,10 +422,10 @@ impl Engine {
                                     seq: token.seq,
                                 },
                             );
-                            if let Some(obs) = &self.obs {
-                                obs.tokens_read.inc();
+                            if self.metrics_on {
+                                self.tally.tokens_read += 1;
                                 let fill = self.network.channel(port.channel).fill(port.iface);
-                                obs.channel_fill[port.channel.0].set(fill as u64);
+                                self.tally.record_fill(port.channel.0, fill as u64);
                             }
                             self.pending[node.0] = None;
                             self.wake_channel_waiters(port.channel);
@@ -365,8 +434,8 @@ impl Engine {
                         ReadOutcome::Blocked => {
                             self.trace
                                 .push(self.now, TraceEvent::ReadBlocked { node, port });
-                            if let Some(obs) = &self.obs {
-                                obs.read_blocked.inc();
+                            if self.metrics_on {
+                                self.tally.read_blocked += 1;
                             }
                             self.pending[node.0] = Some(Syscall::Read(port));
                             self.states[node.0] = ProcState::Parked;
@@ -378,7 +447,7 @@ impl Engine {
                 Syscall::Write(port, token) => {
                     // Charge the transfer latency once per write, before
                     // admission.
-                    if !self.transfer_paid[node.0] {
+                    if !self.zero_transfer && !self.transfer_paid[node.0] {
                         let latency =
                             self.platform
                                 .transfer_latency(node, port.channel, token.payload.len());
@@ -395,7 +464,7 @@ impl Engine {
                     let seq = token.seq;
                     let outcome = self
                         .network
-                        .channel_mut(port.channel)
+                        .chan_body_mut(port.channel)
                         .try_write(port.iface, token, self.now);
                     match outcome {
                         WriteOutcome::Accepted | WriteOutcome::AcceptedDropped => {
@@ -409,13 +478,11 @@ impl Engine {
                                     dropped: was_dropped,
                                 },
                             );
-                            if let Some(obs) = &self.obs {
-                                obs.tokens_written.inc();
-                                if was_dropped {
-                                    obs.tokens_dropped.inc();
-                                }
+                            if self.metrics_on {
+                                self.tally.tokens_written += 1;
+                                self.tally.tokens_dropped += u64::from(was_dropped);
                                 let fill = self.network.channel(port.channel).fill(0);
-                                obs.channel_fill[port.channel.0].set(fill as u64);
+                                self.tally.record_fill(port.channel.0, fill as u64);
                             }
                             self.pending[node.0] = None;
                             self.wake_channel_waiters(port.channel);
@@ -424,8 +491,8 @@ impl Engine {
                         WriteOutcome::Blocked(token) => {
                             self.trace
                                 .push(self.now, TraceEvent::WriteBlocked { node, port });
-                            if let Some(obs) = &self.obs {
-                                obs.write_blocked.inc();
+                            if self.metrics_on {
+                                self.tally.write_blocked += 1;
                             }
                             self.pending[node.0] = Some(Syscall::Write(port, token));
                             self.states[node.0] = ProcState::Parked;
@@ -441,6 +508,42 @@ impl Engine {
     /// Runs until virtual time `limit`, all processes halt, or the network
     /// goes quiescent (deadlock / starvation).
     pub fn run_until(&mut self, limit: TimeNs) -> RunOutcome {
+        let outcome = self.run_loop(limit);
+        self.flush_tally();
+        outcome
+    }
+
+    /// Publishes the slice's [`ObsTally`] into the shared metric handles.
+    fn flush_tally(&mut self) {
+        let Some(obs) = &self.obs else { return };
+        let t = &mut self.tally;
+        obs.events.add(t.events);
+        obs.tokens_written.add(t.tokens_written);
+        obs.tokens_read.add(t.tokens_read);
+        obs.tokens_dropped.add(t.tokens_dropped);
+        obs.read_blocked.add(t.read_blocked);
+        obs.write_blocked.add(t.write_blocked);
+        obs.halts.add(t.halts);
+        t.events = 0;
+        t.tokens_written = 0;
+        t.tokens_read = 0;
+        t.tokens_dropped = 0;
+        t.read_blocked = 0;
+        t.write_blocked = 0;
+        t.halts = 0;
+        for (i, (cur, max, touched)) in t.fill.iter_mut().enumerate() {
+            if *touched {
+                // First set raises the high-water mark, second restores
+                // the live value (Gauge::set folds both into `max`).
+                obs.channel_fill[i].set(*max);
+                obs.channel_fill[i].set(*cur);
+                *max = *cur;
+                *touched = false;
+            }
+        }
+    }
+
+    fn run_loop(&mut self, limit: TimeNs) -> RunOutcome {
         if !self.started {
             self.started = true;
             for i in 0..self.network.process_count() {
@@ -448,53 +551,77 @@ impl Engine {
             }
         }
 
+        // Local accumulators keep the per-event bookkeeping in registers;
+        // they are folded back into the engine on every exit path.
+        let mut events = 0u64;
         let mut budget = self.event_budget;
-        loop {
-            let Some(Reverse(ev)) = self.queue.pop() else {
-                // Nothing scheduled: finished or deadlocked.
-                let blocked: Vec<NodeId> = self
-                    .states
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| **s == ProcState::Parked)
-                    .map(|(i, _)| NodeId(i))
-                    .collect();
-                return if blocked.is_empty() {
-                    RunOutcome::Completed { at: self.now }
-                } else {
-                    RunOutcome::Quiescent {
-                        at: self.now,
-                        blocked,
-                    }
-                };
-            };
-            if ev.at > limit {
-                // Not yet due: push back and stop.
-                self.queue.push(Reverse(ev));
-                self.now = limit;
-                return RunOutcome::TimeLimit;
-            }
+        let outcome = loop {
             if budget == 0 {
-                self.queue.push(Reverse(ev));
-                return RunOutcome::EventBudgetExhausted { at: self.now };
-            }
-            budget -= 1;
-            if let Some(obs) = &self.obs {
-                obs.events.inc();
-            }
-
-            self.now = ev.at;
-            if self.states[ev.node.0] == ProcState::Halted {
-                continue;
-            }
-            match ev.wake {
-                WakeKind::Start => self.drive(ev.node, Some(Wakeup::Start)),
-                WakeKind::ComputeDone => self.drive(ev.node, Some(Wakeup::ComputeDone)),
-                WakeKind::Attempt => {
-                    if self.pending[ev.node.0].is_some() {
-                        self.drive(ev.node, None);
+                // Rare path: peek without popping so the time-limit check
+                // keeps priority over budget exhaustion.
+                break match self.queue.next_at(self.now) {
+                    None => self.termination_outcome(),
+                    Some(at) if at > limit => {
+                        self.now = limit;
+                        RunOutcome::TimeLimit
                     }
+                    Some(_) => RunOutcome::EventBudgetExhausted { at: self.now },
+                };
+            }
+            match self.queue.pop_due(self.now, limit) {
+                Popped::Empty => break self.termination_outcome(),
+                Popped::NotDue => {
+                    self.now = limit;
+                    break RunOutcome::TimeLimit;
                 }
+                Popped::Event { at, node, wake } => {
+                    budget -= 1;
+                    events += 1;
+                    self.now = at;
+                    if self.states[node.0] == ProcState::Halted {
+                        continue;
+                    }
+                    // Resolve the wakeup first so `drive` has a single call
+                    // site — it is a large function, and duplicating it per
+                    // match arm costs inlining budget and icache.
+                    let wakeup = match wake {
+                        WakeKind::Start => Some(Wakeup::Start),
+                        WakeKind::ComputeDone => Some(Wakeup::ComputeDone),
+                        WakeKind::Attempt => {
+                            if self.pending[node.0].is_none() {
+                                // Spurious wake: the process already
+                                // re-attempted (and succeeded) under an
+                                // earlier wake at this timestamp.
+                                continue;
+                            }
+                            None
+                        }
+                    };
+                    self.drive(node, wakeup);
+                }
+            }
+        };
+        if self.metrics_on {
+            self.tally.events += events;
+        }
+        outcome
+    }
+
+    /// Outcome when no events remain: finished or deadlocked.
+    fn termination_outcome(&self) -> RunOutcome {
+        let blocked: Vec<NodeId> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ProcState::Parked)
+            .map(|(i, _)| NodeId(i))
+            .collect();
+        if blocked.is_empty() {
+            RunOutcome::Completed { at: self.now }
+        } else {
+            RunOutcome::Quiescent {
+                at: self.now,
+                blocked,
             }
         }
     }
@@ -588,7 +715,7 @@ mod tests {
         let mut net = Network::new();
         let a = net.add_channel(Fifo::new("a", 2));
         let model = PjdModel::periodic(ms(10));
-        let captured = data.clone();
+        let captured = data;
         net.add_process(PjdSource::new(
             "src",
             PortId::of(a),
@@ -608,7 +735,7 @@ mod tests {
         assert_eq!(received.as_ptr(), ptr, "same allocation end-to-end");
         assert_eq!(
             Bytes::strong_count(received),
-            3,
+            2,
             "no hidden clone on the accepted-write path"
         );
     }

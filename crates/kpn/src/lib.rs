@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 mod channel;
 mod digest;
 mod engine;
@@ -54,6 +55,7 @@ pub mod threaded;
 mod token;
 mod trace;
 
+pub use calendar::{default_queue, set_default_queue, QueueKind};
 pub use channel::{
     ChannelBehavior, ChannelId, Fifo, PortId, ReadOutcome, UnboundedFifo, WriteOutcome,
 };
@@ -63,7 +65,7 @@ pub use fault_link::{FaultyLink, LinkFaultPlan};
 pub use network::{port, ChannelSlot, Network, ProcessSlot};
 pub use parallel::{campaign_workers, parallel_map_ordered};
 pub use platform::{IdealPlatform, Platform, UniformBusPlatform};
-pub use pool::{PoolLoad, PoolStats, WorkerPool};
+pub use pool::{PayloadPool, PayloadPoolStats, PoolBuf, PoolLoad, PoolStats, WorkerPool};
 pub use process::{
     Collector, JitterSampler, NodeId, PjdShaper, PjdSink, PjdSource, Process, Syscall, Transform,
     Wakeup,

@@ -1,15 +1,182 @@
 //! Network assembly: processes + channels + wiring.
 
-use crate::channel::{ChannelBehavior, ChannelId, PortId};
-use crate::process::{NodeId, Process};
+use crate::channel::{ChannelBehavior, ChannelId, Fifo, PortId, ReadOutcome, WriteOutcome};
+use crate::process::{Collector, NodeId, PjdSource, Process, Syscall, Wakeup};
+use crate::token::Token;
+use rtft_rtc::TimeNs;
+use std::any::Any;
 use std::fmt;
+
+/// Channel storage. [`Fifo`] — the channel on every hot data path — is
+/// stored inline so the engine's `try_write`/`try_read` dispatch is a
+/// direct, inlineable call; every other behavior rides the usual trait
+/// object. Dispatch order and semantics are identical either way.
+pub enum ChanBody {
+    /// An inline [`Fifo`].
+    Fifo(Fifo),
+    /// Any other channel behavior.
+    Dyn(Box<dyn ChannelBehavior>),
+}
+
+impl ChanBody {
+    fn from_behavior<C: ChannelBehavior + 'static>(c: C) -> Self {
+        let mut holder = Some(c);
+        let any: &mut dyn Any = &mut holder;
+        if let Some(f) = any.downcast_mut::<Option<Fifo>>() {
+            return ChanBody::Fifo(f.take().expect("fresh holder"));
+        }
+        ChanBody::Dyn(Box::new(holder.take().expect("fresh holder")))
+    }
+}
+
+impl fmt::Debug for ChanBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChanBody::Fifo(c) => c.fmt(f),
+            ChanBody::Dyn(c) => c.fmt(f),
+        }
+    }
+}
+
+impl ChannelBehavior for ChanBody {
+    #[inline]
+    fn try_write(&mut self, iface: usize, token: Token, now: TimeNs) -> WriteOutcome {
+        match self {
+            ChanBody::Fifo(c) => c.try_write(iface, token, now),
+            ChanBody::Dyn(c) => c.try_write(iface, token, now),
+        }
+    }
+
+    #[inline]
+    fn try_read(&mut self, iface: usize, now: TimeNs) -> ReadOutcome {
+        match self {
+            ChanBody::Fifo(c) => c.try_read(iface, now),
+            ChanBody::Dyn(c) => c.try_read(iface, now),
+        }
+    }
+
+    fn write_ifaces(&self) -> usize {
+        match self {
+            ChanBody::Fifo(c) => c.write_ifaces(),
+            ChanBody::Dyn(c) => c.write_ifaces(),
+        }
+    }
+
+    fn read_ifaces(&self) -> usize {
+        match self {
+            ChanBody::Fifo(c) => c.read_ifaces(),
+            ChanBody::Dyn(c) => c.read_ifaces(),
+        }
+    }
+
+    #[inline]
+    fn fill(&self, iface: usize) -> usize {
+        match self {
+            ChanBody::Fifo(c) => c.fill(iface),
+            ChanBody::Dyn(c) => c.fill(iface),
+        }
+    }
+
+    fn capacity(&self, iface: usize) -> usize {
+        match self {
+            ChanBody::Fifo(c) => c.capacity(iface),
+            ChanBody::Dyn(c) => c.capacity(iface),
+        }
+    }
+
+    fn max_fill(&self, iface: usize) -> usize {
+        match self {
+            ChanBody::Fifo(c) => c.max_fill(iface),
+            ChanBody::Dyn(c) => c.max_fill(iface),
+        }
+    }
+
+    fn debug_name(&self) -> Option<&str> {
+        match self {
+            ChanBody::Fifo(c) => c.debug_name(),
+            ChanBody::Dyn(c) => c.debug_name(),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        match self {
+            ChanBody::Fifo(c) => c.as_any(),
+            ChanBody::Dyn(c) => c.as_any(),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        match self {
+            ChanBody::Fifo(c) => c.as_any_mut(),
+            ChanBody::Dyn(c) => c.as_any_mut(),
+        }
+    }
+}
+
+/// Process storage, mirroring [`ChanBody`]: the two helper processes on
+/// the benchmark hot paths are inline, the rest are trait objects.
+pub enum ProcBody {
+    /// An inline [`PjdSource`].
+    Source(PjdSource),
+    /// An inline [`Collector`].
+    Collector(Collector),
+    /// Any other process.
+    Dyn(Box<dyn Process>),
+}
+
+impl ProcBody {
+    fn from_process<P: Process + 'static>(p: P) -> Self {
+        let mut holder = Some(p);
+        let any: &mut dyn Any = &mut holder;
+        if let Some(s) = any.downcast_mut::<Option<PjdSource>>() {
+            return ProcBody::Source(s.take().expect("fresh holder"));
+        }
+        if let Some(c) = any.downcast_mut::<Option<Collector>>() {
+            return ProcBody::Collector(c.take().expect("fresh holder"));
+        }
+        ProcBody::Dyn(Box::new(holder.take().expect("fresh holder")))
+    }
+}
+
+impl Process for ProcBody {
+    fn name(&self) -> &str {
+        match self {
+            ProcBody::Source(p) => p.name(),
+            ProcBody::Collector(p) => p.name(),
+            ProcBody::Dyn(p) => p.name(),
+        }
+    }
+
+    #[inline]
+    fn resume(&mut self, wake: Wakeup, now: TimeNs) -> Syscall {
+        match self {
+            ProcBody::Source(p) => p.resume(wake, now),
+            ProcBody::Collector(p) => p.resume(wake, now),
+            ProcBody::Dyn(p) => p.resume(wake, now),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn Any> {
+        match self {
+            ProcBody::Source(p) => p.as_any(),
+            ProcBody::Collector(p) => p.as_any(),
+            ProcBody::Dyn(p) => p.as_any(),
+        }
+    }
+}
+
+impl fmt::Debug for ProcBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Process({})", self.name())
+    }
+}
 
 /// A named channel slot in the network.
 pub struct ChannelSlot {
     /// Diagnostic name.
     pub name: String,
     /// The channel state machine.
-    pub behavior: Box<dyn ChannelBehavior>,
+    pub behavior: ChanBody,
 }
 
 impl fmt::Debug for ChannelSlot {
@@ -25,7 +192,7 @@ pub struct ProcessSlot {
     /// Diagnostic name (copied from the process at insertion).
     pub name: String,
     /// The process itself.
-    pub process: Box<dyn Process>,
+    pub process: ProcBody,
 }
 
 impl fmt::Debug for ProcessSlot {
@@ -69,11 +236,15 @@ impl Network {
 
     /// Adds a channel, returning its id.
     pub fn add_channel(&mut self, behavior: impl ChannelBehavior + 'static) -> ChannelId {
-        self.add_channel_boxed(Box::new(behavior))
+        self.add_channel_body(ChanBody::from_behavior(behavior))
     }
 
     /// Adds an already-boxed channel, returning its id.
     pub fn add_channel_boxed(&mut self, behavior: Box<dyn ChannelBehavior>) -> ChannelId {
+        self.add_channel_body(ChanBody::Dyn(behavior))
+    }
+
+    fn add_channel_body(&mut self, behavior: ChanBody) -> ChannelId {
         let id = ChannelId(self.channels.len());
         let name = behavior
             .debug_name()
@@ -94,11 +265,15 @@ impl Network {
 
     /// Adds a process, returning its id.
     pub fn add_process(&mut self, process: impl Process + 'static) -> NodeId {
-        self.add_process_boxed(Box::new(process))
+        self.add_process_body(ProcBody::from_process(process))
     }
 
     /// Adds an already-boxed process, returning its id.
     pub fn add_process_boxed(&mut self, process: Box<dyn Process>) -> NodeId {
+        self.add_process_body(ProcBody::Dyn(process))
+    }
+
+    fn add_process_body(&mut self, process: ProcBody) -> NodeId {
         let id = NodeId(self.processes.len());
         let name = process.name().to_owned();
         self.processes.push(ProcessSlot { name, process });
@@ -121,7 +296,7 @@ impl Network {
     ///
     /// Panics if `id` is out of range.
     pub fn channel(&self, id: ChannelId) -> &dyn ChannelBehavior {
-        self.channels[id.0].behavior.as_ref()
+        &self.channels[id.0].behavior
     }
 
     /// Mutably borrows a channel's behavior.
@@ -130,7 +305,15 @@ impl Network {
     ///
     /// Panics if `id` is out of range.
     pub fn channel_mut(&mut self, id: ChannelId) -> &mut dyn ChannelBehavior {
-        self.channels[id.0].behavior.as_mut()
+        &mut self.channels[id.0].behavior
+    }
+
+    /// Concrete-typed channel access for the engine's hot path: dispatch
+    /// through [`ChanBody`]'s match instead of a vtable, so `Fifo` ops
+    /// inline into the step loop.
+    #[inline]
+    pub(crate) fn chan_body_mut(&mut self, id: ChannelId) -> &mut ChanBody {
+        &mut self.channels[id.0].behavior
     }
 
     /// Downcasts a channel to a concrete type (e.g. to read a replicator's
@@ -147,7 +330,7 @@ impl Network {
     ///
     /// Panics if `id` is out of range.
     pub fn process(&self, id: NodeId) -> &dyn Process {
-        self.processes[id.0].process.as_ref()
+        &self.processes[id.0].process
     }
 
     /// Downcasts a process to a concrete type (e.g. to read a sink's

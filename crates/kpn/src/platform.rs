@@ -20,9 +20,18 @@ pub trait Platform: fmt::Debug + Send {
 
     /// Scales a process's nominal compute duration (e.g. for cores clocked
     /// differently from the calibration platform). `1.0` is neutral.
+    ///
+    /// Must be a pure function of `node`: the engine caches it per process
+    /// at construction and never consults the platform again mid-run.
     fn compute_scale(&self, node: NodeId) -> f64 {
         let _ = node;
         1.0
+    }
+
+    /// `true` when [`Platform::transfer_latency`] is identically zero, so
+    /// the engine can skip the per-write latency query entirely.
+    fn zero_transfer(&self) -> bool {
+        false
     }
 }
 
@@ -33,6 +42,10 @@ pub struct IdealPlatform;
 impl Platform for IdealPlatform {
     fn transfer_latency(&self, _writer: NodeId, _channel: ChannelId, _bytes: usize) -> TimeNs {
         TimeNs::ZERO
+    }
+
+    fn zero_transfer(&self) -> bool {
+        true
     }
 }
 

@@ -565,7 +565,9 @@ impl Collector {
         Collector {
             name: name.into(),
             input,
-            tokens: Vec::new(),
+            // Reserve up front (capped) so a long run never pays Vec
+            // doubling: regrowing 200k tokens memcpys ~16 MB mid-bench.
+            tokens: Vec::with_capacity(limit.unwrap_or(0).min(1 << 20)),
             limit,
         }
     }

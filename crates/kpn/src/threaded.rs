@@ -16,7 +16,7 @@
 
 use crate::channel::{ChannelBehavior, ReadOutcome, WriteOutcome};
 use crate::network::Network;
-use crate::process::{Syscall, Wakeup};
+use crate::process::{Process, Syscall, Wakeup};
 use crate::token::Token;
 use rtft_obs::{Counter, MetricsRegistry};
 use rtft_rtc::TimeNs;
@@ -163,7 +163,7 @@ impl ThreadedConfig {
 /// A channel shared between process threads.
 #[derive(Debug)]
 struct SharedChannel {
-    state: Mutex<Box<dyn ChannelBehavior>>,
+    state: Mutex<crate::network::ChanBody>,
     changed: Condvar,
     obs: Option<ThreadObs>,
     progress: Arc<Progress>,
@@ -284,7 +284,7 @@ pub struct ThreadedRun {
     /// `true` if the run returned because its [`CancelToken`] fired.
     pub cancelled: bool,
     /// The processes, returned for post-run inspection, in insertion order.
-    processes: Vec<(String, Box<dyn crate::process::Process>)>,
+    processes: Vec<(String, crate::network::ProcBody)>,
 }
 
 impl ThreadedRun {

@@ -205,7 +205,7 @@ mod tests {
     #[test]
     fn cheap_payload_clone_shares_buffer() {
         let data = Bytes::from(vec![0u8; 1024]);
-        let p1 = Payload::Bytes(data.clone());
+        let p1 = Payload::Bytes(data);
         let p2 = p1.clone();
         // Same underlying allocation.
         if let (Payload::Bytes(a), Payload::Bytes(b)) = (&p1, &p2) {

@@ -171,6 +171,7 @@ impl Trace {
     }
 
     /// Records `event` at `at` if tracing is enabled.
+    #[inline]
     pub fn push(&mut self, at: TimeNs, event: TraceEvent) {
         if self.enabled {
             self.ring.push((at, event));

@@ -290,8 +290,16 @@ impl Client {
     /// (Against a WAL-enabled server the `Durable` ack arrives later and
     /// is surfaced by the next collect; use
     /// [`Client::send_tokens_durable`] to wait for it here.)
-    pub fn send_tokens(&mut self, stream: u32, payloads: Vec<Vec<u8>>) -> Result<(), ServeError> {
-        write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
+    ///
+    /// Payloads are *borrowed* — `&[Vec<u8>]`, `&[&[u8]]`, anything
+    /// slice-shaped — and written with gather I/O; the send path never
+    /// copies or allocates per payload.
+    pub fn send_tokens(
+        &mut self,
+        stream: u32,
+        payloads: &[impl AsRef<[u8]>],
+    ) -> Result<(), ServeError> {
+        crate::wire::write_tokens(&mut self.sock, stream, payloads)?;
         Ok(())
     }
 
@@ -303,9 +311,9 @@ impl Client {
     pub fn send_tokens_durable(
         &mut self,
         stream: u32,
-        payloads: Vec<Vec<u8>>,
+        payloads: &[impl AsRef<[u8]>],
     ) -> Result<DurableAck, ServeError> {
-        write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
+        crate::wire::write_tokens(&mut self.sock, stream, payloads)?;
         // Scan anything already buffered first, then the socket.
         let mut scanned: Vec<Frame> = Vec::new();
         loop {
@@ -433,9 +441,9 @@ impl Client {
     pub fn send_tokens_acked(
         &mut self,
         stream: u32,
-        payloads: Vec<Vec<u8>>,
+        payloads: &[impl AsRef<[u8]>],
     ) -> Result<TokensAck, ServeError> {
-        write_frame(&mut self.sock, &Frame::Tokens { stream, payloads })?;
+        crate::wire::write_tokens(&mut self.sock, stream, payloads)?;
         let mut scanned: Vec<Frame> = Vec::new();
         loop {
             let frame = if let Some(f) = self.pending.pop_front() {

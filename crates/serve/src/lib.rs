@@ -57,7 +57,7 @@
 //! let server = Server::start("127.0.0.1:0", ServerConfig::default())?;
 //! let mut client = Client::connect(server.addr(), "doc-test")?;
 //! let stream = client.open_stream(App::Adpcm, 2)?.expect_stream();
-//! client.send_tokens(stream, workload(App::Adpcm, 7, 4))?;
+//! client.send_tokens(stream, &workload(App::Adpcm, 7, 4))?;
 //! let run = client.flush(stream)?;
 //! assert_eq!(run.outputs.len(), 4); // every token came back, in order
 //! client.close(stream)?;

@@ -103,7 +103,7 @@ impl ReplayReport {
 struct LoggedStream {
     app: App,
     redundancy: u8,
-    payloads: Vec<Vec<u8>>,
+    payloads: Vec<rtft_kpn::Bytes>,
     /// Settled flushes: `(first cumulative position, logged digests)`.
     outputs: Vec<(u64, Vec<u64>)>,
 }
@@ -117,7 +117,9 @@ pub fn replay_verify(dir: &Path, cfg: &ServerConfig) -> Result<ReplayReport, Ser
 
     let mut streams: std::collections::BTreeMap<u32, LoggedStream> =
         std::collections::BTreeMap::new();
-    for (_, rec) in &records {
+    // Consume the records: payload buffers and digest vectors move into
+    // the per-stream ledgers instead of being cloned out of them.
+    for (_, rec) in records {
         match rec {
             WalRecord::StreamOpen {
                 stream,
@@ -126,18 +128,18 @@ pub fn replay_verify(dir: &Path, cfg: &ServerConfig) -> Result<ReplayReport, Ser
                 redundancy,
             } => {
                 streams.insert(
-                    *stream,
+                    stream,
                     LoggedStream {
-                        app: *App::ALL.get(*app as usize).unwrap_or(&App::ALL[0]),
-                        redundancy: *redundancy,
+                        app: *App::ALL.get(app as usize).unwrap_or(&App::ALL[0]),
+                        redundancy,
                         payloads: Vec::new(),
                         outputs: Vec::new(),
                     },
                 );
             }
             WalRecord::Tokens { stream, payloads } => {
-                if let Some(s) = streams.get_mut(stream) {
-                    s.payloads.extend(payloads.iter().cloned());
+                if let Some(s) = streams.get_mut(&stream) {
+                    s.payloads.extend(payloads);
                 }
             }
             WalRecord::Outputs {
@@ -145,8 +147,8 @@ pub fn replay_verify(dir: &Path, cfg: &ServerConfig) -> Result<ReplayReport, Ser
                 first_seq,
                 digests,
             } => {
-                if let Some(s) = streams.get_mut(stream) {
-                    s.outputs.push((*first_seq, digests.clone()));
+                if let Some(s) = streams.get_mut(&stream) {
+                    s.outputs.push((first_seq, digests));
                 }
             }
             WalRecord::StreamClose { .. } => {}

@@ -45,7 +45,7 @@ use rtft_fleet::{
     RejectReason,
 };
 use rtft_kpn::threaded::CancelToken;
-use rtft_kpn::Payload;
+use rtft_kpn::{Bytes, Payload, PayloadPool};
 use rtft_obs::{ClockDomain, Counter, EventRecord, EventSink, Histogram, MetricsRegistry};
 use rtft_rtc::{PjdModel, TimeNs};
 use rtft_tenant::{
@@ -57,7 +57,8 @@ use rtft_wal::{Wal, WalConfig, WalRecord};
 use crate::error::{EvictReason, ProtocolError, ServeError};
 use crate::report::{ServeReport, StreamAccount};
 use crate::wire::{
-    hetero_stride, read_frame, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    hetero_stride, read_frame_pooled, site_kind, BusyReason, Frame, DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 
 /// Replica compute service time = producer period / this (matches the
@@ -242,8 +243,10 @@ struct StreamState {
     tenant: u64,
     app: App,
     redundancy: u8,
-    /// Tokens accepted but not yet admitted into a flush job.
-    buffered: Mutex<Vec<Vec<u8>>>,
+    /// Tokens accepted but not yet admitted into a flush job. Shared
+    /// `Arc<[u8]>` buffers from the connection's ingest pool: the same
+    /// copy flows into the WAL record and the fleet job.
+    buffered: Mutex<Vec<Bytes>>,
     tokens_in: AtomicU64,
     delivered: AtomicU64,
     /// Tokens refused at admission (quota / draining), never accepted.
@@ -273,6 +276,9 @@ struct Shared {
     replayed_tokens: AtomicU64,
     /// Torn-tail records dropped by WAL recovery at startup.
     wal_truncated_records: u64,
+    /// Recycling arena for ingested token payloads: frames decode into
+    /// pooled buffers, settled batches are parked back for reuse.
+    payload_pool: PayloadPool,
     registry: MetricsRegistry,
     events: EventSink,
     epoch: Instant,
@@ -415,6 +421,7 @@ impl Server {
 
         let registry = MetricsRegistry::new();
         let shared = Arc::new(Shared {
+            payload_pool: PayloadPool::with_metrics(&registry),
             fleet: FleetExecutor::new(cfg.fleet.clone()),
             tenants,
             cfg,
@@ -465,16 +472,16 @@ impl Server {
                 .lock()
                 .unwrap()
                 .insert(st.id, Arc::clone(&st));
-            let batch: Vec<Vec<u8>> = st.buffered.lock().unwrap().clone();
+            // Move the tail out instead of cloning it; a rejected tail is
+            // restored below, so refusal still loses nothing.
+            let batch: Vec<Bytes> = std::mem::take(&mut *st.buffered.lock().unwrap());
             if batch.is_empty() {
                 continue;
             }
+            let n = batch.len() as u64;
             let spec = build_spec(&shared.cfg, st.id, st.app, st.redundancy, &batch);
             let notify = recovery_notifier(&shared, &st);
             if let Admission::Admitted(_) = shared.fleet.submit_with(spec, Some(notify)) {
-                let mut buf = st.buffered.lock().unwrap();
-                let drained = batch.len().min(buf.len());
-                buf.drain(..drained);
                 st.inflight.fetch_add(1, Ordering::SeqCst);
                 if let Some(mgr) = &shared.tenants {
                     // Recovery resubmission bypasses quota and rate
@@ -482,16 +489,13 @@ impl Server {
                     // durable) in the previous life.
                     mgr.admit_replay(TenantId(st.tenant));
                 }
-                shared
-                    .replayed_tokens
-                    .fetch_add(batch.len() as u64, Ordering::SeqCst);
-                shared.event(
-                    "serve.stream.replayed",
-                    Some(st.id as usize),
-                    batch.len() as u64,
-                );
+                shared.replayed_tokens.fetch_add(n, Ordering::SeqCst);
+                shared.event("serve.stream.replayed", Some(st.id as usize), n);
+            } else {
+                // A rejected tail stays buffered and is reported
+                // undelivered.
+                restore_front(&st, batch);
             }
-            // A rejected tail stays buffered and is reported undelivered.
         }
 
         let accept_shared = Arc::clone(&shared);
@@ -686,7 +690,7 @@ fn rebuild_streams(records: &[(u64, WalRecord)]) -> Vec<Arc<StreamState>> {
         tenant: u64,
         app: App,
         redundancy: u8,
-        payloads: Vec<Vec<u8>>,
+        payloads: Vec<Bytes>,
         delivered: u64,
         closed: bool,
     }
@@ -863,7 +867,11 @@ fn drive_connection(
     // First frame must be a version-matched Hello. Under tenancy, its
     // `client` string names the tenant every stream on this connection
     // belongs to.
-    let tenant: Option<TenantId> = match next_frame(shared, reader, conn_id)? {
+    // Reused across every frame on the connection: the wire body lands
+    // in `scratch` (grown once to the largest frame seen) and token
+    // payloads decode into pooled buffers.
+    let mut scratch: Vec<u8> = Vec::new();
+    let tenant: Option<TenantId> = match next_frame(shared, reader, conn_id, &mut scratch)? {
         Frame::Hello { version, client } if version == PROTOCOL_VERSION => {
             let tenant = match &shared.tenants {
                 Some(mgr) => Some(resolve_tenant(shared, mgr, &client)?),
@@ -889,7 +897,7 @@ fn drive_connection(
     };
 
     loop {
-        let frame = match next_frame(shared, reader, conn_id) {
+        let frame = match next_frame(shared, reader, conn_id, &mut scratch) {
             Ok(f) => f,
             Err(ServeError::ConnectionClosed) => return Ok(()),
             Err(e) => return Err(e),
@@ -921,12 +929,17 @@ fn drive_connection(
     }
 }
 
-fn next_frame(shared: &Shared, reader: &mut TcpStream, conn_id: u32) -> Result<Frame, ServeError> {
+fn next_frame(
+    shared: &Shared,
+    reader: &mut TcpStream,
+    conn_id: u32,
+    scratch: &mut Vec<u8>,
+) -> Result<Frame, ServeError> {
     let deadlines = shared.cfg.read_timeout.is_some() || shared.cfg.max_idle.is_some();
     let (frame, n) = if deadlines {
-        read_frame_deadline(shared, reader, conn_id)?
+        read_frame_deadline(shared, reader, conn_id, scratch)?
     } else {
-        read_frame(reader, shared.cfg.max_frame)?
+        read_frame_pooled(reader, shared.cfg.max_frame, &shared.payload_pool, scratch)?
     };
     shared.c_frames_in.inc();
     shared.c_bytes_in.add(n as u64);
@@ -1021,6 +1034,7 @@ fn read_frame_deadline(
     shared: &Shared,
     sock: &mut TcpStream,
     conn_id: u32,
+    scratch: &mut Vec<u8>,
 ) -> Result<(Frame, usize), ServeError> {
     let mut idle_since = Instant::now();
     let mut frame_start: Option<Instant> = None;
@@ -1044,16 +1058,19 @@ fn read_frame_deadline(
         }
         .into());
     }
-    let mut buf = vec![0u8; len as usize];
+    scratch.resize(len as usize, 0);
     read_exact_deadline(
         shared,
         sock,
         conn_id,
-        &mut buf,
+        scratch,
         &mut frame_start,
         &mut idle_since,
     )?;
-    Ok((Frame::decode(&buf)?, 4 + len as usize))
+    Ok((
+        Frame::decode_pooled(scratch, &shared.payload_pool)?,
+        4 + len as usize,
+    ))
 }
 
 /// Closes the books on a connection the server is ejecting for a read
@@ -1220,11 +1237,21 @@ fn handle_open(
     shared.send(writer, &Frame::Accepted { id })
 }
 
+/// Puts a taken-but-refused batch back at the *front* of the stream's
+/// buffer: tokens that raced in while the submission was being refused
+/// arrived later and must stay behind it. Cheap — the entries are
+/// `Arc<[u8]>` handles, no payload bytes move.
+fn restore_front(st: &StreamState, batch: Vec<Bytes>) {
+    let mut buf = st.buffered.lock().unwrap();
+    let tail = std::mem::replace(&mut *buf, batch);
+    buf.extend(tail);
+}
+
 fn handle_tokens(
     shared: &Shared,
     writer: &Arc<Mutex<TcpStream>>,
     st: &StreamState,
-    payloads: Vec<Vec<u8>>,
+    payloads: Vec<Bytes>,
 ) -> Result<(), ServeError> {
     let n = payloads.len() as u64;
     // Tenancy gates acceptance *before* anything is billed or buffered:
@@ -1246,11 +1273,17 @@ fn handle_tokens(
         // Log before buffering: a batch only becomes flushable once it
         // is durable, so an Outputs record can never reference tokens
         // the log does not hold. The group-committed append returning is
-        // the durability point the `Durable` ack reports.
-        let seq = wal.append(&WalRecord::Tokens {
+        // the durability point the `Durable` ack reports. The record
+        // borrows the same payload buffers the stream then buffers —
+        // nothing is cloned on the way to the log.
+        let rec = WalRecord::Tokens {
             stream: st.id,
-            payloads: payloads.clone(),
-        })?;
+            payloads,
+        };
+        let seq = wal.append(&rec)?;
+        let WalRecord::Tokens { payloads, .. } = rec else {
+            unreachable!("rec constructed as Tokens above");
+        };
         st.buffered.lock().unwrap().extend(payloads);
         shared.send(
             writer,
@@ -1271,49 +1304,48 @@ fn handle_flush(
     writer: &Arc<Mutex<TcpStream>>,
     st: &Arc<StreamState>,
 ) -> Result<(), ServeError> {
-    // Snapshot without draining: the batch only leaves the buffer once the
-    // fleet admits it, so a Busy refusal loses nothing.
-    let batch: Vec<Vec<u8>> = st.buffered.lock().unwrap().clone();
+    // Move the batch out instead of cloning it under the lock; every
+    // refusal path below restores it, so backpressure still loses
+    // nothing. Tokens that race in while the submission is in flight
+    // append to the (now empty) buffer and sort after the batch.
+    let batch: Vec<Bytes> = std::mem::take(&mut *st.buffered.lock().unwrap());
     if batch.is_empty() {
         return shared.send(writer, &shared.stats_frame(st));
     }
+    let n = batch.len() as u64;
     if !shared.accepting.load(Ordering::SeqCst) {
+        restore_front(st, batch);
         return refuse(shared, writer, st, RejectReason::ShuttingDown.into());
     }
     // Tenant admission (lifecycle, in-flight cap, token rate) runs before
     // the executor ever sees the job. A refusal is lossless: the batch
-    // stays buffered and nothing was billed.
+    // goes back to the buffer and nothing was billed.
     if let Some(mgr) = &shared.tenants {
-        if let Err(reject) =
-            mgr.admit_flush(TenantId(st.tenant), batch.len() as u64, shared.now_ns())
-        {
+        if let Err(reject) = mgr.admit_flush(TenantId(st.tenant), n, shared.now_ns()) {
+            restore_front(st, batch);
             return refuse(shared, writer, st, reject);
         }
     }
     let spec = build_spec(&shared.cfg, st.id, st.app, st.redundancy, &batch);
-    let notify = settle_notifier(shared, writer, st);
+    // The settle notifier owns the batch: on settle the buffers are
+    // parked back into the payload pool for the next ingest to reuse.
+    let batch_slot = Arc::new(Mutex::new(batch));
+    let notify = settle_notifier(shared, writer, st, Arc::clone(&batch_slot));
     match shared.fleet.submit_with(spec, Some(notify)) {
         Admission::Admitted(_) => {
-            // Drop exactly the snapshot; tokens that raced in during
-            // submission stay buffered for the next flush.
-            let mut buf = st.buffered.lock().unwrap();
-            let drained = batch.len().min(buf.len());
-            buf.drain(..drained);
             st.inflight.fetch_add(1, Ordering::SeqCst);
-            shared.h_flush_batch.record(batch.len() as u64);
-            shared.event(
-                "serve.stream.flushed",
-                Some(st.id as usize),
-                batch.len() as u64,
-            );
+            shared.h_flush_batch.record(n);
+            shared.event("serve.stream.flushed", Some(st.id as usize), n);
             Ok(())
         }
         Admission::Rejected(reason) => {
             // Give the tenant back its in-flight slot, buffered tokens,
             // and rate tokens: executor backpressure must not consume
-            // tenant budget.
+            // tenant budget. The notifier never ran, so the batch is
+            // still in its slot — reclaim and restore it.
+            restore_front(st, std::mem::take(&mut *batch_slot.lock().unwrap()));
             if let Some(mgr) = &shared.tenants {
-                mgr.cancel_flush(TenantId(st.tenant), batch.len() as u64);
+                mgr.cancel_flush(TenantId(st.tenant), n);
             }
             refuse(shared, writer, st, reason.into())
         }
@@ -1379,11 +1411,18 @@ fn settle_notifier(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<TcpStream>>,
     st: &Arc<StreamState>,
+    batch_slot: Arc<Mutex<Vec<Bytes>>>,
 ) -> JobNotifier {
     let shared = Arc::clone(shared);
     let writer = Arc::clone(writer);
     let st = Arc::clone(st);
     Arc::new(move |record, result| {
+        // The flush batch is done with: park the buffers for reuse by
+        // the next ingest. (The job's spec may still hold clones for a
+        // moment; `park` defers reclamation until they drop.)
+        for b in batch_slot.lock().unwrap().drain(..) {
+            shared.payload_pool.park(b);
+        }
         if let Some(result) = result {
             // Log the delivered digests (with their cumulative position)
             // before pushing them: the Output frames are the client's
@@ -1484,11 +1523,13 @@ pub(crate) fn build_spec(
     stream: u32,
     app: App,
     redundancy: u8,
-    batch: &[Vec<u8>],
+    batch: &[Bytes],
 ) -> JobSpec {
     let profile = app.profile();
     let model = profile.model;
     let n = batch.len() as u64;
+    // `Bytes` is `Arc<[u8]>`: the job shares the ingested buffers, no
+    // payload bytes are copied into the spec.
     let payloads: Vec<Payload> = batch.iter().map(|b| Payload::from(b.clone())).collect();
     let payload: PayloadGenerator =
         Arc::new(move |i| payloads[(i as usize) % payloads.len()].clone());

@@ -42,9 +42,10 @@
 //! [`hetero_stride`]). `kind` in `Fault` is the detection site
 //! ([`site_kind`] / [`kind_label`]).
 
-use std::io::{Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 use crate::error::{ProtocolError, ServeError};
+use rtft_kpn::{Bytes, PayloadPool};
 
 /// Protocol version this implementation speaks.
 pub const PROTOCOL_VERSION: u32 = 1;
@@ -161,8 +162,10 @@ pub enum Frame {
     Tokens {
         /// Stream id from `Accepted`.
         stream: u32,
-        /// Raw token payloads, in arrival order.
-        payloads: Vec<Vec<u8>>,
+        /// Raw token payloads, in arrival order. Shared `Arc<[u8]>`
+        /// buffers: the server threads one ingested copy through its
+        /// buffer, the WAL record, and the fleet job without re-copying.
+        payloads: Vec<Bytes>,
     },
     /// Run the stream's buffered tokens through its pipeline now.
     Flush {
@@ -378,6 +381,17 @@ impl Frame {
     /// Decodes a frame from `tag ‖ body` bytes (the length prefix already
     /// stripped). Never panics on malformed input.
     pub fn decode(buf: &[u8]) -> Result<Frame, ProtocolError> {
+        Frame::decode_impl(buf, None)
+    }
+
+    /// [`Frame::decode`], but `Tokens` payload buffers come from `pool`
+    /// instead of fresh allocations — the zero-copy ingest path: in
+    /// steady state every payload lands in a recycled buffer.
+    pub fn decode_pooled(buf: &[u8], pool: &PayloadPool) -> Result<Frame, ProtocolError> {
+        Frame::decode_impl(buf, Some(pool))
+    }
+
+    fn decode_impl(buf: &[u8], pool: Option<&PayloadPool>) -> Result<Frame, ProtocolError> {
         let (&tag, mut body) = buf
             .split_first()
             .ok_or(ProtocolError::BadPayload("empty frame"))?;
@@ -385,8 +399,9 @@ impl Frame {
         let frame = match tag {
             0x01 => Frame::Hello {
                 version: get_u32(r)?,
-                client: String::from_utf8(get_bytes(r)?)
-                    .map_err(|_| ProtocolError::BadPayload("client name is not UTF-8"))?,
+                client: std::str::from_utf8(get_byte_slice(r)?)
+                    .map_err(|_| ProtocolError::BadPayload("client name is not UTF-8"))?
+                    .to_owned(),
             },
             0x02 => Frame::OpenStream {
                 app: get_u8(r)?,
@@ -402,7 +417,11 @@ impl Frame {
                 }
                 let mut payloads = Vec::with_capacity(count);
                 for _ in 0..count {
-                    payloads.push(get_bytes(r)?);
+                    let raw = get_byte_slice(r)?;
+                    payloads.push(match pool {
+                        Some(pool) => pool.take_copy(raw),
+                        None => Bytes::from(raw),
+                    });
                 }
                 Frame::Tokens { stream, payloads }
             }
@@ -483,6 +502,111 @@ pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<(Frame, usize), S
     Ok((Frame::decode(&buf)?, 4 + len as usize))
 }
 
+/// [`read_frame`] without per-frame allocation: the wire body is read
+/// into the caller-owned `scratch` buffer (grown once, then reused for
+/// every subsequent frame on the connection) and `Tokens` payloads are
+/// copied straight into buffers recycled through `pool`. Together with
+/// [`write_tokens`] on the sending side this is the steady-state
+/// zero-allocation ingest path.
+pub fn read_frame_pooled(
+    r: &mut impl Read,
+    max_frame: u32,
+    pool: &PayloadPool,
+    scratch: &mut Vec<u8>,
+) -> Result<(Frame, usize), ServeError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(ProtocolError::BadPayload("zero-length frame").into());
+    }
+    if len > max_frame {
+        return Err(ProtocolError::Oversized {
+            len,
+            max: max_frame,
+        }
+        .into());
+    }
+    scratch.resize(len as usize, 0);
+    r.read_exact(scratch)?;
+    Ok((Frame::decode_pooled(scratch, pool)?, 4 + len as usize))
+}
+
+/// Encodes and writes one `Tokens` frame from *borrowed* payload slices,
+/// using gather I/O: the frame header and each payload's length prefix
+/// are staged in small scratch vectors, the payload bytes themselves are
+/// handed to [`Write::write_vectored`] in place. The batch is never
+/// copied into an assembled frame buffer, so the send path costs the
+/// caller no per-payload allocation or memcpy. Returns the wire bytes
+/// written.
+pub fn write_tokens(
+    w: &mut impl Write,
+    stream: u32,
+    payloads: &[impl AsRef<[u8]>],
+) -> Result<usize, ServeError> {
+    // length ‖ tag ‖ stream ‖ count, then count × (len ‖ bytes); the
+    // length field counts the tag plus everything after it.
+    let tagged_len: usize = 9 + payloads.iter().map(|p| 4 + p.as_ref().len()).sum::<usize>();
+    let mut header = [0u8; 13];
+    header[..4].copy_from_slice(&(tagged_len as u32).to_le_bytes());
+    header[4] = 0x03;
+    header[5..9].copy_from_slice(&stream.to_le_bytes());
+    header[9..13].copy_from_slice(&(payloads.len() as u32).to_le_bytes());
+    let prefixes: Vec<[u8; 4]> = payloads
+        .iter()
+        .map(|p| (p.as_ref().len() as u32).to_le_bytes())
+        .collect();
+    let mut slices = Vec::with_capacity(1 + 2 * payloads.len());
+    slices.push(IoSlice::new(&header));
+    for (p, prefix) in payloads.iter().zip(&prefixes) {
+        slices.push(IoSlice::new(prefix));
+        slices.push(IoSlice::new(p.as_ref()));
+    }
+    write_all_vectored(w, &mut slices)?;
+    Ok(4 + tagged_len)
+}
+
+/// Drives [`Write::write_vectored`] to completion across short writes.
+/// (`Write::write_all_vectored` is unstable; this is the same loop,
+/// advancing past fully-written slices and re-slicing the partial one.)
+fn write_all_vectored(w: &mut impl Write, slices: &mut [IoSlice<'_>]) -> Result<(), ServeError> {
+    let mut first = 0usize;
+    // Bytes of `slices[first]` already written (a short write can land
+    // mid-slice; `IoSlice::advance` is also unstable, so re-borrowing the
+    // tail of the current slice is done by hand below).
+    let mut offset = 0usize;
+    while first < slices.len() {
+        let n = if offset == 0 {
+            w.write_vectored(&slices[first..])?
+        } else {
+            // Re-slice the partially-written head, then the rest.
+            let head = &slices[first][offset..];
+            let mut retry = Vec::with_capacity(slices.len() - first);
+            retry.push(IoSlice::new(head));
+            retry.extend(slices[first + 1..].iter().map(|s| IoSlice::new(s)));
+            w.write_vectored(&retry)?
+        };
+        if n == 0 {
+            return Err(ServeError::Io(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            )));
+        }
+        let mut left = n;
+        while first < slices.len() {
+            let remaining = slices[first].len() - offset;
+            if left < remaining {
+                offset += left;
+                break;
+            }
+            left -= remaining;
+            offset = 0;
+            first += 1;
+        }
+    }
+    Ok(())
+}
+
 /// Maps a detection site to the `kind` byte of a `Fault` frame.
 pub fn site_kind(site: Option<rtft_obs::DetectionSite>) -> u8 {
     use rtft_obs::DetectionSite;
@@ -545,14 +669,14 @@ fn get_u64(r: &mut &[u8]) -> Result<u64, ProtocolError> {
     Ok(u64::from_le_bytes(head.try_into().expect("8 bytes")))
 }
 
-fn get_bytes(r: &mut &[u8]) -> Result<Vec<u8>, ProtocolError> {
+fn get_byte_slice<'a>(r: &mut &'a [u8]) -> Result<&'a [u8], ProtocolError> {
     let len = get_u32(r)? as usize;
     if r.len() < len {
         return Err(ProtocolError::BadPayload("truncated byte field"));
     }
     let (head, rest) = r.split_at(len);
     *r = rest;
-    Ok(head.to_vec())
+    Ok(head)
 }
 
 #[cfg(test)]
@@ -594,7 +718,11 @@ mod tests {
         });
         round_trip(Frame::Tokens {
             stream: 7,
-            payloads: vec![vec![1, 2, 3], vec![], vec![0xFF; 100]],
+            payloads: vec![
+                Bytes::from(vec![1, 2, 3]),
+                Bytes::from(vec![]),
+                Bytes::from(vec![0xFF; 100]),
+            ],
         });
         round_trip(Frame::Flush { stream: 7 });
         round_trip(Frame::Close { stream: 7 });
@@ -694,6 +822,84 @@ mod tests {
         wire.extend_from_slice(body);
         let err = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap_err();
         assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn write_tokens_matches_frame_encode() {
+        let payloads: Vec<&[u8]> = vec![b"alpha", b"", b"gamma-gamma"];
+        let mut vectored = Vec::new();
+        let n = write_tokens(&mut vectored, 9, &payloads).unwrap();
+        let owned = Frame::Tokens {
+            stream: 9,
+            payloads: payloads.iter().map(|p| Bytes::from(*p)).collect(),
+        };
+        assert_eq!(vectored, owned.encode());
+        assert_eq!(n, vectored.len());
+    }
+
+    /// A writer that accepts at most 3 bytes per call — forces
+    /// `write_all_vectored` through every partial-write resumption case
+    /// (mid-slice, on a slice boundary, spanning slices).
+    struct Trickle(Vec<u8>);
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(3);
+            self.0.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let first = bufs.iter().find(|b| !b.is_empty());
+            match first {
+                Some(b) => self.write(b),
+                None => Ok(0),
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_tokens_survives_short_vectored_writes() {
+        let payloads: Vec<&[u8]> = vec![b"0123456789", b"x", b"", b"abcdef"];
+        let mut sink = Trickle(Vec::new());
+        write_tokens(&mut sink, 3, &payloads).unwrap();
+        let owned = Frame::Tokens {
+            stream: 3,
+            payloads: payloads.iter().map(|p| Bytes::from(*p)).collect(),
+        };
+        assert_eq!(sink.0, owned.encode());
+    }
+
+    #[test]
+    fn pooled_read_reuses_payload_buffers() {
+        let pool = PayloadPool::new();
+        let mut scratch = Vec::new();
+        let frame = Frame::Tokens {
+            stream: 1,
+            payloads: vec![Bytes::from(vec![7u8; 64])],
+        };
+        let wire = frame.encode();
+        let (got, n) =
+            read_frame_pooled(&mut wire.as_slice(), DEFAULT_MAX_FRAME, &pool, &mut scratch)
+                .unwrap();
+        assert_eq!(got, frame);
+        assert_eq!(n, wire.len());
+        // Recycle the decoded payload; the next identical frame must hit.
+        match got {
+            Frame::Tokens { payloads, .. } => {
+                for p in payloads {
+                    assert!(pool.recycle(p));
+                }
+            }
+            _ => unreachable!(),
+        }
+        let (_, _) =
+            read_frame_pooled(&mut wire.as_slice(), DEFAULT_MAX_FRAME, &pool, &mut scratch)
+                .unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1, "{stats:?}");
+        assert_eq!(stats.misses, 1, "{stats:?}");
     }
 
     #[test]

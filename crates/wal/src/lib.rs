@@ -492,7 +492,9 @@ mod tests {
     fn tokens(stream: u32, n: usize) -> WalRecord {
         WalRecord::Tokens {
             stream,
-            payloads: (0..n).map(|i| vec![i as u8; i % 7 + 1]).collect(),
+            payloads: (0..n)
+                .map(|i| rtft_kpn::Bytes::from(vec![i as u8; i % 7 + 1]))
+                .collect(),
         }
     }
 
@@ -648,7 +650,7 @@ mod tests {
     fn read_log_matches_recovery_without_truncating() {
         let dir = TempDir::new("readlog");
         let cfg = WalConfig::new(dir.path()).with_fsync(false);
-        let (wal, _) = Wal::open(cfg.clone()).expect("open");
+        let (wal, _) = Wal::open(cfg).expect("open");
         for i in 0..8u32 {
             wal.append(&tokens(i, 2)).expect("append");
         }

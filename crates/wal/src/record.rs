@@ -16,7 +16,7 @@
 //! parse marks the torn tail of a segment: everything before it is valid,
 //! everything from it on is discarded by recovery.
 
-use rtft_kpn::Digest;
+use rtft_kpn::{Bytes, Digest};
 
 /// Frame header size: body length (u32) + body checksum (u64).
 pub const FRAME_HEADER: usize = 12;
@@ -57,7 +57,9 @@ pub enum WalRecord {
         /// Stream the tokens belong to.
         stream: u32,
         /// Raw payload bytes, one entry per token, in ingestion order.
-        payloads: Vec<Vec<u8>>,
+        /// Shared `Arc<[u8]>` buffers: the server logs the same ingested
+        /// copy it buffers and feeds to the fleet, no clone per token.
+        payloads: Vec<Bytes>,
     },
     /// Output digests recorded as a flush settled.
     Outputs {
@@ -144,7 +146,7 @@ impl WalRecord {
                 let mut payloads = Vec::with_capacity(count);
                 for _ in 0..count {
                     let len = get_u32(body, &mut at)? as usize;
-                    payloads.push(get_bytes(body, &mut at, len)?.to_vec());
+                    payloads.push(Bytes::from(get_bytes(body, &mut at, len)?));
                 }
                 WalRecord::Tokens { stream, payloads }
             }
@@ -268,7 +270,11 @@ mod tests {
             },
             WalRecord::Tokens {
                 stream: 7,
-                payloads: vec![vec![], vec![1, 2, 3], (0..64).collect()],
+                payloads: vec![
+                    Bytes::from(vec![]),
+                    Bytes::from(vec![1, 2, 3]),
+                    Bytes::from((0..64).collect::<Vec<u8>>()),
+                ],
             },
             WalRecord::Outputs {
                 stream: 7,
@@ -306,7 +312,7 @@ mod tests {
     fn every_single_bit_flip_is_rejected() {
         let rec = WalRecord::Tokens {
             stream: 3,
-            payloads: vec![vec![9; 17], vec![4; 5]],
+            payloads: vec![Bytes::from(vec![9; 17]), Bytes::from(vec![4; 5])],
         };
         let frame = rec.encode_frame();
         for byte in 0..frame.len() {

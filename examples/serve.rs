@@ -60,7 +60,7 @@ fn main() {
     for (i, (mut client, stream)) in clients.drain(..).enumerate() {
         handles.push(std::thread::spawn(move || {
             let batch = workload(App::Mjpeg, i as u64, TOKENS);
-            client.send_tokens(stream, batch.clone()).expect("send");
+            client.send_tokens(stream, &batch).expect("send");
             let run = client.flush(stream).expect("flush");
             let stats = client.close(stream).expect("close").stats.expect("stats");
             (stream, batch, run, stats)

@@ -54,7 +54,7 @@ fn tokens_of(i: usize) -> usize {
 /// correctness, and whether an in-bound replica-1 fault latched.
 fn stream_round(client: &mut Client, stream: u32, i: usize, seed: u64) -> (usize, bool, bool) {
     let batch = workload(app_of(i), seed, tokens_of(i));
-    client.send_tokens(stream, batch.clone()).expect("send");
+    client.send_tokens(stream, &batch).expect("send");
     let run = client.flush(stream).expect("flush");
     let in_order = run
         .outputs
@@ -149,7 +149,7 @@ fn main() {
     for &i in &DETACHED {
         let (client, stream) = clients[i].as_mut().expect("detached client");
         client
-            .send_tokens(*stream, workload(App::Adpcm, 200 + i as u64, BATCH))
+            .send_tokens(*stream, &workload(App::Adpcm, 200 + i as u64, BATCH))
             .expect("send");
         let busy = client.recv_busy(*stream).expect("refusal");
         println!("  tenant {i} round 2 refused: {:?}", busy.reason);

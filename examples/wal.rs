@@ -60,7 +60,7 @@ fn main() {
         .expect_stream();
     let batch = workload(App::Mjpeg, 42, FLUSHED);
     let ack = client
-        .send_tokens_durable(stream, batch)
+        .send_tokens_durable(stream, &batch)
         .expect("durable send");
     let run = client.flush(stream).expect("flush");
     println!(
@@ -70,7 +70,7 @@ fn main() {
         run.outputs.len()
     );
     let tail_ack = client
-        .send_tokens_durable(stream, workload(App::Mjpeg, 43, TAIL))
+        .send_tokens_durable(stream, &workload(App::Mjpeg, 43, TAIL))
         .expect("durable send");
     println!(
         "  ingested {} more durable (log seq {}), then hard-dropping the server",
@@ -106,7 +106,10 @@ fn main() {
 
     // Act 3: a corrupted recorded digest must be detected and classified.
     let bad_dir = scratch("corrupt");
-    let payloads = workload(App::Adpcm, 9, 4);
+    let payloads: Vec<rtft_kpn::Bytes> = workload(App::Adpcm, 9, 4)
+        .into_iter()
+        .map(rtft_kpn::Bytes::from)
+        .collect();
     let mut digests: Vec<u64> = payloads.iter().map(|p| digest_of(p)).collect();
     digests[2] ^= 1 << 40; // the bit flip replay verification exists to catch
     {

@@ -1,0 +1,129 @@
+//! Differential acceptance: the calendar-queue scheduler is
+//! observationally identical to the legacy binary heap.
+//!
+//! The calendar queue is a pure performance substitution — same events,
+//! same timestamps, same deterministic same-timestamp order (stable
+//! sequence tiebreak). These tests prove it at the system level by
+//! running the *same seeded campaigns* under both schedulers and
+//! asserting the canonical JSON reports are **byte-identical**, at every
+//! supported worker count. Any divergence — one reordered delivery, one
+//! shifted detection latency — fails the diff.
+//!
+//! [`rtft_kpn::set_default_queue`] is process-wide, so every test in
+//! this binary serializes on one lock and restores the calendar default
+//! before releasing it.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use rtft_chaos::{run_net_chaos, Campaign, NetChaosConfig};
+use rtft_kpn::{set_default_queue, QueueKind};
+
+/// Serializes queue-switching tests (the default queue is a process
+/// global) and guarantees the calendar default is restored on exit.
+struct QueueGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl QueueGuard {
+    fn lock() -> QueueGuard {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        QueueGuard(guard)
+    }
+}
+
+impl Drop for QueueGuard {
+    fn drop(&mut self) {
+        set_default_queue(QueueKind::Calendar);
+    }
+}
+
+/// Self-cleaning scratch directory (no external tempfile crate).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("rtft-qdiff-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One fault-injection campaign, every queue × worker-count combination:
+/// six byte-identical reports.
+#[test]
+fn campaign_reports_identical_across_queues_and_workers() {
+    let _guard = QueueGuard::lock();
+    let campaign = Campaign::generate(0xD1FF, 48);
+
+    set_default_queue(QueueKind::Heap);
+    let reference = campaign.run_with_workers(1).to_json();
+
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        set_default_queue(kind);
+        for workers in [1usize, 2, 4] {
+            let report = campaign.run_with_workers(workers).to_json();
+            assert_eq!(
+                report, reference,
+                "campaign report diverged: queue={kind:?} workers={workers}"
+            );
+        }
+    }
+}
+
+/// The heterogeneous-lockstep campaign through the same diff.
+#[test]
+fn hetero_campaign_reports_identical_across_queues_and_workers() {
+    let _guard = QueueGuard::lock();
+    let campaign = Campaign::generate_hetero(0xD1FF, 32, 3);
+
+    set_default_queue(QueueKind::Heap);
+    let reference = campaign.run_with_workers(1).to_json();
+
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        set_default_queue(kind);
+        for workers in [1usize, 2, 4] {
+            let report = campaign.run_with_workers(workers).to_json();
+            assert_eq!(
+                report, reference,
+                "hetero campaign report diverged: queue={kind:?} workers={workers}"
+            );
+        }
+    }
+}
+
+/// The network-chaos harness — live server, hostile clients, WAL replay
+/// verification — produces the same canonical report under both queues.
+#[test]
+fn net_chaos_reports_identical_across_queues() {
+    let _guard = QueueGuard::lock();
+    let cfg = NetChaosConfig {
+        seed: 0xD1FF,
+        connections: 12,
+        hostile: 6,
+        ..NetChaosConfig::default()
+    };
+
+    set_default_queue(QueueKind::Heap);
+    let dir = TempDir::new("heap");
+    let heap = run_net_chaos(&cfg, &dir.0).expect("net chaos under heap queue");
+
+    set_default_queue(QueueKind::Calendar);
+    let dir = TempDir::new("calendar");
+    let calendar = run_net_chaos(&cfg, &dir.0).expect("net chaos under calendar queue");
+
+    assert_eq!(
+        heap.to_json(),
+        calendar.to_json(),
+        "net-chaos report diverged between heap and calendar queues"
+    );
+}

@@ -6,6 +6,7 @@
 
 use rtft_apps::networks::App;
 use rtft_fleet::FleetConfig;
+use rtft_kpn::Bytes;
 use rtft_rtc::TimeNs;
 use rtft_serve::wire::{read_frame, write_frame};
 use rtft_serve::{
@@ -118,7 +119,7 @@ fn seeded_wire_round_trip_over_all_frame_types() {
     // One near-max-frame Tokens payload on top of the seeded sweep.
     frames.push(Frame::Tokens {
         stream: 1,
-        payloads: vec![vec![0xAB; DEFAULT_MAX_FRAME as usize - 64]],
+        payloads: vec![Bytes::from(vec![0xAB; DEFAULT_MAX_FRAME as usize - 64])],
     });
 
     // All frames through one contiguous byte stream, as on a socket.
@@ -190,7 +191,7 @@ fn loopback_duplicated_stream_delivers_in_order_and_detects_fault_in_bound() {
         .expect("open")
         .expect_stream();
     let batch = workload(App::Mjpeg, 42, 12);
-    client.send_tokens(stream, batch.clone()).expect("send");
+    client.send_tokens(stream, &batch).expect("send");
     let run = client.flush(stream).expect("flush");
     assert!(run.admitted(), "no backpressure expected on an idle server");
 
@@ -247,7 +248,7 @@ fn voting_stream_delivers_every_token() {
         .expect("open")
         .expect_stream();
     let batch = workload(App::Adpcm, 7, 6);
-    client.send_tokens(stream, batch.clone()).expect("send");
+    client.send_tokens(stream, &batch).expect("send");
     let run = client.flush(stream).expect("flush");
     assert_eq!(run.outputs.len(), 6);
     for (i, out) in run.outputs.iter().enumerate() {
@@ -258,6 +259,44 @@ fn voting_stream_delivers_every_token() {
     let report = server.shutdown();
     assert!(report.balanced());
     assert_eq!(report.streams[0].redundancy, 3);
+}
+
+/// The ingest pool actually recycles: steady-state token flow re-reads
+/// frames into buffers reclaimed from settled flushes instead of fresh
+/// allocations. The `kpn.pool.*` counters on the server registry are the
+/// witness — after repeated identical send/flush rounds the settled
+/// batches must have been parked, reclaimed (`recycled`), and re-issued
+/// (`hits`).
+#[test]
+fn steady_state_ingest_recycles_pooled_buffers() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.addr(), "pool").expect("connect");
+    let stream = client
+        .open_stream(App::Adpcm, 2)
+        .expect("open")
+        .expect_stream();
+    // Same seed every round: identical payload lengths, so the
+    // exact-length shelves built from round N serve round N+1.
+    let batch = workload(App::Adpcm, 11, 8);
+    for _ in 0..6 {
+        client.send_tokens(stream, &batch).expect("send");
+        let run = client.flush(stream).expect("flush");
+        assert_eq!(run.outputs.len(), batch.len());
+    }
+    client.close(stream).expect("close");
+    let hits = server.registry().counter("kpn.pool.hits").get();
+    let recycled = server.registry().counter("kpn.pool.recycled").get();
+    let misses = server.registry().counter("kpn.pool.misses").get();
+    let report = server.shutdown();
+    assert!(report.balanced());
+    assert!(
+        recycled > 0,
+        "no settled batch was reclaimed into the pool (recycled=0, misses={misses})"
+    );
+    assert!(
+        hits > 0,
+        "no frame read reused a pooled buffer (hits=0, recycled={recycled}, misses={misses})"
+    );
 }
 
 /// Saturated admission answers `Busy{queue-full}` — and the refused batch
@@ -288,7 +327,7 @@ fn saturated_admission_answers_busy_then_retry_delivers_everything() {
         .open_stream(App::Mjpeg, 2)
         .expect("open")
         .expect_stream();
-    hog.send_tokens(hog_stream, workload(App::Mjpeg, 1, 20))
+    hog.send_tokens(hog_stream, &workload(App::Mjpeg, 1, 20))
         .expect("send");
     let hog_thread = std::thread::spawn(move || hog.flush(hog_stream).expect("hog flush"));
 
@@ -313,7 +352,7 @@ fn saturated_admission_answers_busy_then_retry_delivers_everything() {
         .expect("open")
         .expect_stream();
     probe
-        .send_tokens(probe_stream, workload(App::Mjpeg, 2, 4))
+        .send_tokens(probe_stream, &workload(App::Mjpeg, 2, 4))
         .expect("send");
 
     let mut busy_seen = 0;
@@ -372,7 +411,7 @@ fn shutdown_under_load_drains_refuses_and_accounts_every_token() {
         .expect("open")
         .expect_stream();
     active
-        .send_tokens(stream, workload(App::Mjpeg, 3, 10))
+        .send_tokens(stream, &workload(App::Mjpeg, 3, 10))
         .expect("send");
     let flush_thread = std::thread::spawn(move || {
         let run = active.flush(stream).expect("flush");
@@ -402,7 +441,7 @@ fn shutdown_under_load_drains_refuses_and_accounts_every_token() {
     // Tokens accepted after shutdown began are refused at flush — and
     // accounted as undelivered, not dropped.
     active
-        .send_tokens(stream, workload(App::Mjpeg, 4, 3))
+        .send_tokens(stream, &workload(App::Mjpeg, 4, 3))
         .expect("send");
     let refused = active.flush(stream).expect("flush");
     let busy = refused.busy.expect("flush during drain must be refused");
@@ -466,7 +505,7 @@ fn restart_resumes_at_last_delivered_seq_with_zero_token_loss() {
 
     let flushed = workload(App::Mjpeg, 42, 8);
     let ack = client
-        .send_tokens_durable(stream, flushed.clone())
+        .send_tokens_durable(stream, &flushed)
         .expect("durable send");
     assert_eq!(ack.tokens, 8, "the ack covers the whole batch");
     let run = client.flush(stream).expect("flush");
@@ -474,7 +513,7 @@ fn restart_resumes_at_last_delivered_seq_with_zero_token_loss() {
 
     let tail = workload(App::Mjpeg, 43, 5);
     let tail_ack = client
-        .send_tokens_durable(stream, tail)
+        .send_tokens_durable(stream, &tail)
         .expect("durable send");
     assert!(
         tail_ack.seq > ack.seq,
@@ -545,7 +584,11 @@ fn adversarial_wire_sweep_never_panics() {
         },
         Frame::Tokens {
             stream: 3,
-            payloads: vec![vec![0xAB; 9], Vec::new(), vec![0x01, 0x02]],
+            payloads: vec![
+                Bytes::from(vec![0xAB; 9]),
+                Bytes::from(vec![]),
+                Bytes::from(vec![0x01, 0x02]),
+            ],
         },
         Frame::Flush { stream: 3 },
         Frame::Close { stream: 3 },
@@ -620,7 +663,10 @@ fn corrupt_frame_fails_connection_closed_with_accounting_intact() {
         &mut sock,
         &Frame::Tokens {
             stream: id,
-            payloads: workload(App::Mjpeg, 9, 4),
+            payloads: workload(App::Mjpeg, 9, 4)
+                .into_iter()
+                .map(Bytes::from)
+                .collect(),
         },
     )
     .expect("tokens");
@@ -733,7 +779,10 @@ fn flush_retry_is_lossless_and_never_resends_tokens() {
         &mut slow,
         &Frame::Tokens {
             stream: 0,
-            payloads: workload(App::Mjpeg, 1, 12),
+            payloads: workload(App::Mjpeg, 1, 12)
+                .into_iter()
+                .map(Bytes::from)
+                .collect(),
         },
     )
     .expect("tokens");
@@ -753,7 +802,7 @@ fn flush_retry_is_lossless_and_never_resends_tokens() {
         .expect("open")
         .expect_stream();
     let batch = workload(App::Adpcm, 2, 6);
-    client.send_tokens(stream, batch.clone()).expect("send");
+    client.send_tokens(stream, &batch).expect("send");
     let rf = client
         .send_flush_with_retry(
             stream,
@@ -818,7 +867,7 @@ fn idle_connection_is_evicted_losslessly() {
         .open_stream(App::Mjpeg, 2)
         .expect("open")
         .expect_stream();
-    client.send_tokens(stream, batch).expect("send");
+    client.send_tokens(stream, &batch).expect("send");
 
     // Stay silent past the idle deadline; the server must close on us,
     // so the next exchange fails instead of flushing.
@@ -881,7 +930,10 @@ fn stalled_writer_is_evicted_by_the_frame_deadline() {
     use std::io::Write as _;
     let wire = Frame::Tokens {
         stream: 0,
-        payloads: workload(App::Mjpeg, 4, 3),
+        payloads: workload(App::Mjpeg, 4, 3)
+            .into_iter()
+            .map(Bytes::from)
+            .collect(),
     }
     .encode();
     for byte in &wire[..6] {

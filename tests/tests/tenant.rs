@@ -50,7 +50,7 @@ fn eight_tenant_run(detach: bool, shards: usize) -> (Vec<Digests>, rtft_serve::S
     // Round 1: everyone delivers one batch.
     for (i, (client, stream)) in clients.iter_mut().enumerate() {
         client
-            .send_tokens(*stream, workload(App::Adpcm, i as u64, BATCH))
+            .send_tokens(*stream, &workload(App::Adpcm, i as u64, BATCH))
             .expect("send");
         let run = client.flush(*stream).expect("flush");
         assert!(run.admitted(), "tenant {i} refused on an idle server");
@@ -61,7 +61,7 @@ fn eight_tenant_run(detach: bool, shards: usize) -> (Vec<Digests>, rtft_serve::S
         let (client, stream) = &mut clients[DETACHED];
         // A second batch is accepted while the tenant is still active...
         client
-            .send_tokens(*stream, workload(App::Adpcm, 100, BATCH))
+            .send_tokens(*stream, &workload(App::Adpcm, 100, BATCH))
             .expect("send");
         // ...then the operator detaches the tenant mid-stream. `Tokens`
         // carries no acknowledgement, so wait for the server to have
@@ -85,7 +85,7 @@ fn eight_tenant_run(detach: bool, shards: usize) -> (Vec<Digests>, rtft_serve::S
 
         // A third batch is refused at the door and never accepted.
         client
-            .send_tokens(*stream, workload(App::Adpcm, 101, BATCH))
+            .send_tokens(*stream, &workload(App::Adpcm, 101, BATCH))
             .expect("send");
         let busy = client.recv_busy(*stream).expect("tokens refusal");
         assert_eq!(busy.reason, BusyReason::TenantDraining);
@@ -97,7 +97,7 @@ fn eight_tenant_run(detach: bool, shards: usize) -> (Vec<Digests>, rtft_serve::S
             continue;
         }
         client
-            .send_tokens(*stream, workload(App::Adpcm, 1000 + i as u64, BATCH))
+            .send_tokens(*stream, &workload(App::Adpcm, 1000 + i as u64, BATCH))
             .expect("send");
         let run = client.flush(*stream).expect("flush");
         assert!(run.admitted(), "tenant {i} refused in round 2");
@@ -204,8 +204,9 @@ fn quota_and_rate_refusals_are_structured_and_lossless() {
     let mut q = Client::connect(server.addr(), "quota").expect("connect");
     let qs = q.open_stream(App::Adpcm, 2).expect("open").expect_stream();
     let batch = workload(App::Adpcm, 1, 8);
-    q.send_tokens(qs, batch.clone()).expect("send");
-    q.send_tokens(qs, workload(App::Adpcm, 2, 4)).expect("send");
+    q.send_tokens(qs, &batch).expect("send");
+    q.send_tokens(qs, &workload(App::Adpcm, 2, 4))
+        .expect("send");
     let busy = q.recv_busy(qs).expect("quota refusal");
     assert_eq!(busy.reason, BusyReason::QuotaExceeded);
     assert_eq!(busy.pending, 8, "tokens in use");
@@ -221,10 +222,12 @@ fn quota_and_rate_refusals_are_structured_and_lossless() {
     // with a positive retry hint; the batch stays buffered server-side.
     let mut r = Client::connect(server.addr(), "rate").expect("connect");
     let rs = r.open_stream(App::Adpcm, 2).expect("open").expect_stream();
-    r.send_tokens(rs, workload(App::Adpcm, 3, 4)).expect("send");
+    r.send_tokens(rs, &workload(App::Adpcm, 3, 4))
+        .expect("send");
     let run = r.flush(rs).expect("flush");
     assert!(run.admitted(), "burst capacity admits the first flush");
-    r.send_tokens(rs, workload(App::Adpcm, 4, 4)).expect("send");
+    r.send_tokens(rs, &workload(App::Adpcm, 4, 4))
+        .expect("send");
     let refused = r.flush(rs).expect("flush");
     let busy = refused.busy.expect("drained bucket must refuse");
     assert_eq!(busy.reason, BusyReason::RateLimited);

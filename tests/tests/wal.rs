@@ -7,6 +7,7 @@
 
 use rtft_apps::networks::App;
 use rtft_chaos::{classify_replay, OutcomeClass, ReplayVerdict};
+use rtft_kpn::Bytes;
 use rtft_serve::{digest_of, replay_verify, workload, ServerConfig};
 use rtft_wal::{read_log, segment_file_name, Wal, WalConfig, WalRecord};
 
@@ -57,7 +58,11 @@ fn recovery_survives_truncation_at_every_byte_of_the_final_record() {
         },
         WalRecord::Tokens {
             stream: 0,
-            payloads: vec![vec![1, 2, 3], vec![], vec![4; 17]],
+            payloads: vec![
+                Bytes::from(vec![1, 2, 3]),
+                Bytes::from(vec![]),
+                Bytes::from(vec![4; 17]),
+            ],
         },
         WalRecord::Outputs {
             stream: 0,
@@ -66,7 +71,7 @@ fn recovery_survives_truncation_at_every_byte_of_the_final_record() {
         },
         WalRecord::Tokens {
             stream: 0,
-            payloads: vec![vec![9; 5], vec![8; 9]],
+            payloads: vec![Bytes::from(vec![9; 5]), Bytes::from(vec![8; 9])],
         },
     ];
     {
@@ -137,7 +142,10 @@ fn recovery_survives_truncation_at_every_byte_of_the_final_record() {
 fn corrupted_log_digest_is_detected_and_classified_as_divergence() {
     let dir = TempDir::new("divergence");
     let cfg = ServerConfig::default();
-    let payloads = workload(App::Adpcm, 9, 4);
+    let payloads: Vec<Bytes> = workload(App::Adpcm, 9, 4)
+        .into_iter()
+        .map(Bytes::from)
+        .collect();
     let digests: Vec<u64> = payloads.iter().map(|p| digest_of(p)).collect();
 
     // An honest log, except one recorded output digest had a bit flipped
